@@ -1,0 +1,69 @@
+#ifndef AQE_BENCH_BENCH_UTIL_H_
+#define AQE_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "queries/tpch_queries.h"
+#include "tpch/tpch_gen.h"
+
+namespace aqe::bench {
+
+/// Environment knobs shared by the harnesses (the host has 1 physical core;
+/// defaults are scaled so the full bench suite completes in minutes while
+/// preserving the paper's shapes — see EXPERIMENTS.md).
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atof(v);
+}
+inline int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atoi(v);
+}
+inline std::vector<double> EnvDoubleList(const char* name,
+                                         const std::string& fallback) {
+  const char* v = std::getenv(name);
+  std::string s = v == nullptr ? fallback : v;
+  std::vector<double> out;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(std::atof(s.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+inline double GeometricMean(const std::vector<double>& values) {
+  double log_sum = 0;
+  for (double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/// Builds (once) and caches a TPC-H database per scale factor.
+inline Catalog* TpchAtScale(double sf) {
+  static std::vector<std::pair<double, Catalog*>> cache;
+  for (auto& [cached_sf, catalog] : cache) {
+    if (cached_sf == sf) return catalog;
+  }
+  std::fprintf(stderr, "[bench] generating TPC-H data at SF %.3g...\n", sf);
+  auto* catalog = new Catalog();
+  tpch::BuildTpchDatabase(catalog, sf);
+  cache.emplace_back(sf, catalog);
+  return catalog;
+}
+
+/// Query wall time excluding machine-code compilation (Table II reports
+/// pure execution; compilation latency is Table I's subject).
+inline double ExecOnlySeconds(const QueryRunResult& result) {
+  return result.total_seconds - result.compile_millis_total / 1e3;
+}
+
+}  // namespace aqe::bench
+
+#endif  // AQE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,92 @@
+// Microbenchmark (google-benchmark): raw dispatch throughput of the three
+// execution tiers on one pipeline-shaped kernel (TPC-H Q6's scan-filter-sum
+// loop), isolating interpretation overhead from query plumbing.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "codegen/query_compiler.h"
+#include "jit/jit_compiler.h"
+#include "runtime/runtime_registry.h"
+#include "vm/interpreter.h"
+#include "vm/translator.h"
+
+namespace aqe {
+namespace {
+
+struct Q6Kernel {
+  Catalog* catalog;
+  QueryProgram program;
+  std::unique_ptr<QueryContext> ctx;
+  PipelineBindings bindings;
+  uint64_t rows;
+
+  Q6Kernel()
+      : catalog(bench::TpchAtScale(0.01)),
+        program(BuildTpchQuery(6, *catalog)) {
+    ctx = program.MakeContext(catalog);
+    bindings = BindPipeline(program, program.pipelines()[0], *ctx);
+    rows = catalog->GetTable("lineitem")->num_rows();
+  }
+  const PipelineSpec& spec() const { return program.pipelines()[0]; }
+};
+
+Q6Kernel& Kernel() {
+  static Q6Kernel* kernel = new Q6Kernel();
+  return *kernel;
+}
+
+void BM_BytecodeVm(benchmark::State& state) {
+  Q6Kernel& k = Kernel();
+  GeneratedPipeline gen = GeneratePipeline(k.spec(), k.bindings);
+  BcProgram bc = TranslateToBytecode(
+      *gen.mod->module().getFunction("worker"), RuntimeRegistry::Global());
+  for (auto _ : state) {
+    VmExecuteWorker(bc, nullptr, 0, k.rows);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(k.rows) * state.iterations());
+}
+BENCHMARK(BM_BytecodeVm);
+
+void BM_BytecodeVmNoFusion(benchmark::State& state) {
+  Q6Kernel& k = Kernel();
+  GeneratedPipeline gen = GeneratePipeline(k.spec(), k.bindings);
+  TranslatorOptions options;
+  options.fuse_macro_ops = false;
+  BcProgram bc = TranslateToBytecode(
+      *gen.mod->module().getFunction("worker"), RuntimeRegistry::Global(),
+      options);
+  for (auto _ : state) {
+    VmExecuteWorker(bc, nullptr, 0, k.rows);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(k.rows) * state.iterations());
+}
+BENCHMARK(BM_BytecodeVmNoFusion);
+
+void RunJitKernel(benchmark::State& state, JitMode mode) {
+  Q6Kernel& k = Kernel();
+  GeneratedPipeline gen = GeneratePipeline(k.spec(), k.bindings);
+  auto compiled =
+      JitCompile(std::move(*gen.mod), mode, RuntimeRegistry::Global());
+  auto* fn = reinterpret_cast<void (*)(void*, uint64_t, uint64_t,
+                                       const void*)>(
+      compiled->Lookup("worker"));
+  for (auto _ : state) {
+    fn(nullptr, 0, k.rows, nullptr);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(k.rows) * state.iterations());
+}
+
+void BM_JitUnoptimized(benchmark::State& state) {
+  RunJitKernel(state, JitMode::kUnoptimized);
+}
+BENCHMARK(BM_JitUnoptimized);
+
+void BM_JitOptimized(benchmark::State& state) {
+  RunJitKernel(state, JitMode::kOptimized);
+}
+BENCHMARK(BM_JitOptimized);
+
+}  // namespace
+}  // namespace aqe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Regenerates Table II: execution times (compilation excluded) per query
+// for the Volcano baseline ("PG"), the vectorized baseline ("Monet"), and
+// the bytecode / unoptimized / optimized modes, single- and multi-threaded,
+// with the geometric mean over all implemented queries.
+#include "bench/bench_util.h"
+
+using namespace aqe;
+
+namespace {
+
+double RunOnce(QueryEngine* engine, Catalog* catalog, int number,
+               EngineKind kind, ExecutionStrategy strategy) {
+  QueryProgram q = BuildTpchQuery(number, *catalog);
+  QueryRunOptions options;
+  options.engine = kind;
+  options.strategy = strategy;
+  return bench::ExecOnlySeconds(engine->Run(q, options)) * 1e3;
+}
+
+}  // namespace
+
+int main() {
+  double sf = bench::EnvDouble("AQE_SF", 0.1);
+  int threads = bench::EnvInt("AQE_THREADS", 4);
+  Catalog* catalog = bench::TpchAtScale(sf);
+  QueryEngine single(catalog, 1);
+  QueryEngine multi(catalog, threads);
+
+  std::printf("Table II — execution times [ms], SF %g\n", sf);
+  std::printf("%6s | %9s %9s %9s %9s %9s | %9s %9s %9s (%d threads)\n",
+              "query", "PG", "Monet", "bc.", "unopt.", "opt.", "bc.",
+              "unopt.", "opt.", threads);
+  std::vector<std::vector<double>> columns(8);
+  for (int number : ImplementedTpchQueries()) {
+    double pg = RunOnce(&single, catalog, number, EngineKind::kVolcano,
+                        ExecutionStrategy::kBytecode);
+    double monet = RunOnce(&single, catalog, number, EngineKind::kVectorized,
+                           ExecutionStrategy::kBytecode);
+    double bc1 = RunOnce(&single, catalog, number, EngineKind::kCompiled,
+                         ExecutionStrategy::kBytecode);
+    double un1 = RunOnce(&single, catalog, number, EngineKind::kCompiled,
+                         ExecutionStrategy::kUnoptimized);
+    double op1 = RunOnce(&single, catalog, number, EngineKind::kCompiled,
+                         ExecutionStrategy::kOptimized);
+    double bcn = RunOnce(&multi, catalog, number, EngineKind::kCompiled,
+                         ExecutionStrategy::kBytecode);
+    double unn = RunOnce(&multi, catalog, number, EngineKind::kCompiled,
+                         ExecutionStrategy::kUnoptimized);
+    double opn = RunOnce(&multi, catalog, number, EngineKind::kCompiled,
+                         ExecutionStrategy::kOptimized);
+    double row[8] = {pg, monet, bc1, un1, op1, bcn, unn, opn};
+    for (int c = 0; c < 8; ++c) columns[static_cast<size_t>(c)].push_back(row[c]);
+    std::printf("%6d | %9.1f %9.1f %9.1f %9.1f %9.1f | %9.1f %9.1f %9.1f\n",
+                number, pg, monet, bc1, un1, op1, bcn, unn, opn);
+    std::fflush(stdout);
+  }
+  std::printf("%6s | %9.1f %9.1f %9.1f %9.1f %9.1f | %9.1f %9.1f %9.1f\n",
+              "geo.m.", bench::GeometricMean(columns[0]),
+              bench::GeometricMean(columns[1]),
+              bench::GeometricMean(columns[2]),
+              bench::GeometricMean(columns[3]),
+              bench::GeometricMean(columns[4]),
+              bench::GeometricMean(columns[5]),
+              bench::GeometricMean(columns[6]),
+              bench::GeometricMean(columns[7]));
+  std::printf("\nexpected shape: bc. several-fold slower than unopt.; unopt. "
+              "modestly slower than opt.; bc. well ahead of PG; (note: the "
+              "host has 1 physical core, so multi-threaded numbers "
+              "timeshare)\n");
+  return 0;
+}

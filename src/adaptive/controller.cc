@@ -1,0 +1,136 @@
+#include "adaptive/controller.h"
+
+#include <memory>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "exec/morsel.h"
+#include "runtime/agg_hash_table.h"
+
+namespace aqe {
+
+const char* ExecutionStrategyName(ExecutionStrategy strategy) {
+  switch (strategy) {
+    case ExecutionStrategy::kBytecode: return "bytecode";
+    case ExecutionStrategy::kUnoptimized: return "unoptimized";
+    case ExecutionStrategy::kOptimized: return "optimized";
+    case ExecutionStrategy::kAdaptive: return "adaptive";
+  }
+  AQE_UNREACHABLE("bad ExecutionStrategy");
+}
+
+PipelineRunner::PipelineRunner(WorkerPool* pool, ExecutionStrategy strategy,
+                               CostModelParams params, TraceRecorder* trace)
+    : pool_(pool), strategy_(strategy), params_(params), trace_(trace) {
+  AQE_CHECK(pool_ != nullptr);
+}
+
+PipelineRunStats PipelineRunner::Run(const PipelineTask& task) {
+  AQE_CHECK(task.handle != nullptr);
+  PipelineRunStats stats;
+  Timer total_timer;
+
+  auto compile_and_install = [&](ExecMode mode) {
+    AQE_CHECK_MSG(task.compile != nullptr, "pipeline has no compile hook");
+    Timer compile_timer;
+    int64_t t0 = MonotonicNanos();
+    WorkerFn fn = task.compile(mode);
+    double seconds = compile_timer.ElapsedSeconds();
+    task.handle->SetCompiled(fn, mode);
+    stats.compiles.emplace_back(mode, seconds);
+    if (trace_ != nullptr) {
+      trace_->Record({TraceRecorder::EventKind::kCompile,
+                      runtime_internal::GetThreadIndex(), task.pipeline_id,
+                      mode, t0, MonotonicNanos(), 0});
+    }
+  };
+
+  // Static compile-up-front strategies (single-threaded compilation, all
+  // other workers idle — exactly the §III critique).
+  if (strategy_ == ExecutionStrategy::kUnoptimized) {
+    compile_and_install(ExecMode::kUnoptimized);
+  } else if (strategy_ == ExecutionStrategy::kOptimized) {
+    compile_and_install(ExecMode::kOptimized);
+  }
+
+  MorselQueue queue(task.total_tuples);
+  std::vector<std::unique_ptr<ThreadRate>> rates;
+  for (int i = 0; i < pool_->num_threads(); ++i) {
+    rates.push_back(std::make_unique<ThreadRate>());
+  }
+  std::atomic<uint64_t> epoch{0};
+  const int64_t pipeline_start = MonotonicNanos();
+  const bool adaptive = strategy_ == ExecutionStrategy::kAdaptive;
+
+  auto evaluate = [&]() {
+    ExecMode mode = task.handle->mode();
+    if (mode == ExecMode::kOptimized) return;
+    if (static_cast<double>(MonotonicNanos() - pipeline_start) <
+        first_eval_delay_seconds_ * 1e9) {
+      return;
+    }
+    // Average per-thread rate in the current epoch (Fig 7's r0).
+    uint64_t current_epoch = epoch.load(std::memory_order_relaxed);
+    double rate_sum = 0;
+    int rate_count = 0;
+    for (const auto& rate : rates) {
+      if (rate->epoch.load(std::memory_order_relaxed) != current_epoch) {
+        continue;
+      }
+      uint64_t nanos = rate->nanos.load(std::memory_order_relaxed);
+      uint64_t tuples = rate->tuples.load(std::memory_order_relaxed);
+      if (nanos == 0 || tuples == 0) continue;
+      rate_sum += static_cast<double>(tuples) /
+                  (static_cast<double>(nanos) / 1e9);
+      ++rate_count;
+    }
+    if (rate_count == 0) return;
+    double r0 = rate_sum / rate_count;
+    Decision decision = ExtrapolatePipelineDurations(
+        r0, queue.remaining(), pool_->num_threads(),
+        task.function_instructions, mode, params_);
+    if (decision == Decision::kDoNothing) return;
+    compile_and_install(decision == Decision::kCompileUnoptimized
+                            ? ExecMode::kUnoptimized
+                            : ExecMode::kOptimized);
+    // Reset all processing rates (§III-C): bump the epoch, workers lazily
+    // clear their slots.
+    epoch.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  pool_->RunParallel([&](int thread) {
+    ThreadRate& rate = *rates[static_cast<size_t>(thread)];
+    MorselRange morsel;
+    while (queue.Next(&morsel)) {
+      ExecMode mode = task.handle->mode();
+      int64_t t0 = MonotonicNanos();
+      task.handle->Call(task.state, morsel.begin, morsel.end);
+      int64_t t1 = MonotonicNanos();
+
+      uint64_t current_epoch = epoch.load(std::memory_order_relaxed);
+      if (rate.epoch.load(std::memory_order_relaxed) != current_epoch) {
+        rate.tuples.store(0, std::memory_order_relaxed);
+        rate.nanos.store(0, std::memory_order_relaxed);
+        rate.epoch.store(current_epoch, std::memory_order_relaxed);
+      }
+      rate.tuples.fetch_add(morsel.end - morsel.begin,
+                            std::memory_order_relaxed);
+      rate.nanos.fetch_add(static_cast<uint64_t>(t1 - t0),
+                           std::memory_order_relaxed);
+      if (trace_ != nullptr) {
+        trace_->Record({TraceRecorder::EventKind::kMorsel, thread,
+                        task.pipeline_id, mode, t0, t1,
+                        morsel.end - morsel.begin});
+      }
+      // §III-C: the extrapolation is performed by a single worker thread,
+      // re-evaluated after every one of its morsels.
+      if (adaptive && thread == 0) evaluate();
+    }
+  });
+
+  stats.total_seconds = total_timer.ElapsedSeconds();
+  stats.final_mode = task.handle->mode();
+  return stats;
+}
+
+}  // namespace aqe

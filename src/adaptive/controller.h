@@ -1,0 +1,84 @@
+#ifndef AQE_ADAPTIVE_CONTROLLER_H_
+#define AQE_ADAPTIVE_CONTROLLER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "adaptive/cost_model.h"
+#include "exec/function_handle.h"
+#include "exec/scheduler.h"
+#include "exec/trace.h"
+
+namespace aqe {
+
+/// How a query/pipeline is executed (§V's four contenders).
+enum class ExecutionStrategy {
+  kBytecode,     ///< pure interpretation
+  kUnoptimized,  ///< compile unoptimized up front, then run
+  kOptimized,    ///< compile optimized up front, then run
+  kAdaptive,     ///< start interpreting, switch on runtime feedback (§III)
+};
+
+const char* ExecutionStrategyName(ExecutionStrategy strategy);
+
+/// One pipeline's execution request.
+struct PipelineTask {
+  FunctionHandle* handle = nullptr;  ///< starts in bytecode mode
+  void* state = nullptr;
+  uint64_t total_tuples = 0;          ///< known at pipeline start (§III-A)
+  uint64_t function_instructions = 0; ///< LLVM instruction count (cost model)
+  /// Compiles the pipeline's worker function in the given mode and returns
+  /// the machine code (the callee keeps the compiled module alive). Invoked
+  /// from a worker thread, at most once per mode.
+  std::function<WorkerFn(ExecMode)> compile;
+  int pipeline_id = 0;
+};
+
+struct PipelineRunStats {
+  double total_seconds = 0;
+  ExecMode final_mode = ExecMode::kBytecode;
+  /// Mode switches performed, with the compile time spent on each.
+  std::vector<std::pair<ExecMode, double>> compiles;
+};
+
+/// Executes pipelines under a strategy on a shared worker pool, applying the
+/// §III-C policy for kAdaptive: every worker tracks its local tuple rate per
+/// morsel; a single evaluator thread (worker 0), starting 1 ms into the
+/// pipeline and re-checking after every one of its morsels, runs the Fig 7
+/// extrapolation; when compilation wins, the evaluator itself compiles
+/// (occupying one worker, like the paper's trace in Fig 14) and flips the
+/// FunctionHandle, after which all threads pick up the new variant and the
+/// rates are reset.
+class PipelineRunner {
+ public:
+  PipelineRunner(WorkerPool* pool, ExecutionStrategy strategy,
+                 CostModelParams params = {}, TraceRecorder* trace = nullptr);
+
+  PipelineRunStats Run(const PipelineTask& task);
+
+  /// First adaptive evaluation happens this long after pipeline start
+  /// (paper: 1 ms, "to increase the accuracy of the estimates").
+  void set_first_evaluation_delay_seconds(double seconds) {
+    first_eval_delay_seconds_ = seconds;
+  }
+
+ private:
+  struct alignas(64) ThreadRate {
+    std::atomic<uint64_t> tuples{0};
+    std::atomic<uint64_t> nanos{0};
+    std::atomic<uint64_t> epoch{0};
+  };
+
+  WorkerPool* pool_;
+  ExecutionStrategy strategy_;
+  CostModelParams params_;
+  TraceRecorder* trace_;
+  double first_eval_delay_seconds_ = 1e-3;
+};
+
+}  // namespace aqe
+
+#endif  // AQE_ADAPTIVE_CONTROLLER_H_

@@ -1,0 +1,57 @@
+#include "adaptive/cost_model.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace aqe {
+
+const char* DecisionName(Decision decision) {
+  switch (decision) {
+    case Decision::kDoNothing: return "do-nothing";
+    case Decision::kCompileUnoptimized: return "compile-unoptimized";
+    case Decision::kCompileOptimized: return "compile-optimized";
+  }
+  AQE_UNREACHABLE("bad Decision");
+}
+
+Decision ExtrapolatePipelineDurations(double tuples_per_second_per_thread,
+                                      uint64_t remaining_tuples,
+                                      int active_workers,
+                                      uint64_t function_instructions,
+                                      ExecMode current_mode,
+                                      const CostModelParams& params) {
+  if (current_mode == ExecMode::kOptimized) return Decision::kDoNothing;
+  if (remaining_tuples == 0 || tuples_per_second_per_thread <= 0) {
+    return Decision::kDoNothing;
+  }
+  const double r0 = tuples_per_second_per_thread;
+  const double n = static_cast<double>(remaining_tuples);
+  const double w = static_cast<double>(std::max(1, active_workers));
+
+  // Speedups are defined relative to bytecode; rescale to the current mode.
+  const double current_factor =
+      current_mode == ExecMode::kBytecode ? 1.0 : params.unopt_speedup;
+
+  const double t0 = n / r0 / w;
+
+  double t1 = t0;
+  if (current_mode == ExecMode::kBytecode) {
+    const double c1 = params.UnoptCompileSeconds(function_instructions);
+    const double r1 = r0 * (params.unopt_speedup / current_factor);
+    t1 = c1 + std::max(n - (w - 1) * r0 * c1, 0.0) / r1 / w;
+  }
+
+  const double c2 = params.OptCompileSeconds(function_instructions);
+  const double r2 = r0 * (params.opt_speedup / current_factor);
+  const double t2 = c2 + std::max(n - (w - 1) * r0 * c2, 0.0) / r2 / w;
+
+  if (t0 <= t1 && t0 <= t2) return Decision::kDoNothing;
+  if (t1 <= t2) {
+    return current_mode == ExecMode::kBytecode ? Decision::kCompileUnoptimized
+                                               : Decision::kDoNothing;
+  }
+  return Decision::kCompileOptimized;
+}
+
+}  // namespace aqe

@@ -1,0 +1,64 @@
+#ifndef AQE_ADAPTIVE_COST_MODEL_H_
+#define AQE_ADAPTIVE_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "exec/function_handle.h"
+
+namespace aqe {
+
+/// Empirical parameters of the Fig 7 extrapolation. Compilation time is
+/// modeled as linear in the worker function's LLVM instruction count (the
+/// near-linear correlation of Fig 6); speedups are the Table II empirical
+/// ratios. Defaults are calibrated for this repository's substrate (see
+/// bench/fig06_compile_scaling, which re-derives them) and can be
+/// overridden.
+struct CostModelParams {
+  // compile_seconds(n) = base + per_instruction * n
+  double unopt_base_seconds = 2e-3;
+  double unopt_per_instruction_seconds = 9e-6;
+  double opt_base_seconds = 5e-3;
+  double opt_per_instruction_seconds = 45e-6;
+
+  /// Throughput ratios over the bytecode interpreter (Table II: 3.6 / 5.0).
+  double unopt_speedup = 3.6;
+  double opt_speedup = 5.0;
+
+  double UnoptCompileSeconds(uint64_t instructions) const {
+    return unopt_base_seconds +
+           unopt_per_instruction_seconds * static_cast<double>(instructions);
+  }
+  double OptCompileSeconds(uint64_t instructions) const {
+    return opt_base_seconds +
+           opt_per_instruction_seconds * static_cast<double>(instructions);
+  }
+};
+
+/// The three options continuously evaluated per pipeline (§III-C).
+enum class Decision { kDoNothing, kCompileUnoptimized, kCompileOptimized };
+
+const char* DecisionName(Decision decision);
+
+/// Fig 7, verbatim: extrapolates the remaining pipeline duration under
+/// (1) the current mode, (2) unoptimized and (3) optimized compilation, and
+/// returns the winner.
+///
+///   r0 = average tuple rate per thread in the current mode
+///   n  = remaining tuples, w = active worker threads
+///   t0 = n / r0 / w
+///   ti = ci + max(n - (w-1)*r0*ci, 0) / ri / w
+///
+/// (while one thread compiles for ci seconds, the other w-1 threads keep
+/// processing at r0). `current_mode` generalizes the paper's bytecode-only
+/// starting point: from kUnoptimized only the optimized upgrade is
+/// considered, from kOptimized the answer is always kDoNothing.
+Decision ExtrapolatePipelineDurations(double tuples_per_second_per_thread,
+                                      uint64_t remaining_tuples,
+                                      int active_workers,
+                                      uint64_t function_instructions,
+                                      ExecMode current_mode,
+                                      const CostModelParams& params);
+
+}  // namespace aqe
+
+#endif  // AQE_ADAPTIVE_COST_MODEL_H_

@@ -1,0 +1,97 @@
+#ifndef AQE_ANALYSIS_CFG_ANALYSIS_H_
+#define AQE_ANALYSIS_CFG_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include <llvm/ADT/DenseMap.h>
+#include <llvm/IR/BasicBlock.h>
+#include <llvm/IR/Function.h>
+
+namespace aqe {
+
+/// CFG analyses required by the paper's linear-time liveness computation
+/// (§IV-D, Fig 11): reverse-postorder block labels, dominator tree with
+/// pre/post-order interval labels for O(1) ancestor tests, loop heads found
+/// via dominator back edges, and the loop nesting forest.
+///
+/// Every step is (near-)linear in blocks+edges: RPO is one DFS, dominators
+/// use the Cooper-Harvey-Kennedy iterative algorithm on RPO numbers (linear
+/// in practice on reducible query CFGs), the dominator-tree labeling is one
+/// DFS, and loop association is one sweep over block labels with a stack.
+class CfgAnalysis {
+ public:
+  /// A (possibly pseudo) loop. loops()[0] is the whole-function pseudo loop
+  /// the paper introduces to avoid edge cases for blocks outside any loop.
+  struct Loop {
+    int head;    ///< label of the loop-head block
+    int last;    ///< label of the last block in the loop (inclusive)
+    int parent;  ///< index of the enclosing loop; -1 for the pseudo root
+    int depth;   ///< nesting depth; 0 for the pseudo root
+  };
+
+  explicit CfgAnalysis(const llvm::Function& fn);
+
+  int num_blocks() const { return static_cast<int>(blocks_.size()); }
+
+  /// Reverse-postorder label of a block. Unreachable blocks get label -1.
+  int LabelOf(const llvm::BasicBlock* bb) const;
+
+  /// Block with the given label (0 = entry).
+  const llvm::BasicBlock* BlockAt(int label) const {
+    return blocks_[static_cast<size_t>(label)];
+  }
+
+  /// Label of the immediate dominator; -1 for the entry block.
+  int ImmediateDominator(int label) const {
+    return idom_[static_cast<size_t>(label)];
+  }
+
+  /// True iff block `a` dominates block `b` (reflexive). O(1) via the
+  /// pre/post-order interval labels on the dominator tree.
+  bool Dominates(int a, int b) const {
+    return dom_pre_[static_cast<size_t>(a)] <=
+               dom_pre_[static_cast<size_t>(b)] &&
+           dom_post_[static_cast<size_t>(b)] <=
+               dom_post_[static_cast<size_t>(a)];
+  }
+
+  const std::vector<Loop>& loops() const { return loops_; }
+
+  /// Index (into loops()) of the innermost loop containing the block.
+  int InnermostLoopOf(int label) const {
+    return block_loop_[static_cast<size_t>(label)];
+  }
+
+  /// True iff the block with this label is a loop head.
+  bool IsLoopHead(int label) const {
+    return is_loop_head_[static_cast<size_t>(label)];
+  }
+
+  /// Innermost loop (index) that contains both labels `a` and `b`, walking
+  /// up the loop forest. Used to find the paper's C_v.
+  int CommonLoop(int loop_a, int loop_b) const;
+
+  /// Walks up from `loop` to the child of `ancestor` on that path, i.e. the
+  /// "outermost loop below C_v containing b" of Fig 11. Requires `ancestor`
+  /// to be a proper ancestor of `loop`.
+  int OutermostLoopBelow(int loop, int ancestor) const;
+
+ private:
+  void ComputeOrder(const llvm::Function& fn);  // cfg_order.cc
+  void ComputeDominators();                     // dominators.cc
+  void ComputeLoops();                          // loops.cc
+
+  std::vector<const llvm::BasicBlock*> blocks_;  // index = RPO label
+  llvm::DenseMap<const llvm::BasicBlock*, int> label_;
+  std::vector<int> idom_;      // per label
+  std::vector<int> dom_pre_;   // dominator-tree preorder number
+  std::vector<int> dom_post_;  // dominator-tree postorder number
+  std::vector<bool> is_loop_head_;
+  std::vector<Loop> loops_;
+  std::vector<int> block_loop_;  // per label: innermost loop index
+};
+
+}  // namespace aqe
+
+#endif  // AQE_ANALYSIS_CFG_ANALYSIS_H_

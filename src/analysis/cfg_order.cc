@@ -1,0 +1,92 @@
+#include <llvm/IR/CFG.h>
+
+#include "analysis/cfg_analysis.h"
+#include "common/status.h"
+
+namespace aqe {
+
+CfgAnalysis::CfgAnalysis(const llvm::Function& fn) {
+  ComputeOrder(fn);
+  ComputeDominators();
+  ComputeLoops();
+}
+
+int CfgAnalysis::LabelOf(const llvm::BasicBlock* bb) const {
+  auto it = label_.find(bb);
+  return it == label_.end() ? -1 : it->second;
+}
+
+void CfgAnalysis::ComputeOrder(const llvm::Function& fn) {
+  AQE_CHECK_MSG(!fn.empty(), "CfgAnalysis on empty function");
+  // Iterative post-order DFS from the entry block; reversing the finish
+  // order yields a reverse postorder in which every block appears after all
+  // of its non-back-edge predecessors ("control flow order", §IV-D).
+  //
+  // Successors are explored in reverse declaration order: a successor that
+  // finishes earlier lands *later* in reverse postorder, and our code
+  // generator emits `condbr cond, continue, exit`, so exploring `exit`
+  // first keeps loop bodies contiguous with their heads and loop exits
+  // after the loop — the layout Fig 10 assumes.
+  llvm::DenseMap<const llvm::BasicBlock*, bool> visited;
+  std::vector<const llvm::BasicBlock*> postorder;
+  struct Frame {
+    const llvm::BasicBlock* bb;
+    int next;  // index into successors, counting down
+  };
+  auto num_succs = [](const llvm::BasicBlock* bb) {
+    return static_cast<int>(bb->getTerminator()->getNumSuccessors());
+  };
+  std::vector<Frame> stack;
+  const llvm::BasicBlock* entry = &fn.getEntryBlock();
+  visited[entry] = true;
+  stack.push_back({entry, num_succs(entry) - 1});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next < 0) {
+      postorder.push_back(frame.bb);
+      stack.pop_back();
+      continue;
+    }
+    const llvm::BasicBlock* succ =
+        frame.bb->getTerminator()->getSuccessor(
+            static_cast<unsigned>(frame.next--));
+    if (!visited[succ]) {
+      visited[succ] = true;
+      stack.push_back({succ, num_succs(succ) - 1});
+    }
+  }
+  blocks_.assign(postorder.rbegin(), postorder.rend());
+  for (int i = 0; i < static_cast<int>(blocks_.size()); ++i) {
+    label_[blocks_[static_cast<size_t>(i)]] = i;
+  }
+}
+
+int CfgAnalysis::CommonLoop(int loop_a, int loop_b) const {
+  // Walk the deeper loop up until depths match, then walk both up in
+  // lockstep. Loop nesting depth is small in generated query code, so this
+  // is effectively constant time.
+  while (loops_[static_cast<size_t>(loop_a)].depth >
+         loops_[static_cast<size_t>(loop_b)].depth) {
+    loop_a = loops_[static_cast<size_t>(loop_a)].parent;
+  }
+  while (loops_[static_cast<size_t>(loop_b)].depth >
+         loops_[static_cast<size_t>(loop_a)].depth) {
+    loop_b = loops_[static_cast<size_t>(loop_b)].parent;
+  }
+  while (loop_a != loop_b) {
+    loop_a = loops_[static_cast<size_t>(loop_a)].parent;
+    loop_b = loops_[static_cast<size_t>(loop_b)].parent;
+  }
+  return loop_a;
+}
+
+int CfgAnalysis::OutermostLoopBelow(int loop, int ancestor) const {
+  AQE_CHECK(loop != ancestor);
+  while (loops_[static_cast<size_t>(loop)].parent != ancestor) {
+    loop = loops_[static_cast<size_t>(loop)].parent;
+    AQE_CHECK_MSG(loop >= 0, "ancestor is not on the loop's parent chain");
+  }
+  return loop;
+}
+
+}  // namespace aqe

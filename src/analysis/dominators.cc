@@ -1,0 +1,77 @@
+#include <llvm/IR/CFG.h>
+
+#include "analysis/cfg_analysis.h"
+#include "common/status.h"
+
+namespace aqe {
+
+// Cooper, Harvey, Kennedy: "A Simple, Fast Dominance Algorithm". Operates on
+// RPO labels; converges in a couple of passes on reducible CFGs, which is
+// what the query compiler emits. (The paper cites Georgiadis/Tarjan-style
+// algorithms; CHK has the same practical linearity with far less machinery.)
+void CfgAnalysis::ComputeDominators() {
+  const int n = num_blocks();
+  idom_.assign(static_cast<size_t>(n), -1);
+  if (n == 0) return;
+  idom_[0] = 0;  // sentinel: entry's idom is itself during iteration
+
+  auto intersect = [this](int a, int b) {
+    while (a != b) {
+      while (a > b) a = idom_[static_cast<size_t>(a)];
+      while (b > a) b = idom_[static_cast<size_t>(b)];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int label = 1; label < n; ++label) {
+      const llvm::BasicBlock* bb = blocks_[static_cast<size_t>(label)];
+      int new_idom = -1;
+      for (const llvm::BasicBlock* pred : llvm::predecessors(bb)) {
+        int p = LabelOf(pred);
+        if (p < 0) continue;                          // unreachable pred
+        if (idom_[static_cast<size_t>(p)] < 0) continue;  // not processed yet
+        new_idom = new_idom < 0 ? p : intersect(new_idom, p);
+      }
+      AQE_CHECK_MSG(new_idom >= 0, "reachable block with no processed preds");
+      if (idom_[static_cast<size_t>(label)] != new_idom) {
+        idom_[static_cast<size_t>(label)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  idom_[0] = -1;  // entry has no dominator
+
+  // Pre/post-order labels on the dominator tree for O(1) Dominates()
+  // (the XPath-style interval containment the paper adopts from Grust).
+  std::vector<std::vector<int>> children(static_cast<size_t>(n));
+  for (int label = 1; label < n; ++label) {
+    children[static_cast<size_t>(idom_[static_cast<size_t>(label)])].push_back(
+        label);
+  }
+  dom_pre_.assign(static_cast<size_t>(n), 0);
+  dom_post_.assign(static_cast<size_t>(n), 0);
+  int counter = 0;
+  struct Frame {
+    int label;
+    size_t next_child;
+  };
+  std::vector<Frame> stack{{0, 0}};
+  dom_pre_[0] = counter++;
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    auto& kids = children[static_cast<size_t>(frame.label)];
+    if (frame.next_child == kids.size()) {
+      dom_post_[static_cast<size_t>(frame.label)] = counter++;
+      stack.pop_back();
+      continue;
+    }
+    int child = kids[frame.next_child++];
+    dom_pre_[static_cast<size_t>(child)] = counter++;
+    stack.push_back({child, 0});
+  }
+}
+
+}  // namespace aqe

@@ -1,0 +1,106 @@
+#include "analysis/liveness.h"
+
+#include <algorithm>
+
+#include <llvm/IR/Argument.h>
+#include <llvm/IR/Instructions.h>
+
+#include "common/status.h"
+
+namespace aqe {
+
+namespace {
+
+// Collects the labels of all blocks in B_v for one value. Labels may repeat;
+// that is fine, the consumer only extends intervals.
+void CollectBlocks(const llvm::Value* v, const CfgAnalysis& cfg,
+                   std::vector<int>* labels) {
+  labels->clear();
+  // Definition point(s).
+  if (const auto* inst = llvm::dyn_cast<llvm::Instruction>(v)) {
+    if (const auto* phi = llvm::dyn_cast<llvm::PHINode>(inst)) {
+      // The phi result is written at the end of every incoming block and
+      // read in its own block.
+      for (unsigned i = 0; i < phi->getNumIncomingValues(); ++i) {
+        int l = cfg.LabelOf(phi->getIncomingBlock(i));
+        if (l >= 0) labels->push_back(l);
+      }
+      int own = cfg.LabelOf(phi->getParent());
+      if (own >= 0) labels->push_back(own);
+    } else {
+      int l = cfg.LabelOf(inst->getParent());
+      if (l >= 0) labels->push_back(l);
+    }
+  } else {
+    AQE_CHECK(llvm::isa<llvm::Argument>(v));
+    labels->push_back(0);  // arguments materialize in the entry block
+  }
+  // Users.
+  for (const llvm::User* user : v->users()) {
+    const auto* inst = llvm::dyn_cast<llvm::Instruction>(user);
+    if (inst == nullptr) continue;
+    if (const auto* phi = llvm::dyn_cast<llvm::PHINode>(inst)) {
+      // A phi operand is read at the end of its incoming block.
+      for (unsigned i = 0; i < phi->getNumIncomingValues(); ++i) {
+        if (phi->getIncomingValue(i) == v) {
+          int l = cfg.LabelOf(phi->getIncomingBlock(i));
+          if (l >= 0) labels->push_back(l);
+        }
+      }
+    } else {
+      int l = cfg.LabelOf(inst->getParent());
+      if (l >= 0) labels->push_back(l);
+    }
+  }
+}
+
+LiveRange RangeForBlocks(const std::vector<int>& labels,
+                         const CfgAnalysis& cfg) {
+  AQE_CHECK(!labels.empty());
+  // C_v: innermost loop containing all blocks.
+  int cv = cfg.InnermostLoopOf(labels[0]);
+  for (size_t i = 1; i < labels.size(); ++i) {
+    cv = cfg.CommonLoop(cv, cfg.InnermostLoopOf(labels[i]));
+  }
+  // Extend the interval per Fig 11.
+  LiveRange range{INT32_MAX, INT32_MIN};
+  auto extend = [&range](int lo, int hi) {
+    range.start = std::min(range.start, lo);
+    range.end = std::max(range.end, hi);
+  };
+  for (int label : labels) {
+    int innermost = cfg.InnermostLoopOf(label);
+    if (innermost == cv) {
+      extend(label, label);
+    } else {
+      int outer = cfg.OutermostLoopBelow(innermost, cv);
+      const CfgAnalysis::Loop& loop = cfg.loops()[static_cast<size_t>(outer)];
+      extend(loop.head, loop.last);
+    }
+  }
+  return range;
+}
+
+}  // namespace
+
+LivenessInfo ComputeLiveness(const llvm::Function& fn,
+                             const CfgAnalysis& cfg) {
+  LivenessInfo info;
+  std::vector<int> labels;
+  auto track = [&](const llvm::Value* v) {
+    CollectBlocks(v, cfg, &labels);
+    info.ranges_[v] = RangeForBlocks(labels, cfg);
+    info.values_.push_back(v);
+  };
+  for (const llvm::Argument& arg : fn.args()) track(&arg);
+  for (const llvm::BasicBlock& bb : fn) {
+    if (cfg.LabelOf(&bb) < 0) continue;  // unreachable
+    for (const llvm::Instruction& inst : bb) {
+      if (inst.getType()->isVoidTy()) continue;
+      track(&inst);
+    }
+  }
+  return info;
+}
+
+}  // namespace aqe

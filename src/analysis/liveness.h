@@ -1,0 +1,58 @@
+#ifndef AQE_ANALYSIS_LIVENESS_H_
+#define AQE_ANALYSIS_LIVENESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include <llvm/ADT/DenseMap.h>
+#include <llvm/IR/Value.h>
+
+#include "analysis/cfg_analysis.h"
+#include "common/status.h"
+
+namespace aqe {
+
+/// A value's live range as a closed interval of reverse-postorder block
+/// labels (§IV-D: "liveness of a value as a live-range with a start block
+/// and an end block").
+struct LiveRange {
+  int32_t start;
+  int32_t end;
+};
+
+/// Result of the paper's linear-time liveness computation (Fig 11).
+class LivenessInfo {
+ public:
+  /// Range for a tracked value (instructions with results and arguments).
+  const LiveRange& range(const llvm::Value* v) const {
+    auto it = ranges_.find(v);
+    AQE_CHECK_MSG(it != ranges_.end(), "value not tracked by liveness");
+    return it->second;
+  }
+
+  bool tracked(const llvm::Value* v) const { return ranges_.count(v) != 0; }
+
+  /// Tracked values in deterministic (function textual) order.
+  const std::vector<const llvm::Value*>& values() const { return values_; }
+
+ private:
+  friend LivenessInfo ComputeLiveness(const llvm::Function& fn,
+                                      const CfgAnalysis& cfg);
+  llvm::DenseMap<const llvm::Value*, LiveRange> ranges_;
+  std::vector<const llvm::Value*> values_;
+};
+
+/// Computes live ranges for all arguments and result-producing instructions
+/// of `fn` using the loop structure in `cfg`:
+///  - B_v = blocks containing the definition and all users of v, where a phi
+///    operand counts as used at the end of its incoming block and a phi
+///    result counts as defined in each incoming block and in its own block;
+///  - C_v = innermost loop containing all of B_v;
+///  - the range is extended, per block in B_v, either by the block itself
+///    (if its innermost loop is C_v) or by the whole extent of the outermost
+///    loop below C_v containing it (Fig 10's [2,6] example).
+LivenessInfo ComputeLiveness(const llvm::Function& fn, const CfgAnalysis& cfg);
+
+}  // namespace aqe
+
+#endif  // AQE_ANALYSIS_LIVENESS_H_

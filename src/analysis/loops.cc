@@ -1,0 +1,78 @@
+#include <llvm/IR/CFG.h>
+
+#include <algorithm>
+
+#include "analysis/cfg_analysis.h"
+#include "common/status.h"
+
+namespace aqe {
+
+// Loop identification per Fig 11: the whole function body is one pseudo
+// loop; every jump edge B -> B' where B' dominates B marks B' as a loop
+// head. Each loop's extent is the label interval [head, last back-edge
+// source]; blocks are associated with their innermost enclosing loop by one
+// sweep over the labels with a stack of open loops.
+void CfgAnalysis::ComputeLoops() {
+  const int n = num_blocks();
+  is_loop_head_.assign(static_cast<size_t>(n), false);
+  std::vector<int> loop_last(static_cast<size_t>(n), -1);
+
+  // The entry block heads the pseudo loop spanning the whole function.
+  is_loop_head_[0] = true;
+  loop_last[0] = n - 1;
+
+  for (int label = 0; label < n; ++label) {
+    const llvm::BasicBlock* bb = blocks_[static_cast<size_t>(label)];
+    for (const llvm::BasicBlock* succ : llvm::successors(bb)) {
+      int target = LabelOf(succ);
+      if (target < 0) continue;
+      if (Dominates(target, label)) {
+        // Back edge: `target` is a loop head whose body extends at least to
+        // this jump's source.
+        is_loop_head_[static_cast<size_t>(target)] = true;
+        loop_last[static_cast<size_t>(target)] =
+            std::max(loop_last[static_cast<size_t>(target)], label);
+      }
+    }
+  }
+
+  // Build the loop list in ascending head order and associate blocks using a
+  // stack of open loops. If a nested loop's `last` exceeds its parent's we
+  // extend the parent (a safe over-approximation that keeps the intervals
+  // properly nested; the paper accepts exactly this kind of conservative
+  // lifetime extension in exchange for linearity).
+  loops_.clear();
+  block_loop_.assign(static_cast<size_t>(n), 0);
+  std::vector<int> open;  // indices into loops_
+  for (int label = 0; label < n; ++label) {
+    while (!open.empty() &&
+           label > loops_[static_cast<size_t>(open.back())].last) {
+      open.pop_back();
+    }
+    if (is_loop_head_[static_cast<size_t>(label)]) {
+      Loop loop;
+      loop.head = label;
+      loop.last = loop_last[static_cast<size_t>(label)];
+      loop.parent = open.empty() ? -1 : open.back();
+      loop.depth = open.empty() ? 0 : loops_[static_cast<size_t>(open.back())].depth + 1;
+      if (loop.parent >= 0) {
+        Loop& parent = loops_[static_cast<size_t>(loop.parent)];
+        if (loop.last > parent.last) {
+          // Extend ancestors so intervals nest.
+          for (int anc = loop.parent; anc >= 0;
+               anc = loops_[static_cast<size_t>(anc)].parent) {
+            loops_[static_cast<size_t>(anc)].last =
+                std::max(loops_[static_cast<size_t>(anc)].last, loop.last);
+          }
+        }
+      }
+      int index = static_cast<int>(loops_.size());
+      loops_.push_back(loop);
+      open.push_back(index);
+    }
+    AQE_CHECK(!open.empty());
+    block_loop_[static_cast<size_t>(label)] = open.back();
+  }
+}
+
+}  // namespace aqe

@@ -1,0 +1,38 @@
+#ifndef AQE_CODEGEN_EXPR_COMPILER_H_
+#define AQE_CODEGEN_EXPR_COMPILER_H_
+
+#include <vector>
+
+#include <llvm/IR/IRBuilder.h>
+
+#include "plan/expr.h"
+
+namespace aqe {
+
+/// Compiles Expr trees to LLVM IR. Bound to one worker function: `builder`
+/// tracks the current insertion point (checked arithmetic splits the block
+/// and branches to `overflow_block`, which must call the runtime's overflow
+/// handler and end in unreachable — the exact §IV-F pattern the bytecode
+/// translator fuses back into one macro op).
+class ExprCompiler {
+ public:
+  ExprCompiler(llvm::IRBuilder<>* builder, llvm::BasicBlock* overflow_block)
+      : builder_(builder), overflow_block_(overflow_block) {}
+
+  /// Compiles `expr` against the current slot values. Bool results are i1,
+  /// I64 results i64, F64 results double.
+  llvm::Value* Compile(const Expr& expr,
+                       const std::vector<llvm::Value*>& slots);
+
+  /// Compiles an overflow-checked i64 op (add/sub/mul by intrinsic id).
+  llvm::Value* CheckedOp(llvm::Intrinsic::ID intrinsic, llvm::Value* lhs,
+                         llvm::Value* rhs);
+
+ private:
+  llvm::IRBuilder<>* builder_;
+  llvm::BasicBlock* overflow_block_;
+};
+
+}  // namespace aqe
+
+#endif  // AQE_CODEGEN_EXPR_COMPILER_H_

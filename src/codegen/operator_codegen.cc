@@ -1,0 +1,284 @@
+#include "codegen/operator_codegen.h"
+
+#include <llvm/IR/IRBuilder.h>
+#include <llvm/IR/Intrinsics.h>
+
+#include "codegen/expr_compiler.h"
+#include "common/status.h"
+
+namespace aqe {
+namespace {
+
+/// Per-function emission state.
+struct WorkerEmitter {
+  WorkerEmitter(const PipelineSpec& spec, const PipelineBindings& bindings,
+                IrModule* mod, const std::string& fn_name)
+      : spec(spec), bindings(bindings), mod(mod), b(mod->context()) {
+    auto* i64 = llvm::Type::getInt64Ty(mod->context());
+    auto* fty = llvm::FunctionType::get(
+        llvm::Type::getVoidTy(mod->context()), {i64, i64, i64, i64}, false);
+    fn = llvm::Function::Create(fty, llvm::Function::ExternalLinkage, fn_name,
+                                &mod->module());
+    fn->getArg(0)->setName("state");
+    fn->getArg(1)->setName("begin");
+    fn->getArg(2)->setName("end");
+    fn->getArg(3)->setName("extra");
+  }
+
+  llvm::FunctionCallee RuntimeFn(const char* name, int args) {
+    auto* i64 = b.getInt64Ty();
+    std::vector<llvm::Type*> params(static_cast<size_t>(args), i64);
+    return mod->module().getOrInsertFunction(
+        name, llvm::FunctionType::get(i64, params, false));
+  }
+  llvm::FunctionCallee RuntimeFnVoid(const char* name, int args) {
+    auto* i64 = b.getInt64Ty();
+    std::vector<llvm::Type*> params(static_cast<size_t>(args), i64);
+    return mod->module().getOrInsertFunction(
+        name, llvm::FunctionType::get(b.getVoidTy(), params, false));
+  }
+
+  llvm::Value* PtrConst(const void* p, llvm::Type* pointee) {
+    return b.CreateIntToPtr(b.getInt64(reinterpret_cast<uint64_t>(p)),
+                            pointee->getPointerTo());
+  }
+
+  /// Loads an 8-byte value at byte offset `offset` from an address held in
+  /// an i64 value, as i64* arithmetic so the VM fuses it (§IV-F). `offset`
+  /// must be a multiple of 8.
+  llvm::Value* LoadSlotAt(llvm::Value* addr_i64, int offset) {
+    AQE_CHECK(offset % 8 == 0);
+    llvm::Value* ptr =
+        b.CreateIntToPtr(addr_i64, b.getInt64Ty()->getPointerTo());
+    llvm::Value* slot =
+        b.CreateGEP(b.getInt64Ty(), ptr, b.getInt64(offset / 8));
+    return b.CreateLoad(b.getInt64Ty(), slot);
+  }
+  void StoreSlotAt(llvm::Value* addr_i64, int offset, llvm::Value* value) {
+    AQE_CHECK(offset % 8 == 0);
+    llvm::Value* ptr =
+        b.CreateIntToPtr(addr_i64, b.getInt64Ty()->getPointerTo());
+    llvm::Value* slot =
+        b.CreateGEP(b.getInt64Ty(), ptr, b.getInt64(offset / 8));
+    b.CreateStore(ToRawI64(value), slot);
+  }
+
+  /// Normalizes expression results to raw i64 for storage in payloads,
+  /// aggregates and output rows: doubles are bit-cast, booleans widen to
+  /// 0/1.
+  llvm::Value* ToRawI64(llvm::Value* v) {
+    if (v->getType()->isDoubleTy()) {
+      return b.CreateBitCast(v, b.getInt64Ty());
+    }
+    if (v->getType()->isIntegerTy(1)) {
+      return b.CreateZExt(v, b.getInt64Ty());
+    }
+    return v;
+  }
+
+  void Emit();
+
+  const PipelineSpec& spec;
+  const PipelineBindings& bindings;
+  IrModule* mod;
+  llvm::IRBuilder<> b;
+  llvm::Function* fn = nullptr;
+  llvm::BasicBlock* overflow_block = nullptr;
+  llvm::BasicBlock* latch = nullptr;
+};
+
+void WorkerEmitter::Emit() {
+  auto& ctx = mod->context();
+  auto* entry = llvm::BasicBlock::Create(ctx, "entry", fn);
+  auto* head = llvm::BasicBlock::Create(ctx, "loop.head", fn);
+  auto* body = llvm::BasicBlock::Create(ctx, "loop.body", fn);
+  latch = llvm::BasicBlock::Create(ctx, "loop.latch", fn);
+  auto* exit = llvm::BasicBlock::Create(ctx, "exit", fn);
+  overflow_block = llvm::BasicBlock::Create(ctx, "overflow", fn);
+
+  // Overflow path: report and trap (noreturn).
+  b.SetInsertPoint(overflow_block);
+  b.CreateCall(RuntimeFnVoid("aqe_raise_overflow", 0));
+  b.CreateUnreachable();
+
+  // Entry: hoist loop-invariant runtime handles.
+  b.SetInsertPoint(entry);
+  llvm::Value* agg_local = nullptr;
+  if (const auto* agg_sink = std::get_if<SinkAgg>(&spec.sink)) {
+    void* set = bindings.agg_sets[static_cast<size_t>(agg_sink->agg)];
+    AQE_CHECK_MSG(set != nullptr, "agg set not bound");
+    agg_local = b.CreateCall(
+        RuntimeFn("aqe_agg_local", 1),
+        {b.getInt64(reinterpret_cast<uint64_t>(set))});
+  }
+  b.CreateBr(head);
+
+  // Loop head: i in [begin, end). Generated as `condbr cond, body, exit`
+  // (continue-first), the layout the CFG analysis expects.
+  b.SetInsertPoint(head);
+  auto* i = b.CreatePHI(b.getInt64Ty(), 2, "i");
+  auto* in_range = b.CreateICmpULT(i, fn->getArg(2));
+  b.CreateCondBr(in_range, body, exit);
+
+  b.SetInsertPoint(body);
+  ExprCompiler exprs(&b, overflow_block);
+
+  // Scan: materialize the requested columns into slots, widening i32 to
+  // i64. These are the fusable gep+load pairs of §IV-F.
+  std::vector<llvm::Value*> slots;
+  for (size_t c = 0; c < spec.scan_columns.size(); ++c) {
+    const void* data = bindings.column_data[c];
+    switch (bindings.column_types[c]) {
+      case DataType::kI32: {
+        llvm::Value* base = PtrConst(data, b.getInt32Ty());
+        llvm::Value* addr = b.CreateGEP(b.getInt32Ty(), base, i);
+        slots.push_back(
+            b.CreateSExt(b.CreateLoad(b.getInt32Ty(), addr), b.getInt64Ty()));
+        break;
+      }
+      case DataType::kI64: {
+        llvm::Value* base = PtrConst(data, b.getInt64Ty());
+        llvm::Value* addr = b.CreateGEP(b.getInt64Ty(), base, i);
+        slots.push_back(b.CreateLoad(b.getInt64Ty(), addr));
+        break;
+      }
+      case DataType::kF64: {
+        llvm::Value* base = PtrConst(data, b.getDoubleTy());
+        llvm::Value* addr = b.CreateGEP(b.getDoubleTy(), base, i);
+        slots.push_back(b.CreateLoad(b.getDoubleTy(), addr));
+        break;
+      }
+    }
+  }
+
+  // Operator chain.
+  for (const PipelineOp& op : spec.ops) {
+    if (const auto* filter = std::get_if<OpFilter>(&op)) {
+      llvm::Value* keep = exprs.Compile(*filter->predicate, slots);
+      auto* cont = llvm::BasicBlock::Create(ctx, "filter.pass", fn);
+      b.CreateCondBr(keep, cont, latch);
+      b.SetInsertPoint(cont);
+    } else if (const auto* compute = std::get_if<OpCompute>(&op)) {
+      slots.push_back(exprs.Compile(*compute->expr, slots));
+    } else {
+      const auto& probe = std::get<OpProbe>(op);
+      void* ht = bindings.join_tables[static_cast<size_t>(probe.ht)];
+      AQE_CHECK_MSG(ht != nullptr, "join table not bound");
+      llvm::Value* key = exprs.Compile(*probe.key, slots);
+      llvm::Value* node = b.CreateCall(
+          RuntimeFn("aqe_jht_lookup", 2),
+          {b.getInt64(reinterpret_cast<uint64_t>(ht)), key});
+      llvm::Value* found = b.CreateICmpNE(node, b.getInt64(0));
+      switch (probe.kind) {
+        case JoinKind::kInner: {
+          auto* cont = llvm::BasicBlock::Create(ctx, "probe.hit", fn);
+          b.CreateCondBr(found, cont, latch);
+          b.SetInsertPoint(cont);
+          for (int k = 0; k < probe.payload_slots; ++k) {
+            slots.push_back(LoadSlotAt(node, 16 + 8 * k));
+          }
+          break;
+        }
+        case JoinKind::kSemi: {
+          auto* cont = llvm::BasicBlock::Create(ctx, "semi.hit", fn);
+          b.CreateCondBr(found, cont, latch);
+          b.SetInsertPoint(cont);
+          break;
+        }
+        case JoinKind::kAnti: {
+          auto* cont = llvm::BasicBlock::Create(ctx, "anti.miss", fn);
+          b.CreateCondBr(found, latch, cont);
+          b.SetInsertPoint(cont);
+          break;
+        }
+      }
+    }
+  }
+
+  // Sink.
+  if (const auto* build = std::get_if<SinkBuild>(&spec.sink)) {
+    void* ht = bindings.join_tables[static_cast<size_t>(build->ht)];
+    AQE_CHECK_MSG(ht != nullptr, "join table not bound");
+    llvm::Value* key = exprs.Compile(*build->key, slots);
+    llvm::Value* payload = b.CreateCall(
+        RuntimeFn("aqe_jht_insert", 2),
+        {b.getInt64(reinterpret_cast<uint64_t>(ht)), key});
+    for (size_t k = 0; k < build->payload.size(); ++k) {
+      StoreSlotAt(payload, static_cast<int>(8 * k),
+                  exprs.Compile(*build->payload[k], slots));
+    }
+  } else if (const auto* agg = std::get_if<SinkAgg>(&spec.sink)) {
+    llvm::Value* key = exprs.Compile(*agg->key, slots);
+    llvm::Value* payload =
+        b.CreateCall(RuntimeFn("aqe_agg_find_or_insert", 2),
+                     {agg_local, key});
+    for (size_t k = 0; k < agg->items.size(); ++k) {
+      const AggItem& item = agg->items[k];
+      int offset = static_cast<int>(8 * k);
+      llvm::Value* current = LoadSlotAt(payload, offset);
+      llvm::Value* updated = nullptr;
+      switch (item.kind) {
+        case AggKind::kCount:
+          updated = item.checked
+                        ? exprs.CheckedOp(llvm::Intrinsic::sadd_with_overflow,
+                                          current, b.getInt64(1))
+                        : b.CreateAdd(current, b.getInt64(1));
+          break;
+        case AggKind::kSum: {
+          llvm::Value* value = ToRawI64(exprs.Compile(*item.value, slots));
+          updated = item.checked
+                        ? exprs.CheckedOp(llvm::Intrinsic::sadd_with_overflow,
+                                          current, value)
+                        : b.CreateAdd(current, value);
+          break;
+        }
+        case AggKind::kMin: {
+          llvm::Value* value = exprs.Compile(*item.value, slots);
+          updated = b.CreateSelect(b.CreateICmpSLT(value, current), value,
+                                   current);
+          break;
+        }
+        case AggKind::kMax: {
+          llvm::Value* value = exprs.Compile(*item.value, slots);
+          updated = b.CreateSelect(b.CreateICmpSGT(value, current), value,
+                                   current);
+          break;
+        }
+      }
+      StoreSlotAt(payload, offset, updated);
+    }
+  } else {
+    const auto& out = std::get<SinkOutput>(spec.sink);
+    void* buffer = bindings.outputs[static_cast<size_t>(out.output)];
+    AQE_CHECK_MSG(buffer != nullptr, "output buffer not bound");
+    llvm::Value* row = b.CreateCall(
+        RuntimeFn("aqe_out_alloc_row", 1),
+        {b.getInt64(reinterpret_cast<uint64_t>(buffer))});
+    for (size_t k = 0; k < out.values.size(); ++k) {
+      StoreSlotAt(row, static_cast<int>(8 * k),
+                  exprs.Compile(*out.values[k], slots));
+    }
+  }
+  b.CreateBr(latch);
+
+  // Latch and exit.
+  b.SetInsertPoint(latch);
+  auto* next = b.CreateAdd(i, b.getInt64(1));
+  b.CreateBr(head);
+  b.SetInsertPoint(exit);
+  b.CreateRetVoid();
+
+  i->addIncoming(fn->getArg(1), entry);
+  i->addIncoming(next, latch);
+}
+
+}  // namespace
+
+void EmitWorkerFunction(const PipelineSpec& spec,
+                        const PipelineBindings& bindings, IrModule* mod,
+                        const std::string& fn_name) {
+  WorkerEmitter emitter(spec, bindings, mod, fn_name);
+  emitter.Emit();
+}
+
+}  // namespace aqe

@@ -1,0 +1,36 @@
+#ifndef AQE_CODEGEN_OPERATOR_CODEGEN_H_
+#define AQE_CODEGEN_OPERATOR_CODEGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "ir/ir_module.h"
+#include "plan/pipeline.h"
+#include "storage/column.h"
+
+namespace aqe {
+
+/// Resolved runtime addresses for one pipeline: everything the generated
+/// code needs is embedded as constants (data-centric code generation — the
+/// generated worker is specific to this query execution's data structures).
+struct PipelineBindings {
+  const void* state = nullptr;  ///< unused; the ABI keeps a state parameter
+  std::vector<const void*> column_data;  ///< per scan column, base pointer
+  std::vector<DataType> column_types;    ///< per scan column
+  std::vector<void*> join_tables;        ///< per program join-table id
+  std::vector<void*> agg_sets;           ///< per program agg id
+  std::vector<void*> outputs;            ///< per program output id
+};
+
+/// Emits `void <fn_name>(i64 state, i64 begin, i64 end, i64 extra)` into
+/// `mod`: the §III-A worker function — a scan loop over [begin, end) rows,
+/// the per-tuple operator chain, and the sink. All four parameters are i64
+/// so the same function is callable as the WorkerFn ABI by machine code and
+/// through the VM.
+void EmitWorkerFunction(const PipelineSpec& spec,
+                        const PipelineBindings& bindings, IrModule* mod,
+                        const std::string& fn_name = "worker");
+
+}  // namespace aqe
+
+#endif  // AQE_CODEGEN_OPERATOR_CODEGEN_H_

@@ -1,0 +1,50 @@
+#include "codegen/query_compiler.h"
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "ir/ir_stats.h"
+
+namespace aqe {
+
+PipelineBindings BindPipeline(const QueryProgram& program,
+                              const PipelineSpec& spec,
+                              const QueryContext& ctx) {
+  PipelineBindings bindings;
+  const Table* table = program.ResolveTable(spec.source_table, ctx);
+  for (int col : spec.scan_columns) {
+    bindings.column_data.push_back(table->column(col).data());
+    bindings.column_types.push_back(table->column(col).type());
+  }
+  for (const auto& jt : ctx.join_tables) {
+    bindings.join_tables.push_back(jt.get());
+  }
+  for (const auto& agg : ctx.agg_sets) {
+    bindings.agg_sets.push_back(agg.get());
+  }
+  for (const auto& out : ctx.outputs) {
+    bindings.outputs.push_back(out.get());
+  }
+  return bindings;
+}
+
+uint64_t PipelineCardinality(const QueryProgram& program,
+                             const PipelineSpec& spec,
+                             const QueryContext& ctx) {
+  return program.ResolveTable(spec.source_table, ctx)->num_rows();
+}
+
+GeneratedPipeline GeneratePipeline(const PipelineSpec& spec,
+                                   const PipelineBindings& bindings,
+                                   const std::string& fn_name) {
+  Timer timer;
+  GeneratedPipeline result;
+  result.mod = std::make_unique<IrModule>("pipeline_" + spec.name);
+  EmitWorkerFunction(spec, bindings, result.mod.get(), fn_name);
+  const llvm::Function* fn = result.mod->module().getFunction(fn_name);
+  AQE_CHECK(fn != nullptr);
+  result.instructions = ComputeFunctionStats(*fn).instructions;
+  result.codegen_millis = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace aqe

@@ -1,0 +1,44 @@
+#ifndef AQE_CODEGEN_QUERY_COMPILER_H_
+#define AQE_CODEGEN_QUERY_COMPILER_H_
+
+#include <memory>
+#include <string>
+
+#include "codegen/operator_codegen.h"
+#include "ir/ir_module.h"
+#include "plan/plan.h"
+
+namespace aqe {
+
+/// A pipeline translated to LLVM IR, with the bookkeeping the adaptive cost
+/// model needs (instruction count, Fig 6) and the timing Fig 1 / Table I
+/// report as "code generation".
+struct GeneratedPipeline {
+  std::unique_ptr<IrModule> mod;
+  uint64_t instructions = 0;
+  double codegen_millis = 0;
+};
+
+/// Resolves a pipeline's runtime addresses against a query context: scan
+/// column base pointers, join tables, aggregation sets, output buffers.
+/// Requires temp tables / join tables used by this pipeline to exist.
+PipelineBindings BindPipeline(const QueryProgram& program,
+                              const PipelineSpec& spec,
+                              const QueryContext& ctx);
+
+/// Source-table cardinality of a pipeline (the pipeline's total work,
+/// always known at pipeline start, §III-A).
+uint64_t PipelineCardinality(const QueryProgram& program,
+                             const PipelineSpec& spec,
+                             const QueryContext& ctx);
+
+/// Generates the worker-function module for one pipeline. Deterministic:
+/// the adaptive controller re-invokes it for each compilation request
+/// (code generation costs well under a millisecond, Fig 1).
+GeneratedPipeline GeneratePipeline(const PipelineSpec& spec,
+                                   const PipelineBindings& bindings,
+                                   const std::string& fn_name = "worker");
+
+}  // namespace aqe
+
+#endif  // AQE_CODEGEN_QUERY_COMPILER_H_

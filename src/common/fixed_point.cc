@@ -1,0 +1,39 @@
+#include "common/fixed_point.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/status.h"
+
+namespace aqe {
+
+int64_t DecimalFromDouble(double value) {
+  return static_cast<int64_t>(std::llround(value * kDecimalScale));
+}
+
+double DecimalToDouble(int64_t value) {
+  return static_cast<double>(value) / kDecimalScale;
+}
+
+std::string DecimalToString(int64_t value) {
+  char buf[32];
+  int64_t whole = value / kDecimalScale;
+  int64_t frac = value % kDecimalScale;
+  if (frac < 0) frac = -frac;
+  if (value < 0 && whole == 0) {
+    std::snprintf(buf, sizeof(buf), "-0.%02lld", static_cast<long long>(frac));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld.%02lld",
+                  static_cast<long long>(whole), static_cast<long long>(frac));
+  }
+  return buf;
+}
+
+int64_t DecimalMul(int64_t a, int64_t b) {
+  __int128 wide = static_cast<__int128>(a) * b / kDecimalScale;
+  AQE_CHECK_MSG(wide <= INT64_MAX && wide >= INT64_MIN,
+                "decimal multiplication overflow");
+  return static_cast<int64_t>(wide);
+}
+
+}  // namespace aqe

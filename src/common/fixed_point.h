@@ -1,0 +1,30 @@
+#ifndef AQE_COMMON_FIXED_POINT_H_
+#define AQE_COMMON_FIXED_POINT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace aqe {
+
+/// TPC-H decimals are represented as int64 fixed-point values scaled by 100
+/// (two fractional digits), matching HyPer's practice. All arithmetic on them
+/// in generated code is overflow-checked (the §IV-F macro-op pattern).
+constexpr int64_t kDecimalScale = 100;
+
+/// Converts a double to scaled fixed point (rounding half away from zero).
+int64_t DecimalFromDouble(double value);
+
+/// Converts scaled fixed point to double.
+double DecimalToDouble(int64_t value);
+
+/// Formats a scaled decimal as "123.45".
+std::string DecimalToString(int64_t value);
+
+/// Multiplies two scale-100 decimals, rescaling the result to scale 100.
+/// CHECK-fails on overflow (runtime helpers report instead; this is the
+/// host-side reference used by tests and baselines).
+int64_t DecimalMul(int64_t a, int64_t b);
+
+}  // namespace aqe
+
+#endif  // AQE_COMMON_FIXED_POINT_H_

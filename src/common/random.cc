@@ -1,0 +1,57 @@
+#include "common/random.h"
+
+#include "common/status.h"
+
+namespace aqe {
+
+namespace {
+// splitmix64 to expand the seed into two independent state words.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t state = seed;
+  s0_ = SplitMix64(&state);
+  s1_ = SplitMix64(&state);
+  if (s0_ == 0 && s1_ == 0) s0_ = 1;  // xorshift must not be all-zero
+}
+
+uint64_t Random::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Random::NextBelow(uint64_t n) {
+  AQE_CHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = -n % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Random::NextRange(int64_t lo, int64_t hi) {
+  AQE_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(NextBelow(span));
+}
+
+double Random::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Random::NextBool(double p) { return NextDouble() < p; }
+
+}  // namespace aqe

@@ -1,0 +1,36 @@
+#ifndef AQE_COMMON_RANDOM_H_
+#define AQE_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace aqe {
+
+/// Deterministic 64-bit PRNG (xorshift128+). Used by the TPC-H generator and
+/// the property-test program generator so every run is reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool NextBool(double p);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace aqe
+
+#endif  // AQE_COMMON_RANDOM_H_

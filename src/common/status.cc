@@ -1,0 +1,14 @@
+#include "common/status.h"
+
+namespace aqe {
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const char* msg) {
+  std::fprintf(stderr, "AQE_CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               msg);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace aqe

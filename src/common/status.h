@@ -1,0 +1,58 @@
+#ifndef AQE_COMMON_STATUS_H_
+#define AQE_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace aqe {
+
+/// Lightweight error-status type. aqe does not use C++ exceptions; fallible
+/// public APIs return Status (or a value plus CHECK on internal invariants).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status Error(std::string message) { return Status(std::move(message)); }
+
+  bool ok() const { return message_.empty(); }
+  /// Error message; empty for OK.
+  const std::string& message() const { return message_; }
+
+ private:
+  explicit Status(std::string message) : message_(std::move(message)) {}
+
+  std::string message_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const char* msg);
+}  // namespace internal
+
+/// Fatal assertion used for internal invariants. Always on (also in release
+/// builds): a database engine that silently corrupts results is worse than
+/// one that aborts.
+#define AQE_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::aqe::internal::CheckFailed(__FILE__, __LINE__, #expr, "");     \
+    }                                                                  \
+  } while (0)
+
+#define AQE_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::aqe::internal::CheckFailed(__FILE__, __LINE__, #expr, (msg));  \
+    }                                                                  \
+  } while (0)
+
+#define AQE_UNREACHABLE(msg) \
+  ::aqe::internal::CheckFailed(__FILE__, __LINE__, "unreachable", (msg))
+
+}  // namespace aqe
+
+#endif  // AQE_COMMON_STATUS_H_

@@ -1,0 +1,238 @@
+#include "engine/query_engine.h"
+
+#include <memory>
+#include <mutex>
+
+#include "codegen/query_compiler.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "exec/morsel.h"
+#include "jit/jit_compiler.h"
+#include "jit/naive_interpreter.h"
+#include "runtime/runtime_registry.h"
+#include "vm/interpreter.h"
+#include "volcano/volcano.h"
+#include "vectorized/vectorized.h"
+
+namespace aqe {
+namespace {
+
+/// WorkerFn trampoline dispatching a morsel into the bytecode VM; `extra`
+/// is the BcProgram (§IV-E interoperability).
+void VmWorkerTrampoline(void* state, uint64_t begin, uint64_t end,
+                        const void* extra) {
+  const auto* program = static_cast<const BcProgram*>(extra);
+  uint64_t args[4] = {reinterpret_cast<uint64_t>(state), begin, end,
+                      reinterpret_cast<uint64_t>(extra)};
+  VmExecute(*program, args, 4);
+}
+
+void NeverCalledWorker(void*, uint64_t, uint64_t, const void*) {
+  AQE_UNREACHABLE("placeholder worker variant must never run");
+}
+
+}  // namespace
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kCompiled: return "compiled";
+    case EngineKind::kVolcano: return "volcano";
+    case EngineKind::kVectorized: return "vectorized";
+    case EngineKind::kNaiveIr: return "naive-ir";
+  }
+  AQE_UNREACHABLE("bad EngineKind");
+}
+
+struct QueryEngine::Impl {
+  const Catalog* catalog;
+  WorkerPool pool;
+
+  Impl(const Catalog* catalog, int num_threads)
+      : catalog(catalog), pool(num_threads) {}
+};
+
+QueryEngine::QueryEngine(const Catalog* catalog, int num_threads)
+    : impl_(std::make_unique<Impl>(catalog, num_threads)) {}
+
+QueryEngine::~QueryEngine() = default;
+
+int QueryEngine::num_threads() const { return impl_->pool.num_threads(); }
+
+QueryRunResult QueryEngine::Run(const QueryProgram& program,
+                                const QueryRunOptions& options) {
+  QueryRunResult result;
+  Timer total_timer;
+  std::unique_ptr<QueryContext> ctx = program.MakeContext(impl_->catalog);
+  const RuntimeRegistry& registry = RuntimeRegistry::Global();
+
+  // Keeps compiled modules alive until the query finishes.
+  std::vector<std::unique_ptr<CompiledModule>> keepalive;
+  std::mutex keepalive_mutex;
+
+  for (const QueryProgram::Stage& stage : program.stages()) {
+    if (stage.pipeline < 0) {
+      stage.step(ctx.get());
+      continue;
+    }
+    const PipelineSpec& spec =
+        program.pipelines()[static_cast<size_t>(stage.pipeline)];
+    PipelineReport report;
+    report.name = spec.name;
+    report.tuples = PipelineCardinality(program, spec, *ctx);
+
+    PipelineBindings bindings = BindPipeline(program, spec, *ctx);
+
+    if (options.engine == EngineKind::kVolcano) {
+      Timer timer;
+      RunPipelineVolcano(program, spec, ctx.get());
+      report.exec_seconds = timer.ElapsedSeconds();
+      result.pipelines.push_back(std::move(report));
+      continue;
+    }
+    if (options.engine == EngineKind::kVectorized) {
+      Timer timer;
+      RunPipelineVectorized(program, spec, ctx.get());
+      report.exec_seconds = timer.ElapsedSeconds();
+      result.pipelines.push_back(std::move(report));
+      continue;
+    }
+
+    // Engines below need generated IR.
+    GeneratedPipeline generated = GeneratePipeline(spec, bindings);
+    report.instructions = generated.instructions;
+    report.codegen_millis = generated.codegen_millis;
+    result.codegen_millis_total += generated.codegen_millis;
+
+    if (options.engine == EngineKind::kNaiveIr) {
+      // Fig 2's "LLVM IR" mode: interpret the IR objects directly,
+      // single-threaded, morsel by morsel.
+      const llvm::Function* fn = generated.mod->module().getFunction("worker");
+      Timer timer;
+      MorselQueue queue(report.tuples);
+      MorselRange morsel;
+      while (queue.Next(&morsel)) {
+        uint64_t args[4] = {0, morsel.begin, morsel.end, 0};
+        NaiveIrInterpret(*fn, args, 4, registry);
+      }
+      report.exec_seconds = timer.ElapsedSeconds();
+      result.pipelines.push_back(std::move(report));
+      continue;
+    }
+
+    AQE_CHECK(options.engine == EngineKind::kCompiled);
+
+    // Bytecode translation (skipped when machine code is compiled up
+    // front — the static modes never touch the interpreter).
+    const bool needs_bytecode =
+        options.strategy == ExecutionStrategy::kBytecode ||
+        options.strategy == ExecutionStrategy::kAdaptive;
+    BcProgram bytecode;
+    if (needs_bytecode) {
+      Timer timer;
+      bytecode = TranslateToBytecode(
+          *generated.mod->module().getFunction("worker"), registry,
+          options.translator);
+      report.translate_millis = timer.ElapsedMillis();
+      report.register_file_bytes = bytecode.register_file_size;
+      result.translate_millis_total += report.translate_millis;
+    }
+
+    FunctionHandle handle(
+        needs_bytecode ? &VmWorkerTrampoline : &NeverCalledWorker,
+        needs_bytecode ? static_cast<const void*>(&bytecode) : &bytecode);
+
+    PipelineTask task;
+    task.handle = &handle;
+    task.state = nullptr;  // everything is embedded in the generated code
+    task.total_tuples = report.tuples;
+    task.function_instructions = generated.instructions;
+    task.pipeline_id = stage.pipeline;
+    task.compile = [&](ExecMode mode) -> WorkerFn {
+      // Regenerate IR (codegen is ~100x cheaper than machine-code
+      // generation, Fig 1) so each compilation owns its LLVMContext —
+      // required because adaptive compilation runs on a worker thread.
+      GeneratedPipeline fresh = GeneratePipeline(spec, bindings);
+      auto compiled =
+          JitCompile(std::move(*fresh.mod),
+                     mode == ExecMode::kOptimized ? JitMode::kOptimized
+                                                  : JitMode::kUnoptimized,
+                     registry);
+      auto* fn = reinterpret_cast<WorkerFn>(compiled->Lookup("worker"));
+      AQE_CHECK(fn != nullptr);
+      std::lock_guard<std::mutex> lock(keepalive_mutex);
+      keepalive.push_back(std::move(compiled));
+      return fn;
+    };
+
+    PipelineRunner runner(&impl_->pool, options.strategy, options.cost_model,
+                          options.trace);
+    PipelineRunStats stats = runner.Run(task);
+    report.exec_seconds = stats.total_seconds;
+    report.final_mode = stats.final_mode;
+    report.compiles = stats.compiles;
+    for (const auto& [mode, seconds] : stats.compiles) {
+      result.compile_millis_total += seconds * 1e3;
+    }
+    result.pipelines.push_back(std::move(report));
+  }
+
+  result.rows = std::move(ctx->result);
+  result.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+std::vector<PipelineCompileCosts> QueryEngine::MeasureCompileCosts(
+    const QueryProgram& program, bool measure_unopt, bool measure_opt,
+    const TranslatorOptions& translator_options) {
+  std::vector<PipelineCompileCosts> costs;
+  std::unique_ptr<QueryContext> ctx = program.MakeContext(impl_->catalog);
+  const RuntimeRegistry& registry = RuntimeRegistry::Global();
+
+  for (const QueryProgram::Stage& stage : program.stages()) {
+    if (stage.pipeline < 0) {
+      stage.step(ctx.get());
+      continue;
+    }
+    const PipelineSpec& spec =
+        program.pipelines()[static_cast<size_t>(stage.pipeline)];
+    PipelineBindings bindings = BindPipeline(program, spec, *ctx);
+    PipelineCompileCosts cost;
+    cost.name = spec.name;
+
+    GeneratedPipeline generated = GeneratePipeline(spec, bindings);
+    cost.instructions = generated.instructions;
+    cost.codegen_millis = generated.codegen_millis;
+
+    {
+      Timer timer;
+      BcProgram bytecode = TranslateToBytecode(
+          *generated.mod->module().getFunction("worker"), registry,
+          translator_options);
+      cost.bytecode_millis = timer.ElapsedMillis();
+      cost.register_file_bytes = bytecode.register_file_size;
+      cost.bytecode_ops = bytecode.code.size();
+    }
+    if (measure_unopt) {
+      GeneratedPipeline fresh = GeneratePipeline(spec, bindings);
+      Timer timer;
+      auto compiled =
+          JitCompile(std::move(*fresh.mod), JitMode::kUnoptimized, registry);
+      cost.unopt_millis = timer.ElapsedMillis();
+    }
+    if (measure_opt) {
+      GeneratedPipeline fresh = GeneratePipeline(spec, bindings);
+      Timer timer;
+      auto compiled =
+          JitCompile(std::move(*fresh.mod), JitMode::kOptimized, registry);
+      cost.opt_millis = timer.ElapsedMillis();
+    }
+    costs.push_back(std::move(cost));
+
+    // Execute the pipeline (interpreted) so later pipelines can bind to the
+    // hash tables / temp tables this one produces.
+    RunPipelineVolcano(program, spec, ctx.get());
+  }
+  return costs;
+}
+
+}  // namespace aqe

@@ -1,0 +1,102 @@
+#ifndef AQE_ENGINE_QUERY_ENGINE_H_
+#define AQE_ENGINE_QUERY_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adaptive/controller.h"
+#include "exec/scheduler.h"
+#include "exec/trace.h"
+#include "plan/plan.h"
+#include "vm/translator.h"
+
+namespace aqe {
+
+/// Which execution engine runs the pipelines.
+enum class EngineKind {
+  kCompiled,    ///< generated code: bytecode VM / JIT / adaptive (§III-IV)
+  kVolcano,     ///< tuple-at-a-time baseline (PostgreSQL stand-in)
+  kVectorized,  ///< column-at-a-time baseline (MonetDB stand-in)
+  kNaiveIr,     ///< direct LLVM-IR interpretation (Fig 2's "LLVM IR")
+};
+
+const char* EngineKindName(EngineKind kind);
+
+struct QueryRunOptions {
+  EngineKind engine = EngineKind::kCompiled;
+  /// Mode policy for kCompiled (ignored by the baselines).
+  ExecutionStrategy strategy = ExecutionStrategy::kAdaptive;
+  CostModelParams cost_model;
+  TranslatorOptions translator;
+  TraceRecorder* trace = nullptr;
+  /// Baselines and kNaiveIr always run single-threaded.
+  bool single_threaded = false;
+};
+
+/// Per-pipeline execution report.
+struct PipelineReport {
+  std::string name;
+  uint64_t tuples = 0;
+  uint64_t instructions = 0;       ///< LLVM instructions of the worker
+  double codegen_millis = 0;       ///< IR generation
+  double translate_millis = 0;     ///< bytecode translation (§IV-B)
+  uint32_t register_file_bytes = 0;
+  double exec_seconds = 0;         ///< pipeline wall time (incl. switches)
+  ExecMode final_mode = ExecMode::kBytecode;
+  std::vector<std::pair<ExecMode, double>> compiles;  ///< mode switches
+};
+
+struct QueryRunResult {
+  std::vector<std::vector<int64_t>> rows;  ///< final result
+  double total_seconds = 0;                ///< whole query wall time
+  std::vector<PipelineReport> pipelines;
+  double codegen_millis_total = 0;
+  double translate_millis_total = 0;
+  double compile_millis_total = 0;  ///< machine-code generation
+};
+
+/// Per-pipeline compilation-cost measurements (Table I / Fig 6 / Fig 15),
+/// without executing the query.
+struct PipelineCompileCosts {
+  std::string name;
+  uint64_t instructions = 0;
+  double codegen_millis = 0;
+  double bytecode_millis = 0;
+  double unopt_millis = 0;
+  double opt_millis = 0;
+  uint32_t register_file_bytes = 0;
+  uint64_t bytecode_ops = 0;  ///< fixed-length VM instructions emitted
+};
+
+/// The public facade: executes QueryPrograms against a catalog under any
+/// engine/mode combination. Owns the worker pool; one engine can run many
+/// queries.
+class QueryEngine {
+ public:
+  QueryEngine(const Catalog* catalog, int num_threads = 4);
+  ~QueryEngine();
+
+  int num_threads() const;
+
+  /// Runs a query and returns its result plus instrumentation.
+  QueryRunResult Run(const QueryProgram& program,
+                     const QueryRunOptions& options = {});
+
+  /// Measures code generation / bytecode translation / machine-code
+  /// compilation costs for every pipeline of `program`. `measure_jit`
+  /// can be disabled when only translation times matter (huge generated
+  /// queries, Fig 15, where optimized compilation takes minutes).
+  std::vector<PipelineCompileCosts> MeasureCompileCosts(
+      const QueryProgram& program, bool measure_unopt = true,
+      bool measure_opt = true,
+      const TranslatorOptions& translator_options = {});
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace aqe
+
+#endif  // AQE_ENGINE_QUERY_ENGINE_H_

@@ -1,0 +1,29 @@
+#include "exec/function_handle.h"
+
+#include "common/status.h"
+
+namespace aqe {
+
+const char* ExecModeName(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kBytecode: return "bytecode";
+    case ExecMode::kUnoptimized: return "unoptimized";
+    case ExecMode::kOptimized: return "optimized";
+  }
+  AQE_UNREACHABLE("bad ExecMode");
+}
+
+FunctionHandle::FunctionHandle(WorkerFn interpreter, const void* program)
+    : fn_(interpreter), extra_(program) {
+  AQE_CHECK(interpreter != nullptr);
+}
+
+void FunctionHandle::SetCompiled(WorkerFn fn, ExecMode mode) {
+  AQE_CHECK(fn != nullptr && mode != ExecMode::kBytecode);
+  // Machine code ignores the extra argument; leaving the program pointer in
+  // place keeps the swap a single atomic store.
+  fn_.store(fn, std::memory_order_release);
+  mode_.store(mode, std::memory_order_release);
+}
+
+}  // namespace aqe

@@ -1,0 +1,34 @@
+#include "exec/morsel.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace aqe {
+
+MorselQueue::MorselQueue(uint64_t total, uint64_t initial_size,
+                         uint64_t max_size, uint64_t grow_every)
+    : total_(total),
+      initial_size_(std::max<uint64_t>(1, initial_size)),
+      max_size_(std::max(initial_size_, max_size)),
+      grow_every_(std::max<uint64_t>(1, grow_every)) {}
+
+bool MorselQueue::Next(MorselRange* out) {
+  // Size depends on how many morsels have been handed out so far: double
+  // every `grow_every_` morsels until `max_size_`.
+  uint64_t index = handed_out_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t size = initial_size_;
+  for (uint64_t steps = index / grow_every_; steps > 0 && size < max_size_;
+       --steps) {
+    size *= 2;
+  }
+  size = std::min(size, max_size_);
+
+  uint64_t begin = cursor_.fetch_add(size, std::memory_order_relaxed);
+  if (begin >= total_) return false;
+  out->begin = begin;
+  out->end = std::min(begin + size, total_);
+  return true;
+}
+
+}  // namespace aqe

@@ -1,0 +1,54 @@
+#ifndef AQE_EXEC_MORSEL_H_
+#define AQE_EXEC_MORSEL_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace aqe {
+
+/// A morsel: the smallest unit of work (§III-B), a range of row indices.
+struct MorselRange {
+  uint64_t begin;
+  uint64_t end;
+};
+
+/// Hands out morsels of a pipeline's input domain [0, total) to worker
+/// threads. A single atomic cursor implements work stealing: whichever
+/// thread finishes first grabs the next morsel, so no thread imbalance can
+/// build up (§III-A).
+///
+/// Morsel sizes grow dynamically from `initial_size` to `max_size`
+/// (doubling every `grow_every` morsels), which gives the adaptive
+/// controller many early sample points for its rate estimates (§III-C:
+/// "dynamically growing morsel size, yielding a higher number of sample
+/// points").
+class MorselQueue {
+ public:
+  explicit MorselQueue(uint64_t total, uint64_t initial_size = 1024,
+                       uint64_t max_size = 16384, uint64_t grow_every = 8);
+
+  /// Claims the next morsel. Returns false when the domain is exhausted.
+  bool Next(MorselRange* out);
+
+  uint64_t total() const { return total_; }
+
+  /// Rows already handed out (an upper bound on rows processed).
+  uint64_t dispatched() const {
+    return std::min(cursor_.load(std::memory_order_relaxed), total_);
+  }
+
+  /// Rows not yet handed out — the `n` of Fig 7.
+  uint64_t remaining() const { return total_ - dispatched(); }
+
+ private:
+  uint64_t total_;
+  uint64_t initial_size_;
+  uint64_t max_size_;
+  uint64_t grow_every_;
+  std::atomic<uint64_t> cursor_{0};
+  std::atomic<uint64_t> handed_out_{0};
+};
+
+}  // namespace aqe
+
+#endif  // AQE_EXEC_MORSEL_H_

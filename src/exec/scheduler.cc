@@ -1,0 +1,57 @@
+#include "exec/scheduler.h"
+
+#include "common/status.h"
+#include "runtime/agg_hash_table.h"
+
+namespace aqe {
+
+WorkerPool::WorkerPool(int num_threads) {
+  AQE_CHECK(num_threads >= 1);
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::RunParallel(const std::function<void(int)>& fn) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  current_fn_ = &fn;
+  pending_ = num_threads();
+  ++generation_;
+  work_ready_.notify_all();
+  work_done_.wait(lock, [this] { return pending_ == 0; });
+  current_fn_ = nullptr;
+}
+
+void WorkerPool::WorkerLoop(int index) {
+  runtime_internal::SetThreadIndex(index);
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this, seen_generation] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      fn = current_fn_;
+    }
+    (*fn)(index);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace aqe

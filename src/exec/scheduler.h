@@ -1,0 +1,46 @@
+#ifndef AQE_EXEC_SCHEDULER_H_
+#define AQE_EXEC_SCHEDULER_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aqe {
+
+/// A fixed pool of worker threads reused across pipelines (thread creation
+/// inside the measured query would distort the latency experiments).
+/// RunParallel executes fn(thread_index) on every worker (index 0..n-1) and
+/// returns when all are done. Each worker's runtime thread index is set so
+/// thread-local runtime structures (aggregation tables, output buffers)
+/// work.
+class WorkerPool {
+ public:
+  explicit WorkerPool(int num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs `fn` on all workers and blocks until every invocation returns.
+  void RunParallel(const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop(int index);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(int)>* current_fn_ = nullptr;
+  uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace aqe
+
+#endif  // AQE_EXEC_SCHEDULER_H_

@@ -1,0 +1,86 @@
+#include "exec/trace.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace aqe {
+
+void TraceRecorder::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  origin_nanos_ = MonotonicNanos();
+}
+
+void TraceRecorder::Record(const Event& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(event);
+}
+
+std::vector<TraceRecorder::Event> TraceRecorder::Events() const {
+  std::vector<Event> events;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events = events_;
+  }
+  for (Event& e : events) {
+    e.start_nanos -= origin_nanos_;
+    e.end_nanos -= origin_nanos_;
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) {
+              return a.start_nanos < b.start_nanos;
+            });
+  return events;
+}
+
+std::string TraceRecorder::Render(int num_threads, int width) const {
+  std::vector<Event> events = Events();
+  if (events.empty()) return "(empty trace)\n";
+  int64_t horizon = 0;
+  for (const Event& e : events) horizon = std::max(horizon, e.end_nanos);
+  if (horizon == 0) horizon = 1;
+
+  // One lane per thread. Morsels print the pipeline digit (lowercase if
+  // interpreted, uppercase if compiled); compilations print '#'.
+  std::vector<std::string> lanes(static_cast<size_t>(num_threads),
+                                 std::string(static_cast<size_t>(width), '.'));
+  for (const Event& e : events) {
+    if (e.thread < 0 || e.thread >= num_threads) continue;
+    int from = static_cast<int>(e.start_nanos * width / horizon);
+    int to = static_cast<int>(e.end_nanos * width / horizon);
+    from = std::clamp(from, 0, width - 1);
+    to = std::clamp(to, from, width - 1);
+    char symbol;
+    if (e.kind == EventKind::kCompile) {
+      symbol = '#';
+    } else if (e.kind == EventKind::kPipelineStart) {
+      continue;
+    } else {
+      char digit = static_cast<char>('0' + e.pipeline % 10);
+      symbol = e.mode == ExecMode::kBytecode
+                   ? digit
+                   : static_cast<char>('A' + e.pipeline % 10);
+    }
+    for (int c = from; c <= to; ++c) {
+      lanes[static_cast<size_t>(e.thread)][static_cast<size_t>(c)] = symbol;
+    }
+  }
+  std::string out;
+  out += "time ->  (digits: interpreted morsels by pipeline; letters: "
+         "compiled morsels; '#': compilation)\n";
+  char label[32];
+  for (int t = 0; t < num_threads; ++t) {
+    std::snprintf(label, sizeof(label), "thread %d |", t);
+    out += label;
+    out += lanes[static_cast<size_t>(t)];
+    out += "|\n";
+  }
+  double total_ms = static_cast<double>(horizon) / 1e6;
+  std::snprintf(label, sizeof(label), "total: %.2f ms\n", total_ms);
+  out += label;
+  return out;
+}
+
+}  // namespace aqe

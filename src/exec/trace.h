@@ -1,0 +1,49 @@
+#ifndef AQE_EXEC_TRACE_H_
+#define AQE_EXEC_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exec/function_handle.h"
+
+namespace aqe {
+
+/// Records per-morsel and per-compilation events so the Fig 14 execution
+/// trace (threads × time, colored by pipeline and mode) can be regenerated.
+class TraceRecorder {
+ public:
+  enum class EventKind : uint8_t { kMorsel, kCompile, kPipelineStart };
+
+  struct Event {
+    EventKind kind;
+    int thread;
+    int pipeline;
+    ExecMode mode;        ///< for kMorsel: mode used; for kCompile: target
+    int64_t start_nanos;  ///< MonotonicNanos timeline
+    int64_t end_nanos;
+    uint64_t tuples;      ///< morsel size (0 for other events)
+  };
+
+  /// Marks the origin of the trace's relative timeline.
+  void Start();
+
+  void Record(const Event& event);
+
+  /// All events, sorted by start time, with times relative to Start().
+  std::vector<Event> Events() const;
+
+  /// Renders an ASCII swimlane chart (one row per thread, one column per
+  /// time bucket) like Fig 14. `width` = number of columns.
+  std::string Render(int num_threads, int width = 100) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  int64_t origin_nanos_ = 0;
+};
+
+}  // namespace aqe
+
+#endif  // AQE_EXEC_TRACE_H_

@@ -1,0 +1,30 @@
+#include "ir/ir_stats.h"
+
+#include <llvm/IR/Function.h>
+#include <llvm/IR/Instructions.h>
+#include <llvm/IR/Module.h>
+
+namespace aqe {
+
+IrFunctionStats ComputeFunctionStats(const llvm::Function& fn) {
+  IrFunctionStats stats;
+  for (const llvm::BasicBlock& bb : fn) {
+    ++stats.basic_blocks;
+    for (const llvm::Instruction& inst : bb) {
+      ++stats.instructions;
+      if (llvm::isa<llvm::CallInst>(inst)) ++stats.calls;
+    }
+  }
+  return stats;
+}
+
+uint64_t CountModuleInstructions(const llvm::Module& mod) {
+  uint64_t total = 0;
+  for (const llvm::Function& fn : mod) {
+    if (fn.isDeclaration()) continue;
+    total += ComputeFunctionStats(fn).instructions;
+  }
+  return total;
+}
+
+}  // namespace aqe

@@ -1,0 +1,29 @@
+#ifndef AQE_IR_IR_STATS_H_
+#define AQE_IR_IR_STATS_H_
+
+#include <cstdint>
+
+namespace llvm {
+class Function;
+class Module;
+}  // namespace llvm
+
+namespace aqe {
+
+/// Instruction/block counts for a function. The adaptive cost model (Fig 7)
+/// predicts compilation time as a linear function of `instructions`
+/// (the near-linear correlation shown in the paper's Fig 6).
+struct IrFunctionStats {
+  uint64_t instructions = 0;
+  uint64_t basic_blocks = 0;
+  uint64_t calls = 0;
+};
+
+IrFunctionStats ComputeFunctionStats(const llvm::Function& fn);
+
+/// Total instruction count over all defined functions in the module.
+uint64_t CountModuleInstructions(const llvm::Module& mod);
+
+}  // namespace aqe
+
+#endif  // AQE_IR_IR_STATS_H_

@@ -1,0 +1,46 @@
+#ifndef AQE_JIT_JIT_COMPILER_H_
+#define AQE_JIT_JIT_COMPILER_H_
+
+#include <memory>
+#include <string>
+
+#include "ir/ir_module.h"
+#include "runtime/runtime_registry.h"
+
+namespace aqe {
+
+/// Machine-code generation modes (§V "unoptimized" / "optimized"):
+///  - kUnoptimized: no IR passes, fast instruction selection, lowest backend
+///    optimization level — cheap compilation, decent code.
+///  - kOptimized: the paper's hand-picked IR pass list (peephole/instcombine,
+///    reassociate, common-subexpression elimination via GVN, CFG
+///    simplification, aggressive DCE) plus full backend optimization —
+///    expensive compilation, fastest code.
+enum class JitMode { kUnoptimized, kOptimized };
+
+const char* JitModeName(JitMode mode);
+
+/// A module compiled to machine code. Owns the underlying ORC JIT; looked-up
+/// addresses stay valid for the lifetime of this object.
+class CompiledModule {
+ public:
+  virtual ~CompiledModule() = default;
+
+  /// Address of a compiled function, or nullptr if absent.
+  virtual void* Lookup(const std::string& name) = 0;
+
+  /// Time spent running IR optimization passes (ms; 0 for unoptimized).
+  virtual double ir_pass_millis() const = 0;
+  /// Time spent generating machine code (ms).
+  virtual double codegen_millis() const = 0;
+};
+
+/// Compiles `mod` (consumed) to machine code. Runtime functions registered
+/// in `registry` are resolvable as absolute symbols. Compilation is eager:
+/// when this returns, Lookup is a hash lookup, not a compile.
+std::unique_ptr<CompiledModule> JitCompile(IrModule mod, JitMode mode,
+                                           const RuntimeRegistry& registry);
+
+}  // namespace aqe
+
+#endif  // AQE_JIT_JIT_COMPILER_H_

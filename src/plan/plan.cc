@@ -1,0 +1,82 @@
+#include "plan/plan.h"
+
+#include "common/status.h"
+
+namespace aqe {
+
+int QueryProgram::DeclareJoinTable(uint32_t payload_slots) {
+  join_payload_slots_.push_back(payload_slots);
+  return static_cast<int>(join_payload_slots_.size() - 1);
+}
+
+int QueryProgram::DeclareAggSet(uint32_t payload_slots,
+                                std::vector<int64_t> init) {
+  AQE_CHECK(init.size() == payload_slots);
+  agg_decls_.push_back({payload_slots, std::move(init)});
+  return static_cast<int>(agg_decls_.size() - 1);
+}
+
+int QueryProgram::DeclareOutput(uint32_t row_slots) {
+  output_slots_.push_back(row_slots);
+  return static_cast<int>(output_slots_.size() - 1);
+}
+
+int QueryProgram::DeclareBaseTable(const std::string& name) {
+  tables_.push_back({name, -1});
+  return static_cast<int>(tables_.size() - 1);
+}
+
+int QueryProgram::DeclareTempTable() {
+  tables_.push_back({"", num_temps_++});
+  return static_cast<int>(tables_.size() - 1);
+}
+
+const uint8_t* QueryProgram::AddBitmap(std::vector<uint8_t> bitmap) {
+  bitmaps_.push_back(
+      std::make_unique<std::vector<uint8_t>>(std::move(bitmap)));
+  return bitmaps_.back()->data();
+}
+
+int QueryProgram::AddPipeline(PipelineSpec spec) {
+  pipelines_.push_back(std::move(spec));
+  Stage stage;
+  stage.pipeline = static_cast<int>(pipelines_.size() - 1);
+  stages_.push_back(std::move(stage));
+  return stage.pipeline;
+}
+
+void QueryProgram::AddStep(EngineStep step) {
+  Stage stage;
+  stage.step = std::move(step);
+  stages_.push_back(std::move(stage));
+}
+
+std::unique_ptr<QueryContext> QueryProgram::MakeContext(
+    const Catalog* catalog) const {
+  auto ctx = std::make_unique<QueryContext>();
+  ctx->catalog = catalog;
+  ctx->join_tables.resize(join_payload_slots_.size());
+  for (const AggDecl& decl : agg_decls_) {
+    ctx->agg_sets.push_back(
+        std::make_unique<AggHashTableSet>(decl.payload_slots, decl.init));
+  }
+  for (uint32_t slots : output_slots_) {
+    ctx->outputs.push_back(std::make_unique<OutputBuffer>(slots));
+  }
+  ctx->temp_tables.resize(static_cast<size_t>(num_temps_));
+  return ctx;
+}
+
+const Table* QueryProgram::ResolveTable(int table_id,
+                                        const QueryContext& ctx) const {
+  const TableDecl& decl = tables_[static_cast<size_t>(table_id)];
+  if (decl.temp_index >= 0) {
+    const Table* table =
+        ctx.temp_tables[static_cast<size_t>(decl.temp_index)].get();
+    AQE_CHECK_MSG(table != nullptr, "temp table not materialized yet");
+    return table;
+  }
+  return ctx.catalog->GetTable(decl.base_name);
+}
+
+}  // namespace aqe

@@ -1,0 +1,19 @@
+#ifndef AQE_QUERIES_GENERATED_QUERIES_H_
+#define AQE_QUERIES_GENERATED_QUERIES_H_
+
+#include "plan/plan.h"
+
+namespace aqe {
+
+/// The §V-E machine-generated query family: a single lineitem scan with
+/// `num_aggregates` distinct overflow-checked aggregate expressions, giving
+/// worker functions from ~1,000 to ~160,000 LLVM instructions as
+/// num_aggregates scales from 10 to 1900 — the workload on which optimized
+/// LLVM compilation explodes while bytecode translation stays linear
+/// (Fig 15).
+QueryProgram BuildGeneratedAggregateQuery(int num_aggregates,
+                                          const Catalog& catalog);
+
+}  // namespace aqe
+
+#endif  // AQE_QUERIES_GENERATED_QUERIES_H_

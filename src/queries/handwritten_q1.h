@@ -1,0 +1,19 @@
+#ifndef AQE_QUERIES_HANDWRITTEN_Q1_H_
+#define AQE_QUERIES_HANDWRITTEN_Q1_H_
+
+#include <vector>
+
+#include "storage/table.h"
+
+namespace aqe {
+
+/// Hand-written C++ implementation of TPC-H Q1 — the "handwritten" point of
+/// Fig 2. Mirrors the compiled plan exactly, except that (like the paper's
+/// version, see its footnote 2) it performs no overflow checks, which is why
+/// it runs slightly faster than optimized generated code. Single-threaded.
+/// Returns rows shaped like BuildTpchQuery(1)'s result.
+std::vector<std::vector<int64_t>> HandwrittenQ1(const Catalog& catalog);
+
+}  // namespace aqe
+
+#endif  // AQE_QUERIES_HANDWRITTEN_Q1_H_

@@ -1,0 +1,22 @@
+#ifndef AQE_QUERIES_TPCH_QUERIES_H_
+#define AQE_QUERIES_TPCH_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "plan/plan.h"
+
+namespace aqe {
+
+/// Builds the physical QueryProgram for a TPC-H query against `catalog`
+/// (dictionary codes and predicate bitmaps are resolved at build time —
+/// this is the paper's "Planning + Code Generation" input). Implemented
+/// queries: 1, 3, 4, 5, 6, 7, 9, 10, 11, 12, 14, 18, 19 (see DESIGN.md).
+QueryProgram BuildTpchQuery(int number, const Catalog& catalog);
+
+/// The implemented query numbers, ascending.
+const std::vector<int>& ImplementedTpchQueries();
+
+}  // namespace aqe
+
+#endif  // AQE_QUERIES_TPCH_QUERIES_H_

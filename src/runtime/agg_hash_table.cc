@@ -1,0 +1,126 @@
+#include "runtime/agg_hash_table.h"
+
+#include <cstring>
+
+#include "common/status.h"
+
+namespace aqe {
+
+namespace {
+uint64_t HashKey(int64_t key) {
+  uint64_t h = static_cast<uint64_t>(key) * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 32;
+  return h;
+}
+}  // namespace
+
+AggHashTable::AggHashTable(uint32_t payload_slots,
+                           std::vector<int64_t> init_values)
+    : payload_slots_(payload_slots), init_values_(std::move(init_values)) {
+  AQE_CHECK(init_values_.size() == payload_slots_);
+  capacity_ = 64;
+  mask_ = capacity_ - 1;
+  data_.resize(capacity_ * entry_bytes());
+  occupied_.assign(capacity_, 0);
+}
+
+void* AggHashTable::FindOrInsert(int64_t key) {
+  if (size_ * 4 >= capacity_ * 3) Grow();
+  uint64_t slot = HashKey(key) & mask_;
+  for (;;) {
+    if (!occupied_[slot]) {
+      occupied_[slot] = 1;
+      uint8_t* entry = EntryAt(slot);
+      *reinterpret_cast<int64_t*>(entry) = key;
+      std::memcpy(entry + 8, init_values_.data(), payload_slots_ * 8);
+      ++size_;
+      return entry + 8;
+    }
+    if (*reinterpret_cast<const int64_t*>(EntryAt(slot)) == key) {
+      return EntryAt(slot) + 8;
+    }
+    slot = (slot + 1) & mask_;
+  }
+}
+
+void* AggHashTable::Find(int64_t key) const {
+  uint64_t slot = HashKey(key) & mask_;
+  for (;;) {
+    if (!occupied_[slot]) return nullptr;
+    if (*reinterpret_cast<const int64_t*>(EntryAt(slot)) == key) {
+      return EntryAt(slot) + 8;
+    }
+    slot = (slot + 1) & mask_;
+  }
+}
+
+void AggHashTable::Grow() {
+  uint64_t old_capacity = capacity_;
+  std::vector<uint8_t> old_data = std::move(data_);
+  std::vector<uint8_t> old_occupied = std::move(occupied_);
+  capacity_ *= 2;
+  mask_ = capacity_ - 1;
+  data_.resize(capacity_ * entry_bytes());
+  occupied_.assign(capacity_, 0);
+  const uint8_t* old_base = old_data.data();
+  for (uint64_t i = 0; i < old_capacity; ++i) {
+    if (!old_occupied[i]) continue;
+    const uint8_t* entry = old_base + i * entry_bytes();
+    int64_t key = *reinterpret_cast<const int64_t*>(entry);
+    uint64_t slot = HashKey(key) & mask_;
+    while (occupied_[slot]) slot = (slot + 1) & mask_;
+    occupied_[slot] = 1;
+    std::memcpy(EntryAt(slot), entry, entry_bytes());
+  }
+}
+
+void AggHashTable::ForEach(
+    const std::function<void(int64_t, void*)>& fn) const {
+  for (uint64_t i = 0; i < capacity_; ++i) {
+    if (!occupied_[i]) continue;
+    uint8_t* entry = EntryAt(i);
+    fn(*reinterpret_cast<const int64_t*>(entry), entry + 8);
+  }
+}
+
+AggHashTableSet::AggHashTableSet(uint32_t payload_slots,
+                                 std::vector<int64_t> init_values,
+                                 int max_threads)
+    : payload_slots_(payload_slots), init_values_(std::move(init_values)) {
+  tables_.resize(static_cast<size_t>(max_threads));
+}
+
+AggHashTable* AggHashTableSet::Local() {
+  int index = runtime_internal::GetThreadIndex();
+  AQE_CHECK(static_cast<size_t>(index) < tables_.size());
+  auto& table = tables_[static_cast<size_t>(index)];
+  if (table == nullptr) {
+    table = std::make_unique<AggHashTable>(payload_slots_, init_values_);
+  }
+  return table.get();
+}
+
+std::vector<AggHashTable*> AggHashTableSet::NonEmptyTables() const {
+  std::vector<AggHashTable*> result;
+  for (const auto& table : tables_) {
+    if (table != nullptr && table->size() > 0) result.push_back(table.get());
+  }
+  return result;
+}
+
+void AggHashTableSet::MergeInto(
+    AggHashTable* target,
+    const std::function<void(uint32_t, int64_t*, int64_t)>& merge) const {
+  for (const auto& table : tables_) {
+    if (table == nullptr) continue;
+    table->ForEach([&](int64_t key, void* payload) {
+      auto* src = reinterpret_cast<const int64_t*>(payload);
+      auto* dst = reinterpret_cast<int64_t*>(target->FindOrInsert(key));
+      for (uint32_t s = 0; s < payload_slots_; ++s) {
+        merge(s, &dst[s], src[s]);
+      }
+    });
+  }
+}
+
+}  // namespace aqe

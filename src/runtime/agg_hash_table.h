@@ -1,0 +1,91 @@
+#ifndef AQE_RUNTIME_AGG_HASH_TABLE_H_
+#define AQE_RUNTIME_AGG_HASH_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace aqe {
+
+namespace runtime_internal {
+/// Worker-thread index plumbing shared by the runtime (set by the morsel
+/// scheduler, read by thread-local runtime structures).
+void SetThreadIndex(int index);
+int GetThreadIndex();
+}  // namespace runtime_internal
+
+/// Linear-probing hash table for group-by aggregation. One instance per
+/// worker thread (obtained via AggHashTableSet); generated code updates the
+/// aggregate slots in place, the engine merges the per-thread tables when
+/// the pipeline finishes.
+///
+/// Entry layout (seen by generated code): [key i64][slots...]; FindOrInsert
+/// returns the pointer to the first aggregate slot.
+class AggHashTable {
+ public:
+  /// `payload_slots` aggregate values per group, initialized to
+  /// `init_values` (size payload_slots) on first touch.
+  AggHashTable(uint32_t payload_slots, std::vector<int64_t> init_values);
+
+  AggHashTable(const AggHashTable&) = delete;
+  AggHashTable& operator=(const AggHashTable&) = delete;
+  AggHashTable(AggHashTable&&) = default;
+  AggHashTable& operator=(AggHashTable&&) = default;
+
+  /// Payload pointer for `key`, inserting an initialized entry if new.
+  void* FindOrInsert(int64_t key);
+
+  /// Payload pointer for `key` or nullptr (no insert).
+  void* Find(int64_t key) const;
+
+  uint64_t size() const { return size_; }
+  uint32_t payload_slots() const { return payload_slots_; }
+
+  /// Iterates entries: fn(key, payload pointer).
+  void ForEach(const std::function<void(int64_t, void*)>& fn) const;
+
+ private:
+  uint32_t entry_bytes() const { return 8 + payload_slots_ * 8; }
+  uint8_t* EntryAt(uint64_t slot) const {
+    return const_cast<uint8_t*>(data_.data()) + slot * entry_bytes();
+  }
+  void Grow();
+
+  uint32_t payload_slots_;
+  std::vector<int64_t> init_values_;
+  uint64_t capacity_;  // power of two
+  uint64_t mask_;
+  uint64_t size_ = 0;
+  std::vector<uint8_t> data_;      // capacity_ * entry_bytes()
+  std::vector<uint8_t> occupied_;  // capacity_ bytes
+};
+
+/// The per-thread set of aggregation tables for one aggregation operator.
+/// Generated code calls aqe_agg_local(set) to fetch its thread's table.
+class AggHashTableSet {
+ public:
+  AggHashTableSet(uint32_t payload_slots, std::vector<int64_t> init_values,
+                  int max_threads = 64);
+
+  /// Table of the calling worker thread (created lazily).
+  AggHashTable* Local();
+
+  /// All thread tables that were actually created.
+  std::vector<AggHashTable*> NonEmptyTables() const;
+
+  /// Merges all per-thread tables with a per-slot merge function:
+  /// merge(slot_index, accumulator_ptr, value) — engine-side, not generated.
+  void MergeInto(
+      AggHashTable* target,
+      const std::function<void(uint32_t, int64_t*, int64_t)>& merge) const;
+
+ private:
+  uint32_t payload_slots_;
+  std::vector<int64_t> init_values_;
+  std::vector<std::unique_ptr<AggHashTable>> tables_;
+};
+
+}  // namespace aqe
+
+#endif  // AQE_RUNTIME_AGG_HASH_TABLE_H_

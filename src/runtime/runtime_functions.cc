@@ -1,0 +1,68 @@
+#include "runtime/runtime_functions.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "runtime/agg_hash_table.h"
+#include "runtime/join_hash_table.h"
+#include "runtime/output_buffer.h"
+#include "runtime/runtime_registry.h"
+
+namespace aqe {
+namespace rt {
+
+uint64_t aqe_jht_insert(uint64_t ht, uint64_t key) {
+  return reinterpret_cast<uint64_t>(
+      reinterpret_cast<JoinHashTable*>(ht)->Insert(static_cast<int64_t>(key)));
+}
+
+uint64_t aqe_jht_lookup(uint64_t ht, uint64_t key) {
+  return reinterpret_cast<uint64_t>(
+      reinterpret_cast<const JoinHashTable*>(ht)->Lookup(
+          static_cast<int64_t>(key)));
+}
+
+uint64_t aqe_jht_next(uint64_t node, uint64_t key) {
+  return reinterpret_cast<uint64_t>(JoinHashTable::Next(
+      reinterpret_cast<void*>(node), static_cast<int64_t>(key)));
+}
+
+uint64_t aqe_agg_local(uint64_t set) {
+  return reinterpret_cast<uint64_t>(
+      reinterpret_cast<AggHashTableSet*>(set)->Local());
+}
+
+uint64_t aqe_agg_find_or_insert(uint64_t ht, uint64_t key) {
+  return reinterpret_cast<uint64_t>(
+      reinterpret_cast<AggHashTable*>(ht)->FindOrInsert(
+          static_cast<int64_t>(key)));
+}
+
+uint64_t aqe_out_alloc_row(uint64_t out) {
+  return reinterpret_cast<uint64_t>(
+      reinterpret_cast<OutputBuffer*>(out)->AllocRow());
+}
+
+void aqe_raise_overflow() {
+  std::fprintf(stderr, "aqe: arithmetic overflow during query execution\n");
+  std::abort();
+}
+
+}  // namespace rt
+
+void RegisterBuiltinRuntime(RuntimeRegistry* registry) {
+  auto reg = [registry](const char* name, auto* fn, int num_args,
+                        bool returns_value) {
+    registry->Register(name, reinterpret_cast<void*>(fn), num_args,
+                       returns_value);
+  };
+  reg("aqe_jht_insert", &rt::aqe_jht_insert, 2, true);
+  reg("aqe_jht_lookup", &rt::aqe_jht_lookup, 2, true);
+  reg("aqe_jht_next", &rt::aqe_jht_next, 2, true);
+  reg("aqe_agg_local", &rt::aqe_agg_local, 1, true);
+  reg("aqe_agg_find_or_insert", &rt::aqe_agg_find_or_insert, 2, true);
+  reg("aqe_out_alloc_row", &rt::aqe_out_alloc_row, 1, true);
+  reg("aqe_raise_overflow", &rt::aqe_raise_overflow, 0, false);
+}
+
+}  // namespace aqe

@@ -1,0 +1,39 @@
+#ifndef AQE_RUNTIME_RUNTIME_FUNCTIONS_H_
+#define AQE_RUNTIME_RUNTIME_FUNCTIONS_H_
+
+#include <cstdint>
+
+namespace aqe {
+
+/// The C++ query runtime callable from generated code. Every function uses
+/// the uniform i64 ABI (pointers and integers as uint64_t, doubles
+/// bit-cast) so one VM call convention covers all of them (§IV-E). The IR
+/// code generator declares them with matching i64 signatures.
+///
+/// Registered names equal the C++ identifiers.
+namespace rt {
+
+/// JoinHashTable::Insert — returns the new entry's payload pointer.
+uint64_t aqe_jht_insert(uint64_t ht, uint64_t key);
+/// JoinHashTable::Lookup — first matching chain node or 0.
+uint64_t aqe_jht_lookup(uint64_t ht, uint64_t key);
+/// JoinHashTable::Next — next matching chain node or 0.
+uint64_t aqe_jht_next(uint64_t node, uint64_t key);
+
+/// AggHashTableSet::Local — the calling thread's aggregation table.
+uint64_t aqe_agg_local(uint64_t set);
+/// AggHashTable::FindOrInsert — payload pointer for the group key.
+uint64_t aqe_agg_find_or_insert(uint64_t ht, uint64_t key);
+
+/// OutputBuffer::AllocRow — pointer to a fresh result row.
+uint64_t aqe_out_alloc_row(uint64_t out);
+
+/// Reports an arithmetic overflow in a query. Aborts the process — the
+/// engine's contract is that TPC-H data never overflows; a production
+/// system would abort only the query (§IV-F discusses overflow checking).
+void aqe_raise_overflow();
+
+}  // namespace rt
+}  // namespace aqe
+
+#endif  // AQE_RUNTIME_RUNTIME_FUNCTIONS_H_

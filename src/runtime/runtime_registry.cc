@@ -1,0 +1,37 @@
+#include "runtime/runtime_registry.h"
+
+#include "common/status.h"
+
+namespace aqe {
+
+RuntimeRegistry& RuntimeRegistry::Global() {
+  static RuntimeRegistry* registry = [] {
+    auto* r = new RuntimeRegistry();
+    RegisterBuiltinRuntime(r);
+    return r;
+  }();
+  return *registry;
+}
+
+void RuntimeRegistry::Register(const std::string& name, void* address,
+                               int num_args, bool returns_value) {
+  AQE_CHECK_MSG(num_args >= 0 && num_args <= 8, "too many runtime args");
+  AQE_CHECK_MSG(address != nullptr, "null runtime function");
+  Entry entry{address, num_args, returns_value};
+  auto [it, inserted] = entries_.emplace(name, entry);
+  if (!inserted) {
+    // Idempotent re-registration must agree with the existing entry.
+    AQE_CHECK_MSG(it->second.address == address &&
+                      it->second.num_args == num_args &&
+                      it->second.returns_value == returns_value,
+                  "conflicting runtime registration");
+  }
+}
+
+const RuntimeRegistry::Entry* RuntimeRegistry::Find(
+    const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+}  // namespace aqe

@@ -1,0 +1,50 @@
+#ifndef AQE_RUNTIME_RUNTIME_REGISTRY_H_
+#define AQE_RUNTIME_RUNTIME_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace aqe {
+
+/// Registry of C++ runtime functions callable from generated code — by the
+/// JIT (resolved as absolute symbols) and by the bytecode VM (call opcodes
+/// with the function address as immediate). §IV-E: "as we know all exported
+/// C++ functions, we can identify missing opcodes at compile time"; here the
+/// registry CHECKs that every function's signature fits the VM calling
+/// convention (up to 8 integer-class args, i64-or-void return).
+class RuntimeRegistry {
+ public:
+  struct Entry {
+    void* address = nullptr;
+    int num_args = 0;
+    bool returns_value = false;  // i64-class return (else void)
+  };
+
+  /// The process-wide registry, populated by RegisterBuiltinRuntime() (done
+  /// on first access).
+  static RuntimeRegistry& Global();
+
+  void Register(const std::string& name, void* address, int num_args,
+                bool returns_value);
+
+  /// Returns nullptr if not registered.
+  const Entry* Find(const std::string& name) const;
+
+  /// All entries (for the JIT's absolute-symbol map).
+  const std::unordered_map<std::string, Entry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+/// Registers the built-in query runtime (hash tables, output buffers, …);
+/// implemented in runtime_functions.cc. Idempotent.
+void RegisterBuiltinRuntime(RuntimeRegistry* registry);
+
+}  // namespace aqe
+
+#endif  // AQE_RUNTIME_RUNTIME_REGISTRY_H_

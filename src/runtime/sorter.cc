@@ -1,0 +1,43 @@
+#include "runtime/sorter.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace aqe {
+
+namespace {
+bool RowLess(const std::vector<int64_t>& a, const std::vector<int64_t>& b,
+             const std::vector<SortKey>& keys) {
+  for (const SortKey& key : keys) {
+    int64_t x = a[key.slot];
+    int64_t y = b[key.slot];
+    int cmp;
+    if (key.as_double) {
+      double dx, dy;
+      std::memcpy(&dx, &x, 8);
+      std::memcpy(&dy, &y, 8);
+      cmp = dx < dy ? -1 : (dx > dy ? 1 : 0);
+    } else {
+      cmp = x < y ? -1 : (x > y ? 1 : 0);
+    }
+    if (cmp != 0) return key.descending ? cmp > 0 : cmp < 0;
+  }
+  return false;
+}
+}  // namespace
+
+void SortRows(std::vector<std::vector<int64_t>>* rows,
+              const std::vector<SortKey>& keys) {
+  std::stable_sort(rows->begin(), rows->end(),
+                   [&keys](const auto& a, const auto& b) {
+                     return RowLess(a, b, keys);
+                   });
+}
+
+void TopK(std::vector<std::vector<int64_t>>* rows,
+          const std::vector<SortKey>& keys, uint64_t limit) {
+  SortRows(rows, keys);
+  if (rows->size() > limit) rows->resize(limit);
+}
+
+}  // namespace aqe

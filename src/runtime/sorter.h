@@ -1,0 +1,28 @@
+#ifndef AQE_RUNTIME_SORTER_H_
+#define AQE_RUNTIME_SORTER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace aqe {
+
+/// A sort key: slot index within the row plus direction and interpretation.
+struct SortKey {
+  uint32_t slot;
+  bool descending = false;
+  bool as_double = false;  ///< compare the slot's bits as a double
+};
+
+/// Sorts materialized result rows (engine-side, at a pipeline boundary —
+/// ORDER BY / TOP-K are not part of the generated worker functions, matching
+/// the paper's queryStart/C++ split).
+void SortRows(std::vector<std::vector<int64_t>>* rows,
+              const std::vector<SortKey>& keys);
+
+/// SortRows + truncation to the first `limit` rows.
+void TopK(std::vector<std::vector<int64_t>>* rows,
+          const std::vector<SortKey>& keys, uint64_t limit);
+
+}  // namespace aqe
+
+#endif  // AQE_RUNTIME_SORTER_H_

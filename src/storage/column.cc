@@ -1,0 +1,74 @@
+#include "storage/column.h"
+
+#include <cstring>
+
+namespace aqe {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kI32: return "i32";
+    case DataType::kI64: return "i64";
+    case DataType::kF64: return "f64";
+  }
+  AQE_UNREACHABLE("bad DataType");
+}
+
+Column::Column(std::string name, DataType type)
+    : name_(std::move(name)), type_(type) {}
+
+void Column::Reserve(uint64_t rows) {
+  data_.reserve(rows * DataTypeSize(type_));
+}
+
+void Column::AppendI32(int32_t v) {
+  AQE_CHECK(type_ == DataType::kI32);
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+  data_.insert(data_.end(), p, p + sizeof(v));
+  ++size_;
+}
+
+void Column::AppendI64(int64_t v) {
+  AQE_CHECK(type_ == DataType::kI64);
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+  data_.insert(data_.end(), p, p + sizeof(v));
+  ++size_;
+}
+
+void Column::AppendF64(double v) {
+  AQE_CHECK(type_ == DataType::kF64);
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+  data_.insert(data_.end(), p, p + sizeof(v));
+  ++size_;
+}
+
+int32_t Column::GetI32(uint64_t row) const {
+  AQE_CHECK(type_ == DataType::kI32 && row < size_);
+  int32_t v;
+  std::memcpy(&v, data_.data() + row * 4, 4);
+  return v;
+}
+
+int64_t Column::GetI64(uint64_t row) const {
+  AQE_CHECK(type_ == DataType::kI64 && row < size_);
+  int64_t v;
+  std::memcpy(&v, data_.data() + row * 8, 8);
+  return v;
+}
+
+double Column::GetF64(uint64_t row) const {
+  AQE_CHECK(type_ == DataType::kF64 && row < size_);
+  double v;
+  std::memcpy(&v, data_.data() + row * 8, 8);
+  return v;
+}
+
+int64_t Column::GetAsI64(uint64_t row) const {
+  switch (type_) {
+    case DataType::kI32: return GetI32(row);
+    case DataType::kI64: return GetI64(row);
+    case DataType::kF64: AQE_UNREACHABLE("GetAsI64 on f64 column");
+  }
+  AQE_UNREACHABLE("bad DataType");
+}
+
+}  // namespace aqe

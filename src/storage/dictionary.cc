@@ -1,0 +1,52 @@
+#include "storage/dictionary.h"
+
+#include "common/status.h"
+
+namespace aqe {
+
+int32_t Dictionary::GetOrAdd(std::string_view s) {
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  int32_t code = static_cast<int32_t>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(strings_.back(), code);
+  return code;
+}
+
+int32_t Dictionary::Find(std::string_view s) const {
+  auto it = index_.find(std::string(s));
+  return it == index_.end() ? -1 : it->second;
+}
+
+const std::string& Dictionary::Get(int32_t code) const {
+  AQE_CHECK(code >= 0 && code < size());
+  return strings_[static_cast<size_t>(code)];
+}
+
+std::vector<uint8_t> Dictionary::MatchPrefix(std::string_view prefix) const {
+  std::vector<uint8_t> bitmap(strings_.size(), 0);
+  for (size_t i = 0; i < strings_.size(); ++i) {
+    bitmap[i] = strings_[i].compare(0, prefix.size(), prefix) == 0 ? 1 : 0;
+  }
+  return bitmap;
+}
+
+std::vector<uint8_t> Dictionary::MatchContains(std::string_view infix) const {
+  std::vector<uint8_t> bitmap(strings_.size(), 0);
+  for (size_t i = 0; i < strings_.size(); ++i) {
+    bitmap[i] = strings_[i].find(infix) != std::string::npos ? 1 : 0;
+  }
+  return bitmap;
+}
+
+std::vector<uint8_t> Dictionary::MatchIn(
+    const std::vector<std::string>& values) const {
+  std::vector<uint8_t> bitmap(strings_.size(), 0);
+  for (const std::string& v : values) {
+    int32_t code = Find(v);
+    if (code >= 0) bitmap[static_cast<size_t>(code)] = 1;
+  }
+  return bitmap;
+}
+
+}  // namespace aqe

@@ -1,0 +1,49 @@
+#ifndef AQE_STORAGE_DICTIONARY_H_
+#define AQE_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace aqe {
+
+/// Order-preserving string dictionary. String columns are stored as I32 codes
+/// into a per-column Dictionary; string predicates are evaluated against the
+/// dictionary once per query and turned into integer comparisons or match
+/// bitmaps, which is how HyPer executes them and keeps the generated code's
+/// type system small (see DESIGN.md substitutions).
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the code for `s`, inserting it if new.
+  int32_t GetOrAdd(std::string_view s);
+
+  /// Returns the code for `s` or -1 if absent.
+  int32_t Find(std::string_view s) const;
+
+  /// Returns the string for a code.
+  const std::string& Get(int32_t code) const;
+
+  int32_t size() const { return static_cast<int32_t>(strings_.size()); }
+
+  /// Builds a byte-per-code bitmap where bitmap[code] == 1 iff the dictionary
+  /// string starts with `prefix` (the LIKE 'x%' pattern).
+  std::vector<uint8_t> MatchPrefix(std::string_view prefix) const;
+
+  /// Bitmap for "string contains `infix`" (LIKE '%x%').
+  std::vector<uint8_t> MatchContains(std::string_view infix) const;
+
+  /// Bitmap for membership in an explicit value list (IN (...)).
+  std::vector<uint8_t> MatchIn(const std::vector<std::string>& values) const;
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, int32_t> index_;
+};
+
+}  // namespace aqe
+
+#endif  // AQE_STORAGE_DICTIONARY_H_

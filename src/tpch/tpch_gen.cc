@@ -1,0 +1,284 @@
+#include "tpch/tpch_gen.h"
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "tpch/tpch_schema.h"
+
+namespace aqe::tpch {
+namespace {
+
+constexpr const char* kRegionNames[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                         "MIDDLE EAST"};
+
+// Nation -> region mapping per the TPC-H spec.
+struct NationSpec {
+  const char* name;
+  int region;
+};
+constexpr NationSpec kNations[25] = {
+    {"ALGERIA", 0},        {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},         {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},         {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2},      {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},          {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},        {"MOZAMBIQUE", 0},{"PERU", 1},
+    {"CHINA", 2},          {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},        {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+
+constexpr const char* kSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                      "MACHINERY", "HOUSEHOLD"};
+constexpr const char* kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                        "4-NOT SPECIFIED", "5-LOW"};
+constexpr const char* kShipModes[7] = {"REG AIR", "AIR",  "RAIL", "SHIP",
+                                       "TRUCK",   "MAIL", "FOB"};
+constexpr const char* kInstructions[4] = {"DELIVER IN PERSON", "COLLECT COD",
+                                          "NONE", "TAKE BACK RETURN"};
+constexpr const char* kTypeSyllable1[6] = {"STANDARD", "SMALL",  "MEDIUM",
+                                           "LARGE",    "ECONOMY", "PROMO"};
+constexpr const char* kTypeSyllable2[5] = {"ANODIZED", "BURNISHED", "PLATED",
+                                           "POLISHED", "BRUSHED"};
+constexpr const char* kTypeSyllable3[5] = {"TIN", "NICKEL", "BRASS", "STEEL",
+                                           "COPPER"};
+constexpr const char* kContainerSyllable1[5] = {"SM", "LG", "MED", "JUMBO",
+                                                "WRAP"};
+constexpr const char* kContainerSyllable2[8] = {"CASE", "BOX", "BAG", "JAR",
+                                                "PKG", "PACK", "CAN", "DRUM"};
+
+void GenRegionNation(Catalog* catalog) {
+  Table* region = catalog->GetTable("region");
+  for (int i = 0; i < 5; ++i) {
+    region->column(0).AppendI32(i);
+    region->column(1).AppendI32(region->dictionary(1).GetOrAdd(kRegionNames[i]));
+  }
+  Table* nation = catalog->GetTable("nation");
+  for (int i = 0; i < 25; ++i) {
+    nation->column(0).AppendI32(i);
+    nation->column(1).AppendI32(nation->dictionary(1).GetOrAdd(kNations[i].name));
+    nation->column(2).AppendI32(kNations[i].region);
+  }
+}
+
+void GenSupplier(Catalog* catalog, uint64_t count, Random* rng) {
+  Table* t = catalog->GetTable("supplier");
+  Column& suppkey = t->column("s_suppkey");
+  Column& nationkey = t->column("s_nationkey");
+  Column& acctbal = t->column("s_acctbal");
+  for (uint64_t i = 0; i < count; ++i) {
+    suppkey.AppendI64(static_cast<int64_t>(i) + 1);
+    nationkey.AppendI32(static_cast<int32_t>(rng->NextBelow(25)));
+    acctbal.AppendI64(rng->NextRange(-99999, 999999));  // -999.99..9999.99
+  }
+}
+
+void GenCustomer(Catalog* catalog, uint64_t count, Random* rng) {
+  Table* t = catalog->GetTable("customer");
+  Column& custkey = t->column("c_custkey");
+  Column& name = t->column("c_name");
+  Column& nationkey = t->column("c_nationkey");
+  Column& mktsegment = t->column("c_mktsegment");
+  Dictionary& name_dict = t->dictionary(t->ColumnIndex("c_name"));
+  Dictionary& seg_dict = t->dictionary(t->ColumnIndex("c_mktsegment"));
+  char buf[32];
+  for (uint64_t i = 0; i < count; ++i) {
+    custkey.AppendI64(static_cast<int64_t>(i) + 1);
+    std::snprintf(buf, sizeof(buf), "Customer#%09llu",
+                  static_cast<unsigned long long>(i + 1));
+    name.AppendI32(name_dict.GetOrAdd(buf));
+    nationkey.AppendI32(static_cast<int32_t>(rng->NextBelow(25)));
+    mktsegment.AppendI32(seg_dict.GetOrAdd(kSegments[rng->NextBelow(5)]));
+  }
+}
+
+void GenPart(Catalog* catalog, uint64_t count, Random* rng) {
+  Table* t = catalog->GetTable("part");
+  Column& partkey = t->column("p_partkey");
+  Column& brand = t->column("p_brand");
+  Column& type = t->column("p_type");
+  Column& size = t->column("p_size");
+  Column& container = t->column("p_container");
+  Column& retail = t->column("p_retailprice");
+  Dictionary& brand_dict = t->dictionary(t->ColumnIndex("p_brand"));
+  Dictionary& type_dict = t->dictionary(t->ColumnIndex("p_type"));
+  Dictionary& cont_dict = t->dictionary(t->ColumnIndex("p_container"));
+  char buf[64];
+  for (uint64_t i = 0; i < count; ++i) {
+    partkey.AppendI64(static_cast<int64_t>(i) + 1);
+    std::snprintf(buf, sizeof(buf), "Brand#%llu%llu",
+                  static_cast<unsigned long long>(rng->NextBelow(5) + 1),
+                  static_cast<unsigned long long>(rng->NextBelow(5) + 1));
+    brand.AppendI32(brand_dict.GetOrAdd(buf));
+    std::snprintf(buf, sizeof(buf), "%s %s %s",
+                  kTypeSyllable1[rng->NextBelow(6)],
+                  kTypeSyllable2[rng->NextBelow(5)],
+                  kTypeSyllable3[rng->NextBelow(5)]);
+    type.AppendI32(type_dict.GetOrAdd(buf));
+    size.AppendI32(static_cast<int32_t>(rng->NextBelow(50)) + 1);
+    std::snprintf(buf, sizeof(buf), "%s %s",
+                  kContainerSyllable1[rng->NextBelow(5)],
+                  kContainerSyllable2[rng->NextBelow(8)]);
+    container.AppendI32(cont_dict.GetOrAdd(buf));
+    // p_retailprice per spec: 90000 + (partkey/10 mod 20001) + 100*(partkey mod 1000), /100.
+    int64_t pk = static_cast<int64_t>(i) + 1;
+    retail.AppendI64(90000 + (pk / 10) % 20001 + 100 * (pk % 1000));
+  }
+}
+
+void GenPartsupp(Catalog* catalog, uint64_t part_count, uint64_t supp_count,
+                 Random* rng) {
+  Table* t = catalog->GetTable("partsupp");
+  Column& ps_partkey = t->column("ps_partkey");
+  Column& ps_suppkey = t->column("ps_suppkey");
+  Column& ps_availqty = t->column("ps_availqty");
+  Column& ps_supplycost = t->column("ps_supplycost");
+  for (uint64_t p = 1; p <= part_count; ++p) {
+    for (int s = 0; s < 4; ++s) {
+      ps_partkey.AppendI64(static_cast<int64_t>(p));
+      // Spec formula spreads the 4 suppliers of a part across the range.
+      uint64_t sk = (p + s * (supp_count / 4 + (p - 1) / supp_count)) %
+                        supp_count + 1;
+      ps_suppkey.AppendI64(static_cast<int64_t>(sk));
+      ps_availqty.AppendI32(static_cast<int32_t>(rng->NextBelow(9999)) + 1);
+      ps_supplycost.AppendI64(rng->NextRange(100, 100000));  // 1.00..1000.00
+    }
+  }
+}
+
+struct OrderDates {
+  int32_t min_orderdate;
+  int32_t max_orderdate;
+};
+
+void GenOrdersAndLineitem(Catalog* catalog, uint64_t order_count,
+                          uint64_t cust_count, uint64_t part_count,
+                          uint64_t supp_count, Random* rng) {
+  Table* ot = catalog->GetTable("orders");
+  Table* lt = catalog->GetTable("lineitem");
+
+  Column& o_orderkey = ot->column("o_orderkey");
+  Column& o_custkey = ot->column("o_custkey");
+  Column& o_orderstatus = ot->column("o_orderstatus");
+  Column& o_totalprice = ot->column("o_totalprice");
+  Column& o_orderdate = ot->column("o_orderdate");
+  Column& o_orderpriority = ot->column("o_orderpriority");
+  Column& o_shippriority = ot->column("o_shippriority");
+  Dictionary& status_dict = ot->dictionary(ot->ColumnIndex("o_orderstatus"));
+  Dictionary& prio_dict = ot->dictionary(ot->ColumnIndex("o_orderpriority"));
+
+  Column& l_orderkey = lt->column("l_orderkey");
+  Column& l_partkey = lt->column("l_partkey");
+  Column& l_suppkey = lt->column("l_suppkey");
+  Column& l_linenumber = lt->column("l_linenumber");
+  Column& l_quantity = lt->column("l_quantity");
+  Column& l_extendedprice = lt->column("l_extendedprice");
+  Column& l_discount = lt->column("l_discount");
+  Column& l_tax = lt->column("l_tax");
+  Column& l_returnflag = lt->column("l_returnflag");
+  Column& l_linestatus = lt->column("l_linestatus");
+  Column& l_shipdate = lt->column("l_shipdate");
+  Column& l_commitdate = lt->column("l_commitdate");
+  Column& l_receiptdate = lt->column("l_receiptdate");
+  Column& l_shipinstruct = lt->column("l_shipinstruct");
+  Column& l_shipmode = lt->column("l_shipmode");
+  Dictionary& rf_dict = lt->dictionary(lt->ColumnIndex("l_returnflag"));
+  Dictionary& ls_dict = lt->dictionary(lt->ColumnIndex("l_linestatus"));
+  Dictionary& si_dict = lt->dictionary(lt->ColumnIndex("l_shipinstruct"));
+  Dictionary& sm_dict = lt->dictionary(lt->ColumnIndex("l_shipmode"));
+
+  // Register dictionary entries in a fixed order so codes are stable across
+  // scale factors (query constants resolve codes at plan time regardless).
+  for (const char* s : {"F", "O", "P"}) status_dict.GetOrAdd(s);
+  for (const char* s : kPriorities) prio_dict.GetOrAdd(s);
+  for (const char* s : {"R", "A", "N"}) rf_dict.GetOrAdd(s);
+  for (const char* s : {"O", "F"}) ls_dict.GetOrAdd(s);
+  for (const char* s : kInstructions) si_dict.GetOrAdd(s);
+  for (const char* s : kShipModes) sm_dict.GetOrAdd(s);
+
+  const int32_t start_date = DateToDays(1992, 1, 1);
+  const int32_t end_date = DateToDays(1998, 8, 2);
+  // The "current date" used by the spec: lines shipped after it are still 'O'.
+  const int32_t current_date = DateToDays(1995, 6, 17);
+
+  // The part retail prices, re-derived (cheaper than a column lookup loop).
+  auto retail_price = [](int64_t pk) {
+    return 90000 + (pk / 10) % 20001 + 100 * (pk % 1000);
+  };
+
+  for (uint64_t o = 0; o < order_count; ++o) {
+    // Sparse order keys like the spec (gaps of 8 every 32 keys).
+    int64_t okey = static_cast<int64_t>((o / 8) * 32 + o % 8 + 1);
+    int32_t odate = static_cast<int32_t>(
+        start_date + rng->NextBelow(static_cast<uint64_t>(
+                         end_date - start_date - 151)));
+    int lines = static_cast<int>(rng->NextBelow(7)) + 1;
+    int64_t total = 0;
+    int f_lines = 0;
+    for (int ln = 0; ln < lines; ++ln) {
+      int64_t pk = static_cast<int64_t>(rng->NextBelow(part_count)) + 1;
+      int64_t sk = static_cast<int64_t>(rng->NextBelow(supp_count)) + 1;
+      int64_t qty_units = static_cast<int64_t>(rng->NextBelow(50)) + 1;
+      int64_t eprice = qty_units * retail_price(pk);
+      int64_t discount = rng->NextRange(0, 10);   // 0.00 .. 0.10
+      int64_t tax = rng->NextRange(0, 8);         // 0.00 .. 0.08
+      int32_t sdate = odate + static_cast<int32_t>(rng->NextBelow(121)) + 1;
+      int32_t cdate = odate + static_cast<int32_t>(rng->NextBelow(61)) + 30;
+      int32_t rdate = sdate + static_cast<int32_t>(rng->NextBelow(30)) + 1;
+      bool shipped = rdate <= current_date;
+      const char* rflag = shipped ? (rng->NextBool(0.5) ? "R" : "A") : "N";
+      const char* lstatus = sdate > current_date ? "O" : "F";
+      if (lstatus[0] == 'F') ++f_lines;
+
+      l_orderkey.AppendI64(okey);
+      l_partkey.AppendI64(pk);
+      l_suppkey.AppendI64(sk);
+      l_linenumber.AppendI32(ln + 1);
+      l_quantity.AppendI64(qty_units * 100);
+      l_extendedprice.AppendI64(eprice);
+      l_discount.AppendI64(discount);
+      l_tax.AppendI64(tax);
+      l_returnflag.AppendI32(rf_dict.GetOrAdd(rflag));
+      l_linestatus.AppendI32(ls_dict.GetOrAdd(lstatus));
+      l_shipdate.AppendI32(sdate);
+      l_commitdate.AppendI32(cdate);
+      l_receiptdate.AppendI32(rdate);
+      l_shipinstruct.AppendI32(
+          si_dict.GetOrAdd(kInstructions[rng->NextBelow(4)]));
+      l_shipmode.AppendI32(sm_dict.GetOrAdd(kShipModes[rng->NextBelow(7)]));
+      total += eprice;
+    }
+    const char* ostatus =
+        f_lines == lines ? "F" : (f_lines == 0 ? "O" : "P");
+    o_orderkey.AppendI64(okey);
+    o_custkey.AppendI64(static_cast<int64_t>(rng->NextBelow(cust_count)) + 1);
+    o_orderstatus.AppendI32(status_dict.GetOrAdd(ostatus));
+    o_totalprice.AppendI64(total);
+    o_orderdate.AppendI32(odate);
+    o_orderpriority.AppendI32(prio_dict.GetOrAdd(kPriorities[rng->NextBelow(5)]));
+    o_shippriority.AppendI32(0);
+  }
+}
+
+}  // namespace
+
+void GenerateTpchData(Catalog* catalog, double sf, uint64_t seed) {
+  Random rng(seed);
+  Cardinalities card = CardinalitiesForScale(sf);
+  GenRegionNation(catalog);
+  GenSupplier(catalog, card.supplier, &rng);
+  GenCustomer(catalog, card.customer, &rng);
+  GenPart(catalog, card.part, &rng);
+  GenPartsupp(catalog, card.part, card.supplier, &rng);
+  GenOrdersAndLineitem(catalog, card.orders, card.customer, card.part,
+                       card.supplier, &rng);
+}
+
+void BuildTpchDatabase(Catalog* catalog, double sf, uint64_t seed) {
+  CreateTpchSchema(catalog);
+  GenerateTpchData(catalog, sf, seed);
+}
+
+}  // namespace aqe::tpch

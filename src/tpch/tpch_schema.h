@@ -1,0 +1,36 @@
+#ifndef AQE_TPCH_TPCH_SCHEMA_H_
+#define AQE_TPCH_TPCH_SCHEMA_H_
+
+#include <cstdint>
+
+#include "storage/table.h"
+
+namespace aqe::tpch {
+
+/// Converts a calendar date to days since 1970-01-01 (proleptic Gregorian).
+/// TPC-H date columns are stored as I32 days; query constants use this too.
+int32_t DateToDays(int year, int month, int day);
+
+/// Inverse of DateToDays.
+void DaysToDate(int32_t days, int* year, int* month, int* day);
+
+/// Creates the eight TPC-H tables (empty) in `catalog` with the column
+/// subset/encodings described in DESIGN.md.
+void CreateTpchSchema(Catalog* catalog);
+
+/// TPC-H cardinalities at scale factor `sf`.
+struct Cardinalities {
+  uint64_t region;
+  uint64_t nation;
+  uint64_t supplier;
+  uint64_t customer;
+  uint64_t part;
+  uint64_t partsupp;
+  uint64_t orders;
+};
+
+Cardinalities CardinalitiesForScale(double sf);
+
+}  // namespace aqe::tpch
+
+#endif  // AQE_TPCH_TPCH_SCHEMA_H_

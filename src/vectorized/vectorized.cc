@@ -1,0 +1,302 @@
+#include "vectorized/vectorized.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/status.h"
+
+namespace aqe {
+namespace {
+
+using Vec = std::vector<int64_t>;
+using Sel = std::vector<int>;
+
+double AsF64(int64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, 8);
+  return d;
+}
+int64_t FromF64(double d) {
+  int64_t bits;
+  std::memcpy(&bits, &d, 8);
+  return bits;
+}
+
+/// Evaluates `expr` for the lanes in `sel`, writing lane-indexed results to
+/// `out`. Each node runs as one tight loop over the selection — the
+/// vectorized-primitive execution model.
+void EvalVec(const Expr& expr, const std::vector<Vec>& slot_vecs,
+             const Sel& sel, uint64_t block_n, Vec* out) {
+  out->resize(block_n);
+  switch (expr.kind) {
+    case ExprKind::kSlot: {
+      const Vec& src = slot_vecs[static_cast<size_t>(expr.slot)];
+      for (int lane : sel) (*out)[static_cast<size_t>(lane)] = src[static_cast<size_t>(lane)];
+      return;
+    }
+    case ExprKind::kConstI64:
+      for (int lane : sel) (*out)[static_cast<size_t>(lane)] = expr.i64_value;
+      return;
+    case ExprKind::kConstF64:
+      for (int lane : sel) (*out)[static_cast<size_t>(lane)] = FromF64(expr.f64_value);
+      return;
+    case ExprKind::kNot: {
+      Vec a;
+      EvalVec(*expr.children[0], slot_vecs, sel, block_n, &a);
+      for (int lane : sel) {
+        (*out)[static_cast<size_t>(lane)] = a[static_cast<size_t>(lane)] == 0;
+      }
+      return;
+    }
+    case ExprKind::kBitmapTest: {
+      Vec code;
+      EvalVec(*expr.children[0], slot_vecs, sel, block_n, &code);
+      for (int lane : sel) {
+        (*out)[static_cast<size_t>(lane)] =
+            expr.bitmap[static_cast<uint64_t>(code[static_cast<size_t>(lane)])] != 0;
+      }
+      return;
+    }
+    case ExprKind::kBoolToI64: {
+      Vec a;
+      EvalVec(*expr.children[0], slot_vecs, sel, block_n, &a);
+      for (int lane : sel) {
+        (*out)[static_cast<size_t>(lane)] = a[static_cast<size_t>(lane)] != 0;
+      }
+      return;
+    }
+    case ExprKind::kCastF64: {
+      Vec a;
+      EvalVec(*expr.children[0], slot_vecs, sel, block_n, &a);
+      for (int lane : sel) {
+        (*out)[static_cast<size_t>(lane)] =
+            FromF64(static_cast<double>(a[static_cast<size_t>(lane)]));
+      }
+      return;
+    }
+    default:
+      break;
+  }
+  // Binary kinds.
+  Vec a, b;
+  EvalVec(*expr.children[0], slot_vecs, sel, block_n, &a);
+  EvalVec(*expr.children[1], slot_vecs, sel, block_n, &b);
+  switch (expr.kind) {
+#define AQE_VEC_LOOP(op_expr)                                       \
+  for (int lane : sel) {                                            \
+    size_t i = static_cast<size_t>(lane);                           \
+    (*out)[i] = (op_expr);                                          \
+  }                                                                 \
+  return
+    case ExprKind::kAdd: AQE_VEC_LOOP(a[i] + b[i]);
+    case ExprKind::kSub: AQE_VEC_LOOP(a[i] - b[i]);
+    case ExprKind::kMul: AQE_VEC_LOOP(a[i] * b[i]);
+    case ExprKind::kDiv: AQE_VEC_LOOP(a[i] / b[i]);
+    case ExprKind::kCheckedAdd: {
+      for (int lane : sel) {
+        size_t i = static_cast<size_t>(lane);
+        int64_t r;
+        AQE_CHECK_MSG(!__builtin_add_overflow(a[i], b[i], &r),
+                      "overflow in vectorized execution");
+        (*out)[i] = r;
+      }
+      return;
+    }
+    case ExprKind::kCheckedSub: {
+      for (int lane : sel) {
+        size_t i = static_cast<size_t>(lane);
+        int64_t r;
+        AQE_CHECK_MSG(!__builtin_sub_overflow(a[i], b[i], &r),
+                      "overflow in vectorized execution");
+        (*out)[i] = r;
+      }
+      return;
+    }
+    case ExprKind::kCheckedMul: {
+      for (int lane : sel) {
+        size_t i = static_cast<size_t>(lane);
+        int64_t r;
+        AQE_CHECK_MSG(!__builtin_mul_overflow(a[i], b[i], &r),
+                      "overflow in vectorized execution");
+        (*out)[i] = r;
+      }
+      return;
+    }
+    case ExprKind::kFAdd: AQE_VEC_LOOP(FromF64(AsF64(a[i]) + AsF64(b[i])));
+    case ExprKind::kFSub: AQE_VEC_LOOP(FromF64(AsF64(a[i]) - AsF64(b[i])));
+    case ExprKind::kFMul: AQE_VEC_LOOP(FromF64(AsF64(a[i]) * AsF64(b[i])));
+    case ExprKind::kFDiv: AQE_VEC_LOOP(FromF64(AsF64(a[i]) / AsF64(b[i])));
+    case ExprKind::kEq: AQE_VEC_LOOP(a[i] == b[i]);
+    case ExprKind::kNe: AQE_VEC_LOOP(a[i] != b[i]);
+    case ExprKind::kLt: AQE_VEC_LOOP(a[i] < b[i]);
+    case ExprKind::kLe: AQE_VEC_LOOP(a[i] <= b[i]);
+    case ExprKind::kGt: AQE_VEC_LOOP(a[i] > b[i]);
+    case ExprKind::kGe: AQE_VEC_LOOP(a[i] >= b[i]);
+    case ExprKind::kAnd: AQE_VEC_LOOP((a[i] != 0) & (b[i] != 0));
+    case ExprKind::kOr: AQE_VEC_LOOP((a[i] != 0) | (b[i] != 0));
+#undef AQE_VEC_LOOP
+    default:
+      AQE_UNREACHABLE("bad ExprKind in vectorized evaluation");
+  }
+}
+
+/// Materializes one scan column for a block, widening to i64.
+void LoadColumnVec(const Column& column, uint64_t base, uint64_t n, Vec* out) {
+  out->resize(n);
+  switch (column.type()) {
+    case DataType::kI32: {
+      const auto* data = static_cast<const int32_t*>(column.data()) + base;
+      for (uint64_t i = 0; i < n; ++i) (*out)[i] = data[i];
+      return;
+    }
+    case DataType::kI64: {
+      const auto* data = static_cast<const int64_t*>(column.data()) + base;
+      for (uint64_t i = 0; i < n; ++i) (*out)[i] = data[i];
+      return;
+    }
+    case DataType::kF64: {
+      const auto* data = static_cast<const double*>(column.data()) + base;
+      for (uint64_t i = 0; i < n; ++i) (*out)[i] = FromF64(data[i]);
+      return;
+    }
+  }
+  AQE_UNREACHABLE("bad DataType");
+}
+
+}  // namespace
+
+void RunPipelineVectorized(const QueryProgram& program,
+                           const PipelineSpec& spec, QueryContext* ctx) {
+  const Table* table = program.ResolveTable(spec.source_table, *ctx);
+  const uint64_t rows = table->num_rows();
+  std::vector<const Column*> columns;
+  for (int c : spec.scan_columns) columns.push_back(&table->column(c));
+
+  AggHashTable* agg_local = nullptr;
+  if (const auto* agg = std::get_if<SinkAgg>(&spec.sink)) {
+    agg_local = ctx->agg_sets[static_cast<size_t>(agg->agg)]->Local();
+  }
+
+  std::vector<Vec> slot_vecs;
+  Vec tmp;
+  for (uint64_t base = 0; base < rows; base += kVectorSize) {
+    const uint64_t n = std::min(kVectorSize, rows - base);
+    slot_vecs.clear();
+    for (const Column* column : columns) {
+      slot_vecs.emplace_back();
+      LoadColumnVec(*column, base, n, &slot_vecs.back());
+    }
+    Sel sel(n);
+    for (uint64_t i = 0; i < n; ++i) sel[i] = static_cast<int>(i);
+
+    for (const PipelineOp& op : spec.ops) {
+      if (sel.empty()) break;
+      if (const auto* filter = std::get_if<OpFilter>(&op)) {
+        EvalVec(*filter->predicate, slot_vecs, sel, n, &tmp);
+        Sel next;
+        next.reserve(sel.size());
+        for (int lane : sel) {
+          if (tmp[static_cast<size_t>(lane)] != 0) next.push_back(lane);
+        }
+        sel = std::move(next);
+      } else if (const auto* compute = std::get_if<OpCompute>(&op)) {
+        slot_vecs.emplace_back();
+        EvalVec(*compute->expr, slot_vecs, sel, n,
+                &slot_vecs.back());
+      } else {
+        const auto& probe = std::get<OpProbe>(op);
+        JoinHashTable* ht =
+            ctx->join_tables[static_cast<size_t>(probe.ht)].get();
+        AQE_CHECK_MSG(ht != nullptr, "join table not built");
+        EvalVec(*probe.key, slot_vecs, sel, n, &tmp);
+        Sel next;
+        next.reserve(sel.size());
+        size_t payload_base = slot_vecs.size();
+        if (probe.kind == JoinKind::kInner) {
+          for (int k = 0; k < probe.payload_slots; ++k) {
+            slot_vecs.emplace_back(n);
+          }
+        }
+        for (int lane : sel) {
+          size_t i = static_cast<size_t>(lane);
+          void* node = ht->Lookup(tmp[i]);
+          if (probe.kind == JoinKind::kAnti) {
+            if (node == nullptr) next.push_back(lane);
+            continue;
+          }
+          if (node == nullptr) continue;
+          if (probe.kind == JoinKind::kInner) {
+            const auto* payload = reinterpret_cast<const int64_t*>(
+                static_cast<const uint8_t*>(node) + 16);
+            for (int k = 0; k < probe.payload_slots; ++k) {
+              slot_vecs[payload_base + static_cast<size_t>(k)][i] = payload[k];
+            }
+          }
+          next.push_back(lane);
+        }
+        sel = std::move(next);
+      }
+    }
+    if (sel.empty()) continue;
+
+    if (const auto* build = std::get_if<SinkBuild>(&spec.sink)) {
+      JoinHashTable* ht =
+          ctx->join_tables[static_cast<size_t>(build->ht)].get();
+      AQE_CHECK_MSG(ht != nullptr, "join table not built");
+      Vec key;
+      EvalVec(*build->key, slot_vecs, sel, n, &key);
+      std::vector<Vec> payload_vecs(build->payload.size());
+      for (size_t k = 0; k < build->payload.size(); ++k) {
+        EvalVec(*build->payload[k], slot_vecs, sel, n, &payload_vecs[k]);
+      }
+      for (int lane : sel) {
+        size_t i = static_cast<size_t>(lane);
+        auto* payload = static_cast<int64_t*>(ht->Insert(key[i]));
+        for (size_t k = 0; k < payload_vecs.size(); ++k) {
+          payload[k] = payload_vecs[k][i];
+        }
+      }
+    } else if (const auto* agg = std::get_if<SinkAgg>(&spec.sink)) {
+      Vec key;
+      EvalVec(*agg->key, slot_vecs, sel, n, &key);
+      std::vector<Vec> value_vecs(agg->items.size());
+      for (size_t k = 0; k < agg->items.size(); ++k) {
+        if (agg->items[k].kind != AggKind::kCount) {
+          EvalVec(*agg->items[k].value, slot_vecs, sel, n, &value_vecs[k]);
+        }
+      }
+      for (int lane : sel) {
+        size_t i = static_cast<size_t>(lane);
+        auto* payload = static_cast<int64_t*>(agg_local->FindOrInsert(key[i]));
+        for (size_t k = 0; k < agg->items.size(); ++k) {
+          switch (agg->items[k].kind) {
+            case AggKind::kCount: payload[k] += 1; break;
+            case AggKind::kSum: payload[k] += value_vecs[k][i]; break;
+            case AggKind::kMin:
+              payload[k] = std::min(payload[k], value_vecs[k][i]);
+              break;
+            case AggKind::kMax:
+              payload[k] = std::max(payload[k], value_vecs[k][i]);
+              break;
+          }
+        }
+      }
+    } else {
+      const auto& out = std::get<SinkOutput>(spec.sink);
+      OutputBuffer* buffer = ctx->outputs[static_cast<size_t>(out.output)].get();
+      std::vector<Vec> value_vecs(out.values.size());
+      for (size_t k = 0; k < out.values.size(); ++k) {
+        EvalVec(*out.values[k], slot_vecs, sel, n, &value_vecs[k]);
+      }
+      for (int lane : sel) {
+        size_t i = static_cast<size_t>(lane);
+        int64_t* row = buffer->AllocRow();
+        for (size_t k = 0; k < value_vecs.size(); ++k) {
+          row[k] = value_vecs[k][i];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace aqe

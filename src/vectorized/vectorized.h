@@ -1,0 +1,21 @@
+#ifndef AQE_VECTORIZED_VECTORIZED_H_
+#define AQE_VECTORIZED_VECTORIZED_H_
+
+#include "plan/plan.h"
+
+namespace aqe {
+
+/// Column-at-a-time execution of a pipeline — the MonetDB stand-in of
+/// Tables I/II (see DESIGN.md): no compilation, tight per-primitive loops
+/// over vectors of 1024 values with selection vectors, paying
+/// materialization instead of per-tuple interpretation overhead.
+/// Single-threaded.
+void RunPipelineVectorized(const QueryProgram& program,
+                           const PipelineSpec& spec, QueryContext* ctx);
+
+/// Vector size used by the engine (exposed for tests).
+constexpr uint64_t kVectorSize = 1024;
+
+}  // namespace aqe
+
+#endif  // AQE_VECTORIZED_VECTORIZED_H_

@@ -1,0 +1,143 @@
+#ifndef AQE_VM_BYTECODE_H_
+#define AQE_VM_BYTECODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aqe {
+
+/// Opcodes of the bytecode virtual machine (§IV). The instruction set is
+/// fixed-length and statically typed: the operand type is baked into the
+/// opcode (add_i32 vs add_i64), unlike LLVM IR's single polymorphic add,
+/// which is what makes interpretation cheap. Macro opcodes (…_ovf_br,
+/// load/store with fused address arithmetic) collapse frequently occurring
+/// LLVM instruction sequences into one VM instruction (§IV-F).
+///
+/// Macro list format: V(name) — the semantics are implemented in one line
+/// each in the interpreter switch (vm/interpreter.cc), mirroring Fig 8.
+#define AQE_OPCODE_LIST(V)                                                   \
+  /* moves and constants */                                                  \
+  V(mov64)          /* r[a1] = r[a2] (full slot; used for phi copies) */     \
+  /* integer arithmetic */                                                   \
+  V(add_i32) V(add_i64) V(sub_i32) V(sub_i64) V(mul_i32) V(mul_i64)          \
+  V(sdiv_i32) V(sdiv_i64) V(udiv_i32) V(udiv_i64)                            \
+  V(srem_i32) V(srem_i64) V(urem_i32) V(urem_i64)                            \
+  /* overflow-checked macro ops: result + branch-on-overflow in one */       \
+  V(sadd_ovf_br_i32) V(sadd_ovf_br_i64) V(ssub_ovf_br_i32)                   \
+  V(ssub_ovf_br_i64) V(smul_ovf_br_i32) V(smul_ovf_br_i64)                   \
+  /* unfused overflow intrinsics (value + flag), for the fusion ablation */  \
+  V(sadd_ovf_i32) V(sadd_ovf_i64) V(ssub_ovf_i32) V(ssub_ovf_i64)            \
+  V(smul_ovf_i32) V(smul_ovf_i64)                                            \
+  /* bitwise */                                                              \
+  V(and_i1) V(and_i32) V(and_i64) V(or_i1) V(or_i32) V(or_i64)               \
+  V(xor_i1) V(xor_i32) V(xor_i64)                                            \
+  V(shl_i32) V(shl_i64) V(lshr_i32) V(lshr_i64) V(ashr_i32) V(ashr_i64)      \
+  /* integer comparisons -> i1 */                                            \
+  V(icmp_eq_i32) V(icmp_eq_i64) V(icmp_ne_i32) V(icmp_ne_i64)                \
+  V(icmp_slt_i32) V(icmp_slt_i64) V(icmp_sle_i32) V(icmp_sle_i64)            \
+  V(icmp_sgt_i32) V(icmp_sgt_i64) V(icmp_sge_i32) V(icmp_sge_i64)            \
+  V(icmp_ult_i32) V(icmp_ult_i64) V(icmp_ule_i32) V(icmp_ule_i64)            \
+  V(icmp_ugt_i32) V(icmp_ugt_i64) V(icmp_uge_i32) V(icmp_uge_i64)            \
+  /* floating point */                                                       \
+  V(fadd_f64) V(fsub_f64) V(fmul_f64) V(fdiv_f64) V(fneg_f64)                \
+  V(fcmp_oeq_f64) V(fcmp_one_f64) V(fcmp_olt_f64) V(fcmp_ole_f64)            \
+  V(fcmp_ogt_f64) V(fcmp_oge_f64) V(fcmp_une_f64)                            \
+  /* casts */                                                                \
+  V(sext_i1_i64) V(sext_i8_i64) V(sext_i32_i64) V(sext_i8_i32)               \
+  V(sext_i16_i64) V(sext_i16_i32)                                            \
+  V(zext_i1_i32) V(zext_i1_i64) V(zext_i8_i32) V(zext_i8_i64)                \
+  V(zext_i16_i32) V(zext_i16_i64) V(zext_i32_i64) V(zext_i1_i8)              \
+  V(trunc_i64_i32) V(trunc_i64_i16) V(trunc_i64_i8) V(trunc_i32_i8)          \
+  V(trunc_i64_i1) V(trunc_i32_i1) V(trunc_i32_i16)                           \
+  V(sitofp_i32_f64) V(sitofp_i64_f64) V(fptosi_f64_i64) V(fptosi_f64_i32)    \
+  V(uitofp_i64_f64) V(bitcast_i64_f64) V(bitcast_f64_i64)                    \
+  /* select */                                                               \
+  V(select_i32) V(select_i64) V(select_f64)                                  \
+  /* memory: plain (address in register, constant byte offset in lit) */     \
+  V(load_i8) V(load_i16) V(load_i32) V(load_i64) V(load_f64)                 \
+  V(store_i8) V(store_i16) V(store_i32) V(store_i64) V(store_f64)            \
+  /* memory: fused GEP + access — lit packs scale (hi32) and offset (lo32),  \
+     address = r[a2] + r[a3]*scale + offset (§IV-F macro op) */              \
+  V(load_idx_i8) V(load_idx_i16) V(load_idx_i32) V(load_idx_i64)             \
+  V(load_idx_f64)                                                            \
+  V(store_idx_i8) V(store_idx_i16) V(store_idx_i32) V(store_idx_i64)         \
+  V(store_idx_f64)                                                           \
+  /* standalone pointer arithmetic: r[a1] = r[a2] + r[a3]*scale + offset */  \
+  V(gep) V(gep_const) /* gep_const: r[a1] = r[a2] + offset */                \
+  /* control flow: targets are instruction indices */                        \
+  V(br)        /* lit = target */                                            \
+  V(condbr)    /* a1 = cond reg, a2 = then target, a3 = else target */       \
+  V(ret_void) V(ret) /* ret: returns full 8-byte slot r[a1] */               \
+  V(trap)      /* llvm unreachable */                                        \
+  /* calls to registered C++ runtime functions; lit = function address.     \
+     All runtime functions take/return i64-compatible values (DESIGN.md). */ \
+  V(call_i64_0) V(call_i64_1) V(call_i64_2)                                  \
+  V(call_void_0) V(call_void_1) V(call_void_2)                               \
+  V(push_arg)  /* append r[a1] to the pending argument buffer */             \
+  V(call_i64_n) V(call_void_n) /* a2 = nargs, consumes pending args */
+
+enum class Opcode : uint32_t {
+#define AQE_DECLARE_OPCODE(name) k_##name,
+  AQE_OPCODE_LIST(AQE_DECLARE_OPCODE)
+#undef AQE_DECLARE_OPCODE
+      kNumOpcodes
+};
+
+/// Opcode mnemonic for disassembly.
+const char* OpcodeName(Opcode op);
+
+/// One fixed-length (24-byte) VM instruction. a1..a3 are byte offsets into
+/// the register file (or, for control flow, instruction indices); lit is an
+/// immediate: branch target, packed scale/offset, or callee address.
+struct BcInstruction {
+  uint32_t op;
+  uint32_t a1;
+  uint32_t a2;
+  uint32_t a3;
+  uint64_t lit;
+};
+static_assert(sizeof(BcInstruction) == 24, "fixed-length encoding");
+
+/// Packs the (scale, offset) immediate of fused memory ops.
+inline uint64_t PackScaleOffset(uint32_t scale, int32_t offset) {
+  return (static_cast<uint64_t>(scale) << 32) |
+         static_cast<uint32_t>(offset);
+}
+inline uint32_t UnpackScale(uint64_t lit) {
+  return static_cast<uint32_t>(lit >> 32);
+}
+inline int32_t UnpackOffset(uint64_t lit) {
+  return static_cast<int32_t>(static_cast<uint32_t>(lit));
+}
+
+/// A translated function: the unit the FunctionHandle stores alongside (or
+/// instead of) compiled machine code.
+struct BcProgram {
+  std::vector<BcInstruction> code;
+
+  /// Size of the register file in bytes (8-byte slots). Slots 0 and 8 hold
+  /// the constants 0 and 1 (§IV-A).
+  uint32_t register_file_size = 16;
+
+  /// Constants materialized into the register file on entry.
+  struct PoolEntry {
+    uint32_t offset;
+    uint64_t value;
+  };
+  std::vector<PoolEntry> constant_pool;
+
+  /// Register offsets that receive the function arguments, in order.
+  std::vector<uint32_t> arg_offsets;
+
+  /// Stats for the cost model and the ablation benches.
+  uint64_t source_instructions = 0;  ///< LLVM instructions translated
+  uint64_t fused_instructions = 0;   ///< LLVM instructions folded away
+
+  /// Human-readable disassembly.
+  std::string Disassemble() const;
+};
+
+}  // namespace aqe
+
+#endif  // AQE_VM_BYTECODE_H_

@@ -1,0 +1,30 @@
+#ifndef AQE_VM_INTERPRETER_H_
+#define AQE_VM_INTERPRETER_H_
+
+#include <cstdint>
+
+#include "vm/bytecode.h"
+
+namespace aqe {
+
+/// Executes a translated program with the given arguments (each argument is
+/// one 8-byte register slot: integers zero/sign-agnostic raw bits, pointers
+/// as addresses, doubles bit-cast). Returns the raw 8-byte slot of the `ret`
+/// instruction (0 for `ret_void`); callers mask to the function's return
+/// width.
+///
+/// The register file lives on the interpreter's stack when it fits (§IV-A);
+/// larger files fall back to the heap.
+uint64_t VmExecute(const BcProgram& program, const uint64_t* args,
+                   int num_args);
+
+/// Convenience for the worker-function ABI
+/// `void worker(void* state, uint64_t begin, uint64_t end, void* vm_program)`
+/// (§IV-E: the trailing argument is the program itself, redundant for
+/// machine code, required by the VM).
+void VmExecuteWorker(const BcProgram& program, void* state, uint64_t begin,
+                     uint64_t end);
+
+}  // namespace aqe
+
+#endif  // AQE_VM_INTERPRETER_H_

@@ -1,0 +1,59 @@
+#include "vm/register_allocator.h"
+
+#include "common/status.h"
+
+namespace aqe {
+
+const char* RegAllocStrategyName(RegAllocStrategy strategy) {
+  switch (strategy) {
+    case RegAllocStrategy::kNoReuse: return "no-reuse";
+    case RegAllocStrategy::kWindow: return "window";
+    case RegAllocStrategy::kLoopAware: return "loop-aware";
+  }
+  AQE_UNREACHABLE("bad strategy");
+}
+
+RegisterAllocator::RegisterAllocator(RegAllocStrategy strategy,
+                                     int window_size)
+    : strategy_(strategy), window_size_(window_size) {
+  AQE_CHECK(window_size_ > 0);
+}
+
+uint32_t RegisterAllocator::Alloc(int start_block, int end_block) {
+  (void)start_block;
+  (void)end_block;
+  if (!free_list_.empty()) {
+    uint32_t offset = free_list_.back();
+    free_list_.pop_back();
+    return offset;
+  }
+  uint32_t offset = next_offset_;
+  next_offset_ += 8;
+  return offset;
+}
+
+uint32_t RegisterAllocator::AllocPermanent() {
+  uint32_t offset = next_offset_;
+  next_offset_ += 8;
+  return offset;
+}
+
+void RegisterAllocator::Release(uint32_t offset, int start_block,
+                                int end_block) {
+  switch (strategy_) {
+    case RegAllocStrategy::kNoReuse:
+      return;
+    case RegAllocStrategy::kWindow:
+      // Reuse only when the whole live range sits inside one window of
+      // `window_size_` consecutive blocks; ranges that cross a window
+      // boundary keep their slot forever (conservatively correct, larger
+      // register file).
+      if (start_block / window_size_ != end_block / window_size_) return;
+      break;
+    case RegAllocStrategy::kLoopAware:
+      break;
+  }
+  free_list_.push_back(offset);
+}
+
+}  // namespace aqe

@@ -1,0 +1,38 @@
+#ifndef AQE_VM_TRANSLATOR_H_
+#define AQE_VM_TRANSLATOR_H_
+
+#include <memory>
+
+#include <llvm/IR/Function.h>
+
+#include "runtime/runtime_registry.h"
+#include "vm/bytecode.h"
+#include "vm/register_allocator.h"
+
+namespace aqe {
+
+/// Options for LLVM-IR-to-bytecode translation.
+struct TranslatorOptions {
+  RegAllocStrategy strategy = RegAllocStrategy::kLoopAware;
+  /// Window size (in blocks) for RegAllocStrategy::kWindow.
+  int window_size = 16;
+  /// Enables the §IV-F macro-op fusion (overflow-check sequences and
+  /// GEP+load/store pairs collapse to one VM instruction each).
+  bool fuse_macro_ops = true;
+};
+
+/// Translates `fn` into a BcProgram following Fig 9: compute liveness and
+/// block order, then translate block by block, allocating registers as
+/// values become live, folding subsumed instruction sequences, propagating
+/// phi values at block ends, and releasing registers whose values died.
+/// Linear in the size of the function.
+///
+/// Calls must target functions registered in `registry` (resolved here, at
+/// translation time, so the interpreter just jumps through the immediate).
+BcProgram TranslateToBytecode(const llvm::Function& fn,
+                              const RuntimeRegistry& registry,
+                              const TranslatorOptions& options = {});
+
+}  // namespace aqe
+
+#endif  // AQE_VM_TRANSLATOR_H_

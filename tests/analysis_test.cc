@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <llvm/IR/IRBuilder.h>
+
+#include "analysis/cfg_analysis.h"
+#include "analysis/liveness.h"
+#include "ir/ir_module.h"
+#include "ir/ir_stats.h"
+#include "tests/ir_test_util.h"
+
+namespace aqe {
+namespace {
+
+using testutil::CfgBuilder;
+
+// --- RPO labeling -----------------------------------------------------------
+
+TEST(CfgOrderTest, StraightLine) {
+  CfgBuilder b(3);
+  b.Br(0, 1);
+  b.Br(1, 2);
+  b.Ret(2);
+  CfgAnalysis cfg(*b.fn);
+  EXPECT_EQ(cfg.num_blocks(), 3);
+  EXPECT_EQ(cfg.LabelOf(b.blocks[0]), 0);
+  EXPECT_EQ(cfg.LabelOf(b.blocks[1]), 1);
+  EXPECT_EQ(cfg.LabelOf(b.blocks[2]), 2);
+}
+
+TEST(CfgOrderTest, DiamondPlacesJoinLast) {
+  // 0 -> {1,2} -> 3
+  CfgBuilder b(4);
+  b.CondBr(0, 1, 2);
+  b.Br(1, 3);
+  b.Br(2, 3);
+  b.Ret(3);
+  CfgAnalysis cfg(*b.fn);
+  EXPECT_EQ(cfg.LabelOf(b.blocks[0]), 0);
+  EXPECT_EQ(cfg.LabelOf(b.blocks[3]), 3);
+  // Both arms come before the join.
+  EXPECT_LT(cfg.LabelOf(b.blocks[1]), 3);
+  EXPECT_LT(cfg.LabelOf(b.blocks[2]), 3);
+}
+
+TEST(CfgOrderTest, UnreachableBlockGetsMinusOne) {
+  CfgBuilder b(3);
+  b.Br(0, 2);
+  b.Ret(1);  // unreachable
+  b.Ret(2);
+  CfgAnalysis cfg(*b.fn);
+  EXPECT_EQ(cfg.num_blocks(), 2);
+  EXPECT_EQ(cfg.LabelOf(b.blocks[1]), -1);
+}
+
+// --- Dominators --------------------------------------------------------------
+
+TEST(DominatorTest, Diamond) {
+  CfgBuilder b(4);
+  b.CondBr(0, 1, 2);
+  b.Br(1, 3);
+  b.Br(2, 3);
+  b.Ret(3);
+  CfgAnalysis cfg(*b.fn);
+  int l1 = cfg.LabelOf(b.blocks[1]);
+  int l2 = cfg.LabelOf(b.blocks[2]);
+  int l3 = cfg.LabelOf(b.blocks[3]);
+  EXPECT_EQ(cfg.ImmediateDominator(0), -1);
+  EXPECT_EQ(cfg.ImmediateDominator(l1), 0);
+  EXPECT_EQ(cfg.ImmediateDominator(l2), 0);
+  EXPECT_EQ(cfg.ImmediateDominator(l3), 0);  // join dominated by fork only
+  EXPECT_TRUE(cfg.Dominates(0, l3));
+  EXPECT_TRUE(cfg.Dominates(l3, l3));
+  EXPECT_FALSE(cfg.Dominates(l1, l3));
+  EXPECT_FALSE(cfg.Dominates(l1, l2));
+}
+
+TEST(DominatorTest, Chain) {
+  CfgBuilder b(3);
+  b.Br(0, 1);
+  b.Br(1, 2);
+  b.Ret(2);
+  CfgAnalysis cfg(*b.fn);
+  EXPECT_EQ(cfg.ImmediateDominator(1), 0);
+  EXPECT_EQ(cfg.ImmediateDominator(2), 1);
+  EXPECT_TRUE(cfg.Dominates(0, 2));
+  EXPECT_TRUE(cfg.Dominates(1, 2));
+  EXPECT_FALSE(cfg.Dominates(2, 1));
+}
+
+// --- Loops -------------------------------------------------------------------
+
+TEST(LoopTest, PseudoLoopAlwaysPresent) {
+  CfgBuilder b(1);
+  b.Ret(0);
+  CfgAnalysis cfg(*b.fn);
+  ASSERT_EQ(cfg.loops().size(), 1u);
+  EXPECT_EQ(cfg.loops()[0].head, 0);
+  EXPECT_EQ(cfg.loops()[0].last, 0);
+  EXPECT_EQ(cfg.loops()[0].depth, 0);
+  EXPECT_EQ(cfg.InnermostLoopOf(0), 0);
+}
+
+TEST(LoopTest, SimpleLoop) {
+  // 0 -> 1 (head); 1 -> {2 (body), 3 (exit)}; 2 -> 1; 3 ret
+  CfgBuilder b(4);
+  b.Br(0, 1);
+  b.CondBr(1, 2, 3);
+  b.Br(2, 1);
+  b.Ret(3);
+  CfgAnalysis cfg(*b.fn);
+  int head = cfg.LabelOf(b.blocks[1]);
+  int body = cfg.LabelOf(b.blocks[2]);
+  int exit = cfg.LabelOf(b.blocks[3]);
+  EXPECT_TRUE(cfg.IsLoopHead(head));
+  EXPECT_FALSE(cfg.IsLoopHead(body));
+  ASSERT_EQ(cfg.loops().size(), 2u);
+  const auto& loop = cfg.loops()[1];
+  EXPECT_EQ(loop.head, head);
+  EXPECT_EQ(loop.last, body);
+  EXPECT_EQ(loop.depth, 1);
+  EXPECT_EQ(cfg.InnermostLoopOf(body), 1);
+  EXPECT_EQ(cfg.InnermostLoopOf(exit), 0);  // exit is outside the loop
+}
+
+TEST(LoopTest, NestedLoops) {
+  // 0 -> 1(outer head) -> 2(inner head) -> 3(inner body) -> 2; 2 -> 4 -> 1;
+  // 1 -> 5 exit
+  CfgBuilder b(6);
+  b.Br(0, 1);
+  b.CondBr(1, 2, 5);
+  b.CondBr(2, 3, 4);
+  b.Br(3, 2);
+  b.Br(4, 1);
+  b.Ret(5);
+  CfgAnalysis cfg(*b.fn);
+  int outer_head = cfg.LabelOf(b.blocks[1]);
+  int inner_head = cfg.LabelOf(b.blocks[2]);
+  int inner_body = cfg.LabelOf(b.blocks[3]);
+  int outer_tail = cfg.LabelOf(b.blocks[4]);
+  EXPECT_TRUE(cfg.IsLoopHead(outer_head));
+  EXPECT_TRUE(cfg.IsLoopHead(inner_head));
+  ASSERT_EQ(cfg.loops().size(), 3u);
+  int inner_loop = cfg.InnermostLoopOf(inner_body);
+  int outer_loop = cfg.InnermostLoopOf(outer_tail);
+  EXPECT_EQ(cfg.loops()[static_cast<size_t>(inner_loop)].depth, 2);
+  EXPECT_EQ(cfg.loops()[static_cast<size_t>(outer_loop)].depth, 1);
+  EXPECT_EQ(cfg.loops()[static_cast<size_t>(inner_loop)].parent, outer_loop);
+  EXPECT_EQ(cfg.CommonLoop(inner_loop, outer_loop), outer_loop);
+}
+
+// --- Liveness (Fig 10/11) ----------------------------------------------------
+
+TEST(LivenessTest, StraightLineRange) {
+  CfgBuilder b(3);
+  // v defined in block 0, used in block 2.
+  b.builder.SetInsertPoint(b.blocks[0]);
+  llvm::Value* v = b.builder.CreateAdd(b.fn->getArg(0), b.builder.getInt64(1), "v");
+  b.builder.CreateBr(b.blocks[1]);
+  b.Br(1, 2);
+  b.builder.SetInsertPoint(b.blocks[2]);
+  b.builder.CreateRet(v);
+  CfgAnalysis cfg(*b.fn);
+  LivenessInfo live = ComputeLiveness(*b.fn, cfg);
+  EXPECT_EQ(live.range(v).start, 0);
+  EXPECT_EQ(live.range(v).end, 2);
+}
+
+TEST(LivenessTest, Fig10LoopExtension) {
+  // Paper Fig 10: v defined in block 2, used in block 5 which sits in a loop
+  // [3,6]; the lifetime must extend to [2,6].
+  //
+  //   0 -> 1 -> 2 -> 3(head) -> 4 -> 5 -> 6 -> 3 (back edge), 6 -> 7 ret
+  CfgBuilder b(8);
+  b.Br(0, 1);
+  b.Br(1, 2);
+  b.builder.SetInsertPoint(b.blocks[2]);
+  llvm::Value* v =
+      b.builder.CreateAdd(b.fn->getArg(0), b.builder.getInt64(7), "v");
+  b.builder.CreateBr(b.blocks[3]);
+  b.Br(3, 4);
+  b.Br(4, 5);
+  b.builder.SetInsertPoint(b.blocks[5]);
+  llvm::Value* z = b.builder.CreateAdd(v, b.builder.getInt64(1), "z");
+  (void)z;
+  b.builder.CreateBr(b.blocks[6]);
+  b.CondBr(6, 3, 7);
+  b.Ret(7);
+  CfgAnalysis cfg(*b.fn);
+  // Sanity: block i gets label i in this topology.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(cfg.LabelOf(b.blocks[static_cast<size_t>(i)]), i);
+  }
+  ASSERT_TRUE(cfg.IsLoopHead(3));
+  LivenessInfo live = ComputeLiveness(*b.fn, cfg);
+  EXPECT_EQ(live.range(v).start, 2);
+  EXPECT_EQ(live.range(v).end, 6);  // extended to the loop's last block
+  // z lives only within the loop blocks it touches.
+  EXPECT_GE(live.range(z).start, 3);
+  EXPECT_LE(live.range(z).end, 6);
+}
+
+TEST(LivenessTest, ValueLocalToLoopStaysLocal) {
+  // A value defined and used inside one loop iteration must not leak out.
+  CfgBuilder b(4);
+  b.Br(0, 1);
+  b.builder.SetInsertPoint(b.blocks[1]);
+  llvm::Value* t = b.builder.CreateMul(b.fn->getArg(0), b.builder.getInt64(3), "t");
+  llvm::Value* u = b.builder.CreateAdd(t, b.builder.getInt64(1), "u");
+  llvm::Value* c = b.builder.CreateICmpSLT(u, b.builder.getInt64(100), "c");
+  b.builder.CreateCondBr(c, b.blocks[1], b.blocks[2]);
+  b.Br(2, 3);
+  b.Ret(3);
+  CfgAnalysis cfg(*b.fn);
+  LivenessInfo live = ComputeLiveness(*b.fn, cfg);
+  int l1 = cfg.LabelOf(b.blocks[1]);
+  EXPECT_EQ(live.range(t).start, l1);
+  EXPECT_EQ(live.range(t).end, l1);
+}
+
+TEST(LivenessTest, PhiOperandReadAtEndOfIncomingBlock) {
+  // 0: v0 = arg+1, br 1
+  // 1: phi [v0 from 0], [v1 from 2]; cond -> 2 or 3
+  // 2: v1 = phi * 2, br 1
+  // 3: ret phi
+  CfgBuilder b(4);
+  auto& ib = b.builder;
+  ib.SetInsertPoint(b.blocks[0]);
+  llvm::Value* v0 = ib.CreateAdd(b.fn->getArg(0), ib.getInt64(1), "v0");
+  ib.CreateBr(b.blocks[1]);
+  ib.SetInsertPoint(b.blocks[1]);
+  llvm::PHINode* phi = ib.CreatePHI(ib.getInt64Ty(), 2, "phi");
+  llvm::Value* c = ib.CreateICmpSLT(phi, ib.getInt64(100), "c");
+  ib.CreateCondBr(c, b.blocks[2], b.blocks[3]);
+  ib.SetInsertPoint(b.blocks[2]);
+  llvm::Value* v1 = ib.CreateMul(phi, ib.getInt64(2), "v1");
+  ib.CreateBr(b.blocks[1]);
+  ib.SetInsertPoint(b.blocks[3]);
+  ib.CreateRet(phi);
+  phi->addIncoming(v0, b.blocks[0]);
+  phi->addIncoming(v1, b.blocks[2]);
+
+  CfgAnalysis cfg(*b.fn);
+  LivenessInfo live = ComputeLiveness(*b.fn, cfg);
+  int l0 = cfg.LabelOf(b.blocks[0]);
+  int l1 = cfg.LabelOf(b.blocks[1]);
+  int l2 = cfg.LabelOf(b.blocks[2]);
+  int l3 = cfg.LabelOf(b.blocks[3]);
+  // v0 is read at the end of block 0 (its incoming edge) and dies there:
+  // the phi's own register carries the value onward (paper §IV-D phi rule).
+  EXPECT_EQ(live.range(v0).start, l0);
+  EXPECT_EQ(live.range(v0).end, l0);
+  // Likewise v1 is defined in 2 and read at the end of 2.
+  EXPECT_EQ(live.range(v1).start, l2);
+  EXPECT_EQ(live.range(v1).end, l2);
+  // The phi is written at the end of each incoming block (0 and 2) and read
+  // in its own block and in block 3: its range spans everything.
+  EXPECT_LE(live.range(phi).start, l0);
+  EXPECT_GE(live.range(phi).end, l3);
+  EXPECT_GE(live.range(phi).end, l1);
+}
+
+TEST(LivenessTest, ArgumentsStartInEntry) {
+  CfgBuilder b(2);
+  b.Br(0, 1);
+  b.builder.SetInsertPoint(b.blocks[1]);
+  b.builder.CreateRet(b.fn->getArg(0));
+  CfgAnalysis cfg(*b.fn);
+  LivenessInfo live = ComputeLiveness(*b.fn, cfg);
+  const llvm::Value* arg = b.fn->getArg(0);
+  EXPECT_EQ(live.range(arg).start, 0);
+  EXPECT_EQ(live.range(arg).end, 1);
+}
+
+TEST(LivenessTest, AllInstructionsTracked) {
+  CfgBuilder b(2);
+  b.builder.SetInsertPoint(b.blocks[0]);
+  llvm::Value* v = b.builder.CreateAdd(b.fn->getArg(0), b.builder.getInt64(1));
+  b.builder.CreateBr(b.blocks[1]);
+  b.builder.SetInsertPoint(b.blocks[1]);
+  b.builder.CreateRet(v);
+  CfgAnalysis cfg(*b.fn);
+  LivenessInfo live = ComputeLiveness(*b.fn, cfg);
+  // arg + add tracked; br/ret produce no values.
+  EXPECT_EQ(live.values().size(), 2u);
+  EXPECT_TRUE(live.tracked(v));
+  EXPECT_FALSE(live.tracked(b.blocks[0]->getTerminator()));
+}
+
+// --- IR stats ---------------------------------------------------------------
+
+TEST(IrStatsTest, CountsInstructions) {
+  CfgBuilder b(2);
+  b.builder.SetInsertPoint(b.blocks[0]);
+  llvm::Value* v = b.builder.CreateAdd(b.fn->getArg(0), b.builder.getInt64(1));
+  b.builder.CreateBr(b.blocks[1]);
+  b.builder.SetInsertPoint(b.blocks[1]);
+  b.builder.CreateRet(v);
+  IrFunctionStats stats = ComputeFunctionStats(*b.fn);
+  EXPECT_EQ(stats.instructions, 3u);  // add, br, ret
+  EXPECT_EQ(stats.basic_blocks, 2u);
+  EXPECT_EQ(stats.calls, 0u);
+  EXPECT_EQ(CountModuleInstructions(b.mod.module()), 3u);
+}
+
+TEST(IrModuleTest, VerifyCleanModule) {
+  CfgBuilder b(1);
+  b.Ret(0);
+  EXPECT_EQ(b.mod.Verify(), "");
+  EXPECT_NE(b.mod.Print().find("define"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aqe

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/fixed_point.h"
+#include "engine/query_engine.h"
+#include "plan/expr.h"
+#include "plan/plan.h"
+#include "storage/table.h"
+
+namespace aqe {
+namespace {
+
+/// A small synthetic database: one fact table and one dimension table.
+class EngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    Table* dim = catalog_->CreateTable("dim");
+    dim->AddColumn("d_key", DataType::kI64);
+    dim->AddColumn("d_group", DataType::kI32);
+    for (int64_t k = 0; k < 100; ++k) {
+      dim->column(0).AppendI64(k);
+      dim->column(1).AppendI32(static_cast<int32_t>(k % 7));
+    }
+    Table* fact = catalog_->CreateTable("fact");
+    fact->AddColumn("f_key", DataType::kI64);
+    fact->AddColumn("f_value", DataType::kI64);
+    fact->AddColumn("f_flag", DataType::kI32);
+    for (int64_t i = 0; i < 50000; ++i) {
+      fact->column(0).AppendI64((i * 37) % 120);  // some keys miss the dim
+      fact->column(1).AppendI64(i % 1000);
+      fact->column(2).AppendI32(static_cast<int32_t>(i % 3));
+    }
+    engine_ = new QueryEngine(catalog_, /*num_threads=*/2);
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete catalog_;
+  }
+
+  /// SELECT d_group, sum(f_value), count(*) FROM fact JOIN dim ON f_key =
+  /// d_key WHERE f_flag <> 2 GROUP BY d_group ORDER BY d_group.
+  static QueryProgram BuildJoinAggQuery() {
+    QueryProgram q("join_agg");
+    int dim_id = q.DeclareBaseTable("dim");
+    int fact_id = q.DeclareBaseTable("fact");
+    int ht = q.DeclareJoinTable(/*payload_slots=*/1);
+    int agg = q.DeclareAggSet(2, {0, 0});
+    (void)q.DeclareOutput(3);
+
+    // queryStart-style C++ step: create the join hash table.
+    q.AddStep([ht](QueryContext* ctx) {
+      ctx->join_tables[static_cast<size_t>(ht)] =
+          std::make_unique<JoinHashTable>(
+              ctx->catalog->GetTable("dim")->num_rows(), 1);
+    });
+
+    // Pipeline 1: build dim hash table (payload: d_group).
+    PipelineSpec build;
+    build.name = "build dim";
+    build.source_table = dim_id;
+    build.scan_columns = {0, 1};  // d_key, d_group
+    SinkBuild sink_build;
+    sink_build.ht = ht;
+    sink_build.key = Slot(0);
+    sink_build.payload.push_back(Slot(1));
+    build.sink = std::move(sink_build);
+    q.AddPipeline(std::move(build));
+
+    // Pipeline 2: scan fact, filter, probe, aggregate by d_group.
+    PipelineSpec probe;
+    probe.name = "probe fact";
+    probe.source_table = fact_id;
+    probe.scan_columns = {0, 1, 2};  // f_key, f_value, f_flag
+    probe.ops.push_back(OpFilter{Ne(Slot(2), I64(2))});
+    OpProbe op_probe;
+    op_probe.ht = ht;
+    op_probe.key = Slot(0);
+    op_probe.payload_slots = 1;  // appends d_group as slot 3
+    probe.ops.push_back(std::move(op_probe));
+    SinkAgg sink_agg;
+    sink_agg.agg = agg;
+    sink_agg.key = Slot(3);
+    sink_agg.items.push_back({AggKind::kSum, Slot(1), /*checked=*/true});
+    sink_agg.items.push_back({AggKind::kCount, nullptr, /*checked=*/false});
+    probe.sink = std::move(sink_agg);
+    q.AddPipeline(std::move(probe));
+
+    // Final step: merge per-thread aggregates, sort by group.
+    q.AddStep([agg](QueryContext* ctx) {
+      AggHashTable merged(2, {0, 0});
+      ctx->agg_sets[static_cast<size_t>(agg)]->MergeInto(
+          &merged, [](uint32_t slot, int64_t* acc, int64_t v) {
+            (void)slot;
+            *acc += v;
+          });
+      merged.ForEach([ctx](int64_t key, void* payload) {
+        const auto* p = static_cast<const int64_t*>(payload);
+        ctx->result.push_back({key, p[0], p[1]});
+      });
+      SortRows(&ctx->result, {{0, false, false}});
+    });
+    return q;
+  }
+
+  static Catalog* catalog_;
+  static QueryEngine* engine_;
+};
+
+Catalog* EngineTest::catalog_ = nullptr;
+QueryEngine* EngineTest::engine_ = nullptr;
+
+/// Reference result computed with plain C++.
+std::vector<std::vector<int64_t>> ReferenceJoinAgg(const Catalog& catalog) {
+  const Table* dim = catalog.GetTable("dim");
+  const Table* fact = catalog.GetTable("fact");
+  std::unordered_map<int64_t, int32_t> dim_map;
+  for (uint64_t r = 0; r < dim->num_rows(); ++r) {
+    dim_map[dim->column(0).GetI64(r)] = dim->column(1).GetI32(r);
+  }
+  std::map<int64_t, std::pair<int64_t, int64_t>> groups;
+  for (uint64_t r = 0; r < fact->num_rows(); ++r) {
+    if (fact->column(2).GetI32(r) == 2) continue;
+    auto it = dim_map.find(fact->column(0).GetI64(r));
+    if (it == dim_map.end()) continue;
+    auto& acc = groups[it->second];
+    acc.first += fact->column(1).GetI64(r);
+    acc.second += 1;
+  }
+  std::vector<std::vector<int64_t>> rows;
+  for (const auto& [group, acc] : groups) {
+    rows.push_back({group, acc.first, acc.second});
+  }
+  return rows;
+}
+
+TEST_F(EngineTest, AllEnginesAndModesAgree) {
+  auto reference = ReferenceJoinAgg(*catalog_);
+  ASSERT_FALSE(reference.empty());
+
+  struct Config {
+    EngineKind engine;
+    ExecutionStrategy strategy;
+    const char* label;
+  };
+  const Config configs[] = {
+      {EngineKind::kVolcano, ExecutionStrategy::kBytecode, "volcano"},
+      {EngineKind::kVectorized, ExecutionStrategy::kBytecode, "vectorized"},
+      {EngineKind::kNaiveIr, ExecutionStrategy::kBytecode, "naive-ir"},
+      {EngineKind::kCompiled, ExecutionStrategy::kBytecode, "vm"},
+      {EngineKind::kCompiled, ExecutionStrategy::kUnoptimized, "jit-unopt"},
+      {EngineKind::kCompiled, ExecutionStrategy::kOptimized, "jit-opt"},
+      {EngineKind::kCompiled, ExecutionStrategy::kAdaptive, "adaptive"},
+  };
+  for (const Config& config : configs) {
+    QueryProgram q = BuildJoinAggQuery();
+    QueryRunOptions options;
+    options.engine = config.engine;
+    options.strategy = config.strategy;
+    QueryRunResult result = engine_->Run(q, options);
+    EXPECT_EQ(result.rows, reference) << config.label;
+  }
+}
+
+TEST_F(EngineTest, UnfusedVmAlsoAgrees) {
+  auto reference = ReferenceJoinAgg(*catalog_);
+  QueryProgram q = BuildJoinAggQuery();
+  QueryRunOptions options;
+  options.engine = EngineKind::kCompiled;
+  options.strategy = ExecutionStrategy::kBytecode;
+  options.translator.fuse_macro_ops = false;
+  EXPECT_EQ(engine_->Run(q, options).rows, reference);
+}
+
+TEST_F(EngineTest, ReportsInstrumentation) {
+  QueryProgram q = BuildJoinAggQuery();
+  QueryRunOptions options;
+  options.strategy = ExecutionStrategy::kBytecode;
+  QueryRunResult result = engine_->Run(q, options);
+  ASSERT_EQ(result.pipelines.size(), 2u);
+  EXPECT_EQ(result.pipelines[0].name, "build dim");
+  EXPECT_EQ(result.pipelines[1].name, "probe fact");
+  EXPECT_EQ(result.pipelines[0].tuples, 100u);
+  EXPECT_EQ(result.pipelines[1].tuples, 50000u);
+  for (const auto& p : result.pipelines) {
+    EXPECT_GT(p.instructions, 10u);
+    EXPECT_GT(p.translate_millis, 0);
+    EXPECT_GT(p.register_file_bytes, 16u);
+    EXPECT_EQ(p.final_mode, ExecMode::kBytecode);
+  }
+  EXPECT_GT(result.codegen_millis_total, 0);
+}
+
+TEST_F(EngineTest, StaticModesReportCompileTimes) {
+  QueryProgram q = BuildJoinAggQuery();
+  QueryRunOptions options;
+  options.strategy = ExecutionStrategy::kOptimized;
+  QueryRunResult result = engine_->Run(q, options);
+  EXPECT_GT(result.compile_millis_total, 0);
+  for (const auto& p : result.pipelines) {
+    EXPECT_EQ(p.final_mode, ExecMode::kOptimized);
+    ASSERT_EQ(p.compiles.size(), 1u);
+    EXPECT_EQ(p.compiles[0].first, ExecMode::kOptimized);
+  }
+}
+
+TEST_F(EngineTest, MeasureCompileCosts) {
+  QueryProgram q = BuildJoinAggQuery();
+  auto costs = engine_->MeasureCompileCosts(q);
+  ASSERT_EQ(costs.size(), 2u);
+  for (const auto& c : costs) {
+    EXPECT_GT(c.instructions, 0u);
+    EXPECT_GT(c.bytecode_millis, 0);
+    EXPECT_GT(c.unopt_millis, 0);
+    EXPECT_GT(c.opt_millis, 0);
+    // The latency ordering the whole paper is about:
+    EXPECT_LT(c.bytecode_millis, c.unopt_millis);
+    EXPECT_LT(c.unopt_millis, c.opt_millis);
+  }
+}
+
+TEST_F(EngineTest, ExprEvalMatrix) {
+  // EvalExpr agrees with manual computation on a few composite expressions.
+  std::vector<int64_t> slots = {10, -3, 7};
+  auto e1 = Add(Mul(Slot(0), I64(5)), Slot(1));
+  EXPECT_EQ(EvalExpr(*e1, slots.data()), 47);
+  auto e2 = And(Lt(Slot(1), I64(0)), Ge(Slot(2), I64(7)));
+  EXPECT_EQ(EvalExpr(*e2, slots.data()), 1);
+  auto e3 = Not(Eq(Slot(0), I64(10)));
+  EXPECT_EQ(EvalExpr(*e3, slots.data()), 0);
+  auto cloned = CloneExpr(*e2);
+  EXPECT_EQ(EvalExpr(*cloned, slots.data()), 1);
+  EXPECT_EQ(ExprSize(*e2), 7);
+}
+
+}  // namespace
+}  // namespace aqe

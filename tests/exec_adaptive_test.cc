@@ -1,0 +1,370 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "adaptive/controller.h"
+#include "adaptive/cost_model.h"
+#include "exec/function_handle.h"
+#include "exec/morsel.h"
+#include "exec/scheduler.h"
+#include "exec/trace.h"
+
+namespace aqe {
+namespace {
+
+// --- MorselQueue ----------------------------------------------------------
+
+TEST(MorselQueueTest, CoversDomainExactlyOnce) {
+  MorselQueue queue(100000, 1024);
+  std::vector<bool> seen(100000, false);
+  MorselRange m;
+  while (queue.Next(&m)) {
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      ASSERT_FALSE(seen[i]);
+      seen[i] = true;
+    }
+  }
+  for (bool s : seen) ASSERT_TRUE(s);
+  EXPECT_EQ(queue.remaining(), 0u);
+}
+
+TEST(MorselQueueTest, GrowingMorselSizes) {
+  MorselQueue queue(1 << 20, 1024, 16384, 4);
+  MorselRange m;
+  ASSERT_TRUE(queue.Next(&m));
+  EXPECT_EQ(m.end - m.begin, 1024u);
+  uint64_t max_seen = 0;
+  while (queue.Next(&m)) max_seen = std::max(max_seen, m.end - m.begin);
+  EXPECT_EQ(max_seen, 16384u);
+}
+
+TEST(MorselQueueTest, ConcurrentWorkStealingNoOverlap) {
+  MorselQueue queue(1 << 18, 512);
+  std::atomic<uint64_t> total{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&queue, &total] {
+      MorselRange m;
+      while (queue.Next(&m)) total += m.end - m.begin;
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(total.load(), uint64_t{1} << 18);
+}
+
+TEST(MorselQueueTest, EmptyDomain) {
+  MorselQueue queue(0);
+  MorselRange m;
+  EXPECT_FALSE(queue.Next(&m));
+}
+
+// --- FunctionHandle ----------------------------------------------------------
+
+struct HandleProbe {
+  std::atomic<int> interpreted{0};
+  std::atomic<int> compiled{0};
+};
+
+void FakeInterpreter(void* state, uint64_t, uint64_t, const void* extra) {
+  EXPECT_NE(extra, nullptr);
+  static_cast<HandleProbe*>(state)->interpreted++;
+}
+void FakeCompiled(void* state, uint64_t, uint64_t, const void*) {
+  static_cast<HandleProbe*>(state)->compiled++;
+}
+
+TEST(FunctionHandleTest, SwitchesVariantMidStream) {
+  int program_marker = 0;
+  FunctionHandle handle(&FakeInterpreter, &program_marker);
+  EXPECT_FALSE(handle.is_compiled());
+  HandleProbe probe;
+  handle.Call(&probe, 0, 10);
+  EXPECT_EQ(probe.interpreted.load(), 1);
+  handle.SetCompiled(&FakeCompiled, ExecMode::kUnoptimized);
+  EXPECT_TRUE(handle.is_compiled());
+  EXPECT_EQ(handle.mode(), ExecMode::kUnoptimized);
+  handle.Call(&probe, 10, 20);
+  EXPECT_EQ(probe.compiled.load(), 1);
+  EXPECT_EQ(probe.interpreted.load(), 1);
+}
+
+// --- WorkerPool ---------------------------------------------------------------
+
+TEST(WorkerPoolTest, RunsOnAllThreads) {
+  WorkerPool pool(4);
+  std::set<int> indices;
+  std::mutex mutex;
+  pool.RunParallel([&](int thread) {
+    std::lock_guard<std::mutex> lock(mutex);
+    indices.insert(thread);
+  });
+  EXPECT_EQ(indices, (std::set<int>{0, 1, 2, 3}));
+}
+
+TEST(WorkerPoolTest, ReusableAcrossRuns) {
+  WorkerPool pool(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.RunParallel([&](int) { count++; });
+  }
+  EXPECT_EQ(count.load(), 20);
+}
+
+// --- Cost model (Fig 7) --------------------------------------------------------
+
+TEST(CostModelTest, TinyPipelineStaysInterpreted) {
+  CostModelParams params;
+  // 1k tuples at 1M tuples/s/thread: 1 ms of work left — never compile.
+  EXPECT_EQ(ExtrapolatePipelineDurations(1e6, 1000, 4, 5000,
+                                         ExecMode::kBytecode, params),
+            Decision::kDoNothing);
+}
+
+TEST(CostModelTest, HugePipelineCompilesOptimized) {
+  CostModelParams params;
+  // 1B tuples remaining: optimized compilation must dominate.
+  EXPECT_EQ(ExtrapolatePipelineDurations(1e6, 1000000000ull, 4, 5000,
+                                         ExecMode::kBytecode, params),
+            Decision::kCompileOptimized);
+}
+
+TEST(CostModelTest, MediumPipelineCompilesUnoptimized) {
+  CostModelParams params;
+  params.unopt_base_seconds = 5e-3;
+  params.opt_base_seconds = 50e-3;
+  // Work worth ~30ms of interpretation: unoptimized pays off, optimized
+  // compilation alone costs more than the remaining work.
+  Decision d = ExtrapolatePipelineDurations(1e6, 120000, 1, 1000,
+                                            ExecMode::kBytecode, params);
+  EXPECT_EQ(d, Decision::kCompileUnoptimized);
+}
+
+TEST(CostModelTest, UpgradesFromUnoptimizedOnlyToOptimized) {
+  CostModelParams params;
+  EXPECT_EQ(ExtrapolatePipelineDurations(3.6e6, 2000000000ull, 4, 5000,
+                                         ExecMode::kUnoptimized, params),
+            Decision::kCompileOptimized);
+  EXPECT_EQ(ExtrapolatePipelineDurations(3.6e6, 1000, 4, 5000,
+                                         ExecMode::kUnoptimized, params),
+            Decision::kDoNothing);
+}
+
+TEST(CostModelTest, OptimizedNeverSwitches) {
+  CostModelParams params;
+  EXPECT_EQ(ExtrapolatePipelineDurations(5e6, 1ull << 40, 4, 5000,
+                                         ExecMode::kOptimized, params),
+            Decision::kDoNothing);
+}
+
+TEST(CostModelTest, ZeroRemainingOrZeroRate) {
+  CostModelParams params;
+  EXPECT_EQ(ExtrapolatePipelineDurations(1e6, 0, 4, 100,
+                                         ExecMode::kBytecode, params),
+            Decision::kDoNothing);
+  EXPECT_EQ(ExtrapolatePipelineDurations(0, 100, 4, 100,
+                                         ExecMode::kBytecode, params),
+            Decision::kDoNothing);
+}
+
+TEST(CostModelTest, WorkerCountChangesTheBreakEvenPoint) {
+  // Fig 7 models that during compilation the other w-1 threads keep
+  // draining the pipeline. Consequences, both checked here:
+  //  (a) with one worker, a pipeline worth ~2x the compile time is still
+  //      worth compiling (the compiled code recoups the stall);
+  //  (b) with many workers, the same pipeline drains before compilation
+  //      would finish, so the model correctly refuses to compile.
+  CostModelParams params;
+  uint64_t n = 400000;  // 0.4 s of single-threaded interpretation at 1M/s
+  Decision single = ExtrapolatePipelineDurations(1e6, n, 1, 20000,
+                                                 ExecMode::kBytecode, params);
+  Decision many = ExtrapolatePipelineDurations(1e6, n, 8, 20000,
+                                               ExecMode::kBytecode, params);
+  EXPECT_NE(single, Decision::kDoNothing);
+  EXPECT_EQ(many, Decision::kDoNothing);
+
+  // And with enough remaining work, everyone compiles.
+  EXPECT_NE(ExtrapolatePipelineDurations(1e6, 100 * n, 8, 20000,
+                                         ExecMode::kBytecode, params),
+            Decision::kDoNothing);
+}
+
+TEST(CostModelTest, LargerFunctionsRaiseTheBar) {
+  CostModelParams params;
+  // Same remaining work; a huge function (expensive compile) should stay
+  // interpreted while a small one compiles.
+  uint64_t n = 300000;
+  Decision small_fn = ExtrapolatePipelineDurations(
+      1e6, n, 1, 500, ExecMode::kBytecode, params);
+  Decision big_fn = ExtrapolatePipelineDurations(
+      1e6, n, 1, 2000000, ExecMode::kBytecode, params);
+  EXPECT_NE(small_fn, Decision::kDoNothing);
+  EXPECT_EQ(big_fn, Decision::kDoNothing);
+}
+
+// --- PipelineRunner ------------------------------------------------------------
+
+/// A synthetic "worker function" whose interpreted variant is slow and
+/// compiled variants are fast, with per-call counters.
+struct SyntheticPipeline {
+  std::atomic<uint64_t> interpreted_tuples{0};
+  std::atomic<uint64_t> unopt_tuples{0};
+  std::atomic<uint64_t> opt_tuples{0};
+
+  static void SlowInterp(void* state, uint64_t begin, uint64_t end,
+                         const void*) {
+    auto* self = static_cast<SyntheticPipeline*>(state);
+    self->interpreted_tuples += end - begin;
+    // ~10M tuples/s.
+    std::this_thread::sleep_for(std::chrono::nanoseconds((end - begin) * 100));
+  }
+  static void FastUnopt(void* state, uint64_t begin, uint64_t end,
+                        const void*) {
+    auto* self = static_cast<SyntheticPipeline*>(state);
+    self->unopt_tuples += end - begin;
+    std::this_thread::sleep_for(std::chrono::nanoseconds((end - begin) * 25));
+  }
+  static void FastOpt(void* state, uint64_t begin, uint64_t end,
+                      const void*) {
+    auto* self = static_cast<SyntheticPipeline*>(state);
+    self->opt_tuples += end - begin;
+    std::this_thread::sleep_for(std::chrono::nanoseconds((end - begin) * 18));
+  }
+};
+
+TEST(PipelineRunnerTest, BytecodeStrategyNeverCompiles) {
+  WorkerPool pool(2);
+  SyntheticPipeline pipe;
+  int marker = 0;
+  FunctionHandle handle(&SyntheticPipeline::SlowInterp, &marker);
+  PipelineRunner runner(&pool, ExecutionStrategy::kBytecode);
+  PipelineTask task;
+  task.handle = &handle;
+  task.state = &pipe;
+  task.total_tuples = 100000;
+  task.function_instructions = 1000;
+  task.compile = [](ExecMode) -> WorkerFn {
+    ADD_FAILURE() << "bytecode strategy must not compile";
+    return nullptr;
+  };
+  PipelineRunStats stats = runner.Run(task);
+  EXPECT_EQ(pipe.interpreted_tuples.load(), 100000u);
+  EXPECT_EQ(stats.final_mode, ExecMode::kBytecode);
+  EXPECT_TRUE(stats.compiles.empty());
+}
+
+TEST(PipelineRunnerTest, StaticOptimizedCompilesUpFront) {
+  WorkerPool pool(2);
+  SyntheticPipeline pipe;
+  int marker = 0;
+  FunctionHandle handle(&SyntheticPipeline::SlowInterp, &marker);
+  PipelineRunner runner(&pool, ExecutionStrategy::kOptimized);
+  PipelineTask task;
+  task.handle = &handle;
+  task.state = &pipe;
+  task.total_tuples = 50000;
+  task.function_instructions = 1000;
+  int compile_calls = 0;
+  task.compile = [&compile_calls](ExecMode mode) -> WorkerFn {
+    ++compile_calls;
+    EXPECT_EQ(mode, ExecMode::kOptimized);
+    return &SyntheticPipeline::FastOpt;
+  };
+  PipelineRunStats stats = runner.Run(task);
+  EXPECT_EQ(compile_calls, 1);
+  EXPECT_EQ(pipe.interpreted_tuples.load(), 0u);
+  EXPECT_EQ(pipe.opt_tuples.load(), 50000u);
+  EXPECT_EQ(stats.final_mode, ExecMode::kOptimized);
+}
+
+TEST(PipelineRunnerTest, AdaptiveSwitchesOnLongPipeline) {
+  WorkerPool pool(2);
+  SyntheticPipeline pipe;
+  int marker = 0;
+  FunctionHandle handle(&SyntheticPipeline::SlowInterp, &marker);
+  CostModelParams params;
+  params.unopt_base_seconds = 1e-3;
+  params.unopt_per_instruction_seconds = 0;
+  params.opt_base_seconds = 4e-3;
+  params.opt_per_instruction_seconds = 0;
+  PipelineRunner runner(&pool, ExecutionStrategy::kAdaptive, params);
+  PipelineTask task;
+  task.handle = &handle;
+  task.state = &pipe;
+  task.total_tuples = 3000000;  // ~300ms of interpretation at 2 threads
+  task.function_instructions = 1000;
+  task.compile = [](ExecMode mode) -> WorkerFn {
+    return mode == ExecMode::kUnoptimized ? &SyntheticPipeline::FastUnopt
+                                          : &SyntheticPipeline::FastOpt;
+  };
+  PipelineRunStats stats = runner.Run(task);
+  // All tuples processed exactly once across the modes.
+  EXPECT_EQ(pipe.interpreted_tuples.load() + pipe.unopt_tuples.load() +
+                pipe.opt_tuples.load(),
+            3000000u);
+  // It must have decided to compile, starting from bytecode.
+  EXPECT_GT(pipe.interpreted_tuples.load(), 0u);
+  EXPECT_FALSE(stats.compiles.empty());
+  EXPECT_NE(stats.final_mode, ExecMode::kBytecode);
+}
+
+TEST(PipelineRunnerTest, AdaptiveLeavesShortPipelineInterpreted) {
+  WorkerPool pool(2);
+  SyntheticPipeline pipe;
+  int marker = 0;
+  FunctionHandle handle(&SyntheticPipeline::SlowInterp, &marker);
+  PipelineRunner runner(&pool, ExecutionStrategy::kAdaptive);
+  PipelineTask task;
+  task.handle = &handle;
+  task.state = &pipe;
+  task.total_tuples = 4000;  // finishes well under 1 ms of work
+  task.function_instructions = 5000;
+  task.compile = [](ExecMode) -> WorkerFn {
+    ADD_FAILURE() << "short pipeline must not compile";
+    return nullptr;
+  };
+  PipelineRunStats stats = runner.Run(task);
+  EXPECT_EQ(stats.final_mode, ExecMode::kBytecode);
+  EXPECT_EQ(pipe.interpreted_tuples.load(), 4000u);
+}
+
+TEST(PipelineRunnerTest, TraceRecordsMorselsAndCompiles) {
+  WorkerPool pool(2);
+  TraceRecorder trace;
+  trace.Start();
+  SyntheticPipeline pipe;
+  int marker = 0;
+  FunctionHandle handle(&SyntheticPipeline::SlowInterp, &marker);
+  CostModelParams params;
+  params.unopt_base_seconds = 1e-4;
+  params.unopt_per_instruction_seconds = 0;
+  PipelineRunner runner(&pool, ExecutionStrategy::kAdaptive, params, &trace);
+  PipelineTask task;
+  task.handle = &handle;
+  task.state = &pipe;
+  task.total_tuples = 2000000;
+  task.function_instructions = 100;
+  task.compile = [](ExecMode mode) -> WorkerFn {
+    return mode == ExecMode::kUnoptimized ? &SyntheticPipeline::FastUnopt
+                                          : &SyntheticPipeline::FastOpt;
+  };
+  runner.Run(task);
+  auto events = trace.Events();
+  ASSERT_FALSE(events.empty());
+  bool has_morsel = false, has_compile = false;
+  for (const auto& e : events) {
+    has_morsel |= e.kind == TraceRecorder::EventKind::kMorsel;
+    has_compile |= e.kind == TraceRecorder::EventKind::kCompile;
+    EXPECT_GE(e.end_nanos, e.start_nanos);
+  }
+  EXPECT_TRUE(has_morsel);
+  EXPECT_TRUE(has_compile);
+  std::string chart = trace.Render(2, 60);
+  EXPECT_NE(chart.find("thread 0"), std::string::npos);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aqe

@@ -1,0 +1,59 @@
+#ifndef AQE_TESTS_IR_TEST_UTIL_H_
+#define AQE_TESTS_IR_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include <llvm/IR/IRBuilder.h>
+
+#include "ir/ir_module.h"
+
+namespace aqe::testutil {
+
+/// Builds a function with the requested number of empty basic blocks (plus
+/// entry). Callers wire the control flow and then call Finish... Small
+/// helper so CFG-shape tests stay readable.
+struct CfgBuilder {
+  explicit CfgBuilder(int num_blocks, const char* name = "f")
+      : mod("test"), builder(mod.context()) {
+    auto* fty = llvm::FunctionType::get(
+        llvm::Type::getInt64Ty(mod.context()),
+        {llvm::Type::getInt64Ty(mod.context())}, false);
+    fn = llvm::Function::Create(fty, llvm::Function::ExternalLinkage, name,
+                                &mod.module());
+    for (int i = 0; i < num_blocks; ++i) {
+      blocks.push_back(
+          llvm::BasicBlock::Create(mod.context(), "b" + std::to_string(i), fn));
+    }
+  }
+
+  /// Unconditional branch from -> to.
+  void Br(int from, int to) {
+    builder.SetInsertPoint(blocks[static_cast<size_t>(from)]);
+    builder.CreateBr(blocks[static_cast<size_t>(to)]);
+  }
+
+  /// Conditional branch on (arg != 0).
+  void CondBr(int from, int then_block, int else_block) {
+    builder.SetInsertPoint(blocks[static_cast<size_t>(from)]);
+    llvm::Value* cond = builder.CreateICmpNE(
+        fn->getArg(0), builder.getInt64(0), "cond");
+    builder.CreateCondBr(cond, blocks[static_cast<size_t>(then_block)],
+                         blocks[static_cast<size_t>(else_block)]);
+  }
+
+  /// Return the function argument from `from`.
+  void Ret(int from) {
+    builder.SetInsertPoint(blocks[static_cast<size_t>(from)]);
+    builder.CreateRet(fn->getArg(0));
+  }
+
+  IrModule mod;
+  llvm::IRBuilder<> builder;
+  llvm::Function* fn = nullptr;
+  std::vector<llvm::BasicBlock*> blocks;
+};
+
+}  // namespace aqe::testutil
+
+#endif  // AQE_TESTS_IR_TEST_UTIL_H_

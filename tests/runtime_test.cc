@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <thread>
+
+#include "runtime/agg_hash_table.h"
+#include "runtime/join_hash_table.h"
+#include "runtime/output_buffer.h"
+#include "runtime/runtime_functions.h"
+#include "runtime/runtime_registry.h"
+#include "runtime/sorter.h"
+
+namespace aqe {
+namespace {
+
+TEST(JoinHashTableTest, InsertAndLookup) {
+  JoinHashTable ht(100, /*payload_slots=*/2);
+  auto* p1 = static_cast<int64_t*>(ht.Insert(42));
+  p1[0] = 7;
+  p1[1] = 8;
+  auto* p2 = static_cast<int64_t*>(ht.Insert(43));
+  p2[0] = 9;
+  EXPECT_EQ(ht.size(), 2u);
+
+  void* node = ht.Lookup(42);
+  ASSERT_NE(node, nullptr);
+  auto* payload = reinterpret_cast<int64_t*>(static_cast<uint8_t*>(node) + 16);
+  EXPECT_EQ(payload[0], 7);
+  EXPECT_EQ(payload[1], 8);
+  EXPECT_EQ(JoinHashTable::Next(node, 42), nullptr);
+  EXPECT_EQ(ht.Lookup(99), nullptr);
+}
+
+TEST(JoinHashTableTest, DuplicateKeysChain) {
+  JoinHashTable ht(16, 1);
+  for (int64_t i = 0; i < 5; ++i) {
+    static_cast<int64_t*>(ht.Insert(7))[0] = i;
+  }
+  std::multiset<int64_t> seen;
+  for (void* node = ht.Lookup(7); node != nullptr;
+       node = JoinHashTable::Next(node, 7)) {
+    seen.insert(*reinterpret_cast<int64_t*>(
+        static_cast<uint8_t*>(node) + 16));
+  }
+  EXPECT_EQ(seen, (std::multiset<int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(JoinHashTableTest, ManyKeysNoLoss) {
+  JoinHashTable ht(1 << 12, 1);
+  for (int64_t i = 0; i < 5000; ++i) {
+    static_cast<int64_t*>(ht.Insert(i))[0] = i * 3;
+  }
+  for (int64_t i = 0; i < 5000; ++i) {
+    void* node = ht.Lookup(i);
+    ASSERT_NE(node, nullptr) << i;
+    EXPECT_EQ(*reinterpret_cast<int64_t*>(static_cast<uint8_t*>(node) + 16),
+              i * 3);
+  }
+}
+
+TEST(JoinHashTableTest, ConcurrentInserts) {
+  JoinHashTable ht(1 << 12, 1);
+  constexpr int kThreads = 4;
+  constexpr int64_t kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ht, t] {
+      runtime_internal::SetThreadIndex(t);
+      for (int64_t i = 0; i < kPerThread; ++i) {
+        static_cast<int64_t*>(ht.Insert(t * kPerThread + i))[0] = i;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ht.size(), static_cast<uint64_t>(kThreads * kPerThread));
+  for (int64_t k = 0; k < kThreads * kPerThread; ++k) {
+    EXPECT_NE(ht.Lookup(k), nullptr) << k;
+  }
+}
+
+TEST(JoinHashTableTest, ForEachVisitsAll) {
+  JoinHashTable ht(64, 1);
+  for (int64_t i = 0; i < 100; ++i) ht.Insert(i);
+  int count = 0;
+  int64_t key_sum = 0;
+  ht.ForEach([&](int64_t key, void*) {
+    ++count;
+    key_sum += key;
+  });
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(key_sum, 99 * 100 / 2);
+}
+
+TEST(AggHashTableTest, FindOrInsertInitializes) {
+  AggHashTable ht(2, {0, INT64_MAX});
+  auto* p = static_cast<int64_t*>(ht.FindOrInsert(5));
+  EXPECT_EQ(p[0], 0);
+  EXPECT_EQ(p[1], INT64_MAX);
+  p[0] = 10;
+  auto* q = static_cast<int64_t*>(ht.FindOrInsert(5));
+  EXPECT_EQ(q, p);
+  EXPECT_EQ(q[0], 10);
+  EXPECT_EQ(ht.size(), 1u);
+}
+
+TEST(AggHashTableTest, GrowPreservesEntries) {
+  AggHashTable ht(1, {0});
+  for (int64_t k = 0; k < 1000; ++k) {
+    *static_cast<int64_t*>(ht.FindOrInsert(k)) = k * k;
+  }
+  EXPECT_EQ(ht.size(), 1000u);
+  for (int64_t k = 0; k < 1000; ++k) {
+    auto* p = static_cast<int64_t*>(ht.Find(k));
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, k * k);
+  }
+  EXPECT_EQ(ht.Find(-1), nullptr);
+}
+
+TEST(AggHashTableTest, NegativeKeys) {
+  AggHashTable ht(1, {0});
+  *static_cast<int64_t*>(ht.FindOrInsert(-42)) = 1;
+  ASSERT_NE(ht.Find(-42), nullptr);
+  EXPECT_EQ(ht.Find(42), nullptr);
+}
+
+TEST(AggHashTableSetTest, PerThreadTablesAndMerge) {
+  AggHashTableSet set(1, {0});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&set, t] {
+      runtime_internal::SetThreadIndex(t);
+      AggHashTable* local = set.Local();
+      for (int64_t k = 0; k < 10; ++k) {
+        *static_cast<int64_t*>(local->FindOrInsert(k)) += t + 1;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(set.NonEmptyTables().size(), 3u);
+  AggHashTable merged(1, {0});
+  set.MergeInto(&merged, [](uint32_t, int64_t* acc, int64_t v) { *acc += v; });
+  EXPECT_EQ(merged.size(), 10u);
+  for (int64_t k = 0; k < 10; ++k) {
+    EXPECT_EQ(*static_cast<int64_t*>(merged.Find(k)), 1 + 2 + 3);
+  }
+}
+
+TEST(OutputBufferTest, CollectsRows) {
+  OutputBuffer out(3);
+  for (int64_t i = 0; i < 10; ++i) {
+    int64_t* row = out.AllocRow();
+    row[0] = i;
+    row[1] = i * 2;
+    row[2] = i * 3;
+  }
+  EXPECT_EQ(out.num_rows(), 10u);
+  auto rows = out.Rows();
+  ASSERT_EQ(rows.size(), 10u);
+  std::sort(rows.begin(), rows.end());
+  for (int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(rows[static_cast<size_t>(i)],
+              (std::vector<int64_t>{i, i * 2, i * 3}));
+  }
+}
+
+TEST(OutputBufferTest, CrossesChunkBoundaries) {
+  OutputBuffer out(1);
+  for (int64_t i = 0; i < 3000; ++i) *out.AllocRow() = i;
+  auto rows = out.Rows();
+  ASSERT_EQ(rows.size(), 3000u);
+  int64_t sum = 0;
+  for (const auto& row : rows) sum += row[0];
+  EXPECT_EQ(sum, 2999 * 3000 / 2);
+}
+
+TEST(OutputBufferTest, MultiThreaded) {
+  OutputBuffer out(1);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&out, t] {
+      runtime_internal::SetThreadIndex(t);
+      for (int64_t i = 0; i < 500; ++i) *out.AllocRow() = t * 1000 + i;
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(out.num_rows(), 2000u);
+}
+
+TEST(SorterTest, SortAscendingDescending) {
+  std::vector<std::vector<int64_t>> rows = {{3, 1}, {1, 2}, {2, 3}};
+  SortRows(&rows, {{0, false, false}});
+  EXPECT_EQ(rows[0][0], 1);
+  EXPECT_EQ(rows[2][0], 3);
+  SortRows(&rows, {{0, true, false}});
+  EXPECT_EQ(rows[0][0], 3);
+}
+
+TEST(SorterTest, SecondaryKeyAndStability) {
+  std::vector<std::vector<int64_t>> rows = {{1, 9}, {1, 3}, {0, 5}};
+  SortRows(&rows, {{0, false, false}, {1, false, false}});
+  EXPECT_EQ(rows[0], (std::vector<int64_t>{0, 5}));
+  EXPECT_EQ(rows[1], (std::vector<int64_t>{1, 3}));
+  EXPECT_EQ(rows[2], (std::vector<int64_t>{1, 9}));
+}
+
+TEST(SorterTest, DoubleKeys) {
+  auto bits = [](double d) {
+    int64_t b;
+    std::memcpy(&b, &d, 8);
+    return b;
+  };
+  std::vector<std::vector<int64_t>> rows = {{bits(2.5)}, {bits(-1.0)},
+                                            {bits(0.25)}};
+  SortRows(&rows, {{0, false, true}});
+  double first;
+  std::memcpy(&first, &rows[0][0], 8);
+  EXPECT_DOUBLE_EQ(first, -1.0);
+}
+
+TEST(SorterTest, TopKTruncates) {
+  std::vector<std::vector<int64_t>> rows;
+  for (int64_t i = 0; i < 100; ++i) rows.push_back({i});
+  TopK(&rows, {{0, true, false}}, 5);
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0][0], 99);
+  EXPECT_EQ(rows[4][0], 95);
+}
+
+TEST(RuntimeRegistryTest, BuiltinsRegistered) {
+  RuntimeRegistry& reg = RuntimeRegistry::Global();
+  ASSERT_NE(reg.Find("aqe_jht_insert"), nullptr);
+  EXPECT_EQ(reg.Find("aqe_jht_insert")->num_args, 2);
+  EXPECT_TRUE(reg.Find("aqe_jht_insert")->returns_value);
+  ASSERT_NE(reg.Find("aqe_raise_overflow"), nullptr);
+  EXPECT_FALSE(reg.Find("aqe_raise_overflow")->returns_value);
+  EXPECT_EQ(reg.Find("not_a_function"), nullptr);
+}
+
+TEST(RuntimeRegistryTest, WrappersRoundTrip) {
+  JoinHashTable ht(16, 1);
+  uint64_t payload =
+      rt::aqe_jht_insert(reinterpret_cast<uint64_t>(&ht), 123);
+  *reinterpret_cast<int64_t*>(payload) = 55;
+  uint64_t node = rt::aqe_jht_lookup(reinterpret_cast<uint64_t>(&ht), 123);
+  ASSERT_NE(node, 0u);
+  EXPECT_EQ(*reinterpret_cast<int64_t*>(node + 16), 55);
+  EXPECT_EQ(rt::aqe_jht_next(node, 123), 0u);
+
+  AggHashTableSet set(1, {7});
+  uint64_t local = rt::aqe_agg_local(reinterpret_cast<uint64_t>(&set));
+  uint64_t agg = rt::aqe_agg_find_or_insert(local, 9);
+  EXPECT_EQ(*reinterpret_cast<int64_t*>(agg), 7);
+
+  OutputBuffer out(2);
+  uint64_t row = rt::aqe_out_alloc_row(reinterpret_cast<uint64_t>(&out));
+  reinterpret_cast<int64_t*>(row)[0] = 1;
+  EXPECT_EQ(out.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace aqe

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "storage/column.h"
+#include "storage/dictionary.h"
+#include "storage/table.h"
+
+namespace aqe {
+namespace {
+
+TEST(ColumnTest, AppendAndGet) {
+  Column c("x", DataType::kI64);
+  c.AppendI64(10);
+  c.AppendI64(-20);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.GetI64(0), 10);
+  EXPECT_EQ(c.GetI64(1), -20);
+}
+
+TEST(ColumnTest, I32Column) {
+  Column c("d", DataType::kI32);
+  c.AppendI32(123);
+  c.AppendI32(-1);
+  EXPECT_EQ(c.GetI32(0), 123);
+  EXPECT_EQ(c.GetI32(1), -1);
+  EXPECT_EQ(c.GetAsI64(1), -1);
+}
+
+TEST(ColumnTest, F64Column) {
+  Column c("f", DataType::kF64);
+  c.AppendF64(3.5);
+  EXPECT_DOUBLE_EQ(c.GetF64(0), 3.5);
+}
+
+TEST(ColumnTest, RawDataPointerMatchesValues) {
+  Column c("x", DataType::kI64);
+  for (int64_t i = 0; i < 100; ++i) c.AppendI64(i * 7);
+  const int64_t* raw = static_cast<const int64_t*>(c.data());
+  for (int64_t i = 0; i < 100; ++i) EXPECT_EQ(raw[i], i * 7);
+}
+
+TEST(ColumnTest, TypeSizes) {
+  EXPECT_EQ(DataTypeSize(DataType::kI32), 4);
+  EXPECT_EQ(DataTypeSize(DataType::kI64), 8);
+  EXPECT_EQ(DataTypeSize(DataType::kF64), 8);
+  EXPECT_STREQ(DataTypeName(DataType::kI32), "i32");
+}
+
+TEST(DictionaryTest, GetOrAddIsIdempotent) {
+  Dictionary d;
+  int32_t a = d.GetOrAdd("MAIL");
+  int32_t b = d.GetOrAdd("SHIP");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.GetOrAdd("MAIL"), a);
+  EXPECT_EQ(d.size(), 2);
+  EXPECT_EQ(d.Get(a), "MAIL");
+}
+
+TEST(DictionaryTest, FindAbsentReturnsMinusOne) {
+  Dictionary d;
+  d.GetOrAdd("A");
+  EXPECT_EQ(d.Find("B"), -1);
+  EXPECT_EQ(d.Find("A"), 0);
+}
+
+TEST(DictionaryTest, MatchPrefix) {
+  Dictionary d;
+  d.GetOrAdd("PROMO ANODIZED TIN");
+  d.GetOrAdd("STANDARD PLATED BRASS");
+  d.GetOrAdd("PROMO BRUSHED COPPER");
+  auto bm = d.MatchPrefix("PROMO");
+  ASSERT_EQ(bm.size(), 3u);
+  EXPECT_EQ(bm[0], 1);
+  EXPECT_EQ(bm[1], 0);
+  EXPECT_EQ(bm[2], 1);
+}
+
+TEST(DictionaryTest, MatchContains) {
+  Dictionary d;
+  d.GetOrAdd("MED BOX");
+  d.GetOrAdd("LG CASE");
+  auto bm = d.MatchContains("BOX");
+  EXPECT_EQ(bm[0], 1);
+  EXPECT_EQ(bm[1], 0);
+}
+
+TEST(DictionaryTest, MatchIn) {
+  Dictionary d;
+  d.GetOrAdd("AIR");
+  d.GetOrAdd("MAIL");
+  d.GetOrAdd("SHIP");
+  auto bm = d.MatchIn({"MAIL", "SHIP", "NOT-PRESENT"});
+  EXPECT_EQ(bm[0], 0);
+  EXPECT_EQ(bm[1], 1);
+  EXPECT_EQ(bm[2], 1);
+}
+
+TEST(TableTest, SchemaAndRows) {
+  Table t("t");
+  int a = t.AddColumn("a", DataType::kI64);
+  int b = t.AddColumn("b", DataType::kI32, /*dictionary=*/true);
+  EXPECT_EQ(t.num_columns(), 2);
+  EXPECT_EQ(t.ColumnIndex("a"), a);
+  EXPECT_EQ(t.ColumnIndex("b"), b);
+  EXPECT_FALSE(t.has_dictionary(a));
+  EXPECT_TRUE(t.has_dictionary(b));
+  t.column(a).AppendI64(1);
+  t.column(b).AppendI32(t.dictionary(b).GetOrAdd("x"));
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(CatalogTest, CreateAndGet) {
+  Catalog cat;
+  Table* t = cat.CreateTable("foo");
+  EXPECT_TRUE(cat.HasTable("foo"));
+  EXPECT_FALSE(cat.HasTable("bar"));
+  EXPECT_EQ(cat.GetTable("foo"), t);
+}
+
+}  // namespace
+}  // namespace aqe

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "engine/query_engine.h"
+#include "queries/generated_queries.h"
+#include "queries/handwritten_q1.h"
+#include "queries/tpch_queries.h"
+#include "tpch/tpch_gen.h"
+
+namespace aqe {
+namespace {
+
+/// All TPC-H query tests share one SF-0.01 database and engine.
+class TpchQueryTest : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    tpch::BuildTpchDatabase(catalog_, /*sf=*/0.01);
+    engine_ = new QueryEngine(catalog_, /*num_threads=*/2);
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete catalog_;
+  }
+  static Catalog* catalog_;
+  static QueryEngine* engine_;
+};
+
+Catalog* TpchQueryTest::catalog_ = nullptr;
+QueryEngine* TpchQueryTest::engine_ = nullptr;
+
+/// Every engine and execution mode must produce identical rows for every
+/// query — this is the end-to-end guarantee behind "no work is lost when
+/// switching between execution modes".
+TEST_P(TpchQueryTest, AllEnginesAgree) {
+  const int number = GetParam();
+  QueryRunOptions volcano;
+  volcano.engine = EngineKind::kVolcano;
+  QueryProgram ref_program = BuildTpchQuery(number, *catalog_);
+  auto reference = engine_->Run(ref_program, volcano).rows;
+  ASSERT_FALSE(reference.empty()) << "q" << number << " has empty result";
+
+  struct Config {
+    EngineKind engine;
+    ExecutionStrategy strategy;
+    const char* label;
+  };
+  const Config configs[] = {
+      {EngineKind::kVectorized, ExecutionStrategy::kBytecode, "vectorized"},
+      {EngineKind::kCompiled, ExecutionStrategy::kBytecode, "vm"},
+      {EngineKind::kCompiled, ExecutionStrategy::kUnoptimized, "jit-unopt"},
+      {EngineKind::kCompiled, ExecutionStrategy::kAdaptive, "adaptive"},
+  };
+  for (const Config& config : configs) {
+    QueryProgram program = BuildTpchQuery(number, *catalog_);
+    QueryRunOptions options;
+    options.engine = config.engine;
+    options.strategy = config.strategy;
+    auto rows = engine_->Run(program, options).rows;
+    EXPECT_EQ(rows, reference) << "q" << number << " " << config.label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TpchQueryTest,
+                         ::testing::ValuesIn(ImplementedTpchQueries()),
+                         [](const auto& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+class TpchFixtureTest : public ::testing::Test {
+ protected:
+  static Catalog& catalog() {
+    static Catalog* catalog = [] {
+      auto* c = new Catalog();
+      tpch::BuildTpchDatabase(c, 0.01);
+      return c;
+    }();
+    return *catalog;
+  }
+};
+
+TEST_F(TpchFixtureTest, HandwrittenQ1MatchesCompiled) {
+  QueryEngine engine(&catalog(), 1);
+  QueryProgram q1 = BuildTpchQuery(1, catalog());
+  QueryRunOptions options;
+  options.strategy = ExecutionStrategy::kBytecode;
+  auto compiled = engine.Run(q1, options).rows;
+  auto handwritten = HandwrittenQ1(catalog());
+  EXPECT_EQ(compiled, handwritten);
+}
+
+TEST_F(TpchFixtureTest, Q1HasExpectedGroups) {
+  QueryEngine engine(&catalog(), 1);
+  QueryProgram q1 = BuildTpchQuery(1, catalog());
+  auto rows = engine.Run(q1, {}).rows;
+  // TPC-H Q1 always produces the 4 (returnflag, linestatus) groups.
+  EXPECT_EQ(rows.size(), 4u);
+  // count column is last; all counts positive, sum roughly the filtered rows.
+  int64_t total = 0;
+  for (const auto& row : rows) {
+    EXPECT_GT(row.back(), 0);
+    total += row.back();
+  }
+  uint64_t lineitems = catalog().GetTable("lineitem")->num_rows();
+  EXPECT_GT(static_cast<uint64_t>(total), lineitems * 95 / 100);
+}
+
+TEST_F(TpchFixtureTest, Q6SelectivityIsLow) {
+  QueryEngine engine(&catalog(), 1);
+  QueryProgram q6 = BuildTpchQuery(6, catalog());
+  auto rows = engine.Run(q6, {}).rows;
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_GT(rows[0][0], 0);  // some revenue found
+}
+
+TEST_F(TpchFixtureTest, GeneratedQueryScalesInstructions) {
+  QueryEngine engine(&catalog(), 1);
+  QueryProgram small = BuildGeneratedAggregateQuery(10, catalog());
+  QueryProgram large = BuildGeneratedAggregateQuery(100, catalog());
+  auto small_costs = engine.MeasureCompileCosts(small, false, false);
+  auto large_costs = engine.MeasureCompileCosts(large, false, false);
+  ASSERT_EQ(small_costs.size(), 1u);
+  ASSERT_EQ(large_costs.size(), 1u);
+  // ~10x the aggregates -> ~10x the instructions.
+  EXPECT_GT(large_costs[0].instructions, 8 * small_costs[0].instructions);
+}
+
+TEST_F(TpchFixtureTest, GeneratedQueryAllEnginesAgree) {
+  QueryEngine engine(&catalog(), 2);
+  QueryRunOptions volcano;
+  volcano.engine = EngineKind::kVolcano;
+  QueryProgram ref_q = BuildGeneratedAggregateQuery(25, catalog());
+  auto reference = engine.Run(ref_q, volcano).rows;
+
+  QueryProgram vm_q = BuildGeneratedAggregateQuery(25, catalog());
+  QueryRunOptions vm;
+  vm.strategy = ExecutionStrategy::kBytecode;
+  EXPECT_EQ(engine.Run(vm_q, vm).rows, reference);
+
+  QueryProgram jit_q = BuildGeneratedAggregateQuery(25, catalog());
+  QueryRunOptions jit;
+  jit.strategy = ExecutionStrategy::kUnoptimized;
+  EXPECT_EQ(engine.Run(jit_q, jit).rows, reference);
+}
+
+TEST_F(TpchFixtureTest, RegisterAllocationAblationOnRealQuery) {
+  // §IV-C: loop-aware must produce a (much) smaller register file than
+  // no-reuse on a real large worker function.
+  QueryEngine engine(&catalog(), 1);
+  QueryProgram big = BuildGeneratedAggregateQuery(200, catalog());
+  TranslatorOptions loop_aware;
+  auto aware = engine.MeasureCompileCosts(big, false, false, loop_aware);
+  QueryProgram big2 = BuildGeneratedAggregateQuery(200, catalog());
+  TranslatorOptions no_reuse;
+  no_reuse.strategy = RegAllocStrategy::kNoReuse;
+  auto noreuse = engine.MeasureCompileCosts(big2, false, false, no_reuse);
+  EXPECT_LT(aware[0].register_file_bytes * 3, noreuse[0].register_file_bytes);
+}
+
+}  // namespace
+}  // namespace aqe

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "common/fixed_point.h"
+#include "storage/table.h"
+#include "tpch/tpch_gen.h"
+#include "tpch/tpch_schema.h"
+
+namespace aqe {
+namespace {
+
+using tpch::DateToDays;
+using tpch::DaysToDate;
+
+TEST(DateTest, KnownDates) {
+  EXPECT_EQ(DateToDays(1970, 1, 1), 0);
+  EXPECT_EQ(DateToDays(1970, 1, 2), 1);
+  EXPECT_EQ(DateToDays(1969, 12, 31), -1);
+  // 1992-01-01 is 8035 days after epoch.
+  EXPECT_EQ(DateToDays(1992, 1, 1), 8035);
+}
+
+TEST(DateTest, RoundTripAcrossYears) {
+  for (int32_t d = DateToDays(1992, 1, 1); d <= DateToDays(1998, 12, 31);
+       d += 13) {
+    int y, m, day;
+    DaysToDate(d, &y, &m, &day);
+    EXPECT_EQ(DateToDays(y, m, day), d);
+  }
+}
+
+TEST(DateTest, Ordering) {
+  EXPECT_LT(DateToDays(1994, 1, 1), DateToDays(1995, 1, 1));
+  EXPECT_LT(DateToDays(1995, 3, 14), DateToDays(1995, 3, 15));
+}
+
+class TpchTinyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    tpch::BuildTpchDatabase(catalog_, /*sf=*/0.001);
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+  static Catalog* catalog_;
+};
+
+Catalog* TpchTinyTest::catalog_ = nullptr;
+
+TEST_F(TpchTinyTest, Cardinalities) {
+  EXPECT_EQ(catalog_->GetTable("region")->num_rows(), 5u);
+  EXPECT_EQ(catalog_->GetTable("nation")->num_rows(), 25u);
+  EXPECT_EQ(catalog_->GetTable("supplier")->num_rows(), 10u);
+  EXPECT_EQ(catalog_->GetTable("customer")->num_rows(), 150u);
+  EXPECT_EQ(catalog_->GetTable("part")->num_rows(), 200u);
+  EXPECT_EQ(catalog_->GetTable("partsupp")->num_rows(), 800u);
+  EXPECT_EQ(catalog_->GetTable("orders")->num_rows(), 1500u);
+  // lineitem has 1..7 lines per order
+  uint64_t li = catalog_->GetTable("lineitem")->num_rows();
+  EXPECT_GE(li, 1500u);
+  EXPECT_LE(li, 1500u * 7);
+}
+
+TEST_F(TpchTinyTest, Deterministic) {
+  Catalog other;
+  tpch::BuildTpchDatabase(&other, 0.001);
+  const Table* a = catalog_->GetTable("lineitem");
+  const Table* b = other.GetTable("lineitem");
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  for (uint64_t r = 0; r < a->num_rows(); r += 97) {
+    EXPECT_EQ(a->column("l_extendedprice").GetI64(r),
+              b->column("l_extendedprice").GetI64(r));
+    EXPECT_EQ(a->column("l_shipdate").GetI32(r),
+              b->column("l_shipdate").GetI32(r));
+  }
+}
+
+TEST_F(TpchTinyTest, ForeignKeysInRange) {
+  const Table* li = catalog_->GetTable("lineitem");
+  uint64_t parts = catalog_->GetTable("part")->num_rows();
+  uint64_t supps = catalog_->GetTable("supplier")->num_rows();
+  for (uint64_t r = 0; r < li->num_rows(); ++r) {
+    int64_t pk = li->column("l_partkey").GetI64(r);
+    int64_t sk = li->column("l_suppkey").GetI64(r);
+    ASSERT_GE(pk, 1);
+    ASSERT_LE(pk, static_cast<int64_t>(parts));
+    ASSERT_GE(sk, 1);
+    ASSERT_LE(sk, static_cast<int64_t>(supps));
+  }
+  const Table* ord = catalog_->GetTable("orders");
+  uint64_t custs = catalog_->GetTable("customer")->num_rows();
+  for (uint64_t r = 0; r < ord->num_rows(); ++r) {
+    int64_t ck = ord->column("o_custkey").GetI64(r);
+    ASSERT_GE(ck, 1);
+    ASSERT_LE(ck, static_cast<int64_t>(custs));
+  }
+}
+
+TEST_F(TpchTinyTest, DateRelationsHold) {
+  const Table* li = catalog_->GetTable("lineitem");
+  const Table* ord = catalog_->GetTable("orders");
+  // Build orderkey -> orderdate.
+  std::unordered_map<int64_t, int32_t> odate;
+  for (uint64_t r = 0; r < ord->num_rows(); ++r) {
+    odate[ord->column("o_orderkey").GetI64(r)] =
+        ord->column("o_orderdate").GetI32(r);
+  }
+  for (uint64_t r = 0; r < li->num_rows(); ++r) {
+    int64_t ok = li->column("l_orderkey").GetI64(r);
+    ASSERT_TRUE(odate.count(ok));
+    int32_t sd = li->column("l_shipdate").GetI32(r);
+    int32_t rd = li->column("l_receiptdate").GetI32(r);
+    EXPECT_GT(sd, odate[ok]);
+    EXPECT_GT(rd, sd);
+  }
+}
+
+TEST_F(TpchTinyTest, DecimalRangesSane) {
+  const Table* li = catalog_->GetTable("lineitem");
+  for (uint64_t r = 0; r < li->num_rows(); ++r) {
+    int64_t qty = li->column("l_quantity").GetI64(r);
+    int64_t disc = li->column("l_discount").GetI64(r);
+    int64_t tax = li->column("l_tax").GetI64(r);
+    EXPECT_GE(qty, 100);       // >= 1.00
+    EXPECT_LE(qty, 5000);      // <= 50.00
+    EXPECT_GE(disc, 0);
+    EXPECT_LE(disc, 10);       // <= 0.10
+    EXPECT_GE(tax, 0);
+    EXPECT_LE(tax, 8);         // <= 0.08
+  }
+}
+
+TEST_F(TpchTinyTest, DictionariesPopulated) {
+  const Table* li = catalog_->GetTable("lineitem");
+  const Dictionary& sm = li->dictionary(li->ColumnIndex("l_shipmode"));
+  EXPECT_EQ(sm.size(), 7);
+  EXPECT_GE(sm.Find("MAIL"), 0);
+  EXPECT_GE(sm.Find("SHIP"), 0);
+  const Dictionary& rf = li->dictionary(li->ColumnIndex("l_returnflag"));
+  EXPECT_EQ(rf.size(), 3);
+
+  const Table* part = catalog_->GetTable("part");
+  const Dictionary& type = part->dictionary(part->ColumnIndex("p_type"));
+  // 6 x 5 x 5 possible types; a tiny SF sees many of them.
+  EXPECT_GT(type.size(), 20);
+  auto promo = type.MatchPrefix("PROMO");
+  int promo_count = 0;
+  for (uint8_t b : promo) promo_count += b;
+  EXPECT_GT(promo_count, 0);
+}
+
+TEST_F(TpchTinyTest, Q14StyleSelectivity) {
+  // ~1/6 of parts should have a PROMO type.
+  const Table* part = catalog_->GetTable("part");
+  const Dictionary& type = part->dictionary(part->ColumnIndex("p_type"));
+  auto promo = type.MatchPrefix("PROMO");
+  const Column& tc = part->column("p_type");
+  uint64_t hits = 0;
+  for (uint64_t r = 0; r < part->num_rows(); ++r) {
+    hits += promo[static_cast<size_t>(tc.GetI32(r))];
+  }
+  double sel = static_cast<double>(hits) / part->num_rows();
+  EXPECT_NEAR(sel, 1.0 / 6.0, 0.08);
+}
+
+TEST(TpchScaleTest, CardinalitiesScaleLinearly) {
+  auto c1 = tpch::CardinalitiesForScale(0.01);
+  auto c2 = tpch::CardinalitiesForScale(0.02);
+  EXPECT_EQ(c2.orders, 2 * c1.orders);
+  EXPECT_EQ(c2.customer, 2 * c1.customer);
+}
+
+}  // namespace
+}  // namespace aqe
