@@ -1,6 +1,7 @@
 // §IV-F ablation: effect of macro-operation fusion (overflow-check
-// sequences and GEP+load/store folding) on bytecode size and interpreter
-// throughput, on the arithmetic-heavy Q1 and the filter-heavy Q6.
+// sequences, GEP+load/store folding, and compare-and-branch
+// superinstructions) on bytecode size and interpreter throughput, on the
+// arithmetic-heavy Q1 and the filter-heavy Q6.
 #include "bench/bench_util.h"
 
 using namespace aqe;
@@ -10,32 +11,49 @@ int main() {
   Catalog* catalog = bench::TpchAtScale(sf);
   QueryEngine engine(catalog, 1);
 
-  std::printf("Macro-op fusion ablation (SF %g, bytecode mode, 1 thread)\n",
-              sf);
-  std::printf("%6s %10s %12s %12s %10s\n", "query", "fusion", "bc size[ops]",
-              "translate", "exec [ms]");
+  struct FusionConfig {
+    const char* label;
+    bool macro_ops;
+    bool cmp_branches;
+  };
+  const FusionConfig configs[] = {
+      {"none", false, false},
+      {"macro", true, false},
+      {"macro+cmpbr", true, true},
+  };
+
+  std::printf(
+      "Macro-op fusion ablation (SF %g, bytecode mode, 1 thread)\n", sf);
+  std::printf("%6s %12s %12s %8s %8s %12s %10s\n", "query", "fusion",
+              "bc size[ops]", "fused", "cmp-brs", "translate", "exec [ms]");
   for (int number : {1, 6, 14}) {
-    for (bool fuse : {true, false}) {
+    for (const FusionConfig& config : configs) {
       QueryProgram q = BuildTpchQuery(number, *catalog);
       QueryRunOptions options;
       options.strategy = ExecutionStrategy::kBytecode;
-      options.translator.fuse_macro_ops = fuse;
+      options.translator.fuse_macro_ops = config.macro_ops;
+      options.translator.fuse_cmp_branches = config.cmp_branches;
       QueryRunResult r = engine.Run(q, options);
       // Count translated ops via compile-cost API for the same setting.
       QueryProgram q2 = BuildTpchQuery(number, *catalog);
       auto costs =
           engine.MeasureCompileCosts(q2, false, false, options.translator);
-      uint64_t instrs = 0;
-      for (const auto& c : costs) instrs += c.bytecode_ops;
-      std::printf("%6d %10s %12llu %10.2fms %10.1f\n", number,
-                  fuse ? "on" : "off",
-                  static_cast<unsigned long long>(instrs),
+      uint64_t instrs = 0, fused = 0, cmp_brs = 0;
+      for (const auto& c : costs) {
+        instrs += c.bytecode_ops;
+        fused += c.fused_ops;
+        cmp_brs += c.fused_cmp_branches;
+      }
+      std::printf("%6d %12s %12llu %8llu %8llu %10.2fms %10.1f\n", number,
+                  config.label, static_cast<unsigned long long>(instrs),
+                  static_cast<unsigned long long>(fused),
+                  static_cast<unsigned long long>(cmp_brs),
                   r.translate_millis_total,
                   bench::ExecOnlySeconds(r) * 1e3);
     }
   }
-  std::printf("\nexpected shape: fusion reduces executed VM instructions and "
-              "execution time (paper: 'greatly reduces the number of "
-              "instructions for some queries')\n");
+  std::printf("\nexpected shape: each fusion class reduces executed VM "
+              "instructions and execution time (paper: 'greatly reduces the "
+              "number of instructions for some queries')\n");
   return 0;
 }

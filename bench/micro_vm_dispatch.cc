@@ -1,10 +1,31 @@
-// Microbenchmark (google-benchmark): raw dispatch throughput of the three
-// execution tiers on one pipeline-shaped kernel (TPC-H Q6's scan-filter-sum
-// loop), isolating interpretation overhead from query plumbing.
-#include <benchmark/benchmark.h>
+// Microbenchmark: raw dispatch throughput of the interpreter engines (and
+// the JIT tiers for context) on interpreter-mode kernels, isolating
+// interpretation overhead from query plumbing.
+//
+// Configs compared side by side:
+//   switch          for(;;)-switch dispatch, no cmp-branch fusion — the
+//                   seed interpreter's shape (macro-op fusion on)
+//   switch+fused    switch dispatch + compare-and-branch superinstructions
+//   threaded        direct-threaded (computed goto) dispatch
+//   threaded+fused  threaded dispatch + compare-and-branch fusion
+//
+// Two kernels: TPC-H Q6's scan-filter-sum pipeline (real generated code)
+// and a synthetic expression loop (compare/branch/arithmetic heavy, the
+// worst case for dispatch overhead).
+//
+// Each config prints one machine-readable JSON line (also written to
+// BENCH_micro_vm_dispatch.json, one snapshot per run) so each PR's perf
+// numbers can be archived and compared.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <llvm/IR/IRBuilder.h>
 
 #include "bench/bench_util.h"
 #include "codegen/query_compiler.h"
+#include "common/timer.h"
+#include "ir/ir_module.h"
 #include "jit/jit_compiler.h"
 #include "runtime/runtime_registry.h"
 #include "vm/interpreter.h"
@@ -20,8 +41,8 @@ struct Q6Kernel {
   PipelineBindings bindings;
   uint64_t rows;
 
-  Q6Kernel()
-      : catalog(bench::TpchAtScale(0.01)),
+  explicit Q6Kernel(double sf)
+      : catalog(bench::TpchAtScale(sf)),
         program(BuildTpchQuery(6, *catalog)) {
     ctx = program.MakeContext(catalog);
     bindings = BindPipeline(program, program.pipelines()[0], *ctx);
@@ -30,63 +51,196 @@ struct Q6Kernel {
   const PipelineSpec& spec() const { return program.pipelines()[0]; }
 };
 
-Q6Kernel& Kernel() {
-  static Q6Kernel* kernel = new Q6Kernel();
-  return *kernel;
+/// Builds `i64 f(i64 lo, i64 n, ptr buf)`: a loop over `n` rows of i64
+/// data with a filter compare, a data-dependent branch, and a running sum —
+/// the expression shape whose cost is almost entirely dispatch.
+void BuildExpressionKernel(IrModule* mod) {
+  auto& ctx = mod->context();
+  llvm::IRBuilder<> b(ctx);
+  auto* i64 = llvm::Type::getInt64Ty(ctx);
+  auto* fty = llvm::FunctionType::get(
+      i64, {i64, i64, llvm::Type::getInt64PtrTy(ctx)}, false);
+  auto* fn = llvm::Function::Create(fty, llvm::Function::ExternalLinkage, "f",
+                                    &mod->module());
+  auto* entry = llvm::BasicBlock::Create(ctx, "entry", fn);
+  auto* head = llvm::BasicBlock::Create(ctx, "head", fn);
+  auto* body = llvm::BasicBlock::Create(ctx, "body", fn);
+  auto* keep = llvm::BasicBlock::Create(ctx, "keep", fn);
+  auto* next = llvm::BasicBlock::Create(ctx, "next", fn);
+  auto* exit = llvm::BasicBlock::Create(ctx, "exit", fn);
+
+  b.SetInsertPoint(entry);
+  b.CreateBr(head);
+
+  b.SetInsertPoint(head);
+  auto* i = b.CreatePHI(i64, 2, "i");
+  auto* sum = b.CreatePHI(i64, 2, "sum");
+  auto* cond = b.CreateICmpSLT(i, fn->getArg(1));
+  b.CreateCondBr(cond, body, exit);
+
+  b.SetInsertPoint(body);
+  auto* gep = b.CreateGEP(i64, fn->getArg(2), i);
+  auto* v = b.CreateLoad(i64, gep);
+  auto* pass = b.CreateICmpSGT(v, fn->getArg(0));
+  b.CreateCondBr(pass, keep, next);
+
+  b.SetInsertPoint(keep);
+  auto* scaled = b.CreateMul(v, b.getInt64(3));
+  auto* masked = b.CreateXor(scaled, b.CreateAnd(v, b.getInt64(0xFF)));
+  auto* sum2 = b.CreateAdd(sum, masked);
+  b.CreateBr(next);
+
+  b.SetInsertPoint(next);
+  auto* sum3 = b.CreatePHI(i64, 2, "sum3");
+  auto* i2 = b.CreateAdd(i, b.getInt64(1));
+  b.CreateBr(head);
+
+  b.SetInsertPoint(exit);
+  b.CreateRet(sum);
+
+  i->addIncoming(b.getInt64(0), entry);
+  i->addIncoming(i2, next);
+  sum->addIncoming(b.getInt64(0), entry);
+  sum->addIncoming(sum3, next);
+  sum3->addIncoming(sum2, keep);
+  sum3->addIncoming(sum, body);
 }
 
-void BM_BytecodeVm(benchmark::State& state) {
-  Q6Kernel& k = Kernel();
-  GeneratedPipeline gen = GeneratePipeline(k.spec(), k.bindings);
-  BcProgram bc = TranslateToBytecode(
-      *gen.mod->module().getFunction("worker"), RuntimeRegistry::Global());
-  for (auto _ : state) {
-    VmExecuteWorker(bc, nullptr, 0, k.rows);
+struct Config {
+  const char* name;
+  VmDispatch dispatch;
+  bool fuse_cmp_branches;
+};
+
+constexpr Config kConfigs[] = {
+    {"switch", VmDispatch::kSwitch, false},
+    {"switch+fused", VmDispatch::kSwitch, true},
+    {"threaded", VmDispatch::kThreaded, false},
+    {"threaded+fused", VmDispatch::kThreaded, true},
+};
+
+struct Measurement {
+  std::string config;
+  double rows_per_sec = 0;
+  uint64_t fused_cmp_branches = 0;
+};
+
+void Report(const char* kernel, std::vector<Measurement>& results,
+            std::FILE* json_out) {
+  double base = results.empty() ? 0 : results[0].rows_per_sec;
+  std::printf("\n%-16s %14s %10s %10s\n", kernel, "rows/s", "speedup",
+              "cmp-brs");
+  for (const Measurement& m : results) {
+    std::printf("%-16s %14.3e %9.2fx %10llu\n", m.config.c_str(),
+                m.rows_per_sec, m.rows_per_sec / base,
+                static_cast<unsigned long long>(m.fused_cmp_branches));
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "{\"bench\":\"micro_vm_dispatch\",\"kernel\":\"%s\","
+                  "\"config\":\"%s\",\"rows_per_sec\":%.6e,"
+                  "\"speedup_vs_switch\":%.4f,\"fused_cmp_branches\":%llu}",
+                  kernel, m.config.c_str(), m.rows_per_sec,
+                  m.rows_per_sec / base,
+                  static_cast<unsigned long long>(m.fused_cmp_branches));
+    std::printf("%s\n", line);
+    if (json_out != nullptr) std::fprintf(json_out, "%s\n", line);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(k.rows) * state.iterations());
-}
-BENCHMARK(BM_BytecodeVm);
-
-void BM_BytecodeVmNoFusion(benchmark::State& state) {
-  Q6Kernel& k = Kernel();
-  GeneratedPipeline gen = GeneratePipeline(k.spec(), k.bindings);
-  TranslatorOptions options;
-  options.fuse_macro_ops = false;
-  BcProgram bc = TranslateToBytecode(
-      *gen.mod->module().getFunction("worker"), RuntimeRegistry::Global(),
-      options);
-  for (auto _ : state) {
-    VmExecuteWorker(bc, nullptr, 0, k.rows);
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(k.rows) * state.iterations());
-}
-BENCHMARK(BM_BytecodeVmNoFusion);
-
-void RunJitKernel(benchmark::State& state, JitMode mode) {
-  Q6Kernel& k = Kernel();
-  GeneratedPipeline gen = GeneratePipeline(k.spec(), k.bindings);
-  auto compiled =
-      JitCompile(std::move(*gen.mod), mode, RuntimeRegistry::Global());
-  auto* fn = reinterpret_cast<void (*)(void*, uint64_t, uint64_t,
-                                       const void*)>(
-      compiled->Lookup("worker"));
-  for (auto _ : state) {
-    fn(nullptr, 0, k.rows, nullptr);
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(k.rows) * state.iterations());
 }
 
-void BM_JitUnoptimized(benchmark::State& state) {
-  RunJitKernel(state, JitMode::kUnoptimized);
+/// Runs `fn` repeatedly until ~`budget_seconds` elapsed; returns calls/sec
+/// scaled by `rows` to rows/sec.
+template <typename Fn>
+double Throughput(uint64_t rows, double budget_seconds, const Fn& fn) {
+  fn();  // warmup
+  uint64_t iters = 0;
+  Timer timer;
+  do {
+    fn();
+    ++iters;
+  } while (timer.ElapsedSeconds() < budget_seconds);
+  return static_cast<double>(rows) * static_cast<double>(iters) /
+         timer.ElapsedSeconds();
 }
-BENCHMARK(BM_JitUnoptimized);
-
-void BM_JitOptimized(benchmark::State& state) {
-  RunJitKernel(state, JitMode::kOptimized);
-}
-BENCHMARK(BM_JitOptimized);
 
 }  // namespace
 }  // namespace aqe
 
-BENCHMARK_MAIN();
+int main() {
+  using namespace aqe;
+  const double sf = bench::EnvDouble("AQE_SF", 0.01);
+  const double budget = bench::EnvDouble("AQE_BENCH_SECONDS", 1.0);
+  std::FILE* json_out = std::fopen("BENCH_micro_vm_dispatch.json", "w");
+
+  std::printf("VM dispatch microbenchmark (SF %g, %.1fs per config)\n", sf,
+              budget);
+  std::printf("threaded dispatch available: %s\n",
+              VmThreadedDispatchAvailable() ? "yes" : "no");
+
+  // --- kernel 1: TPC-H Q6 scan-filter-sum pipeline -------------------------
+  {
+    Q6Kernel k(sf);
+    std::vector<Measurement> results;
+    for (const Config& config : kConfigs) {
+      GeneratedPipeline gen = GeneratePipeline(k.spec(), k.bindings);
+      TranslatorOptions options;
+      options.fuse_cmp_branches = config.fuse_cmp_branches;
+      BcProgram bc = TranslateToBytecode(
+          *gen.mod->module().getFunction("worker"), RuntimeRegistry::Global(),
+          options);
+      Measurement m;
+      m.config = config.name;
+      m.fused_cmp_branches = bc.fused_cmp_branches;
+      bc.dispatch = config.dispatch;
+      m.rows_per_sec = Throughput(k.rows, budget, [&] {
+        VmExecuteWorker(bc, nullptr, 0, k.rows);
+      });
+      results.push_back(std::move(m));
+    }
+    // JIT tiers for context.
+    for (JitMode mode : {JitMode::kUnoptimized, JitMode::kOptimized}) {
+      GeneratedPipeline gen = GeneratePipeline(k.spec(), k.bindings);
+      auto compiled =
+          JitCompile(std::move(*gen.mod), mode, RuntimeRegistry::Global());
+      auto* fn = reinterpret_cast<void (*)(void*, uint64_t, uint64_t,
+                                           const void*)>(
+          compiled->Lookup("worker"));
+      Measurement m;
+      m.config = mode == JitMode::kOptimized ? "jit-opt" : "jit-unopt";
+      m.rows_per_sec =
+          Throughput(k.rows, budget, [&] { fn(nullptr, 0, k.rows, nullptr); });
+      results.push_back(std::move(m));
+    }
+    Report("q6-pipeline", results, json_out);
+  }
+
+  // --- kernel 2: synthetic expression loop ---------------------------------
+  {
+    const uint64_t rows = 1 << 18;
+    std::vector<int64_t> data(rows);
+    for (uint64_t r = 0; r < rows; ++r) {
+      data[r] = static_cast<int64_t>((r * 2654435761u) % 1000);
+    }
+    std::vector<Measurement> results;
+    for (const Config& config : kConfigs) {
+      IrModule mod("expr");
+      BuildExpressionKernel(&mod);
+      TranslatorOptions options;
+      options.fuse_cmp_branches = config.fuse_cmp_branches;
+      BcProgram bc =
+          TranslateToBytecode(*mod.module().getFunction("f"),
+                              RuntimeRegistry::Global(), options);
+      bc.dispatch = config.dispatch;
+      Measurement m;
+      m.config = config.name;
+      m.fused_cmp_branches = bc.fused_cmp_branches;
+      uint64_t args[3] = {500, rows, reinterpret_cast<uint64_t>(data.data())};
+      m.rows_per_sec =
+          Throughput(rows, budget, [&] { VmExecute(bc, args, 3); });
+      results.push_back(std::move(m));
+    }
+    Report("expression-loop", results, json_out);
+  }
+
+  if (json_out != nullptr) std::fclose(json_out);
+  return 0;
+}

@@ -132,6 +132,7 @@ QueryRunResult QueryEngine::Run(const QueryProgram& program,
       bytecode = TranslateToBytecode(
           *generated.mod->module().getFunction("worker"), registry,
           options.translator);
+      bytecode.dispatch = options.vm_dispatch;
       report.translate_millis = timer.ElapsedMillis();
       report.register_file_bytes = bytecode.register_file_size;
       result.translate_millis_total += report.translate_millis;
@@ -211,6 +212,8 @@ std::vector<PipelineCompileCosts> QueryEngine::MeasureCompileCosts(
       cost.bytecode_millis = timer.ElapsedMillis();
       cost.register_file_bytes = bytecode.register_file_size;
       cost.bytecode_ops = bytecode.code.size();
+      cost.fused_ops = bytecode.fused_instructions;
+      cost.fused_cmp_branches = bytecode.fused_cmp_branches;
     }
     if (measure_unopt) {
       GeneratedPipeline fresh = GeneratePipeline(spec, bindings);

@@ -29,6 +29,9 @@ struct QueryRunOptions {
   ExecutionStrategy strategy = ExecutionStrategy::kAdaptive;
   CostModelParams cost_model;
   TranslatorOptions translator;
+  /// Interpreter loop for bytecode execution (kDefault = compile-time
+  /// AQE_VM_DISPATCH selection; both engines give bit-identical results).
+  VmDispatch vm_dispatch = VmDispatch::kDefault;
   TraceRecorder* trace = nullptr;
   /// Baselines and kNaiveIr always run single-threaded.
   bool single_threaded = false;
@@ -67,6 +70,8 @@ struct PipelineCompileCosts {
   double opt_millis = 0;
   uint32_t register_file_bytes = 0;
   uint64_t bytecode_ops = 0;  ///< fixed-length VM instructions emitted
+  uint64_t fused_ops = 0;     ///< LLVM instructions folded by macro fusion
+  uint64_t fused_cmp_branches = 0;  ///< compare-and-branch superinstructions
 };
 
 /// The public facade: executes QueryPrograms against a catalog under any

@@ -1,6 +1,7 @@
 #ifndef AQE_EXEC_MORSEL_H_
 #define AQE_EXEC_MORSEL_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 

@@ -11,11 +11,13 @@ namespace aqe {
 /// fixed-length and statically typed: the operand type is baked into the
 /// opcode (add_i32 vs add_i64), unlike LLVM IR's single polymorphic add,
 /// which is what makes interpretation cheap. Macro opcodes (…_ovf_br,
-/// load/store with fused address arithmetic) collapse frequently occurring
-/// LLVM instruction sequences into one VM instruction (§IV-F).
+/// load/store with fused address arithmetic, compare-and-branch) collapse
+/// frequently occurring LLVM instruction sequences into one VM instruction
+/// (§IV-F).
 ///
 /// Macro list format: V(name) — the semantics are implemented in one line
-/// each in the interpreter switch (vm/interpreter.cc), mirroring Fig 8.
+/// each in the shared handler list (vm/interpreter_ops.inc), which both
+/// dispatch engines include (see vm/DESIGN.md).
 #define AQE_OPCODE_LIST(V)                                                   \
   /* moves and constants */                                                  \
   V(mov64)          /* r[a1] = r[a2] (full slot; used for phi copies) */     \
@@ -39,6 +41,15 @@ namespace aqe {
   V(icmp_sgt_i32) V(icmp_sgt_i64) V(icmp_sge_i32) V(icmp_sge_i64)            \
   V(icmp_ult_i32) V(icmp_ult_i64) V(icmp_ule_i32) V(icmp_ule_i64)            \
   V(icmp_ugt_i32) V(icmp_ugt_i64) V(icmp_uge_i32) V(icmp_uge_i64)            \
+  /* compare-and-branch superinstructions (§IV-F extended): fuse a          \
+     single-use icmp/fcmp with the condbr that consumes it. a2/a3 are the    \
+     operands; lit packs (then << 32 | else) instruction indices. */         \
+  V(br_eq_i32) V(br_eq_i64) V(br_ne_i32) V(br_ne_i64)                        \
+  V(br_slt_i32) V(br_slt_i64) V(br_sle_i32) V(br_sle_i64)                    \
+  V(br_sgt_i32) V(br_sgt_i64) V(br_sge_i32) V(br_sge_i64)                    \
+  V(br_ult_i32) V(br_ult_i64) V(br_ule_i32) V(br_ule_i64)                    \
+  V(br_ugt_i32) V(br_ugt_i64) V(br_uge_i32) V(br_uge_i64)                    \
+  V(br_folt_f64) V(br_fogt_f64)                                              \
   /* floating point */                                                       \
   V(fadd_f64) V(fsub_f64) V(fmul_f64) V(fdiv_f64) V(fneg_f64)                \
   V(fcmp_oeq_f64) V(fcmp_one_f64) V(fcmp_olt_f64) V(fcmp_ole_f64)            \
@@ -52,7 +63,7 @@ namespace aqe {
   V(trunc_i64_i1) V(trunc_i32_i1) V(trunc_i32_i16)                           \
   V(sitofp_i32_f64) V(sitofp_i64_f64) V(fptosi_f64_i64) V(fptosi_f64_i32)    \
   V(uitofp_i64_f64) V(bitcast_i64_f64) V(bitcast_f64_i64)                    \
-  /* select */                                                               \
+  /* select: r[a1] = r[a2] ? r[a3] : r[lit] */                               \
   V(select_i32) V(select_i64) V(select_f64)                                  \
   /* memory: plain (address in register, constant byte offset in lit) */     \
   V(load_i8) V(load_i16) V(load_i32) V(load_i64) V(load_f64)                 \
@@ -67,17 +78,18 @@ namespace aqe {
   V(gep) V(gep_const) /* gep_const: r[a1] = r[a2] + offset */                \
   /* control flow: targets are instruction indices */                        \
   V(br)        /* lit = target */                                            \
-  V(condbr)    /* a1 = cond reg, a2 = then target, a3 = else target */       \
+  V(condbr)    /* a1 = cond reg, lit packs (then << 32 | else) */            \
   V(ret_void) V(ret) /* ret: returns full 8-byte slot r[a1] */               \
   V(trap)      /* llvm unreachable */                                        \
-  /* calls to registered C++ runtime functions; lit = function address.     \
-     All runtime functions take/return i64-compatible values (DESIGN.md). */ \
+  /* calls to registered C++ runtime functions; lit = literal-pool index of \
+     the callee address. All runtime functions take/return i64-compatible    \
+     values (DESIGN.md). */                                                  \
   V(call_i64_0) V(call_i64_1) V(call_i64_2)                                  \
   V(call_void_0) V(call_void_1) V(call_void_2)                               \
   V(push_arg)  /* append r[a1] to the pending argument buffer */             \
   V(call_i64_n) V(call_void_n) /* a2 = nargs, consumes pending args */
 
-enum class Opcode : uint32_t {
+enum class Opcode : uint16_t {
 #define AQE_DECLARE_OPCODE(name) k_##name,
   AQE_OPCODE_LIST(AQE_DECLARE_OPCODE)
 #undef AQE_DECLARE_OPCODE
@@ -87,17 +99,23 @@ enum class Opcode : uint32_t {
 /// Opcode mnemonic for disassembly.
 const char* OpcodeName(Opcode op);
 
-/// One fixed-length (24-byte) VM instruction. a1..a3 are byte offsets into
-/// the register file (or, for control flow, instruction indices); lit is an
-/// immediate: branch target, packed scale/offset, or callee address.
+/// One fixed-length, compact (16-byte) VM instruction: four 16-bit fields
+/// and a 64-bit immediate, so four instructions fill one cache line instead
+/// of the previous 24-byte encoding's 2.67.
+///
+/// a1..a3 index 8-byte register-file *slots* (not byte offsets — slot
+/// indices keep them inside 16 bits; the interpreter shifts by 3) or, for
+/// control flow, carry small immediates. `lit` is the wide immediate:
+/// branch target(s), packed scale/offset, flag slot, or the literal-pool
+/// index of a callee address.
 struct BcInstruction {
-  uint32_t op;
-  uint32_t a1;
-  uint32_t a2;
-  uint32_t a3;
+  uint16_t op;
+  uint16_t a1;
+  uint16_t a2;
+  uint16_t a3;
   uint64_t lit;
 };
-static_assert(sizeof(BcInstruction) == 24, "fixed-length encoding");
+static_assert(sizeof(BcInstruction) == 16, "compact fixed-length encoding");
 
 /// Packs the (scale, offset) immediate of fused memory ops.
 inline uint64_t PackScaleOffset(uint32_t scale, int32_t offset) {
@@ -111,30 +129,64 @@ inline int32_t UnpackOffset(uint64_t lit) {
   return static_cast<int32_t>(static_cast<uint32_t>(lit));
 }
 
+/// Packs the (then, else) instruction indices of condbr and the
+/// compare-and-branch superinstructions.
+inline uint64_t PackBranchTargets(uint32_t then_target, uint32_t else_target) {
+  return (static_cast<uint64_t>(then_target) << 32) | else_target;
+}
+inline uint32_t UnpackThenTarget(uint64_t lit) {
+  return static_cast<uint32_t>(lit >> 32);
+}
+inline uint32_t UnpackElseTarget(uint64_t lit) {
+  return static_cast<uint32_t>(lit);
+}
+
+/// Which interpreter loop executes a program. kSwitch is the classic
+/// for(;;)-switch with one shared indirect branch; kThreaded is
+/// direct-threaded dispatch (computed goto), one indirect branch per
+/// handler. kDefault resolves to the compile-time AQE_VM_DISPATCH choice.
+enum class VmDispatch { kDefault, kSwitch, kThreaded };
+
+const char* VmDispatchName(VmDispatch dispatch);
+
 /// A translated function: the unit the FunctionHandle stores alongside (or
 /// instead of) compiled machine code.
 struct BcProgram {
   std::vector<BcInstruction> code;
 
-  /// Size of the register file in bytes (8-byte slots). Slots 0 and 8 hold
+  /// Size of the register file in bytes (8-byte slots). Slots 0 and 1 hold
   /// the constants 0 and 1 (§IV-A).
   uint32_t register_file_size = 16;
 
   /// Constants materialized into the register file on entry.
   struct PoolEntry {
-    uint32_t offset;
+    uint32_t slot;
     uint64_t value;
   };
   std::vector<PoolEntry> constant_pool;
 
-  /// Register offsets that receive the function arguments, in order.
+  /// Wide immediates that do not fit the instruction (callee addresses);
+  /// call instructions store an index into this pool in `lit`. Keeping
+  /// addresses out of the instruction stream makes programs relocatable.
+  std::vector<uint64_t> literal_pool;
+
+  /// Register slots that receive the function arguments, in order.
   std::vector<uint32_t> arg_offsets;
+
+  /// Dispatch engine this program is executed with (kDefault = the
+  /// compile-time selection; see VmResolveDispatch).
+  VmDispatch dispatch = VmDispatch::kDefault;
 
   /// Stats for the cost model and the ablation benches.
   uint64_t source_instructions = 0;  ///< LLVM instructions translated
   uint64_t fused_instructions = 0;   ///< LLVM instructions folded away
+  uint64_t fused_cmp_branches = 0;   ///< compare-and-branch superinstructions
 
-  /// Human-readable disassembly.
+  /// Interns `value` into literal_pool and returns its index.
+  uint64_t AddLiteral(uint64_t value);
+
+  /// Human-readable disassembly; round-trips every instruction field (see
+  /// ParseDisassembly in tests/vm_dispatch_test.cc).
   std::string Disassemble() const;
 };
 

@@ -6,21 +6,30 @@
 
 #include "common/status.h"
 
+// The threaded engine needs the GCC/Clang label-address extension.
+#if defined(__GNUC__) || defined(__clang__)
+#define AQE_VM_HAS_COMPUTED_GOTO 1
+#else
+#define AQE_VM_HAS_COMPUTED_GOTO 0
+#endif
+
 namespace aqe {
 namespace {
 
-// Register accessors: `regs` is the byte-addressed register file; offsets
-// come from the instruction fields (Fig 8's `regs + ip->a1`).
-#define R_I8(off) (*reinterpret_cast<int8_t*>(regs + (off)))
-#define R_U8(off) (*reinterpret_cast<uint8_t*>(regs + (off)))
-#define R_I16(off) (*reinterpret_cast<int16_t*>(regs + (off)))
-#define R_U16(off) (*reinterpret_cast<uint16_t*>(regs + (off)))
-#define R_I32(off) (*reinterpret_cast<int32_t*>(regs + (off)))
-#define R_U32(off) (*reinterpret_cast<uint32_t*>(regs + (off)))
-#define R_I64(off) (*reinterpret_cast<int64_t*>(regs + (off)))
-#define R_U64(off) (*reinterpret_cast<uint64_t*>(regs + (off)))
-#define R_F64(off) (*reinterpret_cast<double*>(regs + (off)))
-#define R_PTR(off) (*reinterpret_cast<uint8_t**>(regs + (off)))
+// Register accessors: `regs` is the register file; a1..a3 are 8-byte *slot
+// indices* (the compact encoding keeps them in 16 bits), so the byte address
+// is regs + (slot << 3). Narrow values occupy the low bytes of their slot.
+#define RSLOT(slot) (regs + (static_cast<size_t>(slot) << 3))
+#define R_I8(slot) (*reinterpret_cast<int8_t*>(RSLOT(slot)))
+#define R_U8(slot) (*reinterpret_cast<uint8_t*>(RSLOT(slot)))
+#define R_I16(slot) (*reinterpret_cast<int16_t*>(RSLOT(slot)))
+#define R_U16(slot) (*reinterpret_cast<uint16_t*>(RSLOT(slot)))
+#define R_I32(slot) (*reinterpret_cast<int32_t*>(RSLOT(slot)))
+#define R_U32(slot) (*reinterpret_cast<uint32_t*>(RSLOT(slot)))
+#define R_I64(slot) (*reinterpret_cast<int64_t*>(RSLOT(slot)))
+#define R_U64(slot) (*reinterpret_cast<uint64_t*>(RSLOT(slot)))
+#define R_F64(slot) (*reinterpret_cast<double*>(RSLOT(slot)))
+#define R_PTR(slot) (*reinterpret_cast<uint8_t**>(RSLOT(slot)))
 
 // Call-target casts. All runtime functions use i64-compatible args/returns
 // (see RuntimeRegistry).
@@ -60,187 +69,77 @@ uint64_t DispatchN(uint64_t target, const uint64_t* a, uint32_t n) {
 /// Address computation of the fused GEP+memory macro ops (§IV-F):
 /// base + index * scale + offset, all from one instruction.
 #define IDX_ADDR(inst) \
-  (R_PTR((inst).a2) + R_I64((inst).a3) * UnpackScale((inst).lit) + \
-   UnpackOffset((inst).lit))
+  (R_PTR((inst)->a2) + R_I64((inst)->a3) * UnpackScale((inst)->lit) + \
+   UnpackOffset((inst)->lit))
 #define MEM_ADDR(inst) \
-  (R_PTR((inst).a2) + static_cast<int32_t>(static_cast<uint32_t>((inst).lit)))
+  (R_PTR((inst)->a2) + \
+   static_cast<int32_t>(static_cast<uint32_t>((inst)->lit)))
+/// Compare-and-branch superinstructions: jump to the packed then/else target.
+#define VM_CMP_BR(expr) \
+  ip = code + ((expr) ? UnpackThenTarget(I->lit) : UnpackElseTarget(I->lit))
 
-uint64_t Run(const BcProgram& program, uint8_t* regs) {
+/// The classic interpreter loop (Fig 8): one switch, one shared indirect
+/// branch that every opcode funnels through.
+uint64_t RunSwitch(const BcProgram& program, uint8_t* regs) {
   const BcInstruction* code = program.code.data();
+  const uint64_t* lp = program.literal_pool.data();
   uint64_t argbuf[8];
   uint32_t argn = 0;
-  size_t ip = 0;
+  const BcInstruction* ip = code;
+  const BcInstruction* I;
   for (;;) {
-    const BcInstruction& inst = code[ip++];
-    switch (static_cast<Opcode>(inst.op)) {
-      case Opcode::k_mov64: R_U64(inst.a1) = R_U64(inst.a2); break;
-
-      case Opcode::k_add_i32: R_I32(inst.a1) = static_cast<int32_t>(R_U32(inst.a2) + R_U32(inst.a3)); break;
-      case Opcode::k_add_i64: R_I64(inst.a1) = static_cast<int64_t>(R_U64(inst.a2) + R_U64(inst.a3)); break;
-      case Opcode::k_sub_i32: R_I32(inst.a1) = static_cast<int32_t>(R_U32(inst.a2) - R_U32(inst.a3)); break;
-      case Opcode::k_sub_i64: R_I64(inst.a1) = static_cast<int64_t>(R_U64(inst.a2) - R_U64(inst.a3)); break;
-      case Opcode::k_mul_i32: R_I32(inst.a1) = static_cast<int32_t>(R_U32(inst.a2) * R_U32(inst.a3)); break;
-      case Opcode::k_mul_i64: R_I64(inst.a1) = static_cast<int64_t>(R_U64(inst.a2) * R_U64(inst.a3)); break;
-      case Opcode::k_sdiv_i32: R_I32(inst.a1) = R_I32(inst.a2) / R_I32(inst.a3); break;
-      case Opcode::k_sdiv_i64: R_I64(inst.a1) = R_I64(inst.a2) / R_I64(inst.a3); break;
-      case Opcode::k_udiv_i32: R_U32(inst.a1) = R_U32(inst.a2) / R_U32(inst.a3); break;
-      case Opcode::k_udiv_i64: R_U64(inst.a1) = R_U64(inst.a2) / R_U64(inst.a3); break;
-      case Opcode::k_srem_i32: R_I32(inst.a1) = R_I32(inst.a2) % R_I32(inst.a3); break;
-      case Opcode::k_srem_i64: R_I64(inst.a1) = R_I64(inst.a2) % R_I64(inst.a3); break;
-      case Opcode::k_urem_i32: R_U32(inst.a1) = R_U32(inst.a2) % R_U32(inst.a3); break;
-      case Opcode::k_urem_i64: R_U64(inst.a1) = R_U64(inst.a2) % R_U64(inst.a3); break;
-
-      case Opcode::k_sadd_ovf_br_i32: { int32_t r; if (__builtin_add_overflow(R_I32(inst.a2), R_I32(inst.a3), &r)) { ip = inst.lit; break; } R_I32(inst.a1) = r; break; }
-      case Opcode::k_sadd_ovf_br_i64: { int64_t r; if (__builtin_add_overflow(R_I64(inst.a2), R_I64(inst.a3), &r)) { ip = inst.lit; break; } R_I64(inst.a1) = r; break; }
-      case Opcode::k_ssub_ovf_br_i32: { int32_t r; if (__builtin_sub_overflow(R_I32(inst.a2), R_I32(inst.a3), &r)) { ip = inst.lit; break; } R_I32(inst.a1) = r; break; }
-      case Opcode::k_ssub_ovf_br_i64: { int64_t r; if (__builtin_sub_overflow(R_I64(inst.a2), R_I64(inst.a3), &r)) { ip = inst.lit; break; } R_I64(inst.a1) = r; break; }
-      case Opcode::k_smul_ovf_br_i32: { int32_t r; if (__builtin_mul_overflow(R_I32(inst.a2), R_I32(inst.a3), &r)) { ip = inst.lit; break; } R_I32(inst.a1) = r; break; }
-      case Opcode::k_smul_ovf_br_i64: { int64_t r; if (__builtin_mul_overflow(R_I64(inst.a2), R_I64(inst.a3), &r)) { ip = inst.lit; break; } R_I64(inst.a1) = r; break; }
-
-      case Opcode::k_sadd_ovf_i32: { int32_t r; R_U8(inst.lit) = __builtin_add_overflow(R_I32(inst.a2), R_I32(inst.a3), &r) ? 1 : 0; R_I32(inst.a1) = r; break; }
-      case Opcode::k_sadd_ovf_i64: { int64_t r; R_U8(inst.lit) = __builtin_add_overflow(R_I64(inst.a2), R_I64(inst.a3), &r) ? 1 : 0; R_I64(inst.a1) = r; break; }
-      case Opcode::k_ssub_ovf_i32: { int32_t r; R_U8(inst.lit) = __builtin_sub_overflow(R_I32(inst.a2), R_I32(inst.a3), &r) ? 1 : 0; R_I32(inst.a1) = r; break; }
-      case Opcode::k_ssub_ovf_i64: { int64_t r; R_U8(inst.lit) = __builtin_sub_overflow(R_I64(inst.a2), R_I64(inst.a3), &r) ? 1 : 0; R_I64(inst.a1) = r; break; }
-      case Opcode::k_smul_ovf_i32: { int32_t r; R_U8(inst.lit) = __builtin_mul_overflow(R_I32(inst.a2), R_I32(inst.a3), &r) ? 1 : 0; R_I32(inst.a1) = r; break; }
-      case Opcode::k_smul_ovf_i64: { int64_t r; R_U8(inst.lit) = __builtin_mul_overflow(R_I64(inst.a2), R_I64(inst.a3), &r) ? 1 : 0; R_I64(inst.a1) = r; break; }
-
-      case Opcode::k_and_i1: R_U8(inst.a1) = R_U8(inst.a2) & R_U8(inst.a3); break;
-      case Opcode::k_and_i32: R_U32(inst.a1) = R_U32(inst.a2) & R_U32(inst.a3); break;
-      case Opcode::k_and_i64: R_U64(inst.a1) = R_U64(inst.a2) & R_U64(inst.a3); break;
-      case Opcode::k_or_i1: R_U8(inst.a1) = R_U8(inst.a2) | R_U8(inst.a3); break;
-      case Opcode::k_or_i32: R_U32(inst.a1) = R_U32(inst.a2) | R_U32(inst.a3); break;
-      case Opcode::k_or_i64: R_U64(inst.a1) = R_U64(inst.a2) | R_U64(inst.a3); break;
-      case Opcode::k_xor_i1: R_U8(inst.a1) = R_U8(inst.a2) ^ R_U8(inst.a3); break;
-      case Opcode::k_xor_i32: R_U32(inst.a1) = R_U32(inst.a2) ^ R_U32(inst.a3); break;
-      case Opcode::k_xor_i64: R_U64(inst.a1) = R_U64(inst.a2) ^ R_U64(inst.a3); break;
-      case Opcode::k_shl_i32: R_U32(inst.a1) = R_U32(inst.a2) << (R_U32(inst.a3) & 31); break;
-      case Opcode::k_shl_i64: R_U64(inst.a1) = R_U64(inst.a2) << (R_U64(inst.a3) & 63); break;
-      case Opcode::k_lshr_i32: R_U32(inst.a1) = R_U32(inst.a2) >> (R_U32(inst.a3) & 31); break;
-      case Opcode::k_lshr_i64: R_U64(inst.a1) = R_U64(inst.a2) >> (R_U64(inst.a3) & 63); break;
-      case Opcode::k_ashr_i32: R_I32(inst.a1) = R_I32(inst.a2) >> (R_U32(inst.a3) & 31); break;
-      case Opcode::k_ashr_i64: R_I64(inst.a1) = R_I64(inst.a2) >> (R_U64(inst.a3) & 63); break;
-
-      case Opcode::k_icmp_eq_i32: R_U8(inst.a1) = R_U32(inst.a2) == R_U32(inst.a3); break;
-      case Opcode::k_icmp_eq_i64: R_U8(inst.a1) = R_U64(inst.a2) == R_U64(inst.a3); break;
-      case Opcode::k_icmp_ne_i32: R_U8(inst.a1) = R_U32(inst.a2) != R_U32(inst.a3); break;
-      case Opcode::k_icmp_ne_i64: R_U8(inst.a1) = R_U64(inst.a2) != R_U64(inst.a3); break;
-      case Opcode::k_icmp_slt_i32: R_U8(inst.a1) = R_I32(inst.a2) < R_I32(inst.a3); break;
-      case Opcode::k_icmp_slt_i64: R_U8(inst.a1) = R_I64(inst.a2) < R_I64(inst.a3); break;
-      case Opcode::k_icmp_sle_i32: R_U8(inst.a1) = R_I32(inst.a2) <= R_I32(inst.a3); break;
-      case Opcode::k_icmp_sle_i64: R_U8(inst.a1) = R_I64(inst.a2) <= R_I64(inst.a3); break;
-      case Opcode::k_icmp_sgt_i32: R_U8(inst.a1) = R_I32(inst.a2) > R_I32(inst.a3); break;
-      case Opcode::k_icmp_sgt_i64: R_U8(inst.a1) = R_I64(inst.a2) > R_I64(inst.a3); break;
-      case Opcode::k_icmp_sge_i32: R_U8(inst.a1) = R_I32(inst.a2) >= R_I32(inst.a3); break;
-      case Opcode::k_icmp_sge_i64: R_U8(inst.a1) = R_I64(inst.a2) >= R_I64(inst.a3); break;
-      case Opcode::k_icmp_ult_i32: R_U8(inst.a1) = R_U32(inst.a2) < R_U32(inst.a3); break;
-      case Opcode::k_icmp_ult_i64: R_U8(inst.a1) = R_U64(inst.a2) < R_U64(inst.a3); break;
-      case Opcode::k_icmp_ule_i32: R_U8(inst.a1) = R_U32(inst.a2) <= R_U32(inst.a3); break;
-      case Opcode::k_icmp_ule_i64: R_U8(inst.a1) = R_U64(inst.a2) <= R_U64(inst.a3); break;
-      case Opcode::k_icmp_ugt_i32: R_U8(inst.a1) = R_U32(inst.a2) > R_U32(inst.a3); break;
-      case Opcode::k_icmp_ugt_i64: R_U8(inst.a1) = R_U64(inst.a2) > R_U64(inst.a3); break;
-      case Opcode::k_icmp_uge_i32: R_U8(inst.a1) = R_U32(inst.a2) >= R_U32(inst.a3); break;
-      case Opcode::k_icmp_uge_i64: R_U8(inst.a1) = R_U64(inst.a2) >= R_U64(inst.a3); break;
-
-      case Opcode::k_fadd_f64: R_F64(inst.a1) = R_F64(inst.a2) + R_F64(inst.a3); break;
-      case Opcode::k_fsub_f64: R_F64(inst.a1) = R_F64(inst.a2) - R_F64(inst.a3); break;
-      case Opcode::k_fmul_f64: R_F64(inst.a1) = R_F64(inst.a2) * R_F64(inst.a3); break;
-      case Opcode::k_fdiv_f64: R_F64(inst.a1) = R_F64(inst.a2) / R_F64(inst.a3); break;
-      case Opcode::k_fneg_f64: R_F64(inst.a1) = -R_F64(inst.a2); break;
-      case Opcode::k_fcmp_oeq_f64: R_U8(inst.a1) = R_F64(inst.a2) == R_F64(inst.a3); break;
-      case Opcode::k_fcmp_one_f64: R_U8(inst.a1) = R_F64(inst.a2) < R_F64(inst.a3) || R_F64(inst.a2) > R_F64(inst.a3); break;
-      case Opcode::k_fcmp_olt_f64: R_U8(inst.a1) = R_F64(inst.a2) < R_F64(inst.a3); break;
-      case Opcode::k_fcmp_ole_f64: R_U8(inst.a1) = R_F64(inst.a2) <= R_F64(inst.a3); break;
-      case Opcode::k_fcmp_ogt_f64: R_U8(inst.a1) = R_F64(inst.a2) > R_F64(inst.a3); break;
-      case Opcode::k_fcmp_oge_f64: R_U8(inst.a1) = R_F64(inst.a2) >= R_F64(inst.a3); break;
-      case Opcode::k_fcmp_une_f64: R_U8(inst.a1) = !(R_F64(inst.a2) == R_F64(inst.a3)); break;
-
-      case Opcode::k_sext_i1_i64: R_I64(inst.a1) = R_U8(inst.a2) ? -1 : 0; break;
-      case Opcode::k_sext_i8_i64: R_I64(inst.a1) = R_I8(inst.a2); break;
-      case Opcode::k_sext_i8_i32: R_I32(inst.a1) = R_I8(inst.a2); break;
-      case Opcode::k_sext_i16_i64: R_I64(inst.a1) = R_I16(inst.a2); break;
-      case Opcode::k_sext_i16_i32: R_I32(inst.a1) = R_I16(inst.a2); break;
-      case Opcode::k_sext_i32_i64: R_I64(inst.a1) = R_I32(inst.a2); break;
-      case Opcode::k_zext_i1_i8: R_U8(inst.a1) = R_U8(inst.a2); break;
-      case Opcode::k_zext_i1_i32: R_U32(inst.a1) = R_U8(inst.a2); break;
-      case Opcode::k_zext_i1_i64: R_U64(inst.a1) = R_U8(inst.a2); break;
-      case Opcode::k_zext_i8_i32: R_U32(inst.a1) = R_U8(inst.a2); break;
-      case Opcode::k_zext_i8_i64: R_U64(inst.a1) = R_U8(inst.a2); break;
-      case Opcode::k_zext_i16_i32: R_U32(inst.a1) = R_U16(inst.a2); break;
-      case Opcode::k_zext_i16_i64: R_U64(inst.a1) = R_U16(inst.a2); break;
-      case Opcode::k_zext_i32_i64: R_U64(inst.a1) = R_U32(inst.a2); break;
-      case Opcode::k_trunc_i64_i32: R_U32(inst.a1) = static_cast<uint32_t>(R_U64(inst.a2)); break;
-      case Opcode::k_trunc_i64_i16: R_U16(inst.a1) = static_cast<uint16_t>(R_U64(inst.a2)); break;
-      case Opcode::k_trunc_i64_i8: R_U8(inst.a1) = static_cast<uint8_t>(R_U64(inst.a2)); break;
-      case Opcode::k_trunc_i64_i1: R_U8(inst.a1) = R_U64(inst.a2) & 1; break;
-      case Opcode::k_trunc_i32_i16: R_U16(inst.a1) = static_cast<uint16_t>(R_U32(inst.a2)); break;
-      case Opcode::k_trunc_i32_i8: R_U8(inst.a1) = static_cast<uint8_t>(R_U32(inst.a2)); break;
-      case Opcode::k_trunc_i32_i1: R_U8(inst.a1) = R_U32(inst.a2) & 1; break;
-      case Opcode::k_sitofp_i32_f64: R_F64(inst.a1) = R_I32(inst.a2); break;
-      case Opcode::k_sitofp_i64_f64: R_F64(inst.a1) = static_cast<double>(R_I64(inst.a2)); break;
-      case Opcode::k_fptosi_f64_i64: R_I64(inst.a1) = static_cast<int64_t>(R_F64(inst.a2)); break;
-      case Opcode::k_fptosi_f64_i32: R_I32(inst.a1) = static_cast<int32_t>(R_F64(inst.a2)); break;
-      case Opcode::k_uitofp_i64_f64: R_F64(inst.a1) = static_cast<double>(R_U64(inst.a2)); break;
-      case Opcode::k_bitcast_i64_f64: R_U64(inst.a1) = R_U64(inst.a2); break;
-      case Opcode::k_bitcast_f64_i64: R_U64(inst.a1) = R_U64(inst.a2); break;
-
-      case Opcode::k_select_i32: R_U32(inst.a1) = R_U8(inst.a2) ? R_U32(inst.a3) : R_U32(static_cast<uint32_t>(inst.lit)); break;
-      case Opcode::k_select_i64: R_U64(inst.a1) = R_U8(inst.a2) ? R_U64(inst.a3) : R_U64(static_cast<uint32_t>(inst.lit)); break;
-      case Opcode::k_select_f64: R_F64(inst.a1) = R_U8(inst.a2) ? R_F64(inst.a3) : R_F64(static_cast<uint32_t>(inst.lit)); break;
-
-      case Opcode::k_load_i8: R_U8(inst.a1) = *reinterpret_cast<const uint8_t*>(MEM_ADDR(inst)); break;
-      case Opcode::k_load_i16: R_U16(inst.a1) = *reinterpret_cast<const uint16_t*>(MEM_ADDR(inst)); break;
-      case Opcode::k_load_i32: R_U32(inst.a1) = *reinterpret_cast<const uint32_t*>(MEM_ADDR(inst)); break;
-      case Opcode::k_load_i64: R_U64(inst.a1) = *reinterpret_cast<const uint64_t*>(MEM_ADDR(inst)); break;
-      case Opcode::k_load_f64: R_F64(inst.a1) = *reinterpret_cast<const double*>(MEM_ADDR(inst)); break;
-      case Opcode::k_store_i8: *reinterpret_cast<uint8_t*>(MEM_ADDR(inst)) = R_U8(inst.a1); break;
-      case Opcode::k_store_i16: *reinterpret_cast<uint16_t*>(MEM_ADDR(inst)) = R_U16(inst.a1); break;
-      case Opcode::k_store_i32: *reinterpret_cast<uint32_t*>(MEM_ADDR(inst)) = R_U32(inst.a1); break;
-      case Opcode::k_store_i64: *reinterpret_cast<uint64_t*>(MEM_ADDR(inst)) = R_U64(inst.a1); break;
-      case Opcode::k_store_f64: *reinterpret_cast<double*>(MEM_ADDR(inst)) = R_F64(inst.a1); break;
-
-      case Opcode::k_load_idx_i8: R_U8(inst.a1) = *reinterpret_cast<const uint8_t*>(IDX_ADDR(inst)); break;
-      case Opcode::k_load_idx_i16: R_U16(inst.a1) = *reinterpret_cast<const uint16_t*>(IDX_ADDR(inst)); break;
-      case Opcode::k_load_idx_i32: R_U32(inst.a1) = *reinterpret_cast<const uint32_t*>(IDX_ADDR(inst)); break;
-      case Opcode::k_load_idx_i64: R_U64(inst.a1) = *reinterpret_cast<const uint64_t*>(IDX_ADDR(inst)); break;
-      case Opcode::k_load_idx_f64: R_F64(inst.a1) = *reinterpret_cast<const double*>(IDX_ADDR(inst)); break;
-      case Opcode::k_store_idx_i8: *reinterpret_cast<uint8_t*>(IDX_ADDR(inst)) = R_U8(inst.a1); break;
-      case Opcode::k_store_idx_i16: *reinterpret_cast<uint16_t*>(IDX_ADDR(inst)) = R_U16(inst.a1); break;
-      case Opcode::k_store_idx_i32: *reinterpret_cast<uint32_t*>(IDX_ADDR(inst)) = R_U32(inst.a1); break;
-      case Opcode::k_store_idx_i64: *reinterpret_cast<uint64_t*>(IDX_ADDR(inst)) = R_U64(inst.a1); break;
-      case Opcode::k_store_idx_f64: *reinterpret_cast<double*>(IDX_ADDR(inst)) = R_F64(inst.a1); break;
-
-      case Opcode::k_gep: R_PTR(inst.a1) = R_PTR(inst.a2) + R_I64(inst.a3) * UnpackScale(inst.lit) + UnpackOffset(inst.lit); break;
-      case Opcode::k_gep_const: R_PTR(inst.a1) = R_PTR(inst.a2) + static_cast<int32_t>(static_cast<uint32_t>(inst.lit)); break;
-
-      case Opcode::k_br: ip = inst.lit; break;
-      case Opcode::k_condbr: ip = R_U8(inst.a1) ? inst.a2 : inst.a3; break;
-      case Opcode::k_ret_void: return 0;
-      case Opcode::k_ret: return R_U64(inst.a1);
-      case Opcode::k_trap: AQE_UNREACHABLE("VM trap (llvm unreachable)");
-
-      case Opcode::k_call_i64_0: R_U64(inst.a1) = reinterpret_cast<F0>(inst.lit)(); break;
-      case Opcode::k_call_i64_1: R_U64(inst.a1) = reinterpret_cast<F1>(inst.lit)(R_U64(inst.a2)); break;
-      case Opcode::k_call_i64_2: R_U64(inst.a1) = reinterpret_cast<F2>(inst.lit)(R_U64(inst.a2), R_U64(inst.a3)); break;
-      case Opcode::k_call_void_0: reinterpret_cast<F0>(inst.lit)(); break;
-      case Opcode::k_call_void_1: reinterpret_cast<F1>(inst.lit)(R_U64(inst.a1)); break;
-      case Opcode::k_call_void_2: reinterpret_cast<F2>(inst.lit)(R_U64(inst.a1), R_U64(inst.a2)); break;
-      case Opcode::k_push_arg: AQE_CHECK(argn < 8); argbuf[argn++] = R_U64(inst.a1); break;
-      case Opcode::k_call_i64_n: R_U64(inst.a1) = DispatchN(inst.lit, argbuf, inst.a2); argn = 0; break;
-      case Opcode::k_call_void_n: DispatchN(inst.lit, argbuf, inst.a2); argn = 0; break;
-
+    I = ip++;
+    switch (static_cast<Opcode>(I->op)) {
+#define VM_CASE(name) case Opcode::k_##name: {
+#define VM_NEXT \
+  }             \
+  break
+#include "vm/interpreter_ops.inc"
+#undef VM_CASE
+#undef VM_NEXT
       case Opcode::kNumOpcodes:
         AQE_UNREACHABLE("bad opcode");
     }
   }
 }
 
+#if AQE_VM_HAS_COMPUTED_GOTO
+/// Direct-threaded dispatch: a label per opcode and a computed goto at the
+/// end of every handler, so each opcode owns its own indirect branch and the
+/// branch predictor can learn per-opcode successor patterns (the classic
+/// threaded-code win over the shared switch dispatch site).
+uint64_t RunThreaded(const BcProgram& program, uint8_t* regs) {
+  static const void* kTargets[] = {
+#define AQE_LABEL_ADDR(name) &&T_##name,
+      AQE_OPCODE_LIST(AQE_LABEL_ADDR)
+#undef AQE_LABEL_ADDR
+  };
+  const BcInstruction* code = program.code.data();
+  const uint64_t* lp = program.literal_pool.data();
+  uint64_t argbuf[8];
+  uint32_t argn = 0;
+  const BcInstruction* ip = code;
+  const BcInstruction* I;
+  I = ip++;
+  goto* kTargets[I->op];
+#define VM_CASE(name) T_##name : {
+#define VM_NEXT \
+  }             \
+  I = ip++;     \
+  goto* kTargets[I->op]
+#include "vm/interpreter_ops.inc"
+#undef VM_CASE
+#undef VM_NEXT
+}
+#endif  // AQE_VM_HAS_COMPUTED_GOTO
+
 void InitRegisters(const BcProgram& program, const uint64_t* args,
                    int num_args, uint8_t* regs) {
-  // §IV-A: slots 0 and 8 always hold the constants 0 and 1.
+  // §IV-A: slots 0 and 1 always hold the constants 0 and 1.
   R_U64(0) = 0;
-  R_U64(8) = 1;
+  R_U64(1) = 1;
   for (const BcProgram::PoolEntry& entry : program.constant_pool) {
-    R_U64(entry.offset) = entry.value;
+    R_U64(entry.slot) = entry.value;
   }
   AQE_CHECK(static_cast<size_t>(num_args) == program.arg_offsets.size());
   for (int i = 0; i < num_args; ++i) {
@@ -248,6 +147,7 @@ void InitRegisters(const BcProgram& program, const uint64_t* args,
   }
 }
 
+#undef RSLOT
 #undef R_I8
 #undef R_U8
 #undef R_I16
@@ -260,26 +160,56 @@ void InitRegisters(const BcProgram& program, const uint64_t* args,
 #undef R_PTR
 #undef IDX_ADDR
 #undef MEM_ADDR
+#undef VM_CMP_BR
 
 constexpr uint32_t kStackRegisterBytes = 16384;
 
+uint64_t Run(const BcProgram& program, uint8_t* regs, VmDispatch dispatch) {
+#if AQE_VM_HAS_COMPUTED_GOTO
+  if (dispatch == VmDispatch::kThreaded) return RunThreaded(program, regs);
+#endif
+  (void)dispatch;
+  return RunSwitch(program, regs);
+}
+
 }  // namespace
 
+bool VmThreadedDispatchAvailable() { return AQE_VM_HAS_COMPUTED_GOTO != 0; }
+
+VmDispatch VmResolveDispatch(VmDispatch dispatch) {
+  if (dispatch == VmDispatch::kDefault) {
+#if defined(AQE_VM_DISPATCH_SWITCH)
+    dispatch = VmDispatch::kSwitch;
+#else
+    dispatch = VmDispatch::kThreaded;
+#endif
+  }
+  if (dispatch == VmDispatch::kThreaded && !VmThreadedDispatchAvailable()) {
+    dispatch = VmDispatch::kSwitch;
+  }
+  return dispatch;
+}
+
 uint64_t VmExecute(const BcProgram& program, const uint64_t* args,
-                   int num_args) {
+                   int num_args, VmDispatch dispatch) {
   AQE_CHECK(!program.code.empty());
+  if (dispatch == VmDispatch::kDefault) dispatch = program.dispatch;
+  dispatch = VmResolveDispatch(dispatch);
   if (program.register_file_size <= kStackRegisterBytes) {
     alignas(16) uint8_t regs[kStackRegisterBytes];
     InitRegisters(program, args, num_args, regs);
-    return Run(program, regs);
+    return Run(program, regs, dispatch);
   }
   std::vector<uint8_t> heap_regs(program.register_file_size);
   InitRegisters(program, args, num_args, heap_regs.data());
-  return Run(program, heap_regs.data());
+  return Run(program, heap_regs.data(), dispatch);
 }
 
 void VmExecuteWorker(const BcProgram& program, void* state, uint64_t begin,
                      uint64_t end) {
+  // The worker ABI has exactly four parameters; a program expecting more
+  // would read past `args` — fail loudly instead.
+  AQE_CHECK(program.arg_offsets.size() <= 4);
   uint64_t args[4] = {reinterpret_cast<uint64_t>(state), begin, end,
                       reinterpret_cast<uint64_t>(&program)};
   VmExecute(program, args, static_cast<int>(program.arg_offsets.size()));

@@ -7,16 +7,31 @@
 
 namespace aqe {
 
+/// True when the direct-threaded (computed-goto) engine was compiled in
+/// (GCC/Clang label-address extension).
+bool VmThreadedDispatchAvailable();
+
+/// Resolves kDefault to the engine selected at compile time via the
+/// AQE_VM_DISPATCH CMake switch (THREADED where available, else SWITCH);
+/// kSwitch/kThreaded pass through (kThreaded falls back to kSwitch when the
+/// extension is unavailable).
+VmDispatch VmResolveDispatch(VmDispatch dispatch);
+
 /// Executes a translated program with the given arguments (each argument is
 /// one 8-byte register slot: integers zero/sign-agnostic raw bits, pointers
 /// as addresses, doubles bit-cast). Returns the raw 8-byte slot of the `ret`
 /// instruction (0 for `ret_void`); callers mask to the function's return
 /// width.
 ///
+/// `dispatch` picks the interpreter loop; kDefault defers to
+/// program.dispatch and then to the compile-time default. Both engines
+/// execute the identical handler list (vm/interpreter_ops.inc) and produce
+/// bit-identical results.
+///
 /// The register file lives on the interpreter's stack when it fits (§IV-A);
 /// larger files fall back to the heap.
 uint64_t VmExecute(const BcProgram& program, const uint64_t* args,
-                   int num_args);
+                   int num_args, VmDispatch dispatch = VmDispatch::kDefault);
 
 /// Convenience for the worker-function ABI
 /// `void worker(void* state, uint64_t begin, uint64_t end, void* vm_program)`

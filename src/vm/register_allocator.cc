@@ -23,22 +23,16 @@ uint32_t RegisterAllocator::Alloc(int start_block, int end_block) {
   (void)start_block;
   (void)end_block;
   if (!free_list_.empty()) {
-    uint32_t offset = free_list_.back();
+    uint32_t slot = free_list_.back();
     free_list_.pop_back();
-    return offset;
+    return slot;
   }
-  uint32_t offset = next_offset_;
-  next_offset_ += 8;
-  return offset;
+  return next_slot_++;
 }
 
-uint32_t RegisterAllocator::AllocPermanent() {
-  uint32_t offset = next_offset_;
-  next_offset_ += 8;
-  return offset;
-}
+uint32_t RegisterAllocator::AllocPermanent() { return next_slot_++; }
 
-void RegisterAllocator::Release(uint32_t offset, int start_block,
+void RegisterAllocator::Release(uint32_t slot, int start_block,
                                 int end_block) {
   switch (strategy_) {
     case RegAllocStrategy::kNoReuse:
@@ -53,7 +47,7 @@ void RegisterAllocator::Release(uint32_t offset, int start_block,
     case RegAllocStrategy::kLoopAware:
       break;
   }
-  free_list_.push_back(offset);
+  free_list_.push_back(slot);
 }
 
 }  // namespace aqe

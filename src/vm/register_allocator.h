@@ -21,9 +21,10 @@ enum class RegAllocStrategy {
 
 const char* RegAllocStrategyName(RegAllocStrategy strategy);
 
-/// Hands out 8-byte register-file slots (as byte offsets) and tracks the
-/// high-water mark. Slots 0 and 8 are pre-reserved for the constants 0 and 1
-/// (§IV-A), so allocation starts at offset 16.
+/// Hands out 8-byte register-file slots (as slot *indices* — the compact
+/// 16-byte instruction encoding stores them in 16-bit fields) and tracks the
+/// high-water mark. Slots 0 and 1 are pre-reserved for the constants 0 and 1
+/// (§IV-A), so allocation starts at slot 2.
 class RegisterAllocator {
  public:
   explicit RegisterAllocator(RegAllocStrategy strategy, int window_size = 16);
@@ -35,15 +36,15 @@ class RegisterAllocator {
   uint32_t AllocPermanent();
 
   /// Returns a slot to the free list if the strategy permits reuse.
-  void Release(uint32_t offset, int start_block, int end_block);
+  void Release(uint32_t slot, int start_block, int end_block);
 
-  /// Register file size in bytes (high-water mark, 8-byte aligned).
-  uint32_t file_size() const { return next_offset_; }
+  /// Register file size in bytes (high-water mark, 8-byte slots).
+  uint32_t file_size() const { return next_slot_ * 8; }
 
  private:
   RegAllocStrategy strategy_;
   int window_size_;
-  uint32_t next_offset_ = 16;
+  uint32_t next_slot_ = 2;
   std::vector<uint32_t> free_list_;
 };
 

@@ -58,6 +58,7 @@ class Translator {
  private:
   // --- planning -----------------------------------------------------------
   void PlanFusion();
+  void PlanCmpBranchFusion();
   void CountBlockLocalUses();
   void BuildRangeLists();
 
@@ -83,9 +84,22 @@ class Translator {
   // --- emission --------------------------------------------------------------
   uint32_t Emit(Opcode op, uint32_t a1 = 0, uint32_t a2 = 0, uint32_t a3 = 0,
                 uint64_t lit = 0) {
-    program_.code.push_back(
-        {static_cast<uint32_t>(op), a1, a2, a3, lit});
+    AQE_CHECK_MSG((a1 | a2 | a3) <= 0xFFFF,
+                  "operand exceeds compact 16-bit instruction field");
+    program_.code.push_back({static_cast<uint16_t>(op),
+                             static_cast<uint16_t>(a1),
+                             static_cast<uint16_t>(a2),
+                             static_cast<uint16_t>(a3), lit});
     return static_cast<uint32_t>(program_.code.size() - 1);
+  }
+  /// Patches one half of a packed (then, else) branch-target immediate.
+  void SetThenTarget(uint32_t index, uint32_t target) {
+    BcInstruction& inst = program_.code[index];
+    inst.lit = PackBranchTargets(target, UnpackElseTarget(inst.lit));
+  }
+  void SetElseTarget(uint32_t index, uint32_t target) {
+    BcInstruction& inst = program_.code[index];
+    inst.lit = PackBranchTargets(UnpackThenTarget(inst.lit), target);
   }
   void TranslateBlock(int label);
   void TranslateInstruction(const llvm::Instruction& inst);
@@ -118,7 +132,8 @@ class Translator {
   void EmitBranchTo(const llvm::BasicBlock* target);
 
   /// Registers that instruction index `index`'s field needs patching to the
-  /// start of `block` (field: 0 -> lit, 1 -> a2, 2 -> a3).
+  /// start of `block` (field: 0 -> whole lit, 1 -> then half of the packed
+  /// lit, 2 -> else half).
   void AddFixup(uint32_t index, int field, const llvm::BasicBlock* block) {
     fixups_.push_back({index, field, cfg_.LabelOf(block)});
   }
@@ -136,6 +151,9 @@ class Translator {
   std::unordered_map<uint64_t, uint32_t> const_slots_;  // keys may be ~0, unsafe for DenseMap
   llvm::DenseSet<const llvm::Instruction*> subsumed_;
   llvm::DenseMap<const llvm::Instruction*, FusedOverflow> fused_overflow_;
+  /// Single-use compares fused into their block's condbr (compare-and-branch
+  /// superinstructions); value = the fused opcode.
+  llvm::DenseMap<const llvm::Instruction*, Opcode> fused_cmp_;
   /// Value extracts of fused overflow pairs: subsumed (they emit no code)
   /// yet they own the fused op's destination register.
   llvm::DenseSet<const llvm::Instruction*> fused_value_extracts_;
@@ -168,6 +186,76 @@ bool IsOverflowIntrinsic(const llvm::CallInst& call,
     return true;
   }
   return false;
+}
+
+/// Maps a fusable compare to its compare-and-branch superinstruction;
+/// returns false when the predicate/width has no fused form.
+bool FusedCmpBranchOpcode(const llvm::CmpInst& cmp, Opcode* out) {
+  if (const auto* icmp = llvm::dyn_cast<llvm::ICmpInst>(&cmp)) {
+    const llvm::Type* t = icmp->getOperand(0)->getType();
+    bool is32;
+    if (t->isIntegerTy(32)) {
+      is32 = true;
+    } else if (t->isIntegerTy(64) || t->isPointerTy()) {
+      is32 = false;
+    } else {
+      return false;
+    }
+    switch (icmp->getPredicate()) {
+      case llvm::CmpInst::ICMP_EQ:
+        *out = is32 ? Opcode::k_br_eq_i32 : Opcode::k_br_eq_i64; return true;
+      case llvm::CmpInst::ICMP_NE:
+        *out = is32 ? Opcode::k_br_ne_i32 : Opcode::k_br_ne_i64; return true;
+      case llvm::CmpInst::ICMP_SLT:
+        *out = is32 ? Opcode::k_br_slt_i32 : Opcode::k_br_slt_i64; return true;
+      case llvm::CmpInst::ICMP_SLE:
+        *out = is32 ? Opcode::k_br_sle_i32 : Opcode::k_br_sle_i64; return true;
+      case llvm::CmpInst::ICMP_SGT:
+        *out = is32 ? Opcode::k_br_sgt_i32 : Opcode::k_br_sgt_i64; return true;
+      case llvm::CmpInst::ICMP_SGE:
+        *out = is32 ? Opcode::k_br_sge_i32 : Opcode::k_br_sge_i64; return true;
+      case llvm::CmpInst::ICMP_ULT:
+        *out = is32 ? Opcode::k_br_ult_i32 : Opcode::k_br_ult_i64; return true;
+      case llvm::CmpInst::ICMP_ULE:
+        *out = is32 ? Opcode::k_br_ule_i32 : Opcode::k_br_ule_i64; return true;
+      case llvm::CmpInst::ICMP_UGT:
+        *out = is32 ? Opcode::k_br_ugt_i32 : Opcode::k_br_ugt_i64; return true;
+      case llvm::CmpInst::ICMP_UGE:
+        *out = is32 ? Opcode::k_br_uge_i32 : Opcode::k_br_uge_i64; return true;
+      default:
+        return false;
+    }
+  }
+  if (const auto* fcmp = llvm::dyn_cast<llvm::FCmpInst>(&cmp)) {
+    if (!fcmp->getOperand(0)->getType()->isDoubleTy()) return false;
+    switch (fcmp->getPredicate()) {
+      case llvm::CmpInst::FCMP_OLT: *out = Opcode::k_br_folt_f64; return true;
+      case llvm::CmpInst::FCMP_OGT: *out = Opcode::k_br_fogt_f64; return true;
+      default:
+        return false;
+    }
+  }
+  return false;
+}
+
+void Translator::PlanCmpBranchFusion() {
+  if (!options_.fuse_cmp_branches) return;
+  for (const llvm::BasicBlock& bb : fn_) {
+    if (cfg_.LabelOf(&bb) < 0) continue;
+    const auto* br = llvm::dyn_cast<llvm::BranchInst>(bb.getTerminator());
+    // The overflow-pair fusion may already own this terminator.
+    if (br == nullptr || !br->isConditional() || subsumed_.contains(br)) {
+      continue;
+    }
+    const auto* cmp = llvm::dyn_cast<llvm::CmpInst>(br->getCondition());
+    if (cmp == nullptr || cmp->getParent() != &bb || !cmp->hasOneUse()) {
+      continue;
+    }
+    Opcode op;
+    if (!FusedCmpBranchOpcode(*cmp, &op)) continue;
+    fused_cmp_[cmp] = op;
+    subsumed_.insert(cmp);  // the terminator emits the fused branch
+  }
 }
 
 void Translator::PlanFusion() {
@@ -273,13 +361,16 @@ void Translator::CountBlockLocalUses() {
       for (const llvm::Use& use : inst.uses()) {
         const auto* user = llvm::cast<llvm::Instruction>(use.getUser());
         if (subsumed_.contains(user)) {
-          // Subsumed instructions mostly vanish, but two kinds still read
+          // Subsumed instructions mostly vanish, but three kinds still read
           // their operands when their fused replacement is emitted: fused
-          // GEPs (re-read at the fusing memory op) and fused overflow calls
-          // (the macro op reads both addends). Fused extracts and condbrs
-          // never read the pair register.
+          // GEPs (re-read at the fusing memory op), fused overflow calls
+          // (the macro op reads both addends), and fused compares (the
+          // compare-and-branch superinstruction reads both operands at the
+          // terminator). Fused extracts and condbrs never read the pair
+          // register.
           if (llvm::isa<llvm::GetElementPtrInst>(user) ||
-              fused_overflow_.count(user) != 0) {
+              fused_overflow_.count(user) != 0 ||
+              fused_cmp_.count(user) != 0) {
             ++count;
           }
           continue;
@@ -313,7 +404,7 @@ void Translator::BuildRangeLists() {
 
 uint32_t Translator::ConstSlot(uint64_t bits) {
   if (bits == 0) return 0;
-  if (bits == 1) return 8;
+  if (bits == 1) return 1;
   auto it = const_slots_.find(bits);
   if (it != const_slots_.end()) return it->second;
   uint32_t offset = alloc_.AllocPermanent();
@@ -799,7 +890,10 @@ void Translator::TranslateCall(const llvm::CallInst& call) {
   AQE_CHECK_MSG(nargs == entry->num_args, "runtime call arity mismatch");
   const bool returns_value = !call.getType()->isVoidTy();
   AQE_CHECK(returns_value == entry->returns_value);
-  uint64_t target = reinterpret_cast<uint64_t>(entry->address);
+  // Callee addresses live in the literal pool (the compact instruction's
+  // lit carries the pool index), keeping raw pointers out of the stream.
+  uint64_t target = program_.AddLiteral(
+      reinterpret_cast<uint64_t>(entry->address));
 
   if (nargs <= 2) {
     uint32_t a2 = nargs >= 1 ? UseReg(call.getArgOperand(0)) : 0;
@@ -911,21 +1005,38 @@ void Translator::TranslateTerminator(const llvm::Instruction& term) {
       EmitBranchTo(br->getSuccessor(0));
       return;
     }
-    uint32_t cond = UseReg(br->getCondition());
+    // Either a plain condbr on an i1 register, or — when the condition is a
+    // single-use compare planned for fusion — one compare-and-branch
+    // superinstruction reading the compare's operands directly.
+    uint32_t index;
+    const auto* cond_inst = llvm::dyn_cast<llvm::Instruction>(
+        br->getCondition());
+    auto fused_it = cond_inst != nullptr ? fused_cmp_.find(cond_inst)
+                                         : fused_cmp_.end();
+    if (fused_it != fused_cmp_.end()) {
+      const auto* cmp = llvm::cast<llvm::CmpInst>(cond_inst);
+      uint32_t a2 = UseReg(cmp->getOperand(0));
+      uint32_t a3 = UseReg(cmp->getOperand(1));
+      index = Emit(fused_it->second, 0, a2, a3);
+      ++program_.fused_instructions;  // the compare folded away
+      ++program_.fused_cmp_branches;
+    } else {
+      uint32_t cond = UseReg(br->getCondition());
+      index = Emit(Opcode::k_condbr, cond);
+    }
     const llvm::BasicBlock* then_bb = br->getSuccessor(0);
     const llvm::BasicBlock* else_bb = br->getSuccessor(1);
     const bool then_phis = llvm::isa<llvm::PHINode>(then_bb->front());
     const bool else_phis = llvm::isa<llvm::PHINode>(else_bb->front());
-    uint32_t index = Emit(Opcode::k_condbr, cond);
     if (then_phis) {
-      program_.code[index].a2 = static_cast<uint32_t>(program_.code.size());
+      SetThenTarget(index, static_cast<uint32_t>(program_.code.size()));
       EmitPhiCopies(bb, then_bb);
       EmitBranchTo(then_bb);
     } else {
       AddFixup(index, /*field=*/1, then_bb);
     }
     if (else_phis) {
-      program_.code[index].a3 = static_cast<uint32_t>(program_.code.size());
+      SetElseTarget(index, static_cast<uint32_t>(program_.code.size()));
       EmitPhiCopies(bb, else_bb);
       EmitBranchTo(else_bb);
     } else {
@@ -1052,6 +1163,7 @@ void Translator::TranslateBlock(int label) {
 
 BcProgram Translator::Run() {
   PlanFusion();
+  PlanCmpBranchFusion();
   CountBlockLocalUses();
   BuildRangeLists();
   block_start_.assign(static_cast<size_t>(cfg_.num_blocks()), 0);
@@ -1072,11 +1184,10 @@ BcProgram Translator::Run() {
 
   for (const Fixup& fixup : fixups_) {
     uint32_t target = block_start_[static_cast<size_t>(fixup.target_label)];
-    BcInstruction& inst = program_.code[fixup.index];
     switch (fixup.field) {
-      case 0: inst.lit = target; break;
-      case 1: inst.a2 = target; break;
-      case 2: inst.a3 = target; break;
+      case 0: program_.code[fixup.index].lit = target; break;
+      case 1: SetThenTarget(fixup.index, target); break;
+      case 2: SetElseTarget(fixup.index, target); break;
       default: AQE_UNREACHABLE("bad fixup field");
     }
   }

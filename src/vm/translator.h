@@ -19,6 +19,11 @@ struct TranslatorOptions {
   /// Enables the §IV-F macro-op fusion (overflow-check sequences and
   /// GEP+load/store pairs collapse to one VM instruction each).
   bool fuse_macro_ops = true;
+  /// Enables the compare-and-branch peephole (extends §IV-F): a single-use
+  /// icmp/fcmp feeding the block's condbr fuses into one br_<pred>_<ty>
+  /// superinstruction. Independent of fuse_macro_ops so the ablation bench
+  /// can isolate its effect.
+  bool fuse_cmp_branches = true;
 };
 
 /// Translates `fn` into a BcProgram following Fig 9: compute liveness and

@@ -42,19 +42,29 @@ TEST_P(TpchQueryTest, AllEnginesAgree) {
   struct Config {
     EngineKind engine;
     ExecutionStrategy strategy;
+    VmDispatch vm_dispatch;
     const char* label;
   };
+  // Both interpreter dispatch engines must be bit-identical on every query,
+  // not just the compile-time default.
   const Config configs[] = {
-      {EngineKind::kVectorized, ExecutionStrategy::kBytecode, "vectorized"},
-      {EngineKind::kCompiled, ExecutionStrategy::kBytecode, "vm"},
-      {EngineKind::kCompiled, ExecutionStrategy::kUnoptimized, "jit-unopt"},
-      {EngineKind::kCompiled, ExecutionStrategy::kAdaptive, "adaptive"},
+      {EngineKind::kVectorized, ExecutionStrategy::kBytecode,
+       VmDispatch::kDefault, "vectorized"},
+      {EngineKind::kCompiled, ExecutionStrategy::kBytecode,
+       VmDispatch::kSwitch, "vm-switch"},
+      {EngineKind::kCompiled, ExecutionStrategy::kBytecode,
+       VmDispatch::kThreaded, "vm-threaded"},
+      {EngineKind::kCompiled, ExecutionStrategy::kUnoptimized,
+       VmDispatch::kDefault, "jit-unopt"},
+      {EngineKind::kCompiled, ExecutionStrategy::kAdaptive,
+       VmDispatch::kDefault, "adaptive"},
   };
   for (const Config& config : configs) {
     QueryProgram program = BuildTpchQuery(number, *catalog_);
     QueryRunOptions options;
     options.engine = config.engine;
     options.strategy = config.strategy;
+    options.vm_dispatch = config.vm_dispatch;
     auto rows = engine_->Run(program, options).rows;
     EXPECT_EQ(rows, reference) << "q" << number << " " << config.label;
   }
