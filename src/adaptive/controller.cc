@@ -1,13 +1,228 @@
 #include "adaptive/controller.h"
 
+#include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 
 #include "common/status.h"
 #include "common/timer.h"
 #include "exec/morsel.h"
 #include "runtime/agg_hash_table.h"
+#include "sched/task.h"
 
 namespace aqe {
+namespace {
+
+/// Per-participant tuple-rate sample slot (§III-C), cache-line isolated.
+struct alignas(64) SlotRate {
+  std::atomic<uint64_t> tuples{0};
+  std::atomic<uint64_t> nanos{0};
+  std::atomic<uint64_t> epoch{0};
+};
+
+/// Compile-handshake phases (PipelineExecState::compile_state):
+/// kIdle -> kQueued (evaluator decides) -> kRunning (a thread claims the
+/// job) -> kIdle (installed + rates reset). The controller aborts a still-
+/// kQueued job at drain time and waits out a kRunning one.
+enum CompilePhase : int { kCompIdle = 0, kCompQueued = 1, kCompRunning = 2 };
+
+/// After this many controller morsels with a compile job still kQueued,
+/// the controller claims it inline — occupying one thread exactly like the
+/// paper's dedicated path — so a saturated scheduler cannot delay a mode
+/// switch indefinitely.
+constexpr int kInlineCompileAfterMorsels = 2;
+
+/// Shared state of one pipeline execution on the task scheduler. Held via
+/// shared_ptr by the controller and every helper/compile task, so a task
+/// that runs after the pipeline finished touches only this struct: the raw
+/// pipeline pointers (handle, state, compile) are dereferenced only after
+/// a successful morsel claim or compile-job claim, both of which the
+/// controller waits out before returning.
+struct PipelineExecState {
+  PipelineExecState(uint64_t total_tuples, int participants)
+      : shards(total_tuples, participants), rates(participants) {}
+
+  ShardedMorselQueue shards;
+  std::vector<SlotRate> rates;
+  std::atomic<uint64_t> epoch{0};
+  std::atomic<int> active_helpers{0};
+
+  FunctionHandle* handle = nullptr;
+  void* state = nullptr;
+  TraceRecorder* trace = nullptr;
+  int pipeline_id = 0;
+  const std::function<WorkerFn(ExecMode)>* compile = nullptr;
+
+  std::atomic<int> compile_state{kCompIdle};
+  ExecMode compile_target = ExecMode::kUnoptimized;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::pair<ExecMode, double>> compiles;  ///< guarded by mu
+};
+
+void RecordRate(PipelineExecState& st, int slot, uint64_t tuples,
+                uint64_t nanos) {
+  SlotRate& rate = st.rates[static_cast<size_t>(slot)];
+  uint64_t current_epoch = st.epoch.load(std::memory_order_relaxed);
+  if (rate.epoch.load(std::memory_order_relaxed) != current_epoch) {
+    rate.tuples.store(0, std::memory_order_relaxed);
+    rate.nanos.store(0, std::memory_order_relaxed);
+    rate.epoch.store(current_epoch, std::memory_order_relaxed);
+  }
+  rate.tuples.fetch_add(tuples, std::memory_order_relaxed);
+  rate.nanos.fetch_add(nanos, std::memory_order_relaxed);
+}
+
+/// Runs one claimed morsel through the current variant, with rate and
+/// trace bookkeeping. `slot` is the rate slot, `thread` the trace lane.
+void ExecuteMorsel(PipelineExecState& st, const MorselRange& morsel, int slot,
+                   int thread) {
+  ExecMode mode = st.handle->mode();
+  int64_t t0 = MonotonicNanos();
+  st.handle->Call(st.state, morsel.begin, morsel.end);
+  int64_t t1 = MonotonicNanos();
+  RecordRate(st, slot, morsel.end - morsel.begin,
+             static_cast<uint64_t>(t1 - t0));
+  if (st.trace != nullptr) {
+    st.trace->Record({TraceRecorder::EventKind::kMorsel, thread,
+                      st.pipeline_id, mode, t0, t1,
+                      morsel.end - morsel.begin});
+  }
+}
+
+/// Claims and performs a pending compile job: compile -> install into the
+/// handle -> record -> bump the epoch (rate reset, §III-C) -> notify the
+/// controller. Returns false when no job is pending or another thread owns
+/// it. Callable from any scheduler worker or the controller.
+bool TryRunCompileJob(PipelineExecState& st) {
+  int expected = kCompQueued;
+  if (!st.compile_state.compare_exchange_strong(expected, kCompRunning,
+                                                std::memory_order_acq_rel)) {
+    return false;
+  }
+  AQE_CHECK_MSG(*st.compile != nullptr, "pipeline has no compile hook");
+  const ExecMode target = st.compile_target;
+  Timer compile_timer;
+  int64_t t0 = MonotonicNanos();
+  WorkerFn fn = (*st.compile)(target);
+  double seconds = compile_timer.ElapsedSeconds();
+  st.handle->SetCompiled(fn, target);
+  if (st.trace != nullptr) {
+    st.trace->Record({TraceRecorder::EventKind::kCompile,
+                      runtime_internal::GetThreadIndex(), st.pipeline_id,
+                      target, t0, MonotonicNanos(), 0});
+  }
+  st.epoch.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    st.compiles.emplace_back(target, seconds);
+  }
+  st.compile_state.store(kCompIdle, std::memory_order_release);
+  st.cv.notify_all();
+  return true;
+}
+
+/// Processes one morsel per slice from its preferred shard (stealing when
+/// dry), yielding between morsels so concurrent queries on the same worker
+/// interleave at morsel granularity.
+class MorselHelperTask : public Task {
+ public:
+  MorselHelperTask(std::shared_ptr<PipelineExecState> st, int slot)
+      : st_(std::move(st)), slot_(slot) {}
+
+  Status Run(int worker) override {
+    PipelineExecState& st = *st_;
+    // active_helpers is raised *before* the claim: the controller treats
+    // "domain drained && active_helpers == 0" as completion, so a helper
+    // between claim and call can never be missed.
+    st.active_helpers.fetch_add(1, std::memory_order_seq_cst);
+    MorselRange morsel;
+    if (!st.shards.Next(slot_, &morsel)) {
+      FinishSlice(st);
+      return Status::kDone;
+    }
+    ExecuteMorsel(st, morsel, slot_, worker);
+    FinishSlice(st);
+    return Status::kYield;
+  }
+
+ private:
+  static void FinishSlice(PipelineExecState& st) {
+    if (st.active_helpers.fetch_sub(1, std::memory_order_seq_cst) == 1 &&
+        st.shards.remaining() == 0) {
+      std::lock_guard<std::mutex> lock(st.mu);
+      st.cv.notify_all();
+    }
+  }
+
+  std::shared_ptr<PipelineExecState> st_;
+  const int slot_;
+};
+
+/// A controller thread that is not a scheduler worker still executes
+/// morsels, and the runtime's per-thread partitions (aggregation tables,
+/// output buffers) are indexed by the thread-local runtime index — which
+/// defaults to 0 and would alias worker 0's partitions. External
+/// controller threads therefore lease a unique index from the top of the
+/// runtime's 64-slot range (workers occupy [0, kMaxSchedulerWorkers) from
+/// the bottom; TaskScheduler enforces the split), once per thread, and
+/// return it to the pool when the thread exits — so thread churn cannot
+/// exhaust the range, only >16 *live* external controllers can.
+constexpr int kFirstExternalIndex = 48;
+
+std::mutex& ExternalIndexMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+std::vector<int>& ExternalIndexFreeList() {
+  static std::vector<int> free_list = [] {
+    std::vector<int> all;
+    for (int i = 63; i >= kFirstExternalIndex; --i) all.push_back(i);
+    return all;
+  }();
+  return free_list;
+}
+
+int EnsureExternalRuntimeIndex() {
+  struct Lease {
+    int index = -1;
+    ~Lease() {
+      if (index < 0) return;
+      std::lock_guard<std::mutex> lock(ExternalIndexMutex());
+      ExternalIndexFreeList().push_back(index);
+    }
+  };
+  thread_local Lease lease;
+  if (lease.index < 0) {
+    std::lock_guard<std::mutex> lock(ExternalIndexMutex());
+    std::vector<int>& free_list = ExternalIndexFreeList();
+    AQE_CHECK_MSG(!free_list.empty(),
+                  "more than 16 live external controller threads");
+    lease.index = free_list.back();
+    free_list.pop_back();
+    runtime_internal::SetThreadIndex(lease.index);
+  }
+  return lease.index;
+}
+
+/// Low-priority carrier for an adaptive compile decision.
+class CompileJobTask : public Task {
+ public:
+  explicit CompileJobTask(std::shared_ptr<PipelineExecState> st)
+      : st_(std::move(st)) {}
+
+  Status Run(int) override {
+    TryRunCompileJob(*st_);
+    return Status::kDone;
+  }
+
+ private:
+  std::shared_ptr<PipelineExecState> st_;
+};
+
+}  // namespace
 
 const char* ExecutionStrategyName(ExecutionStrategy strategy) {
   switch (strategy) {
@@ -25,8 +240,150 @@ PipelineRunner::PipelineRunner(WorkerPool* pool, ExecutionStrategy strategy,
   AQE_CHECK(pool_ != nullptr);
 }
 
+PipelineRunner::PipelineRunner(TaskScheduler* scheduler,
+                               ExecutionStrategy strategy,
+                               CostModelParams params, TraceRecorder* trace)
+    : sched_(scheduler), strategy_(strategy), params_(params), trace_(trace) {
+  AQE_CHECK(sched_ != nullptr);
+}
+
 PipelineRunStats PipelineRunner::Run(const PipelineTask& task) {
   AQE_CHECK(task.handle != nullptr);
+  return sched_ != nullptr ? RunTasks(task) : RunGang(task);
+}
+
+PipelineRunStats PipelineRunner::RunTasks(const PipelineTask& task) {
+  PipelineRunStats stats;
+  Timer total_timer;
+
+  // The controller's identity: a scheduler worker when called from a query
+  // task, or an external thread (tests) that gets the extra slot/shard.
+  const int self = TaskScheduler::CurrentScheduler() == sched_
+                       ? TaskScheduler::CurrentWorker()
+                       : -1;
+  // External controllers get a runtime thread index that cannot collide
+  // with any worker's per-thread runtime partitions.
+  const int runtime_thread = self >= 0 ? self : EnsureExternalRuntimeIndex();
+  const int workers = sched_->num_workers();
+  const int participants =
+      single_threaded_ ? 1 : (self >= 0 ? workers : workers + 1);
+  const int controller_slot = single_threaded_ ? 0 : (self >= 0 ? self : workers);
+
+  auto st = std::make_shared<PipelineExecState>(task.total_tuples,
+                                                participants);
+  st->handle = task.handle;
+  st->state = task.state;
+  st->trace = trace_;
+  st->pipeline_id = task.pipeline_id;
+  st->compile = &task.compile;
+
+  auto compile_inline = [&](ExecMode mode) {
+    st->compile_target = mode;
+    st->compile_state.store(kCompQueued, std::memory_order_release);
+    AQE_CHECK(TryRunCompileJob(*st));
+  };
+
+  // Static compile-up-front strategies (single-threaded compilation before
+  // any morsel runs — exactly the §III critique).
+  if (strategy_ == ExecutionStrategy::kUnoptimized) {
+    compile_inline(ExecMode::kUnoptimized);
+  } else if (strategy_ == ExecutionStrategy::kOptimized) {
+    compile_inline(ExecMode::kOptimized);
+  }
+
+  if (!single_threaded_) {
+    for (int v = 0; v < workers; ++v) {
+      if (v == self) continue;  // the controller drains its own shard
+      sched_->SubmitTo(v, std::make_unique<MorselHelperTask>(st, v));
+    }
+  }
+
+  const bool adaptive = strategy_ == ExecutionStrategy::kAdaptive;
+  const int64_t pipeline_start = MonotonicNanos();
+  int morsels_since_queued = 0;
+
+  // §III-C: the extrapolation is performed by a single thread — the
+  // controller — re-evaluated after every one of its morsels.
+  auto evaluate = [&] {
+    ExecMode mode = task.handle->mode();
+    if (mode == ExecMode::kOptimized) return;
+    int phase = st->compile_state.load(std::memory_order_acquire);
+    if (phase == kCompRunning) return;
+    if (phase == kCompQueued) {
+      if (++morsels_since_queued >= kInlineCompileAfterMorsels) {
+        TryRunCompileJob(*st);
+      }
+      return;
+    }
+    if (static_cast<double>(MonotonicNanos() - pipeline_start) <
+        first_eval_delay_seconds_ * 1e9) {
+      return;
+    }
+    // Average per-participant rate in the current epoch (Fig 7's r0).
+    uint64_t current_epoch = st->epoch.load(std::memory_order_relaxed);
+    double rate_sum = 0;
+    int rate_count = 0;
+    for (const SlotRate& rate : st->rates) {
+      if (rate.epoch.load(std::memory_order_relaxed) != current_epoch) {
+        continue;
+      }
+      uint64_t nanos = rate.nanos.load(std::memory_order_relaxed);
+      uint64_t tuples = rate.tuples.load(std::memory_order_relaxed);
+      if (nanos == 0 || tuples == 0) continue;
+      rate_sum +=
+          static_cast<double>(tuples) / (static_cast<double>(nanos) / 1e9);
+      ++rate_count;
+    }
+    if (rate_count == 0) return;
+    double r0 = rate_sum / rate_count;
+    Decision decision = ExtrapolatePipelineDurations(
+        r0, st->shards.remaining(), participants, task.function_instructions,
+        mode, params_);
+    if (decision == Decision::kDoNothing) return;
+    st->compile_target = decision == Decision::kCompileUnoptimized
+                             ? ExecMode::kUnoptimized
+                             : ExecMode::kOptimized;
+    morsels_since_queued = 0;
+    st->compile_state.store(kCompQueued, std::memory_order_release);
+    if (single_threaded_ || (workers == 1 && self == 0)) {
+      // No other thread can ever pick the job up: compile inline now.
+      TryRunCompileJob(*st);
+    } else {
+      sched_->Submit(std::make_unique<CompileJobTask>(st),
+                     TaskPriority::kLow);
+    }
+  };
+
+  const int controller_thread = runtime_thread;
+  MorselRange morsel;
+  while (st->shards.Next(controller_slot, &morsel)) {
+    ExecuteMorsel(*st, morsel, controller_slot, controller_thread);
+    if (adaptive) evaluate();
+  }
+
+  // Domain drained. Abort a compile job nobody started (it would be wasted
+  // work); a running one must finish — the compile hook references this
+  // stack frame — as must in-flight helper morsels.
+  int expected = kCompQueued;
+  st->compile_state.compare_exchange_strong(expected, kCompIdle,
+                                            std::memory_order_acq_rel);
+  {
+    std::unique_lock<std::mutex> lock(st->mu);
+    while (st->active_helpers.load(std::memory_order_seq_cst) != 0 ||
+           st->compile_state.load(std::memory_order_seq_cst) != kCompIdle) {
+      // Timed wait: completion is signalled, but a 1 ms re-check also makes
+      // the drain robust against any missed notify.
+      st->cv.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    stats.compiles = std::move(st->compiles);
+  }
+
+  stats.total_seconds = total_timer.ElapsedSeconds();
+  stats.final_mode = task.handle->mode();
+  return stats;
+}
+
+PipelineRunStats PipelineRunner::RunGang(const PipelineTask& task) {
   PipelineRunStats stats;
   Timer total_timer;
 
@@ -54,9 +411,9 @@ PipelineRunStats PipelineRunner::Run(const PipelineTask& task) {
   }
 
   MorselQueue queue(task.total_tuples);
-  std::vector<std::unique_ptr<ThreadRate>> rates;
+  std::vector<std::unique_ptr<SlotRate>> rates;
   for (int i = 0; i < pool_->num_threads(); ++i) {
-    rates.push_back(std::make_unique<ThreadRate>());
+    rates.push_back(std::make_unique<SlotRate>());
   }
   std::atomic<uint64_t> epoch{0};
   const int64_t pipeline_start = MonotonicNanos();
@@ -99,7 +456,7 @@ PipelineRunStats PipelineRunner::Run(const PipelineTask& task) {
   };
 
   pool_->RunParallel([&](int thread) {
-    ThreadRate& rate = *rates[static_cast<size_t>(thread)];
+    SlotRate& rate = *rates[static_cast<size_t>(thread)];
     MorselRange morsel;
     while (queue.Next(&morsel)) {
       ExecMode mode = task.handle->mode();

@@ -11,6 +11,7 @@
 #include "exec/function_handle.h"
 #include "exec/scheduler.h"
 #include "exec/trace.h"
+#include "sched/scheduler.h"
 
 namespace aqe {
 
@@ -44,17 +45,38 @@ struct PipelineRunStats {
   std::vector<std::pair<ExecMode, double>> compiles;
 };
 
-/// Executes pipelines under a strategy on a shared worker pool, applying the
-/// §III-C policy for kAdaptive: every worker tracks its local tuple rate per
-/// morsel; a single evaluator thread (worker 0), starting 1 ms into the
-/// pipeline and re-checking after every one of its morsels, runs the Fig 7
-/// extrapolation; when compilation wins, the evaluator itself compiles
-/// (occupying one worker, like the paper's trace in Fig 14) and flips the
-/// FunctionHandle, after which all threads pick up the new variant and the
-/// rates are reset.
+/// Executes pipelines under a strategy, applying the §III-C policy for
+/// kAdaptive: every participating thread tracks its local tuple rate per
+/// morsel; a single evaluator thread (the pipeline's controller), starting
+/// 1 ms into the pipeline and re-checking after every one of its morsels,
+/// runs the Fig 7 extrapolation; when compilation wins, the worker function
+/// is compiled and the FunctionHandle flipped, after which all threads pick
+/// up the new variant and the rates are reset.
+///
+/// Two substrates:
+///  - TaskScheduler (the engine's path): the calling thread is the
+///    controller. It shards the morsel domain across the scheduler's
+///    workers, submits one morsel helper task per other worker (each
+///    yields after every morsel, so concurrent queries interleave), and
+///    drains morsels itself. Adaptive compilations are submitted as
+///    low-priority tasks that any worker may pick up; if none has within a
+///    few controller morsels, the controller compiles inline — occupying
+///    one thread, exactly the paper's dedicated-path behavior — so the
+///    mode-switch handshake (decide → compile → install → reset rates) is
+///    preserved under both substrates.
+///  - WorkerPool (legacy shim): the original gang-scheduled path, kept as
+///    the differential-testing baseline; worker 0 is the evaluator and
+///    compiles inline.
 class PipelineRunner {
  public:
+  /// Legacy gang-scheduled substrate.
   PipelineRunner(WorkerPool* pool, ExecutionStrategy strategy,
+                 CostModelParams params = {}, TraceRecorder* trace = nullptr);
+
+  /// Task-scheduler substrate; the calling thread becomes the pipeline's
+  /// controller (it may itself be a scheduler worker running a query task,
+  /// or an external thread).
+  PipelineRunner(TaskScheduler* scheduler, ExecutionStrategy strategy,
                  CostModelParams params = {}, TraceRecorder* trace = nullptr);
 
   PipelineRunStats Run(const PipelineTask& task);
@@ -65,18 +87,24 @@ class PipelineRunner {
     first_eval_delay_seconds_ = seconds;
   }
 
- private:
-  struct alignas(64) ThreadRate {
-    std::atomic<uint64_t> tuples{0};
-    std::atomic<uint64_t> nanos{0};
-    std::atomic<uint64_t> epoch{0};
-  };
+  /// Task-scheduler substrate only: run every morsel on the controller and
+  /// compile inline — strictly one thread touches the pipeline (baselines
+  /// and the paper's latency figures need this).
+  void set_single_threaded(bool single_threaded) {
+    single_threaded_ = single_threaded;
+  }
 
-  WorkerPool* pool_;
+ private:
+  PipelineRunStats RunGang(const PipelineTask& task);
+  PipelineRunStats RunTasks(const PipelineTask& task);
+
+  WorkerPool* pool_ = nullptr;
+  TaskScheduler* sched_ = nullptr;
   ExecutionStrategy strategy_;
   CostModelParams params_;
   TraceRecorder* trace_;
   double first_eval_delay_seconds_ = 1e-3;
+  bool single_threaded_ = false;
 };
 
 }  // namespace aqe

@@ -1,5 +1,6 @@
 #include "engine/query_engine.h"
 
+#include <deque>
 #include <memory>
 #include <mutex>
 
@@ -10,6 +11,8 @@
 #include "jit/jit_compiler.h"
 #include "jit/naive_interpreter.h"
 #include "runtime/runtime_registry.h"
+#include "sched/scheduler.h"
+#include "sched/task.h"
 #include "vm/interpreter.h"
 #include "volcano/volcano.h"
 #include "vectorized/vectorized.h"
@@ -45,141 +48,274 @@ const char* EngineKindName(EngineKind kind) {
 
 struct QueryEngine::Impl {
   const Catalog* catalog;
-  WorkerPool pool;
 
+  // Admission layer: at most `max_active` queries execute concurrently;
+  // excess queries wait here in FIFO order and are released as running
+  // queries finish, so a burst cannot pile unbounded task state onto the
+  // scheduler and every query eventually gets cores.
+  std::mutex admission_mutex;
+  std::deque<std::unique_ptr<Task>> waiting;
+  int active = 0;
+  int max_active;
+
+  // Declared last on purpose: its destructor joins the workers, and a
+  // finishing query task touches the admission fields above — they must
+  // outlive the workers.
+  TaskScheduler sched;
+
+  // Thread count clamped to the scheduler's worker range: callers pass
+  // hardware_concurrency() on big machines, and indices above
+  // TaskScheduler::kMaxWorkers are reserved for external controllers.
   Impl(const Catalog* catalog, int num_threads)
-      : catalog(catalog), pool(num_threads) {}
+      : catalog(catalog),
+        max_active(std::max(2, 2 * num_threads)),
+        sched(std::min(std::max(1, num_threads), TaskScheduler::kMaxWorkers)) {
+  }
+
+  void Admit(std::unique_ptr<Task> job) {
+    std::vector<std::unique_ptr<Task>> ready;
+    {
+      std::lock_guard<std::mutex> lock(admission_mutex);
+      // Strict FIFO: always enqueue behind existing waiters (a newly
+      // submitted query must not overtake them after a cap raise).
+      waiting.push_back(std::move(job));
+      DrainWaitingLocked(&ready);
+    }
+    for (auto& task : ready) sched.Submit(std::move(task));
+  }
+
+  /// Called by a finishing query task: hands its admission slot to the
+  /// oldest waiting query, if any.
+  void OnQueryFinished() {
+    std::vector<std::unique_ptr<Task>> ready;
+    {
+      std::lock_guard<std::mutex> lock(admission_mutex);
+      --active;
+      DrainWaitingLocked(&ready);
+    }
+    for (auto& task : ready) sched.Submit(std::move(task));
+  }
+
+  void SetMaxActive(int max_queries) {
+    std::vector<std::unique_ptr<Task>> ready;
+    {
+      std::lock_guard<std::mutex> lock(admission_mutex);
+      max_active = max_queries;
+      // A raised cap releases already-waiting queries immediately.
+      DrainWaitingLocked(&ready);
+    }
+    for (auto& task : ready) sched.Submit(std::move(task));
+  }
+
+  /// Moves waiting queries into `ready` (oldest first) while slots exist.
+  /// Caller holds admission_mutex and submits outside the lock.
+  void DrainWaitingLocked(std::vector<std::unique_ptr<Task>>* ready) {
+    while (active < max_active && !waiting.empty()) {
+      ++active;
+      ready->push_back(std::move(waiting.front()));
+      waiting.pop_front();
+    }
+  }
 };
+
+namespace {
+
+/// One query in flight: a task that executes one QueryProgram stage per
+/// slice and yields between stages, so concurrent queries sharing a worker
+/// interleave. Stage state lives in this object, not on any thread — a
+/// yielded query can resume on whichever worker picks it up (steals
+/// included).
+class QueryJob : public Task {
+ public:
+  QueryJob(const Catalog* catalog, TaskScheduler* sched,
+           const QueryProgram& program, const QueryRunOptions& options,
+           std::function<void()> on_finished)
+      : sched_(sched),
+        program_(&program),
+        options_(options),
+        ctx_(program.MakeContext(catalog)),
+        on_finished_(std::move(on_finished)) {}
+
+  std::future<QueryRunResult> GetFuture() { return promise_.get_future(); }
+
+  Status Run(int) override {
+    // The size check comes first: a QueryProgram with no stages at all
+    // must still produce an (empty) result.
+    if (stage_index_ < program_->stages().size()) {
+      RunStage(program_->stages()[stage_index_]);
+      if (++stage_index_ < program_->stages().size()) return Status::kYield;
+    }
+    result_.rows = std::move(ctx_->result);
+    result_.total_seconds = total_timer_.ElapsedSeconds();
+    promise_.set_value(std::move(result_));
+    on_finished_();
+    return Status::kDone;
+  }
+
+ private:
+  void RunStage(const QueryProgram::Stage& stage);
+
+  TaskScheduler* sched_;
+  const QueryProgram* program_;
+  QueryRunOptions options_;
+  std::unique_ptr<QueryContext> ctx_;
+  /// Keeps compiled modules alive until the query finishes; pushed from
+  /// compile tasks on any worker.
+  std::vector<std::unique_ptr<CompiledModule>> keepalive_;
+  std::mutex keepalive_mutex_;
+  QueryRunResult result_;
+  size_t stage_index_ = 0;
+  Timer total_timer_;  ///< from Submit — total_seconds includes queue wait
+  std::promise<QueryRunResult> promise_;
+  std::function<void()> on_finished_;
+};
+
+void QueryJob::RunStage(const QueryProgram::Stage& stage) {
+  const QueryProgram& program = *program_;
+  const QueryRunOptions& options = options_;
+  const RuntimeRegistry& registry = RuntimeRegistry::Global();
+
+  if (stage.pipeline < 0) {
+    stage.step(ctx_.get());
+    return;
+  }
+  const PipelineSpec& spec =
+      program.pipelines()[static_cast<size_t>(stage.pipeline)];
+  PipelineReport report;
+  report.name = spec.name;
+  report.tuples = PipelineCardinality(program, spec, *ctx_);
+
+  PipelineBindings bindings = BindPipeline(program, spec, *ctx_);
+
+  if (options.engine == EngineKind::kVolcano) {
+    Timer timer;
+    RunPipelineVolcano(program, spec, ctx_.get());
+    report.exec_seconds = timer.ElapsedSeconds();
+    result_.pipelines.push_back(std::move(report));
+    return;
+  }
+  if (options.engine == EngineKind::kVectorized) {
+    Timer timer;
+    RunPipelineVectorized(program, spec, ctx_.get());
+    report.exec_seconds = timer.ElapsedSeconds();
+    result_.pipelines.push_back(std::move(report));
+    return;
+  }
+
+  // Engines below need generated IR.
+  GeneratedPipeline generated = GeneratePipeline(spec, bindings);
+  report.instructions = generated.instructions;
+  report.codegen_millis = generated.codegen_millis;
+  result_.codegen_millis_total += generated.codegen_millis;
+
+  if (options.engine == EngineKind::kNaiveIr) {
+    // Fig 2's "LLVM IR" mode: interpret the IR objects directly,
+    // single-threaded, morsel by morsel.
+    const llvm::Function* fn = generated.mod->module().getFunction("worker");
+    Timer timer;
+    MorselQueue queue(report.tuples);
+    MorselRange morsel;
+    while (queue.Next(&morsel)) {
+      uint64_t args[4] = {0, morsel.begin, morsel.end, 0};
+      NaiveIrInterpret(*fn, args, 4, registry);
+    }
+    report.exec_seconds = timer.ElapsedSeconds();
+    result_.pipelines.push_back(std::move(report));
+    return;
+  }
+
+  AQE_CHECK(options.engine == EngineKind::kCompiled);
+
+  // Bytecode translation (skipped when machine code is compiled up
+  // front — the static modes never touch the interpreter).
+  const bool needs_bytecode =
+      options.strategy == ExecutionStrategy::kBytecode ||
+      options.strategy == ExecutionStrategy::kAdaptive;
+  BcProgram bytecode;
+  if (needs_bytecode) {
+    Timer timer;
+    bytecode = TranslateToBytecode(
+        *generated.mod->module().getFunction("worker"), registry,
+        options.translator);
+    bytecode.dispatch = options.vm_dispatch;
+    report.translate_millis = timer.ElapsedMillis();
+    report.register_file_bytes = bytecode.register_file_size;
+    result_.translate_millis_total += report.translate_millis;
+  }
+
+  FunctionHandle handle(
+      needs_bytecode ? &VmWorkerTrampoline : &NeverCalledWorker,
+      needs_bytecode ? static_cast<const void*>(&bytecode) : &bytecode);
+
+  PipelineTask task;
+  task.handle = &handle;
+  task.state = nullptr;  // everything is embedded in the generated code
+  task.total_tuples = report.tuples;
+  task.function_instructions = generated.instructions;
+  task.pipeline_id = stage.pipeline;
+  task.compile = [&](ExecMode mode) -> WorkerFn {
+    // Regenerate IR (codegen is ~100x cheaper than machine-code
+    // generation, Fig 1) so each compilation owns its LLVMContext —
+    // required because adaptive compilation runs on a worker thread.
+    GeneratedPipeline fresh = GeneratePipeline(spec, bindings);
+    auto compiled =
+        JitCompile(std::move(*fresh.mod),
+                   mode == ExecMode::kOptimized ? JitMode::kOptimized
+                                                : JitMode::kUnoptimized,
+                   registry);
+    auto* fn = reinterpret_cast<WorkerFn>(compiled->Lookup("worker"));
+    AQE_CHECK(fn != nullptr);
+    std::lock_guard<std::mutex> lock(keepalive_mutex_);
+    keepalive_.push_back(std::move(compiled));
+    return fn;
+  };
+
+  PipelineRunner runner(sched_, options.strategy, options.cost_model,
+                        options.trace);
+  runner.set_single_threaded(options.single_threaded);
+  runner.set_first_evaluation_delay_seconds(
+      options.adaptive_first_eval_seconds);
+  PipelineRunStats stats = runner.Run(task);
+  report.exec_seconds = stats.total_seconds;
+  report.final_mode = stats.final_mode;
+  report.compiles = stats.compiles;
+  for (const auto& [mode, seconds] : stats.compiles) {
+    result_.compile_millis_total += seconds * 1e3;
+  }
+  result_.pipelines.push_back(std::move(report));
+}
+
+}  // namespace
 
 QueryEngine::QueryEngine(const Catalog* catalog, int num_threads)
     : impl_(std::make_unique<Impl>(catalog, num_threads)) {}
 
 QueryEngine::~QueryEngine() = default;
 
-int QueryEngine::num_threads() const { return impl_->pool.num_threads(); }
+int QueryEngine::num_threads() const { return impl_->sched.num_workers(); }
+
+void QueryEngine::set_max_concurrent_queries(int max_queries) {
+  AQE_CHECK(max_queries >= 1);
+  impl_->SetMaxActive(max_queries);
+}
+
+std::future<QueryRunResult> QueryEngine::Submit(
+    const QueryProgram& program, const QueryRunOptions& options) {
+  Impl* impl = impl_.get();
+  auto job = std::make_unique<QueryJob>(
+      impl->catalog, &impl->sched, program, options,
+      [impl] { impl->OnQueryFinished(); });
+  std::future<QueryRunResult> future = job->GetFuture();
+  impl_->Admit(std::move(job));
+  return future;
+}
 
 QueryRunResult QueryEngine::Run(const QueryProgram& program,
                                 const QueryRunOptions& options) {
-  QueryRunResult result;
-  Timer total_timer;
-  std::unique_ptr<QueryContext> ctx = program.MakeContext(impl_->catalog);
-  const RuntimeRegistry& registry = RuntimeRegistry::Global();
-
-  // Keeps compiled modules alive until the query finishes.
-  std::vector<std::unique_ptr<CompiledModule>> keepalive;
-  std::mutex keepalive_mutex;
-
-  for (const QueryProgram::Stage& stage : program.stages()) {
-    if (stage.pipeline < 0) {
-      stage.step(ctx.get());
-      continue;
-    }
-    const PipelineSpec& spec =
-        program.pipelines()[static_cast<size_t>(stage.pipeline)];
-    PipelineReport report;
-    report.name = spec.name;
-    report.tuples = PipelineCardinality(program, spec, *ctx);
-
-    PipelineBindings bindings = BindPipeline(program, spec, *ctx);
-
-    if (options.engine == EngineKind::kVolcano) {
-      Timer timer;
-      RunPipelineVolcano(program, spec, ctx.get());
-      report.exec_seconds = timer.ElapsedSeconds();
-      result.pipelines.push_back(std::move(report));
-      continue;
-    }
-    if (options.engine == EngineKind::kVectorized) {
-      Timer timer;
-      RunPipelineVectorized(program, spec, ctx.get());
-      report.exec_seconds = timer.ElapsedSeconds();
-      result.pipelines.push_back(std::move(report));
-      continue;
-    }
-
-    // Engines below need generated IR.
-    GeneratedPipeline generated = GeneratePipeline(spec, bindings);
-    report.instructions = generated.instructions;
-    report.codegen_millis = generated.codegen_millis;
-    result.codegen_millis_total += generated.codegen_millis;
-
-    if (options.engine == EngineKind::kNaiveIr) {
-      // Fig 2's "LLVM IR" mode: interpret the IR objects directly,
-      // single-threaded, morsel by morsel.
-      const llvm::Function* fn = generated.mod->module().getFunction("worker");
-      Timer timer;
-      MorselQueue queue(report.tuples);
-      MorselRange morsel;
-      while (queue.Next(&morsel)) {
-        uint64_t args[4] = {0, morsel.begin, morsel.end, 0};
-        NaiveIrInterpret(*fn, args, 4, registry);
-      }
-      report.exec_seconds = timer.ElapsedSeconds();
-      result.pipelines.push_back(std::move(report));
-      continue;
-    }
-
-    AQE_CHECK(options.engine == EngineKind::kCompiled);
-
-    // Bytecode translation (skipped when machine code is compiled up
-    // front — the static modes never touch the interpreter).
-    const bool needs_bytecode =
-        options.strategy == ExecutionStrategy::kBytecode ||
-        options.strategy == ExecutionStrategy::kAdaptive;
-    BcProgram bytecode;
-    if (needs_bytecode) {
-      Timer timer;
-      bytecode = TranslateToBytecode(
-          *generated.mod->module().getFunction("worker"), registry,
-          options.translator);
-      bytecode.dispatch = options.vm_dispatch;
-      report.translate_millis = timer.ElapsedMillis();
-      report.register_file_bytes = bytecode.register_file_size;
-      result.translate_millis_total += report.translate_millis;
-    }
-
-    FunctionHandle handle(
-        needs_bytecode ? &VmWorkerTrampoline : &NeverCalledWorker,
-        needs_bytecode ? static_cast<const void*>(&bytecode) : &bytecode);
-
-    PipelineTask task;
-    task.handle = &handle;
-    task.state = nullptr;  // everything is embedded in the generated code
-    task.total_tuples = report.tuples;
-    task.function_instructions = generated.instructions;
-    task.pipeline_id = stage.pipeline;
-    task.compile = [&](ExecMode mode) -> WorkerFn {
-      // Regenerate IR (codegen is ~100x cheaper than machine-code
-      // generation, Fig 1) so each compilation owns its LLVMContext —
-      // required because adaptive compilation runs on a worker thread.
-      GeneratedPipeline fresh = GeneratePipeline(spec, bindings);
-      auto compiled =
-          JitCompile(std::move(*fresh.mod),
-                     mode == ExecMode::kOptimized ? JitMode::kOptimized
-                                                  : JitMode::kUnoptimized,
-                     registry);
-      auto* fn = reinterpret_cast<WorkerFn>(compiled->Lookup("worker"));
-      AQE_CHECK(fn != nullptr);
-      std::lock_guard<std::mutex> lock(keepalive_mutex);
-      keepalive.push_back(std::move(compiled));
-      return fn;
-    };
-
-    PipelineRunner runner(&impl_->pool, options.strategy, options.cost_model,
-                          options.trace);
-    PipelineRunStats stats = runner.Run(task);
-    report.exec_seconds = stats.total_seconds;
-    report.final_mode = stats.final_mode;
-    report.compiles = stats.compiles;
-    for (const auto& [mode, seconds] : stats.compiles) {
-      result.compile_millis_total += seconds * 1e3;
-    }
-    result.pipelines.push_back(std::move(report));
-  }
-
-  result.rows = std::move(ctx->result);
-  result.total_seconds = total_timer.ElapsedSeconds();
-  return result;
+  AQE_CHECK_MSG(TaskScheduler::CurrentScheduler() != &impl_->sched,
+                "QueryEngine::Run from one of this engine's own tasks would "
+                "deadlock; use Submit");
+  return Submit(program, options).get();
 }
 
 std::vector<PipelineCompileCosts> QueryEngine::MeasureCompileCosts(

@@ -1,12 +1,12 @@
 #ifndef AQE_ENGINE_QUERY_ENGINE_H_
 #define AQE_ENGINE_QUERY_ENGINE_H_
 
+#include <future>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "adaptive/controller.h"
-#include "exec/scheduler.h"
 #include "exec/trace.h"
 #include "plan/plan.h"
 #include "vm/translator.h"
@@ -33,8 +33,14 @@ struct QueryRunOptions {
   /// AQE_VM_DISPATCH selection; both engines give bit-identical results).
   VmDispatch vm_dispatch = VmDispatch::kDefault;
   TraceRecorder* trace = nullptr;
-  /// Baselines and kNaiveIr always run single-threaded.
+  /// Strictly one thread executes the query's pipelines (no morsel helper
+  /// tasks, compilations inline). Baselines and kNaiveIr are single-
+  /// threaded by construction; set this for kCompiled to reproduce the
+  /// paper's single-threaded latency figures.
   bool single_threaded = false;
+  /// First adaptive cost-model evaluation happens this long after pipeline
+  /// start (paper: 1 ms). Tests lower it to force early mode switches.
+  double adaptive_first_eval_seconds = 1e-3;
 };
 
 /// Per-pipeline execution report.
@@ -75,8 +81,10 @@ struct PipelineCompileCosts {
 };
 
 /// The public facade: executes QueryPrograms against a catalog under any
-/// engine/mode combination. Owns the worker pool; one engine can run many
-/// queries.
+/// engine/mode combination. Owns a TaskScheduler of `num_threads` workers;
+/// one engine serves many concurrent queries — every query, morsel and
+/// adaptive JIT compilation is a task on the shared scheduler (see
+/// src/sched/DESIGN.md).
 class QueryEngine {
  public:
   QueryEngine(const Catalog* catalog, int num_threads = 4);
@@ -84,9 +92,26 @@ class QueryEngine {
 
   int num_threads() const;
 
-  /// Runs a query and returns its result plus instrumentation.
+  /// Enqueues a query for execution and returns a future for its result.
+  /// Thread-safe: N clients share one engine. A small admission layer caps
+  /// the number of queries in flight (excess queries wait in FIFO order),
+  /// and morsel-granular task yields keep a long scan from starving short
+  /// queries. `program` (and `options.trace`, if set) must stay alive until
+  /// the future is ready. Destroying the engine abandons queued queries:
+  /// their futures throw std::future_error (broken_promise) — they never
+  /// hang.
+  std::future<QueryRunResult> Submit(const QueryProgram& program,
+                                     const QueryRunOptions& options = {});
+
+  /// Runs a query synchronously: Submit(...).get(). Must not be called
+  /// from inside one of this engine's own tasks (it would deadlock waiting
+  /// on the worker it occupies).
   QueryRunResult Run(const QueryProgram& program,
                      const QueryRunOptions& options = {});
+
+  /// Caps concurrently executing queries (admission control). Default:
+  /// max(2, 2 * num_threads). Thread-safe; affects queries submitted later.
+  void set_max_concurrent_queries(int max_queries);
 
   /// Measures code generation / bytecode translation / machine-code
   /// compilation costs for every pipeline of `program`. `measure_jit`

@@ -13,22 +13,86 @@ MorselQueue::MorselQueue(uint64_t total, uint64_t initial_size,
       max_size_(std::max(initial_size_, max_size)),
       grow_every_(std::max<uint64_t>(1, grow_every)) {}
 
-bool MorselQueue::Next(MorselRange* out) {
-  // Size depends on how many morsels have been handed out so far: double
-  // every `grow_every_` morsels until `max_size_`.
-  uint64_t index = handed_out_.fetch_add(1, std::memory_order_relaxed);
+uint64_t MorselQueue::SizeAt(uint64_t offset) const {
+  // The first `grow_every_` morsels have size s0 and cover [0, g*s0); the
+  // next `grow_every_` have size 2*s0; and so on until max_size_.
   uint64_t size = initial_size_;
-  for (uint64_t steps = index / grow_every_; steps > 0 && size < max_size_;
-       --steps) {
-    size *= 2;
+  uint64_t boundary = grow_every_ * size;
+  while (offset >= boundary && size < max_size_) {
+    size = std::min(size * 2, max_size_);
+    boundary += grow_every_ * size;
   }
-  size = std::min(size, max_size_);
+  return size;
+}
 
-  uint64_t begin = cursor_.fetch_add(size, std::memory_order_relaxed);
-  if (begin >= total_) return false;
+bool MorselQueue::Next(MorselRange* out) {
+  uint64_t begin = cursor_.load(std::memory_order_relaxed);
+  uint64_t size;
+  do {
+    if (begin >= total_) return false;
+    size = SizeAt(begin);
+  } while (!cursor_.compare_exchange_weak(begin, begin + size,
+                                          std::memory_order_relaxed));
   out->begin = begin;
-  out->end = std::min(begin + size, total_);
+  out->end = std::min(begin + size, total_);  // last morsel may be partial
   return true;
+}
+
+ShardedMorselQueue::ShardedMorselQueue(uint64_t total, int num_shards,
+                                       uint64_t initial_size,
+                                       uint64_t max_size, uint64_t grow_every)
+    : total_(total) {
+  AQE_CHECK(num_shards >= 1);
+  const uint64_t n = static_cast<uint64_t>(num_shards);
+  const uint64_t per_shard = total / n;
+  uint64_t base = 0;
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (uint64_t s = 0; s < n; ++s) {
+    const uint64_t rows = s + 1 == n ? total - base : per_shard;
+    shards_.push_back({base, std::make_unique<MorselQueue>(
+                                 rows, initial_size, max_size, grow_every)});
+    base += rows;
+  }
+}
+
+bool ShardedMorselQueue::NextFrom(size_t shard, MorselRange* out) {
+  MorselRange local;
+  if (!shards_[shard].queue->Next(&local)) return false;
+  out->begin = shards_[shard].base + local.begin;
+  out->end = shards_[shard].base + local.end;
+  return true;
+}
+
+bool ShardedMorselQueue::Next(int shard, MorselRange* out) {
+  AQE_CHECK(shard >= 0 && shard < num_shards());
+  if (NextFrom(static_cast<size_t>(shard), out)) return true;
+  // Own shard dry: steal from the shard with the most remaining rows.
+  // Loop because a near-empty victim can be drained between the size scan
+  // and the claim.
+  for (;;) {
+    size_t victim = shards_.size();
+    uint64_t victim_remaining = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      uint64_t r = shards_[s].queue->remaining();
+      if (r > victim_remaining) {
+        victim_remaining = r;
+        victim = s;
+      }
+    }
+    if (victim == shards_.size()) return false;
+    if (NextFrom(victim, out)) return true;
+  }
+}
+
+uint64_t ShardedMorselQueue::remaining() const {
+  uint64_t sum = 0;
+  for (const Shard& shard : shards_) sum += shard.queue->remaining();
+  return sum;
+}
+
+uint64_t ShardedMorselQueue::shard_remaining(int shard) const {
+  AQE_CHECK(shard >= 0 && shard < num_shards());
+  return shards_[static_cast<size_t>(shard)].queue->remaining();
 }
 
 }  // namespace aqe

@@ -4,6 +4,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 namespace aqe {
 
@@ -14,15 +16,16 @@ struct MorselRange {
 };
 
 /// Hands out morsels of a pipeline's input domain [0, total) to worker
-/// threads. A single atomic cursor implements work stealing: whichever
-/// thread finishes first grabs the next morsel, so no thread imbalance can
-/// build up (§III-A).
+/// threads from a single atomic cursor: whichever thread finishes first
+/// grabs the next morsel, so no thread imbalance can build up (§III-A).
 ///
 /// Morsel sizes grow dynamically from `initial_size` to `max_size`
-/// (doubling every `grow_every` morsels), which gives the adaptive
-/// controller many early sample points for its rate estimates (§III-C:
-/// "dynamically growing morsel size, yielding a higher number of sample
-/// points").
+/// (doubling after every `grow_every` morsels of the current size), which
+/// gives the adaptive controller many early sample points for its rate
+/// estimates (§III-C: "dynamically growing morsel size, yielding a higher
+/// number of sample points"). The size is a pure function of the cursor
+/// position, so the sequence of morsel boundaries is deterministic no
+/// matter how many threads claim concurrently.
 class MorselQueue {
  public:
   explicit MorselQueue(uint64_t total, uint64_t initial_size = 1024,
@@ -41,13 +44,54 @@ class MorselQueue {
   /// Rows not yet handed out — the `n` of Fig 7.
   uint64_t remaining() const { return total_ - dispatched(); }
 
+  /// The morsel size used at cursor position `offset` (doubles after every
+  /// `grow_every` morsels of each size, clamped at `max_size`). Exposed so
+  /// the growth schedule is unit-testable.
+  uint64_t SizeAt(uint64_t offset) const;
+
  private:
   uint64_t total_;
   uint64_t initial_size_;
   uint64_t max_size_;
   uint64_t grow_every_;
   std::atomic<uint64_t> cursor_{0};
-  std::atomic<uint64_t> handed_out_{0};
+};
+
+/// A MorselQueue sharded into per-worker contiguous ranges with stealing
+/// across shards: worker w claims from shard w (preserving cache/NUMA
+/// locality and avoiding a single hammered cursor) and falls back to the
+/// richest other shard when its own runs dry, so the no-imbalance property
+/// of the flat queue is kept. Each shard runs the dynamic growth schedule
+/// independently, so early pipelines still produce many small sample
+/// morsels per worker.
+class ShardedMorselQueue {
+ public:
+  ShardedMorselQueue(uint64_t total, int num_shards,
+                     uint64_t initial_size = 1024, uint64_t max_size = 16384,
+                     uint64_t grow_every = 8);
+
+  /// Claims a morsel, preferring `shard` and stealing from the shard with
+  /// the most remaining rows otherwise. Returns false when every shard is
+  /// exhausted.
+  bool Next(int shard, MorselRange* out);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  uint64_t total() const { return total_; }
+  uint64_t remaining() const;
+
+  /// Rows remaining in one shard (steal-victim selection, tests).
+  uint64_t shard_remaining(int shard) const;
+
+ private:
+  struct Shard {
+    uint64_t base;  ///< global row offset of this shard's subdomain
+    std::unique_ptr<MorselQueue> queue;
+  };
+
+  bool NextFrom(size_t shard, MorselRange* out);
+
+  uint64_t total_;
+  std::vector<Shard> shards_;
 };
 
 }  // namespace aqe

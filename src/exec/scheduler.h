@@ -9,6 +9,11 @@
 
 namespace aqe {
 
+/// LEGACY SHIM — the gang-scheduled substrate the engine ran on before the
+/// task scheduler (src/sched/) replaced it. Kept only as the baseline for
+/// the differential adaptive-controller tests and the original unit tests;
+/// new code should use TaskScheduler.
+///
 /// A fixed pool of worker threads reused across pipelines (thread creation
 /// inside the measured query would distort the latency experiments).
 /// RunParallel executes fn(thread_index) on every worker (index 0..n-1) and

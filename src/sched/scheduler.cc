@@ -1,0 +1,166 @@
+#include "sched/scheduler.h"
+
+#include "common/status.h"
+#include "runtime/agg_hash_table.h"
+
+namespace aqe {
+namespace {
+
+/// Worker identity of the calling thread (see CurrentWorker). External
+/// threads keep the {-1, nullptr} defaults.
+thread_local int t_worker_index = -1;
+thread_local TaskScheduler* t_scheduler = nullptr;
+
+}  // namespace
+
+TaskScheduler::TaskScheduler(int num_workers) {
+  AQE_CHECK(num_workers >= 1 && num_workers <= kMaxWorkers);
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Threads start only after every Worker exists: a fast first worker may
+  // immediately scan siblings for steal victims.
+  for (int i = 0; i < num_workers; ++i) {
+    workers_[static_cast<size_t>(i)]->thread =
+        std::make_unique<std::thread>([this, i] { WorkerLoop(i); });
+  }
+}
+
+TaskScheduler::~TaskScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_.store(true, std::memory_order_seq_cst);
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker->thread->join();
+  // Tasks still queued are destroyed without running; a query task's
+  // promise breaks, so futures handed out by Submit() never hang.
+  for (auto& worker : workers_) {
+    for (StealingDeque* deque : {&worker->normal, &worker->low}) {
+      while (Task* task = deque->PopLocal()) delete task;
+    }
+  }
+}
+
+int TaskScheduler::CurrentWorker() { return t_worker_index; }
+TaskScheduler* TaskScheduler::CurrentScheduler() { return t_scheduler; }
+
+void TaskScheduler::Submit(std::unique_ptr<Task> task, TaskPriority priority) {
+  int worker;
+  if (t_scheduler == this) {
+    worker = t_worker_index;  // spawned work stays local until stolen
+  } else {
+    worker = static_cast<int>(round_robin_.fetch_add(
+                 1, std::memory_order_relaxed) %
+             static_cast<uint64_t>(workers_.size()));
+  }
+  Enqueue(worker, task.release(), priority);
+}
+
+void TaskScheduler::SubmitTo(int worker, std::unique_ptr<Task> task,
+                             TaskPriority priority) {
+  AQE_CHECK(worker >= 0 && worker < num_workers());
+  Enqueue(worker, task.release(), priority);
+}
+
+void TaskScheduler::Enqueue(int worker, Task* task, TaskPriority priority) {
+  Worker& w = *workers_[static_cast<size_t>(worker)];
+  (priority == TaskPriority::kLow ? w.low : w.normal).PushLocal(task);
+  pending_.fetch_add(1, std::memory_order_seq_cst);
+  // Dekker-style pairing with the parking path: workers either see
+  // pending_ > 0 before sleeping or are woken under the mutex.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+  }
+  work_available_.notify_one();
+}
+
+Task* TaskScheduler::FindLow(int index) {
+  const int n = num_workers();
+  if (Task* task = workers_[static_cast<size_t>(index)]->low.PopLocal()) {
+    return task;
+  }
+  for (int offset = 1; offset < n; ++offset) {
+    size_t victim = static_cast<size_t>((index + offset) % n);
+    if (workers_[victim]->low.ApproxSize() == 0) continue;  // skip the lock
+    if (Task* task = workers_[victim]->low.Steal()) return task;
+  }
+  return nullptr;
+}
+
+Task* TaskScheduler::FindWork(int index, uint64_t picks) {
+  // Periodic low-priority tick: without it, back-to-back morsel yields
+  // would keep the normal deque non-empty forever and starve compilations.
+  if (picks % kLowPriorityTick == kLowPriorityTick - 1) {
+    if (Task* task = FindLow(index)) return task;
+  }
+  if (Task* task = workers_[static_cast<size_t>(index)]->normal.PopLocal()) {
+    return task;
+  }
+  const int n = num_workers();
+  for (int offset = 1; offset < n; ++offset) {
+    size_t victim = static_cast<size_t>((index + offset) % n);
+    if (workers_[victim]->normal.ApproxSize() == 0) continue;  // skip the lock
+    if (Task* task = workers_[victim]->normal.Steal()) return task;
+  }
+  return FindLow(index);
+}
+
+void TaskScheduler::RunTask(Task* task, int worker) {
+  executed_slices_.fetch_add(1, std::memory_order_relaxed);
+  Task::Status status = task->Run(worker);
+  if (status == Task::Status::kYield) {
+    // Back at the *steal* end: other local tasks run first, and thieves
+    // pick the yielder up — a long pipeline cannot monopolize its worker.
+    workers_[static_cast<size_t>(worker)]->normal.PushSteal(task);
+    pending_.fetch_add(1, std::memory_order_seq_cst);
+    // Same Dekker pairing as Enqueue: without touching the mutex, the
+    // notify could land in a parker's pred-check-to-block gap and be lost.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+    }
+    work_available_.notify_one();
+  } else {
+    delete task;
+  }
+}
+
+void TaskScheduler::WorkerLoop(int index) {
+  runtime_internal::SetThreadIndex(index);
+  t_worker_index = index;
+  t_scheduler = this;
+  uint64_t picks = 0;
+  std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
+  for (;;) {
+    // Checked every iteration (not only when idle): on shutdown, queued and
+    // yielded tasks stop being resumed and are destroyed by the destructor.
+    // A task mid-slice still finishes its slice.
+    if (shutdown_.load(std::memory_order_seq_cst)) return;
+    Task* task = FindWork(index, picks++);
+    if (task != nullptr) {
+      pending_.fetch_sub(1, std::memory_order_seq_cst);
+      RunTask(task, index);
+      continue;
+    }
+    // Brief spin before parking: morsel yields re-arrive within
+    // microseconds, an OS sleep would dominate them.
+    bool ready = false;
+    for (int spin = 0; spin < 64; ++spin) {
+      if (pending_.load(std::memory_order_seq_cst) > 0) {
+        ready = true;
+        break;
+      }
+      std::this_thread::yield();
+    }
+    if (ready) continue;
+    lock.lock();
+    work_available_.wait(lock, [this] {
+      return shutdown_.load(std::memory_order_seq_cst) ||
+             pending_.load(std::memory_order_seq_cst) > 0;
+    });
+    lock.unlock();
+  }
+}
+
+}  // namespace aqe

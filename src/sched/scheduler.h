@@ -1,0 +1,101 @@
+#ifndef AQE_SCHED_SCHEDULER_H_
+#define AQE_SCHED_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sched/stealing_deque.h"
+#include "sched/task.h"
+
+namespace aqe {
+
+/// Task scheduler with one work-stealing deque pair per worker thread —
+/// the execution substrate that replaced the gang-scheduled WorkerPool.
+/// Queries, morsels and JIT compilations are all tasks on it, so N
+/// concurrent queries (and the adaptive controller's background
+/// compilations) share one set of cores. See DESIGN.md in this directory
+/// for invariants (task lifetime, steal protocol, priority rules).
+///
+/// Work pick order for worker w (DESIGN.md §priority):
+///   1. w's normal deque, local end (LIFO)
+///   2. every kLowPriorityTick picks, or whenever 1–3 all fail: a low-
+///      priority task (own deque first, then steal)
+///   3. steal from another worker's normal deque (FIFO end)
+/// Then spin briefly and park until new work is submitted.
+///
+/// Shutdown: the destructor stops all workers after their current task
+/// slice; tasks still queued are destroyed *without running*. A destroyed
+/// query task breaks its promise, so Submit() futures never hang.
+class TaskScheduler {
+ public:
+  /// Workers use runtime thread indices [0, num_workers); indices
+  /// [kMaxWorkers, 64) are reserved for external pipeline-controller
+  /// threads (see EnsureExternalRuntimeIndex in adaptive/controller.cc),
+  /// so the two can never alias a per-thread runtime partition.
+  static constexpr int kMaxWorkers = 48;
+
+  explicit TaskScheduler(int num_workers);
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Thread-safe; callable from workers and external
+  /// threads. External submissions round-robin across workers.
+  void Submit(std::unique_ptr<Task> task,
+              TaskPriority priority = TaskPriority::kNormal);
+
+  /// Enqueues a task on a specific worker's deque (it may still be stolen).
+  void SubmitTo(int worker, std::unique_ptr<Task> task,
+                TaskPriority priority = TaskPriority::kNormal);
+
+  /// Index of the worker the calling thread is, or -1 for external threads.
+  static int CurrentWorker();
+  /// The scheduler whose worker the calling thread is, or nullptr.
+  static TaskScheduler* CurrentScheduler();
+
+  /// Total task slices executed (yields count once per slice). Test hook.
+  uint64_t executed_slices() const {
+    return executed_slices_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Worker {
+    StealingDeque normal;
+    StealingDeque low;
+    std::unique_ptr<std::thread> thread;
+  };
+
+  /// A low-priority task is considered at least once per this many picks
+  /// even when normal work is plentiful, bounding compile-task latency to a
+  /// few morsels without letting compilations displace morsel processing.
+  static constexpr uint64_t kLowPriorityTick = 4;
+
+  void WorkerLoop(int index);
+  Task* FindWork(int index, uint64_t picks);
+  Task* FindLow(int index);
+  void RunTask(Task* task, int worker);
+  void Enqueue(int worker, Task* task, TaskPriority priority);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<uint64_t> round_robin_{0};
+  std::atomic<uint64_t> executed_slices_{0};
+
+  // Parking. pending_ counts queued tasks; workers park only when it is 0
+  // and re-check under the mutex, so a Submit cannot be missed.
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::atomic<int> pending_{0};
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace aqe
+
+#endif  // AQE_SCHED_SCHEDULER_H_

@@ -1,0 +1,84 @@
+#ifndef AQE_SCHED_STEALING_DEQUE_H_
+#define AQE_SCHED_STEALING_DEQUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+
+namespace aqe {
+
+class Task;
+
+/// Per-worker work-stealing deque of Task pointers (ownership stays with
+/// the scheduler). The owner pushes and pops at the *local* end (LIFO, hot
+/// in cache); thieves take from the *steal* end (FIFO, the oldest — and
+/// therefore largest-remaining — work). Yielded tasks are re-enqueued at
+/// the steal end so sibling tasks interleave instead of one task
+/// monopolizing its worker.
+///
+/// "Lock-free(ish)": every operation is a handful of instructions under a
+/// per-deque test-and-set spinlock. With one owner and occasional thieves
+/// the lock is almost never contended, and unlike a Chase-Lev buffer it
+/// supports pushes at both ends, which the yield protocol needs. The
+/// `approx_size_` atomic lets FindWork scan victims without touching their
+/// locks.
+class StealingDeque {
+ public:
+  /// Owner side: push at the local (LIFO) end.
+  void PushLocal(Task* task) {
+    Lock lock(flag_);
+    tasks_.push_back(task);
+    approx_size_.store(tasks_.size(), std::memory_order_relaxed);
+  }
+
+  /// Push at the steal (FIFO) end: yielded tasks go here so that other
+  /// local tasks run first and thieves pick the yielder up.
+  void PushSteal(Task* task) {
+    Lock lock(flag_);
+    tasks_.push_front(task);
+    approx_size_.store(tasks_.size(), std::memory_order_relaxed);
+  }
+
+  /// Owner side: pop the most recently pushed task (LIFO). nullptr if empty.
+  Task* PopLocal() {
+    Lock lock(flag_);
+    if (tasks_.empty()) return nullptr;
+    Task* task = tasks_.back();
+    tasks_.pop_back();
+    approx_size_.store(tasks_.size(), std::memory_order_relaxed);
+    return task;
+  }
+
+  /// Thief side: pop the oldest task (FIFO). nullptr if empty.
+  Task* Steal() {
+    Lock lock(flag_);
+    if (tasks_.empty()) return nullptr;
+    Task* task = tasks_.front();
+    tasks_.pop_front();
+    approx_size_.store(tasks_.size(), std::memory_order_relaxed);
+    return task;
+  }
+
+  /// Racy size hint for victim selection; never used for correctness.
+  size_t ApproxSize() const {
+    return approx_size_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Lock {
+    explicit Lock(std::atomic_flag& flag) : flag_(flag) {
+      while (flag_.test_and_set(std::memory_order_acquire)) {
+      }
+    }
+    ~Lock() { flag_.clear(std::memory_order_release); }
+    std::atomic_flag& flag_;
+  };
+
+  mutable std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+  std::deque<Task*> tasks_;
+  std::atomic<size_t> approx_size_{0};
+};
+
+}  // namespace aqe
+
+#endif  // AQE_SCHED_STEALING_DEQUE_H_

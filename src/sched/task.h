@@ -1,0 +1,54 @@
+#ifndef AQE_SCHED_TASK_H_
+#define AQE_SCHED_TASK_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace aqe {
+
+/// Scheduling class of a task (see DESIGN.md for the exact pick order).
+/// kNormal: query control flow and morsel work. kLow: background work that
+/// must not displace morsel processing but must still make progress —
+/// currently the adaptive controller's JIT compilations.
+enum class TaskPriority : uint8_t { kNormal = 0, kLow = 1 };
+
+/// A unit of schedulable work. Tasks run on TaskScheduler workers; a task
+/// that has more work than one bounded slice returns kYield and is
+/// re-enqueued at the *steal* end of its worker's deque, so other local
+/// tasks (and thieves) get a turn between slices — this is what keeps a
+/// long scan from starving short queries that land on the same worker.
+class Task {
+ public:
+  enum class Status : uint8_t {
+    kDone,   ///< finished; the scheduler releases the task
+    kYield,  ///< more work; re-enqueue at the steal end of the local deque
+  };
+
+  virtual ~Task() = default;
+
+  /// Runs one bounded slice on worker `worker` (0..num_workers-1).
+  virtual Status Run(int worker) = 0;
+};
+
+/// Wraps a callable as a one-shot task.
+class ClosureTask : public Task {
+ public:
+  explicit ClosureTask(std::function<void(int)> fn) : fn_(std::move(fn)) {}
+
+  Status Run(int worker) override {
+    fn_(worker);
+    return Status::kDone;
+  }
+
+ private:
+  std::function<void(int)> fn_;
+};
+
+inline std::unique_ptr<Task> MakeClosureTask(std::function<void(int)> fn) {
+  return std::make_unique<ClosureTask>(std::move(fn));
+}
+
+}  // namespace aqe
+
+#endif  // AQE_SCHED_TASK_H_

@@ -61,6 +61,53 @@ TEST(MorselQueueTest, EmptyDomain) {
   EXPECT_FALSE(queue.Next(&m));
 }
 
+// Dynamic morsel-size growth boundaries: the size doubles after every
+// `grow_every` morsels of each size, is a pure function of the cursor
+// position, clamps at `max_size`, and the final morsel may be partial.
+
+TEST(MorselQueueTest, GrowthBoundarySchedule) {
+  // initial 4, grow_every 2, max 16: sizes 4,4,8,8,16,16,16,...
+  MorselQueue queue(100, 4, 16, 2);
+  EXPECT_EQ(queue.SizeAt(0), 4u);
+  EXPECT_EQ(queue.SizeAt(7), 4u);   // still inside the first 2 morsels
+  EXPECT_EQ(queue.SizeAt(8), 8u);   // first boundary: 2 * 4
+  EXPECT_EQ(queue.SizeAt(23), 8u);  // 8 + 2*8 = 24 is the next boundary
+  EXPECT_EQ(queue.SizeAt(24), 16u);
+  EXPECT_EQ(queue.SizeAt(1000), 16u);  // clamped forever after
+
+  std::vector<uint64_t> sizes;
+  MorselRange m;
+  while (queue.Next(&m)) sizes.push_back(m.end - m.begin);
+  // Positions 0,4 | 8,16 | 24,40,56,72,88 — the tail morsel is partial.
+  EXPECT_EQ(sizes, (std::vector<uint64_t>{4, 4, 8, 8, 16, 16, 16, 16, 12}));
+}
+
+TEST(MorselQueueTest, ClampsAtMaxSizeEvenWhenNotPowerOfTwoMultiple) {
+  // max_size 24 is not initial * 2^k: growth must clamp to exactly 24.
+  MorselQueue queue(1000, 10, 24, 1);
+  std::vector<uint64_t> sizes;
+  MorselRange m;
+  while (queue.Next(&m)) sizes.push_back(m.end - m.begin);
+  // 10, then 20, then clamp: min(40, 24) = 24 for the rest.
+  EXPECT_EQ(sizes[0], 10u);
+  EXPECT_EQ(sizes[1], 20u);
+  for (size_t i = 2; i + 1 < sizes.size(); ++i) EXPECT_EQ(sizes[i], 24u);
+  EXPECT_LE(sizes.back(), 24u);
+}
+
+TEST(MorselQueueTest, LastMorselIsPartial) {
+  MorselQueue queue(2500, 1024);
+  MorselRange m;
+  uint64_t last = 0, covered = 0;
+  while (queue.Next(&m)) {
+    last = m.end - m.begin;
+    covered += m.end - m.begin;
+    EXPECT_LE(m.end, 2500u);
+  }
+  EXPECT_EQ(covered, 2500u);
+  EXPECT_EQ(last, 2500u % 1024);  // 452-row partial tail
+}
+
 // --- FunctionHandle ----------------------------------------------------------
 
 struct HandleProbe {

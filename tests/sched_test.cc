@@ -1,0 +1,457 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "adaptive/controller.h"
+#include "adaptive/cost_model.h"
+#include "exec/function_handle.h"
+#include "exec/morsel.h"
+#include "exec/scheduler.h"
+#include "sched/scheduler.h"
+#include "sched/stealing_deque.h"
+#include "sched/task.h"
+
+namespace aqe {
+namespace {
+
+// --- StealingDeque (deterministic, single-threaded) -----------------------
+
+class TagTask : public Task {
+ public:
+  explicit TagTask(int tag) : tag_(tag) {}
+  Status Run(int) override { return Status::kDone; }
+  int tag() const { return tag_; }
+
+ private:
+  int tag_;
+};
+
+int TagOf(Task* task) { return static_cast<TagTask*>(task)->tag(); }
+
+TEST(StealingDequeTest, LocalEndIsLifo) {
+  StealingDeque deque;
+  TagTask a(1), b(2), c(3);
+  deque.PushLocal(&a);
+  deque.PushLocal(&b);
+  deque.PushLocal(&c);
+  EXPECT_EQ(TagOf(deque.PopLocal()), 3);
+  EXPECT_EQ(TagOf(deque.PopLocal()), 2);
+  EXPECT_EQ(TagOf(deque.PopLocal()), 1);
+  EXPECT_EQ(deque.PopLocal(), nullptr);
+}
+
+TEST(StealingDequeTest, StealEndIsFifo) {
+  StealingDeque deque;
+  TagTask a(1), b(2), c(3);
+  deque.PushLocal(&a);
+  deque.PushLocal(&b);
+  deque.PushLocal(&c);
+  // Thieves take the oldest task first.
+  EXPECT_EQ(TagOf(deque.Steal()), 1);
+  EXPECT_EQ(TagOf(deque.Steal()), 2);
+  EXPECT_EQ(TagOf(deque.Steal()), 3);
+  EXPECT_EQ(deque.Steal(), nullptr);
+}
+
+TEST(StealingDequeTest, YieldedTasksGoToStealEnd) {
+  StealingDeque deque;
+  TagTask a(1), b(2), yielded(99);
+  deque.PushLocal(&a);
+  deque.PushLocal(&b);
+  deque.PushSteal(&yielded);
+  // The owner reaches the yielded task last...
+  EXPECT_EQ(TagOf(deque.PopLocal()), 2);
+  EXPECT_EQ(TagOf(deque.PopLocal()), 1);
+  EXPECT_EQ(TagOf(deque.PopLocal()), 99);
+  // ...while a thief would have taken it first.
+  deque.PushLocal(&a);
+  deque.PushSteal(&yielded);
+  EXPECT_EQ(TagOf(deque.Steal()), 99);
+  EXPECT_EQ(TagOf(deque.Steal()), 1);
+}
+
+// --- TaskScheduler --------------------------------------------------------
+
+TEST(TaskSchedulerTest, RunsAllSubmittedTasks) {
+  std::atomic<int> count{0};
+  std::promise<void> all_done;
+  TaskScheduler sched(3);
+  for (int i = 0; i < 100; ++i) {
+    sched.Submit(MakeClosureTask([&](int worker) {
+      EXPECT_GE(worker, 0);
+      EXPECT_LT(worker, 3);
+      EXPECT_EQ(TaskScheduler::CurrentWorker(), worker);
+      EXPECT_EQ(TaskScheduler::CurrentScheduler(), &sched);
+      if (count.fetch_add(1) + 1 == 100) all_done.set_value();
+    }));
+  }
+  all_done.get_future().wait();
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_GE(sched.executed_slices(), 100u);
+}
+
+TEST(TaskSchedulerTest, ExternalThreadIsNotAWorker) {
+  EXPECT_EQ(TaskScheduler::CurrentWorker(), -1);
+  EXPECT_EQ(TaskScheduler::CurrentScheduler(), nullptr);
+}
+
+class YieldNTimesTask : public Task {
+ public:
+  YieldNTimesTask(int n, std::atomic<int>* slices, std::promise<void>* done)
+      : remaining_(n), slices_(slices), done_(done) {}
+  Status Run(int) override {
+    slices_->fetch_add(1);
+    if (--remaining_ > 0) return Status::kYield;
+    done_->set_value();
+    return Status::kDone;
+  }
+
+ private:
+  int remaining_;
+  std::atomic<int>* slices_;
+  std::promise<void>* done_;
+};
+
+TEST(TaskSchedulerTest, YieldedTaskResumesUntilDone) {
+  std::atomic<int> slices{0};
+  std::promise<void> done;
+  TaskScheduler sched(1);
+  sched.Submit(std::make_unique<YieldNTimesTask>(5, &slices, &done));
+  done.get_future().wait();
+  EXPECT_EQ(slices.load(), 5);
+}
+
+TEST(TaskSchedulerTest, LowPriorityRunsDespiteEndlessNormalWork) {
+  // A morsel-like task that yields forever keeps the normal deque non-
+  // empty; the periodic low-priority tick must still run the low task.
+  // (The scheduler is declared last: its destructor joins the workers
+  // while the captured locals are still alive.)
+  std::atomic<bool> low_ran{false};
+  std::promise<void> low_done;
+  TaskScheduler sched(1);
+
+  class EndlessTask : public Task {
+   public:
+    explicit EndlessTask(std::atomic<bool>* stop) : stop_(stop) {}
+    Status Run(int) override {
+      return stop_->load() ? Status::kDone : Status::kYield;
+    }
+
+   private:
+    std::atomic<bool>* stop_;
+  };
+
+  sched.Submit(std::make_unique<EndlessTask>(&low_ran));
+  sched.Submit(MakeClosureTask([&](int) {
+                 low_ran.store(true);
+                 low_done.set_value();
+               }),
+               TaskPriority::kLow);
+  auto status = low_done.get_future().wait_for(std::chrono::seconds(10));
+  EXPECT_EQ(status, std::future_status::ready);
+}
+
+TEST(TaskSchedulerTest, StealOrderIsSubmissionOrder) {
+  // Gate one worker with a blocking task (either worker may pick it up —
+  // steals included), queue tagged tasks on the gated worker's deque, and
+  // watch the other worker steal them: oldest first (FIFO steal).
+  // Captured locals are declared before the scheduler so they outlive its
+  // workers.
+  std::promise<void> gate;
+  std::shared_future<void> gate_future = gate.get_future().share();
+  std::promise<int> gated_on;
+  std::mutex order_mutex;
+  std::vector<int> order;
+  std::promise<void> all_stolen;
+  TaskScheduler sched(2);
+  sched.SubmitTo(0, MakeClosureTask([&](int worker) {
+    gated_on.set_value(worker);
+    gate_future.wait();
+  }));
+  const int gated_worker = gated_on.get_future().get();  // now pinned
+  const int free_worker = 1 - gated_worker;
+  for (int tag = 1; tag <= 3; ++tag) {
+    sched.SubmitTo(gated_worker, MakeClosureTask([&, tag](int worker) {
+      EXPECT_EQ(worker, free_worker);  // only the other worker is free
+      std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(tag);
+      if (order.size() == 3) all_stolen.set_value();
+    }));
+  }
+  all_stolen.get_future().wait();
+  gate.set_value();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TaskSchedulerTest, ShutdownWithTasksPendingDestroysThemUnrun) {
+  std::atomic<int> ran{0};
+  std::atomic<int> destroyed{0};
+
+  class CountedTask : public Task {
+   public:
+    CountedTask(std::atomic<int>* ran, std::atomic<int>* destroyed)
+        : ran_(ran), destroyed_(destroyed) {}
+    ~CountedTask() override { destroyed_->fetch_add(1); }
+    Status Run(int) override {
+      ran_->fetch_add(1);
+      return Status::kDone;
+    }
+
+   private:
+    std::atomic<int>* ran_;
+    std::atomic<int>* destroyed_;
+  };
+
+  std::promise<void> gate;
+  std::shared_future<void> gate_future = gate.get_future().share();
+  std::promise<void> gated0, gated1;
+  {
+    TaskScheduler sched(2);
+    sched.SubmitTo(0, MakeClosureTask([&](int) {
+      gated0.set_value();
+      gate_future.wait();
+    }));
+    sched.SubmitTo(1, MakeClosureTask([&](int) {
+      gated1.set_value();
+      gate_future.wait();
+    }));
+    gated0.get_future().wait();
+    gated1.get_future().wait();
+    // Both workers are pinned; these can never start before shutdown.
+    for (int i = 0; i < 50; ++i) {
+      sched.SubmitTo(i % 2, std::make_unique<CountedTask>(&ran, &destroyed));
+    }
+    std::thread release([&gate] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      gate.set_value();
+    });
+    // The destructor must not hang and must destroy all pending tasks.
+    release.detach();
+  }
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(destroyed.load(), 50);
+}
+
+// --- ShardedMorselQueue ---------------------------------------------------
+
+TEST(ShardedMorselQueueTest, CoversDomainExactlyOnceAcrossShards) {
+  ShardedMorselQueue queue(100000, 4, 512);
+  std::vector<bool> seen(100000, false);
+  MorselRange m;
+  int shard = 0;
+  while (queue.Next(shard, &m)) {
+    shard = (shard + 1) % 4;
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      ASSERT_FALSE(seen[i]);
+      seen[i] = true;
+    }
+  }
+  for (bool s : seen) ASSERT_TRUE(s);
+  EXPECT_EQ(queue.remaining(), 0u);
+}
+
+TEST(ShardedMorselQueueTest, PreferredShardFirstThenSteal) {
+  ShardedMorselQueue queue(4000, 4, 100, 100, 1000000);
+  // Shard 2 owns [2000, 3000): the first claim must come from there.
+  MorselRange m;
+  ASSERT_TRUE(queue.Next(2, &m));
+  EXPECT_EQ(m.begin, 2000u);
+  // Drain shard 2 completely; the next claim for shard 2 must steal from
+  // another (richest) shard instead of failing.
+  while (queue.shard_remaining(2) > 0) ASSERT_TRUE(queue.Next(2, &m));
+  ASSERT_TRUE(queue.Next(2, &m));
+  EXPECT_TRUE(m.begin < 2000 || m.begin >= 3000);
+  EXPECT_EQ(queue.remaining(), 4000u - 100 * (1000 / 100 + 1));
+}
+
+TEST(ShardedMorselQueueTest, ConcurrentClaimsNoOverlap) {
+  ShardedMorselQueue queue(1 << 18, 3, 256);
+  std::atomic<uint64_t> total{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&queue, &total, t] {
+      MorselRange m;
+      while (queue.Next(t, &m)) total += m.end - m.begin;
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(total.load(), uint64_t{1} << 18);
+}
+
+TEST(ShardedMorselQueueTest, SingleShardEqualsFlatQueue) {
+  ShardedMorselQueue sharded(50000, 1, 1024);
+  MorselQueue flat(50000, 1024);
+  MorselRange a, b;
+  while (flat.Next(&a)) {
+    ASSERT_TRUE(sharded.Next(0, &b));
+    EXPECT_EQ(a.begin, b.begin);
+    EXPECT_EQ(a.end, b.end);
+  }
+  EXPECT_FALSE(sharded.Next(0, &b));
+}
+
+// --- Differential: task-scheduler path vs legacy gang path ----------------
+//
+// The mode-switch handshake (decide -> compile -> install -> rate reset)
+// must behave identically on both substrates: same mode-switch sequence,
+// same final mode, every tuple processed exactly once. Cost-model
+// parameters force deterministic decisions.
+
+struct SyntheticPipeline {
+  std::atomic<uint64_t> interpreted_tuples{0};
+  std::atomic<uint64_t> unopt_tuples{0};
+  std::atomic<uint64_t> opt_tuples{0};
+
+  static void SlowInterp(void* state, uint64_t begin, uint64_t end,
+                         const void*) {
+    auto* self = static_cast<SyntheticPipeline*>(state);
+    self->interpreted_tuples += end - begin;
+    std::this_thread::sleep_for(std::chrono::nanoseconds((end - begin) * 100));
+  }
+  static void FastUnopt(void* state, uint64_t begin, uint64_t end,
+                        const void*) {
+    auto* self = static_cast<SyntheticPipeline*>(state);
+    self->unopt_tuples += end - begin;
+    std::this_thread::sleep_for(std::chrono::nanoseconds((end - begin) * 25));
+  }
+  static void FastOpt(void* state, uint64_t begin, uint64_t end,
+                      const void*) {
+    auto* self = static_cast<SyntheticPipeline*>(state);
+    self->opt_tuples += end - begin;
+    std::this_thread::sleep_for(std::chrono::nanoseconds((end - begin) * 18));
+  }
+};
+
+struct DifferentialOutcome {
+  std::vector<ExecMode> switches;
+  ExecMode final_mode;
+  uint64_t interpreted, unopt, opt;
+};
+
+template <typename Substrate>
+DifferentialOutcome RunSynthetic(Substrate* substrate,
+                                 ExecutionStrategy strategy,
+                                 const CostModelParams& params,
+                                 uint64_t total_tuples) {
+  SyntheticPipeline pipe;
+  int marker = 0;
+  FunctionHandle handle(&SyntheticPipeline::SlowInterp, &marker);
+  PipelineRunner runner(substrate, strategy, params);
+  runner.set_first_evaluation_delay_seconds(0);
+  PipelineTask task;
+  task.handle = &handle;
+  task.state = &pipe;
+  task.total_tuples = total_tuples;
+  task.function_instructions = 1000;
+  task.compile = [](ExecMode mode) -> WorkerFn {
+    return mode == ExecMode::kUnoptimized ? &SyntheticPipeline::FastUnopt
+                                          : &SyntheticPipeline::FastOpt;
+  };
+  PipelineRunStats stats = runner.Run(task);
+  DifferentialOutcome outcome;
+  for (const auto& [mode, seconds] : stats.compiles) {
+    outcome.switches.push_back(mode);
+  }
+  outcome.final_mode = stats.final_mode;
+  outcome.interpreted = pipe.interpreted_tuples.load();
+  outcome.unopt = pipe.unopt_tuples.load();
+  outcome.opt = pipe.opt_tuples.load();
+  return outcome;
+}
+
+class SchedulerDifferentialTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kTuples = 2000000;
+
+  void Compare(ExecutionStrategy strategy, const CostModelParams& params,
+               const std::vector<ExecMode>& expected_switches) {
+    WorkerPool pool(2);
+    TaskScheduler sched(2);
+    DifferentialOutcome legacy =
+        RunSynthetic(&pool, strategy, params, kTuples);
+    DifferentialOutcome tasks =
+        RunSynthetic(&sched, strategy, params, kTuples);
+
+    EXPECT_EQ(legacy.switches, expected_switches);
+    EXPECT_EQ(tasks.switches, expected_switches);
+    EXPECT_EQ(legacy.final_mode, tasks.final_mode);
+    EXPECT_EQ(legacy.interpreted + legacy.unopt + legacy.opt, kTuples);
+    EXPECT_EQ(tasks.interpreted + tasks.unopt + tasks.opt, kTuples);
+  }
+};
+
+TEST_F(SchedulerDifferentialTest, ForcedUnoptimizedSwitch) {
+  CostModelParams params;
+  params.unopt_base_seconds = 0;
+  params.unopt_per_instruction_seconds = 0;
+  params.opt_base_seconds = 1e9;  // optimized can never win
+  Compare(ExecutionStrategy::kAdaptive, params, {ExecMode::kUnoptimized});
+}
+
+TEST_F(SchedulerDifferentialTest, ForcedStraightToOptimized) {
+  CostModelParams params;
+  params.unopt_base_seconds = 1e9;  // unoptimized can never win
+  params.opt_base_seconds = 0;
+  params.opt_per_instruction_seconds = 0;
+  Compare(ExecutionStrategy::kAdaptive, params, {ExecMode::kOptimized});
+}
+
+TEST_F(SchedulerDifferentialTest, BytecodeNeverSwitches) {
+  CostModelParams params;
+  Compare(ExecutionStrategy::kBytecode, params, {});
+}
+
+TEST_F(SchedulerDifferentialTest, StaticOptimizedCompilesUpFront) {
+  CostModelParams params;
+  WorkerPool pool(2);
+  TaskScheduler sched(2);
+  DifferentialOutcome legacy = RunSynthetic(
+      &pool, ExecutionStrategy::kOptimized, params, uint64_t{200000});
+  DifferentialOutcome tasks = RunSynthetic(
+      &sched, ExecutionStrategy::kOptimized, params, uint64_t{200000});
+  EXPECT_EQ(legacy.switches, (std::vector<ExecMode>{ExecMode::kOptimized}));
+  EXPECT_EQ(tasks.switches, (std::vector<ExecMode>{ExecMode::kOptimized}));
+  EXPECT_EQ(legacy.interpreted, 0u);
+  EXPECT_EQ(tasks.interpreted, 0u);
+  EXPECT_EQ(tasks.opt, 200000u);
+}
+
+TEST_F(SchedulerDifferentialTest, SingleThreadedTaskPathSwitchesInline) {
+  CostModelParams params;
+  params.unopt_base_seconds = 0;
+  params.unopt_per_instruction_seconds = 0;
+  params.opt_base_seconds = 1e9;
+  TaskScheduler sched(2);
+  SyntheticPipeline pipe;
+  int marker = 0;
+  FunctionHandle handle(&SyntheticPipeline::SlowInterp, &marker);
+  PipelineRunner runner(&sched, ExecutionStrategy::kAdaptive, params);
+  runner.set_first_evaluation_delay_seconds(0);
+  runner.set_single_threaded(true);
+  PipelineTask task;
+  task.handle = &handle;
+  task.state = &pipe;
+  task.total_tuples = kTuples;
+  task.function_instructions = 1000;
+  task.compile = [](ExecMode mode) -> WorkerFn {
+    EXPECT_EQ(mode, ExecMode::kUnoptimized);
+    return &SyntheticPipeline::FastUnopt;
+  };
+  PipelineRunStats stats = runner.Run(task);
+  EXPECT_EQ(stats.final_mode, ExecMode::kUnoptimized);
+  EXPECT_EQ(pipe.interpreted_tuples.load() + pipe.unopt_tuples.load(),
+            kTuples);
+  // Strictly single-threaded: the helpers never saw this pipeline, so
+  // everything ran on the calling thread (no way to assert thread identity
+  // directly here, but opt tuples must be zero and a switch must exist).
+  EXPECT_EQ(pipe.opt_tuples.load(), 0u);
+  ASSERT_EQ(stats.compiles.size(), 1u);
+}
+
+}  // namespace
+}  // namespace aqe
