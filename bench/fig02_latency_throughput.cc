@@ -56,6 +56,9 @@ int main() {
     QueryRunOptions options;
     options.strategy = mode.strategy;
     options.single_threaded = true;  // Fig 2 is a single-threaded figure
+    // Fig 2 reports *cold* compile cost per mode; the engine-level artifact
+    // cache would zero it from the second mode on.
+    options.use_artifact_cache = false;
     QueryRunResult r = engine.Run(q1, options);
     double compile_ms = r.codegen_millis_total + r.translate_millis_total +
                         r.compile_millis_total;

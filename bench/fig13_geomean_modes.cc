@@ -37,6 +37,8 @@ int main() {
         QueryProgram q = BuildTpchQuery(number, *catalog);
         QueryRunOptions options;
         options.strategy = mode.strategy;
+        // Cold total latency per mode is the figure's subject.
+        options.use_artifact_cache = false;
         QueryRunResult r = engine.Run(q, options);
         times.push_back(r.total_seconds);
       }

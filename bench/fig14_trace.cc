@@ -30,6 +30,8 @@ int main() {
     QueryRunOptions options;
     options.strategy = mode.strategy;
     options.trace = &trace;
+    // The trace shows cold compiles; cached artifacts would blank them.
+    options.use_artifact_cache = false;
     QueryRunResult r = engine.Run(q, options);
     std::printf("--- %s (total %.2f ms, final modes:", mode.label,
                 r.total_seconds * 1e3);

@@ -1,0 +1,235 @@
+// Repeated-query benchmark: the artifact cache's acceptance harness. A
+// production engine sees the same plan shapes over and over; this measures
+// what the plan-fingerprint cache turns that into — cold (first-ever) vs
+// warm (repeated) latency over a Zipf-distributed TPC-H query mix, with
+// literal-only Q6 variants exercising the constant-patch path.
+//
+// Phases:
+//   cold   every distinct plan once, cache initially empty
+//   warm   closed loop for AQE_BENCH_SECONDS, plans drawn Zipf(s=1.2)
+//
+// Emits JSON lines (also to BENCH_repeated_queries.json): cold/warm p50,
+// warm qps, the fraction of warm runs that skipped translation entirely,
+// the fraction seeded straight into compiled code, and the engine's
+// hit/miss/evict counters.
+//
+// `--smoke` runs a scaled-down pass and *asserts* the acceptance criteria:
+// warm-hit counters > 0 and warm submissions skipping translation (exit 1
+// otherwise) — CI runs this so the cache path is exercised outside ctest.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+
+using namespace aqe;
+
+namespace {
+
+struct PlanSpec {
+  std::string label;
+  int tpch_number = 0;      ///< 0 = Q6 literal variant
+  TpchQ6Literals literals;  ///< used when tpch_number == 0
+};
+
+QueryProgram Build(const PlanSpec& plan, const Catalog& catalog) {
+  return plan.tpch_number > 0 ? BuildTpchQuery(plan.tpch_number, catalog)
+                              : BuildTpchQ6Variant(catalog, plan.literals);
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  return values[static_cast<size_t>(p * static_cast<double>(values.size() - 1))];
+}
+
+/// Zipf(s) over ranks [0, n): rank r with weight 1/(r+1)^s.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s, uint64_t seed) : rng_(seed) {
+    double total = 0;
+    for (size_t r = 0; r < n; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      cdf_.push_back(total);
+    }
+    for (double& c : cdf_) c /= total;
+  }
+  size_t Next() {
+    double u = uniform_(rng_);
+    return static_cast<size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+  std::vector<double> cdf_;
+};
+
+void EmitJson(const char* line, std::FILE* json_out) {
+  std::printf("%s\n", line);
+  if (json_out != nullptr) std::fprintf(json_out, "%s\n", line);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const double sf = bench::EnvDouble("AQE_SF", smoke ? 0.01 : 0.02);
+  const double budget = bench::EnvDouble("AQE_BENCH_SECONDS", smoke ? 0.5 : 3.0);
+  const int threads = bench::EnvInt("AQE_THREADS", 2);
+  Catalog* catalog = bench::TpchAtScale(sf);
+  QueryEngine engine(catalog, threads);
+  std::FILE* json_out = std::fopen("BENCH_repeated_queries.json", "w");
+
+  // The plan population: every implemented TPC-H query plus three Q6
+  // literal variants (fingerprint-equal to Q6 — they share its bytecode
+  // through the constant-patch table).
+  std::vector<PlanSpec> plans;
+  for (int number : ImplementedTpchQueries()) {
+    plans.push_back({"q" + std::to_string(number), number, {}});
+  }
+  for (int v = 1; v <= 3; ++v) {
+    TpchQ6Literals lit = DefaultQ6Literals();
+    lit.ship_date_lo += 31 * v;
+    lit.ship_date_hi += 31 * v;
+    lit.quantity_limit += 100 * v;
+    plans.push_back({"q6var" + std::to_string(v), 0, lit});
+  }
+
+  QueryRunOptions options;
+  options.strategy = ExecutionStrategy::kAdaptive;
+
+  std::printf("Repeated-query artifact cache benchmark (SF %g, %d workers, "
+              "%zu distinct plans, %.1fs warm phase)%s\n",
+              sf, threads, plans.size(), budget, smoke ? " [smoke]" : "");
+
+  // --- cold phase: first execution of every plan ---------------------------
+  std::vector<double> cold_ms;
+  double cold_translate_ms = 0;
+  for (const PlanSpec& plan : plans) {
+    QueryProgram q = Build(plan, *catalog);
+    Timer timer;
+    QueryRunResult r = engine.Run(q, options);
+    cold_ms.push_back(timer.ElapsedMillis());
+    cold_translate_ms += r.translate_millis_total;
+    if (r.rows.empty()) std::abort();
+  }
+
+  // --- warm phase: Zipf-repeated submissions -------------------------------
+  std::vector<double> warm_ms;
+  uint64_t warm_runs = 0, warm_no_translate = 0, warm_seeded = 0;
+  ZipfSampler zipf(plans.size(), 1.2, 42);
+  Timer phase_timer;
+  while (phase_timer.ElapsedSeconds() < budget) {
+    const PlanSpec& plan = plans[zipf.Next()];
+    QueryProgram q = Build(plan, *catalog);
+    Timer timer;
+    QueryRunResult r = engine.Run(q, options);
+    warm_ms.push_back(timer.ElapsedMillis());
+    ++warm_runs;
+    if (r.translate_millis_total == 0 && r.codegen_millis_total == 0) {
+      ++warm_no_translate;
+    }
+    for (const auto& p : r.pipelines) {
+      if (p.initial_mode != ExecMode::kBytecode) {
+        ++warm_seeded;
+        break;
+      }
+    }
+    if (r.rows.empty()) std::abort();
+  }
+
+  const ArtifactCacheStats stats = engine.artifact_cache_stats();
+  const double cold_p50 = Percentile(cold_ms, 0.5);
+  const double warm_p50 = Percentile(warm_ms, 0.5);
+  const double warm_p99 = Percentile(warm_ms, 0.99);
+  const double warm_qps =
+      static_cast<double>(warm_runs) / phase_timer.ElapsedSeconds();
+  const double no_translate_frac =
+      warm_runs > 0 ? static_cast<double>(warm_no_translate) /
+                          static_cast<double>(warm_runs)
+                    : 0;
+
+  std::printf("\n%-22s %10s %10s\n", "", "cold", "warm");
+  std::printf("%-22s %9.2fms %9.2fms\n", "p50 latency", cold_p50, warm_p50);
+  std::printf("%-22s %10zu %10llu\n", "runs", cold_ms.size(),
+              static_cast<unsigned long long>(warm_runs));
+  std::printf("%-22s %10s %9.1f%%\n", "translation skipped", "-",
+              100.0 * no_translate_frac);
+  std::printf("%-22s %10s %10.1f\n", "queries/sec", "-", warm_qps);
+  std::printf("cache: %llu bytecode hits (%llu patched), %llu code hits, "
+              "%llu misses, %llu evictions, %llu entries, %.1f KiB\n",
+              (unsigned long long)stats.bytecode_hits,
+              (unsigned long long)stats.patched_hits,
+              (unsigned long long)stats.code_hits,
+              (unsigned long long)stats.bytecode_misses,
+              (unsigned long long)stats.evictions,
+              (unsigned long long)stats.entries, stats.bytes / 1024.0);
+
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "{\"bench\":\"repeated_queries\",\"sf\":%g,\"workers\":%d,"
+                "\"plans\":%zu,\"cold_p50_ms\":%.3f,\"warm_p50_ms\":%.3f,"
+                "\"warm_p99_ms\":%.3f,\"warm_qps\":%.2f,"
+                "\"warm_runs\":%llu,\"warm_no_translate_frac\":%.4f,"
+                "\"warm_seeded\":%llu,\"warm_speedup_p50\":%.3f}",
+                sf, threads, plans.size(), cold_p50, warm_p50, warm_p99,
+                warm_qps, (unsigned long long)warm_runs, no_translate_frac,
+                (unsigned long long)warm_seeded,
+                warm_p50 > 0 ? cold_p50 / warm_p50 : 0.0);
+  EmitJson(line, json_out);
+  std::snprintf(line, sizeof(line),
+                "{\"bench\":\"repeated_queries\",\"counters\":{"
+                "\"entry_hits\":%llu,\"entry_misses\":%llu,"
+                "\"bytecode_hits\":%llu,\"patched_hits\":%llu,"
+                "\"code_hits\":%llu,\"bytecode_misses\":%llu,"
+                "\"publishes\":%llu,\"evictions\":%llu,\"entries\":%llu,"
+                "\"bytes\":%llu}}",
+                (unsigned long long)stats.entry_hits,
+                (unsigned long long)stats.entry_misses,
+                (unsigned long long)stats.bytecode_hits,
+                (unsigned long long)stats.patched_hits,
+                (unsigned long long)stats.code_hits,
+                (unsigned long long)stats.bytecode_misses,
+                (unsigned long long)stats.publishes,
+                (unsigned long long)stats.evictions,
+                (unsigned long long)stats.entries,
+                (unsigned long long)stats.bytes);
+  EmitJson(line, json_out);
+  if (json_out != nullptr) std::fclose(json_out);
+
+  std::printf("\nexpected shape: warm p50 < cold p50 (no translation, best "
+              "cached mode from the first morsel), translation skipped on "
+              "~100%% of warm runs, patched hits > 0 from the Q6 variants\n");
+
+  if (smoke) {
+    // Acceptance assertions (CI): warm hits observed, translation skipped.
+    int failures = 0;
+    if (stats.bytecode_hits + stats.patched_hits + stats.code_hits == 0) {
+      std::fprintf(stderr, "SMOKE FAIL: no warm cache hits recorded\n");
+      ++failures;
+    }
+    if (warm_runs > 0 && warm_no_translate == 0) {
+      std::fprintf(stderr, "SMOKE FAIL: no warm run skipped translation\n");
+      ++failures;
+    }
+    if (stats.entry_misses == 0) {
+      std::fprintf(stderr, "SMOKE FAIL: cold phase recorded no misses\n");
+      ++failures;
+    }
+    if (failures > 0) return 1;
+    std::printf("smoke assertions passed: warm hits=%llu, "
+                "translation-free warm runs=%llu/%llu\n",
+                (unsigned long long)(stats.bytecode_hits + stats.patched_hits +
+                                     stats.code_hits),
+                (unsigned long long)warm_no_translate,
+                (unsigned long long)warm_runs);
+  }
+  return 0;
+}

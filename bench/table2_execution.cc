@@ -14,6 +14,7 @@ double RunOnce(QueryEngine* engine, Catalog* catalog, int number,
   QueryRunOptions options;
   options.engine = kind;
   options.strategy = strategy;
+  options.use_artifact_cache = false;  // Table II is a cold-execution table
   return bench::ExecOnlySeconds(engine->Run(q, options)) * 1e3;
 }
 

@@ -20,6 +20,7 @@ int main() {
   trace.Start();
   QueryProgram q11 = BuildTpchQuery(11, catalog);
   QueryRunOptions options;
+  options.use_artifact_cache = false;  // show the cold adaptive compiles
   options.strategy = ExecutionStrategy::kAdaptive;
   options.trace = &trace;
   QueryRunResult result = engine.Run(q11, options);

@@ -38,6 +38,7 @@ int main() {
     QueryProgram q = BuildGeneratedAggregateQuery(kAggregates, catalog);
     QueryRunOptions options;
     options.strategy = strategy;
+    options.use_artifact_cache = false;  // cold compile costs are the point
     QueryRunResult r = engine.Run(q, options);
     std::printf("%-10s total %8.1f ms (compile %8.1f ms)\n", label,
                 r.total_seconds * 1e3, r.compile_millis_total);

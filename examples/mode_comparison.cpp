@@ -43,6 +43,9 @@ int main(int argc, char** argv) {
     QueryRunOptions options;
     options.engine = config.engine;
     options.strategy = config.strategy;
+    // The table contrasts *cold* compile cost per mode; the engine's
+    // artifact cache would zero it from the second mode on.
+    options.use_artifact_cache = false;
     QueryRunResult r = engine.Run(q, options);
     std::printf("%-32s %12.2f %12.2f\n", config.label, r.total_seconds * 1e3,
                 r.codegen_millis_total + r.translate_millis_total +

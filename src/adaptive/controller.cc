@@ -95,8 +95,11 @@ void ExecuteMorsel(PipelineExecState& st, const MorselRange& morsel, int slot,
 /// Claims and performs a pending compile job: compile -> install into the
 /// handle -> record -> bump the epoch (rate reset, §III-C) -> notify the
 /// controller. Returns false when no job is pending or another thread owns
-/// it. Callable from any scheduler worker or the controller.
-bool TryRunCompileJob(PipelineExecState& st) {
+/// it. Callable from any scheduler worker or the controller; controller
+/// call sites pass `blocking_seconds` to attribute the compile to blocked
+/// execution time (see PipelineRunStats).
+bool TryRunCompileJob(PipelineExecState& st,
+                      double* blocking_seconds = nullptr) {
   int expected = kCompQueued;
   if (!st.compile_state.compare_exchange_strong(expected, kCompRunning,
                                                 std::memory_order_acq_rel)) {
@@ -121,6 +124,7 @@ bool TryRunCompileJob(PipelineExecState& st) {
   }
   st.compile_state.store(kCompIdle, std::memory_order_release);
   st.cv.notify_all();
+  if (blocking_seconds != nullptr) *blocking_seconds += seconds;
   return true;
 }
 
@@ -280,15 +284,20 @@ PipelineRunStats PipelineRunner::RunTasks(const PipelineTask& task) {
   auto compile_inline = [&](ExecMode mode) {
     st->compile_target = mode;
     st->compile_state.store(kCompQueued, std::memory_order_release);
-    AQE_CHECK(TryRunCompileJob(*st));
+    AQE_CHECK(TryRunCompileJob(*st, &stats.blocking_compile_seconds));
   };
 
   // Static compile-up-front strategies (single-threaded compilation before
-  // any morsel runs — exactly the §III critique).
+  // any morsel runs — exactly the §III critique). Skipped when the handle
+  // was seeded with cached machine code already in the requested mode.
   if (strategy_ == ExecutionStrategy::kUnoptimized) {
-    compile_inline(ExecMode::kUnoptimized);
+    if (task.handle->mode() != ExecMode::kUnoptimized) {
+      compile_inline(ExecMode::kUnoptimized);
+    }
   } else if (strategy_ == ExecutionStrategy::kOptimized) {
-    compile_inline(ExecMode::kOptimized);
+    if (task.handle->mode() != ExecMode::kOptimized) {
+      compile_inline(ExecMode::kOptimized);
+    }
   }
 
   if (!single_threaded_) {
@@ -311,7 +320,7 @@ PipelineRunStats PipelineRunner::RunTasks(const PipelineTask& task) {
     if (phase == kCompRunning) return;
     if (phase == kCompQueued) {
       if (++morsels_since_queued >= kInlineCompileAfterMorsels) {
-        TryRunCompileJob(*st);
+        TryRunCompileJob(*st, &stats.blocking_compile_seconds);
       }
       return;
     }
@@ -347,7 +356,7 @@ PipelineRunStats PipelineRunner::RunTasks(const PipelineTask& task) {
     st->compile_state.store(kCompQueued, std::memory_order_release);
     if (single_threaded_ || (workers == 1 && self == 0)) {
       // No other thread can ever pick the job up: compile inline now.
-      TryRunCompileJob(*st);
+      TryRunCompileJob(*st, &stats.blocking_compile_seconds);
     } else {
       sched_->Submit(std::make_unique<CompileJobTask>(st),
                      TaskPriority::kLow);
@@ -395,6 +404,7 @@ PipelineRunStats PipelineRunner::RunGang(const PipelineTask& task) {
     double seconds = compile_timer.ElapsedSeconds();
     task.handle->SetCompiled(fn, mode);
     stats.compiles.emplace_back(mode, seconds);
+    stats.blocking_compile_seconds += seconds;
     if (trace_ != nullptr) {
       trace_->Record({TraceRecorder::EventKind::kCompile,
                       runtime_internal::GetThreadIndex(), task.pipeline_id,
@@ -403,11 +413,16 @@ PipelineRunStats PipelineRunner::RunGang(const PipelineTask& task) {
   };
 
   // Static compile-up-front strategies (single-threaded compilation, all
-  // other workers idle — exactly the §III critique).
+  // other workers idle — exactly the §III critique). Skipped when the
+  // handle was seeded with cached code already in the requested mode.
   if (strategy_ == ExecutionStrategy::kUnoptimized) {
-    compile_and_install(ExecMode::kUnoptimized);
+    if (task.handle->mode() != ExecMode::kUnoptimized) {
+      compile_and_install(ExecMode::kUnoptimized);
+    }
   } else if (strategy_ == ExecutionStrategy::kOptimized) {
-    compile_and_install(ExecMode::kOptimized);
+    if (task.handle->mode() != ExecMode::kOptimized) {
+      compile_and_install(ExecMode::kOptimized);
+    }
   }
 
   MorselQueue queue(task.total_tuples);

@@ -43,6 +43,12 @@ struct PipelineRunStats {
   ExecMode final_mode = ExecMode::kBytecode;
   /// Mode switches performed, with the compile time spent on each.
   std::vector<std::pair<ExecMode, double>> compiles;
+  /// Compile time that occupied the controller thread (the up-front static
+  /// compiles and adaptive compiles claimed inline). total_seconds minus
+  /// this is pure execution: what the engine reports as exec time so cache
+  /// hits (which compile nothing) are visible next to cold runs. Compiles
+  /// picked up by other workers overlap execution and are not counted.
+  double blocking_compile_seconds = 0;
 };
 
 /// Executes pipelines under a strategy, applying the §III-C policy for

@@ -1,0 +1,360 @@
+#include "cache/fingerprint.h"
+
+#include <cstring>
+
+#include "codegen/query_compiler.h"
+#include "common/status.h"
+
+namespace aqe {
+namespace {
+
+/// FNV-1a-style 64-bit hash stream with a 64-bit finalizer mix. Collisions
+/// across distinct plan shapes are what tests/cache_test.cc's suite-wide
+/// check guards against.
+class HashStream {
+ public:
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ = (hash_ ^ ((v >> (8 * i)) & 0xFF)) * 0x100000001B3ULL;
+    }
+  }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void Str(const std::string& s) {
+    U64(s.size());
+    for (char c : s) {
+      hash_ = (hash_ ^ static_cast<uint8_t>(c)) * 0x100000001B3ULL;
+    }
+  }
+  uint64_t digest() const {
+    // splitmix64 finalizer: diffuses the low-entropy FNV state.
+    uint64_t z = hash_ + 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+/// Tags keep adjacent fields from aliasing (e.g. a slot index vs a count).
+enum Tag : uint64_t {
+  kTagExpr = 0xE1,
+  kTagConst = 0xE2,
+  kTagOp = 0xE3,
+  kTagSink = 0xE4,
+  kTagPipeline = 0xE5,
+  kTagStage = 0xE6,
+  kTagDecl = 0xE7,
+};
+
+struct FingerprintBuilder {
+  const QueryProgram& program;
+  HashStream hash;
+  std::vector<uint64_t> constants;
+
+  explicit FingerprintBuilder(const QueryProgram& program)
+      : program(program) {}
+
+  /// Index of `bitmap` in the program's bitmap list (its binding-array
+  /// slot). Unknown pointers (not owned by the program) are hashed by
+  /// address, which safely makes such plans unshareable.
+  void HashBitmap(const uint8_t* bitmap) {
+    const auto& bitmaps = program.bitmaps();
+    for (size_t i = 0; i < bitmaps.size(); ++i) {
+      if (bitmaps[i]->data() == bitmap) {
+        hash.U64(i);
+        return;
+      }
+    }
+    hash.U64(reinterpret_cast<uint64_t>(bitmap));
+  }
+
+  void HashExpr(const Expr& expr) {
+    hash.U64(kTagExpr);
+    hash.U64(static_cast<uint64_t>(expr.kind));
+    hash.U64(static_cast<uint64_t>(expr.type));
+    switch (expr.kind) {
+      case ExprKind::kSlot:
+        hash.I64(expr.slot);
+        break;
+      case ExprKind::kConstI64:
+        hash.U64(kTagConst);
+        constants.push_back(static_cast<uint64_t>(expr.i64_value));
+        break;
+      case ExprKind::kConstF64: {
+        hash.U64(kTagConst);
+        uint64_t bits;
+        std::memcpy(&bits, &expr.f64_value, sizeof(bits));
+        constants.push_back(bits);
+        break;
+      }
+      case ExprKind::kBitmapTest:
+        HashBitmap(expr.bitmap);
+        break;
+      default:
+        break;
+    }
+    hash.U64(expr.children.size());
+    for (const auto& child : expr.children) HashExpr(*child);
+  }
+
+  void HashPipeline(const PipelineSpec& spec) {
+    hash.U64(kTagPipeline);
+    hash.Str(spec.name);
+    hash.I64(spec.source_table);
+    hash.U64(spec.scan_columns.size());
+    for (int c : spec.scan_columns) hash.I64(c);
+    hash.U64(spec.ops.size());
+    for (const PipelineOp& op : spec.ops) {
+      hash.U64(kTagOp);
+      hash.U64(op.index());
+      if (const auto* filter = std::get_if<OpFilter>(&op)) {
+        HashExpr(*filter->predicate);
+      } else if (const auto* compute = std::get_if<OpCompute>(&op)) {
+        HashExpr(*compute->expr);
+      } else {
+        const auto& probe = std::get<OpProbe>(op);
+        hash.I64(probe.ht);
+        hash.I64(probe.payload_slots);
+        hash.U64(static_cast<uint64_t>(probe.kind));
+        HashExpr(*probe.key);
+      }
+    }
+    hash.U64(kTagSink);
+    hash.U64(spec.sink.index());
+    if (const auto* build = std::get_if<SinkBuild>(&spec.sink)) {
+      hash.I64(build->ht);
+      HashExpr(*build->key);
+      hash.U64(build->payload.size());
+      for (const auto& p : build->payload) HashExpr(*p);
+    } else if (const auto* agg = std::get_if<SinkAgg>(&spec.sink)) {
+      hash.I64(agg->agg);
+      HashExpr(*agg->key);
+      hash.U64(agg->items.size());
+      for (const AggItem& item : agg->items) {
+        hash.U64(static_cast<uint64_t>(item.kind));
+        hash.U64(item.checked ? 1 : 0);
+        hash.U64(item.value != nullptr ? 1 : 0);
+        if (item.value != nullptr) HashExpr(*item.value);
+      }
+    } else {
+      const auto& out = std::get<SinkOutput>(spec.sink);
+      hash.I64(out.output);
+      hash.U64(out.values.size());
+      for (const auto& v : out.values) HashExpr(*v);
+    }
+  }
+};
+
+/// Sentinel constant for global constant index `i`: a distinctive high
+/// pattern no real query literal or structural codegen constant uses, with
+/// the index folded in so every sentinel is unique.
+uint64_t ConstantSentinel(uint32_t i) {
+  return 0x5EA7C0DE00000000ULL | (0xA0000ULL + i);
+}
+
+/// Replaces the non-pinned constants of `expr` (preorder, same traversal as
+/// FingerprintBuilder) with sentinels. `next` is the running global index,
+/// `pinned` is indexed by local position (global - `base`).
+struct SentinelRewriter {
+  uint32_t base;
+  const std::vector<bool>& pinned;
+  uint32_t next;
+
+  void Visit(Expr* expr) {
+    if (expr->kind == ExprKind::kConstI64) {
+      if (!pinned[next - base]) {
+        expr->i64_value = static_cast<int64_t>(ConstantSentinel(next));
+      }
+      ++next;
+    } else if (expr->kind == ExprKind::kConstF64) {
+      if (!pinned[next - base]) {
+        uint64_t bits = ConstantSentinel(next);
+        std::memcpy(&expr->f64_value, &bits, sizeof(bits));
+      }
+      ++next;
+    }
+    for (auto& child : expr->children) Visit(child.get());
+  }
+};
+
+void ReplaceSpecConstants(PipelineSpec* spec, uint32_t first_index,
+                          const std::vector<bool>& pinned) {
+  SentinelRewriter rw{first_index, pinned, first_index};
+  for (PipelineOp& op : spec->ops) {
+    if (auto* filter = std::get_if<OpFilter>(&op)) {
+      rw.Visit(filter->predicate.get());
+    } else if (auto* compute = std::get_if<OpCompute>(&op)) {
+      rw.Visit(compute->expr.get());
+    } else {
+      rw.Visit(std::get<OpProbe>(op).key.get());
+    }
+  }
+  if (auto* build = std::get_if<SinkBuild>(&spec->sink)) {
+    rw.Visit(build->key.get());
+    for (auto& p : build->payload) rw.Visit(p.get());
+  } else if (auto* agg = std::get_if<SinkAgg>(&spec->sink)) {
+    rw.Visit(agg->key.get());
+    for (AggItem& item : agg->items) {
+      if (item.value != nullptr) rw.Visit(item.value.get());
+    }
+  } else {
+    for (auto& v : std::get<SinkOutput>(spec->sink).values) {
+      rw.Visit(v.get());
+    }
+  }
+}
+
+/// Everything but the constant-pool *values* must match for the sentinel
+/// diff to be meaningful.
+bool StructurallyEqual(const BcProgram& a, const BcProgram& b) {
+  if (a.code.size() != b.code.size() ||
+      a.constant_pool.size() != b.constant_pool.size() ||
+      a.literal_pool != b.literal_pool || a.arg_offsets != b.arg_offsets ||
+      a.register_file_size != b.register_file_size) {
+    return false;
+  }
+  if (!a.code.empty() &&
+      std::memcmp(a.code.data(), b.code.data(),
+                  a.code.size() * sizeof(BcInstruction)) != 0) {
+    return false;
+  }
+  for (size_t i = 0; i < a.constant_pool.size(); ++i) {
+    if (a.constant_pool[i].slot != b.constant_pool[i].slot) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PlanFingerprint FingerprintProgram(const QueryProgram& program) {
+  PlanFingerprint fp;
+  fp.plan_name = program.name();
+  FingerprintBuilder builder(program);
+  HashStream& h = builder.hash;
+
+  h.Str(program.name());
+
+  h.U64(kTagDecl);
+  h.U64(static_cast<uint64_t>(program.num_join_tables()));
+  for (int j = 0; j < program.num_join_tables(); ++j) {
+    h.U64(program.join_payload_slots(j));
+  }
+  // Aggregation/output declaration counts: they fix the binding-array
+  // layout. Their payload shapes live in runtime objects built fresh per
+  // context (never in cached artifacts), so counts suffice here; the plan
+  // name above anchors the opaque engine steps that consume them.
+  h.U64(static_cast<uint64_t>(program.num_agg_sets()));
+  h.U64(static_cast<uint64_t>(program.num_outputs()));
+  h.U64(program.bitmaps().size());
+
+  h.U64(kTagStage);
+  h.U64(program.stages().size());
+  for (const QueryProgram::Stage& stage : program.stages()) {
+    h.I64(stage.pipeline);  // -1 marks an (opaque) engine step
+  }
+
+  for (const PipelineSpec& spec : program.pipelines()) {
+    uint32_t begin = static_cast<uint32_t>(builder.constants.size());
+    builder.HashPipeline(spec);
+    // Anchor the scanned table's declaration: a base table by name, a temp
+    // table by index (its schema is validated again at bind time).
+    QueryProgram::TableDeclView decl = program.table_decl(spec.source_table);
+    if (decl.base_name != nullptr) {
+      h.Str(*decl.base_name);
+    } else {
+      h.I64(~decl.temp_index);
+    }
+    fp.pipeline_constants.emplace_back(
+        begin, static_cast<uint32_t>(builder.constants.size()));
+  }
+
+  fp.structural_hash = h.digest();
+  fp.constants = std::move(builder.constants);
+  HashStream ch;
+  for (uint64_t c : fp.constants) ch.U64(c);
+  fp.constants_hash = ch.digest();
+  return fp;
+}
+
+uint64_t ArtifactCacheKey(const PlanFingerprint& fingerprint,
+                          const TranslatorOptions& options) {
+  HashStream h;
+  h.U64(fingerprint.structural_hash);
+  h.U64(static_cast<uint64_t>(options.strategy));
+  h.U64(static_cast<uint64_t>(options.window_size));
+  h.U64((options.fuse_macro_ops ? 2 : 0) | (options.fuse_cmp_branches ? 1 : 0));
+  return h.digest();
+}
+
+ConstantPatchTable BuildConstantPatchTable(
+    const BcProgram& real, const PipelineSpec& spec,
+    const PipelineBindings& bindings, const RuntimeRegistry& registry,
+    const TranslatorOptions& translator_options,
+    const std::vector<uint64_t>& constants, uint32_t begin, uint32_t end) {
+  ConstantPatchTable table;
+  if (begin == end) {
+    table.patchable = true;  // nothing to patch: any constant vector fits
+    return table;
+  }
+
+  // Constants the translator gives no private pool slot: 0/1 live in the
+  // reserved registers, duplicated literals are interned into one slot.
+  // They stay pinned — the sentinel translation keeps their real values so
+  // the program structure matches, and a variant may only patch-share when
+  // its pinned constants agree with the baseline.
+  std::vector<bool> pinned(end - begin, false);
+  for (uint32_t i = begin; i < end; ++i) {
+    const uint64_t v = constants[i];
+    if (v == 0 || v == 1) {
+      pinned[i - begin] = true;
+      continue;
+    }
+    for (uint32_t j = begin; j < end; ++j) {
+      if (j != i && constants[j] == v) {
+        pinned[i - begin] = true;
+        break;
+      }
+    }
+  }
+
+  PipelineSpec sentinel_spec = ClonePipelineSpec(spec);
+  ReplaceSpecConstants(&sentinel_spec, begin, pinned);
+  GeneratedPipeline generated = GeneratePipeline(sentinel_spec, bindings);
+  BcProgram sentinel = TranslateToBytecode(
+      *generated.mod->module().getFunction("worker"), registry,
+      translator_options);
+
+  // Any remaining structural drift (constant folding, a literal colliding
+  // with a codegen-internal constant, ...) makes the artifact exact-match
+  // only — never incorrect.
+  if (!StructurallyEqual(sentinel, real)) return table;
+
+  table.pool_indices.reserve(end - begin);
+  for (uint32_t i = begin; i < end; ++i) {
+    if (pinned[i - begin]) {
+      table.pool_indices.push_back(ConstantPatchTable::kPinned);
+      continue;
+    }
+    const uint64_t wanted = ConstantSentinel(i);
+    int found = -1;
+    for (size_t p = 0; p < sentinel.constant_pool.size(); ++p) {
+      if (sentinel.constant_pool[p].value == wanted) {
+        if (found >= 0) return table;  // duplicated sentinel: bail
+        found = static_cast<int>(p);
+      }
+    }
+    if (found < 0) return table;  // constant folded away or transformed
+    // The real program must carry the genuine literal in the same slot.
+    if (real.constant_pool[static_cast<size_t>(found)].value !=
+        constants[i]) {
+      return table;
+    }
+    table.pool_indices.push_back(static_cast<uint32_t>(found));
+  }
+  table.patchable = true;
+  return table;
+}
+
+}  // namespace aqe

@@ -1,0 +1,79 @@
+#ifndef AQE_CACHE_FINGERPRINT_H_
+#define AQE_CACHE_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "plan/plan.h"
+#include "vm/bytecode.h"
+#include "vm/translator.h"
+
+namespace aqe {
+
+/// Canonical identity of a query plan, split into the parts that determine
+/// the generated artifacts (the structural hash) and the parts that are
+/// patchable at hit time (the query constants).
+///
+/// The structural hash covers the program name, every declaration (tables,
+/// join tables, aggregation sets, outputs, bitmap indices), the stage
+/// sequence, and each pipeline's operator/sink/expression shape. Expression
+/// constants (kConstI64 / kConstF64) are hashed as *placeholders*; their raw
+/// 8-byte values are collected into `constants` in deterministic preorder
+/// traversal, so two queries differing only in literals share a structural
+/// hash and differ in the constant vector. Runtime addresses never enter
+/// the fingerprint: workers read them from the per-run binding array.
+struct PlanFingerprint {
+  uint64_t structural_hash = 0;
+  /// Pipeline expression constants, traversal order (f64 bit-cast).
+  std::vector<uint64_t> constants;
+  /// Hash of `constants` (fast pre-filter; equality is decided on vectors).
+  uint64_t constants_hash = 0;
+  /// Per-pipeline [begin, end) slice into `constants`.
+  std::vector<std::pair<uint32_t, uint32_t>> pipeline_constants;
+  std::string plan_name;
+};
+
+PlanFingerprint FingerprintProgram(const QueryProgram& program);
+
+/// Folds the translator options that shape bytecode into a cache key: two
+/// runs may only share artifacts when they agree on fusion flags and the
+/// register-allocation strategy.
+uint64_t ArtifactCacheKey(const PlanFingerprint& fingerprint,
+                          const TranslatorOptions& options);
+
+/// Maps each of a pipeline's fingerprint constants to the constant-pool
+/// index that materializes it, so a literal-only plan variant can reuse the
+/// bytecode by patching `pool_indices` with its own constant values.
+/// Constants the translator does not give a private pool slot — the values
+/// 0/1 (reserved registers) and duplicated literals (interned) — are marked
+/// `kPinned`: a variant may still patch-share the bytecode as long as its
+/// pinned constants equal the baseline's. `patchable == false` means the
+/// mapping could not be established at all (e.g. a constant was folded)
+/// and the bytecode may only be reused for an exact constant match.
+struct ConstantPatchTable {
+  static constexpr uint32_t kPinned = 0xFFFFFFFFu;
+  bool patchable = false;
+  std::vector<uint32_t> pool_indices;  ///< one per pipeline constant
+};
+
+struct PipelineBindings;
+
+/// Builds the patch table for `real` (the program translated from `spec`
+/// with its genuine constants, under `translator_options`): re-runs codegen
+/// and translation over a clone of `spec` whose constants are replaced by
+/// distinctive sentinel values, then diffs the two constant pools. Any
+/// structural difference between the sentinel and real programs makes the
+/// pipeline unpatchable — never incorrect.
+/// `constants` is the fingerprint constant vector, [begin, end) the
+/// pipeline's slice.
+ConstantPatchTable BuildConstantPatchTable(
+    const BcProgram& real, const PipelineSpec& spec,
+    const PipelineBindings& bindings, const RuntimeRegistry& registry,
+    const TranslatorOptions& translator_options,
+    const std::vector<uint64_t>& constants, uint32_t begin, uint32_t end);
+
+}  // namespace aqe
+
+#endif  // AQE_CACHE_FINGERPRINT_H_

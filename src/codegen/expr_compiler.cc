@@ -66,9 +66,17 @@ llvm::Value* ExprCompiler::Compile(const Expr& expr,
     case ExprKind::kNot: return b.CreateNot(child(0));
     case ExprKind::kBitmapTest: {
       llvm::Value* code = child(0);
+      llvm::Value* base_i64 = nullptr;
+      if (bitmap_values_ != nullptr) {
+        auto it = bitmap_values_->find(expr.bitmap);
+        AQE_CHECK_MSG(it != bitmap_values_->end(),
+                      "bitmap missing from the worker's binding array");
+        base_i64 = it->second;
+      } else {
+        base_i64 = b.getInt64(reinterpret_cast<uint64_t>(expr.bitmap));
+      }
       llvm::Value* base = b.CreateIntToPtr(
-          b.getInt64(reinterpret_cast<uint64_t>(expr.bitmap)),
-          llvm::Type::getInt8PtrTy(b.getContext()));
+          base_i64, llvm::Type::getInt8PtrTy(b.getContext()));
       llvm::Value* addr = b.CreateGEP(b.getInt8Ty(), base, code);
       llvm::Value* byte = b.CreateLoad(b.getInt8Ty(), addr);
       // Compare at i32 width: the VM's statically typed icmp opcodes cover

@@ -1,6 +1,7 @@
 #ifndef AQE_CODEGEN_EXPR_COMPILER_H_
 #define AQE_CODEGEN_EXPR_COMPILER_H_
 
+#include <map>
 #include <vector>
 
 #include <llvm/IR/IRBuilder.h>
@@ -14,10 +15,20 @@ namespace aqe {
 /// and branches to `overflow_block`, which must call the runtime's overflow
 /// handler and end in unreachable — the exact §IV-F pattern the bytecode
 /// translator fuses back into one macro op).
+///
+/// `bitmap_values` maps a kBitmapTest bitmap pointer to the i64 value
+/// holding its runtime base address (loaded from the worker's binding
+/// array). When absent, the pointer is embedded as a constant — acceptable
+/// for standalone kernels, but position-dependent, so the pipeline path
+/// always supplies the map (the artifact cache relies on it).
 class ExprCompiler {
  public:
-  ExprCompiler(llvm::IRBuilder<>* builder, llvm::BasicBlock* overflow_block)
-      : builder_(builder), overflow_block_(overflow_block) {}
+  ExprCompiler(llvm::IRBuilder<>* builder, llvm::BasicBlock* overflow_block,
+               const std::map<const uint8_t*, llvm::Value*>* bitmap_values =
+                   nullptr)
+      : builder_(builder),
+        overflow_block_(overflow_block),
+        bitmap_values_(bitmap_values) {}
 
   /// Compiles `expr` against the current slot values. Bool results are i1,
   /// I64 results i64, F64 results double.
@@ -31,6 +42,7 @@ class ExprCompiler {
  private:
   llvm::IRBuilder<>* builder_;
   llvm::BasicBlock* overflow_block_;
+  const std::map<const uint8_t*, llvm::Value*>* bitmap_values_;
 };
 
 }  // namespace aqe

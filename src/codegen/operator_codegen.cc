@@ -1,5 +1,7 @@
 #include "codegen/operator_codegen.h"
 
+#include <map>
+
 #include <llvm/IR/IRBuilder.h>
 #include <llvm/IR/Intrinsics.h>
 
@@ -8,6 +10,44 @@
 
 namespace aqe {
 namespace {
+
+bool ExprUsesBitmap(const Expr& expr, const uint8_t* bitmap) {
+  if (expr.kind == ExprKind::kBitmapTest && expr.bitmap == bitmap) return true;
+  for (const auto& child : expr.children) {
+    if (ExprUsesBitmap(*child, bitmap)) return true;
+  }
+  return false;
+}
+
+bool PipelineUsesBitmap(const PipelineSpec& spec, const uint8_t* bitmap) {
+  for (const PipelineOp& op : spec.ops) {
+    if (const auto* filter = std::get_if<OpFilter>(&op)) {
+      if (ExprUsesBitmap(*filter->predicate, bitmap)) return true;
+    } else if (const auto* compute = std::get_if<OpCompute>(&op)) {
+      if (ExprUsesBitmap(*compute->expr, bitmap)) return true;
+    } else if (ExprUsesBitmap(*std::get<OpProbe>(op).key, bitmap)) {
+      return true;
+    }
+  }
+  if (const auto* build = std::get_if<SinkBuild>(&spec.sink)) {
+    if (ExprUsesBitmap(*build->key, bitmap)) return true;
+    for (const auto& p : build->payload) {
+      if (ExprUsesBitmap(*p, bitmap)) return true;
+    }
+  } else if (const auto* agg = std::get_if<SinkAgg>(&spec.sink)) {
+    if (ExprUsesBitmap(*agg->key, bitmap)) return true;
+    for (const AggItem& item : agg->items) {
+      if (item.value != nullptr && ExprUsesBitmap(*item.value, bitmap)) {
+        return true;
+      }
+    }
+  } else {
+    for (const auto& v : std::get<SinkOutput>(spec.sink).values) {
+      if (ExprUsesBitmap(*v, bitmap)) return true;
+    }
+  }
+  return false;
+}
 
 /// Per-function emission state.
 struct WorkerEmitter {
@@ -38,9 +78,11 @@ struct WorkerEmitter {
         name, llvm::FunctionType::get(b.getVoidTy(), params, false));
   }
 
-  llvm::Value* PtrConst(const void* p, llvm::Type* pointee) {
-    return b.CreateIntToPtr(b.getInt64(reinterpret_cast<uint64_t>(p)),
-                            pointee->getPointerTo());
+  /// Loads binding slot `index` of the packed binding array (`state`, arg 0)
+  /// as i64. Emitted in the entry block so every binding is read once per
+  /// worker invocation and stays loop-invariant.
+  llvm::Value* BindingValue(size_t index) {
+    return LoadSlotAt(fn->getArg(0), static_cast<int>(8 * index));
   }
 
   /// Loads an 8-byte value at byte offset `offset` from an address held in
@@ -101,15 +143,44 @@ void WorkerEmitter::Emit() {
   b.CreateCall(RuntimeFnVoid("aqe_raise_overflow", 0));
   b.CreateUnreachable();
 
-  // Entry: hoist loop-invariant runtime handles.
+  // Entry: load every runtime handle this pipeline touches from the packed
+  // binding array (`state`) and hoist the loop-invariant values. Nothing
+  // run-specific is embedded in the generated code.
   b.SetInsertPoint(entry);
+  std::vector<llvm::Value*> column_bases;
+  for (size_t c = 0; c < spec.scan_columns.size(); ++c) {
+    column_bases.push_back(BindingValue(bindings.ColumnSlot(c)));
+  }
+  std::vector<llvm::Value*> join_table_values(bindings.join_tables.size(),
+                                              nullptr);
+  for (const PipelineOp& op : spec.ops) {
+    if (const auto* probe = std::get_if<OpProbe>(&op)) {
+      auto ht = static_cast<size_t>(probe->ht);
+      if (join_table_values[ht] == nullptr) {
+        join_table_values[ht] = BindingValue(bindings.JoinTableSlot(ht));
+      }
+    }
+  }
+  std::map<const uint8_t*, llvm::Value*> bitmap_values;
+  for (size_t id = 0; id < bindings.bitmaps.size(); ++id) {
+    if (PipelineUsesBitmap(spec, bindings.bitmaps[id])) {
+      bitmap_values[bindings.bitmaps[id]] =
+          BindingValue(bindings.BitmapSlot(id));
+    }
+  }
   llvm::Value* agg_local = nullptr;
+  llvm::Value* build_table = nullptr;
+  llvm::Value* output_buffer = nullptr;
   if (const auto* agg_sink = std::get_if<SinkAgg>(&spec.sink)) {
-    void* set = bindings.agg_sets[static_cast<size_t>(agg_sink->agg)];
-    AQE_CHECK_MSG(set != nullptr, "agg set not bound");
-    agg_local = b.CreateCall(
-        RuntimeFn("aqe_agg_local", 1),
-        {b.getInt64(reinterpret_cast<uint64_t>(set))});
+    llvm::Value* set =
+        BindingValue(bindings.AggSetSlot(static_cast<size_t>(agg_sink->agg)));
+    agg_local = b.CreateCall(RuntimeFn("aqe_agg_local", 1), {set});
+  } else if (const auto* build_sink = std::get_if<SinkBuild>(&spec.sink)) {
+    build_table = BindingValue(
+        bindings.JoinTableSlot(static_cast<size_t>(build_sink->ht)));
+  } else if (const auto* out_sink = std::get_if<SinkOutput>(&spec.sink)) {
+    output_buffer = BindingValue(
+        bindings.OutputSlot(static_cast<size_t>(out_sink->output)));
   }
   b.CreateBr(head);
 
@@ -121,29 +192,32 @@ void WorkerEmitter::Emit() {
   b.CreateCondBr(in_range, body, exit);
 
   b.SetInsertPoint(body);
-  ExprCompiler exprs(&b, overflow_block);
+  ExprCompiler exprs(&b, overflow_block, &bitmap_values);
 
   // Scan: materialize the requested columns into slots, widening i32 to
   // i64. These are the fusable gep+load pairs of §IV-F.
   std::vector<llvm::Value*> slots;
   for (size_t c = 0; c < spec.scan_columns.size(); ++c) {
-    const void* data = bindings.column_data[c];
+    llvm::Value* base_i64 = column_bases[c];
     switch (bindings.column_types[c]) {
       case DataType::kI32: {
-        llvm::Value* base = PtrConst(data, b.getInt32Ty());
+        llvm::Value* base =
+            b.CreateIntToPtr(base_i64, b.getInt32Ty()->getPointerTo());
         llvm::Value* addr = b.CreateGEP(b.getInt32Ty(), base, i);
         slots.push_back(
             b.CreateSExt(b.CreateLoad(b.getInt32Ty(), addr), b.getInt64Ty()));
         break;
       }
       case DataType::kI64: {
-        llvm::Value* base = PtrConst(data, b.getInt64Ty());
+        llvm::Value* base =
+            b.CreateIntToPtr(base_i64, b.getInt64Ty()->getPointerTo());
         llvm::Value* addr = b.CreateGEP(b.getInt64Ty(), base, i);
         slots.push_back(b.CreateLoad(b.getInt64Ty(), addr));
         break;
       }
       case DataType::kF64: {
-        llvm::Value* base = PtrConst(data, b.getDoubleTy());
+        llvm::Value* base =
+            b.CreateIntToPtr(base_i64, b.getDoubleTy()->getPointerTo());
         llvm::Value* addr = b.CreateGEP(b.getDoubleTy(), base, i);
         slots.push_back(b.CreateLoad(b.getDoubleTy(), addr));
         break;
@@ -162,12 +236,10 @@ void WorkerEmitter::Emit() {
       slots.push_back(exprs.Compile(*compute->expr, slots));
     } else {
       const auto& probe = std::get<OpProbe>(op);
-      void* ht = bindings.join_tables[static_cast<size_t>(probe.ht)];
-      AQE_CHECK_MSG(ht != nullptr, "join table not bound");
+      llvm::Value* ht = join_table_values[static_cast<size_t>(probe.ht)];
       llvm::Value* key = exprs.Compile(*probe.key, slots);
-      llvm::Value* node = b.CreateCall(
-          RuntimeFn("aqe_jht_lookup", 2),
-          {b.getInt64(reinterpret_cast<uint64_t>(ht)), key});
+      llvm::Value* node =
+          b.CreateCall(RuntimeFn("aqe_jht_lookup", 2), {ht, key});
       llvm::Value* found = b.CreateICmpNE(node, b.getInt64(0));
       switch (probe.kind) {
         case JoinKind::kInner: {
@@ -197,12 +269,9 @@ void WorkerEmitter::Emit() {
 
   // Sink.
   if (const auto* build = std::get_if<SinkBuild>(&spec.sink)) {
-    void* ht = bindings.join_tables[static_cast<size_t>(build->ht)];
-    AQE_CHECK_MSG(ht != nullptr, "join table not bound");
     llvm::Value* key = exprs.Compile(*build->key, slots);
-    llvm::Value* payload = b.CreateCall(
-        RuntimeFn("aqe_jht_insert", 2),
-        {b.getInt64(reinterpret_cast<uint64_t>(ht)), key});
+    llvm::Value* payload =
+        b.CreateCall(RuntimeFn("aqe_jht_insert", 2), {build_table, key});
     for (size_t k = 0; k < build->payload.size(); ++k) {
       StoreSlotAt(payload, static_cast<int>(8 * k),
                   exprs.Compile(*build->payload[k], slots));
@@ -249,11 +318,8 @@ void WorkerEmitter::Emit() {
     }
   } else {
     const auto& out = std::get<SinkOutput>(spec.sink);
-    void* buffer = bindings.outputs[static_cast<size_t>(out.output)];
-    AQE_CHECK_MSG(buffer != nullptr, "output buffer not bound");
-    llvm::Value* row = b.CreateCall(
-        RuntimeFn("aqe_out_alloc_row", 1),
-        {b.getInt64(reinterpret_cast<uint64_t>(buffer))});
+    llvm::Value* row =
+        b.CreateCall(RuntimeFn("aqe_out_alloc_row", 1), {output_buffer});
     for (size_t k = 0; k < out.values.size(); ++k) {
       StoreSlotAt(row, static_cast<int>(8 * k),
                   exprs.Compile(*out.values[k], slots));
@@ -273,6 +339,21 @@ void WorkerEmitter::Emit() {
 }
 
 }  // namespace
+
+std::vector<uint64_t> PipelineBindings::Pack() const {
+  std::vector<uint64_t> values;
+  values.reserve(NumSlots());
+  for (const void* p : column_data) {
+    values.push_back(reinterpret_cast<uint64_t>(p));
+  }
+  for (void* p : join_tables) values.push_back(reinterpret_cast<uint64_t>(p));
+  for (void* p : agg_sets) values.push_back(reinterpret_cast<uint64_t>(p));
+  for (void* p : outputs) values.push_back(reinterpret_cast<uint64_t>(p));
+  for (const uint8_t* p : bitmaps) {
+    values.push_back(reinterpret_cast<uint64_t>(p));
+  }
+  return values;
+}
 
 void EmitWorkerFunction(const PipelineSpec& spec,
                         const PipelineBindings& bindings, IrModule* mod,

@@ -10,23 +10,52 @@
 
 namespace aqe {
 
-/// Resolved runtime addresses for one pipeline: everything the generated
-/// code needs is embedded as constants (data-centric code generation — the
-/// generated worker is specific to this query execution's data structures).
+/// Resolved runtime addresses for one pipeline. The generated worker does
+/// NOT embed them: it loads them from the packed binding array (`Pack()`)
+/// passed through the worker's `state` argument, so the same bytecode and
+/// machine code can be re-executed against a different QueryContext — the
+/// property the plan-keyed artifact cache relies on (src/cache/DESIGN.md).
+/// Codegen only consumes the *shape* of the bindings (counts and column
+/// types); the addresses matter at run time.
 struct PipelineBindings {
-  const void* state = nullptr;  ///< unused; the ABI keeps a state parameter
   std::vector<const void*> column_data;  ///< per scan column, base pointer
   std::vector<DataType> column_types;    ///< per scan column
   std::vector<void*> join_tables;        ///< per program join-table id
   std::vector<void*> agg_sets;           ///< per program agg id
   std::vector<void*> outputs;            ///< per program output id
+  std::vector<const uint8_t*> bitmaps;   ///< per program bitmap, decl order
+
+  /// Slot indices (8-byte units) into the packed binding array. The layout
+  /// is a pure function of the counts, so structurally equal plans agree on
+  /// it even when the addresses differ.
+  size_t ColumnSlot(size_t c) const { return c; }
+  size_t JoinTableSlot(size_t id) const { return column_data.size() + id; }
+  size_t AggSetSlot(size_t id) const {
+    return column_data.size() + join_tables.size() + id;
+  }
+  size_t OutputSlot(size_t id) const {
+    return column_data.size() + join_tables.size() + agg_sets.size() + id;
+  }
+  size_t BitmapSlot(size_t id) const {
+    return column_data.size() + join_tables.size() + agg_sets.size() +
+           outputs.size() + id;
+  }
+  size_t NumSlots() const {
+    return column_data.size() + join_tables.size() + agg_sets.size() +
+           outputs.size() + bitmaps.size();
+  }
+
+  /// The per-run binding array the worker receives as `state`. The caller
+  /// keeps the vector alive for the duration of the pipeline.
+  std::vector<uint64_t> Pack() const;
 };
 
 /// Emits `void <fn_name>(i64 state, i64 begin, i64 end, i64 extra)` into
 /// `mod`: the §III-A worker function — a scan loop over [begin, end) rows,
 /// the per-tuple operator chain, and the sink. All four parameters are i64
 /// so the same function is callable as the WorkerFn ABI by machine code and
-/// through the VM.
+/// through the VM. `state` must point at `bindings.Pack()` when the worker
+/// runs; all binding loads are hoisted into the entry block.
 void EmitWorkerFunction(const PipelineSpec& spec,
                         const PipelineBindings& bindings, IrModule* mod,
                         const std::string& fn_name = "worker");

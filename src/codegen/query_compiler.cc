@@ -24,7 +24,33 @@ PipelineBindings BindPipeline(const QueryProgram& program,
   for (const auto& out : ctx.outputs) {
     bindings.outputs.push_back(out.get());
   }
+  for (const auto& bitmap : program.bitmaps()) {
+    bindings.bitmaps.push_back(bitmap->data());
+  }
   return bindings;
+}
+
+void ValidatePipelineBindings(const PipelineSpec& spec,
+                              const PipelineBindings& bindings) {
+  for (const PipelineOp& op : spec.ops) {
+    if (const auto* probe = std::get_if<OpProbe>(&op)) {
+      AQE_CHECK_MSG(
+          bindings.join_tables[static_cast<size_t>(probe->ht)] != nullptr,
+          "join table not bound");
+    }
+  }
+  if (const auto* build = std::get_if<SinkBuild>(&spec.sink)) {
+    AQE_CHECK_MSG(
+        bindings.join_tables[static_cast<size_t>(build->ht)] != nullptr,
+        "join table not bound");
+  } else if (const auto* agg = std::get_if<SinkAgg>(&spec.sink)) {
+    AQE_CHECK_MSG(bindings.agg_sets[static_cast<size_t>(agg->agg)] != nullptr,
+                  "agg set not bound");
+  } else {
+    const auto& out = std::get<SinkOutput>(spec.sink);
+    AQE_CHECK_MSG(bindings.outputs[static_cast<size_t>(out.output)] != nullptr,
+                  "output buffer not bound");
+  }
 }
 
 uint64_t PipelineCardinality(const QueryProgram& program,

@@ -26,6 +26,12 @@ PipelineBindings BindPipeline(const QueryProgram& program,
                               const PipelineSpec& spec,
                               const QueryContext& ctx);
 
+/// Checks that every runtime object `spec` dereferences is present in
+/// `bindings` (codegen no longer sees the addresses, so this is the place
+/// the "join table not created yet" class of plan bugs is caught).
+void ValidatePipelineBindings(const PipelineSpec& spec,
+                              const PipelineBindings& bindings);
+
 /// Source-table cardinality of a pipeline (the pipeline's total work,
 /// always known at pipeline start, §III-A).
 uint64_t PipelineCardinality(const QueryProgram& program,

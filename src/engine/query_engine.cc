@@ -1,9 +1,12 @@
 #include "engine/query_engine.h"
 
+#include <algorithm>
 #include <deque>
 #include <memory>
 #include <mutex>
 
+#include "adaptive/calibrate.h"
+#include "cache/fingerprint.h"
 #include "codegen/query_compiler.h"
 #include "common/status.h"
 #include "common/timer.h"
@@ -49,6 +52,16 @@ const char* EngineKindName(EngineKind kind) {
 struct QueryEngine::Impl {
   const Catalog* catalog;
 
+  // Plan-keyed artifact cache (fingerprint -> bytecode + machine code).
+  // Declared before the scheduler so publish tasks that run during
+  // shutdown still find it alive.
+  ArtifactCache cache;
+
+  // Micro-calibrated cost-model speedups (AQE_CALIBRATE), substituted for
+  // QueryRunOptions that leave the cost model at its defaults.
+  CostModelParams calibrated;
+  bool use_calibrated = false;
+
   // Admission layer: at most `max_active` queries execute concurrently;
   // excess queries wait here in FIFO order and are released as running
   // queries finish, so a burst cannot pile unbounded task state onto the
@@ -70,6 +83,10 @@ struct QueryEngine::Impl {
       : catalog(catalog),
         max_active(std::max(2, 2 * num_threads)),
         sched(std::min(std::max(1, num_threads), TaskScheduler::kMaxWorkers)) {
+    if (CostModelCalibrationRequested()) {
+      calibrated = CalibratedCostModelParams();
+      use_calibrated = true;
+    }
   }
 
   void Admit(std::unique_ptr<Task> job) {
@@ -120,6 +137,84 @@ struct QueryEngine::Impl {
 
 namespace {
 
+/// Low-priority task that writes a freshly compiled worker back into the
+/// plan's cache entry (the ISSUE's "cache publish as a task": publishing is
+/// off the query's critical path, claimable by any worker). The entry and
+/// code are held by shared_ptr, so a publish racing engine shutdown or LRU
+/// eviction touches only live memory.
+class CachePublishTask : public Task {
+ public:
+  CachePublishTask(ArtifactCache* cache, std::shared_ptr<CacheEntry> entry,
+                   size_t pipeline, ExecMode mode,
+                   std::shared_ptr<CachedCode> code,
+                   std::vector<uint64_t> constants,
+                   std::vector<DataType> column_types, uint64_t instructions)
+      : cache_(cache),
+        entry_(std::move(entry)),
+        pipeline_(pipeline),
+        mode_(mode),
+        code_(std::move(code)),
+        constants_(std::move(constants)),
+        column_types_(std::move(column_types)),
+        instructions_(instructions) {}
+
+  Status Run(int) override {
+    int64_t delta = 0;
+    {
+      std::lock_guard<std::mutex> lock(entry_->mu);
+      PipelineArtifact& a = entry_->pipelines[pipeline_];
+      if (a.column_types.empty()) {
+        a.column_types = column_types_;
+      } else if (a.column_types != column_types_) {
+        return Status::kDone;  // schema drifted (temp table): don't publish
+      }
+      if (a.code_constants != constants_) {
+        // A literal variant owns the machine-code slots from now on: code
+        // embeds literals, so the pair must agree on one constant vector.
+        if (a.unopt != nullptr) {
+          delta -= static_cast<int64_t>(a.unopt->approx_bytes);
+          a.unopt.reset();
+        }
+        if (a.opt != nullptr) {
+          delta -= static_cast<int64_t>(a.opt->approx_bytes);
+          a.opt.reset();
+        }
+        a.code_constants = constants_;
+      }
+      std::shared_ptr<CachedCode>& slot =
+          mode_ == ExecMode::kOptimized ? a.opt : a.unopt;
+      if (slot != nullptr) delta -= static_cast<int64_t>(slot->approx_bytes);
+      delta += static_cast<int64_t>(code_->approx_bytes);
+      slot = std::move(code_);
+      if (a.instructions == 0) a.instructions = instructions_;
+      a.best_mode = std::max(a.best_mode, mode_);
+    }
+    cache_->OnBytesChanged(*entry_, delta);
+    cache_->CountPublish();
+    return Status::kDone;
+  }
+
+ private:
+  ArtifactCache* cache_;
+  std::shared_ptr<CacheEntry> entry_;
+  size_t pipeline_;
+  ExecMode mode_;
+  std::shared_ptr<CachedCode> code_;
+  std::vector<uint64_t> constants_;
+  std::vector<DataType> column_types_;
+  uint64_t instructions_;
+};
+
+/// Shares `bc` when its resolved dispatch already matches `want`, clones
+/// otherwise — cached programs are immutable while queries execute them.
+std::shared_ptr<const BcProgram> ProgramForDispatch(
+    std::shared_ptr<const BcProgram> bc, VmDispatch want) {
+  if (VmResolveDispatch(want) == VmResolveDispatch(bc->dispatch)) return bc;
+  auto copy = std::make_shared<BcProgram>(*bc);
+  copy->dispatch = want;
+  return copy;
+}
+
 /// One query in flight: a task that executes one QueryProgram stage per
 /// slice and yields between stages, so concurrent queries sharing a worker
 /// interleave. Stage state lives in this object, not on any thread — a
@@ -127,14 +222,36 @@ namespace {
 /// included).
 class QueryJob : public Task {
  public:
-  QueryJob(const Catalog* catalog, TaskScheduler* sched,
-           const QueryProgram& program, const QueryRunOptions& options,
-           std::function<void()> on_finished)
+  QueryJob(const Catalog* catalog, TaskScheduler* sched, ArtifactCache* cache,
+           const CostModelParams* calibrated, const QueryProgram& program,
+           const QueryRunOptions& options, std::function<void()> on_finished)
       : sched_(sched),
+        cache_(cache),
         program_(&program),
         options_(options),
         ctx_(program.MakeContext(catalog)),
-        on_finished_(std::move(on_finished)) {}
+        on_finished_(std::move(on_finished)) {
+    // Cost-model micro-calibration (AQE_CALIBRATE): substitute measured
+    // speedups when the caller left the cost model at its defaults.
+    if (calibrated != nullptr && options_.cost_model == CostModelParams{}) {
+      options_.cost_model = *calibrated;
+    }
+    if (options_.engine == EngineKind::kCompiled &&
+        options_.use_artifact_cache && !program.pipelines().empty()) {
+      // Fingerprint on the submitting thread: cheap (a hash walk over the
+      // plan), and it makes the entry visible before any stage runs.
+      fingerprint_ = FingerprintProgram(program);
+      entry_ = cache_->Intern(
+          ArtifactCacheKey(fingerprint_, options_.translator),
+          program.pipelines().size(), program.name());
+      // A 64-bit key collision between different plans would alias their
+      // artifacts; name/shape mismatch downgrades to uncached execution.
+      if (entry_->pipelines.size() != program.pipelines().size() ||
+          entry_->plan_name != program.name()) {
+        entry_.reset();
+      }
+    }
+  }
 
   std::future<QueryRunResult> GetFuture() { return promise_.get_future(); }
 
@@ -154,14 +271,22 @@ class QueryJob : public Task {
 
  private:
   void RunStage(const QueryProgram::Stage& stage);
+  void RunCompiledPipeline(const QueryProgram::Stage& stage,
+                           const PipelineSpec& spec,
+                           const PipelineBindings& bindings,
+                           PipelineReport report);
 
   TaskScheduler* sched_;
+  ArtifactCache* cache_;
   const QueryProgram* program_;
   QueryRunOptions options_;
   std::unique_ptr<QueryContext> ctx_;
-  /// Keeps compiled modules alive until the query finishes; pushed from
-  /// compile tasks on any worker.
-  std::vector<std::unique_ptr<CompiledModule>> keepalive_;
+  PlanFingerprint fingerprint_;
+  std::shared_ptr<CacheEntry> entry_;  ///< null when the cache is bypassed
+  /// Keeps compiled code alive until the query finishes; pushed from
+  /// compile tasks on any worker. Shared with the cache, so LRU eviction
+  /// mid-query cannot free code this query still executes.
+  std::vector<std::shared_ptr<CachedCode>> keepalive_;
   std::mutex keepalive_mutex_;
   QueryRunResult result_;
   size_t stage_index_ = 0;
@@ -176,7 +301,9 @@ void QueryJob::RunStage(const QueryProgram::Stage& stage) {
   const RuntimeRegistry& registry = RuntimeRegistry::Global();
 
   if (stage.pipeline < 0) {
+    Timer timer;
     stage.step(ctx_.get());
+    result_.exec_seconds_total += timer.ElapsedSeconds();
     return;
   }
   const PipelineSpec& spec =
@@ -191,6 +318,8 @@ void QueryJob::RunStage(const QueryProgram::Stage& stage) {
     Timer timer;
     RunPipelineVolcano(program, spec, ctx_.get());
     report.exec_seconds = timer.ElapsedSeconds();
+    report.exec_only_seconds = report.exec_seconds;
+    result_.exec_seconds_total += report.exec_only_seconds;
     result_.pipelines.push_back(std::move(report));
     return;
   }
@@ -198,62 +327,229 @@ void QueryJob::RunStage(const QueryProgram::Stage& stage) {
     Timer timer;
     RunPipelineVectorized(program, spec, ctx_.get());
     report.exec_seconds = timer.ElapsedSeconds();
+    report.exec_only_seconds = report.exec_seconds;
+    result_.exec_seconds_total += report.exec_only_seconds;
     result_.pipelines.push_back(std::move(report));
     return;
   }
 
-  // Engines below need generated IR.
-  GeneratedPipeline generated = GeneratePipeline(spec, bindings);
-  report.instructions = generated.instructions;
-  report.codegen_millis = generated.codegen_millis;
-  result_.codegen_millis_total += generated.codegen_millis;
-
   if (options.engine == EngineKind::kNaiveIr) {
     // Fig 2's "LLVM IR" mode: interpret the IR objects directly,
     // single-threaded, morsel by morsel.
+    ValidatePipelineBindings(spec, bindings);
+    std::vector<uint64_t> binding_values = bindings.Pack();
+    GeneratedPipeline generated = GeneratePipeline(spec, bindings);
+    report.instructions = generated.instructions;
+    report.codegen_millis = generated.codegen_millis;
+    result_.codegen_millis_total += generated.codegen_millis;
     const llvm::Function* fn = generated.mod->module().getFunction("worker");
     Timer timer;
     MorselQueue queue(report.tuples);
     MorselRange morsel;
     while (queue.Next(&morsel)) {
-      uint64_t args[4] = {0, morsel.begin, morsel.end, 0};
+      uint64_t args[4] = {reinterpret_cast<uint64_t>(binding_values.data()),
+                          morsel.begin, morsel.end, 0};
       NaiveIrInterpret(*fn, args, 4, registry);
     }
     report.exec_seconds = timer.ElapsedSeconds();
+    report.exec_only_seconds = report.exec_seconds;
+    result_.exec_seconds_total += report.exec_only_seconds;
     result_.pipelines.push_back(std::move(report));
     return;
   }
 
   AQE_CHECK(options.engine == EngineKind::kCompiled);
+  RunCompiledPipeline(stage, spec, bindings, std::move(report));
+}
 
-  // Bytecode translation (skipped when machine code is compiled up
-  // front — the static modes never touch the interpreter).
+void QueryJob::RunCompiledPipeline(const QueryProgram::Stage& stage,
+                                   const PipelineSpec& spec,
+                                   const PipelineBindings& bindings,
+                                   PipelineReport report) {
+  const QueryRunOptions& options = options_;
+  const RuntimeRegistry& registry = RuntimeRegistry::Global();
+  const auto p = static_cast<size_t>(stage.pipeline);
+
+  // The worker reads every runtime address out of this packed binding
+  // array (its `state` argument); it must outlive the pipeline run.
+  ValidatePipelineBindings(spec, bindings);
+  std::vector<uint64_t> binding_values = bindings.Pack();
+
   const bool needs_bytecode =
       options.strategy == ExecutionStrategy::kBytecode ||
       options.strategy == ExecutionStrategy::kAdaptive;
-  BcProgram bytecode;
-  if (needs_bytecode) {
+
+  // --- artifact-cache lookup ----------------------------------------------
+  // Snapshot this pipeline's artifacts under the entry lock; shared_ptrs
+  // keep everything alive regardless of concurrent publishes or eviction.
+  PipelineArtifact snap;
+  std::vector<uint64_t> my_constants;
+  if (entry_ != nullptr) {
+    const auto [cb, ce] = fingerprint_.pipeline_constants[p];
+    my_constants.assign(fingerprint_.constants.begin() + cb,
+                        fingerprint_.constants.begin() + ce);
+    std::lock_guard<std::mutex> lock(entry_->mu);
+    const PipelineArtifact& a = entry_->pipelines[p];
+    snap.bytecode = a.bytecode;
+    snap.bytecode_constants = a.bytecode_constants;
+    snap.patchable = a.patchable;
+    snap.patch_slots = a.patch_slots;
+    snap.column_types = a.column_types;
+    snap.instructions = a.instructions;
+    snap.code_constants = a.code_constants;
+    snap.unopt = a.unopt;
+    snap.opt = a.opt;
+  }
+  // Column types are the one plan property only knowable at bind time
+  // (temp-table schemas); artifacts recorded under other types don't fit.
+  const bool types_fit =
+      entry_ != nullptr &&
+      (snap.column_types.empty() || snap.column_types == bindings.column_types);
+
+  // Bytecode: exact-constant hits share the cached program, literal-only
+  // variants clone it and patch the constant pool.
+  std::shared_ptr<const BcProgram> bytecode;
+  if (needs_bytecode && types_fit && snap.bytecode != nullptr) {
+    if (snap.bytecode_constants == my_constants) {
+      bytecode = ProgramForDispatch(snap.bytecode, options.vm_dispatch);
+      cache_->CountBytecodeHit(/*patched=*/false);
+    } else if (snap.patchable) {
+      // Pinned constants (0/1, interned duplicates) have no private pool
+      // slot; the variant must agree on them to patch-share.
+      bool pins_match = true;
+      for (size_t k = 0; k < my_constants.size(); ++k) {
+        if (snap.patch_slots[k] == ConstantPatchTable::kPinned &&
+            my_constants[k] != snap.bytecode_constants[k]) {
+          pins_match = false;
+          break;
+        }
+      }
+      if (pins_match) {
+        auto patched = std::make_shared<BcProgram>(*snap.bytecode);
+        for (size_t k = 0; k < my_constants.size(); ++k) {
+          if (snap.patch_slots[k] == ConstantPatchTable::kPinned) continue;
+          patched->constant_pool[snap.patch_slots[k]].value = my_constants[k];
+        }
+        patched->dispatch = options.vm_dispatch;
+        bytecode = std::move(patched);
+        cache_->CountBytecodeHit(/*patched=*/true);
+      }
+    }
+  }
+  if (bytecode != nullptr) report.artifact_cache_hit = true;
+
+  // Machine code is only reusable for the exact literals it embeds.
+  std::shared_ptr<CachedCode> seed_code;
+  ExecMode seed_mode = ExecMode::kBytecode;
+  if (types_fit && snap.code_constants == my_constants) {
+    if (options.strategy == ExecutionStrategy::kAdaptive) {
+      // Start straight in the best mode this plan ever reached.
+      if (snap.opt != nullptr) {
+        seed_code = snap.opt;
+        seed_mode = ExecMode::kOptimized;
+      } else if (snap.unopt != nullptr) {
+        seed_code = snap.unopt;
+        seed_mode = ExecMode::kUnoptimized;
+      }
+    } else if (options.strategy == ExecutionStrategy::kUnoptimized &&
+               snap.unopt != nullptr) {
+      seed_code = snap.unopt;
+      seed_mode = ExecMode::kUnoptimized;
+    } else if (options.strategy == ExecutionStrategy::kOptimized &&
+               snap.opt != nullptr) {
+      seed_code = snap.opt;
+      seed_mode = ExecMode::kOptimized;
+    }
+  }
+
+  // --- code generation / translation (cache misses only) ------------------
+  uint64_t instructions = snap.instructions;
+  GeneratedPipeline generated;  // .mod stays null when cached artifacts hit
+  const bool need_translation = needs_bytecode && bytecode == nullptr;
+  const bool static_strategy_covered =
+      !needs_bytecode && seed_code != nullptr;
+  if (need_translation || (!needs_bytecode && !static_strategy_covered)) {
+    generated = GeneratePipeline(spec, bindings);
+    instructions = generated.instructions;
+    report.codegen_millis = generated.codegen_millis;
+    result_.codegen_millis_total += generated.codegen_millis;
+  }
+  report.instructions = instructions;
+
+  if (need_translation) {
     Timer timer;
-    bytecode = TranslateToBytecode(
+    auto fresh = std::make_shared<BcProgram>(TranslateToBytecode(
         *generated.mod->module().getFunction("worker"), registry,
-        options.translator);
-    bytecode.dispatch = options.vm_dispatch;
+        options.translator));
     report.translate_millis = timer.ElapsedMillis();
-    report.register_file_bytes = bytecode.register_file_size;
     result_.translate_millis_total += report.translate_millis;
+
+    if (entry_ != nullptr) {
+      cache_->CountBytecodeMiss();
+      // Skip the (codegen + translation sized) patch-table build when the
+      // publish below is bound to be discarded — e.g. a variant whose
+      // pinned constants mismatch re-translates every run, and must not
+      // also pay the sentinel pass every run. A benign race just wastes
+      // one patch-table build.
+      bool worth_publishing;
+      {
+        std::lock_guard<std::mutex> lock(entry_->mu);
+        const PipelineArtifact& a = entry_->pipelines[p];
+        worth_publishing =
+            a.bytecode == nullptr &&
+            (a.column_types.empty() ||
+             a.column_types == bindings.column_types);
+      }
+      int64_t delta = 0;
+      if (worth_publishing) {
+        // Publish position-independently (dispatch stays kDefault) with
+        // the constant-patch table that lets literal variants reuse it.
+        ConstantPatchTable patch = BuildConstantPatchTable(
+            *fresh, spec, bindings, registry, options.translator,
+            fingerprint_.constants, fingerprint_.pipeline_constants[p].first,
+            fingerprint_.pipeline_constants[p].second);
+        std::lock_guard<std::mutex> lock(entry_->mu);
+        PipelineArtifact& a = entry_->pipelines[p];
+        if (a.bytecode == nullptr &&
+            (a.column_types.empty() ||
+             a.column_types == bindings.column_types)) {
+          a.bytecode = fresh;
+          a.bytecode_constants = my_constants;
+          a.patchable = patch.patchable;
+          a.patch_slots = std::move(patch.pool_indices);
+          a.column_types = bindings.column_types;
+          if (a.instructions == 0) a.instructions = instructions;
+          delta = static_cast<int64_t>(BcProgramBytes(*fresh));
+        }
+      }
+      if (delta != 0) {
+        cache_->OnBytesChanged(*entry_, delta);
+        cache_->CountPublish();
+      }
+    }
+    bytecode = ProgramForDispatch(std::move(fresh), options.vm_dispatch);
+  }
+  if (bytecode != nullptr) {
+    report.register_file_bytes = bytecode->register_file_size;
   }
 
   FunctionHandle handle(
-      needs_bytecode ? &VmWorkerTrampoline : &NeverCalledWorker,
-      needs_bytecode ? static_cast<const void*>(&bytecode) : &bytecode);
+      bytecode != nullptr ? &VmWorkerTrampoline : &NeverCalledWorker,
+      static_cast<const void*>(bytecode.get()));
+  if (seed_code != nullptr) {
+    handle.SetCompiled(seed_code->fn, seed_mode);
+    cache_->CountCodeHit();
+    report.artifact_cache_hit = true;
+  }
+  report.initial_mode = handle.mode();
 
   PipelineTask task;
   task.handle = &handle;
-  task.state = nullptr;  // everything is embedded in the generated code
+  task.state = binding_values.data();
   task.total_tuples = report.tuples;
-  task.function_instructions = generated.instructions;
+  task.function_instructions = instructions;
   task.pipeline_id = stage.pipeline;
-  task.compile = [&](ExecMode mode) -> WorkerFn {
+  task.compile = [&, this](ExecMode mode) -> WorkerFn {
     // Regenerate IR (codegen is ~100x cheaper than machine-code
     // generation, Fig 1) so each compilation owns its LLVMContext —
     // required because adaptive compilation runs on a worker thread.
@@ -265,8 +561,21 @@ void QueryJob::RunStage(const QueryProgram::Stage& stage) {
                    registry);
     auto* fn = reinterpret_cast<WorkerFn>(compiled->Lookup("worker"));
     AQE_CHECK(fn != nullptr);
-    std::lock_guard<std::mutex> lock(keepalive_mutex_);
-    keepalive_.push_back(std::move(compiled));
+    auto code = std::make_shared<CachedCode>();
+    code->approx_bytes = compiled->approx_code_bytes();
+    code->module = std::move(compiled);
+    code->fn = fn;
+    {
+      std::lock_guard<std::mutex> lock(keepalive_mutex_);
+      keepalive_.push_back(code);
+    }
+    if (entry_ != nullptr) {
+      // Write-back happens off the critical path, as a low-priority task.
+      sched_->Submit(std::make_unique<CachePublishTask>(
+                         cache_, entry_, p, mode, std::move(code),
+                         my_constants, bindings.column_types, fresh.instructions),
+                     TaskPriority::kLow);
+    }
     return fn;
   };
 
@@ -277,10 +586,22 @@ void QueryJob::RunStage(const QueryProgram::Stage& stage) {
       options.adaptive_first_eval_seconds);
   PipelineRunStats stats = runner.Run(task);
   report.exec_seconds = stats.total_seconds;
+  report.exec_only_seconds =
+      stats.total_seconds - stats.blocking_compile_seconds;
+  result_.exec_seconds_total += report.exec_only_seconds;
   report.final_mode = stats.final_mode;
   report.compiles = stats.compiles;
   for (const auto& [mode, seconds] : stats.compiles) {
     result_.compile_millis_total += seconds * 1e3;
+  }
+
+  if (entry_ != nullptr) {
+    // Observed morsel stats: what the plan achieved on this run.
+    std::lock_guard<std::mutex> lock(entry_->mu);
+    PipelineArtifact& a = entry_->pipelines[p];
+    a.best_mode = std::max(a.best_mode, stats.final_mode);
+    a.observed_tuples = report.tuples;
+    a.observed_seconds = report.exec_only_seconds;
   }
   result_.pipelines.push_back(std::move(report));
 }
@@ -303,11 +624,24 @@ std::future<QueryRunResult> QueryEngine::Submit(
     const QueryProgram& program, const QueryRunOptions& options) {
   Impl* impl = impl_.get();
   auto job = std::make_unique<QueryJob>(
-      impl->catalog, &impl->sched, program, options,
+      impl->catalog, &impl->sched, &impl->cache,
+      impl->use_calibrated ? &impl->calibrated : nullptr, program, options,
       [impl] { impl->OnQueryFinished(); });
   std::future<QueryRunResult> future = job->GetFuture();
   impl_->Admit(std::move(job));
   return future;
+}
+
+ArtifactCacheStats QueryEngine::artifact_cache_stats() const {
+  return impl_->cache.stats();
+}
+
+const ArtifactCache& QueryEngine::artifact_cache() const {
+  return impl_->cache;
+}
+
+void QueryEngine::set_artifact_cache_byte_budget(uint64_t bytes) {
+  impl_->cache.set_byte_budget(bytes);
 }
 
 QueryRunResult QueryEngine::Run(const QueryProgram& program,

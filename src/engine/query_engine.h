@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "adaptive/controller.h"
+#include "cache/artifact_cache.h"
 #include "exec/trace.h"
 #include "plan/plan.h"
 #include "vm/translator.h"
@@ -41,6 +42,10 @@ struct QueryRunOptions {
   /// First adaptive cost-model evaluation happens this long after pipeline
   /// start (paper: 1 ms). Tests lower it to force early mode switches.
   double adaptive_first_eval_seconds = 1e-3;
+  /// Consult the engine's plan-keyed artifact cache before translating /
+  /// compiling, and publish artifacts back (kCompiled only). Benches that
+  /// measure cold compilation costs switch it off.
+  bool use_artifact_cache = true;
 };
 
 /// Per-pipeline execution report.
@@ -52,7 +57,14 @@ struct PipelineReport {
   double translate_millis = 0;     ///< bytecode translation (§IV-B)
   uint32_t register_file_bytes = 0;
   double exec_seconds = 0;         ///< pipeline wall time (incl. switches)
+  /// exec_seconds minus compile time that blocked the pipeline's controller
+  /// thread — pure execution, comparable between cold runs and cache hits.
+  double exec_only_seconds = 0;
+  /// Mode of the first morsel: kBytecode on a cold adaptive start, the best
+  /// cached mode when the artifact cache seeded the pipeline's handle.
+  ExecMode initial_mode = ExecMode::kBytecode;
   ExecMode final_mode = ExecMode::kBytecode;
+  bool artifact_cache_hit = false;  ///< bytecode or machine code reused
   std::vector<std::pair<ExecMode, double>> compiles;  ///< mode switches
 };
 
@@ -63,6 +75,10 @@ struct QueryRunResult {
   double codegen_millis_total = 0;
   double translate_millis_total = 0;
   double compile_millis_total = 0;  ///< machine-code generation
+  /// Pure execution: pipeline run time (minus controller-blocking compiles)
+  /// plus engine steps. Translation/compilation are reported separately
+  /// above — on a warm artifact-cache hit they are ~0 while this stays.
+  double exec_seconds_total = 0;
 };
 
 /// Per-pipeline compilation-cost measurements (Table I / Fig 6 / Fig 15),
@@ -112,6 +128,20 @@ class QueryEngine {
   /// Caps concurrently executing queries (admission control). Default:
   /// max(2, 2 * num_threads). Thread-safe; affects queries submitted later.
   void set_max_concurrent_queries(int max_queries);
+
+  /// Counters and resident footprint of the plan-keyed artifact cache
+  /// (hits/misses/evictions; see src/cache/DESIGN.md). Thread-safe.
+  ArtifactCacheStats artifact_cache_stats() const;
+
+  /// Read-only view of the artifact cache for introspection: Peek entries
+  /// by ArtifactCacheKey (cache/fingerprint.h) to inspect per-pipeline
+  /// artifacts, best modes and observed morsel stats.
+  const ArtifactCache& artifact_cache() const;
+
+  /// LRU byte budget of the artifact cache (default 256 MiB). Shrinking it
+  /// evicts immediately; queries mid-flight keep their artifacts alive via
+  /// shared ownership. Thread-safe.
+  void set_artifact_cache_byte_budget(uint64_t bytes);
 
   /// Measures code generation / bytecode translation / machine-code
   /// compilation costs for every pipeline of `program`. `measure_jit`

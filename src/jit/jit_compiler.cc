@@ -45,10 +45,12 @@ void RunOptimizationPasses(llvm::Module* module) {
 class OrcCompiledModule : public CompiledModule {
  public:
   OrcCompiledModule(std::unique_ptr<llvm::orc::LLJIT> jit,
-                    double ir_pass_millis, double codegen_millis)
+                    double ir_pass_millis, double codegen_millis,
+                    uint64_t approx_code_bytes)
       : jit_(std::move(jit)),
         ir_pass_millis_(ir_pass_millis),
-        codegen_millis_(codegen_millis) {}
+        codegen_millis_(codegen_millis),
+        approx_code_bytes_(approx_code_bytes) {}
 
   void* Lookup(const std::string& name) override {
     auto sym = jit_->lookup(name);
@@ -61,11 +63,13 @@ class OrcCompiledModule : public CompiledModule {
 
   double ir_pass_millis() const override { return ir_pass_millis_; }
   double codegen_millis() const override { return codegen_millis_; }
+  uint64_t approx_code_bytes() const override { return approx_code_bytes_; }
 
  private:
   std::unique_ptr<llvm::orc::LLJIT> jit_;
   double ir_pass_millis_;
   double codegen_millis_;
+  uint64_t approx_code_bytes_;
 };
 
 }  // namespace
@@ -91,11 +95,18 @@ std::unique_ptr<CompiledModule> JitCompile(IrModule mod, JitMode mode,
     ir_pass_millis = timer.ElapsedMillis();
   }
 
-  // Collect the function names to compile eagerly after setup.
+  // Collect the function names to compile eagerly after setup, and the
+  // post-optimization IR size the code-footprint estimate is based on
+  // (roughly 16 bytes of machine code + allocator overhead per IR
+  // instruction on x86-64; an estimate is all the byte budget needs).
   std::vector<std::string> function_names;
+  uint64_t ir_instructions = 0;
   for (const llvm::Function& fn : mod.module()) {
-    if (!fn.isDeclaration()) function_names.push_back(fn.getName().str());
+    if (fn.isDeclaration()) continue;
+    function_names.push_back(fn.getName().str());
+    for (const llvm::BasicBlock& block : fn) ir_instructions += block.size();
   }
+  const uint64_t approx_code_bytes = 4096 + ir_instructions * 16;
 
   Timer codegen_timer;
   auto jtmb = llvm::orc::JITTargetMachineBuilder::detectHost();
@@ -135,7 +146,8 @@ std::unique_ptr<CompiledModule> JitCompile(IrModule mod, JitMode mode,
   double codegen_millis = codegen_timer.ElapsedMillis();
 
   return std::make_unique<OrcCompiledModule>(std::move(jit), ir_pass_millis,
-                                             codegen_millis);
+                                             codegen_millis,
+                                             approx_code_bytes);
 }
 
 }  // namespace aqe

@@ -33,6 +33,10 @@ class CompiledModule {
   virtual double ir_pass_millis() const = 0;
   /// Time spent generating machine code (ms).
   virtual double codegen_millis() const = 0;
+  /// Estimated resident footprint of the compiled code (machine code +
+  /// JIT bookkeeping), derived from the compiled IR size. The artifact
+  /// cache charges this against its byte budget.
+  virtual uint64_t approx_code_bytes() const = 0;
 };
 
 /// Compiles `mod` (consumed) to machine code. Runtime functions registered

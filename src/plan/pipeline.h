@@ -72,6 +72,10 @@ struct PipelineSpec {
 std::vector<ExprType> ComputeSlotTypes(const PipelineSpec& spec,
                                        const std::vector<DataType>& column_types);
 
+/// Deep copy of a pipeline spec (expression trees cloned). Used by the plan
+/// fingerprint's sentinel translation (src/cache/).
+PipelineSpec ClonePipelineSpec(const PipelineSpec& spec);
+
 }  // namespace aqe
 
 #endif  // AQE_PLAN_PIPELINE_H_

@@ -86,6 +86,23 @@ class QueryProgram {
   uint32_t join_payload_slots(int id) const {
     return join_payload_slots_[static_cast<size_t>(id)];
   }
+  int num_agg_sets() const { return static_cast<int>(agg_decls_.size()); }
+  int num_outputs() const { return static_cast<int>(output_slots_.size()); }
+  /// Predicate bitmaps in AddBitmap order (their index is the bitmap's slot
+  /// in the worker binding array; plan fingerprinting hashes the index, not
+  /// the address).
+  const std::vector<std::unique_ptr<std::vector<uint8_t>>>& bitmaps() const {
+    return bitmaps_;
+  }
+  struct TableDeclView {
+    const std::string* base_name;  ///< nullptr for temps
+    int temp_index;
+  };
+  TableDeclView table_decl(int id) const {
+    const TableDecl& decl = tables_[static_cast<size_t>(id)];
+    return {decl.temp_index >= 0 ? nullptr : &decl.base_name,
+            decl.temp_index};
+  }
 
  private:
   std::string name_;

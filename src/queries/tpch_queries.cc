@@ -161,7 +161,7 @@ QueryProgram BuildQ1(const Catalog& cat) {
 // =============================================================================
 // Q6: forecasting revenue change. 1 pipeline, highly selective filter.
 // =============================================================================
-QueryProgram BuildQ6(const Catalog& cat) {
+QueryProgram BuildQ6Impl(const Catalog& cat, const TpchQ6Literals& lit) {
   QueryProgram q("q6");
   int lineitem = q.DeclareBaseTable("lineitem");
   enum { kShipDate, kDisc, kQty, kPrice };
@@ -175,10 +175,11 @@ QueryProgram BuildQ6(const Catalog& cat) {
       Col(cat, "lineitem", "l_extendedprice"),
   };
   scan.ops.push_back(OpFilter{And(
-      And(Ge(Slot(kShipDate), I64(DateToDays(1994, 1, 1))),
-          Lt(Slot(kShipDate), I64(DateToDays(1995, 1, 1)))),
-      And(And(Ge(Slot(kDisc), I64(5)), Le(Slot(kDisc), I64(7))),
-          Lt(Slot(kQty), I64(2400))))});
+      And(Ge(Slot(kShipDate), I64(lit.ship_date_lo)),
+          Lt(Slot(kShipDate), I64(lit.ship_date_hi))),
+      And(And(Ge(Slot(kDisc), I64(lit.discount_lo)),
+              Le(Slot(kDisc), I64(lit.discount_hi))),
+          Lt(Slot(kQty), I64(lit.quantity_limit))))});
 
   std::vector<AggItem> items;
   items.push_back(
@@ -200,6 +201,10 @@ QueryProgram BuildQ6(const Catalog& cat) {
     ctx->result.push_back({revenue});
   });
   return q;
+}
+
+QueryProgram BuildQ6(const Catalog& cat) {
+  return BuildQ6Impl(cat, DefaultQ6Literals());
 }
 
 // =============================================================================
@@ -1333,6 +1338,15 @@ const std::vector<int>& ImplementedTpchQueries() {
   static const std::vector<int> kQueries = {1, 3, 4,  5,  6,  7, 9,
                                             10, 11, 12, 14, 18, 19};
   return kQueries;
+}
+
+TpchQ6Literals DefaultQ6Literals() {
+  return {DateToDays(1994, 1, 1), DateToDays(1995, 1, 1), 5, 7, 2400};
+}
+
+QueryProgram BuildTpchQ6Variant(const Catalog& catalog,
+                                const TpchQ6Literals& literals) {
+  return BuildQ6Impl(catalog, literals);
 }
 
 }  // namespace aqe

@@ -17,6 +17,26 @@ QueryProgram BuildTpchQuery(int number, const Catalog& catalog);
 /// The implemented query numbers, ascending.
 const std::vector<int>& ImplementedTpchQueries();
 
+/// The literals of TPC-H Q6's filter. Variants that differ only here share
+/// a plan fingerprint (and, via the constant-patch table, cached bytecode)
+/// with the standard Q6 — the repeated-query workload's parameterized
+/// query.
+struct TpchQ6Literals {
+  int64_t ship_date_lo;  ///< days since 1970-01-01, inclusive
+  int64_t ship_date_hi;  ///< exclusive
+  int64_t discount_lo;   ///< hundredths, inclusive
+  int64_t discount_hi;   ///< inclusive
+  int64_t quantity_limit;  ///< hundredths, exclusive
+};
+
+/// The standard Q6 parameters (1994, discount 5..7, quantity < 24).
+TpchQ6Literals DefaultQ6Literals();
+
+/// Q6 with substituted literals; BuildTpchQuery(6, ...) ==
+/// BuildTpchQ6Variant(catalog, DefaultQ6Literals()).
+QueryProgram BuildTpchQ6Variant(const Catalog& catalog,
+                                const TpchQ6Literals& literals);
+
 }  // namespace aqe
 
 #endif  // AQE_QUERIES_TPCH_QUERIES_H_

@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "cache/fingerprint.h"
+#include "engine/query_engine.h"
+#include "queries/tpch_queries.h"
+#include "tpch/tpch_gen.h"
+
+namespace aqe {
+namespace {
+
+/// All cache tests share one SF-0.01 TPC-H database; engines are created
+/// per test so every test sees a cold cache with deterministic counters.
+class CacheTest : public ::testing::Test {
+ protected:
+  static Catalog& catalog() {
+    static Catalog* c = [] {
+      auto* catalog = new Catalog();
+      tpch::BuildTpchDatabase(catalog, /*sf=*/0.01);
+      return catalog;
+    }();
+    return *c;
+  }
+
+  /// Reference rows with the artifact cache bypassed.
+  static std::vector<std::vector<int64_t>> Uncached(
+      QueryEngine* engine, const QueryProgram& q,
+      ExecutionStrategy strategy = ExecutionStrategy::kBytecode) {
+    QueryRunOptions options;
+    options.strategy = strategy;
+    options.use_artifact_cache = false;
+    return engine->Run(q, options).rows;
+  }
+
+  /// The publish path is a low-priority scheduler task; wait for it.
+  static bool WaitForPublishes(QueryEngine* engine, uint64_t n) {
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (engine->artifact_cache_stats().publishes < n) {
+      if (std::chrono::steady_clock::now() > deadline) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return true;
+  }
+
+  static TpchQ6Literals VariantLiterals() {
+    TpchQ6Literals lit = DefaultQ6Literals();
+    lit.ship_date_lo += 31;
+    lit.ship_date_hi += 61;
+    lit.discount_lo = 4;
+    lit.discount_hi = 8;
+    lit.quantity_limit = 3000;
+    return lit;
+  }
+};
+
+// --- fingerprinting ---------------------------------------------------------
+
+TEST_F(CacheTest, RebuiltPlansFingerprintEqual) {
+  for (int number : ImplementedTpchQueries()) {
+    QueryProgram a = BuildTpchQuery(number, catalog());
+    QueryProgram b = BuildTpchQuery(number, catalog());
+    PlanFingerprint fa = FingerprintProgram(a);
+    PlanFingerprint fb = FingerprintProgram(b);
+    EXPECT_EQ(fa.structural_hash, fb.structural_hash) << "q" << number;
+    EXPECT_EQ(fa.constants, fb.constants) << "q" << number;
+    EXPECT_EQ(fa.pipeline_constants, fb.pipeline_constants) << "q" << number;
+  }
+}
+
+TEST_F(CacheTest, LiteralVariantsShareStructuralHash) {
+  QueryProgram standard = BuildTpchQuery(6, catalog());
+  QueryProgram variant = BuildTpchQ6Variant(catalog(), VariantLiterals());
+  PlanFingerprint fs = FingerprintProgram(standard);
+  PlanFingerprint fv = FingerprintProgram(variant);
+  EXPECT_EQ(fs.structural_hash, fv.structural_hash);
+  EXPECT_NE(fs.constants, fv.constants);
+  EXPECT_EQ(fs.constants.size(), fv.constants.size());
+}
+
+TEST_F(CacheTest, StructurallyDifferentPlansCollideFree) {
+  std::set<uint64_t> hashes;
+  for (int number : ImplementedTpchQueries()) {
+    QueryProgram q = BuildTpchQuery(number, catalog());
+    uint64_t h = FingerprintProgram(q).structural_hash;
+    EXPECT_TRUE(hashes.insert(h).second)
+        << "q" << number << " collides with an earlier query";
+  }
+  EXPECT_EQ(hashes.size(), ImplementedTpchQueries().size());
+}
+
+// --- end-to-end reuse -------------------------------------------------------
+
+TEST_F(CacheTest, WarmRunSkipsTranslation) {
+  QueryEngine engine(&catalog(), 2);
+  QueryProgram q = BuildTpchQuery(6, catalog());
+  auto reference = Uncached(&engine, q);
+
+  QueryRunOptions options;
+  options.strategy = ExecutionStrategy::kBytecode;
+
+  QueryProgram cold_q = BuildTpchQuery(6, catalog());
+  QueryRunResult cold = engine.Run(cold_q, options);
+  EXPECT_EQ(cold.rows, reference);
+  EXPECT_GT(cold.translate_millis_total, 0);
+  EXPECT_FALSE(cold.pipelines[0].artifact_cache_hit);
+
+  QueryProgram warm_q = BuildTpchQuery(6, catalog());
+  QueryRunResult warm = engine.Run(warm_q, options);
+  EXPECT_EQ(warm.rows, reference);
+  EXPECT_EQ(warm.translate_millis_total, 0);
+  EXPECT_EQ(warm.codegen_millis_total, 0);
+  EXPECT_TRUE(warm.pipelines[0].artifact_cache_hit);
+  EXPECT_GT(warm.exec_seconds_total, 0);
+
+  ArtifactCacheStats stats = engine.artifact_cache_stats();
+  EXPECT_GE(stats.entry_hits, 1u);
+  EXPECT_GE(stats.bytecode_hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+
+  // The entry records what the plan achieved (observed morsel stats).
+  auto entry = engine.artifact_cache().Peek(
+      ArtifactCacheKey(FingerprintProgram(q), options.translator));
+  ASSERT_NE(entry, nullptr);
+  std::lock_guard<std::mutex> lock(entry->mu);
+  EXPECT_EQ(entry->pipelines[0].observed_tuples, warm.pipelines[0].tuples);
+  EXPECT_GT(entry->pipelines[0].observed_seconds, 0);
+  EXPECT_EQ(entry->pipelines[0].best_mode, ExecMode::kBytecode);
+}
+
+TEST_F(CacheTest, AdaptiveSeedsBestCachedMode) {
+  QueryEngine engine(&catalog(), 2);
+  QueryProgram q = BuildTpchQuery(6, catalog());
+  auto reference = Uncached(&engine, q);
+
+  // Force the adaptive controller to reach optimized code on the cold run:
+  // free compilation with a huge modeled speedup.
+  QueryRunOptions options;
+  options.strategy = ExecutionStrategy::kAdaptive;
+  options.single_threaded = true;
+  options.adaptive_first_eval_seconds = 0;
+  options.cost_model.unopt_base_seconds = 0;
+  options.cost_model.unopt_per_instruction_seconds = 0;
+  options.cost_model.opt_base_seconds = 0;
+  options.cost_model.opt_per_instruction_seconds = 0;
+  options.cost_model.unopt_speedup = 1.01;
+  options.cost_model.opt_speedup = 100.0;
+
+  QueryProgram cold_q = BuildTpchQuery(6, catalog());
+  QueryRunResult cold = engine.Run(cold_q, options);
+  EXPECT_EQ(cold.rows, reference);
+  EXPECT_EQ(cold.pipelines[0].initial_mode, ExecMode::kBytecode);
+  ASSERT_FALSE(cold.pipelines[0].compiles.empty());
+  // Bytecode insert + compiled-code publish.
+  ASSERT_TRUE(WaitForPublishes(&engine, 2));
+
+  QueryProgram warm_q = BuildTpchQuery(6, catalog());
+  QueryRunResult warm = engine.Run(warm_q, options);
+  EXPECT_EQ(warm.rows, reference);
+  // The acceptance shape: no translation, first morsel already runs the
+  // best mode the plan ever reached, no recompilation.
+  EXPECT_EQ(warm.translate_millis_total, 0);
+  EXPECT_EQ(warm.pipelines[0].initial_mode, ExecMode::kOptimized);
+  EXPECT_EQ(warm.pipelines[0].final_mode, ExecMode::kOptimized);
+  EXPECT_TRUE(warm.pipelines[0].compiles.empty());
+  EXPECT_GE(engine.artifact_cache_stats().code_hits, 1u);
+}
+
+TEST_F(CacheTest, LiteralVariantPatchesBytecode) {
+  QueryEngine engine(&catalog(), 2);
+  QueryProgram variant_ref = BuildTpchQ6Variant(catalog(), VariantLiterals());
+  auto reference = Uncached(&engine, variant_ref);
+
+  QueryRunOptions options;
+  options.strategy = ExecutionStrategy::kBytecode;
+
+  QueryProgram standard = BuildTpchQuery(6, catalog());
+  engine.Run(standard, options);
+
+  QueryProgram variant = BuildTpchQ6Variant(catalog(), VariantLiterals());
+  QueryRunResult warm = engine.Run(variant, options);
+  EXPECT_EQ(warm.rows, reference);
+  EXPECT_EQ(warm.translate_millis_total, 0);
+  EXPECT_TRUE(warm.pipelines[0].artifact_cache_hit);
+
+  ArtifactCacheStats stats = engine.artifact_cache_stats();
+  EXPECT_GE(stats.patched_hits, 1u)
+      << "Q6 literal variant should reuse bytecode via the patch table";
+  // Different results prove the patched constants are live, not stale: the
+  // relaxed variant filter must see at least the standard revenue.
+  auto standard_rows = Uncached(&engine, standard);
+  EXPECT_NE(warm.rows, standard_rows);
+}
+
+TEST_F(CacheTest, CachedStaticModesSkipCompilation) {
+  QueryEngine engine(&catalog(), 2);
+  QueryProgram q = BuildTpchQuery(6, catalog());
+  auto reference = Uncached(&engine, q, ExecutionStrategy::kOptimized);
+
+  QueryRunOptions options;
+  options.strategy = ExecutionStrategy::kOptimized;
+  QueryProgram cold_q = BuildTpchQuery(6, catalog());
+  QueryRunResult cold = engine.Run(cold_q, options);
+  EXPECT_EQ(cold.rows, reference);
+  EXPECT_GT(cold.compile_millis_total, 0);
+  ASSERT_TRUE(WaitForPublishes(&engine, 1));
+
+  QueryProgram warm_q = BuildTpchQuery(6, catalog());
+  QueryRunResult warm = engine.Run(warm_q, options);
+  EXPECT_EQ(warm.rows, reference);
+  EXPECT_EQ(warm.compile_millis_total, 0);
+  EXPECT_EQ(warm.codegen_millis_total, 0);
+  EXPECT_EQ(warm.pipelines[0].initial_mode, ExecMode::kOptimized);
+}
+
+// --- eviction ---------------------------------------------------------------
+
+TEST_F(CacheTest, EvictionUnderByteBudget) {
+  QueryEngine engine(&catalog(), 2);
+  engine.set_artifact_cache_byte_budget(1);  // every shard evicts to 1 entry
+  QueryRunOptions options;
+  options.strategy = ExecutionStrategy::kBytecode;
+
+  for (int number : ImplementedTpchQueries()) {
+    QueryProgram q = BuildTpchQuery(number, catalog());
+    QueryRunResult r = engine.Run(q, options);
+    EXPECT_FALSE(r.rows.empty()) << "q" << number;
+  }
+  ArtifactCacheStats stats = engine.artifact_cache_stats();
+  // 13 plans into 8 shards with a ~0 budget: evictions must have happened
+  // and at most one entry per shard can remain.
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.entries, 8u);
+
+  // An evicted plan misses again but still runs correctly.
+  QueryProgram q1 = BuildTpchQuery(1, catalog());
+  auto reference = Uncached(&engine, q1);
+  QueryProgram q1_again = BuildTpchQuery(1, catalog());
+  EXPECT_EQ(engine.Run(q1_again, options).rows, reference);
+}
+
+TEST_F(CacheTest, ShrinkingBudgetEvictsResidentEntries) {
+  QueryEngine engine(&catalog(), 2);
+  QueryRunOptions options;
+  options.strategy = ExecutionStrategy::kBytecode;
+  const size_t plans = ImplementedTpchQueries().size();
+  for (int number : ImplementedTpchQueries()) {
+    QueryProgram q = BuildTpchQuery(number, catalog());
+    engine.Run(q, options);
+  }
+  EXPECT_EQ(engine.artifact_cache_stats().entries, plans);
+  // 13 plans in 8 shards: after shrinking, each shard keeps only its most
+  // recent entry, so at least plans - 8 evictions must happen.
+  engine.set_artifact_cache_byte_budget(1);
+  ArtifactCacheStats stats = engine.artifact_cache_stats();
+  EXPECT_GE(stats.evictions, plans - 8);
+  EXPECT_LE(stats.entries, 8u);
+}
+
+// --- concurrency ------------------------------------------------------------
+
+/// Concurrent clients share one engine with a budget small enough that
+/// entries are continuously evicted while sibling queries execute them
+/// (shared_ptr ownership is what keeps this safe); literal variants force
+/// the patch path, adaptive switches force publish-vs-hit races. Run under
+/// TSan in CI.
+TEST_F(CacheTest, ConcurrentHitPublishEvictStress) {
+  QueryEngine engine(&catalog(), 3);
+  engine.set_artifact_cache_byte_budget(1 << 16);  // a few entries at most
+
+  QueryProgram ref_q6 = BuildTpchQuery(6, catalog());
+  QueryProgram ref_var = BuildTpchQ6Variant(catalog(), VariantLiterals());
+  QueryProgram ref_q1 = BuildTpchQuery(1, catalog());
+  auto rows_q6 = Uncached(&engine, ref_q6);
+  auto rows_var = Uncached(&engine, ref_var);
+  auto rows_q1 = Uncached(&engine, ref_q1);
+
+  constexpr int kThreads = 4;
+  constexpr int kItersPerThread = 12;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const int pick = (t + i) % 3;
+        QueryProgram q = pick == 0 ? BuildTpchQuery(6, catalog())
+                         : pick == 1
+                             ? BuildTpchQ6Variant(catalog(), VariantLiterals())
+                             : BuildTpchQuery(1, catalog());
+        QueryRunOptions options;
+        options.strategy = ExecutionStrategy::kAdaptive;
+        // Cheap modeled compilation: frequent mode switches and publishes.
+        options.adaptive_first_eval_seconds = 0;
+        options.cost_model.unopt_base_seconds = 0;
+        options.cost_model.unopt_per_instruction_seconds = 0;
+        options.cost_model.opt_base_seconds = 0;
+        options.cost_model.opt_per_instruction_seconds = 0;
+        options.cost_model.opt_speedup = 100.0;
+        QueryRunResult r = engine.Run(q, options);
+        const auto& expect =
+            pick == 0 ? rows_q6 : pick == 1 ? rows_var : rows_q1;
+        if (r.rows != expect) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  ArtifactCacheStats stats = engine.artifact_cache_stats();
+  EXPECT_GT(stats.entry_hits + stats.entry_misses, 0u);
+  EXPECT_GT(stats.publishes, 0u);
+}
+
+}  // namespace
+}  // namespace aqe

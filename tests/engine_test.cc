@@ -177,6 +177,9 @@ TEST_F(EngineTest, ReportsInstrumentation) {
   QueryProgram q = BuildJoinAggQuery();
   QueryRunOptions options;
   options.strategy = ExecutionStrategy::kBytecode;
+  // This test asserts *cold* costs (translation happened, time recorded);
+  // the shared engine's artifact cache would legitimately zero them.
+  options.use_artifact_cache = false;
   QueryRunResult result = engine_->Run(q, options);
   ASSERT_EQ(result.pipelines.size(), 2u);
   EXPECT_EQ(result.pipelines[0].name, "build dim");
@@ -196,13 +199,21 @@ TEST_F(EngineTest, StaticModesReportCompileTimes) {
   QueryProgram q = BuildJoinAggQuery();
   QueryRunOptions options;
   options.strategy = ExecutionStrategy::kOptimized;
+  // Cold costs again: bypass the shared engine's artifact cache.
+  options.use_artifact_cache = false;
   QueryRunResult result = engine_->Run(q, options);
   EXPECT_GT(result.compile_millis_total, 0);
   for (const auto& p : result.pipelines) {
     EXPECT_EQ(p.final_mode, ExecMode::kOptimized);
     ASSERT_EQ(p.compiles.size(), 1u);
     EXPECT_EQ(p.compiles[0].first, ExecMode::kOptimized);
+    // Satellite reporting fix: execution time excludes the blocking
+    // up-front compile, so exec_only < exec and the totals split cleanly.
+    EXPECT_LT(p.exec_only_seconds, p.exec_seconds);
   }
+  EXPECT_GT(result.exec_seconds_total, 0);
+  EXPECT_LT(result.exec_seconds_total,
+            result.total_seconds - result.compile_millis_total / 1e3 + 1e-9);
 }
 
 TEST_F(EngineTest, MeasureCompileCosts) {

@@ -5,6 +5,7 @@
 #include <set>
 #include <thread>
 
+#include "adaptive/calibrate.h"
 #include "adaptive/controller.h"
 #include "adaptive/cost_model.h"
 #include "exec/function_handle.h"
@@ -411,6 +412,25 @@ TEST(PipelineRunnerTest, TraceRecordsMorselsAndCompiles) {
   std::string chart = trace.Render(2, 60);
   EXPECT_NE(chart.find("thread 0"), std::string::npos);
   EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+// --- cost-model micro-calibration -----------------------------------------
+
+TEST(CostModelCalibrationTest, MeasuredSpeedupsAreSaneAndOrdered) {
+  const CostModelParams& params = CalibratedCostModelParams();
+  // Compiled code must beat the interpreter, optimized at least matches
+  // unoptimized, and the clamps bound a mismeasured run.
+  EXPECT_GE(params.unopt_speedup, 1.2);
+  EXPECT_LE(params.unopt_speedup, 30.0);
+  EXPECT_GE(params.opt_speedup, params.unopt_speedup);
+  EXPECT_LE(params.opt_speedup, 50.0);
+  // Compile-time coefficients are not calibrated: defaults stay.
+  CostModelParams defaults;
+  EXPECT_EQ(params.unopt_base_seconds, defaults.unopt_base_seconds);
+  EXPECT_EQ(params.opt_per_instruction_seconds,
+            defaults.opt_per_instruction_seconds);
+  // Memoized: a second call returns the identical measurement.
+  EXPECT_TRUE(params == CalibratedCostModelParams());
 }
 
 }  // namespace
