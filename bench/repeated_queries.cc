@@ -123,6 +123,7 @@ int main(int argc, char** argv) {
 
   // --- warm phase: Zipf-repeated submissions -------------------------------
   std::vector<double> warm_ms;
+  std::vector<double> warm_wait_ms;
   uint64_t warm_runs = 0, warm_no_translate = 0, warm_seeded = 0;
   ZipfSampler zipf(plans.size(), 1.2, 42);
   Timer phase_timer;
@@ -132,6 +133,7 @@ int main(int argc, char** argv) {
     Timer timer;
     QueryRunResult r = engine.Run(q, options);
     warm_ms.push_back(timer.ElapsedMillis());
+    warm_wait_ms.push_back(r.queue_wait_seconds * 1e3);
     ++warm_runs;
     if (r.translate_millis_total == 0 && r.codegen_millis_total == 0) {
       ++warm_no_translate;
@@ -178,11 +180,14 @@ int main(int argc, char** argv) {
                 "\"plans\":%zu,\"cold_p50_ms\":%.3f,\"warm_p50_ms\":%.3f,"
                 "\"warm_p99_ms\":%.3f,\"warm_qps\":%.2f,"
                 "\"warm_runs\":%llu,\"warm_no_translate_frac\":%.4f,"
-                "\"warm_seeded\":%llu,\"warm_speedup_p50\":%.3f}",
+                "\"warm_seeded\":%llu,\"warm_speedup_p50\":%.3f,"
+                "\"warm_queue_wait_p50_ms\":%.3f,"
+                "\"warm_queue_wait_p99_ms\":%.3f}",
                 sf, threads, plans.size(), cold_p50, warm_p50, warm_p99,
                 warm_qps, (unsigned long long)warm_runs, no_translate_frac,
                 (unsigned long long)warm_seeded,
-                warm_p50 > 0 ? cold_p50 / warm_p50 : 0.0);
+                warm_p50 > 0 ? cold_p50 / warm_p50 : 0.0,
+                Percentile(warm_wait_ms, 0.5), Percentile(warm_wait_ms, 0.99));
   EmitJson(line, json_out);
   std::snprintf(line, sizeof(line),
                 "{\"bench\":\"repeated_queries\",\"counters\":{"

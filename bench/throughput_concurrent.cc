@@ -9,12 +9,20 @@
 // aggregate) at AQE_SF. Client counts sweep 1x/2x/4x the engine's worker
 // count (closed loop: each client submits, waits, repeats).
 //
+// `--mixed` instead runs the weighted-fairness harness: long-scan clients
+// in the default class 0 against short-query clients in high-weight class
+// 3, with per-class p50/p99 latency and queue wait emitted as JSON to
+// BENCH_fairness.json. `--smoke` (CI) scales it down and *asserts* that
+// the short class's p99 stays within a multiple of its isolated latency —
+// the resumable-pipeline + weighted-fair-admission acceptance criterion.
+//
 // Emits one machine-readable JSON line per phase (also written to
-// BENCH_throughput_concurrent.json): queries/sec, p50/p99 latency, and the
-// speedup over the serial baseline.
+// BENCH_throughput_concurrent.json / BENCH_fairness.json): queries/sec,
+// p50/p99 latency, queue-wait p50/p99, and the speedup over serial.
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -25,64 +33,87 @@ using namespace aqe;
 
 namespace {
 
+struct Sample {
+  double latency_ms;
+  double queue_wait_ms;
+};
+
 struct PhaseResult {
   int clients = 0;
   uint64_t queries = 0;
   double seconds = 0;
   double p50_ms = 0;
   double p99_ms = 0;
+  double wait_p50_ms = 0;
+  double wait_p99_ms = 0;
 
   double qps() const { return static_cast<double>(queries) / seconds; }
 };
 
-double Percentile(std::vector<double>* latencies_ms, double p) {
-  if (latencies_ms->empty()) return 0;
-  std::sort(latencies_ms->begin(), latencies_ms->end());
-  size_t index = static_cast<size_t>(p * static_cast<double>(
-                                             latencies_ms->size() - 1));
-  return (*latencies_ms)[index];
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  size_t index =
+      static_cast<size_t>(p * static_cast<double>(values.size() - 1));
+  return values[index];
+}
+
+PhaseResult Summarize(const std::vector<std::vector<Sample>>& per_client,
+                      double seconds) {
+  PhaseResult result;
+  result.clients = static_cast<int>(per_client.size());
+  result.seconds = seconds;
+  std::vector<double> latencies, waits;
+  for (const auto& samples : per_client) {
+    result.queries += samples.size();
+    for (const Sample& s : samples) {
+      latencies.push_back(s.latency_ms);
+      waits.push_back(s.queue_wait_ms);
+    }
+  }
+  result.p50_ms = Percentile(latencies, 0.50);
+  result.p99_ms = Percentile(latencies, 0.99);
+  result.wait_p50_ms = Percentile(waits, 0.50);
+  result.wait_p99_ms = Percentile(waits, 0.99);
+  return result;
 }
 
 /// One closed-loop client: build query -> Run -> record latency, until the
-/// shared deadline. Queries alternate Q6/Q1 so both pipeline shapes mix.
+/// shared deadline. `tpch_number` 0 alternates Q6/Q1 per iteration.
 void ClientLoop(QueryEngine* engine, const Catalog* catalog, int client_id,
-                double budget_seconds, std::vector<double>* latencies_ms) {
+                int tpch_number, int query_class, double budget_seconds,
+                std::vector<Sample>* samples) {
   Timer phase_timer;
   int i = 0;
   while (phase_timer.ElapsedSeconds() < budget_seconds) {
-    QueryProgram program =
-        BuildTpchQuery((client_id + i++) % 2 == 0 ? 6 : 1, *catalog);
+    int number = tpch_number != 0
+                     ? tpch_number
+                     : ((client_id + i) % 2 == 0 ? 6 : 1);
+    ++i;
+    QueryProgram program = BuildTpchQuery(number, *catalog);
     QueryRunOptions options;
     options.strategy = ExecutionStrategy::kAdaptive;
+    options.query_class = query_class;
     Timer query_timer;
     QueryRunResult result = engine->Run(program, options);
-    latencies_ms->push_back(query_timer.ElapsedMillis());
+    samples->push_back(
+        {query_timer.ElapsedMillis(), result.queue_wait_seconds * 1e3});
     if (result.rows.empty()) std::abort();  // paranoia: results must exist
   }
 }
 
 PhaseResult RunPhase(QueryEngine* engine, const Catalog* catalog, int clients,
                      double budget_seconds) {
-  std::vector<std::vector<double>> latencies(
-      static_cast<size_t>(clients));
+  std::vector<std::vector<Sample>> samples(static_cast<size_t>(clients));
   std::vector<std::thread> threads;
   Timer timer;
   for (int c = 0; c < clients; ++c) {
-    threads.emplace_back(ClientLoop, engine, catalog, c, budget_seconds,
-                         &latencies[static_cast<size_t>(c)]);
+    threads.emplace_back(ClientLoop, engine, catalog, c, /*tpch_number=*/0,
+                         /*query_class=*/0, budget_seconds,
+                         &samples[static_cast<size_t>(c)]);
   }
   for (auto& t : threads) t.join();
-  PhaseResult result;
-  result.clients = clients;
-  result.seconds = timer.ElapsedSeconds();
-  std::vector<double> all;
-  for (auto& l : latencies) {
-    result.queries += l.size();
-    all.insert(all.end(), l.begin(), l.end());
-  }
-  result.p50_ms = Percentile(&all, 0.50);
-  result.p99_ms = Percentile(&all, 0.99);
-  return result;
+  return Summarize(samples, timer.ElapsedSeconds());
 }
 
 void Report(const PhaseResult& r, const char* label, double serial_qps,
@@ -90,41 +121,162 @@ void Report(const PhaseResult& r, const char* label, double serial_qps,
   std::printf("%-10s %8d %10llu %12.1f %10.2f %10.2f %9.2fx\n", label,
               r.clients, static_cast<unsigned long long>(r.queries), r.qps(),
               r.p50_ms, r.p99_ms, serial_qps > 0 ? r.qps() / serial_qps : 1.0);
-  char line[320];
+  char line[400];
   std::snprintf(line, sizeof(line),
                 "{\"bench\":\"throughput_concurrent\",\"phase\":\"%s\","
                 "\"clients\":%d,\"workers\":%d,\"queries\":%llu,"
                 "\"queries_per_sec\":%.3f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,"
+                "\"queue_wait_p50_ms\":%.3f,\"queue_wait_p99_ms\":%.3f,"
                 "\"speedup_vs_serial\":%.4f}",
                 label, r.clients, workers,
                 static_cast<unsigned long long>(r.queries), r.qps(), r.p50_ms,
-                r.p99_ms, serial_qps > 0 ? r.qps() / serial_qps : 1.0);
+                r.p99_ms, r.wait_p50_ms, r.wait_p99_ms,
+                serial_qps > 0 ? r.qps() / serial_qps : 1.0);
   std::printf("%s\n", line);
   if (json_out != nullptr) std::fprintf(json_out, "%s\n", line);
 }
 
+/// The fairness harness (`--mixed`): long Q1 clients in class 0 vs short Q6
+/// clients in high-weight class 3 on a shared saturated engine. Returns the
+/// process exit code (non-zero when `smoke` assertions fail).
+int RunMixed(QueryEngine* engine, const Catalog* catalog, int workers,
+             double budget, bool smoke) {
+  constexpr int kShortClass = 3;
+  constexpr int kShortWeight = 8;
+  engine->set_class_weight(kShortClass, kShortWeight);
+  std::FILE* json_out = std::fopen("BENCH_fairness.json", "w");
+
+  std::printf("Mixed-class fairness (class %d weight %d for shorts, "
+              "%.1fs phase)\n",
+              kShortClass, kShortWeight, budget);
+
+  // Isolated short-query latency: Q6 alone on the idle engine (warm).
+  std::vector<std::vector<Sample>> iso(1);
+  {
+    Timer t;
+    ClientLoop(engine, catalog, 0, /*tpch_number=*/6, kShortClass,
+               std::min(budget, 0.5), &iso[0]);
+  }
+  PhaseResult isolated = Summarize(iso, 1);
+  const double isolated_p50 = isolated.p50_ms;
+  std::printf("isolated short p50: %.2f ms (%llu runs)\n", isolated_p50,
+              static_cast<unsigned long long>(isolated.queries));
+
+  // Mixed phase: saturate with long clients, stream shorts beside them.
+  const int long_clients = std::max(2, workers);
+  const int short_clients = std::max(2, workers / 2);
+  std::vector<std::vector<Sample>> long_samples(
+      static_cast<size_t>(long_clients));
+  std::vector<std::vector<Sample>> short_samples(
+      static_cast<size_t>(short_clients));
+  std::vector<std::thread> threads;
+  Timer timer;
+  for (int c = 0; c < long_clients; ++c) {
+    threads.emplace_back(ClientLoop, engine, catalog, c, /*tpch_number=*/1,
+                         /*query_class=*/0, budget,
+                         &long_samples[static_cast<size_t>(c)]);
+  }
+  for (int c = 0; c < short_clients; ++c) {
+    threads.emplace_back(ClientLoop, engine, catalog, c, /*tpch_number=*/6,
+                         kShortClass, budget,
+                         &short_samples[static_cast<size_t>(c)]);
+  }
+  for (auto& t : threads) t.join();
+  const double seconds = timer.ElapsedSeconds();
+  PhaseResult longs = Summarize(long_samples, seconds);
+  PhaseResult shorts = Summarize(short_samples, seconds);
+
+  std::printf("%-10s %8s %10s %12s %10s %10s %10s %10s\n", "class",
+              "clients", "queries", "queries/s", "p50 [ms]", "p99 [ms]",
+              "wait p50", "wait p99");
+  for (const auto& [label, r] :
+       {std::pair<const char*, const PhaseResult&>{"short", shorts},
+        std::pair<const char*, const PhaseResult&>{"long", longs}}) {
+    std::printf("%-10s %8d %10llu %12.1f %10.2f %10.2f %10.2f %10.2f\n",
+                label, r.clients, static_cast<unsigned long long>(r.queries),
+                r.qps(), r.p50_ms, r.p99_ms, r.wait_p50_ms, r.wait_p99_ms);
+    char line[420];
+    std::snprintf(
+        line, sizeof(line),
+        "{\"bench\":\"fairness\",\"class\":\"%s\",\"clients\":%d,"
+        "\"workers\":%d,\"weight\":%d,\"queries\":%llu,"
+        "\"queries_per_sec\":%.3f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,"
+        "\"queue_wait_p50_ms\":%.3f,\"queue_wait_p99_ms\":%.3f,"
+        "\"isolated_short_p50_ms\":%.3f}",
+        label, r.clients, workers,
+        std::strcmp(label, "short") == 0 ? kShortWeight : 1,
+        static_cast<unsigned long long>(r.queries), r.qps(), r.p50_ms,
+        r.p99_ms, r.wait_p50_ms, r.wait_p99_ms, isolated_p50);
+    std::printf("%s\n", line);
+    if (json_out != nullptr) std::fprintf(json_out, "%s\n", line);
+  }
+  if (json_out != nullptr) std::fclose(json_out);
+
+  std::printf("\nexpected shape: short-class p99 stays within a small "
+              "multiple of its isolated latency while the long class "
+              "saturates the workers (resumable pipelines + weighted-fair "
+              "admission); without them it would queue behind whole "
+              "long pipelines.\n");
+
+  if (smoke) {
+    // Acceptance: the short class was served, and its p99 is bounded by a
+    // generous multiple of isolated latency (CI machines are noisy; the
+    // regression this guards is the unbounded "behind a whole long scan"
+    // latency, orders of magnitude above the bound).
+    const double bound = std::max(250.0, 40.0 * std::max(isolated_p50, 1.0));
+    int failures = 0;
+    if (shorts.queries == 0) {
+      std::fprintf(stderr, "SMOKE FAIL: no short-class query completed\n");
+      ++failures;
+    }
+    if (shorts.p99_ms >= bound) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: short-class p99 %.2f ms >= bound %.2f ms "
+                   "(isolated p50 %.2f ms)\n",
+                   shorts.p99_ms, bound, isolated_p50);
+      ++failures;
+    }
+    if (failures > 0) return 1;
+    std::printf("smoke assertions passed: short p99 %.2f ms < %.2f ms "
+                "(isolated p50 %.2f ms, %llu shorts, %llu longs)\n",
+                shorts.p99_ms, bound, isolated_p50,
+                static_cast<unsigned long long>(shorts.queries),
+                static_cast<unsigned long long>(longs.queries));
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
-  const double sf = bench::EnvDouble("AQE_SF", 0.02);
-  const double budget = bench::EnvDouble("AQE_BENCH_SECONDS", 2.0);
+int main(int argc, char** argv) {
+  bool mixed = false;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mixed") == 0) mixed = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const double sf = bench::EnvDouble("AQE_SF", smoke ? 0.01 : 0.02);
+  const double budget =
+      bench::EnvDouble("AQE_BENCH_SECONDS", smoke ? 1.0 : 2.0);
   const int hw = std::min(static_cast<int>(std::thread::hardware_concurrency()),
                           TaskScheduler::kMaxWorkers);
   const int workers = bench::EnvInt("AQE_THREADS", std::max(1, hw));
   Catalog* catalog = bench::TpchAtScale(sf);
   QueryEngine engine(catalog, workers);
-  std::FILE* json_out = std::fopen("BENCH_throughput_concurrent.json", "w");
-
-  std::printf(
-      "Concurrent query throughput (SF %g, %d workers, %.1fs per phase)\n",
-      sf, workers, budget);
-  std::printf("%-10s %8s %10s %12s %10s %10s %10s\n", "phase", "clients",
-              "queries", "queries/s", "p50 [ms]", "p99 [ms]", "speedup");
 
   {  // warmup: fault in the catalog, LLVM init, first JIT
     QueryProgram q6 = BuildTpchQuery(6, *catalog);
     engine.Run(q6);
   }
+
+  if (mixed) return RunMixed(&engine, catalog, workers, budget, smoke);
+
+  std::FILE* json_out = std::fopen("BENCH_throughput_concurrent.json", "w");
+  std::printf(
+      "Concurrent query throughput (SF %g, %d workers, %.1fs per phase)\n",
+      sf, workers, budget);
+  std::printf("%-10s %8s %10s %12s %10s %10s %10s\n", "phase", "clients",
+              "queries", "queries/s", "p50 [ms]", "p99 [ms]", "speedup");
 
   // Serial baseline: one client, back-to-back Run().
   PhaseResult serial = RunPhase(&engine, catalog, 1, budget);

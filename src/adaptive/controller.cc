@@ -12,14 +12,6 @@
 #include "sched/task.h"
 
 namespace aqe {
-namespace {
-
-/// Per-participant tuple-rate sample slot (§III-C), cache-line isolated.
-struct alignas(64) SlotRate {
-  std::atomic<uint64_t> tuples{0};
-  std::atomic<uint64_t> nanos{0};
-  std::atomic<uint64_t> epoch{0};
-};
 
 /// Compile-handshake phases (PipelineExecState::compile_state):
 /// kIdle -> kQueued (evaluator decides) -> kRunning (a thread claims the
@@ -27,19 +19,21 @@ struct alignas(64) SlotRate {
 /// kQueued job at drain time and waits out a kRunning one.
 enum CompilePhase : int { kCompIdle = 0, kCompQueued = 1, kCompRunning = 2 };
 
-/// After this many controller morsels with a compile job still kQueued,
-/// the controller claims it inline — occupying one thread exactly like the
-/// paper's dedicated path — so a saturated scheduler cannot delay a mode
-/// switch indefinitely.
-constexpr int kInlineCompileAfterMorsels = 2;
-
 /// Shared state of one pipeline execution on the task scheduler. Held via
-/// shared_ptr by the controller and every helper/compile task, so a task
-/// that runs after the pipeline finished touches only this struct: the raw
-/// pipeline pointers (handle, state, compile) are dereferenced only after
-/// a successful morsel claim or compile-job claim, both of which the
-/// controller waits out before returning.
+/// shared_ptr by the controller (PipelineRun) and every helper/compile
+/// task, so a task that runs after the pipeline finished touches only this
+/// struct: the raw pipeline pointers (handle, state, compile) are
+/// dereferenced only after a successful morsel claim or compile-job claim,
+/// both of which the controller's drain phase (or the PipelineRun
+/// destructor) waits out before the owner frees them.
 struct PipelineExecState {
+  /// Per-participant tuple-rate sample slot (§III-C), cache-line isolated.
+  struct alignas(64) SlotRate {
+    std::atomic<uint64_t> tuples{0};
+    std::atomic<uint64_t> nanos{0};
+    std::atomic<uint64_t> epoch{0};
+  };
+
   PipelineExecState(uint64_t total_tuples, int participants)
       : shards(total_tuples, participants), rates(participants) {}
 
@@ -62,9 +56,17 @@ struct PipelineExecState {
   std::vector<std::pair<ExecMode, double>> compiles;  ///< guarded by mu
 };
 
+namespace {
+
+/// After this many controller morsels with a compile job still kQueued,
+/// the controller claims it inline — occupying one thread exactly like the
+/// paper's dedicated path — so a saturated scheduler cannot delay a mode
+/// switch indefinitely.
+constexpr int kInlineCompileAfterMorsels = 2;
+
 void RecordRate(PipelineExecState& st, int slot, uint64_t tuples,
                 uint64_t nanos) {
-  SlotRate& rate = st.rates[static_cast<size_t>(slot)];
+  auto& rate = st.rates[static_cast<size_t>(slot)];
   uint64_t current_epoch = st.epoch.load(std::memory_order_relaxed);
   if (rate.epoch.load(std::memory_order_relaxed) != current_epoch) {
     rate.tuples.store(0, std::memory_order_relaxed);
@@ -257,45 +259,97 @@ PipelineRunStats PipelineRunner::Run(const PipelineTask& task) {
 }
 
 PipelineRunStats PipelineRunner::RunTasks(const PipelineTask& task) {
-  PipelineRunStats stats;
-  Timer total_timer;
+  // Blocking wrapper over the resumable state machine: step to completion
+  // on the calling thread, parking briefly while the drain phase waits out
+  // in-flight helper/compile slices.
+  PipelineRun run(sched_, strategy_, params_, trace_, task, single_threaded_,
+                  first_eval_delay_seconds_);
+  while (run.Step() == Task::Status::kYield) {
+    if (run.draining()) run.WaitDrainBriefly();
+  }
+  return run.TakeStats();
+}
 
-  // The controller's identity: a scheduler worker when called from a query
-  // task, or an external thread (tests) that gets the extra slot/shard.
+// --- PipelineRun: the resumable controller --------------------------------
+
+PipelineRun::PipelineRun(TaskScheduler* scheduler, ExecutionStrategy strategy,
+                         CostModelParams params, TraceRecorder* trace,
+                         const PipelineTask& task, bool single_threaded,
+                         double first_eval_delay_seconds)
+    : sched_(scheduler),
+      strategy_(strategy),
+      params_(params),
+      trace_(trace),
+      task_(task),
+      single_threaded_(single_threaded),
+      first_eval_delay_seconds_(first_eval_delay_seconds),
+      adaptive_(strategy == ExecutionStrategy::kAdaptive) {
+  AQE_CHECK(sched_ != nullptr);
+  AQE_CHECK(task_.handle != nullptr);
+}
+
+PipelineRun::~PipelineRun() {
+  if (st_ == nullptr || phase_ == Phase::kDone) return;
+  // Abandoned mid-run (the scheduler's destructor destroying a suspended
+  // query task): close the morsel domain, abort an unclaimed compile job,
+  // and wait out in-flight claims so the owner may free handle/state/
+  // bindings right after us (invariant 3). With the workers joined nothing
+  // claims anew, so this returns immediately.
+  MorselRange discard;
+  while (st_->shards.Next(controller_slot_, &discard)) {
+  }
+  int expected = kCompQueued;
+  st_->compile_state.compare_exchange_strong(expected, kCompIdle,
+                                             std::memory_order_acq_rel);
+  std::unique_lock<std::mutex> lock(st_->mu);
+  while (st_->active_helpers.load(std::memory_order_seq_cst) != 0 ||
+         st_->compile_state.load(std::memory_order_seq_cst) != kCompIdle) {
+    st_->cv.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+int PipelineRun::CurrentRuntimeThread() const {
+  // External controllers get a runtime thread index that cannot collide
+  // with any worker's per-thread runtime partitions.
+  return TaskScheduler::CurrentScheduler() == sched_
+             ? TaskScheduler::CurrentWorker()
+             : EnsureExternalRuntimeIndex();
+}
+
+void PipelineRun::Start() {
+  start_nanos_ = MonotonicNanos();
+  // The controller's identity — fixed now, at the first step (invariant 2):
+  // a scheduler worker when stepped from a query task, or an external
+  // thread (tests, benches) that gets the extra slot/shard.
   const int self = TaskScheduler::CurrentScheduler() == sched_
                        ? TaskScheduler::CurrentWorker()
                        : -1;
-  // External controllers get a runtime thread index that cannot collide
-  // with any worker's per-thread runtime partitions.
-  const int runtime_thread = self >= 0 ? self : EnsureExternalRuntimeIndex();
   const int workers = sched_->num_workers();
-  const int participants =
-      single_threaded_ ? 1 : (self >= 0 ? workers : workers + 1);
-  const int controller_slot = single_threaded_ ? 0 : (self >= 0 ? self : workers);
+  participants_ = single_threaded_ ? 1 : (self >= 0 ? workers : workers + 1);
+  controller_slot_ = single_threaded_ ? 0 : (self >= 0 ? self : workers);
 
-  auto st = std::make_shared<PipelineExecState>(task.total_tuples,
-                                                participants);
-  st->handle = task.handle;
-  st->state = task.state;
-  st->trace = trace_;
-  st->pipeline_id = task.pipeline_id;
-  st->compile = &task.compile;
-
-  auto compile_inline = [&](ExecMode mode) {
-    st->compile_target = mode;
-    st->compile_state.store(kCompQueued, std::memory_order_release);
-    AQE_CHECK(TryRunCompileJob(*st, &stats.blocking_compile_seconds));
-  };
+  st_ = std::make_shared<PipelineExecState>(task_.total_tuples,
+                                            participants_);
+  st_->handle = task_.handle;
+  st_->state = task_.state;
+  st_->trace = trace_;
+  st_->pipeline_id = task_.pipeline_id;
+  st_->compile = &task_.compile;  // task_ is our member copy: stable address
 
   // Static compile-up-front strategies (single-threaded compilation before
   // any morsel runs — exactly the §III critique). Skipped when the handle
   // was seeded with cached machine code already in the requested mode.
+  auto compile_inline = [&](ExecMode mode) {
+    st_->compile_target = mode;
+    st_->compile_state.store(kCompQueued, std::memory_order_release);
+    AQE_CHECK(TryRunCompileJob(*st_, &stats_.blocking_compile_seconds));
+  };
   if (strategy_ == ExecutionStrategy::kUnoptimized) {
-    if (task.handle->mode() != ExecMode::kUnoptimized) {
+    if (task_.handle->mode() != ExecMode::kUnoptimized) {
       compile_inline(ExecMode::kUnoptimized);
     }
   } else if (strategy_ == ExecutionStrategy::kOptimized) {
-    if (task.handle->mode() != ExecMode::kOptimized) {
+    if (task_.handle->mode() != ExecMode::kOptimized) {
       compile_inline(ExecMode::kOptimized);
     }
   }
@@ -303,93 +357,152 @@ PipelineRunStats PipelineRunner::RunTasks(const PipelineTask& task) {
   if (!single_threaded_) {
     for (int v = 0; v < workers; ++v) {
       if (v == self) continue;  // the controller drains its own shard
-      sched_->SubmitTo(v, std::make_unique<MorselHelperTask>(st, v));
+      auto helper = std::make_unique<MorselHelperTask>(st_, v);
+      helper->set_scheduling_class(task_.scheduling_class);
+      sched_->SubmitTo(v, std::move(helper));
     }
   }
+  phase_ = Phase::kMorsels;
+}
 
-  const bool adaptive = strategy_ == ExecutionStrategy::kAdaptive;
-  const int64_t pipeline_start = MonotonicNanos();
-  int morsels_since_queued = 0;
+Task::Status PipelineRun::Step() {
+  switch (phase_) {
+    case Phase::kStart:
+      if (single_threaded_) return RunSingleThreaded();
+      Start();
+      return Task::Status::kYield;
+    case Phase::kMorsels:
+      return StepMorsel();
+    case Phase::kDrain:
+      return StepDrain();
+    case Phase::kDone:
+      return Task::Status::kDone;
+  }
+  AQE_UNREACHABLE("bad PipelineRun phase");
+}
 
-  // §III-C: the extrapolation is performed by a single thread — the
-  // controller — re-evaluated after every one of its morsels.
-  auto evaluate = [&] {
-    ExecMode mode = task.handle->mode();
-    if (mode == ExecMode::kOptimized) return;
-    int phase = st->compile_state.load(std::memory_order_acquire);
-    if (phase == kCompRunning) return;
-    if (phase == kCompQueued) {
-      if (++morsels_since_queued >= kInlineCompileAfterMorsels) {
-        TryRunCompileJob(*st, &stats.blocking_compile_seconds);
-      }
-      return;
-    }
-    if (static_cast<double>(MonotonicNanos() - pipeline_start) <
-        first_eval_delay_seconds_ * 1e9) {
-      return;
-    }
-    // Average per-participant rate in the current epoch (Fig 7's r0).
-    uint64_t current_epoch = st->epoch.load(std::memory_order_relaxed);
-    double rate_sum = 0;
-    int rate_count = 0;
-    for (const SlotRate& rate : st->rates) {
-      if (rate.epoch.load(std::memory_order_relaxed) != current_epoch) {
-        continue;
-      }
-      uint64_t nanos = rate.nanos.load(std::memory_order_relaxed);
-      uint64_t tuples = rate.tuples.load(std::memory_order_relaxed);
-      if (nanos == 0 || tuples == 0) continue;
-      rate_sum +=
-          static_cast<double>(tuples) / (static_cast<double>(nanos) / 1e9);
-      ++rate_count;
-    }
-    if (rate_count == 0) return;
-    double r0 = rate_sum / rate_count;
-    Decision decision = ExtrapolatePipelineDurations(
-        r0, st->shards.remaining(), participants, task.function_instructions,
-        mode, params_);
-    if (decision == Decision::kDoNothing) return;
-    st->compile_target = decision == Decision::kCompileUnoptimized
-                             ? ExecMode::kUnoptimized
-                             : ExecMode::kOptimized;
-    morsels_since_queued = 0;
-    st->compile_state.store(kCompQueued, std::memory_order_release);
-    if (single_threaded_ || (workers == 1 && self == 0)) {
-      // No other thread can ever pick the job up: compile inline now.
-      TryRunCompileJob(*st, &stats.blocking_compile_seconds);
-    } else {
-      sched_->Submit(std::make_unique<CompileJobTask>(st),
-                     TaskPriority::kLow);
-    }
-  };
-
-  const int controller_thread = runtime_thread;
+Task::Status PipelineRun::RunSingleThreaded() {
+  // Invariant 4: strictly one thread touches the pipeline, in one slice —
+  // no helpers, no yields, compiles inline.
+  Start();
+  const int thread = CurrentRuntimeThread();
   MorselRange morsel;
-  while (st->shards.Next(controller_slot, &morsel)) {
-    ExecuteMorsel(*st, morsel, controller_slot, controller_thread);
-    if (adaptive) evaluate();
+  while (st_->shards.Next(controller_slot_, &morsel)) {
+    ExecuteMorsel(*st_, morsel, controller_slot_, thread);
+    if (adaptive_) Evaluate();
   }
+  phase_ = Phase::kDrain;
+  return StepDrain();
+}
 
-  // Domain drained. Abort a compile job nobody started (it would be wasted
-  // work); a running one must finish — the compile hook references this
-  // stack frame — as must in-flight helper morsels.
-  int expected = kCompQueued;
-  st->compile_state.compare_exchange_strong(expected, kCompIdle,
-                                            std::memory_order_acq_rel);
-  {
-    std::unique_lock<std::mutex> lock(st->mu);
-    while (st->active_helpers.load(std::memory_order_seq_cst) != 0 ||
-           st->compile_state.load(std::memory_order_seq_cst) != kCompIdle) {
-      // Timed wait: completion is signalled, but a 1 ms re-check also makes
-      // the drain robust against any missed notify.
-      st->cv.wait_for(lock, std::chrono::milliseconds(1));
+Task::Status PipelineRun::StepMorsel() {
+  MorselRange morsel;
+  if (!st_->shards.Next(controller_slot_, &morsel)) {
+    // Domain drained. Abort a compile job nobody started (it would be
+    // wasted work); a running one must finish — the compile hook references
+    // owner state — as must in-flight helper morsels.
+    int expected = kCompQueued;
+    st_->compile_state.compare_exchange_strong(expected, kCompIdle,
+                                               std::memory_order_acq_rel);
+    phase_ = Phase::kDrain;
+    return StepDrain();
+  }
+  // The checkpoint: exactly one controller morsel (plus the §III-C
+  // re-evaluation) per slice, then hand the worker back to the scheduler.
+  ExecuteMorsel(*st_, morsel, controller_slot_, CurrentRuntimeThread());
+  if (adaptive_) Evaluate();
+  return Task::Status::kYield;
+}
+
+Task::Status PipelineRun::StepDrain() {
+  if (st_->active_helpers.load(std::memory_order_seq_cst) != 0 ||
+      st_->compile_state.load(std::memory_order_seq_cst) != kCompIdle) {
+    // Helpers mid-morsel notify within microseconds — plain re-check. A
+    // *running* JIT compile is ms-scale though: park briefly on the state
+    // condvar instead of spinning through the scheduler for its whole
+    // duration (the wait is bounded, so other tasks queued on this worker
+    // stall at most 200 µs — and thieves can take them meanwhile).
+    if (st_->compile_state.load(std::memory_order_seq_cst) == kCompRunning) {
+      std::unique_lock<std::mutex> lock(st_->mu);
+      if (st_->compile_state.load(std::memory_order_seq_cst) ==
+          kCompRunning) {
+        st_->cv.wait_for(lock, std::chrono::microseconds(200));
+      }
     }
-    stats.compiles = std::move(st->compiles);
+    return Task::Status::kYield;  // check again next slice
   }
+  {
+    std::lock_guard<std::mutex> lock(st_->mu);
+    stats_.compiles = std::move(st_->compiles);
+  }
+  stats_.total_seconds =
+      static_cast<double>(MonotonicNanos() - start_nanos_) / 1e9;
+  stats_.final_mode = task_.handle->mode();
+  phase_ = Phase::kDone;
+  return Task::Status::kDone;
+}
 
-  stats.total_seconds = total_timer.ElapsedSeconds();
-  stats.final_mode = task.handle->mode();
-  return stats;
+void PipelineRun::WaitDrainBriefly() {
+  std::unique_lock<std::mutex> lock(st_->mu);
+  if (st_->active_helpers.load(std::memory_order_seq_cst) != 0 ||
+      st_->compile_state.load(std::memory_order_seq_cst) != kCompIdle) {
+    // Timed wait: completion is signalled, but a 1 ms re-check also makes
+    // the drain robust against any missed notify.
+    st_->cv.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+/// §III-C: the extrapolation is performed by a single thread — the
+/// controller — re-evaluated after every one of its morsels.
+void PipelineRun::Evaluate() {
+  ExecMode mode = task_.handle->mode();
+  if (mode == ExecMode::kOptimized) return;
+  int phase = st_->compile_state.load(std::memory_order_acquire);
+  if (phase == kCompRunning) return;
+  if (phase == kCompQueued) {
+    if (++morsels_since_queued_ >= kInlineCompileAfterMorsels) {
+      TryRunCompileJob(*st_, &stats_.blocking_compile_seconds);
+    }
+    return;
+  }
+  if (static_cast<double>(MonotonicNanos() - start_nanos_) <
+      first_eval_delay_seconds_ * 1e9) {
+    return;
+  }
+  // Average per-participant rate in the current epoch (Fig 7's r0).
+  uint64_t current_epoch = st_->epoch.load(std::memory_order_relaxed);
+  double rate_sum = 0;
+  int rate_count = 0;
+  for (const auto& rate : st_->rates) {
+    if (rate.epoch.load(std::memory_order_relaxed) != current_epoch) {
+      continue;
+    }
+    uint64_t nanos = rate.nanos.load(std::memory_order_relaxed);
+    uint64_t tuples = rate.tuples.load(std::memory_order_relaxed);
+    if (nanos == 0 || tuples == 0) continue;
+    rate_sum +=
+        static_cast<double>(tuples) / (static_cast<double>(nanos) / 1e9);
+    ++rate_count;
+  }
+  if (rate_count == 0) return;
+  double r0 = rate_sum / rate_count;
+  Decision decision = ExtrapolatePipelineDurations(
+      r0, st_->shards.remaining(), participants_, task_.function_instructions,
+      mode, params_);
+  if (decision == Decision::kDoNothing) return;
+  st_->compile_target = decision == Decision::kCompileUnoptimized
+                            ? ExecMode::kUnoptimized
+                            : ExecMode::kOptimized;
+  morsels_since_queued_ = 0;
+  st_->compile_state.store(kCompQueued, std::memory_order_release);
+  if (single_threaded_ || participants_ == 1) {
+    // No other thread can ever pick the job up: compile inline now.
+    TryRunCompileJob(*st_, &stats_.blocking_compile_seconds);
+  } else {
+    auto job = std::make_unique<CompileJobTask>(st_);
+    job->set_scheduling_class(task_.scheduling_class);
+    sched_->Submit(std::move(job), TaskPriority::kLow);
+  }
 }
 
 PipelineRunStats PipelineRunner::RunGang(const PipelineTask& task) {
@@ -426,9 +539,9 @@ PipelineRunStats PipelineRunner::RunGang(const PipelineTask& task) {
   }
 
   MorselQueue queue(task.total_tuples);
-  std::vector<std::unique_ptr<SlotRate>> rates;
+  std::vector<std::unique_ptr<PipelineExecState::SlotRate>> rates;
   for (int i = 0; i < pool_->num_threads(); ++i) {
-    rates.push_back(std::make_unique<SlotRate>());
+    rates.push_back(std::make_unique<PipelineExecState::SlotRate>());
   }
   std::atomic<uint64_t> epoch{0};
   const int64_t pipeline_start = MonotonicNanos();
@@ -471,7 +584,7 @@ PipelineRunStats PipelineRunner::RunGang(const PipelineTask& task) {
   };
 
   pool_->RunParallel([&](int thread) {
-    SlotRate& rate = *rates[static_cast<size_t>(thread)];
+    PipelineExecState::SlotRate& rate = *rates[static_cast<size_t>(thread)];
     MorselRange morsel;
     while (queue.Next(&morsel)) {
       ExecMode mode = task.handle->mode();

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "exec/scheduler.h"
 #include "exec/trace.h"
 #include "sched/scheduler.h"
+#include "sched/task.h"
 
 namespace aqe {
 
@@ -36,6 +38,9 @@ struct PipelineTask {
   /// from a worker thread, at most once per mode.
   std::function<WorkerFn(ExecMode)> compile;
   int pipeline_id = 0;
+  /// Weighted-fair scheduling class the pipeline's helper and compile tasks
+  /// inherit (the submitting query's class; see sched/task.h).
+  int scheduling_class = 0;
 };
 
 struct PipelineRunStats {
@@ -51,6 +56,118 @@ struct PipelineRunStats {
   double blocking_compile_seconds = 0;
 };
 
+/// Shared state of one pipeline execution on the task scheduler (defined in
+/// controller.cc; held via shared_ptr by the controller and every helper /
+/// compile task).
+struct PipelineExecState;
+
+/// One pipeline execution as a *resumable state machine*: the adaptive
+/// controller's run loop, checkpointed at morsel boundaries. Each Step()
+/// call runs one bounded slice — one controller morsel (plus the §III-C
+/// cost-model evaluation), one up-front compile, or one drain check — and
+/// returns Task::Status::kYield until the pipeline completes, exactly like
+/// the morsel helper tasks it spawns. A query task embedding a PipelineRun
+/// therefore never blocks its worker for a whole pipeline: the scheduler
+/// interleaves other queries' slices between the controller's morsels, and
+/// the run may resume on a *different* worker after a steal.
+///
+/// ===================== Suspension invariants =====================
+///
+/// 1. All mode-switch state survives suspension. The tuple-rate samples,
+///    the compile handshake word (kIdle/kQueued/kRunning + target mode),
+///    the rate-reset epoch, the recorded compiles and the calibrated
+///    cost-model parameters live in PipelineExecState / PipelineRun
+///    members, never on a worker's stack — a resumed controller continues
+///    the §III-C evaluation exactly where it left off, and the mode-switch
+///    trace is identical to the blocking controller's (differential-tested
+///    in tests/sched_test.cc and tests/fairness_test.cc).
+///
+/// 2. The controller's identity is fixed at the *first* Step. Its rate
+///    slot, preferred shard and participant count are chosen once (the
+///    first-step worker's index, or the extra slot for an external thread)
+///    and stored; migration to another worker after a yield changes only
+///    which thread executes — the migrated controller keeps draining its
+///    own shard and rate slot, which no helper task ever uses, so slots
+///    never collide. Per-thread runtime partitions (aggregation tables,
+///    output buffers) are always indexed by the *executing* thread, which
+///    is correct under migration because every merge step covers all
+///    partitions.
+///
+/// 3. Raw pipeline pointers outlive the run. `task.handle`, `task.state`
+///    and the compile hook are dereferenced by helper/compile tasks only
+///    after a successful morsel or compile-job claim. The drain phase
+///    (and the destructor, for a run abandoned at scheduler shutdown)
+///    closes the morsel domain and waits until no claim is in flight
+///    (`active_helpers == 0 && compile_state == kIdle`), so the owner may
+///    free the handle, binding array and captured state the moment the run
+///    is done or destroyed. Straggler tasks scheduled after that touch
+///    only the shared_ptr-owned PipelineExecState, fail their claim, and
+///    die.
+///
+/// 4. `single_threaded` pins the pledge, not the wall clock: the whole
+///    pipeline (morsels and compiles) executes inside one Step on the
+///    calling thread, so baselines and the paper's latency figures see the
+///    exact pre-refactor behavior.
+class PipelineRun {
+ public:
+  /// `task`'s raw pointers (handle, state, compile captures) must stay
+  /// valid until done() or destruction (invariant 3).
+  PipelineRun(TaskScheduler* scheduler, ExecutionStrategy strategy,
+              CostModelParams params, TraceRecorder* trace,
+              const PipelineTask& task, bool single_threaded,
+              double first_eval_delay_seconds);
+  ~PipelineRun();
+
+  PipelineRun(const PipelineRun&) = delete;
+  PipelineRun& operator=(const PipelineRun&) = delete;
+
+  /// Runs one bounded slice on the calling thread. kYield: call again (on
+  /// any thread); kDone: the pipeline finished and stats() is valid.
+  Task::Status Step();
+
+  bool done() const { return phase_ == Phase::kDone; }
+  /// True when all morsels are claimed and the run is only waiting out
+  /// in-flight helper/compile slices.
+  bool draining() const { return phase_ == Phase::kDrain; }
+
+  /// Blocking callers (PipelineRunner::Run) park here between drain-phase
+  /// steps instead of spinning; bounded by a 1 ms re-check.
+  void WaitDrainBriefly();
+
+  /// The run's statistics; valid once done().
+  const PipelineRunStats& stats() const { return stats_; }
+  PipelineRunStats TakeStats() { return std::move(stats_); }
+
+ private:
+  enum class Phase { kStart, kMorsels, kDrain, kDone };
+
+  void Start();
+  Task::Status StepMorsel();
+  Task::Status StepDrain();
+  Task::Status RunSingleThreaded();  // whole pipeline, one slice (inv. 4)
+  void Evaluate();
+  /// Runtime thread index of the calling thread (worker index, or a leased
+  /// external-controller index).
+  int CurrentRuntimeThread() const;
+
+  TaskScheduler* sched_;
+  ExecutionStrategy strategy_;
+  CostModelParams params_;
+  TraceRecorder* trace_;
+  PipelineTask task_;
+  bool single_threaded_;
+  double first_eval_delay_seconds_;
+
+  Phase phase_ = Phase::kStart;
+  std::shared_ptr<PipelineExecState> st_;
+  PipelineRunStats stats_;
+  int participants_ = 1;
+  int controller_slot_ = 0;
+  int morsels_since_queued_ = 0;
+  int64_t start_nanos_ = 0;
+  bool adaptive_ = false;
+};
+
 /// Executes pipelines under a strategy, applying the §III-C policy for
 /// kAdaptive: every participating thread tracks its local tuple rate per
 /// morsel; a single evaluator thread (the pipeline's controller), starting
@@ -60,11 +177,14 @@ struct PipelineRunStats {
 /// up the new variant and the rates are reset.
 ///
 /// Two substrates:
-///  - TaskScheduler (the engine's path): the calling thread is the
-///    controller. It shards the morsel domain across the scheduler's
-///    workers, submits one morsel helper task per other worker (each
-///    yields after every morsel, so concurrent queries interleave), and
-///    drains morsels itself. Adaptive compilations are submitted as
+///  - TaskScheduler (the engine's path): a PipelineRun stepped to
+///    completion on the calling thread, which is the controller (the
+///    engine embeds PipelineRun in its query tasks directly and yields
+///    between steps; this blocking wrapper serves benches/tests and
+///    external threads). It shards the morsel domain across the
+///    scheduler's workers, submits one morsel helper task per other worker
+///    (each yields after every morsel, so concurrent queries interleave),
+///    and drains morsels itself. Adaptive compilations are submitted as
 ///    low-priority tasks that any worker may pick up; if none has within a
 ///    few controller morsels, the controller compiles inline — occupying
 ///    one thread, exactly the paper's dedicated-path behavior — so the

@@ -63,11 +63,31 @@ struct QueryEngine::Impl {
   bool use_calibrated = false;
 
   // Admission layer: at most `max_active` queries execute concurrently;
-  // excess queries wait here in FIFO order and are released as running
-  // queries finish, so a burst cannot pile unbounded task state onto the
-  // scheduler and every query eventually gets cores.
+  // excess queries wait in one FIFO queue per class and are released
+  // weighted-fair as running queries finish, so a burst cannot pile
+  // unbounded task state onto the scheduler and every class gets its share
+  // of slots. Each class keeps a virtual admission clock: releasing a
+  // query advances its class's clock by estimated_cost / weight, and the
+  // most-behind non-empty class is always served next — weighted fair
+  // queueing over service time, not query count, so a class of cheap
+  // cached queries admits many per heavy cold query. Within a class,
+  // release is FIFO except for a bounded cache-aware overtake (see
+  // PickFromClassLocked).
+  struct WaitingQuery {
+    std::unique_ptr<Task> job;
+    double cost_ms = 0;        ///< cache-estimated service time
+    bool fully_cached = false; ///< every pipeline artifact is resident
+    int bypassed = 0;          ///< times a cached waiter overtook this one
+  };
+  /// A fully-cached waiter may overtake from at most this many queue
+  /// positions back, and a cold query at the head may be bypassed at most
+  /// this many times — both bounds keep a cold query's extra wait finite
+  /// even under a sustained stream of cached arrivals.
+  static constexpr size_t kMaxCacheOvertake = 8;
+
   std::mutex admission_mutex;
-  std::deque<std::unique_ptr<Task>> waiting;
+  std::deque<WaitingQuery> waiting[kNumTaskClasses];
+  double admit_vtime[kNumTaskClasses] = {};
   int active = 0;
   int max_active;
 
@@ -89,20 +109,48 @@ struct QueryEngine::Impl {
     }
   }
 
-  void Admit(std::unique_ptr<Task> job) {
+  void Admit(std::unique_ptr<Task> job, int cls, double cost_ms,
+             bool fully_cached) {
     std::vector<std::unique_ptr<Task>> ready;
     {
       std::lock_guard<std::mutex> lock(admission_mutex);
-      // Strict FIFO: always enqueue behind existing waiters (a newly
-      // submitted query must not overtake them after a cap raise).
-      waiting.push_back(std::move(job));
+      std::deque<WaitingQuery>& queue = waiting[static_cast<size_t>(cls)];
+      if (queue.empty()) {
+        // The clocks only mean anything while some class is backlogged: a
+        // class served without contention still gets charged, and that
+        // banked *debt* would lock it out when another class later becomes
+        // backlogged. With no waiters anywhere, restart all clocks.
+        bool any_waiting = false;
+        for (int c = 0; c < kNumTaskClasses; ++c) {
+          if (!waiting[c].empty()) {
+            any_waiting = true;
+            break;
+          }
+        }
+        if (!any_waiting) {
+          for (int c = 0; c < kNumTaskClasses; ++c) admit_vtime[c] = 0;
+        }
+        // An idle class's clock stood still; clamp it forward so it cannot
+        // return with banked credit and starve the others.
+        double min_active_vtime = -1;
+        for (int c = 0; c < kNumTaskClasses; ++c) {
+          if (c == cls || waiting[c].empty()) continue;
+          if (min_active_vtime < 0 || admit_vtime[c] < min_active_vtime) {
+            min_active_vtime = admit_vtime[c];
+          }
+        }
+        if (min_active_vtime > admit_vtime[cls]) {
+          admit_vtime[cls] = min_active_vtime;
+        }
+      }
+      queue.push_back({std::move(job), cost_ms, fully_cached, 0});
       DrainWaitingLocked(&ready);
     }
     for (auto& task : ready) sched.Submit(std::move(task));
   }
 
   /// Called by a finishing query task: hands its admission slot to the
-  /// oldest waiting query, if any.
+  /// most-behind class's next waiting query, if any.
   void OnQueryFinished() {
     std::vector<std::unique_ptr<Task>> ready;
     {
@@ -124,13 +172,47 @@ struct QueryEngine::Impl {
     for (auto& task : ready) sched.Submit(std::move(task));
   }
 
-  /// Moves waiting queries into `ready` (oldest first) while slots exist.
-  /// Caller holds admission_mutex and submits outside the lock.
+  /// Pops the next query of class `cls`: the oldest waiter, unless it is
+  /// cold and a fully-cached one sits within the first kMaxCacheOvertake
+  /// positions behind it — that one overtakes (it will finish in a
+  /// fraction of the time). A head that has already been bypassed
+  /// kMaxCacheOvertake times is released unconditionally, so a sustained
+  /// stream of cached arrivals cannot starve a cold query.
+  WaitingQuery PickFromClassLocked(int cls) {
+    std::deque<WaitingQuery>& queue = waiting[static_cast<size_t>(cls)];
+    size_t pick = 0;
+    if (!queue.front().fully_cached &&
+        queue.front().bypassed < static_cast<int>(kMaxCacheOvertake)) {
+      const size_t horizon = std::min(queue.size(), kMaxCacheOvertake + 1);
+      for (size_t i = 1; i < horizon; ++i) {
+        if (queue[i].fully_cached) {
+          pick = i;
+          ++queue.front().bypassed;
+          break;
+        }
+      }
+    }
+    WaitingQuery picked = std::move(queue[pick]);
+    queue.erase(queue.begin() + static_cast<ptrdiff_t>(pick));
+    return picked;
+  }
+
+  /// Moves waiting queries into `ready` (weighted-fair across classes)
+  /// while slots exist. Caller holds admission_mutex and submits outside
+  /// the lock.
   void DrainWaitingLocked(std::vector<std::unique_ptr<Task>>* ready) {
-    while (active < max_active && !waiting.empty()) {
+    while (active < max_active) {
+      int cls = -1;
+      for (int c = 0; c < kNumTaskClasses; ++c) {
+        if (waiting[c].empty()) continue;
+        if (cls < 0 || admit_vtime[c] < admit_vtime[cls]) cls = c;
+      }
+      if (cls < 0) return;  // nothing waiting
+      WaitingQuery picked = PickFromClassLocked(cls);
+      admit_vtime[cls] +=
+          picked.cost_ms / static_cast<double>(sched.class_weight(cls));
       ++active;
-      ready->push_back(std::move(waiting.front()));
-      waiting.pop_front();
+      ready->push_back(std::move(picked.job));
     }
   }
 };
@@ -215,11 +297,13 @@ std::shared_ptr<const BcProgram> ProgramForDispatch(
   return copy;
 }
 
-/// One query in flight: a task that executes one QueryProgram stage per
-/// slice and yields between stages, so concurrent queries sharing a worker
-/// interleave. Stage state lives in this object, not on any thread — a
-/// yielded query can resume on whichever worker picks it up (steals
-/// included).
+/// One query in flight: a task that executes one bounded slice at a time —
+/// an engine step, a pipeline-setup (bind + cache lookup + translation), or
+/// one controller morsel of the embedded resumable PipelineRun — and yields
+/// between slices, so concurrent queries sharing a worker interleave at
+/// morsel granularity even inside a pipeline. All state lives in this
+/// object, not on any thread: a yielded query can resume on whichever
+/// worker picks it up (steals included), mid-pipeline.
 class QueryJob : public Task {
  public:
   QueryJob(const Catalog* catalog, TaskScheduler* sched, ArtifactCache* cache,
@@ -251,15 +335,32 @@ class QueryJob : public Task {
         entry_.reset();
       }
     }
+    EstimateCost();
   }
 
   std::future<QueryRunResult> GetFuture() { return promise_.get_future(); }
 
+  /// Cache-estimated service time and residency, for cache-aware
+  /// admission. Computed on the submitting thread from the interned entry.
+  double estimated_cost_ms() const { return estimated_cost_ms_; }
+  bool fully_cached() const { return fully_cached_; }
+
   Status Run(int) override {
-    // The size check comes first: a QueryProgram with no stages at all
-    // must still produce an (empty) result.
-    if (stage_index_ < program_->stages().size()) {
+    if (!started_) {
+      started_ = true;
+      result_.queue_wait_seconds = total_timer_.ElapsedSeconds();
+    }
+    if (active_ != nullptr) {
+      // Mid-pipeline: one controller checkpoint per slice.
+      if (active_->run->Step() != Task::Status::kDone) return Status::kYield;
+      FinishCompiledPipeline();
+      active_.reset();
+      if (++stage_index_ < program_->stages().size()) return Status::kYield;
+    } else if (stage_index_ < program_->stages().size()) {
+      // The size check comes first: a QueryProgram with no stages at all
+      // must still produce an (empty) result.
       RunStage(program_->stages()[stage_index_]);
+      if (active_ != nullptr) return Status::kYield;  // pipeline started
       if (++stage_index_ < program_->stages().size()) return Status::kYield;
     }
     result_.rows = std::move(ctx_->result);
@@ -270,11 +371,33 @@ class QueryJob : public Task {
   }
 
  private:
+  /// Per-pipeline state that must survive suspension: the worker reads
+  /// every runtime address out of the packed binding array, the handle is
+  /// flipped by compile tasks, and the PipelineRun checkpoints the
+  /// controller between morsels. Destroyed only after the run quiesced
+  /// (PipelineRun's drain phase / destructor, invariant 3 in
+  /// adaptive/controller.h) — `run` is declared last so it goes first.
+  struct ActivePipeline {
+    ActivePipeline(WorkerFn fn, const void* extra) : handle(fn, extra) {}
+
+    size_t p = 0;  ///< pipeline index
+    PipelineReport report;
+    PipelineBindings bindings;
+    std::vector<uint64_t> binding_values;
+    std::vector<uint64_t> my_constants;
+    std::shared_ptr<const BcProgram> bytecode;
+    std::shared_ptr<CachedCode> seed_code;  ///< eviction-safe seeded code
+    FunctionHandle handle;
+    std::unique_ptr<PipelineRun> run;
+  };
+
+  void EstimateCost();
   void RunStage(const QueryProgram::Stage& stage);
-  void RunCompiledPipeline(const QueryProgram::Stage& stage,
-                           const PipelineSpec& spec,
-                           const PipelineBindings& bindings,
-                           PipelineReport report);
+  void StartCompiledPipeline(const QueryProgram::Stage& stage,
+                             const PipelineSpec& spec,
+                             PipelineBindings bindings,
+                             PipelineReport report);
+  void FinishCompiledPipeline();
 
   TaskScheduler* sched_;
   ArtifactCache* cache_;
@@ -290,10 +413,41 @@ class QueryJob : public Task {
   std::mutex keepalive_mutex_;
   QueryRunResult result_;
   size_t stage_index_ = 0;
+  bool started_ = false;
+  double estimated_cost_ms_ = 0;
+  bool fully_cached_ = false;
   Timer total_timer_;  ///< from Submit — total_seconds includes queue wait
   std::promise<QueryRunResult> promise_;
   std::function<void()> on_finished_;
+  /// Declared after ctx_: destroyed first, so a run abandoned at shutdown
+  /// quiesces while the context its bindings point into is still alive.
+  std::unique_ptr<ActivePipeline> active_;
 };
+
+/// Cache-aware admission estimate: a query whose every pipeline artifact is
+/// resident will skip codegen/translation/compilation entirely and run in
+/// roughly its last observed execution time; anything cold is charged a
+/// flat pessimistic default so cached queries may overtake it.
+void QueryJob::EstimateCost() {
+  constexpr double kColdCostMs = 10.0;
+  estimated_cost_ms_ = kColdCostMs;
+  if (entry_ == nullptr) return;
+  double cost = 0;
+  bool all_resident = true;
+  {
+    std::lock_guard<std::mutex> lock(entry_->mu);
+    for (const PipelineArtifact& a : entry_->pipelines) {
+      if (a.bytecode == nullptr && a.unopt == nullptr && a.opt == nullptr) {
+        all_resident = false;
+        break;
+      }
+      cost += a.observed_seconds * 1e3;
+    }
+  }
+  if (!all_resident) return;
+  fully_cached_ = true;
+  estimated_cost_ms_ = std::max(0.05, cost);
+}
 
 void QueryJob::RunStage(const QueryProgram::Stage& stage) {
   const QueryProgram& program = *program_;
@@ -359,13 +513,18 @@ void QueryJob::RunStage(const QueryProgram::Stage& stage) {
   }
 
   AQE_CHECK(options.engine == EngineKind::kCompiled);
-  RunCompiledPipeline(stage, spec, bindings, std::move(report));
+  StartCompiledPipeline(stage, spec, std::move(bindings), std::move(report));
 }
 
-void QueryJob::RunCompiledPipeline(const QueryProgram::Stage& stage,
-                                   const PipelineSpec& spec,
-                                   const PipelineBindings& bindings,
-                                   PipelineReport report) {
+/// Sets up one compiled pipeline and hands it to a resumable PipelineRun:
+/// bind, artifact-cache lookup, (on miss) codegen + translation, handle
+/// seeding. Everything the run touches across suspensions moves into the
+/// ActivePipeline member; the caller's Run() loop then steps the pipeline
+/// one morsel per slice.
+void QueryJob::StartCompiledPipeline(const QueryProgram::Stage& stage,
+                                     const PipelineSpec& spec,
+                                     PipelineBindings bindings,
+                                     PipelineReport report) {
   const QueryRunOptions& options = options_;
   const RuntimeRegistry& registry = RuntimeRegistry::Global();
   const auto p = static_cast<size_t>(stage.pipeline);
@@ -427,8 +586,16 @@ void QueryJob::RunCompiledPipeline(const QueryProgram::Stage& stage,
       if (pins_match) {
         auto patched = std::make_shared<BcProgram>(*snap.bytecode);
         for (size_t k = 0; k < my_constants.size(); ++k) {
-          if (snap.patch_slots[k] == ConstantPatchTable::kPinned) continue;
-          patched->constant_pool[snap.patch_slots[k]].value = my_constants[k];
+          const uint32_t slot = snap.patch_slots[k];
+          if (slot == ConstantPatchTable::kPinned) continue;
+          if (slot & ConstantPatchTable::kLiteralPoolBit) {
+            // Immediate-operand superinstruction: the constant lives in the
+            // literal pool, not in a register-file slot.
+            patched->literal_pool[slot & ~ConstantPatchTable::kLiteralPoolBit] =
+                my_constants[k];
+          } else {
+            patched->constant_pool[slot].value = my_constants[k];
+          }
         }
         patched->dispatch = options.vm_dispatch;
         bytecode = std::move(patched);
@@ -533,32 +700,43 @@ void QueryJob::RunCompiledPipeline(const QueryProgram::Stage& stage,
     report.register_file_bytes = bytecode->register_file_size;
   }
 
-  FunctionHandle handle(
+  auto ap = std::make_unique<ActivePipeline>(
       bytecode != nullptr ? &VmWorkerTrampoline : &NeverCalledWorker,
       static_cast<const void*>(bytecode.get()));
+  ap->p = p;
+  ap->bindings = std::move(bindings);
+  ap->binding_values = std::move(binding_values);
+  ap->my_constants = std::move(my_constants);
+  ap->bytecode = std::move(bytecode);
   if (seed_code != nullptr) {
-    handle.SetCompiled(seed_code->fn, seed_mode);
+    ap->handle.SetCompiled(seed_code->fn, seed_mode);
+    ap->seed_code = std::move(seed_code);
     cache_->CountCodeHit();
     report.artifact_cache_hit = true;
   }
-  report.initial_mode = handle.mode();
+  report.initial_mode = ap->handle.mode();
+  ap->report = std::move(report);
 
   PipelineTask task;
-  task.handle = &handle;
-  task.state = binding_values.data();
-  task.total_tuples = report.tuples;
+  task.handle = &ap->handle;
+  task.state = ap->binding_values.data();
+  task.total_tuples = ap->report.tuples;
   task.function_instructions = instructions;
   task.pipeline_id = stage.pipeline;
-  task.compile = [&, this](ExecMode mode) -> WorkerFn {
+  task.scheduling_class = options.query_class;
+  ActivePipeline* raw_ap = ap.get();
+  task.compile = [this, raw_ap, &spec](ExecMode mode) -> WorkerFn {
     // Regenerate IR (codegen is ~100x cheaper than machine-code
     // generation, Fig 1) so each compilation owns its LLVMContext —
     // required because adaptive compilation runs on a worker thread.
-    GeneratedPipeline fresh = GeneratePipeline(spec, bindings);
+    // `spec` lives in the (caller-owned) program, `raw_ap` in this job;
+    // both outlive the run (PipelineRun invariant 3).
+    GeneratedPipeline fresh = GeneratePipeline(spec, raw_ap->bindings);
     auto compiled =
         JitCompile(std::move(*fresh.mod),
                    mode == ExecMode::kOptimized ? JitMode::kOptimized
                                                 : JitMode::kUnoptimized,
-                   registry);
+                   RuntimeRegistry::Global());
     auto* fn = reinterpret_cast<WorkerFn>(compiled->Lookup("worker"));
     AQE_CHECK(fn != nullptr);
     auto code = std::make_shared<CachedCode>();
@@ -572,19 +750,25 @@ void QueryJob::RunCompiledPipeline(const QueryProgram::Stage& stage,
     if (entry_ != nullptr) {
       // Write-back happens off the critical path, as a low-priority task.
       sched_->Submit(std::make_unique<CachePublishTask>(
-                         cache_, entry_, p, mode, std::move(code),
-                         my_constants, bindings.column_types, fresh.instructions),
+                         cache_, entry_, raw_ap->p, mode, std::move(code),
+                         raw_ap->my_constants, raw_ap->bindings.column_types,
+                         fresh.instructions),
                      TaskPriority::kLow);
     }
     return fn;
   };
 
-  PipelineRunner runner(sched_, options.strategy, options.cost_model,
-                        options.trace);
-  runner.set_single_threaded(options.single_threaded);
-  runner.set_first_evaluation_delay_seconds(
-      options.adaptive_first_eval_seconds);
-  PipelineRunStats stats = runner.Run(task);
+  ap->run = std::make_unique<PipelineRun>(
+      sched_, options.strategy, options.cost_model, options.trace, task,
+      options.single_threaded, options.adaptive_first_eval_seconds);
+  active_ = std::move(ap);
+}
+
+/// Post-run accounting, after the embedded PipelineRun reported kDone.
+void QueryJob::FinishCompiledPipeline() {
+  ActivePipeline& ap = *active_;
+  PipelineReport report = std::move(ap.report);
+  PipelineRunStats stats = ap.run->TakeStats();
   report.exec_seconds = stats.total_seconds;
   report.exec_only_seconds =
       stats.total_seconds - stats.blocking_compile_seconds;
@@ -598,7 +782,7 @@ void QueryJob::RunCompiledPipeline(const QueryProgram::Stage& stage,
   if (entry_ != nullptr) {
     // Observed morsel stats: what the plan achieved on this run.
     std::lock_guard<std::mutex> lock(entry_->mu);
-    PipelineArtifact& a = entry_->pipelines[p];
+    PipelineArtifact& a = entry_->pipelines[ap.p];
     a.best_mode = std::max(a.best_mode, stats.final_mode);
     a.observed_tuples = report.tuples;
     a.observed_seconds = report.exec_only_seconds;
@@ -620,6 +804,12 @@ void QueryEngine::set_max_concurrent_queries(int max_queries) {
   impl_->SetMaxActive(max_queries);
 }
 
+void QueryEngine::set_class_weight(int query_class, int weight) {
+  // One weight drives both layers: admission release order and the
+  // scheduler's per-class slice shares.
+  impl_->sched.set_class_weight(query_class, weight);
+}
+
 std::future<QueryRunResult> QueryEngine::Submit(
     const QueryProgram& program, const QueryRunOptions& options) {
   Impl* impl = impl_.get();
@@ -628,7 +818,13 @@ std::future<QueryRunResult> QueryEngine::Submit(
       impl->use_calibrated ? &impl->calibrated : nullptr, program, options,
       [impl] { impl->OnQueryFinished(); });
   std::future<QueryRunResult> future = job->GetFuture();
-  impl_->Admit(std::move(job));
+  const double cost_ms = job->estimated_cost_ms();
+  const bool cached = job->fully_cached();
+  int cls = options.query_class;
+  if (cls < 0) cls = 0;
+  if (cls >= kNumTaskClasses) cls = kNumTaskClasses - 1;
+  job->set_scheduling_class(cls);
+  impl_->Admit(std::move(job), cls, cost_ms, cached);
   return future;
 }
 
@@ -684,6 +880,7 @@ std::vector<PipelineCompileCosts> QueryEngine::MeasureCompileCosts(
       cost.bytecode_ops = bytecode.code.size();
       cost.fused_ops = bytecode.fused_instructions;
       cost.fused_cmp_branches = bytecode.fused_cmp_branches;
+      cost.fused_cmp_branch_imms = bytecode.fused_cmp_branch_imms;
     }
     if (measure_unopt) {
       GeneratedPipeline fresh = GeneratePipeline(spec, bindings);

@@ -46,6 +46,14 @@ struct QueryRunOptions {
   /// compiling, and publish artifacts back (kCompiled only). Benches that
   /// measure cold compilation costs switch it off.
   bool use_artifact_cache = true;
+  /// Weighted-fair class of this query (0..kNumTaskClasses-1; out-of-range
+  /// values are clamped). The class scopes both admission (per-class
+  /// weighted-fair release order, see QueryEngine::set_class_weight) and
+  /// execution (every task the query spawns — stages, morsel helpers,
+  /// adaptive compiles — runs in the class's scheduler lane). Use a
+  /// high-weight class for latency-sensitive tenants so their short
+  /// queries overtake saturating low-class scans.
+  int query_class = 0;
 };
 
 /// Per-pipeline execution report.
@@ -71,6 +79,11 @@ struct PipelineReport {
 struct QueryRunResult {
   std::vector<std::vector<int64_t>> rows;  ///< final result
   double total_seconds = 0;                ///< whole query wall time
+  /// Admission-to-first-slice wait: how long the query sat in the engine's
+  /// admission queue plus the scheduler's deque before its first task slice
+  /// ran. Makes fairness and cache-aware overtaking observable per query
+  /// (total_seconds - queue_wait_seconds ≈ service time).
+  double queue_wait_seconds = 0;
   std::vector<PipelineReport> pipelines;
   double codegen_millis_total = 0;
   double translate_millis_total = 0;
@@ -94,6 +107,7 @@ struct PipelineCompileCosts {
   uint64_t bytecode_ops = 0;  ///< fixed-length VM instructions emitted
   uint64_t fused_ops = 0;     ///< LLVM instructions folded by macro fusion
   uint64_t fused_cmp_branches = 0;  ///< compare-and-branch superinstructions
+  uint64_t fused_cmp_branch_imms = 0;  ///< ...with a literal-pool immediate
 };
 
 /// The public facade: executes QueryPrograms against a catalog under any
@@ -109,13 +123,16 @@ class QueryEngine {
   int num_threads() const;
 
   /// Enqueues a query for execution and returns a future for its result.
-  /// Thread-safe: N clients share one engine. A small admission layer caps
-  /// the number of queries in flight (excess queries wait in FIFO order),
-  /// and morsel-granular task yields keep a long scan from starving short
-  /// queries. `program` (and `options.trace`, if set) must stay alive until
-  /// the future is ready. Destroying the engine abandons queued queries:
-  /// their futures throw std::future_error (broken_promise) — they never
-  /// hang.
+  /// Thread-safe: N clients share one engine. An admission layer caps the
+  /// number of queries in flight; excess queries wait in per-class queues
+  /// released weighted-fair (FIFO within a class, with bounded cache-aware
+  /// overtaking: a fully-cached plan may jump ahead of cold ones since it
+  /// will finish in a fraction of the time). Pipelines execute as
+  /// resumable state machines that yield at morsel boundaries, so a long
+  /// scan never blocks a worker against later-submitted short queries.
+  /// `program` (and `options.trace`, if set) must stay alive until the
+  /// future is ready. Destroying the engine abandons queued queries: their
+  /// futures throw std::future_error (broken_promise) — they never hang.
   std::future<QueryRunResult> Submit(const QueryProgram& program,
                                      const QueryRunOptions& options = {});
 
@@ -128,6 +145,14 @@ class QueryEngine {
   /// Caps concurrently executing queries (admission control). Default:
   /// max(2, 2 * num_threads). Thread-safe; affects queries submitted later.
   void set_max_concurrent_queries(int max_queries);
+
+  /// Weighted-fair share of a query class (default 1), applied at both
+  /// layers: admission releases waiting queries class-by-class in
+  /// proportion to weight (charging each query its cache-estimated service
+  /// time, so a fully-cached plan overtakes cold ones), and the task
+  /// scheduler serves the class's slices in the same proportion.
+  /// Thread-safe; takes effect immediately.
+  void set_class_weight(int query_class, int weight);
 
   /// Counters and resident footprint of the plan-keyed artifact cache
   /// (hits/misses/evictions; see src/cache/DESIGN.md). Thread-safe.

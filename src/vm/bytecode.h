@@ -50,6 +50,15 @@ namespace aqe {
   V(br_ult_i32) V(br_ult_i64) V(br_ule_i32) V(br_ule_i64)                    \
   V(br_ugt_i32) V(br_ugt_i64) V(br_uge_i32) V(br_uge_i64)                    \
   V(br_folt_f64) V(br_fogt_f64)                                              \
+  /* constant-operand compare-and-branch: r[a2] <pred> literal_pool[a1],     \
+     lit packs the branch targets. Query constants stay out of the register  \
+     file entirely — no permanent slot, no entry load. */                    \
+  V(br_eq_i32_imm) V(br_eq_i64_imm) V(br_ne_i32_imm) V(br_ne_i64_imm)        \
+  V(br_slt_i32_imm) V(br_slt_i64_imm) V(br_sle_i32_imm) V(br_sle_i64_imm)    \
+  V(br_sgt_i32_imm) V(br_sgt_i64_imm) V(br_sge_i32_imm) V(br_sge_i64_imm)    \
+  V(br_ult_i32_imm) V(br_ult_i64_imm) V(br_ule_i32_imm) V(br_ule_i64_imm)    \
+  V(br_ugt_i32_imm) V(br_ugt_i64_imm) V(br_uge_i32_imm) V(br_uge_i64_imm)    \
+  V(br_folt_f64_imm) V(br_fogt_f64_imm)                                      \
   /* floating point */                                                       \
   V(fadd_f64) V(fsub_f64) V(fmul_f64) V(fdiv_f64) V(fneg_f64)                \
   V(fcmp_oeq_f64) V(fcmp_one_f64) V(fcmp_olt_f64) V(fcmp_ole_f64)            \
@@ -181,9 +190,18 @@ struct BcProgram {
   uint64_t source_instructions = 0;  ///< LLVM instructions translated
   uint64_t fused_instructions = 0;   ///< LLVM instructions folded away
   uint64_t fused_cmp_branches = 0;   ///< compare-and-branch superinstructions
+  /// Subset of fused_cmp_branches whose constant operand was folded into a
+  /// literal-pool immediate (br_*_imm) instead of a constant-pool register.
+  uint64_t fused_cmp_branch_imms = 0;
 
   /// Interns `value` into literal_pool and returns its index.
   uint64_t AddLiteral(uint64_t value);
+
+  /// Appends `value` to literal_pool *without* interning. Immediate-operand
+  /// superinstructions need a private slot: the constant-patch table may
+  /// rewrite it for literal-only plan variants, which must never alias a
+  /// callee address or another instruction's immediate.
+  uint64_t AddPrivateLiteral(uint64_t value);
 
   /// Human-readable disassembly; round-trips every instruction field (see
   /// ParseDisassembly in tests/vm_dispatch_test.cc).

@@ -78,6 +78,13 @@ uint64_t DispatchN(uint64_t target, const uint64_t* a, uint32_t n) {
 #define VM_CMP_BR(expr) \
   ip = code + ((expr) ? UnpackThenTarget(I->lit) : UnpackElseTarget(I->lit))
 
+/// Double view of a literal-pool immediate (br_*_f64_imm).
+inline double BitsToDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
 /// The classic interpreter loop (Fig 8): one switch, one shared indirect
 /// branch that every opcode funnels through.
 uint64_t RunSwitch(const BcProgram& program, uint8_t* regs) {

@@ -238,6 +238,72 @@ bool FusedCmpBranchOpcode(const llvm::CmpInst& cmp, Opcode* out) {
   return false;
 }
 
+/// Maps a fused compare-and-branch opcode to its mirrored form (operands
+/// swapped: c < x  ==  x > c), so a constant LHS can still use the
+/// immediate encoding.
+bool MirrorCmpBranchOpcode(Opcode op, Opcode* out) {
+  switch (op) {
+    case Opcode::k_br_eq_i32: case Opcode::k_br_eq_i64:
+    case Opcode::k_br_ne_i32: case Opcode::k_br_ne_i64:
+      *out = op; return true;
+    case Opcode::k_br_slt_i32: *out = Opcode::k_br_sgt_i32; return true;
+    case Opcode::k_br_slt_i64: *out = Opcode::k_br_sgt_i64; return true;
+    case Opcode::k_br_sle_i32: *out = Opcode::k_br_sge_i32; return true;
+    case Opcode::k_br_sle_i64: *out = Opcode::k_br_sge_i64; return true;
+    case Opcode::k_br_sgt_i32: *out = Opcode::k_br_slt_i32; return true;
+    case Opcode::k_br_sgt_i64: *out = Opcode::k_br_slt_i64; return true;
+    case Opcode::k_br_sge_i32: *out = Opcode::k_br_sle_i32; return true;
+    case Opcode::k_br_sge_i64: *out = Opcode::k_br_sle_i64; return true;
+    case Opcode::k_br_ult_i32: *out = Opcode::k_br_ugt_i32; return true;
+    case Opcode::k_br_ult_i64: *out = Opcode::k_br_ugt_i64; return true;
+    case Opcode::k_br_ule_i32: *out = Opcode::k_br_uge_i32; return true;
+    case Opcode::k_br_ule_i64: *out = Opcode::k_br_uge_i64; return true;
+    case Opcode::k_br_ugt_i32: *out = Opcode::k_br_ult_i32; return true;
+    case Opcode::k_br_ugt_i64: *out = Opcode::k_br_ult_i64; return true;
+    case Opcode::k_br_uge_i32: *out = Opcode::k_br_ule_i32; return true;
+    case Opcode::k_br_uge_i64: *out = Opcode::k_br_ule_i64; return true;
+    case Opcode::k_br_folt_f64: *out = Opcode::k_br_fogt_f64; return true;
+    case Opcode::k_br_fogt_f64: *out = Opcode::k_br_folt_f64; return true;
+    default: return false;
+  }
+}
+
+/// Maps a register-register fused compare-and-branch to its immediate form.
+bool ImmCmpBranchOpcode(Opcode op, Opcode* out) {
+  switch (op) {
+#define AQE_IMM_CASE(name) \
+  case Opcode::k_##name: *out = Opcode::k_##name##_imm; return true;
+    AQE_IMM_CASE(br_eq_i32) AQE_IMM_CASE(br_eq_i64)
+    AQE_IMM_CASE(br_ne_i32) AQE_IMM_CASE(br_ne_i64)
+    AQE_IMM_CASE(br_slt_i32) AQE_IMM_CASE(br_slt_i64)
+    AQE_IMM_CASE(br_sle_i32) AQE_IMM_CASE(br_sle_i64)
+    AQE_IMM_CASE(br_sgt_i32) AQE_IMM_CASE(br_sgt_i64)
+    AQE_IMM_CASE(br_sge_i32) AQE_IMM_CASE(br_sge_i64)
+    AQE_IMM_CASE(br_ult_i32) AQE_IMM_CASE(br_ult_i64)
+    AQE_IMM_CASE(br_ule_i32) AQE_IMM_CASE(br_ule_i64)
+    AQE_IMM_CASE(br_ugt_i32) AQE_IMM_CASE(br_ugt_i64)
+    AQE_IMM_CASE(br_uge_i32) AQE_IMM_CASE(br_uge_i64)
+    AQE_IMM_CASE(br_folt_f64) AQE_IMM_CASE(br_fogt_f64)
+#undef AQE_IMM_CASE
+    default: return false;
+  }
+}
+
+/// A plain integer/double constant whose raw bits can live in a literal-pool
+/// immediate. Returns true and sets `bits`; false for every other constant
+/// kind (pointers, constant expressions — those keep the register path).
+bool FusableImmediateBits(const llvm::Value* v, uint64_t* bits) {
+  if (const auto* ci = llvm::dyn_cast<llvm::ConstantInt>(v)) {
+    *bits = ci->getZExtValue();
+    return true;
+  }
+  if (const auto* cf = llvm::dyn_cast<llvm::ConstantFP>(v)) {
+    *bits = cf->getValueAPF().bitcastToAPInt().getZExtValue();
+    return true;
+  }
+  return false;
+}
+
 void Translator::PlanCmpBranchFusion() {
   if (!options_.fuse_cmp_branches) return;
   for (const llvm::BasicBlock& bb : fn_) {
@@ -1015,9 +1081,40 @@ void Translator::TranslateTerminator(const llvm::Instruction& term) {
                                          : fused_cmp_.end();
     if (fused_it != fused_cmp_.end()) {
       const auto* cmp = llvm::cast<llvm::CmpInst>(cond_inst);
-      uint32_t a2 = UseReg(cmp->getOperand(0));
-      uint32_t a3 = UseReg(cmp->getOperand(1));
-      index = Emit(fused_it->second, 0, a2, a3);
+      const llvm::Value* lhs = cmp->getOperand(0);
+      const llvm::Value* rhs = cmp->getOperand(1);
+      Opcode op = fused_it->second;
+      // Constant-operand form: the literal moves into a private literal-pool
+      // slot read directly by the handler, so it neither occupies a
+      // permanent register nor pays the entry load. A constant LHS is
+      // mirrored (c < x == x > c) onto the same encoding. Bits 0/1 keep the
+      // register path — the reserved slots already hold them for free.
+      uint64_t imm_bits = 0;
+      bool has_imm = false;
+      if (options_.fuse_cmp_branches && options_.fuse_imm_cmp_branches) {
+        if (FusableImmediateBits(rhs, &imm_bits)) {
+          has_imm = true;
+        } else if (FusableImmediateBits(lhs, &imm_bits)) {
+          Opcode mirrored;
+          if (MirrorCmpBranchOpcode(op, &mirrored)) {
+            op = mirrored;
+            std::swap(lhs, rhs);
+            has_imm = true;
+          }
+        }
+        if (has_imm && (imm_bits == 0 || imm_bits == 1)) has_imm = false;
+      }
+      Opcode imm_op;
+      if (has_imm && ImmCmpBranchOpcode(op, &imm_op) &&
+          program_.literal_pool.size() < 0xFFFF) {
+        uint64_t pool_index = program_.AddPrivateLiteral(imm_bits);
+        index = Emit(imm_op, static_cast<uint32_t>(pool_index), UseReg(lhs));
+        ++program_.fused_cmp_branch_imms;
+      } else {
+        uint32_t a2 = UseReg(lhs);
+        uint32_t a3 = UseReg(rhs);
+        index = Emit(op, 0, a2, a3);
+      }
       ++program_.fused_instructions;  // the compare folded away
       ++program_.fused_cmp_branches;
     } else {

@@ -24,6 +24,11 @@ struct TranslatorOptions {
   /// superinstruction. Independent of fuse_macro_ops so the ablation bench
   /// can isolate its effect.
   bool fuse_cmp_branches = true;
+  /// Enables the constant-operand forms of the fused compare-and-branch
+  /// (br_*_imm): a compare against a query constant reads it from a private
+  /// literal-pool slot instead of burning a constant-pool register and its
+  /// entry load. Only effective together with fuse_cmp_branches.
+  bool fuse_imm_cmp_branches = true;
 };
 
 /// Translates `fn` into a BcProgram following Fig 9: compute liveness and

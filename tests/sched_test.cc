@@ -156,6 +156,83 @@ TEST(TaskSchedulerTest, LowPriorityRunsDespiteEndlessNormalWork) {
   EXPECT_EQ(status, std::future_status::ready);
 }
 
+/// Counts its own slices and yields until told to stop.
+class CountedYieldTask : public Task {
+ public:
+  CountedYieldTask(std::atomic<uint64_t>* count, std::atomic<bool>* stop,
+                   std::promise<void>* done)
+      : count_(count), stop_(stop), done_(done) {}
+  Status Run(int) override {
+    if (stop_->load()) {
+      done_->set_value();
+      return Status::kDone;
+    }
+    count_->fetch_add(1);
+    return Status::kYield;
+  }
+
+ private:
+  std::atomic<uint64_t>* count_;
+  std::atomic<bool>* stop_;
+  std::promise<void>* done_;
+};
+
+TEST(TaskSchedulerTest, WeightedClassesShareSlicesProportionally) {
+  // Two endless yielders in different classes on one worker: the weight-4
+  // class must receive ~4x the slices of the weight-1 class.
+  std::atomic<uint64_t> slices1{0}, slices2{0};
+  std::atomic<bool> stop{false};
+  std::promise<void> done1, done2;
+  TaskScheduler sched(1);
+  sched.set_class_weight(1, 1);
+  sched.set_class_weight(2, 4);
+  auto t1 = std::make_unique<CountedYieldTask>(&slices1, &stop, &done1);
+  t1->set_scheduling_class(1);
+  auto t2 = std::make_unique<CountedYieldTask>(&slices2, &stop, &done2);
+  t2->set_scheduling_class(2);
+  sched.Submit(std::move(t1));
+  sched.Submit(std::move(t2));
+  while (slices1.load() + slices2.load() < 5000) std::this_thread::yield();
+  stop.store(true);
+  done1.get_future().wait();
+  done2.get_future().wait();
+  const double ratio = static_cast<double>(slices2.load()) /
+                       static_cast<double>(std::max<uint64_t>(1, slices1.load()));
+  EXPECT_GT(ratio, 2.0) << slices1.load() << " vs " << slices2.load();
+  EXPECT_LT(ratio, 8.0) << slices1.load() << " vs " << slices2.load();
+  // Per-class accounting covers every counted slice (the final kDone slices
+  // may still be mid-bookkeeping when the promise resolves, so >=).
+  EXPECT_GE(sched.class_slices(1) + sched.class_slices(2),
+            slices1.load() + slices2.load());
+}
+
+TEST(TaskSchedulerTest, IdleClassDoesNotBankCredit) {
+  // Class 1 runs alone for a while; when class 2 wakes up, its clock is
+  // clamped forward — it must not lock class 1 out while "catching up" on
+  // credit it banked while idle.
+  std::atomic<uint64_t> slices1{0}, slices2{0};
+  std::atomic<bool> stop{false};
+  std::promise<void> done1, done2;
+  TaskScheduler sched(1);
+  auto t1 = std::make_unique<CountedYieldTask>(&slices1, &stop, &done1);
+  t1->set_scheduling_class(1);
+  sched.Submit(std::move(t1));
+  while (slices1.load() < 3000) std::this_thread::yield();
+
+  auto t2 = std::make_unique<CountedYieldTask>(&slices2, &stop, &done2);
+  t2->set_scheduling_class(2);
+  sched.Submit(std::move(t2));
+  const uint64_t base1 = slices1.load();
+  while (slices2.load() < 500) std::this_thread::yield();
+  // Class 1 kept running during class 2's 500 slices (equal weights → the
+  // two alternate; a banked-credit bug would give class 2 thousands of
+  // slices first).
+  EXPECT_GT(slices1.load(), base1 + 100);
+  stop.store(true);
+  done1.get_future().wait();
+  done2.get_future().wait();
+}
+
 TEST(TaskSchedulerTest, StealOrderIsSubmissionOrder) {
   // Gate one worker with a blocking task (either worker may pick it up —
   // steals included), queue tagged tasks on the gated worker's deque, and

@@ -56,6 +56,9 @@ void ExpectDispatchEnginesAgree(const IrGenerator& gen, uint64_t a,
   std::vector<TranslatorOptions> option_sets;
   TranslatorOptions defaults;
   option_sets.push_back(defaults);
+  TranslatorOptions no_imm_fusion;
+  no_imm_fusion.fuse_imm_cmp_branches = false;
+  option_sets.push_back(no_imm_fusion);
   TranslatorOptions no_cmp_fusion;
   no_cmp_fusion.fuse_cmp_branches = false;
   option_sets.push_back(no_cmp_fusion);
@@ -211,6 +214,168 @@ TEST(VmDispatchTest, CmpBranchFusionEmitsSuperinstruction) {
   EXPECT_NE(unfused.Disassemble().find("condbr"), std::string::npos);
   // Fusion removes one instruction (the icmp).
   EXPECT_EQ(fused.code.size() + 1, unfused.code.size());
+}
+
+/// f = (a <pred> K) ? 111 : 222 with the constant on the LHS or RHS, so the
+/// peephole's immediate form (and its operand mirroring) is exercised.
+IrGenerator CmpImmBranchGen(llvm::CmpInst::Predicate pred, bool use_i32,
+                            uint64_t constant, bool constant_lhs) {
+  return [pred, use_i32, constant, constant_lhs](IrModule* mod) {
+    llvm::IRBuilder<> b(mod->context());
+    llvm::Function* fn = MakeF(mod, &b);
+    auto& ctx = mod->context();
+    auto* then_bb = llvm::BasicBlock::Create(ctx, "t", fn);
+    auto* else_bb = llvm::BasicBlock::Create(ctx, "e", fn);
+    llvm::Value* x = fn->getArg(0);
+    llvm::Value* k;
+    if (use_i32) {
+      x = b.CreateTrunc(x, b.getInt32Ty());
+      k = b.getInt32(static_cast<uint32_t>(constant));
+    } else {
+      k = b.getInt64(constant);
+    }
+    llvm::Value* cmp = constant_lhs ? b.CreateICmp(pred, k, x)
+                                    : b.CreateICmp(pred, x, k);
+    b.CreateCondBr(cmp, then_bb, else_bb);
+    b.SetInsertPoint(then_bb);
+    b.CreateRet(b.getInt64(111));
+    b.SetInsertPoint(else_bb);
+    b.CreateRet(b.getInt64(222));
+  };
+}
+
+TEST(VmDispatchTest, ImmCmpBranchAllPredicatesBothEnginesAtBoundaries) {
+  const llvm::CmpInst::Predicate predicates[] = {
+      llvm::CmpInst::ICMP_EQ,  llvm::CmpInst::ICMP_NE,
+      llvm::CmpInst::ICMP_SLT, llvm::CmpInst::ICMP_SLE,
+      llvm::CmpInst::ICMP_SGT, llvm::CmpInst::ICMP_SGE,
+      llvm::CmpInst::ICMP_ULT, llvm::CmpInst::ICMP_ULE,
+      llvm::CmpInst::ICMP_UGT, llvm::CmpInst::ICMP_UGE,
+  };
+  const uint64_t constants[] = {
+      2,  // plain
+      static_cast<uint64_t>(-7),
+      static_cast<uint64_t>(std::numeric_limits<int64_t>::min()),
+      static_cast<uint64_t>(std::numeric_limits<int64_t>::max()),
+      0x80000000ull,  // i32 sign boundary as unsigned
+  };
+  const uint64_t args[] = {0, 1, static_cast<uint64_t>(-7), 2, 3,
+                           static_cast<uint64_t>(-1), 0x80000000ull};
+  for (llvm::CmpInst::Predicate pred : predicates) {
+    for (bool use_i32 : {false, true}) {
+      for (bool constant_lhs : {false, true}) {
+        for (uint64_t k : constants) {
+          IrGenerator gen = CmpImmBranchGen(pred, use_i32, k, constant_lhs);
+          for (uint64_t x : args) {
+            ExpectDispatchEnginesAgree(gen, x, 0);
+            if (::testing::Test::HasFailure()) {
+              FAIL() << "pred=" << pred << " i32=" << use_i32
+                     << " const_lhs=" << constant_lhs << " k=" << k
+                     << " x=" << x;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(VmDispatchTest, ImmCmpBranchEmitsImmSuperinstruction) {
+  IrGenerator gen =
+      CmpImmBranchGen(llvm::CmpInst::ICMP_SLT, false, 42, /*lhs=*/false);
+  IrModule mod("m");
+  gen(&mod);
+  BcProgram fused =
+      TranslateToBytecode(*mod.module().getFunction("f"), TestRegistry(), {});
+  EXPECT_EQ(fused.fused_cmp_branches, 1u);
+  EXPECT_EQ(fused.fused_cmp_branch_imms, 1u);
+  EXPECT_NE(fused.Disassemble().find("br_slt_i64_imm"), std::string::npos);
+  // The compared constant lives in the literal pool, not the register file.
+  ASSERT_EQ(fused.literal_pool.size(), 1u);
+  EXPECT_EQ(fused.literal_pool[0], 42u);
+
+  // Without the imm option the same compare still fuses, through a
+  // constant-pool register — one more pool entry (and its entry load).
+  TranslatorOptions no_imm;
+  no_imm.fuse_imm_cmp_branches = false;
+  BcProgram reg_form = TranslateToBytecode(*mod.module().getFunction("f"),
+                                           TestRegistry(), no_imm);
+  EXPECT_EQ(reg_form.fused_cmp_branches, 1u);
+  EXPECT_EQ(reg_form.fused_cmp_branch_imms, 0u);
+  EXPECT_EQ(reg_form.Disassemble().find("_imm"), std::string::npos);
+  EXPECT_TRUE(reg_form.literal_pool.empty());
+  EXPECT_EQ(reg_form.constant_pool.size(), fused.constant_pool.size() + 1);
+}
+
+TEST(VmDispatchTest, ImmCmpBranchMirrorsConstantLhs) {
+  // 42 < x  must become  x > 42 (br_sgt_i64_imm).
+  IrGenerator gen =
+      CmpImmBranchGen(llvm::CmpInst::ICMP_SLT, false, 42, /*lhs=*/true);
+  IrModule mod("m");
+  gen(&mod);
+  BcProgram program =
+      TranslateToBytecode(*mod.module().getFunction("f"), TestRegistry(), {});
+  EXPECT_EQ(program.fused_cmp_branch_imms, 1u);
+  EXPECT_NE(program.Disassemble().find("br_sgt_i64_imm"), std::string::npos);
+}
+
+TEST(VmDispatchTest, ImmFcmpBranchWithNaN) {
+  for (llvm::CmpInst::Predicate pred :
+       {llvm::CmpInst::FCMP_OLT, llvm::CmpInst::FCMP_OGT}) {
+    for (double k : {1.5, -3.25}) {
+      IrGenerator gen = [pred, k](IrModule* mod) {
+        llvm::IRBuilder<> b(mod->context());
+        llvm::Function* fn = MakeF(mod, &b);
+        auto& ctx = mod->context();
+        auto* then_bb = llvm::BasicBlock::Create(ctx, "t", fn);
+        auto* else_bb = llvm::BasicBlock::Create(ctx, "e", fn);
+        auto* x = b.CreateBitCast(fn->getArg(0), b.getDoubleTy());
+        b.CreateCondBr(b.CreateFCmp(pred, x, llvm::ConstantFP::get(
+                                                 b.getDoubleTy(), k)),
+                       then_bb, else_bb);
+        b.SetInsertPoint(then_bb);
+        b.CreateRet(b.getInt64(111));
+        b.SetInsertPoint(else_bb);
+        b.CreateRet(b.getInt64(222));
+      };
+      {
+        IrModule mod("m");
+        gen(&mod);
+        BcProgram program = TranslateToBytecode(
+            *mod.module().getFunction("f"), TestRegistry(), {});
+        EXPECT_EQ(program.fused_cmp_branch_imms, 1u);
+      }
+      auto bits = [](double d) {
+        uint64_t u;
+        std::memcpy(&u, &d, sizeof(u));
+        return u;
+      };
+      const double values[] = {0.0, -0.0, 1.5, -1.5, -3.25,
+                               std::numeric_limits<double>::quiet_NaN(),
+                               std::numeric_limits<double>::infinity(),
+                               -std::numeric_limits<double>::infinity()};
+      for (double x : values) ExpectDispatchEnginesAgree(gen, bits(x), 0);
+    }
+  }
+}
+
+TEST(VmDispatchTest, ImmCmpBranchSkipsReservedZeroAndOne) {
+  // Compares against 0/1 keep the register form: the reserved slots already
+  // hold those values, so an immediate would only waste a pool entry.
+  for (uint64_t k : {uint64_t{0}, uint64_t{1}}) {
+    IrGenerator gen =
+        CmpImmBranchGen(llvm::CmpInst::ICMP_SGT, false, k, /*lhs=*/false);
+    IrModule mod("m");
+    gen(&mod);
+    BcProgram program = TranslateToBytecode(*mod.module().getFunction("f"),
+                                            TestRegistry(), {});
+    EXPECT_EQ(program.fused_cmp_branches, 1u);
+    EXPECT_EQ(program.fused_cmp_branch_imms, 0u);
+    EXPECT_TRUE(program.literal_pool.empty());
+    ExpectDispatchEnginesAgree(gen, 0, 0);
+    ExpectDispatchEnginesAgree(gen, 5, 0);
+    ExpectDispatchEnginesAgree(gen, static_cast<uint64_t>(-5), 0);
+  }
 }
 
 TEST(VmDispatchTest, MultiUseCompareIsNotFused) {
