@@ -33,11 +33,15 @@ namespace {
 
 struct PlanSpec {
   std::string label;
-  int tpch_number = 0;      ///< 0 = Q6 literal variant
-  TpchQ6Literals literals;  ///< used when tpch_number == 0
+  int tpch_number = 0;       ///< 0 = Q6 literal variant / Q14 LIKE variant
+  TpchQ6Literals literals;   ///< used when tpch_number == 0 and no pattern
+  std::string like_pattern;  ///< Q14 p_type pattern variant when non-empty
 };
 
 QueryProgram Build(const PlanSpec& plan, const Catalog& catalog) {
+  if (!plan.like_pattern.empty()) {
+    return BuildTpchQ14Variant(catalog, plan.like_pattern);
+  }
   return plan.tpch_number > 0 ? BuildTpchQuery(plan.tpch_number, catalog)
                               : BuildTpchQ6Variant(catalog, plan.literals);
 }
@@ -99,7 +103,13 @@ int main(int argc, char** argv) {
     lit.ship_date_lo += 31 * v;
     lit.ship_date_hi += 31 * v;
     lit.quantity_limit += 100 * v;
-    plans.push_back({"q6var" + std::to_string(v), 0, lit});
+    plans.push_back({"q6var" + std::to_string(v), 0, lit, ""});
+  }
+  // Q14 LIKE-pattern variants: fingerprint-equal to q14 (the prefix lowers
+  // to code-range literals on the sorted dictionary), exercising
+  // pattern-literal sharing through the constant-patch table.
+  for (const char* pattern : {"STANDARD%", "SMALL%", "LARGE%"}) {
+    plans.push_back({std::string("q14like_") + pattern, 0, {}, pattern});
   }
 
   QueryRunOptions options;

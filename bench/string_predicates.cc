@@ -1,0 +1,267 @@
+// String predicate benchmark: the src/strings/ acceptance harness. LIKE
+// predicates run end-to-end under three per-row representations —
+//
+//   bitmap   dictionary pre-evaluation: byte-per-code bitmap probe (or a
+//            code-range compare for prefix patterns), fuses with br_*
+//   call     per-row aqe_like_match runtime call: the call-heavy regime
+//            where compiled speedup shrinks (runtime-call-density signal)
+//   (both measured interpreted and compiled, across both VM dispatch
+//   engines, the JIT and the adaptive controller)
+//
+// over three workloads:
+//
+//   dict      lineitem: l_shipinstruct LIKE '%TAKE%BACK%' (4 distinct
+//             strings; general pattern, see note on kWorkloads)
+//   q16       part:     NOT p_type LIKE 'MEDIUM POLISHED%' (range compare)
+//   highcard  orders:   o_comment LIKE '%special%requests%' (Q13's
+//             predicate; nearly every comment distinct, so kAuto takes the
+//             runtime-call path and the shift-or matcher runs per row)
+//
+// Emits JSON lines (also to BENCH_strings.json): ns/row, match counts,
+// runtime-call density, adaptive final mode. `--smoke` asserts the
+// acceptance criteria: all engines agree on every workload, and on the
+// dictionary workload the bitmap path is >= 3x the runtime-call path per
+// row (exit 1 otherwise) — CI runs this in the Release jobs.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "strings/like_lowering.h"
+
+using namespace aqe;
+
+namespace {
+
+struct Workload {
+  const char* name;
+  const char* table;
+  const char* column;
+  const char* pattern;
+  bool negate = false;
+};
+
+// The dict workload's pattern is deliberately *general* (two '%'-separated
+// segments -> the compiled shift-or matcher): the bitmap path's per-row
+// probe cost is pattern-independent — pre-evaluation absorbs any matcher
+// complexity at setup — while the call path pays it per row. A bare
+// contains pattern would understate the gap the bitmap path exists to
+// close.
+const Workload kWorkloads[] = {
+    {"dict", "lineitem", "l_shipinstruct", "%TAKE%BACK%", false},
+    {"q16", "part", "p_type", "MEDIUM POLISHED%", true},
+    {"highcard", "orders", "o_comment", "%special%requests%", false},
+};
+
+/// SELECT count(*) FROM <table> WHERE [NOT] <column> LIKE <pattern>.
+QueryProgram BuildLikeCount(const Catalog& catalog, const Workload& w,
+                            LikeStrategy strategy) {
+  QueryProgram q(std::string("strings_") + w.name + "_" +
+                 (strategy == LikeStrategy::kBitmap ? "bitmap" : "call"));
+  const Table* table = catalog.GetTable(w.table);
+  int t = q.DeclareBaseTable(w.table);
+  LikeLoweringOptions options;
+  options.strategy = strategy;
+  LoweredLike lowered = LowerLikePredicate(
+      &q, *table, table->ColumnIndex(w.column), /*code_slot=*/0, w.pattern,
+      options);
+  ExprPtr predicate = std::move(lowered.expr);
+  if (w.negate) predicate = Not(std::move(predicate));
+
+  int agg = q.DeclareAggSet(1, {0});
+  PipelineSpec p;
+  p.name = std::string("scan ") + w.table;
+  p.source_table = t;
+  p.scan_columns = {table->ColumnIndex(w.column)};
+  p.ops.push_back(OpFilter{std::move(predicate)});
+  SinkAgg sink;
+  sink.agg = agg;
+  sink.key = I64(0);
+  sink.items.push_back({AggKind::kCount, nullptr, false});
+  p.sink = std::move(sink);
+  q.AddPipeline(std::move(p));
+  q.AddStep([agg](QueryContext* ctx) {
+    AggHashTable merged(1, {0});
+    ctx->agg_sets[static_cast<size_t>(agg)]->MergeInto(
+        &merged, [](uint32_t, int64_t* acc, int64_t v) { *acc += v; });
+    int64_t count = 0;
+    merged.ForEach([&count](int64_t, void* payload) {
+      count = static_cast<const int64_t*>(payload)[0];
+    });
+    ctx->result.push_back({count});
+  });
+  return q;
+}
+
+struct EngineConfig {
+  EngineKind engine;
+  ExecutionStrategy strategy;
+  VmDispatch vm_dispatch;
+  const char* label;
+};
+
+const EngineConfig kConfigs[] = {
+    {EngineKind::kVolcano, ExecutionStrategy::kBytecode, VmDispatch::kDefault,
+     "volcano"},
+    {EngineKind::kVectorized, ExecutionStrategy::kBytecode,
+     VmDispatch::kDefault, "vectorized"},
+    {EngineKind::kCompiled, ExecutionStrategy::kBytecode, VmDispatch::kSwitch,
+     "vm-switch"},
+    {EngineKind::kCompiled, ExecutionStrategy::kBytecode,
+     VmDispatch::kThreaded, "vm-threaded"},
+    {EngineKind::kCompiled, ExecutionStrategy::kOptimized,
+     VmDispatch::kDefault, "jit-opt"},
+    {EngineKind::kCompiled, ExecutionStrategy::kAdaptive, VmDispatch::kDefault,
+     "adaptive"},
+};
+
+void EmitJson(const char* line, std::FILE* json_out) {
+  std::printf("%s\n", line);
+  if (json_out != nullptr) std::fprintf(json_out, "%s\n", line);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  // Smoke needs enough rows that the bitmap path's ns/row isn't dominated
+  // by fixed pipeline overhead (the 3x acceptance ratio is a per-row
+  // claim), hence 0.02 rather than the usual 0.01 smoke scale.
+  const double sf = bench::EnvDouble("AQE_SF", smoke ? 0.02 : 0.05);
+  const int threads = bench::EnvInt("AQE_THREADS", 2);
+  // Best-of-N with one untimed warmup per config; smoke repeats more so
+  // the >= 3x acceptance ratio is stable on a noisy 1-core host (best-of
+  // converges monotonically, and ~20% run-to-run variance was observed
+  // with only 3 repeats).
+  const int repeats = bench::EnvInt("AQE_REPEATS", smoke ? 9 : 5);
+  Catalog* catalog = bench::TpchAtScale(sf);
+  QueryEngine engine(catalog, threads);
+  std::FILE* json_out = std::fopen("BENCH_strings.json", "w");
+
+  std::printf("String predicate benchmark (SF %g, %d workers)%s\n", sf,
+              threads, smoke ? " [smoke]" : "");
+  std::printf("%-9s %-7s %-11s %12s %10s %9s %s\n", "workload", "path",
+              "engine", "rows", "matches", "ns/row", "final-mode");
+
+  // best exec-seconds per (workload, path-label, engine-label)
+  int failures = 0;
+  double dict_bitmap_best_ns = 0, dict_call_best_ns = 0;
+
+  for (const Workload& w : kWorkloads) {
+    const Table* table = catalog->GetTable(w.table);
+    const double rows = static_cast<double>(table->num_rows());
+    int64_t reference_count = -1;
+
+    for (LikeStrategy strategy :
+         {LikeStrategy::kBitmap, LikeStrategy::kRuntimeCall}) {
+      const char* path =
+          strategy == LikeStrategy::kBitmap ? "bitmap" : "call";
+
+      // Runtime-call density of this plan's scan pipeline (cost-model
+      // input; ~0 on the bitmap path).
+      QueryProgram cost_probe = BuildLikeCount(*catalog, w, strategy);
+      const auto costs = engine.MeasureCompileCosts(
+          cost_probe, /*measure_unopt=*/false, /*measure_opt=*/false);
+      const double call_fraction =
+          costs.empty() ? 0 : costs.front().runtime_call_fraction;
+
+      for (const EngineConfig& config : kConfigs) {
+        double best_exec = 0;
+        int64_t matches = -1;
+        ExecMode final_mode = ExecMode::kBytecode;
+        for (int r = -1; r < repeats; ++r) {  // r == -1: untimed warmup
+          QueryProgram q = BuildLikeCount(*catalog, w, strategy);
+          QueryRunOptions options;
+          options.engine = config.engine;
+          options.strategy = config.strategy;
+          options.vm_dispatch = config.vm_dispatch;
+          // Whole pipeline on one thread (the paper's latency setup):
+          // per-row costs aren't blurred by morsel scheduling, which
+          // matters for the sub-ms bitmap-path runs the smoke asserts on.
+          options.single_threaded = true;
+          QueryRunResult result = engine.Run(q, options);
+          const double exec = bench::ExecOnlySeconds(result);
+          if (r <= 0 || exec < best_exec) best_exec = exec;
+          matches = result.rows.at(0).at(0);
+          for (const PipelineReport& p : result.pipelines) {
+            final_mode = p.final_mode;
+          }
+        }
+        if (reference_count < 0) reference_count = matches;
+        if (matches != reference_count) {
+          std::fprintf(
+              stderr, "DIFFERENTIAL FAIL: %s/%s/%s count %lld != reference "
+                      "%lld\n",
+              w.name, path, config.label, static_cast<long long>(matches),
+              static_cast<long long>(reference_count));
+          ++failures;
+        }
+        const double ns_per_row = best_exec / rows * 1e9;
+        const bool compiled = config.engine == EngineKind::kCompiled;
+        std::printf("%-9s %-7s %-11s %12.0f %10lld %9.2f %s\n", w.name, path,
+                    config.label, rows, static_cast<long long>(matches),
+                    ns_per_row,
+                    compiled ? ExecModeName(final_mode) : "-");
+        char line[512];
+        std::snprintf(
+            line, sizeof(line),
+            "{\"bench\":\"string_predicates\",\"sf\":%g,\"workload\":\"%s\","
+            "\"path\":\"%s\",\"engine\":\"%s\",\"rows\":%.0f,"
+            "\"matches\":%lld,\"ns_per_row\":%.3f,"
+            "\"runtime_call_fraction\":%.4f,\"final_mode\":\"%s\"}",
+            sf, w.name, path, config.label, rows,
+            static_cast<long long>(matches), ns_per_row, call_fraction,
+            compiled ? ExecModeName(final_mode) : "-");
+        EmitJson(line, json_out);
+
+        if (std::strcmp(w.name, "dict") == 0 &&
+            std::strcmp(config.label, "jit-opt") == 0) {
+          if (strategy == LikeStrategy::kBitmap) {
+            dict_bitmap_best_ns = ns_per_row;
+          } else {
+            dict_call_best_ns = ns_per_row;
+          }
+        }
+      }
+    }
+  }
+
+  const double bitmap_advantage =
+      dict_bitmap_best_ns > 0 ? dict_call_best_ns / dict_bitmap_best_ns : 0;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "{\"bench\":\"string_predicates\",\"summary\":{"
+                "\"dict_bitmap_ns_per_row\":%.3f,"
+                "\"dict_call_ns_per_row\":%.3f,"
+                "\"bitmap_over_call\":%.2f}}",
+                dict_bitmap_best_ns, dict_call_best_ns, bitmap_advantage);
+  EmitJson(line, json_out);
+  if (json_out != nullptr) std::fclose(json_out);
+
+  std::printf("\ndictionary workload, jit-opt: bitmap %.2f ns/row vs call "
+              "%.2f ns/row -> %.1fx\n",
+              dict_bitmap_best_ns, dict_call_best_ns, bitmap_advantage);
+
+  if (smoke) {
+    // Acceptance: the pre-evaluated bitmap probe must beat the per-row
+    // runtime call by >= 3x on the dictionary-encoded workload.
+    if (bitmap_advantage < 3.0) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: bitmap path only %.2fx the runtime-call "
+                   "path (need >= 3x)\n",
+                   bitmap_advantage);
+      ++failures;
+    }
+    if (failures == 0) {
+      std::printf("smoke assertions passed: engines agree, bitmap %.1fx "
+                  ">= 3x call path\n",
+                  bitmap_advantage);
+    }
+  }
+  // Engine disagreement is a correctness failure in any mode; the perf
+  // ratio only gates --smoke.
+  return failures > 0 ? 1 : 0;
+}

@@ -488,7 +488,7 @@ void PipelineRun::Evaluate() {
   double r0 = rate_sum / rate_count;
   Decision decision = ExtrapolatePipelineDurations(
       r0, st_->shards.remaining(), participants_, task_.function_instructions,
-      mode, params_);
+      mode, params_, task_.runtime_call_fraction);
   if (decision == Decision::kDoNothing) return;
   st_->compile_target = decision == Decision::kCompileUnoptimized
                             ? ExecMode::kUnoptimized
@@ -573,7 +573,8 @@ PipelineRunStats PipelineRunner::RunGang(const PipelineTask& task) {
     double r0 = rate_sum / rate_count;
     Decision decision = ExtrapolatePipelineDurations(
         r0, queue.remaining(), pool_->num_threads(),
-        task.function_instructions, mode, params_);
+        task.function_instructions, mode, params_,
+        task.runtime_call_fraction);
     if (decision == Decision::kDoNothing) return;
     compile_and_install(decision == Decision::kCompileUnoptimized
                             ? ExecMode::kUnoptimized

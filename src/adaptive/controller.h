@@ -33,6 +33,11 @@ struct PipelineTask {
   void* state = nullptr;
   uint64_t total_tuples = 0;          ///< known at pipeline start (§III-A)
   uint64_t function_instructions = 0; ///< LLVM instruction count (cost model)
+  /// Fraction of per-tuple time spent in opaque runtime calls
+  /// (RuntimeCallFraction over the worker's loop-body IR): discounts the
+  /// compiled speedups in every §III-C evaluation, so call-heavy pipelines
+  /// (LIKE via aqe_like_match) stay interpreted longer.
+  double runtime_call_fraction = 0;
   /// Compiles the pipeline's worker function in the given mode and returns
   /// the machine code (the callee keeps the compiled module alive). Invoked
   /// from a worker thread, at most once per mode.

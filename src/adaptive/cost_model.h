@@ -29,6 +29,26 @@ struct CostModelParams {
   double unopt_speedup = 2.9;
   double opt_speedup = 3.5;
 
+  /// Cost of one opaque runtime call relative to one straight-line LLVM
+  /// instruction, for the runtime-call-density signal: a call's
+  /// save/call/ret plus the C++ work behind it (hash-table probes, string
+  /// matchers) dwarfs an interpreted add, and compilation cannot shrink
+  /// it. Feeds RuntimeCallFraction below.
+  double runtime_call_weight = 12.0;
+
+  /// Amdahl-style discount: the fraction `call_fraction` of per-tuple time
+  /// spent inside runtime calls runs at the same speed in every mode, so
+  /// the effective speedup of a compiled mode over bytecode is
+  ///   1 / (f + (1 - f) / s).
+  /// Call-heavy pipelines (string predicates through aqe_like_match) see
+  /// their compiled advantage shrink toward 1, which keeps the §III-C
+  /// mode-switch decisions calibrated on workloads fusion cannot help.
+  static double EffectiveSpeedup(double speedup, double call_fraction) {
+    if (call_fraction <= 0) return speedup;
+    if (call_fraction >= 1) return 1.0;
+    return 1.0 / (call_fraction + (1.0 - call_fraction) / speedup);
+  }
+
   double UnoptCompileSeconds(uint64_t instructions) const {
     return unopt_base_seconds +
            unopt_per_instruction_seconds * static_cast<double>(instructions);
@@ -47,7 +67,8 @@ inline bool operator==(const CostModelParams& a, const CostModelParams& b) {
          a.unopt_per_instruction_seconds == b.unopt_per_instruction_seconds &&
          a.opt_base_seconds == b.opt_base_seconds &&
          a.opt_per_instruction_seconds == b.opt_per_instruction_seconds &&
-         a.unopt_speedup == b.unopt_speedup && a.opt_speedup == b.opt_speedup;
+         a.unopt_speedup == b.unopt_speedup && a.opt_speedup == b.opt_speedup &&
+         a.runtime_call_weight == b.runtime_call_weight;
 }
 inline bool operator!=(const CostModelParams& a, const CostModelParams& b) {
   return !(a == b);
@@ -71,12 +92,23 @@ const char* DecisionName(Decision decision);
 /// processing at r0). `current_mode` generalizes the paper's bytecode-only
 /// starting point: from kUnoptimized only the optimized upgrade is
 /// considered, from kOptimized the answer is always kDoNothing.
+/// Estimated fraction of a pipeline's per-tuple time spent inside opaque
+/// runtime calls, from the worker function's loop-body IR counts
+/// (IrFunctionStats.loop_instructions / loop_calls) weighted by
+/// `params.runtime_call_weight`. 0 for call-free scan filters; approaches
+/// 1 for call-per-row predicates like the LIKE runtime path.
+double RuntimeCallFraction(uint64_t loop_instructions, uint64_t loop_calls,
+                           const CostModelParams& params);
+
+/// `runtime_call_fraction` discounts both compiled speedups via
+/// CostModelParams::EffectiveSpeedup before the extrapolation.
 Decision ExtrapolatePipelineDurations(double tuples_per_second_per_thread,
                                       uint64_t remaining_tuples,
                                       int active_workers,
                                       uint64_t function_instructions,
                                       ExecMode current_mode,
-                                      const CostModelParams& params);
+                                      const CostModelParams& params,
+                                      double runtime_call_fraction = 0.0);
 
 }  // namespace aqe
 

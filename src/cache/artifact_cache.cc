@@ -93,6 +93,7 @@ ArtifactCacheStats ArtifactCache::stats() const {
   s.code_hits = code_hits_.load();
   s.publishes = publishes_.load();
   s.evictions = evictions_.load();
+  s.cost_feedback_updates = cost_feedback_updates_.load();
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     s.bytes += shard.bytes;

@@ -28,6 +28,10 @@ struct ArtifactCacheStats {
   uint64_t code_hits = 0;       ///< pipeline seeded cached machine code
   uint64_t publishes = 0;       ///< artifacts written back
   uint64_t evictions = 0;       ///< entries dropped by the LRU byte budget
+  /// Completed queries that fed their observed service time back into
+  /// their plan's admission-cost EWMA (CacheEntry::ewma_service_ms) — the
+  /// cold-query estimate WFQ admission charges converges as this grows.
+  uint64_t cost_feedback_updates = 0;
   uint64_t bytes = 0;
   uint64_t entries = 0;
 };
@@ -57,6 +61,9 @@ struct PipelineArtifact {
   /// types match (temp-table schemas are only knowable at run time).
   std::vector<DataType> column_types;
   uint64_t instructions = 0;  ///< LLVM instruction count (cost model input)
+  /// Runtime-call density of the worker's loop body (cost model input;
+  /// recorded at first publish so cache hits skip IR generation entirely).
+  double runtime_call_fraction = 0;
 
   /// Machine code, valid for exactly `code_constants` (machine code embeds
   /// the literals; only the bytecode is patchable).
@@ -76,8 +83,15 @@ struct CacheEntry {
   uint64_t key = 0;  ///< ArtifactCacheKey(fingerprint, translator options)
   std::string plan_name;
 
-  std::mutex mu;  ///< guards `pipelines`
+  std::mutex mu;  ///< guards `pipelines` and the service-time feedback
   std::vector<PipelineArtifact> pipelines;
+
+  /// Admission cost feedback: EWMA of completed runs' observed service
+  /// time (queue wait excluded). Replaces the flat cold-query default in
+  /// the engine's weighted-fair admission once `observed_queries > 0`, so
+  /// cold estimates converge per plan fingerprint.
+  double ewma_service_ms = 0;
+  uint64_t observed_queries = 0;
 };
 
 /// Concurrent plan-fingerprint → artifact map: sharded locks, per-shard LRU
@@ -117,6 +131,7 @@ class ArtifactCache {
   void CountBytecodeMiss() { ++bytecode_misses_; }
   void CountCodeHit() { ++code_hits_; }
   void CountPublish() { ++publishes_; }
+  void CountCostFeedback() { ++cost_feedback_updates_; }
 
  private:
   /// A resident entry's cache-side bookkeeping, all under the shard lock
@@ -145,6 +160,7 @@ class ArtifactCache {
   std::atomic<uint64_t> bytecode_hits_{0}, patched_hits_{0};
   std::atomic<uint64_t> bytecode_misses_{0}, code_hits_{0};
   std::atomic<uint64_t> publishes_{0}, evictions_{0};
+  std::atomic<uint64_t> cost_feedback_updates_{0};
 };
 
 /// Approximate resident footprint of a translated program.

@@ -46,12 +46,14 @@ enum Tag : uint64_t {
   kTagPipeline = 0xE5,
   kTagStage = 0xE6,
   kTagDecl = 0xE7,
+  kTagLike = 0xE8,
 };
 
 struct FingerprintBuilder {
   const QueryProgram& program;
   HashStream hash;
   std::vector<uint64_t> constants;
+  std::vector<std::string> string_literals;
 
   explicit FingerprintBuilder(const QueryProgram& program)
       : program(program) {}
@@ -68,6 +70,22 @@ struct FingerprintBuilder {
       }
     }
     hash.U64(reinterpret_cast<uint64_t>(bitmap));
+  }
+
+  /// Index of `pred` in the program's LIKE-predicate list (its
+  /// binding-array slot); the *pattern* is extracted as a string literal,
+  /// not hashed — pattern-only variants share artifacts without patching
+  /// because the matcher flows through the binding array.
+  void HashLikePred(const LikePredicate* pred) {
+    const auto& preds = program.like_predicates();
+    for (size_t i = 0; i < preds.size(); ++i) {
+      if (preds[i].get() == pred) {
+        hash.U64(i);
+        string_literals.push_back(pred->matcher.pattern());
+        return;
+      }
+    }
+    hash.U64(reinterpret_cast<uint64_t>(pred));
   }
 
   void HashExpr(const Expr& expr) {
@@ -91,6 +109,10 @@ struct FingerprintBuilder {
       }
       case ExprKind::kBitmapTest:
         HashBitmap(expr.bitmap);
+        break;
+      case ExprKind::kLike:
+        hash.U64(kTagLike);
+        HashLikePred(expr.like_pred);
         break;
       default:
         break;
@@ -252,6 +274,9 @@ PlanFingerprint FingerprintProgram(const QueryProgram& program) {
   h.U64(static_cast<uint64_t>(program.num_agg_sets()));
   h.U64(static_cast<uint64_t>(program.num_outputs()));
   h.U64(program.bitmaps().size());
+  // LIKE-predicate count fixes the binding-array layout like the bitmap
+  // count does (LikePredSlot comes after BitmapSlot).
+  h.U64(program.like_predicates().size());
 
   h.U64(kTagStage);
   h.U64(program.stages().size());
@@ -276,6 +301,7 @@ PlanFingerprint FingerprintProgram(const QueryProgram& program) {
 
   fp.structural_hash = h.digest();
   fp.constants = std::move(builder.constants);
+  fp.string_literals = std::move(builder.string_literals);
   HashStream ch;
   for (uint64_t c : fp.constants) ch.U64(c);
   fp.constants_hash = ch.digest();

@@ -32,6 +32,12 @@ struct PlanFingerprint {
   uint64_t constants_hash = 0;
   /// Per-pipeline [begin, end) slice into `constants`.
   std::vector<std::pair<uint32_t, uint32_t>> pipeline_constants;
+  /// LIKE patterns (kLike expressions), traversal order — extracted as
+  /// literals exactly like numeric constants, but they need no patch slots:
+  /// the matcher object reaches the worker through the binding array, so
+  /// plans differing only in patterns share bytecode *and* machine code
+  /// as-is. Recorded for introspection and tests.
+  std::vector<std::string> string_literals;
   std::string plan_name;
 };
 

@@ -1,6 +1,7 @@
 #include "codegen/expr_compiler.h"
 
 #include <llvm/IR/Intrinsics.h>
+#include <llvm/IR/Module.h>
 
 #include "common/status.h"
 
@@ -83,6 +84,28 @@ llvm::Value* ExprCompiler::Compile(const Expr& expr,
       // the widths the query compiler emits (i32/i64), not i8.
       return b.CreateICmpNE(b.CreateZExt(byte, b.getInt32Ty()),
                             b.getInt32(0));
+    }
+    case ExprKind::kLike: {
+      // Per-row runtime call: the deliberate anti-fusion case. The callee
+      // is a registered runtime function (uniform i64 ABI), so the VM
+      // translator and JIT both resolve it; the predicate address comes
+      // from the binding array to keep artifacts position-independent.
+      llvm::Value* code = child(0);
+      llvm::Value* pred_i64 = nullptr;
+      if (like_values_ != nullptr) {
+        auto it = like_values_->find(expr.like_pred);
+        AQE_CHECK_MSG(it != like_values_->end(),
+                      "LIKE predicate missing from the worker's binding array");
+        pred_i64 = it->second;
+      } else {
+        pred_i64 = b.getInt64(reinterpret_cast<uint64_t>(expr.like_pred));
+      }
+      llvm::Module* mod = b.GetInsertBlock()->getParent()->getParent();
+      auto* i64 = b.getInt64Ty();
+      llvm::FunctionCallee callee = mod->getOrInsertFunction(
+          "aqe_like_match", llvm::FunctionType::get(i64, {i64, i64}, false));
+      llvm::Value* match = b.CreateCall(callee, {pred_i64, code});
+      return b.CreateICmpNE(match, b.getInt64(0));
     }
     case ExprKind::kCastF64:
       return b.CreateSIToFP(child(0), b.getDoubleTy());

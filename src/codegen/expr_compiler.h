@@ -18,17 +18,21 @@ namespace aqe {
 ///
 /// `bitmap_values` maps a kBitmapTest bitmap pointer to the i64 value
 /// holding its runtime base address (loaded from the worker's binding
-/// array). When absent, the pointer is embedded as a constant — acceptable
-/// for standalone kernels, but position-dependent, so the pipeline path
-/// always supplies the map (the artifact cache relies on it).
+/// array), and `like_values` does the same for kLike predicate objects.
+/// When absent, the pointer is embedded as a constant — acceptable for
+/// standalone kernels, but position-dependent, so the pipeline path always
+/// supplies the maps (the artifact cache relies on them).
 class ExprCompiler {
  public:
   ExprCompiler(llvm::IRBuilder<>* builder, llvm::BasicBlock* overflow_block,
                const std::map<const uint8_t*, llvm::Value*>* bitmap_values =
-                   nullptr)
+                   nullptr,
+               const std::map<const LikePredicate*, llvm::Value*>*
+                   like_values = nullptr)
       : builder_(builder),
         overflow_block_(overflow_block),
-        bitmap_values_(bitmap_values) {}
+        bitmap_values_(bitmap_values),
+        like_values_(like_values) {}
 
   /// Compiles `expr` against the current slot values. Bool results are i1,
   /// I64 results i64, F64 results double.
@@ -43,6 +47,7 @@ class ExprCompiler {
   llvm::IRBuilder<>* builder_;
   llvm::BasicBlock* overflow_block_;
   const std::map<const uint8_t*, llvm::Value*>* bitmap_values_;
+  const std::map<const LikePredicate*, llvm::Value*>* like_values_;
 };
 
 }  // namespace aqe

@@ -11,42 +11,59 @@
 namespace aqe {
 namespace {
 
-bool ExprUsesBitmap(const Expr& expr, const uint8_t* bitmap) {
-  if (expr.kind == ExprKind::kBitmapTest && expr.bitmap == bitmap) return true;
+template <typename Pred>
+bool AnyExprNode(const Expr& expr, const Pred& pred) {
+  if (pred(expr)) return true;
   for (const auto& child : expr.children) {
-    if (ExprUsesBitmap(*child, bitmap)) return true;
+    if (AnyExprNode(*child, pred)) return true;
   }
   return false;
 }
 
-bool PipelineUsesBitmap(const PipelineSpec& spec, const uint8_t* bitmap) {
+/// True when any expression node of the pipeline satisfies `pred` — the
+/// reachability scan behind the entry block's binding hoists.
+template <typename Pred>
+bool AnyPipelineExpr(const PipelineSpec& spec, const Pred& pred) {
   for (const PipelineOp& op : spec.ops) {
     if (const auto* filter = std::get_if<OpFilter>(&op)) {
-      if (ExprUsesBitmap(*filter->predicate, bitmap)) return true;
+      if (AnyExprNode(*filter->predicate, pred)) return true;
     } else if (const auto* compute = std::get_if<OpCompute>(&op)) {
-      if (ExprUsesBitmap(*compute->expr, bitmap)) return true;
-    } else if (ExprUsesBitmap(*std::get<OpProbe>(op).key, bitmap)) {
+      if (AnyExprNode(*compute->expr, pred)) return true;
+    } else if (AnyExprNode(*std::get<OpProbe>(op).key, pred)) {
       return true;
     }
   }
   if (const auto* build = std::get_if<SinkBuild>(&spec.sink)) {
-    if (ExprUsesBitmap(*build->key, bitmap)) return true;
+    if (AnyExprNode(*build->key, pred)) return true;
     for (const auto& p : build->payload) {
-      if (ExprUsesBitmap(*p, bitmap)) return true;
+      if (AnyExprNode(*p, pred)) return true;
     }
   } else if (const auto* agg = std::get_if<SinkAgg>(&spec.sink)) {
-    if (ExprUsesBitmap(*agg->key, bitmap)) return true;
+    if (AnyExprNode(*agg->key, pred)) return true;
     for (const AggItem& item : agg->items) {
-      if (item.value != nullptr && ExprUsesBitmap(*item.value, bitmap)) {
+      if (item.value != nullptr && AnyExprNode(*item.value, pred)) {
         return true;
       }
     }
   } else {
     for (const auto& v : std::get<SinkOutput>(spec.sink).values) {
-      if (ExprUsesBitmap(*v, bitmap)) return true;
+      if (AnyExprNode(*v, pred)) return true;
     }
   }
   return false;
+}
+
+bool PipelineUsesBitmap(const PipelineSpec& spec, const uint8_t* bitmap) {
+  return AnyPipelineExpr(spec, [bitmap](const Expr& e) {
+    return e.kind == ExprKind::kBitmapTest && e.bitmap == bitmap;
+  });
+}
+
+bool PipelineUsesLikePred(const PipelineSpec& spec,
+                          const LikePredicate* pred) {
+  return AnyPipelineExpr(spec, [pred](const Expr& e) {
+    return e.kind == ExprKind::kLike && e.like_pred == pred;
+  });
 }
 
 /// Per-function emission state.
@@ -168,6 +185,13 @@ void WorkerEmitter::Emit() {
           BindingValue(bindings.BitmapSlot(id));
     }
   }
+  std::map<const LikePredicate*, llvm::Value*> like_values;
+  for (size_t id = 0; id < bindings.like_preds.size(); ++id) {
+    if (PipelineUsesLikePred(spec, bindings.like_preds[id])) {
+      like_values[bindings.like_preds[id]] =
+          BindingValue(bindings.LikePredSlot(id));
+    }
+  }
   llvm::Value* agg_local = nullptr;
   llvm::Value* build_table = nullptr;
   llvm::Value* output_buffer = nullptr;
@@ -192,7 +216,7 @@ void WorkerEmitter::Emit() {
   b.CreateCondBr(in_range, body, exit);
 
   b.SetInsertPoint(body);
-  ExprCompiler exprs(&b, overflow_block, &bitmap_values);
+  ExprCompiler exprs(&b, overflow_block, &bitmap_values, &like_values);
 
   // Scan: materialize the requested columns into slots, widening i32 to
   // i64. These are the fusable gep+load pairs of §IV-F.
@@ -350,6 +374,9 @@ std::vector<uint64_t> PipelineBindings::Pack() const {
   for (void* p : agg_sets) values.push_back(reinterpret_cast<uint64_t>(p));
   for (void* p : outputs) values.push_back(reinterpret_cast<uint64_t>(p));
   for (const uint8_t* p : bitmaps) {
+    values.push_back(reinterpret_cast<uint64_t>(p));
+  }
+  for (const LikePredicate* p : like_preds) {
     values.push_back(reinterpret_cast<uint64_t>(p));
   }
   return values;

@@ -24,6 +24,8 @@ struct PipelineBindings {
   std::vector<void*> agg_sets;           ///< per program agg id
   std::vector<void*> outputs;            ///< per program output id
   std::vector<const uint8_t*> bitmaps;   ///< per program bitmap, decl order
+  /// Per program LIKE predicate, decl order (src/strings/).
+  std::vector<const LikePredicate*> like_preds;
 
   /// Slot indices (8-byte units) into the packed binding array. The layout
   /// is a pure function of the counts, so structurally equal plans agree on
@@ -40,9 +42,13 @@ struct PipelineBindings {
     return column_data.size() + join_tables.size() + agg_sets.size() +
            outputs.size() + id;
   }
+  size_t LikePredSlot(size_t id) const {
+    return column_data.size() + join_tables.size() + agg_sets.size() +
+           outputs.size() + bitmaps.size() + id;
+  }
   size_t NumSlots() const {
     return column_data.size() + join_tables.size() + agg_sets.size() +
-           outputs.size() + bitmaps.size();
+           outputs.size() + bitmaps.size() + like_preds.size();
   }
 
   /// The per-run binding array the worker receives as `state`. The caller

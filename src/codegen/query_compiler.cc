@@ -27,6 +27,9 @@ PipelineBindings BindPipeline(const QueryProgram& program,
   for (const auto& bitmap : program.bitmaps()) {
     bindings.bitmaps.push_back(bitmap->data());
   }
+  for (const auto& pred : program.like_predicates()) {
+    bindings.like_preds.push_back(pred.get());
+  }
   return bindings;
 }
 
@@ -68,7 +71,10 @@ GeneratedPipeline GeneratePipeline(const PipelineSpec& spec,
   EmitWorkerFunction(spec, bindings, result.mod.get(), fn_name);
   const llvm::Function* fn = result.mod->module().getFunction(fn_name);
   AQE_CHECK(fn != nullptr);
-  result.instructions = ComputeFunctionStats(*fn).instructions;
+  const IrFunctionStats stats = ComputeFunctionStats(*fn);
+  result.instructions = stats.instructions;
+  result.loop_instructions = stats.loop_instructions;
+  result.loop_calls = stats.loop_calls;
   result.codegen_millis = timer.ElapsedMillis();
   return result;
 }

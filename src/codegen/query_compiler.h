@@ -16,6 +16,11 @@ namespace aqe {
 struct GeneratedPipeline {
   std::unique_ptr<IrModule> mod;
   uint64_t instructions = 0;
+  /// Loop-body IR counts for the runtime-call-density cost-model input
+  /// (see IrFunctionStats): per-tuple instructions and opaque runtime
+  /// calls the generated code pays in every execution mode.
+  uint64_t loop_instructions = 0;
+  uint64_t loop_calls = 0;
   double codegen_millis = 0;
 };
 

@@ -230,7 +230,8 @@ class CachePublishTask : public Task {
                    size_t pipeline, ExecMode mode,
                    std::shared_ptr<CachedCode> code,
                    std::vector<uint64_t> constants,
-                   std::vector<DataType> column_types, uint64_t instructions)
+                   std::vector<DataType> column_types, uint64_t instructions,
+                   double runtime_call_fraction)
       : cache_(cache),
         entry_(std::move(entry)),
         pipeline_(pipeline),
@@ -238,7 +239,8 @@ class CachePublishTask : public Task {
         code_(std::move(code)),
         constants_(std::move(constants)),
         column_types_(std::move(column_types)),
-        instructions_(instructions) {}
+        instructions_(instructions),
+        runtime_call_fraction_(runtime_call_fraction) {}
 
   Status Run(int) override {
     int64_t delta = 0;
@@ -269,6 +271,9 @@ class CachePublishTask : public Task {
       delta += static_cast<int64_t>(code_->approx_bytes);
       slot = std::move(code_);
       if (a.instructions == 0) a.instructions = instructions_;
+      if (a.runtime_call_fraction == 0) {
+        a.runtime_call_fraction = runtime_call_fraction_;
+      }
       a.best_mode = std::max(a.best_mode, mode_);
     }
     cache_->OnBytesChanged(*entry_, delta);
@@ -285,6 +290,7 @@ class CachePublishTask : public Task {
   std::vector<uint64_t> constants_;
   std::vector<DataType> column_types_;
   uint64_t instructions_;
+  double runtime_call_fraction_;
 };
 
 /// Shares `bc` when its resolved dispatch already matches `want`, clones
@@ -365,6 +371,7 @@ class QueryJob : public Task {
     }
     result_.rows = std::move(ctx_->result);
     result_.total_seconds = total_timer_.ElapsedSeconds();
+    RecordServiceTime();
     promise_.set_value(std::move(result_));
     on_finished_();
     return Status::kDone;
@@ -392,6 +399,7 @@ class QueryJob : public Task {
   };
 
   void EstimateCost();
+  void RecordServiceTime();
   void RunStage(const QueryProgram::Stage& stage);
   void StartCompiledPipeline(const QueryProgram::Stage& stage,
                              const PipelineSpec& spec,
@@ -424,29 +432,57 @@ class QueryJob : public Task {
   std::unique_ptr<ActivePipeline> active_;
 };
 
-/// Cache-aware admission estimate: a query whose every pipeline artifact is
-/// resident will skip codegen/translation/compilation entirely and run in
-/// roughly its last observed execution time; anything cold is charged a
-/// flat pessimistic default so cached queries may overtake it.
+/// Cache-aware admission estimate. The service-time source, best first:
+/// the plan's EWMA of completed runs (admission cost feedback — converges
+/// per fingerprint whether or not artifacts are still resident), else the
+/// sum of last observed pipeline times when every artifact is resident,
+/// else a flat pessimistic cold default. Residency is tracked separately:
+/// only a fully-cached query may overtake cold waiters.
 void QueryJob::EstimateCost() {
   constexpr double kColdCostMs = 10.0;
   estimated_cost_ms_ = kColdCostMs;
   if (entry_ == nullptr) return;
-  double cost = 0;
+  double observed = 0;
   bool all_resident = true;
+  double ewma_ms = 0;
+  uint64_t ewma_runs = 0;
   {
     std::lock_guard<std::mutex> lock(entry_->mu);
+    ewma_ms = entry_->ewma_service_ms;
+    ewma_runs = entry_->observed_queries;
     for (const PipelineArtifact& a : entry_->pipelines) {
       if (a.bytecode == nullptr && a.unopt == nullptr && a.opt == nullptr) {
         all_resident = false;
         break;
       }
-      cost += a.observed_seconds * 1e3;
+      observed += a.observed_seconds * 1e3;
     }
   }
-  if (!all_resident) return;
-  fully_cached_ = true;
-  estimated_cost_ms_ = std::max(0.05, cost);
+  fully_cached_ = all_resident;
+  if (ewma_runs > 0) {
+    estimated_cost_ms_ = std::max(0.05, ewma_ms);
+  } else if (all_resident) {
+    estimated_cost_ms_ = std::max(0.05, observed);
+  }
+}
+
+/// Admission cost feedback: fold this run's observed service time (queue
+/// wait excluded) into the plan's EWMA. alpha = 0.3 tracks drift (cache
+/// warming, data growth) while smoothing scheduler noise.
+void QueryJob::RecordServiceTime() {
+  if (entry_ == nullptr) return;
+  constexpr double kAlpha = 0.3;
+  const double service_ms = std::max(
+      0.0, (result_.total_seconds - result_.queue_wait_seconds) * 1e3);
+  {
+    std::lock_guard<std::mutex> lock(entry_->mu);
+    entry_->ewma_service_ms =
+        entry_->observed_queries == 0
+            ? service_ms
+            : kAlpha * service_ms + (1 - kAlpha) * entry_->ewma_service_ms;
+    ++entry_->observed_queries;
+  }
+  cache_->CountCostFeedback();
 }
 
 void QueryJob::RunStage(const QueryProgram::Stage& stage) {
@@ -555,6 +591,7 @@ void QueryJob::StartCompiledPipeline(const QueryProgram::Stage& stage,
     snap.patch_slots = a.patch_slots;
     snap.column_types = a.column_types;
     snap.instructions = a.instructions;
+    snap.runtime_call_fraction = a.runtime_call_fraction;
     snap.code_constants = a.code_constants;
     snap.unopt = a.unopt;
     snap.opt = a.opt;
@@ -631,6 +668,7 @@ void QueryJob::StartCompiledPipeline(const QueryProgram::Stage& stage,
 
   // --- code generation / translation (cache misses only) ------------------
   uint64_t instructions = snap.instructions;
+  double call_fraction = snap.runtime_call_fraction;
   GeneratedPipeline generated;  // .mod stays null when cached artifacts hit
   const bool need_translation = needs_bytecode && bytecode == nullptr;
   const bool static_strategy_covered =
@@ -638,6 +676,9 @@ void QueryJob::StartCompiledPipeline(const QueryProgram::Stage& stage,
   if (need_translation || (!needs_bytecode && !static_strategy_covered)) {
     generated = GeneratePipeline(spec, bindings);
     instructions = generated.instructions;
+    call_fraction = RuntimeCallFraction(
+        generated.loop_instructions, generated.loop_calls,
+        options_.cost_model);
     report.codegen_millis = generated.codegen_millis;
     result_.codegen_millis_total += generated.codegen_millis;
   }
@@ -686,6 +727,9 @@ void QueryJob::StartCompiledPipeline(const QueryProgram::Stage& stage,
           a.patch_slots = std::move(patch.pool_indices);
           a.column_types = bindings.column_types;
           if (a.instructions == 0) a.instructions = instructions;
+          if (a.runtime_call_fraction == 0) {
+            a.runtime_call_fraction = call_fraction;
+          }
           delta = static_cast<int64_t>(BcProgramBytes(*fresh));
         }
       }
@@ -722,6 +766,7 @@ void QueryJob::StartCompiledPipeline(const QueryProgram::Stage& stage,
   task.state = ap->binding_values.data();
   task.total_tuples = ap->report.tuples;
   task.function_instructions = instructions;
+  task.runtime_call_fraction = call_fraction;
   task.pipeline_id = stage.pipeline;
   task.scheduling_class = options.query_class;
   ActivePipeline* raw_ap = ap.get();
@@ -752,7 +797,10 @@ void QueryJob::StartCompiledPipeline(const QueryProgram::Stage& stage,
       sched_->Submit(std::make_unique<CachePublishTask>(
                          cache_, entry_, raw_ap->p, mode, std::move(code),
                          raw_ap->my_constants, raw_ap->bindings.column_types,
-                         fresh.instructions),
+                         fresh.instructions,
+                         RuntimeCallFraction(fresh.loop_instructions,
+                                             fresh.loop_calls,
+                                             options_.cost_model)),
                      TaskPriority::kLow);
     }
     return fn;
@@ -850,7 +898,8 @@ QueryRunResult QueryEngine::Run(const QueryProgram& program,
 
 std::vector<PipelineCompileCosts> QueryEngine::MeasureCompileCosts(
     const QueryProgram& program, bool measure_unopt, bool measure_opt,
-    const TranslatorOptions& translator_options) {
+    const TranslatorOptions& translator_options,
+    const CostModelParams& cost_model) {
   std::vector<PipelineCompileCosts> costs;
   std::unique_ptr<QueryContext> ctx = program.MakeContext(impl_->catalog);
   const RuntimeRegistry& registry = RuntimeRegistry::Global();
@@ -869,6 +918,9 @@ std::vector<PipelineCompileCosts> QueryEngine::MeasureCompileCosts(
     GeneratedPipeline generated = GeneratePipeline(spec, bindings);
     cost.instructions = generated.instructions;
     cost.codegen_millis = generated.codegen_millis;
+    cost.runtime_calls = generated.loop_calls;
+    cost.runtime_call_fraction = RuntimeCallFraction(
+        generated.loop_instructions, generated.loop_calls, cost_model);
 
     {
       Timer timer;

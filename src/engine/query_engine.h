@@ -108,6 +108,10 @@ struct PipelineCompileCosts {
   uint64_t fused_ops = 0;     ///< LLVM instructions folded by macro fusion
   uint64_t fused_cmp_branches = 0;  ///< compare-and-branch superinstructions
   uint64_t fused_cmp_branch_imms = 0;  ///< ...with a literal-pool immediate
+  uint64_t runtime_calls = 0;  ///< per-tuple opaque runtime calls (loop body)
+  /// Runtime-call-density cost-model input (adaptive/cost_model.h):
+  /// fraction of per-tuple time the model attributes to runtime calls.
+  double runtime_call_fraction = 0;
 };
 
 /// The public facade: executes QueryPrograms against a catalog under any
@@ -172,10 +176,14 @@ class QueryEngine {
   /// compilation costs for every pipeline of `program`. `measure_jit`
   /// can be disabled when only translation times matter (huge generated
   /// queries, Fig 15, where optimized compilation takes minutes).
+  /// `cost_model` only affects the reported runtime_call_fraction (pass
+  /// the same params the queries will run with so the report matches the
+  /// adaptive controller's input).
   std::vector<PipelineCompileCosts> MeasureCompileCosts(
       const QueryProgram& program, bool measure_unopt = true,
       bool measure_opt = true,
-      const TranslatorOptions& translator_options = {});
+      const TranslatorOptions& translator_options = {},
+      const CostModelParams& cost_model = {});
 
  private:
   struct Impl;

@@ -2,17 +2,28 @@
 
 #include <llvm/IR/Function.h>
 #include <llvm/IR/Instructions.h>
+#include <llvm/IR/IntrinsicInst.h>
 #include <llvm/IR/Module.h>
 
 namespace aqe {
 
 IrFunctionStats ComputeFunctionStats(const llvm::Function& fn) {
   IrFunctionStats stats;
+  const llvm::BasicBlock* entry = fn.empty() ? nullptr : &fn.getEntryBlock();
   for (const llvm::BasicBlock& bb : fn) {
     ++stats.basic_blocks;
+    const bool in_loop =
+        &bb != entry &&
+        !llvm::isa<llvm::UnreachableInst>(bb.getTerminator());
     for (const llvm::Instruction& inst : bb) {
       ++stats.instructions;
-      if (llvm::isa<llvm::CallInst>(inst)) ++stats.calls;
+      const auto* call = llvm::dyn_cast<llvm::CallInst>(&inst);
+      if (call != nullptr) ++stats.calls;
+      if (!in_loop) continue;
+      ++stats.loop_instructions;
+      if (call != nullptr && !llvm::isa<llvm::IntrinsicInst>(call)) {
+        ++stats.loop_calls;
+      }
     }
   }
   return stats;

@@ -17,6 +17,14 @@ struct IrFunctionStats {
   uint64_t instructions = 0;
   uint64_t basic_blocks = 0;
   uint64_t calls = 0;
+  /// Per-tuple work, for the runtime-call-density signal: instructions and
+  /// non-intrinsic calls in every block except the function entry (the
+  /// once-per-invocation binding hoists) and unreachable-terminated blocks
+  /// (the overflow trap). Calls counted here are opaque runtime-function
+  /// boundaries code generation cannot fuse across — the worker spends
+  /// real time in them in *every* mode, which caps compiled speedup.
+  uint64_t loop_instructions = 0;
+  uint64_t loop_calls = 0;
 };
 
 IrFunctionStats ComputeFunctionStats(const llvm::Function& fn);

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/status.h"
+#include "strings/string_predicate.h"
 
 namespace aqe {
 
@@ -92,6 +93,15 @@ ExprPtr BitmapTest(const uint8_t* bitmap, ExprPtr code) {
   return e;
 }
 
+ExprPtr LikeMatch(const LikePredicate* pred, ExprPtr code) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLike;
+  e->type = ExprType::kBool;
+  e->like_pred = pred;
+  e->children.push_back(std::move(code));
+  return e;
+}
+
 ExprPtr CastF64(ExprPtr child) {
   auto e = std::make_unique<Expr>();
   e->kind = ExprKind::kCastF64;
@@ -116,6 +126,7 @@ ExprPtr CloneExpr(const Expr& expr) {
   e->i64_value = expr.i64_value;
   e->f64_value = expr.f64_value;
   e->bitmap = expr.bitmap;
+  e->like_pred = expr.like_pred;
   for (const auto& child : expr.children) {
     e->children.push_back(CloneExpr(*child));
   }
@@ -178,6 +189,8 @@ int64_t EvalExpr(const Expr& expr, const int64_t* slots) {
     case ExprKind::kNot: return child(0) == 0;
     case ExprKind::kBitmapTest:
       return expr.bitmap[static_cast<uint64_t>(child(0))] != 0;
+    case ExprKind::kLike:
+      return expr.like_pred->Matches(child(0));
     case ExprKind::kCastF64:
       return FromF64(static_cast<double>(child(0)));
     case ExprKind::kBoolToI64:

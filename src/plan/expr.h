@@ -8,6 +8,8 @@
 
 namespace aqe {
 
+struct LikePredicate;
+
 /// Value types inside query expressions. Integer columns (i32 dates, dict
 /// codes, i64 keys/decimals) are widened to I64 at scan time; comparisons
 /// produce Bool; floating point is F64.
@@ -24,6 +26,9 @@ enum class ExprKind : uint8_t {
   kEq, kNe, kLt, kLe, kGt, kGe,          ///< i64 comparisons -> Bool
   kAnd, kOr, kNot,                       ///< Bool logic
   kBitmapTest,  ///< bitmap[child-as-index] != 0 (dictionary predicates)
+  kLike,        ///< like_pred->Matches(child-as-dict-code) — the per-row
+                ///< runtime-call path of LIKE (src/strings/); the bitmap
+                ///< path lowers to kBitmapTest / code-range compares instead
   kCastF64,     ///< i64 -> f64
   kBoolToI64,   ///< Bool -> 0/1 as i64 (year arithmetic, conditional sums)
 };
@@ -38,6 +43,7 @@ struct Expr {
   int64_t i64_value = 0;            // kConstI64
   double f64_value = 0;             // kConstF64
   const uint8_t* bitmap = nullptr;  // kBitmapTest (not owned)
+  const LikePredicate* like_pred = nullptr;  // kLike (not owned)
   std::vector<std::unique_ptr<Expr>> children;
 };
 
@@ -65,6 +71,7 @@ ExprPtr And(ExprPtr lhs, ExprPtr rhs);
 ExprPtr Or(ExprPtr lhs, ExprPtr rhs);
 ExprPtr Not(ExprPtr child);
 ExprPtr BitmapTest(const uint8_t* bitmap, ExprPtr code);
+ExprPtr LikeMatch(const LikePredicate* pred, ExprPtr code);
 ExprPtr CastF64(ExprPtr child);
 ExprPtr BoolToI64(ExprPtr child);
 

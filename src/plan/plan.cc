@@ -37,6 +37,12 @@ const uint8_t* QueryProgram::AddBitmap(std::vector<uint8_t> bitmap) {
   return bitmaps_.back()->data();
 }
 
+const LikePredicate* QueryProgram::AddLikePredicate(LikePredicate pred) {
+  like_predicates_.push_back(
+      std::make_unique<LikePredicate>(std::move(pred)));
+  return like_predicates_.back().get();
+}
+
 int QueryProgram::AddPipeline(PipelineSpec spec) {
   pipelines_.push_back(std::move(spec));
   Stage stage;

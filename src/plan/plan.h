@@ -12,6 +12,7 @@
 #include "runtime/output_buffer.h"
 #include "runtime/sorter.h"
 #include "storage/table.h"
+#include "strings/string_predicate.h"
 
 namespace aqe {
 
@@ -60,6 +61,10 @@ class QueryProgram {
   /// Stores a dictionary-predicate bitmap; the pointer stays valid for the
   /// program's lifetime (Expr::bitmap references it).
   const uint8_t* AddBitmap(std::vector<uint8_t> bitmap);
+  /// Stores a compiled LIKE predicate (the runtime-call path's matcher
+  /// object); the pointer stays valid for the program's lifetime
+  /// (Expr::like_pred references it).
+  const LikePredicate* AddLikePredicate(LikePredicate pred);
 
   // --- stages -----------------------------------------------------------------
   using EngineStep = std::function<void(QueryContext*)>;
@@ -94,6 +99,12 @@ class QueryProgram {
   const std::vector<std::unique_ptr<std::vector<uint8_t>>>& bitmaps() const {
     return bitmaps_;
   }
+  /// LIKE predicates in AddLikePredicate order (their index is the
+  /// predicate's slot in the worker binding array; fingerprinting hashes
+  /// the index and extracts the pattern as a literal).
+  const std::vector<std::unique_ptr<LikePredicate>>& like_predicates() const {
+    return like_predicates_;
+  }
   struct TableDeclView {
     const std::string* base_name;  ///< nullptr for temps
     int temp_index;
@@ -120,6 +131,7 @@ class QueryProgram {
   std::vector<TableDecl> tables_;
   int num_temps_ = 0;
   std::vector<std::unique_ptr<std::vector<uint8_t>>> bitmaps_;
+  std::vector<std::unique_ptr<LikePredicate>> like_predicates_;
   std::vector<PipelineSpec> pipelines_;
   std::vector<Stage> stages_;
 };

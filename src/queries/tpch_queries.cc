@@ -6,6 +6,7 @@
 
 #include "common/fixed_point.h"
 #include "common/status.h"
+#include "strings/like_lowering.h"
 #include "tpch/tpch_schema.h"
 
 namespace aqe {
@@ -704,18 +705,21 @@ QueryProgram BuildQ12(const Catalog& cat) {
 }
 
 // =============================================================================
-// Q14: promotion effect. part -> lineitem with a LIKE-prefix bitmap.
+// Q14: promotion effect. part -> lineitem with a LIKE-prefix predicate on
+// p_type, lowered by the string predicate subsystem (on the sorted
+// dictionary this is a code-range compare; pattern variants differ only in
+// the range literals and patch-share q14's cached bytecode).
 // =============================================================================
-QueryProgram BuildQ14(const Catalog& cat) {
+QueryProgram BuildQ14Impl(const Catalog& cat, const std::string& pattern) {
   QueryProgram q("q14");
   int part = q.DeclareBaseTable("part");
   int lineitem = q.DeclareBaseTable("lineitem");
   int part_ht = q.DeclareJoinTable(1);  // payload: is_promo
 
   const Table* part_table = cat.GetTable("part");
-  const uint8_t* promo_bitmap = q.AddBitmap(
-      part_table->dictionary(part_table->ColumnIndex("p_type"))
-          .MatchPrefix("PROMO"));
+  LoweredLike promo = LowerLikePredicate(
+      &q, *part_table, part_table->ColumnIndex("p_type"), /*code_slot=*/1,
+      pattern);
 
   AddMakeJoinTable(&q, part_ht, "part", 1);
   {
@@ -724,7 +728,7 @@ QueryProgram BuildQ14(const Catalog& cat) {
     p.source_table = part;
     p.scan_columns = {Col(cat, "part", "p_partkey"),
                       Col(cat, "part", "p_type")};
-    p.ops.push_back(OpCompute{BitmapTest(promo_bitmap, Slot(1))});  // slot 2
+    p.ops.push_back(OpCompute{std::move(promo.expr)});  // slot 2
     SinkBuild sink;
     sink.ht = part_ht;
     sink.key = Slot(0);
@@ -776,6 +780,10 @@ QueryProgram BuildQ14(const Catalog& cat) {
     ctx->result.push_back({BitsFromF64(pct), promo, total});
   });
   return q;
+}
+
+QueryProgram BuildQ14(const Catalog& cat) {
+  return BuildQ14Impl(cat, "PROMO%");
 }
 
 // =============================================================================
@@ -1347,6 +1355,11 @@ TpchQ6Literals DefaultQ6Literals() {
 QueryProgram BuildTpchQ6Variant(const Catalog& catalog,
                                 const TpchQ6Literals& literals) {
   return BuildQ6Impl(catalog, literals);
+}
+
+QueryProgram BuildTpchQ14Variant(const Catalog& catalog,
+                                 const std::string& type_pattern) {
+  return BuildQ14Impl(catalog, type_pattern);
 }
 
 }  // namespace aqe

@@ -37,6 +37,14 @@ TpchQ6Literals DefaultQ6Literals();
 QueryProgram BuildTpchQ6Variant(const Catalog& catalog,
                                 const TpchQ6Literals& literals);
 
+/// Q14 with the p_type LIKE pattern replaced ("PROMO%" is the standard
+/// query). Prefix patterns lower to code-range literals on the sorted
+/// dictionary, so variants share q14's plan fingerprint and patch-share
+/// its cached bytecode — the string-pattern analogue of the Q6 literal
+/// variants.
+QueryProgram BuildTpchQ14Variant(const Catalog& catalog,
+                                 const std::string& type_pattern);
+
 }  // namespace aqe
 
 #endif  // AQE_QUERIES_TPCH_QUERIES_H_

@@ -7,6 +7,7 @@
 #include "runtime/join_hash_table.h"
 #include "runtime/output_buffer.h"
 #include "runtime/runtime_registry.h"
+#include "strings/string_predicate.h"
 
 namespace aqe {
 namespace rt {
@@ -43,6 +44,13 @@ uint64_t aqe_out_alloc_row(uint64_t out) {
       reinterpret_cast<OutputBuffer*>(out)->AllocRow());
 }
 
+uint64_t aqe_like_match(uint64_t pred, uint64_t code) {
+  return reinterpret_cast<const LikePredicate*>(pred)->Matches(
+             static_cast<int64_t>(code))
+             ? 1
+             : 0;
+}
+
 void aqe_raise_overflow() {
   std::fprintf(stderr, "aqe: arithmetic overflow during query execution\n");
   std::abort();
@@ -62,6 +70,7 @@ void RegisterBuiltinRuntime(RuntimeRegistry* registry) {
   reg("aqe_agg_local", &rt::aqe_agg_local, 1, true);
   reg("aqe_agg_find_or_insert", &rt::aqe_agg_find_or_insert, 2, true);
   reg("aqe_out_alloc_row", &rt::aqe_out_alloc_row, 1, true);
+  reg("aqe_like_match", &rt::aqe_like_match, 2, true);
   reg("aqe_raise_overflow", &rt::aqe_raise_overflow, 0, false);
 }
 

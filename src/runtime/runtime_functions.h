@@ -28,6 +28,13 @@ uint64_t aqe_agg_find_or_insert(uint64_t ht, uint64_t key);
 /// OutputBuffer::AllocRow — pointer to a fresh result row.
 uint64_t aqe_out_alloc_row(uint64_t out);
 
+/// LikePredicate::Matches — 1 iff the dictionary code's string matches the
+/// compiled LIKE pattern (src/strings/). The per-row call path of string
+/// predicates: deliberately opaque to fusion, so it exercises the regime
+/// where compiled speedup shrinks (the runtime-call-density cost-model
+/// input). Codes outside the dictionary never match.
+uint64_t aqe_like_match(uint64_t pred, uint64_t code);
+
 /// Reports an arithmetic overflow in a query. Aborts the process — the
 /// engine's contract is that TPC-H data never overflows; a production
 /// system would abort only the query (§IV-F discusses overflow checking).

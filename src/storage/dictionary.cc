@@ -1,5 +1,8 @@
 #include "storage/dictionary.h"
 
+#include <algorithm>
+#include <numeric>
+
 #include "common/status.h"
 
 namespace aqe {
@@ -8,6 +11,7 @@ int32_t Dictionary::GetOrAdd(std::string_view s) {
   auto it = index_.find(std::string(s));
   if (it != index_.end()) return it->second;
   int32_t code = static_cast<int32_t>(strings_.size());
+  if (code > 0 && sorted_ && s < strings_.back()) sorted_ = false;
   strings_.emplace_back(s);
   index_.emplace(strings_.back(), code);
   return code;
@@ -47,6 +51,55 @@ std::vector<uint8_t> Dictionary::MatchIn(
     if (code >= 0) bitmap[static_cast<size_t>(code)] = 1;
   }
   return bitmap;
+}
+
+std::vector<uint8_t> Dictionary::MatchBitmap(
+    const std::function<bool(std::string_view)>& predicate) const {
+  std::vector<uint8_t> bitmap(strings_.size(), 0);
+  for (size_t i = 0; i < strings_.size(); ++i) {
+    bitmap[i] = predicate(strings_[i]) ? 1 : 0;
+  }
+  return bitmap;
+}
+
+std::vector<int32_t> Dictionary::SortCodes() {
+  const size_t n = strings_.size();
+  std::vector<int32_t> order(n);  // new code -> old code
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](int32_t a, int32_t b) {
+    return strings_[static_cast<size_t>(a)] < strings_[static_cast<size_t>(b)];
+  });
+  std::vector<std::string> sorted;
+  sorted.reserve(n);
+  std::vector<int32_t> remap(n);  // old code -> new code
+  for (size_t new_code = 0; new_code < n; ++new_code) {
+    sorted.push_back(std::move(strings_[static_cast<size_t>(order[new_code])]));
+    remap[static_cast<size_t>(order[new_code])] =
+        static_cast<int32_t>(new_code);
+  }
+  strings_ = std::move(sorted);
+  index_.clear();
+  for (size_t code = 0; code < n; ++code) {
+    index_.emplace(strings_[code], static_cast<int32_t>(code));
+  }
+  sorted_ = true;
+  return remap;
+}
+
+std::pair<int32_t, int32_t> Dictionary::PrefixRange(
+    std::string_view prefix) const {
+  auto lo = std::lower_bound(
+      strings_.begin(), strings_.end(), prefix,
+      [](const std::string& s, std::string_view p) {
+        return std::string_view(s) < p;
+      });
+  auto hi = std::upper_bound(
+      lo, strings_.end(), prefix,
+      [](std::string_view p, const std::string& s) {
+        return std::string_view(s).substr(0, p.size()) > p;
+      });
+  return {static_cast<int32_t>(lo - strings_.begin()),
+          static_cast<int32_t>(hi - strings_.begin())};
 }
 
 }  // namespace aqe

@@ -2,9 +2,11 @@
 #define AQE_STORAGE_DICTIONARY_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace aqe {
@@ -39,9 +41,33 @@ class Dictionary {
   /// Bitmap for membership in an explicit value list (IN (...)).
   std::vector<uint8_t> MatchIn(const std::vector<std::string>& values) const;
 
+  /// Generic pre-evaluation hook: bitmap[code] == 1 iff
+  /// `predicate(Get(code))` — one evaluation per *distinct* string, however
+  /// expensive the predicate (the LIKE pattern matchers plug in here).
+  std::vector<uint8_t> MatchBitmap(
+      const std::function<bool(std::string_view)>& predicate) const;
+
+  /// True when codes are assigned in lexicographic string order, i.e.
+  /// code_a < code_b  <=>  Get(code_a) < Get(code_b). Incremental GetOrAdd
+  /// assigns insertion order; SortCodes() (via Table::SortDictionaries)
+  /// establishes the invariant after bulk load. O(1): the flag is
+  /// maintained on every insert (plan lowering consults it per query).
+  bool is_sorted() const { return sorted_; }
+
+  /// Lexicographically reorders the dictionary and returns the old-code ->
+  /// new-code remap the owner must apply to every encoded column value.
+  /// After this, is_sorted() holds (until further GetOrAdd inserts).
+  std::vector<int32_t> SortCodes();
+
+  /// The [lo, hi) code range of strings starting with `prefix`. Only
+  /// meaningful on a sorted dictionary, where it turns a LIKE-prefix
+  /// predicate into two integer compares on the code column.
+  std::pair<int32_t, int32_t> PrefixRange(std::string_view prefix) const;
+
  private:
   std::vector<std::string> strings_;
   std::unordered_map<std::string, int32_t> index_;
+  bool sorted_ = true;  ///< empty/ordered-insert dictionaries are sorted
 };
 
 }  // namespace aqe

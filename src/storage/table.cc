@@ -51,6 +51,19 @@ bool Table::has_dictionary(int index) const {
   return dictionaries_[static_cast<size_t>(index)] != nullptr;
 }
 
+void Table::SortDictionaries() {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    Dictionary* dict = dictionaries_[c].get();
+    if (dict == nullptr || dict->is_sorted()) continue;
+    const std::vector<int32_t> remap = dict->SortCodes();
+    Column& col = *columns_[c];
+    auto* codes = static_cast<int32_t*>(col.mutable_data());
+    for (uint64_t r = 0; r < col.size(); ++r) {
+      codes[r] = remap[static_cast<size_t>(codes[r])];
+    }
+  }
+}
+
 Table* Catalog::CreateTable(const std::string& name) {
   AQE_CHECK_MSG(!HasTable(name), "duplicate table");
   auto table = std::make_unique<Table>(name);

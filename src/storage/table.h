@@ -44,6 +44,13 @@ class Table {
   const Dictionary& dictionary(int index) const;
   bool has_dictionary(int index) const;
 
+  /// Establishes the order-preserving invariant on every dictionary column:
+  /// sorts each dictionary lexicographically and rewrites the column's
+  /// codes in place. Called once after bulk load (further GetOrAdd inserts
+  /// would break the invariant again). Enables LIKE-prefix predicates to
+  /// lower to integer range compares on the code column.
+  void SortDictionaries();
+
  private:
   std::string name_;
   std::vector<std::unique_ptr<Column>> columns_;

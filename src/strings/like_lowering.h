@@ -1,0 +1,63 @@
+#ifndef AQE_STRINGS_LIKE_LOWERING_H_
+#define AQE_STRINGS_LIKE_LOWERING_H_
+
+#include <string_view>
+
+#include "plan/expr.h"
+#include "plan/plan.h"
+#include "storage/table.h"
+#include "strings/like_pattern.h"
+
+namespace aqe {
+
+/// Which per-row representation a LIKE predicate lowers to.
+enum class LikeStrategy {
+  /// Decide from the dictionary: pre-evaluate when the distinct-string
+  /// count is small enough that the setup cost amortizes over the scan
+  /// (the decision rule in src/strings/DESIGN.md).
+  kAuto,
+  /// Force the dictionary pre-evaluation path (code-range compare or
+  /// byte-per-code bitmap probe; fuses with the VM's br_* ops).
+  kBitmap,
+  /// Force the per-row runtime call (`aqe_like_match`): the call-heavy
+  /// regime where compiled speedup shrinks. What high-cardinality
+  /// dictionaries get under kAuto; benches force it to measure the gap.
+  kRuntimeCall,
+};
+
+struct LikeLoweringOptions {
+  LikeStrategy strategy = LikeStrategy::kAuto;
+  /// kAuto never pre-evaluates more distinct strings than this...
+  uint32_t bitmap_max_codes = 1u << 16;
+  /// ...nor when the dictionary holds more than this fraction of the
+  /// table's rows (each distinct string must amortize its one evaluation
+  /// over the rows that carry it).
+  double max_distinct_fraction = 0.125;
+};
+
+/// The lowered predicate plus what the lowering chose (benches and tests
+/// assert on the decision; DESIGN.md documents the rule).
+struct LoweredLike {
+  ExprPtr expr;  ///< Bool predicate over the code in `code_slot`
+  bool used_bitmap = false;          ///< pre-evaluation path taken
+  bool used_runtime_call = false;    ///< kLike runtime-call expression
+  LikePatternClass pattern_class = LikePatternClass::kGeneral;
+};
+
+/// Lowers `<column> LIKE <pattern>` against the dictionary of
+/// `table.column(column_index)`, whose code the pipeline scans into
+/// `code_slot`. Wildcard-free patterns become a single code compare and
+/// prefix patterns on a sorted dictionary a code-range compare — both
+/// carry the pattern as plain I64 literals, so pattern variants
+/// patch-share cached bytecode exactly like numeric constants. Everything
+/// else either pre-evaluates into a program-owned bitmap (kBitmapTest) or
+/// becomes a kLike runtime call whose matcher reaches the worker through
+/// the binding array.
+LoweredLike LowerLikePredicate(QueryProgram* program, const Table& table,
+                               int column_index, int code_slot,
+                               std::string_view pattern,
+                               const LikeLoweringOptions& options = {});
+
+}  // namespace aqe
+
+#endif  // AQE_STRINGS_LIKE_LOWERING_H_

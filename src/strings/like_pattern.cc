@@ -1,0 +1,177 @@
+#include "strings/like_pattern.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace aqe {
+namespace {
+
+bool HasWildcard(std::string_view s, char wildcard) {
+  return s.find(wildcard) != std::string_view::npos;
+}
+
+}  // namespace
+
+const char* LikePatternClassName(LikePatternClass pattern_class) {
+  switch (pattern_class) {
+    case LikePatternClass::kMatchAll: return "match-all";
+    case LikePatternClass::kEquality: return "equality";
+    case LikePatternClass::kPrefix: return "prefix";
+    case LikePatternClass::kSuffix: return "suffix";
+    case LikePatternClass::kContains: return "contains";
+    case LikePatternClass::kGeneral: return "general";
+  }
+  AQE_UNREACHABLE("bad LikePatternClass");
+}
+
+LikeMatcher LikeMatcher::Compile(std::string_view pattern) {
+  LikeMatcher m;
+  m.pattern_.assign(pattern.data(), pattern.size());
+
+  const bool has_pct = HasWildcard(pattern, '%');
+  const bool has_us = HasWildcard(pattern, '_');
+
+  if (!has_pct && !has_us) {
+    m.class_ = LikePatternClass::kEquality;
+    m.literal_ = m.pattern_;
+    m.min_length_ = m.literal_.size();
+    return m;
+  }
+  if (!pattern.empty() &&
+      pattern.find_first_not_of('%') == std::string_view::npos) {
+    m.class_ = LikePatternClass::kMatchAll;
+    return m;
+  }
+  if (!has_us) {
+    const size_t lead = pattern.find_first_not_of('%');
+    const size_t last = pattern.find_last_not_of('%');
+    std::string_view core = pattern.substr(lead, last - lead + 1);
+    if (!HasWildcard(core, '%')) {
+      const bool pct_front = lead > 0;
+      const bool pct_back = last + 1 < pattern.size();
+      m.literal_.assign(core.data(), core.size());
+      m.min_length_ = core.size();
+      if (!pct_front && pct_back) {
+        m.class_ = LikePatternClass::kPrefix;
+        return m;
+      }
+      if (pct_front && pct_back) {
+        m.class_ = LikePatternClass::kContains;
+        return m;
+      }
+      m.class_ = LikePatternClass::kSuffix;  // pct_front && !pct_back
+      return m;
+    }
+  }
+
+  // General: split at '%' into segments, compile each to shift-or masks.
+  m.class_ = LikePatternClass::kGeneral;
+  m.anchored_front_ = pattern.front() != '%';
+  m.anchored_back_ = pattern.back() != '%';
+  size_t pos = 0;
+  while (pos < pattern.size()) {
+    const size_t pct = pattern.find('%', pos);
+    const size_t end = pct == std::string_view::npos ? pattern.size() : pct;
+    if (end > pos) {
+      Segment seg;
+      seg.chars.assign(pattern.data() + pos, end - pos);
+      if (seg.chars.size() <= 64) {
+        seg.bit_parallel = true;
+        seg.masks.fill(~0ull);
+        for (size_t i = 0; i < seg.chars.size(); ++i) {
+          const uint64_t bit = 1ull << i;
+          if (seg.chars[i] == '_') {
+            for (auto& mask : seg.masks) mask &= ~bit;
+          } else {
+            seg.masks[static_cast<uint8_t>(seg.chars[i])] &= ~bit;
+          }
+        }
+      }
+      m.min_length_ += seg.chars.size();
+      m.segments_.push_back(std::move(seg));
+    }
+    pos = end + 1;
+  }
+  return m;
+}
+
+bool LikeMatcher::MatchesAt(const Segment& seg, std::string_view s,
+                            size_t pos) {
+  if (pos + seg.chars.size() > s.size()) return false;
+  for (size_t i = 0; i < seg.chars.size(); ++i) {
+    const char pc = seg.chars[i];
+    if (pc != '_' && pc != s[pos + i]) return false;
+  }
+  return true;
+}
+
+size_t LikeMatcher::FindFrom(const Segment& seg, std::string_view s,
+                             size_t from) {
+  const size_t len = seg.chars.size();
+  if (from + len > s.size()) return std::string_view::npos;
+  if (seg.bit_parallel) {
+    // Shift-or: a 0 bit at position i means "a match of chars[0..i] ends
+    // here". One shift+or per input byte, no per-character branches.
+    uint64_t state = ~0ull;
+    const uint64_t accept = 1ull << (len - 1);
+    for (size_t j = from; j < s.size(); ++j) {
+      state = (state << 1) | seg.masks[static_cast<uint8_t>(s[j])];
+      if ((state & accept) == 0) return j + 1 - len;
+    }
+    return std::string_view::npos;
+  }
+  for (size_t p = from; p + len <= s.size(); ++p) {
+    if (MatchesAt(seg, s, p)) return p;
+  }
+  return std::string_view::npos;
+}
+
+bool LikeMatcher::MatchGeneral(std::string_view s) const {
+  if (s.size() < min_length_) return false;
+  size_t pos = 0;
+  for (size_t k = 0; k < segments_.size(); ++k) {
+    const Segment& seg = segments_[k];
+    const bool first = k == 0;
+    const bool last = k + 1 == segments_.size();
+    if (first && anchored_front_) {
+      if (!MatchesAt(seg, s, 0)) return false;
+      pos = seg.chars.size();
+      if (last && anchored_back_) return pos == s.size();
+      continue;
+    }
+    if (last && anchored_back_) {
+      // Anchor at the end; everything before it was matched greedily, so
+      // any non-overlapping placement works iff this one does.
+      const size_t end = s.size() - seg.chars.size();
+      return end >= pos && MatchesAt(seg, s, end);
+    }
+    const size_t p = FindFrom(seg, s, pos);
+    if (p == std::string_view::npos) return false;
+    pos = p + seg.chars.size();
+  }
+  return true;
+}
+
+bool LikeMatcher::Matches(std::string_view s) const {
+  switch (class_) {
+    case LikePatternClass::kMatchAll:
+      return true;
+    case LikePatternClass::kEquality:
+      return s == literal_;
+    case LikePatternClass::kPrefix:
+      return s.size() >= literal_.size() &&
+             s.compare(0, literal_.size(), literal_) == 0;
+    case LikePatternClass::kSuffix:
+      return s.size() >= literal_.size() &&
+             s.compare(s.size() - literal_.size(), literal_.size(),
+                       literal_) == 0;
+    case LikePatternClass::kContains:
+      return s.find(literal_) != std::string_view::npos;
+    case LikePatternClass::kGeneral:
+      return MatchGeneral(s);
+  }
+  AQE_UNREACHABLE("bad LikePatternClass");
+}
+
+}  // namespace aqe

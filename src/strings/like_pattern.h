@@ -1,0 +1,80 @@
+#ifndef AQE_STRINGS_LIKE_PATTERN_H_
+#define AQE_STRINGS_LIKE_PATTERN_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aqe {
+
+/// Shape of a SQL LIKE pattern after classification. The specialized
+/// classes map onto cheap string primitives (and, for dictionary columns,
+/// onto code ranges or pre-evaluated bitmaps); kGeneral falls back to the
+/// compiled segment matcher.
+enum class LikePatternClass : uint8_t {
+  kMatchAll,  ///< only '%' wildcards: matches every string
+  kEquality,  ///< no wildcards at all (includes the empty pattern)
+  kPrefix,    ///< lit%  (one trailing '%', no '_')
+  kSuffix,    ///< %lit
+  kContains,  ///< %lit%
+  kGeneral,   ///< anything else: '_' anywhere, or interior '%'
+};
+
+const char* LikePatternClassName(LikePatternClass pattern_class);
+
+/// A LIKE pattern compiled into a matcher object. Specialized classes keep
+/// the literal and match with one string primitive; general patterns are
+/// split at '%' into segments of literal-or-'_' characters, each compiled
+/// to a bit-parallel shift-or automaton (Baeza-Yates–Gonnet; '_' is the
+/// character class of everything) when it fits a 64-bit state word, with a
+/// naive scan fallback for longer segments. Matching walks the segments
+/// greedily left to right, anchoring the first/last segment when the
+/// pattern does not start/end with '%' — linear in the input for the
+/// patterns queries use.
+///
+/// No escape syntax: '%' and '_' are always wildcards (the TPC-H predicates
+/// this engine targets never escape them).
+class LikeMatcher {
+ public:
+  /// Compiles `pattern`. Always succeeds; every pattern has a meaning
+  /// (the empty pattern matches exactly the empty string).
+  static LikeMatcher Compile(std::string_view pattern);
+
+  bool Matches(std::string_view s) const;
+
+  LikePatternClass pattern_class() const { return class_; }
+  const std::string& pattern() const { return pattern_; }
+  /// The literal of the specialized classes (empty for kMatchAll/kGeneral).
+  const std::string& literal() const { return literal_; }
+  /// Minimum input length any match requires (sum of segment lengths).
+  size_t min_length() const { return min_length_; }
+
+ private:
+  /// One maximal run of non-'%' pattern characters ('_' included).
+  struct Segment {
+    std::string chars;
+    /// Shift-or masks: bit i of masks[c] is SET when chars[i] does NOT
+    /// match byte c ('_' matches everything). Only built when
+    /// chars.size() <= 64.
+    std::array<uint64_t, 256> masks;
+    bool bit_parallel = false;
+  };
+
+  static bool MatchesAt(const Segment& seg, std::string_view s, size_t pos);
+  static size_t FindFrom(const Segment& seg, std::string_view s, size_t from);
+  bool MatchGeneral(std::string_view s) const;
+
+  LikePatternClass class_ = LikePatternClass::kEquality;
+  std::string pattern_;
+  std::string literal_;
+  std::vector<Segment> segments_;
+  bool anchored_front_ = false;  ///< pattern does not start with '%'
+  bool anchored_back_ = false;   ///< pattern does not end with '%'
+  size_t min_length_ = 0;
+};
+
+}  // namespace aqe
+
+#endif  // AQE_STRINGS_LIKE_PATTERN_H_

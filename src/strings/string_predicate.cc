@@ -1,0 +1,18 @@
+#include "strings/string_predicate.h"
+
+namespace aqe {
+
+std::vector<uint8_t> BuildLikeBitmap(const Dictionary& dict,
+                                     const LikeMatcher& matcher) {
+  switch (matcher.pattern_class()) {
+    case LikePatternClass::kPrefix:
+      return dict.MatchPrefix(matcher.literal());
+    case LikePatternClass::kContains:
+      return dict.MatchContains(matcher.literal());
+    default:
+      return dict.MatchBitmap(
+          [&matcher](std::string_view s) { return matcher.Matches(s); });
+  }
+}
+
+}  // namespace aqe

@@ -48,6 +48,11 @@ constexpr const char* kContainerSyllable1[5] = {"SM", "LG", "MED", "JUMBO",
                                                 "WRAP"};
 constexpr const char* kContainerSyllable2[8] = {"CASE", "BOX", "BAG", "JAR",
                                                 "PKG", "PACK", "CAN", "DRUM"};
+constexpr const char* kCommentWords[16] = {
+    "carefully", "quickly",  "furiously", "ironic",      "final",
+    "pending",   "bold",     "regular",   "express",     "deposits",
+    "accounts",  "packages", "theodolites", "foxes",     "ideas",
+    "platelets"};
 
 void GenRegionNation(Catalog* catalog) {
   Table* region = catalog->GetTable("region");
@@ -168,6 +173,8 @@ void GenOrdersAndLineitem(Catalog* catalog, uint64_t order_count,
   Column& o_shippriority = ot->column("o_shippriority");
   Dictionary& status_dict = ot->dictionary(ot->ColumnIndex("o_orderstatus"));
   Dictionary& prio_dict = ot->dictionary(ot->ColumnIndex("o_orderpriority"));
+  Column& o_comment = ot->column("o_comment");
+  Dictionary& cmt_dict = ot->dictionary(ot->ColumnIndex("o_comment"));
 
   Column& l_orderkey = lt->column("l_orderkey");
   Column& l_partkey = lt->column("l_partkey");
@@ -197,6 +204,11 @@ void GenOrdersAndLineitem(Catalog* catalog, uint64_t order_count,
   for (const char* s : {"O", "F"}) ls_dict.GetOrAdd(s);
   for (const char* s : kInstructions) si_dict.GetOrAdd(s);
   for (const char* s : kShipModes) sm_dict.GetOrAdd(s);
+
+  // Comments draw from their own deterministic stream so the text column
+  // does not perturb the long-standing key/date/price distributions (and
+  // the query results derived from them).
+  Random comment_rng(0x5EA7C0DEu);
 
   const int32_t start_date = DateToDays(1992, 1, 1);
   const int32_t end_date = DateToDays(1998, 8, 2);
@@ -259,6 +271,29 @@ void GenOrdersAndLineitem(Catalog* catalog, uint64_t order_count,
     o_orderdate.AppendI32(odate);
     o_orderpriority.AppendI32(prio_dict.GetOrAdd(kPriorities[rng->NextBelow(5)]));
     o_shippriority.AppendI32(0);
+
+    // Pseudo-text comment of 4..8 vocabulary words; ~2% of orders embed
+    // "special ... requests" in order, the Q13 predicate's target. Nearly
+    // all comments are distinct, making this the engine's high-cardinality
+    // dictionary column.
+    std::string comment;
+    const int words = 4 + static_cast<int>(comment_rng.NextBelow(5));
+    const bool special = comment_rng.NextBool(0.02);
+    const int special_at =
+        special ? static_cast<int>(comment_rng.NextBelow(
+                      static_cast<uint64_t>(words - 1)))
+                : -1;
+    for (int wi = 0; wi < words; ++wi) {
+      if (!comment.empty()) comment += ' ';
+      if (wi == special_at) {
+        comment += "special";
+      } else if (special && wi == special_at + 1) {
+        comment += "requests";
+      } else {
+        comment += kCommentWords[comment_rng.NextBelow(16)];
+      }
+    }
+    o_comment.AppendI32(cmt_dict.GetOrAdd(comment));
   }
 }
 
@@ -274,6 +309,15 @@ void GenerateTpchData(Catalog* catalog, double sf, uint64_t seed) {
   GenPartsupp(catalog, card.part, card.supplier, &rng);
   GenOrdersAndLineitem(catalog, card.orders, card.customer, card.part,
                        card.supplier, &rng);
+  // Establish the order-preserving dictionary invariant after bulk load:
+  // codes become lexicographic, so LIKE-prefix predicates lower to integer
+  // range compares (strings/like_lowering) and code order matches string
+  // order everywhere. Queries resolve codes at plan time, so the remap is
+  // invisible to them.
+  for (const char* name : {"region", "nation", "supplier", "customer", "part",
+                           "partsupp", "orders", "lineitem"}) {
+    catalog->GetTable(name)->SortDictionaries();
+  }
 }
 
 void BuildTpchDatabase(Catalog* catalog, double sf, uint64_t seed) {

@@ -73,6 +73,10 @@ void CreateTpchSchema(Catalog* catalog) {
   orders->AddColumn("o_orderdate", DataType::kI32);
   orders->AddColumn("o_orderpriority", DataType::kI32, /*dictionary=*/true);
   orders->AddColumn("o_shippriority", DataType::kI32);
+  // Free-form comment text (Q13's '%special%requests%' predicate). Nearly
+  // every value is distinct, so the dictionary is high-cardinality — the
+  // workload that forces LIKE onto the per-row runtime-call path.
+  orders->AddColumn("o_comment", DataType::kI32, /*dictionary=*/true);
 
   Table* lineitem = catalog->CreateTable("lineitem");
   lineitem->AddColumn("l_orderkey", DataType::kI64);

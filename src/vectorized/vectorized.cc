@@ -57,6 +57,17 @@ void EvalVec(const Expr& expr, const std::vector<Vec>& slot_vecs,
       }
       return;
     }
+    case ExprKind::kLike: {
+      // One matcher invocation per selected lane — the vectorized engine
+      // pays the call per row just like the compiled runtime-call path.
+      Vec code;
+      EvalVec(*expr.children[0], slot_vecs, sel, block_n, &code);
+      for (int lane : sel) {
+        (*out)[static_cast<size_t>(lane)] =
+            expr.like_pred->Matches(code[static_cast<size_t>(lane)]) ? 1 : 0;
+      }
+      return;
+    }
     case ExprKind::kBoolToI64: {
       Vec a;
       EvalVec(*expr.children[0], slot_vecs, sel, block_n, &a);
