@@ -17,6 +17,7 @@
 // BENCH_micro_vm_dispatch.json, one snapshot per run) so each PR's perf
 // numbers can be archived and compared.
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -109,42 +110,106 @@ void BuildExpressionKernel(IrModule* mod) {
   sum3->addIncoming(sum, body);
 }
 
+/// Builds `i64 f(i64 k, i64 n, ptr buf)`: a selection count whose loaded
+/// value is used ONLY by the filter compare — the canonical scan-filter
+/// shape where load+compare+branch collapses into one br_load_* dispatch.
+void BuildScanFilterKernel(IrModule* mod) {
+  auto& ctx = mod->context();
+  llvm::IRBuilder<> b(ctx);
+  auto* i64 = llvm::Type::getInt64Ty(ctx);
+  auto* fty = llvm::FunctionType::get(
+      i64, {i64, i64, llvm::Type::getInt64PtrTy(ctx)}, false);
+  auto* fn = llvm::Function::Create(fty, llvm::Function::ExternalLinkage, "f",
+                                    &mod->module());
+  auto* entry = llvm::BasicBlock::Create(ctx, "entry", fn);
+  auto* head = llvm::BasicBlock::Create(ctx, "head", fn);
+  auto* body = llvm::BasicBlock::Create(ctx, "body", fn);
+  auto* keep = llvm::BasicBlock::Create(ctx, "keep", fn);
+  auto* next = llvm::BasicBlock::Create(ctx, "next", fn);
+  auto* exit = llvm::BasicBlock::Create(ctx, "exit", fn);
+
+  b.SetInsertPoint(entry);
+  b.CreateBr(head);
+
+  b.SetInsertPoint(head);
+  auto* i = b.CreatePHI(i64, 2, "i");
+  auto* count = b.CreatePHI(i64, 2, "count");
+  auto* cond = b.CreateICmpSLT(i, fn->getArg(1));
+  b.CreateCondBr(cond, body, exit);
+
+  b.SetInsertPoint(body);
+  auto* gep = b.CreateGEP(i64, fn->getArg(2), i);
+  auto* v = b.CreateLoad(i64, gep);
+  auto* pass = b.CreateICmpSGT(v, fn->getArg(0));
+  b.CreateCondBr(pass, keep, next);
+
+  b.SetInsertPoint(keep);
+  auto* count2 = b.CreateAdd(count, b.getInt64(1));
+  b.CreateBr(next);
+
+  b.SetInsertPoint(next);
+  auto* count3 = b.CreatePHI(i64, 2, "count3");
+  auto* i2 = b.CreateAdd(i, b.getInt64(1));
+  b.CreateBr(head);
+
+  b.SetInsertPoint(exit);
+  b.CreateRet(count);
+
+  i->addIncoming(b.getInt64(0), entry);
+  i->addIncoming(i2, next);
+  count->addIncoming(b.getInt64(0), entry);
+  count->addIncoming(count3, next);
+  count3->addIncoming(count2, keep);
+  count3->addIncoming(count, body);
+}
+
 struct Config {
   const char* name;
   VmDispatch dispatch;
   bool fuse_cmp_branches;
+  bool fuse_load_cmp_branches;
 };
 
 constexpr Config kConfigs[] = {
-    {"switch", VmDispatch::kSwitch, false},
-    {"switch+fused", VmDispatch::kSwitch, true},
-    {"threaded", VmDispatch::kThreaded, false},
-    {"threaded+fused", VmDispatch::kThreaded, true},
+    {"switch", VmDispatch::kSwitch, false, false},
+    {"switch+fused", VmDispatch::kSwitch, true, false},
+    {"switch+ldfused", VmDispatch::kSwitch, true, true},
+    {"threaded", VmDispatch::kThreaded, false, false},
+    {"threaded+fused", VmDispatch::kThreaded, true, false},
+    {"threaded+ldfused", VmDispatch::kThreaded, true, true},
 };
 
 struct Measurement {
   std::string config;
   double rows_per_sec = 0;
   uint64_t fused_cmp_branches = 0;
+  uint64_t fused_cmp_branch_imms = 0;
+  uint64_t fused_load_cmp_branches = 0;
 };
 
 void Report(const char* kernel, std::vector<Measurement>& results,
             std::FILE* json_out) {
   double base = results.empty() ? 0 : results[0].rows_per_sec;
-  std::printf("\n%-16s %14s %10s %10s\n", kernel, "rows/s", "speedup",
-              "cmp-brs");
+  std::printf("\n%-18s %14s %10s %8s %8s %8s\n", kernel, "rows/s", "speedup",
+              "cmp-brs", "imm-brs", "ld-brs");
   for (const Measurement& m : results) {
-    std::printf("%-16s %14.3e %9.2fx %10llu\n", m.config.c_str(),
+    std::printf("%-18s %14.3e %9.2fx %8llu %8llu %8llu\n", m.config.c_str(),
                 m.rows_per_sec, m.rows_per_sec / base,
-                static_cast<unsigned long long>(m.fused_cmp_branches));
-    char line[256];
+                static_cast<unsigned long long>(m.fused_cmp_branches),
+                static_cast<unsigned long long>(m.fused_cmp_branch_imms),
+                static_cast<unsigned long long>(m.fused_load_cmp_branches));
+    char line[384];
     std::snprintf(line, sizeof(line),
                   "{\"bench\":\"micro_vm_dispatch\",\"kernel\":\"%s\","
                   "\"config\":\"%s\",\"rows_per_sec\":%.6e,"
-                  "\"speedup_vs_switch\":%.4f,\"fused_cmp_branches\":%llu}",
+                  "\"speedup_vs_switch\":%.4f,\"fused_cmp_branches\":%llu,"
+                  "\"fused_cmp_branch_imms\":%llu,"
+                  "\"fused_load_cmp_branches\":%llu}",
                   kernel, m.config.c_str(), m.rows_per_sec,
                   m.rows_per_sec / base,
-                  static_cast<unsigned long long>(m.fused_cmp_branches));
+                  static_cast<unsigned long long>(m.fused_cmp_branches),
+                  static_cast<unsigned long long>(m.fused_cmp_branch_imms),
+                  static_cast<unsigned long long>(m.fused_load_cmp_branches));
     std::printf("%s\n", line);
     if (json_out != nullptr) std::fprintf(json_out, "%s\n", line);
   }
@@ -168,14 +233,19 @@ double Throughput(uint64_t rows, double budget_seconds, const Fn& fn) {
 }  // namespace
 }  // namespace aqe
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aqe;
+  // --smoke: the CI perf gate's quick mode — short budgets, same JSON
+  // shape; ci/check_perf_floors.py compares the archived ratios against
+  // checked-in floors.
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   const double sf = bench::EnvDouble("AQE_SF", 0.01);
-  const double budget = bench::EnvDouble("AQE_BENCH_SECONDS", 1.0);
+  const double budget =
+      bench::EnvDouble("AQE_BENCH_SECONDS", smoke ? 0.25 : 1.0);
   std::FILE* json_out = std::fopen("BENCH_micro_vm_dispatch.json", "w");
 
-  std::printf("VM dispatch microbenchmark (SF %g, %.1fs per config)\n", sf,
-              budget);
+  std::printf("VM dispatch microbenchmark (SF %g, %.2fs per config)%s\n", sf,
+              budget, smoke ? " [smoke]" : "");
   std::printf("threaded dispatch available: %s\n",
               VmThreadedDispatchAvailable() ? "yes" : "no");
 
@@ -187,12 +257,15 @@ int main() {
       GeneratedPipeline gen = GeneratePipeline(k.spec(), k.bindings);
       TranslatorOptions options;
       options.fuse_cmp_branches = config.fuse_cmp_branches;
+      options.fuse_load_cmp_branches = config.fuse_load_cmp_branches;
       BcProgram bc = TranslateToBytecode(
           *gen.mod->module().getFunction("worker"), RuntimeRegistry::Global(),
           options);
       Measurement m;
       m.config = config.name;
       m.fused_cmp_branches = bc.fused_cmp_branches;
+      m.fused_cmp_branch_imms = bc.fused_cmp_branch_imms;
+      m.fused_load_cmp_branches = bc.fused_load_cmp_branches;
       bc.dispatch = config.dispatch;
       m.rows_per_sec = Throughput(k.rows, budget, [&] {
         VmExecuteWorker(bc, k.state(), 0, k.rows);
@@ -216,7 +289,38 @@ int main() {
     Report("q6-pipeline", results, json_out);
   }
 
-  // --- kernel 2: synthetic expression loop ---------------------------------
+  // --- kernel 2: scan-filter selection count -------------------------------
+  {
+    const uint64_t rows = 1 << 18;
+    std::vector<int64_t> data(rows);
+    for (uint64_t r = 0; r < rows; ++r) {
+      data[r] = static_cast<int64_t>((r * 2654435761u) % 1000);
+    }
+    std::vector<Measurement> results;
+    for (const Config& config : kConfigs) {
+      IrModule mod("scan");
+      BuildScanFilterKernel(&mod);
+      TranslatorOptions options;
+      options.fuse_cmp_branches = config.fuse_cmp_branches;
+      options.fuse_load_cmp_branches = config.fuse_load_cmp_branches;
+      BcProgram bc =
+          TranslateToBytecode(*mod.module().getFunction("f"),
+                              RuntimeRegistry::Global(), options);
+      bc.dispatch = config.dispatch;
+      Measurement m;
+      m.config = config.name;
+      m.fused_cmp_branches = bc.fused_cmp_branches;
+      m.fused_cmp_branch_imms = bc.fused_cmp_branch_imms;
+      m.fused_load_cmp_branches = bc.fused_load_cmp_branches;
+      uint64_t args[3] = {500, rows, reinterpret_cast<uint64_t>(data.data())};
+      m.rows_per_sec =
+          Throughput(rows, budget, [&] { VmExecute(bc, args, 3); });
+      results.push_back(std::move(m));
+    }
+    Report("scan-filter", results, json_out);
+  }
+
+  // --- kernel 3: synthetic expression loop ---------------------------------
   {
     const uint64_t rows = 1 << 18;
     std::vector<int64_t> data(rows);
@@ -229,6 +333,7 @@ int main() {
       BuildExpressionKernel(&mod);
       TranslatorOptions options;
       options.fuse_cmp_branches = config.fuse_cmp_branches;
+      options.fuse_load_cmp_branches = config.fuse_load_cmp_branches;
       BcProgram bc =
           TranslateToBytecode(*mod.module().getFunction("f"),
                               RuntimeRegistry::Global(), options);
@@ -236,6 +341,8 @@ int main() {
       Measurement m;
       m.config = config.name;
       m.fused_cmp_branches = bc.fused_cmp_branches;
+      m.fused_cmp_branch_imms = bc.fused_cmp_branch_imms;
+      m.fused_load_cmp_branches = bc.fused_load_cmp_branches;
       uint64_t args[3] = {500, rows, reinterpret_cast<uint64_t>(data.data())};
       m.rows_per_sec =
           Throughput(rows, budget, [&] { VmExecute(bc, args, 3); });

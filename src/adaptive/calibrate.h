@@ -13,7 +13,7 @@ bool CostModelCalibrationRequested();
 /// scan-filter-sum kernel (translated bytecode vs unoptimized vs optimized
 /// machine code of the same IR) and returns CostModelParams with the
 /// measured `unopt_speedup` / `opt_speedup` in place of the hand-measured
-/// 2.9 / 3.5. Compile-time coefficients keep their defaults — they already
+/// 3.2 / 3.8. Compile-time coefficients keep their defaults — they already
 /// come from bench/fig06_compile_scaling's linear fit.
 ///
 /// Runs once per process (memoized, thread-safe); costs roughly the price

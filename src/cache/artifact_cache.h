@@ -46,6 +46,17 @@ struct CachedCode {
   uint64_t approx_bytes = 0;
 };
 
+/// Machine code compiled for one exact constant vector (code embeds the
+/// literals; only the bytecode is patchable). A pipeline keeps a small set
+/// of these so queries alternating between a few parameter values don't
+/// evict each other's compilations.
+struct CodeVariant {
+  std::vector<uint64_t> constants;
+  std::shared_ptr<CachedCode> unopt;
+  std::shared_ptr<CachedCode> opt;
+  uint64_t last_use = 0;  ///< PipelineArtifact::variant_clock at last touch
+};
+
 /// Cached artifacts of one pipeline, filled in as stages complete. All
 /// fields are guarded by the owning CacheEntry's mutex.
 struct PipelineArtifact {
@@ -65,11 +76,21 @@ struct PipelineArtifact {
   /// recorded at first publish so cache hits skip IR generation entirely).
   double runtime_call_fraction = 0;
 
-  /// Machine code, valid for exactly `code_constants` (machine code embeds
-  /// the literals; only the bytecode is patchable).
-  std::shared_ptr<CachedCode> unopt;
-  std::shared_ptr<CachedCode> opt;
-  std::vector<uint64_t> code_constants;
+  /// Machine-code variants, keyed by the exact constant vector each embeds.
+  /// Bounded: publishing an unseen variant when full evicts the
+  /// least-recently-used one. The bytecode slot above needs no such map —
+  /// one program patch-shares across all literal variants.
+  static constexpr size_t kMaxCodeVariants = 4;
+  std::vector<CodeVariant> code_variants;
+  uint64_t variant_clock = 0;  ///< bumped on every variant touch
+
+  /// Linear scan (the map is tiny and the entry mutex is already held).
+  CodeVariant* FindVariant(const std::vector<uint64_t>& constants) {
+    for (CodeVariant& v : code_variants) {
+      if (v.constants == constants) return &v;
+    }
+    return nullptr;
+  }
 
   ExecMode best_mode = ExecMode::kBytecode;  ///< best mode ever reached
   uint64_t observed_tuples = 0;              ///< morsel stats, last run

@@ -252,21 +252,30 @@ class CachePublishTask : public Task {
       } else if (a.column_types != column_types_) {
         return Status::kDone;  // schema drifted (temp table): don't publish
       }
-      if (a.code_constants != constants_) {
-        // A literal variant owns the machine-code slots from now on: code
-        // embeds literals, so the pair must agree on one constant vector.
-        if (a.unopt != nullptr) {
-          delta -= static_cast<int64_t>(a.unopt->approx_bytes);
-          a.unopt.reset();
+      CodeVariant* v = a.FindVariant(constants_);
+      if (v == nullptr) {
+        if (a.code_variants.size() < PipelineArtifact::kMaxCodeVariants) {
+          v = &a.code_variants.emplace_back();
+        } else {
+          // Evict the least-recently-used variant's code and reuse its slot.
+          v = &*std::min_element(
+              a.code_variants.begin(), a.code_variants.end(),
+              [](const CodeVariant& x, const CodeVariant& y) {
+                return x.last_use < y.last_use;
+              });
+          if (v->unopt != nullptr) {
+            delta -= static_cast<int64_t>(v->unopt->approx_bytes);
+          }
+          if (v->opt != nullptr) {
+            delta -= static_cast<int64_t>(v->opt->approx_bytes);
+          }
+          *v = CodeVariant{};
         }
-        if (a.opt != nullptr) {
-          delta -= static_cast<int64_t>(a.opt->approx_bytes);
-          a.opt.reset();
-        }
-        a.code_constants = constants_;
+        v->constants = constants_;
       }
+      v->last_use = ++a.variant_clock;
       std::shared_ptr<CachedCode>& slot =
-          mode_ == ExecMode::kOptimized ? a.opt : a.unopt;
+          mode_ == ExecMode::kOptimized ? v->opt : v->unopt;
       if (slot != nullptr) delta -= static_cast<int64_t>(slot->approx_bytes);
       delta += static_cast<int64_t>(code_->approx_bytes);
       slot = std::move(code_);
@@ -451,7 +460,7 @@ void QueryJob::EstimateCost() {
     ewma_ms = entry_->ewma_service_ms;
     ewma_runs = entry_->observed_queries;
     for (const PipelineArtifact& a : entry_->pipelines) {
-      if (a.bytecode == nullptr && a.unopt == nullptr && a.opt == nullptr) {
+      if (a.bytecode == nullptr && a.code_variants.empty()) {
         all_resident = false;
         break;
       }
@@ -578,13 +587,14 @@ void QueryJob::StartCompiledPipeline(const QueryProgram::Stage& stage,
   // Snapshot this pipeline's artifacts under the entry lock; shared_ptrs
   // keep everything alive regardless of concurrent publishes or eviction.
   PipelineArtifact snap;
+  std::shared_ptr<CachedCode> snap_unopt, snap_opt;
   std::vector<uint64_t> my_constants;
   if (entry_ != nullptr) {
     const auto [cb, ce] = fingerprint_.pipeline_constants[p];
     my_constants.assign(fingerprint_.constants.begin() + cb,
                         fingerprint_.constants.begin() + ce);
     std::lock_guard<std::mutex> lock(entry_->mu);
-    const PipelineArtifact& a = entry_->pipelines[p];
+    PipelineArtifact& a = entry_->pipelines[p];
     snap.bytecode = a.bytecode;
     snap.bytecode_constants = a.bytecode_constants;
     snap.patchable = a.patchable;
@@ -592,9 +602,11 @@ void QueryJob::StartCompiledPipeline(const QueryProgram::Stage& stage,
     snap.column_types = a.column_types;
     snap.instructions = a.instructions;
     snap.runtime_call_fraction = a.runtime_call_fraction;
-    snap.code_constants = a.code_constants;
-    snap.unopt = a.unopt;
-    snap.opt = a.opt;
+    if (CodeVariant* v = a.FindVariant(my_constants); v != nullptr) {
+      v->last_use = ++a.variant_clock;
+      snap_unopt = v->unopt;
+      snap_opt = v->opt;
+    }
   }
   // Column types are the one plan property only knowable at bind time
   // (temp-table schemas); artifacts recorded under other types don't fit.
@@ -642,26 +654,27 @@ void QueryJob::StartCompiledPipeline(const QueryProgram::Stage& stage,
   }
   if (bytecode != nullptr) report.artifact_cache_hit = true;
 
-  // Machine code is only reusable for the exact literals it embeds.
+  // Machine code is only reusable for the exact literals it embeds; the
+  // snapshot above already picked the variant matching my_constants.
   std::shared_ptr<CachedCode> seed_code;
   ExecMode seed_mode = ExecMode::kBytecode;
-  if (types_fit && snap.code_constants == my_constants) {
+  if (types_fit) {
     if (options.strategy == ExecutionStrategy::kAdaptive) {
       // Start straight in the best mode this plan ever reached.
-      if (snap.opt != nullptr) {
-        seed_code = snap.opt;
+      if (snap_opt != nullptr) {
+        seed_code = snap_opt;
         seed_mode = ExecMode::kOptimized;
-      } else if (snap.unopt != nullptr) {
-        seed_code = snap.unopt;
+      } else if (snap_unopt != nullptr) {
+        seed_code = snap_unopt;
         seed_mode = ExecMode::kUnoptimized;
       }
     } else if (options.strategy == ExecutionStrategy::kUnoptimized &&
-               snap.unopt != nullptr) {
-      seed_code = snap.unopt;
+               snap_unopt != nullptr) {
+      seed_code = snap_unopt;
       seed_mode = ExecMode::kUnoptimized;
     } else if (options.strategy == ExecutionStrategy::kOptimized &&
-               snap.opt != nullptr) {
-      seed_code = snap.opt;
+               snap_opt != nullptr) {
+      seed_code = snap_opt;
       seed_mode = ExecMode::kOptimized;
     }
   }

@@ -1,6 +1,7 @@
 #include "plan/plan.h"
 
 #include "common/status.h"
+#include "simd/simd.h"
 
 namespace aqe {
 
@@ -32,6 +33,9 @@ int QueryProgram::DeclareTempTable() {
 }
 
 const uint8_t* QueryProgram::AddBitmap(std::vector<uint8_t> bitmap) {
+  // The SIMD probe kernels gather 4 bytes at bitmap + code, so keep
+  // kSimdBitmapPadding readable zero bytes past the last code (simd/simd.h).
+  bitmap.resize(bitmap.size() + kSimdBitmapPadding, 0);
   bitmaps_.push_back(
       std::make_unique<std::vector<uint8_t>>(std::move(bitmap)));
   return bitmaps_.back()->data();

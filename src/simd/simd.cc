@@ -1,0 +1,388 @@
+#include "simd/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define AQE_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace aqe {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference tier. These define the semantics; the SSE2/AVX2 tiers are
+// differentially tested against them (tests/simd_test.cc).
+// ---------------------------------------------------------------------------
+
+int ProbeSelI32Scalar(const int32_t* codes, int count, const uint8_t* bitmap,
+                      int32_t* sel) {
+  int k = 0;
+  for (int i = 0; i < count; ++i) {
+    if (bitmap[codes[i]] != 0) sel[k++] = i;
+  }
+  return k;
+}
+
+int ProbeSelI64Scalar(const int64_t* codes, int count, const uint8_t* bitmap,
+                      int32_t* sel) {
+  int k = 0;
+  for (int i = 0; i < count; ++i) {
+    if (bitmap[codes[i]] != 0) sel[k++] = i;
+  }
+  return k;
+}
+
+void TestI64Scalar(const int64_t* codes, int count, const uint8_t* bitmap,
+                   int64_t* out) {
+  for (int i = 0; i < count; ++i) {
+    out[i] = bitmap[codes[i]] != 0;
+  }
+}
+
+size_t FindSubstrScalar(const char* hay, size_t hay_len, const char* needle,
+                        size_t needle_len) {
+  if (needle_len > hay_len) return SIZE_MAX;
+  const char* base = hay;
+  size_t rem = hay_len;
+  while (rem >= needle_len) {
+    const char* c = static_cast<const char*>(
+        memchr(base, needle[0], rem - needle_len + 1));
+    if (c == nullptr) return SIZE_MAX;
+    if (memcmp(c, needle, needle_len) == 0) {
+      return static_cast<size_t>(c - hay);
+    }
+    rem = hay_len - static_cast<size_t>(c - hay) - 1;
+    base = c + 1;
+  }
+  return SIZE_MAX;
+}
+
+#if AQE_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// SSE2 tier. No gather instruction exists at this level, so the bitmap
+// probes keep scalar byte loads but replace the per-lane branch with a
+// 4-lane match mask consumed by a branch-free emission loop (one iteration
+// per matching lane, not per lane). The substring kernel is the classic
+// first/last-byte block filter.
+// ---------------------------------------------------------------------------
+
+inline int EmitSelFromMask(unsigned mask, int base, int32_t* sel, int k) {
+  while (mask != 0) {
+    sel[k++] = base + __builtin_ctz(mask);
+    mask &= mask - 1;
+  }
+  return k;
+}
+
+int ProbeSelI32Sse2(const int32_t* codes, int count, const uint8_t* bitmap,
+                    int32_t* sel) {
+  int k = 0;
+  int i = 0;
+  const __m128i zero = _mm_setzero_si128();
+  for (; i + 4 <= count; i += 4) {
+    const __m128i v =
+        _mm_set_epi32(bitmap[codes[i + 3]], bitmap[codes[i + 2]],
+                      bitmap[codes[i + 1]], bitmap[codes[i]]);
+    const unsigned eq = static_cast<unsigned>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(v, zero))));
+    k = EmitSelFromMask(~eq & 0xFu, i, sel, k);
+  }
+  for (; i < count; ++i) {
+    if (bitmap[codes[i]] != 0) sel[k++] = i;
+  }
+  return k;
+}
+
+int ProbeSelI64Sse2(const int64_t* codes, int count, const uint8_t* bitmap,
+                    int32_t* sel) {
+  int k = 0;
+  int i = 0;
+  const __m128i zero = _mm_setzero_si128();
+  for (; i + 4 <= count; i += 4) {
+    const __m128i v =
+        _mm_set_epi32(bitmap[codes[i + 3]], bitmap[codes[i + 2]],
+                      bitmap[codes[i + 1]], bitmap[codes[i]]);
+    const unsigned eq = static_cast<unsigned>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(v, zero))));
+    k = EmitSelFromMask(~eq & 0xFu, i, sel, k);
+  }
+  for (; i < count; ++i) {
+    if (bitmap[codes[i]] != 0) sel[k++] = i;
+  }
+  return k;
+}
+
+size_t FindSubstrSse2(const char* hay, size_t hay_len, const char* needle,
+                      size_t needle_len) {
+  if (needle_len > hay_len) return SIZE_MAX;
+  if (needle_len == 1) {
+    const char* c = static_cast<const char*>(memchr(hay, needle[0], hay_len));
+    return c == nullptr ? SIZE_MAX : static_cast<size_t>(c - hay);
+  }
+  const __m128i first = _mm_set1_epi8(needle[0]);
+  const __m128i last = _mm_set1_epi8(needle[needle_len - 1]);
+  size_t i = 0;
+  // The block loads touch hay[i .. i+needle_len-1+15]; stay in bounds.
+  while (i + needle_len + 15 <= hay_len) {
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(hay + i));
+    const __m128i b = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(hay + i + needle_len - 1));
+    unsigned mask = static_cast<unsigned>(_mm_movemask_epi8(
+        _mm_and_si128(_mm_cmpeq_epi8(a, first), _mm_cmpeq_epi8(b, last))));
+    while (mask != 0) {
+      const size_t j = i + __builtin_ctz(mask);
+      mask &= mask - 1;
+      if (memcmp(hay + j + 1, needle + 1, needle_len - 2) == 0) return j;
+    }
+    i += 16;
+  }
+  const size_t tail = FindSubstrScalar(hay + i, hay_len - i, needle,
+                                       needle_len);
+  return tail == SIZE_MAX ? SIZE_MAX : i + tail;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 tier. The bitmap probes use vpgatherdd: 8 (i32) / 4 (i64) codes per
+// gather, 4 bytes fetched at bitmap + code — the source of the
+// kSimdBitmapPadding contract. Compiled via the target attribute so the
+// translation unit builds without -mavx2; never called unless cpuid says
+// the instructions exist.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) int ProbeSelI32Avx2(const int32_t* codes,
+                                                    int count,
+                                                    const uint8_t* bitmap,
+                                                    int32_t* sel) {
+  int k = 0;
+  int i = 0;
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i byte_mask = _mm256_set1_epi32(0xFF);
+  for (; i + 8 <= count; i += 8) {
+    const __m256i c =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + i));
+    const __m256i g = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(bitmap), c, 1);
+    const __m256i v = _mm256_and_si256(g, byte_mask);
+    const unsigned eq = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(v, zero))));
+    k = EmitSelFromMask(~eq & 0xFFu, i, sel, k);
+  }
+  for (; i < count; ++i) {
+    if (bitmap[codes[i]] != 0) sel[k++] = i;
+  }
+  return k;
+}
+
+__attribute__((target("avx2"))) int ProbeSelI64Avx2(const int64_t* codes,
+                                                    int count,
+                                                    const uint8_t* bitmap,
+                                                    int32_t* sel) {
+  int k = 0;
+  int i = 0;
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i byte_mask = _mm_set1_epi32(0xFF);
+  for (; i + 4 <= count; i += 4) {
+    const __m256i c =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + i));
+    const __m128i g = _mm256_i64gather_epi32(
+        reinterpret_cast<const int*>(bitmap), c, 1);
+    const __m128i v = _mm_and_si128(g, byte_mask);
+    const unsigned eq = static_cast<unsigned>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(v, zero))));
+    k = EmitSelFromMask(~eq & 0xFu, i, sel, k);
+  }
+  for (; i < count; ++i) {
+    if (bitmap[codes[i]] != 0) sel[k++] = i;
+  }
+  return k;
+}
+
+__attribute__((target("avx2"))) void TestI64Avx2(const int64_t* codes,
+                                                 int count,
+                                                 const uint8_t* bitmap,
+                                                 int64_t* out) {
+  int i = 0;
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i byte_mask = _mm_set1_epi32(0xFF);
+  const __m128i ones = _mm_set1_epi32(1);
+  for (; i + 4 <= count; i += 4) {
+    const __m256i c =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + i));
+    const __m128i g = _mm256_i64gather_epi32(
+        reinterpret_cast<const int*>(bitmap), c, 1);
+    const __m128i v = _mm_and_si128(g, byte_mask);
+    // 0/-1 per lane for "code misses" -> invert, mask to 0/1, widen to i64.
+    const __m128i miss = _mm_cmpeq_epi32(v, zero);
+    const __m128i hit01 = _mm_andnot_si128(miss, ones);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_cvtepi32_epi64(hit01));
+  }
+  for (; i < count; ++i) {
+    out[i] = bitmap[codes[i]] != 0;
+  }
+}
+
+__attribute__((target("avx2"))) size_t FindSubstrAvx2(const char* hay,
+                                                      size_t hay_len,
+                                                      const char* needle,
+                                                      size_t needle_len) {
+  if (needle_len > hay_len) return SIZE_MAX;
+  if (needle_len == 1) {
+    const char* c = static_cast<const char*>(memchr(hay, needle[0], hay_len));
+    return c == nullptr ? SIZE_MAX : static_cast<size_t>(c - hay);
+  }
+  const __m256i first = _mm256_set1_epi8(needle[0]);
+  const __m256i last = _mm256_set1_epi8(needle[needle_len - 1]);
+  size_t i = 0;
+  while (i + needle_len + 31 <= hay_len) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hay + i));
+    const __m256i b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(hay + i + needle_len - 1));
+    unsigned mask = static_cast<unsigned>(_mm256_movemask_epi8(_mm256_and_si256(
+        _mm256_cmpeq_epi8(a, first), _mm256_cmpeq_epi8(b, last))));
+    while (mask != 0) {
+      const size_t j = i + __builtin_ctz(mask);
+      mask &= mask - 1;
+      if (memcmp(hay + j + 1, needle + 1, needle_len - 2) == 0) return j;
+    }
+    i += 32;
+  }
+  const size_t tail =
+      FindSubstrSse2(hay + i, hay_len - i, needle, needle_len);
+  return tail == SIZE_MAX ? SIZE_MAX : i + tail;
+}
+
+#endif  // AQE_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// Level selection and dispatch. The kernel table is resolved exactly once
+// (first use) so steady-state calls are one indirect jump, not a cpuid or
+// getenv per block.
+// ---------------------------------------------------------------------------
+
+SimdLevel ClampToDetected(SimdLevel want) {
+  const SimdLevel have = DetectedSimdLevel();
+  return static_cast<int>(want) < static_cast<int>(have) ? want : have;
+}
+
+SimdLevel ParseLevelEnv() {
+  const char* env = std::getenv("AQE_SIMD");
+  if (env == nullptr || *env == '\0') return DetectedSimdLevel();
+  if (strcmp(env, "scalar") == 0) return SimdLevel::kScalar;
+  if (strcmp(env, "sse2") == 0) return ClampToDetected(SimdLevel::kSSE2);
+  if (strcmp(env, "avx2") == 0) return ClampToDetected(SimdLevel::kAVX2);
+  return DetectedSimdLevel();  // unknown value: ignore the override
+}
+
+struct KernelTable {
+  int (*probe_sel_i32)(const int32_t*, int, const uint8_t*, int32_t*);
+  int (*probe_sel_i64)(const int64_t*, int, const uint8_t*, int32_t*);
+  void (*test_i64)(const int64_t*, int, const uint8_t*, int64_t*);
+  size_t (*find_substr)(const char*, size_t, const char*, size_t);
+};
+
+KernelTable TableFor(SimdLevel level) {
+#if AQE_SIMD_X86
+  switch (level) {
+    case SimdLevel::kAVX2:
+      return {ProbeSelI32Avx2, ProbeSelI64Avx2, TestI64Avx2, FindSubstrAvx2};
+    case SimdLevel::kSSE2:
+      // No SSE2 gather exists; the per-lane test keeps the scalar kernel.
+      return {ProbeSelI32Sse2, ProbeSelI64Sse2, TestI64Scalar,
+              FindSubstrSse2};
+    case SimdLevel::kScalar:
+      break;
+  }
+#else
+  (void)level;
+#endif
+  return {ProbeSelI32Scalar, ProbeSelI64Scalar, TestI64Scalar,
+          FindSubstrScalar};
+}
+
+const KernelTable& ActiveKernels() {
+  static const KernelTable table = TableFor(ActiveSimdLevel());
+  return table;
+}
+
+}  // namespace
+
+SimdLevel DetectedSimdLevel() {
+#if AQE_SIMD_X86
+  static const SimdLevel detected = [] {
+    if (__builtin_cpu_supports("avx2")) return SimdLevel::kAVX2;
+    if (__builtin_cpu_supports("sse2")) return SimdLevel::kSSE2;
+    return SimdLevel::kScalar;
+  }();
+  return detected;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel ActiveSimdLevel() {
+  static const SimdLevel active = ParseLevelEnv();
+  return active;
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSSE2:
+      return "sse2";
+    case SimdLevel::kAVX2:
+      return "avx2";
+  }
+  return "?";
+}
+
+int BitmapProbeSelI32(const int32_t* codes, int count, const uint8_t* bitmap,
+                      int32_t* sel) {
+  return ActiveKernels().probe_sel_i32(codes, count, bitmap, sel);
+}
+
+int BitmapProbeSelI64(const int64_t* codes, int count, const uint8_t* bitmap,
+                      int32_t* sel) {
+  return ActiveKernels().probe_sel_i64(codes, count, bitmap, sel);
+}
+
+void BitmapTestI64(const int64_t* codes, int count, const uint8_t* bitmap,
+                   int64_t* out) {
+  ActiveKernels().test_i64(codes, count, bitmap, out);
+}
+
+size_t FindSubstr(const char* hay, size_t hay_len, const char* needle,
+                  size_t needle_len) {
+  return ActiveKernels().find_substr(hay, hay_len, needle, needle_len);
+}
+
+int BitmapProbeSelI32At(SimdLevel level, const int32_t* codes, int count,
+                        const uint8_t* bitmap, int32_t* sel) {
+  return TableFor(ClampToDetected(level))
+      .probe_sel_i32(codes, count, bitmap, sel);
+}
+
+int BitmapProbeSelI64At(SimdLevel level, const int64_t* codes, int count,
+                        const uint8_t* bitmap, int32_t* sel) {
+  return TableFor(ClampToDetected(level))
+      .probe_sel_i64(codes, count, bitmap, sel);
+}
+
+void BitmapTestI64At(SimdLevel level, const int64_t* codes, int count,
+                     const uint8_t* bitmap, int64_t* out) {
+  TableFor(ClampToDetected(level)).test_i64(codes, count, bitmap, out);
+}
+
+size_t FindSubstrAt(SimdLevel level, const char* hay, size_t hay_len,
+                    const char* needle, size_t needle_len) {
+  return TableFor(ClampToDetected(level))
+      .find_substr(hay, hay_len, needle, needle_len);
+}
+
+}  // namespace aqe

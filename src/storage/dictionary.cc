@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/status.h"
+#include "simd/simd.h"
 
 namespace aqe {
 
@@ -37,8 +38,15 @@ std::vector<uint8_t> Dictionary::MatchPrefix(std::string_view prefix) const {
 
 std::vector<uint8_t> Dictionary::MatchContains(std::string_view infix) const {
   std::vector<uint8_t> bitmap(strings_.size(), 0);
+  if (infix.empty()) {
+    std::fill(bitmap.begin(), bitmap.end(), 1);
+    return bitmap;
+  }
   for (size_t i = 0; i < strings_.size(); ++i) {
-    bitmap[i] = strings_[i].find(infix) != std::string::npos ? 1 : 0;
+    bitmap[i] = FindSubstr(strings_[i].data(), strings_[i].size(),
+                           infix.data(), infix.size()) != SIZE_MAX
+                    ? 1
+                    : 0;
   }
   return bitmap;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/status.h"
+#include "simd/simd.h"
 
 namespace aqe {
 namespace {
@@ -76,6 +77,7 @@ LikeMatcher LikeMatcher::Compile(std::string_view pattern) {
     if (end > pos) {
       Segment seg;
       seg.chars.assign(pattern.data() + pos, end - pos);
+      seg.literal = !HasWildcard(seg.chars, '_');
       if (seg.chars.size() <= 64) {
         seg.bit_parallel = true;
         seg.masks.fill(~0ull);
@@ -110,6 +112,11 @@ size_t LikeMatcher::FindFrom(const Segment& seg, std::string_view s,
                              size_t from) {
   const size_t len = seg.chars.size();
   if (from + len > s.size()) return std::string_view::npos;
+  if (seg.literal) {
+    const size_t p =
+        FindSubstr(s.data() + from, s.size() - from, seg.chars.data(), len);
+    return p == SIZE_MAX ? std::string_view::npos : from + p;
+  }
   if (seg.bit_parallel) {
     // Shift-or: a 0 bit at position i means "a match of chars[0..i] ends
     // here". One shift+or per input byte, no per-character branches.
@@ -167,7 +174,8 @@ bool LikeMatcher::Matches(std::string_view s) const {
              s.compare(s.size() - literal_.size(), literal_.size(),
                        literal_) == 0;
     case LikePatternClass::kContains:
-      return s.find(literal_) != std::string_view::npos;
+      return FindSubstr(s.data(), s.size(), literal_.data(),
+                        literal_.size()) != SIZE_MAX;
     case LikePatternClass::kGeneral:
       return MatchGeneral(s);
   }

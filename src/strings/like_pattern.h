@@ -60,6 +60,10 @@ class LikeMatcher {
     /// chars.size() <= 64.
     std::array<uint64_t, 256> masks;
     bool bit_parallel = false;
+    /// No '_' in chars: the segment is a plain substring, so the unanchored
+    /// search can use the SIMD block filter instead of the byte-at-a-time
+    /// shift-or automaton.
+    bool literal = false;
   };
 
   static bool MatchesAt(const Segment& seg, std::string_view s, size_t pos);

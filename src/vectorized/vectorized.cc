@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/status.h"
+#include "simd/simd.h"
 
 namespace aqe {
 namespace {
@@ -51,6 +52,14 @@ void EvalVec(const Expr& expr, const std::vector<Vec>& slot_vecs,
     case ExprKind::kBitmapTest: {
       Vec code;
       EvalVec(*expr.children[0], slot_vecs, sel, block_n, &code);
+      if (sel.size() == block_n) {
+        // Dense selection (sel is always an ascending subset of [0, n), so
+        // full size means identity): hand the whole vector to the SIMD
+        // gather kernel instead of probing lane by lane.
+        BitmapTestI64(code.data(), static_cast<int>(block_n), expr.bitmap,
+                      out->data());
+        return;
+      }
       for (int lane : sel) {
         (*out)[static_cast<size_t>(lane)] =
             expr.bitmap[static_cast<uint64_t>(code[static_cast<size_t>(lane)])] != 0;
@@ -151,6 +160,38 @@ void EvalVec(const Expr& expr, const std::vector<Vec>& slot_vecs,
   }
 }
 
+/// Materializes only the selected lanes of a scan column (other lanes keep
+/// the vector's zero-fill — no downstream loop reads them). Used after
+/// selection pushdown so non-probed columns pay per survivor, not per row.
+void LoadColumnVecSel(const Column& column, uint64_t base, uint64_t n,
+                      const Sel& sel, Vec* out) {
+  out->resize(n);
+  switch (column.type()) {
+    case DataType::kI32: {
+      const auto* data = static_cast<const int32_t*>(column.data()) + base;
+      for (int lane : sel) {
+        (*out)[static_cast<size_t>(lane)] = data[lane];
+      }
+      return;
+    }
+    case DataType::kI64: {
+      const auto* data = static_cast<const int64_t*>(column.data()) + base;
+      for (int lane : sel) {
+        (*out)[static_cast<size_t>(lane)] = data[lane];
+      }
+      return;
+    }
+    case DataType::kF64: {
+      const auto* data = static_cast<const double*>(column.data()) + base;
+      for (int lane : sel) {
+        (*out)[static_cast<size_t>(lane)] = FromF64(data[lane]);
+      }
+      return;
+    }
+  }
+  AQE_UNREACHABLE("bad DataType");
+}
+
 /// Materializes one scan column for a block, widening to i64.
 void LoadColumnVec(const Column& column, uint64_t base, uint64_t n, Vec* out) {
   out->resize(n);
@@ -188,19 +229,67 @@ void RunPipelineVectorized(const QueryProgram& program,
     agg_local = ctx->agg_sets[static_cast<size_t>(agg->agg)]->Local();
   }
 
+  // Dictionary-aware selection pushdown: when the pipeline opens with a
+  // bitmap filter over a raw scan column, probe the column's codes straight
+  // out of storage and materialize every column only for the survivors —
+  // the probe happens BEFORE any lane is widened to i64.
+  int pushdown_slot = -1;
+  const uint8_t* pushdown_bitmap = nullptr;
+  if (!spec.ops.empty()) {
+    if (const auto* filter = std::get_if<OpFilter>(&spec.ops[0])) {
+      const Expr& pred = *filter->predicate;
+      if (pred.kind == ExprKind::kBitmapTest &&
+          pred.children[0]->kind == ExprKind::kSlot) {
+        const int slot = pred.children[0]->slot;
+        if (slot >= 0 && static_cast<size_t>(slot) < columns.size() &&
+            columns[static_cast<size_t>(slot)]->type() != DataType::kF64) {
+          pushdown_slot = slot;
+          pushdown_bitmap = pred.bitmap;
+        }
+      }
+    }
+  }
+  static_assert(sizeof(int) == sizeof(int32_t),
+                "selection vectors feed the SIMD probe kernels directly");
+
   std::vector<Vec> slot_vecs;
   Vec tmp;
+  Sel sel;
   for (uint64_t base = 0; base < rows; base += kVectorSize) {
     const uint64_t n = std::min(kVectorSize, rows - base);
     slot_vecs.clear();
-    for (const Column* column : columns) {
-      slot_vecs.emplace_back();
-      LoadColumnVec(*column, base, n, &slot_vecs.back());
+    size_t first_op = 0;
+    if (pushdown_slot >= 0) {
+      const Column& probe_col = *columns[static_cast<size_t>(pushdown_slot)];
+      sel.assign(n, 0);
+      int hits;
+      if (probe_col.type() == DataType::kI32) {
+        hits = BitmapProbeSelI32(
+            static_cast<const int32_t*>(probe_col.data()) + base,
+            static_cast<int>(n), pushdown_bitmap, sel.data());
+      } else {
+        hits = BitmapProbeSelI64(
+            static_cast<const int64_t*>(probe_col.data()) + base,
+            static_cast<int>(n), pushdown_bitmap, sel.data());
+      }
+      if (hits == 0) continue;
+      sel.resize(static_cast<size_t>(hits));
+      first_op = 1;
+      for (const Column* column : columns) {
+        slot_vecs.emplace_back();
+        LoadColumnVecSel(*column, base, n, sel, &slot_vecs.back());
+      }
+    } else {
+      for (const Column* column : columns) {
+        slot_vecs.emplace_back();
+        LoadColumnVec(*column, base, n, &slot_vecs.back());
+      }
+      sel.resize(n);
+      for (uint64_t i = 0; i < n; ++i) sel[i] = static_cast<int>(i);
     }
-    Sel sel(n);
-    for (uint64_t i = 0; i < n; ++i) sel[i] = static_cast<int>(i);
 
-    for (const PipelineOp& op : spec.ops) {
+    for (size_t op_index = first_op; op_index < spec.ops.size(); ++op_index) {
+      const PipelineOp& op = spec.ops[op_index];
       if (sel.empty()) break;
       if (const auto* filter = std::get_if<OpFilter>(&op)) {
         EvalVec(*filter->predicate, slot_vecs, sel, n, &tmp);

@@ -59,6 +59,26 @@ namespace aqe {
   V(br_ult_i32_imm) V(br_ult_i64_imm) V(br_ule_i32_imm) V(br_ule_i64_imm)    \
   V(br_ugt_i32_imm) V(br_ugt_i64_imm) V(br_uge_i32_imm) V(br_uge_i64_imm)    \
   V(br_folt_f64_imm) V(br_fogt_f64_imm)                                      \
+  /* load-compare-and-branch: the scan-filter kernel in one dispatch.        \
+     tmp = *(ty*)(r[a2] + r[a3]*sizeof(ty)); branch on tmp <pred> r[a1].     \
+     The element scale is implied by the type and the byte offset is zero    \
+     (the peephole only fires for that GEP shape); lit packs the branch      \
+     targets, so no field is left for a scale/offset immediate. */           \
+  V(br_load_eq_i32) V(br_load_eq_i64) V(br_load_ne_i32) V(br_load_ne_i64)    \
+  V(br_load_slt_i32) V(br_load_slt_i64) V(br_load_sle_i32)                   \
+  V(br_load_sle_i64) V(br_load_sgt_i32) V(br_load_sgt_i64)                   \
+  V(br_load_sge_i32) V(br_load_sge_i64) V(br_load_ult_i32)                   \
+  V(br_load_ult_i64) V(br_load_ule_i32) V(br_load_ule_i64)                   \
+  V(br_load_ugt_i32) V(br_load_ugt_i64) V(br_load_uge_i32)                   \
+  V(br_load_uge_i64)                                                         \
+  /* constant-RHS forms: tmp <pred> literal_pool[a1] */                      \
+  V(br_load_eq_i32_imm) V(br_load_eq_i64_imm) V(br_load_ne_i32_imm)          \
+  V(br_load_ne_i64_imm) V(br_load_slt_i32_imm) V(br_load_slt_i64_imm)        \
+  V(br_load_sle_i32_imm) V(br_load_sle_i64_imm) V(br_load_sgt_i32_imm)       \
+  V(br_load_sgt_i64_imm) V(br_load_sge_i32_imm) V(br_load_sge_i64_imm)       \
+  V(br_load_ult_i32_imm) V(br_load_ult_i64_imm) V(br_load_ule_i32_imm)       \
+  V(br_load_ule_i64_imm) V(br_load_ugt_i32_imm) V(br_load_ugt_i64_imm)       \
+  V(br_load_uge_i32_imm) V(br_load_uge_i64_imm)                              \
   /* floating point */                                                       \
   V(fadd_f64) V(fsub_f64) V(fmul_f64) V(fdiv_f64) V(fneg_f64)                \
   V(fcmp_oeq_f64) V(fcmp_one_f64) V(fcmp_olt_f64) V(fcmp_ole_f64)            \
@@ -193,6 +213,9 @@ struct BcProgram {
   /// Subset of fused_cmp_branches whose constant operand was folded into a
   /// literal-pool immediate (br_*_imm) instead of a constant-pool register.
   uint64_t fused_cmp_branch_imms = 0;
+  /// Subset of fused_cmp_branches that additionally swallowed the compare's
+  /// indexed load (br_load_*): load + compare + branch in one dispatch.
+  uint64_t fused_load_cmp_branches = 0;
 
   /// Interns `value` into literal_pool and returns its index.
   uint64_t AddLiteral(uint64_t value);

@@ -1,7 +1,12 @@
 #include "vm/interpreter.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -78,6 +83,21 @@ uint64_t DispatchN(uint64_t target, const uint64_t* a, uint32_t n) {
 #define VM_CMP_BR(expr) \
   ip = code + ((expr) ? UnpackThenTarget(I->lit) : UnpackElseTarget(I->lit))
 
+/// Element loads of the load-compare-and-branch superinstructions
+/// (br_load_*): the scale is implied by the element type and the byte offset
+/// is zero — the peephole only fuses that GEP shape, because `lit` carries
+/// the branch targets and has no room for a scale/offset immediate.
+#define LCB_I32(inst) \
+  (*reinterpret_cast<const int32_t*>(R_PTR((inst)->a2) + R_I64((inst)->a3) * 4))
+#define LCB_U32(inst)                                                        \
+  (*reinterpret_cast<const uint32_t*>(R_PTR((inst)->a2) +                    \
+                                      R_I64((inst)->a3) * 4))
+#define LCB_I64(inst) \
+  (*reinterpret_cast<const int64_t*>(R_PTR((inst)->a2) + R_I64((inst)->a3) * 8))
+#define LCB_U64(inst)                                                        \
+  (*reinterpret_cast<const uint64_t*>(R_PTR((inst)->a2) +                    \
+                                      R_I64((inst)->a3) * 8))
+
 /// Double view of a literal-pool immediate (br_*_f64_imm).
 inline double BitsToDouble(uint64_t bits) {
   double d;
@@ -85,8 +105,36 @@ inline double BitsToDouble(uint64_t bits) {
   return d;
 }
 
+/// Per-opcode dispatch counts collected under AQE_VM_PROFILE; feeds the
+/// hot-order list that drives the handler layout in interpreter_ops.inc.
+std::atomic<uint64_t>
+    g_dispatch_counts[static_cast<size_t>(Opcode::kNumOpcodes)];
+
+void VmProfileDumpAtExit() {
+  const char* dest = std::getenv("AQE_VM_PROFILE");
+  std::string list = VmProfileHotOrder();
+  FILE* f = stderr;
+  if (dest != nullptr && dest[0] != '\0' && std::strcmp(dest, "1") != 0) {
+    f = std::fopen(dest, "w");
+    if (f == nullptr) f = stderr;
+  }
+  std::fprintf(f, "# AQE_VM_PROFILE hot-order dispatch counts\n%s",
+               list.c_str());
+  if (f != stderr) std::fclose(f);
+}
+
+bool VmProfileEnabledImpl() {
+  const char* v = std::getenv("AQE_VM_PROFILE");
+  const bool on =
+      v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+  if (on) std::atexit(VmProfileDumpAtExit);
+  return on;
+}
+
 /// The classic interpreter loop (Fig 8): one switch, one shared indirect
-/// branch that every opcode funnels through.
+/// branch that every opcode funnels through. The kProfile instantiation
+/// counts every dispatch (AQE_VM_PROFILE); the regular one stays count-free.
+template <bool kProfile>
 uint64_t RunSwitch(const BcProgram& program, uint8_t* regs) {
   const BcInstruction* code = program.code.data();
   const uint64_t* lp = program.literal_pool.data();
@@ -96,6 +144,9 @@ uint64_t RunSwitch(const BcProgram& program, uint8_t* regs) {
   const BcInstruction* I;
   for (;;) {
     I = ip++;
+    if constexpr (kProfile) {
+      g_dispatch_counts[I->op].fetch_add(1, std::memory_order_relaxed);
+    }
     switch (static_cast<Opcode>(I->op)) {
 #define VM_CASE(name) case Opcode::k_##name: {
 #define VM_NEXT \
@@ -168,18 +219,50 @@ void InitRegisters(const BcProgram& program, const uint64_t* args,
 #undef IDX_ADDR
 #undef MEM_ADDR
 #undef VM_CMP_BR
+#undef LCB_I32
+#undef LCB_U32
+#undef LCB_I64
+#undef LCB_U64
 
 constexpr uint32_t kStackRegisterBytes = 16384;
 
 uint64_t Run(const BcProgram& program, uint8_t* regs, VmDispatch dispatch) {
+  // Opcode frequencies are engine-independent, so the profile build always
+  // runs the (counting) switch engine and the hot loops stay count-free.
+  if (VmProfileEnabled()) return RunSwitch<true>(program, regs);
 #if AQE_VM_HAS_COMPUTED_GOTO
   if (dispatch == VmDispatch::kThreaded) return RunThreaded(program, regs);
 #endif
   (void)dispatch;
-  return RunSwitch(program, regs);
+  return RunSwitch<false>(program, regs);
 }
 
 }  // namespace
+
+bool VmProfileEnabled() {
+  static const bool on = VmProfileEnabledImpl();
+  return on;
+}
+
+std::string VmProfileHotOrder() {
+  std::vector<std::pair<uint64_t, uint16_t>> rows;
+  for (uint16_t op = 0; op < static_cast<uint16_t>(Opcode::kNumOpcodes);
+       ++op) {
+    uint64_t n = g_dispatch_counts[op].load(std::memory_order_relaxed);
+    if (n != 0) rows.emplace_back(n, op);
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::string out;
+  char line[96];
+  for (const auto& [n, op] : rows) {
+    std::snprintf(line, sizeof(line), "%14llu %s\n",
+                  static_cast<unsigned long long>(n),
+                  OpcodeName(static_cast<Opcode>(op)));
+    out += line;
+  }
+  return out;
+}
 
 bool VmThreadedDispatchAvailable() { return AQE_VM_HAS_COMPUTED_GOTO != 0; }
 

@@ -2,6 +2,7 @@
 #define AQE_VM_INTERPRETER_H_
 
 #include <cstdint>
+#include <string>
 
 #include "vm/bytecode.h"
 
@@ -10,6 +11,18 @@ namespace aqe {
 /// True when the direct-threaded (computed-goto) engine was compiled in
 /// (GCC/Clang label-address extension).
 bool VmThreadedDispatchAvailable();
+
+/// True when AQE_VM_PROFILE is set (and not "0"): every interpreted dispatch
+/// is counted per opcode and the hot-order list is emitted at process exit —
+/// to stderr, or to the file the variable names. Profiled execution always
+/// uses the (counting) switch engine; opcode frequencies are
+/// engine-independent, and the hot loops stay count-free.
+bool VmProfileEnabled();
+
+/// The dispatch counts collected so far, hottest first, one
+/// "<count> <opcode>" line each. This is the list vm/interpreter_ops.inc's
+/// handler layout is ordered by (see the profile-guided layout note there).
+std::string VmProfileHotOrder();
 
 /// Resolves kDefault to the engine selected at compile time via the
 /// AQE_VM_DISPATCH CMake switch (THREADED where available, else SWITCH);

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
+#include <llvm/ADT/SmallVector.h>
 #include <llvm/IR/Constants.h>
 #include <llvm/IR/InstrTypes.h>
 #include <llvm/IR/Instructions.h>
@@ -59,6 +61,8 @@ class Translator {
   // --- planning -----------------------------------------------------------
   void PlanFusion();
   void PlanCmpBranchFusion();
+  void PlanBranchChainFusion();
+  void PlanLoadCmpBranchFusion();
   void CountBlockLocalUses();
   void BuildRangeLists();
 
@@ -116,6 +120,16 @@ class Translator {
   void TranslateSelect(const llvm::SelectInst& sel);
   void TranslateTerminator(const llvm::Instruction& term);
 
+  /// Emits one fused compare-and-branch superinstruction for a compare
+  /// planned in fused_cmp_ (picking the load-fused / immediate / register
+  /// form) and returns its instruction index. Branch targets are left for
+  /// the caller to patch.
+  uint32_t EmitFusedCmpBranch(const llvm::CmpInst* cmp, Opcode op);
+  /// Emits one element of a short-circuit branch chain: the fused form when
+  /// the leaf was planned for compare fusion, otherwise a plain condbr on
+  /// the leaf's register.
+  uint32_t EmitChainElement(const llvm::Value* leaf);
+
   /// Decomposes a GEP into (base, index value or null, scale, const offset).
   struct GepParts {
     const llvm::Value* base;
@@ -154,6 +168,21 @@ class Translator {
   /// Single-use compares fused into their block's condbr (compare-and-branch
   /// superinstructions); value = the fused opcode.
   llvm::DenseMap<const llvm::Instruction*, Opcode> fused_cmp_;
+  /// Fused compares whose indexed-load operand additionally folds into the
+  /// superinstruction (br_load_*); value = the subsumed load.
+  llvm::DenseMap<const llvm::Instruction*, const llvm::LoadInst*>
+      fused_cmp_load_;
+  /// Conditional branches whose condition is a single-use same-block and-tree
+  /// of i1 predicates: the terminator emits a short-circuit chain of
+  /// branches (one per leaf, in source order) instead of materializing the
+  /// conjunction.
+  llvm::DenseMap<const llvm::Instruction*, std::vector<const llvm::Value*>>
+      branch_chains_;
+  /// The subsumed `and` nodes of planned branch chains. Non-fused chain
+  /// leaves are read (as plain condbr conditions) when the chain is emitted
+  /// at the terminator, so these count as register-reading users in the
+  /// block-local use accounting.
+  llvm::DenseSet<const llvm::Instruction*> chain_ands_;
   /// Value extracts of fused overflow pairs: subsumed (they emit no code)
   /// yet they own the fused op's destination register.
   llvm::DenseSet<const llvm::Instruction*> fused_value_extracts_;
@@ -289,6 +318,31 @@ bool ImmCmpBranchOpcode(Opcode op, Opcode* out) {
   }
 }
 
+/// Maps a fused compare-and-branch opcode to the form that also swallows the
+/// compare's indexed load (br_load_*, reg or imm RHS). Only the integer
+/// forms exist: the load supplies the LHS, and f64 loads keep the two-op
+/// path (no br_load_*_f64 — scan filters compare integer columns).
+bool LoadCmpBranchOpcode(Opcode op, bool imm, Opcode* out) {
+  switch (op) {
+#define AQE_LCB_CASE(pred)                                              \
+  case Opcode::k_br_##pred:                                             \
+    *out = imm ? Opcode::k_br_load_##pred##_imm : Opcode::k_br_load_##pred; \
+    return true;
+    AQE_LCB_CASE(eq_i32) AQE_LCB_CASE(eq_i64)
+    AQE_LCB_CASE(ne_i32) AQE_LCB_CASE(ne_i64)
+    AQE_LCB_CASE(slt_i32) AQE_LCB_CASE(slt_i64)
+    AQE_LCB_CASE(sle_i32) AQE_LCB_CASE(sle_i64)
+    AQE_LCB_CASE(sgt_i32) AQE_LCB_CASE(sgt_i64)
+    AQE_LCB_CASE(sge_i32) AQE_LCB_CASE(sge_i64)
+    AQE_LCB_CASE(ult_i32) AQE_LCB_CASE(ult_i64)
+    AQE_LCB_CASE(ule_i32) AQE_LCB_CASE(ule_i64)
+    AQE_LCB_CASE(ugt_i32) AQE_LCB_CASE(ugt_i64)
+    AQE_LCB_CASE(uge_i32) AQE_LCB_CASE(uge_i64)
+#undef AQE_LCB_CASE
+    default: return false;
+  }
+}
+
 /// A plain integer/double constant whose raw bits can live in a literal-pool
 /// immediate. Returns true and sets `bits`; false for every other constant
 /// kind (pointers, constant expressions — those keep the register path).
@@ -321,6 +375,132 @@ void Translator::PlanCmpBranchFusion() {
     if (!FusedCmpBranchOpcode(*cmp, &op)) continue;
     fused_cmp_[cmp] = op;
     subsumed_.insert(cmp);  // the terminator emits the fused branch
+  }
+}
+
+void Translator::PlanBranchChainFusion() {
+  // A filter like `a >= x && a < y && b < z` reaches the translator as an
+  // and-tree feeding one condbr: the compares all execute, the `and`s fold
+  // them into one bit, and only the loop-bound compare fuses. Splitting the
+  // conjunction into a chain of branches — each leaf tests and jumps, a
+  // failing term exits the row immediately — lets every fusable leaf become
+  // its own br_*/br_load_* superinstruction and short-circuits the
+  // evaluation. Done here rather than in codegen so the JIT keeps the
+  // branch-free and-tree IR, which LLVM can vectorize.
+  if (!options_.fuse_cmp_branches || !options_.fuse_branch_chains) return;
+  for (const llvm::BasicBlock& bb : fn_) {
+    if (cfg_.LabelOf(&bb) < 0) continue;
+    const auto* br = llvm::dyn_cast<llvm::BranchInst>(bb.getTerminator());
+    if (br == nullptr || !br->isConditional() || subsumed_.contains(br)) {
+      continue;
+    }
+    // An interior node must be consumed only by its parent (or the branch)
+    // and live in this block, so folding it away is invisible elsewhere.
+    auto is_chain_and = [&](const llvm::Value* v) -> const llvm::BinaryOperator* {
+      const auto* bin = llvm::dyn_cast<llvm::BinaryOperator>(v);
+      if (bin != nullptr && bin->getOpcode() == llvm::Instruction::And &&
+          bin->getType()->isIntegerTy(1) && bin->getParent() == &bb &&
+          bin->hasOneUse() && !subsumed_.contains(bin)) {
+        return bin;
+      }
+      return nullptr;
+    };
+    if (is_chain_and(br->getCondition()) == nullptr) continue;
+    // Flatten the tree left-to-right. Leaves are arbitrary i1 values: a
+    // fusable single-use compare becomes a fused chain element; anything
+    // else still computes in the block body and chains via a plain condbr.
+    std::vector<const llvm::BinaryOperator*> nodes;
+    std::vector<const llvm::Value*> leaves;
+    llvm::SmallVector<const llvm::Value*, 8> work;
+    work.push_back(br->getCondition());
+    while (!work.empty()) {
+      const llvm::Value* v = work.pop_back_val();
+      if (const llvm::BinaryOperator* bin = is_chain_and(v)) {
+        nodes.push_back(bin);
+        work.push_back(bin->getOperand(1));
+        work.push_back(bin->getOperand(0));
+        continue;
+      }
+      leaves.push_back(v);
+    }
+    for (const llvm::BinaryOperator* node : nodes) {
+      subsumed_.insert(node);
+      chain_ands_.insert(node);
+    }
+    for (const llvm::Value* leaf : leaves) {
+      const auto* cmp = llvm::dyn_cast<llvm::CmpInst>(leaf);
+      Opcode op;
+      if (cmp == nullptr || cmp->getParent() != &bb || !cmp->hasOneUse() ||
+          subsumed_.contains(cmp) || !FusedCmpBranchOpcode(*cmp, &op)) {
+        continue;
+      }
+      fused_cmp_[cmp] = op;  // load/imm planning now applies to it too
+      subsumed_.insert(cmp);
+    }
+    branch_chains_[br] = std::move(leaves);
+    // The conjunction nodes fold away entirely; fused leaves are counted
+    // when their chain element is emitted.
+    program_.fused_instructions += static_cast<uint32_t>(nodes.size());
+  }
+}
+
+void Translator::PlanLoadCmpBranchFusion() {
+  // Third superinstruction tier: a compare already planned for
+  // compare-and-branch fusion whose LHS (or, mirrored, RHS) is a single-use
+  // indexed load of the matching width folds the load in too — the exact
+  // `buf[i] <pred> x` shape of every scan-filter loop. The br_load_*
+  // encoding has no scale/offset field (lit carries the branch targets), so
+  // only the implied-scale, zero-offset GEP shape qualifies.
+  if (!options_.fuse_macro_ops || !options_.fuse_cmp_branches ||
+      !options_.fuse_load_cmp_branches) {
+    return;
+  }
+  for (const auto& [cmp_inst, op] : fused_cmp_) {
+    const auto* cmp = llvm::cast<llvm::CmpInst>(cmp_inst);
+    const llvm::BasicBlock* bb = cmp->getParent();
+    auto fusable_load = [&](const llvm::Value* v) -> const llvm::LoadInst* {
+      const auto* load = llvm::dyn_cast<llvm::LoadInst>(v);
+      if (load == nullptr || load->getParent() != bb || !load->hasOneUse() ||
+          subsumed_.contains(load)) {
+        return nullptr;
+      }
+      const llvm::Type* ty = load->getType();
+      if (!ty->isIntegerTy(32) && !ty->isIntegerTy(64)) return nullptr;
+      const auto* gep =
+          llvm::dyn_cast<llvm::GetElementPtrInst>(load->getPointerOperand());
+      // Only an already-fused single-index GEP whose element type equals the
+      // loaded type (scale == width, offset == 0) fits the encoding; a
+      // constant index would fold into an offset instead.
+      if (gep == nullptr || !subsumed_.contains(gep) ||
+          gep->getNumIndices() != 1 || gep->getSourceElementType() != ty ||
+          llvm::isa<llvm::ConstantInt>(gep->getOperand(1))) {
+        return nullptr;
+      }
+      // Fusing moves the load's read to the terminator; nothing in between
+      // may write memory.
+      for (const llvm::Instruction* cur = load->getNextNode();
+           cur != bb->getTerminator(); cur = cur->getNextNode()) {
+        if (cur->mayWriteToMemory()) return nullptr;
+      }
+      return load;
+    };
+    Opcode effective = op;
+    const llvm::LoadInst* load = fusable_load(cmp->getOperand(0));
+    if (load == nullptr) {
+      // A load on the RHS works through the mirrored predicate
+      // (x < buf[i]  ==  buf[i] > x).
+      Opcode mirrored;
+      if (MirrorCmpBranchOpcode(op, &mirrored)) {
+        effective = mirrored;
+        load = fusable_load(cmp->getOperand(1));
+      }
+    }
+    Opcode unused;
+    if (load == nullptr || !LoadCmpBranchOpcode(effective, false, &unused)) {
+      continue;
+    }
+    fused_cmp_load_[cmp] = load;
+    subsumed_.insert(load);  // the terminator performs the load
   }
 }
 
@@ -427,16 +607,18 @@ void Translator::CountBlockLocalUses() {
       for (const llvm::Use& use : inst.uses()) {
         const auto* user = llvm::cast<llvm::Instruction>(use.getUser());
         if (subsumed_.contains(user)) {
-          // Subsumed instructions mostly vanish, but three kinds still read
+          // Subsumed instructions mostly vanish, but four kinds still read
           // their operands when their fused replacement is emitted: fused
           // GEPs (re-read at the fusing memory op), fused overflow calls
-          // (the macro op reads both addends), and fused compares (the
+          // (the macro op reads both addends), fused compares (the
           // compare-and-branch superinstruction reads both operands at the
-          // terminator). Fused extracts and condbrs never read the pair
-          // register.
+          // terminator), and branch-chain `and` nodes (a non-fused chain
+          // leaf's register is read by its condbr element). Fused extracts
+          // and condbrs never read the pair register.
           if (llvm::isa<llvm::GetElementPtrInst>(user) ||
               fused_overflow_.count(user) != 0 ||
-              fused_cmp_.count(user) != 0) {
+              fused_cmp_.count(user) != 0 ||
+              chain_ands_.contains(user)) {
             ++count;
           }
           continue;
@@ -1055,6 +1237,92 @@ void Translator::EmitBranchTo(const llvm::BasicBlock* target) {
   AddFixup(index, /*field=*/0, target);
 }
 
+uint32_t Translator::EmitFusedCmpBranch(const llvm::CmpInst* cmp, Opcode op) {
+  const llvm::Value* lhs = cmp->getOperand(0);
+  const llvm::Value* rhs = cmp->getOperand(1);
+  uint32_t index;
+  const llvm::LoadInst* fused_load = fused_cmp_load_.lookup(cmp);
+  if (fused_load != nullptr) {
+    // Load-compare-and-branch tier: the load supplies the LHS (mirrored
+    // into place if it was the RHS); a2/a3 carry the subsumed GEP's
+    // base/index, a1 the RHS register or literal-pool index.
+    if (lhs != fused_load) {
+      Opcode mirrored;
+      AQE_CHECK(MirrorCmpBranchOpcode(op, &mirrored));
+      op = mirrored;
+      std::swap(lhs, rhs);
+    }
+    uint64_t imm_bits = 0;
+    const bool has_imm = options_.fuse_imm_cmp_branches &&
+                         FusableImmediateBits(rhs, &imm_bits) &&
+                         imm_bits != 0 && imm_bits != 1;
+    const auto* gep = llvm::cast<llvm::GetElementPtrInst>(
+        fused_load->getPointerOperand());
+    GepParts parts = DecomposeGep(*gep);
+    uint32_t base = UseReg(parts.base);
+    uint32_t idx = UseReg(parts.index);
+    Opcode load_op;
+    if (has_imm && LoadCmpBranchOpcode(op, /*imm=*/true, &load_op) &&
+        program_.literal_pool.size() < 0xFFFF) {
+      uint64_t pool_index = program_.AddPrivateLiteral(imm_bits);
+      index = Emit(load_op, static_cast<uint32_t>(pool_index), base, idx);
+      ++program_.fused_cmp_branch_imms;
+    } else {
+      AQE_CHECK(LoadCmpBranchOpcode(op, /*imm=*/false, &load_op));
+      index = Emit(load_op, UseReg(rhs), base, idx);
+    }
+    program_.fused_instructions += 3;  // gep + load + compare folded
+    ++program_.fused_cmp_branches;
+    ++program_.fused_load_cmp_branches;
+  } else {
+    // Constant-operand form: the literal moves into a private
+    // literal-pool slot read directly by the handler, so it neither
+    // occupies a permanent register nor pays the entry load. A constant
+    // LHS is mirrored (c < x == x > c) onto the same encoding. Bits 0/1
+    // keep the register path — the reserved slots already hold them for
+    // free.
+    uint64_t imm_bits = 0;
+    bool has_imm = false;
+    if (options_.fuse_cmp_branches && options_.fuse_imm_cmp_branches) {
+      if (FusableImmediateBits(rhs, &imm_bits)) {
+        has_imm = true;
+      } else if (FusableImmediateBits(lhs, &imm_bits)) {
+        Opcode mirrored;
+        if (MirrorCmpBranchOpcode(op, &mirrored)) {
+          op = mirrored;
+          std::swap(lhs, rhs);
+          has_imm = true;
+        }
+      }
+      if (has_imm && (imm_bits == 0 || imm_bits == 1)) has_imm = false;
+    }
+    Opcode imm_op;
+    if (has_imm && ImmCmpBranchOpcode(op, &imm_op) &&
+        program_.literal_pool.size() < 0xFFFF) {
+      uint64_t pool_index = program_.AddPrivateLiteral(imm_bits);
+      index = Emit(imm_op, static_cast<uint32_t>(pool_index),
+                   UseReg(lhs));
+      ++program_.fused_cmp_branch_imms;
+    } else {
+      uint32_t a2 = UseReg(lhs);
+      uint32_t a3 = UseReg(rhs);
+      index = Emit(op, 0, a2, a3);
+    }
+    ++program_.fused_instructions;  // the compare folded away
+    ++program_.fused_cmp_branches;
+  }
+  return index;
+}
+
+uint32_t Translator::EmitChainElement(const llvm::Value* leaf) {
+  const auto* inst = llvm::dyn_cast<llvm::Instruction>(leaf);
+  auto it = inst != nullptr ? fused_cmp_.find(inst) : fused_cmp_.end();
+  if (it != fused_cmp_.end()) {
+    return EmitFusedCmpBranch(llvm::cast<llvm::CmpInst>(inst), it->second);
+  }
+  return Emit(Opcode::k_condbr, UseReg(leaf));
+}
+
 void Translator::TranslateTerminator(const llvm::Instruction& term) {
   const llvm::BasicBlock* bb = term.getParent();
   if (subsumed_.contains(&term)) {
@@ -1071,6 +1339,40 @@ void Translator::TranslateTerminator(const llvm::Instruction& term) {
       EmitBranchTo(br->getSuccessor(0));
       return;
     }
+    // Short-circuit chain: the condition was a conjunction, so one branch
+    // is emitted per leaf. Passing a test falls through to the next chain
+    // element; the last element's pass-edge is the real then-successor, and
+    // every element's fail-edge is the shared else-successor. Phi copies
+    // are valid before any element because all elements target the same
+    // two successors.
+    if (auto chain_it = branch_chains_.find(br);
+        chain_it != branch_chains_.end()) {
+      llvm::SmallVector<uint32_t, 8> indices;
+      for (const llvm::Value* leaf : chain_it->second) {
+        uint32_t idx = EmitChainElement(leaf);
+        if (!indices.empty()) SetThenTarget(indices.back(), idx);
+        indices.push_back(idx);
+      }
+      const llvm::BasicBlock* chain_then = br->getSuccessor(0);
+      const llvm::BasicBlock* chain_else = br->getSuccessor(1);
+      if (llvm::isa<llvm::PHINode>(chain_then->front())) {
+        SetThenTarget(indices.back(),
+                      static_cast<uint32_t>(program_.code.size()));
+        EmitPhiCopies(bb, chain_then);
+        EmitBranchTo(chain_then);
+      } else {
+        AddFixup(indices.back(), /*field=*/1, chain_then);
+      }
+      if (llvm::isa<llvm::PHINode>(chain_else->front())) {
+        const uint32_t stub = static_cast<uint32_t>(program_.code.size());
+        EmitPhiCopies(bb, chain_else);
+        EmitBranchTo(chain_else);
+        for (uint32_t idx : indices) SetElseTarget(idx, stub);
+      } else {
+        for (uint32_t idx : indices) AddFixup(idx, /*field=*/2, chain_else);
+      }
+      return;
+    }
     // Either a plain condbr on an i1 register, or — when the condition is a
     // single-use compare planned for fusion — one compare-and-branch
     // superinstruction reading the compare's operands directly.
@@ -1080,43 +1382,8 @@ void Translator::TranslateTerminator(const llvm::Instruction& term) {
     auto fused_it = cond_inst != nullptr ? fused_cmp_.find(cond_inst)
                                          : fused_cmp_.end();
     if (fused_it != fused_cmp_.end()) {
-      const auto* cmp = llvm::cast<llvm::CmpInst>(cond_inst);
-      const llvm::Value* lhs = cmp->getOperand(0);
-      const llvm::Value* rhs = cmp->getOperand(1);
-      Opcode op = fused_it->second;
-      // Constant-operand form: the literal moves into a private literal-pool
-      // slot read directly by the handler, so it neither occupies a
-      // permanent register nor pays the entry load. A constant LHS is
-      // mirrored (c < x == x > c) onto the same encoding. Bits 0/1 keep the
-      // register path — the reserved slots already hold them for free.
-      uint64_t imm_bits = 0;
-      bool has_imm = false;
-      if (options_.fuse_cmp_branches && options_.fuse_imm_cmp_branches) {
-        if (FusableImmediateBits(rhs, &imm_bits)) {
-          has_imm = true;
-        } else if (FusableImmediateBits(lhs, &imm_bits)) {
-          Opcode mirrored;
-          if (MirrorCmpBranchOpcode(op, &mirrored)) {
-            op = mirrored;
-            std::swap(lhs, rhs);
-            has_imm = true;
-          }
-        }
-        if (has_imm && (imm_bits == 0 || imm_bits == 1)) has_imm = false;
-      }
-      Opcode imm_op;
-      if (has_imm && ImmCmpBranchOpcode(op, &imm_op) &&
-          program_.literal_pool.size() < 0xFFFF) {
-        uint64_t pool_index = program_.AddPrivateLiteral(imm_bits);
-        index = Emit(imm_op, static_cast<uint32_t>(pool_index), UseReg(lhs));
-        ++program_.fused_cmp_branch_imms;
-      } else {
-        uint32_t a2 = UseReg(lhs);
-        uint32_t a3 = UseReg(rhs);
-        index = Emit(op, 0, a2, a3);
-      }
-      ++program_.fused_instructions;  // the compare folded away
-      ++program_.fused_cmp_branches;
+      index = EmitFusedCmpBranch(llvm::cast<llvm::CmpInst>(cond_inst),
+                                 fused_it->second);
     } else {
       uint32_t cond = UseReg(br->getCondition());
       index = Emit(Opcode::k_condbr, cond);
@@ -1261,6 +1528,8 @@ void Translator::TranslateBlock(int label) {
 BcProgram Translator::Run() {
   PlanFusion();
   PlanCmpBranchFusion();
+  PlanBranchChainFusion();  // may add to fused_cmp_, so before load planning
+  PlanLoadCmpBranchFusion();
   CountBlockLocalUses();
   BuildRangeLists();
   block_start_.assign(static_cast<size_t>(cfg_.num_blocks()), 0);

@@ -29,6 +29,19 @@ struct TranslatorOptions {
   /// literal-pool slot instead of burning a constant-pool register and its
   /// entry load. Only effective together with fuse_cmp_branches.
   bool fuse_imm_cmp_branches = true;
+  /// Enables the third superinstruction tier (br_load_*): a single-use
+  /// indexed load feeding an already-fused compare-and-branch folds into it,
+  /// executing the whole scan-filter kernel body — load, compare, branch —
+  /// in one dispatch. Only effective together with fuse_macro_ops and
+  /// fuse_cmp_branches (it builds on both fused GEPs and fused compares).
+  bool fuse_load_cmp_branches = true;
+  /// Splits a conditional branch whose condition is a single-use conjunction
+  /// (`and i1` tree) of block-local predicates into a short-circuit chain of
+  /// branches, so each fusable compare becomes its own br_* superinstruction
+  /// and the first failing term exits the row early. The JIT keeps the
+  /// original and-tree IR (which LLVM vectorizes); only the bytecode sees
+  /// the chain. Only effective together with fuse_cmp_branches.
+  bool fuse_branch_chains = true;
 };
 
 /// Translates `fn` into a BcProgram following Fig 9: compute liveness and

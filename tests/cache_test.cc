@@ -219,6 +219,51 @@ TEST_F(CacheTest, CachedStaticModesSkipCompilation) {
   EXPECT_EQ(warm.pipelines[0].initial_mode, ExecMode::kOptimized);
 }
 
+TEST_F(CacheTest, CodeVariantsCoexistPerConstantVector) {
+  QueryEngine engine(&catalog(), 2);
+  QueryProgram standard_ref = BuildTpchQuery(6, catalog());
+  QueryProgram variant_ref = BuildTpchQ6Variant(catalog(), VariantLiterals());
+  auto standard_rows =
+      Uncached(&engine, standard_ref, ExecutionStrategy::kOptimized);
+  auto variant_rows =
+      Uncached(&engine, variant_ref, ExecutionStrategy::kOptimized);
+  ASSERT_NE(standard_rows, variant_rows);
+
+  QueryRunOptions options;
+  options.strategy = ExecutionStrategy::kOptimized;
+  engine.Run(BuildTpchQuery(6, catalog()), options);
+  ASSERT_TRUE(WaitForPublishes(&engine, 1));
+  engine.Run(BuildTpchQ6Variant(catalog(), VariantLiterals()), options);
+  ASSERT_TRUE(WaitForPublishes(&engine, 2));
+
+  // Machine code for both literal vectors is now resident side by side, so
+  // re-running either compiles nothing. (With a single code slot per
+  // pipeline, the variant's publish would have evicted the standard
+  // constants' code and the first re-run below would recompile.)
+  QueryRunResult warm_std = engine.Run(BuildTpchQuery(6, catalog()), options);
+  EXPECT_EQ(warm_std.rows, standard_rows);
+  EXPECT_EQ(warm_std.compile_millis_total, 0);
+  QueryRunResult warm_var =
+      engine.Run(BuildTpchQ6Variant(catalog(), VariantLiterals()), options);
+  EXPECT_EQ(warm_var.rows, variant_rows);
+  EXPECT_EQ(warm_var.compile_millis_total, 0);
+  EXPECT_GE(engine.artifact_cache_stats().code_hits, 2u);
+
+  // The per-entry variant map stays bounded under many distinct literals.
+  for (int i = 0; i < 8; ++i) {
+    TpchQ6Literals lit = DefaultQ6Literals();
+    lit.quantity_limit = 400 + i;
+    engine.Run(BuildTpchQ6Variant(catalog(), lit), options);
+  }
+  auto entry = engine.artifact_cache().Peek(
+      ArtifactCacheKey(FingerprintProgram(standard_ref), options.translator));
+  ASSERT_NE(entry, nullptr);
+  std::lock_guard<std::mutex> lock(entry->mu);
+  for (const PipelineArtifact& a : entry->pipelines) {
+    EXPECT_LE(a.code_variants.size(), PipelineArtifact::kMaxCodeVariants);
+  }
+}
+
 // --- eviction ---------------------------------------------------------------
 
 TEST_F(CacheTest, EvictionUnderByteBudget) {

@@ -1,0 +1,233 @@
+#include "simd/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace aqe {
+namespace {
+
+// Every test here is differential: the scalar tier defines the semantics
+// and each higher tier available on the host must produce bit-identical
+// results. On machines without AVX2 the forced-level variants clamp to the
+// best supported tier, so the comparisons degrade to scalar-vs-scalar
+// rather than silently skipping.
+
+std::vector<SimdLevel> AllLevels() {
+  return {SimdLevel::kScalar, SimdLevel::kSSE2, SimdLevel::kAVX2};
+}
+
+/// A bitmap with the padding contract the probe kernels require.
+std::vector<uint8_t> PaddedBitmap(size_t codes, uint32_t match_seed,
+                                  int match_percent) {
+  std::vector<uint8_t> bitmap(codes + kSimdBitmapPadding, 0);
+  std::mt19937 rng(match_seed);
+  for (size_t i = 0; i < codes; ++i) {
+    bitmap[i] = static_cast<int>(rng() % 100) < match_percent ? 1 : 0;
+  }
+  return bitmap;
+}
+
+template <typename Code>
+std::vector<Code> RandomCodes(size_t n, size_t num_codes, uint32_t seed) {
+  std::vector<Code> codes(n);
+  std::mt19937 rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    codes[i] = static_cast<Code>(rng() % num_codes);
+  }
+  return codes;
+}
+
+TEST(SimdLevelTest, DetectionAndNames) {
+  const SimdLevel detected = DetectedSimdLevel();
+  EXPECT_LE(static_cast<int>(ActiveSimdLevel()), static_cast<int>(detected));
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kSSE2), "sse2");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAVX2), "avx2");
+#if defined(__x86_64__) || defined(__i386__)
+  // Any x86-64 this repo builds on has at least SSE2.
+  EXPECT_GE(static_cast<int>(detected), static_cast<int>(SimdLevel::kSSE2));
+#endif
+}
+
+TEST(SimdBitmapProbeTest, MatchesScalarOnOddLengthsAndSelectivities) {
+  const size_t kNumCodes = 1000;
+  // Odd lengths exercise every tail-loop path (8-lane AVX2, 4-lane SSE2).
+  const std::vector<int> lengths = {0, 1, 3, 4, 5, 7, 8, 9,
+                                    15, 16, 17, 31, 33, 1024, 1027};
+  for (int match_percent : {0, 3, 50, 97, 100}) {
+    const auto bitmap = PaddedBitmap(kNumCodes, 7u, match_percent);
+    for (int n : lengths) {
+      const auto codes32 =
+          RandomCodes<int32_t>(static_cast<size_t>(n), kNumCodes, 11u);
+      const auto codes64 =
+          RandomCodes<int64_t>(static_cast<size_t>(n), kNumCodes, 13u);
+      std::vector<int32_t> ref(static_cast<size_t>(n) + 1, -1);
+      const int ref_k = BitmapProbeSelI32At(SimdLevel::kScalar, codes32.data(),
+                                            n, bitmap.data(), ref.data());
+      std::vector<int32_t> ref64(static_cast<size_t>(n) + 1, -1);
+      const int ref64_k = BitmapProbeSelI64At(
+          SimdLevel::kScalar, codes64.data(), n, bitmap.data(), ref64.data());
+      for (SimdLevel level : AllLevels()) {
+        std::vector<int32_t> got(static_cast<size_t>(n) + 1, -1);
+        const int k = BitmapProbeSelI32At(level, codes32.data(), n,
+                                          bitmap.data(), got.data());
+        ASSERT_EQ(k, ref_k) << SimdLevelName(level) << " n=" << n
+                            << " pct=" << match_percent;
+        for (int i = 0; i < k; ++i) ASSERT_EQ(got[i], ref[i]);
+
+        std::vector<int32_t> got64(static_cast<size_t>(n) + 1, -1);
+        const int k64 = BitmapProbeSelI64At(level, codes64.data(), n,
+                                            bitmap.data(), got64.data());
+        ASSERT_EQ(k64, ref64_k) << SimdLevelName(level) << " n=" << n;
+        for (int i = 0; i < k64; ++i) ASSERT_EQ(got64[i], ref64[i]);
+      }
+    }
+  }
+}
+
+TEST(SimdBitmapProbeTest, UnalignedInputsMatchScalar) {
+  const size_t kNumCodes = 257;
+  const auto bitmap = PaddedBitmap(kNumCodes, 3u, 40);
+  // Probe through deliberately misaligned views of a larger buffer.
+  const auto backing = RandomCodes<int32_t>(4096 + 8, kNumCodes, 17u);
+  for (int offset = 0; offset < 8; ++offset) {
+    const int32_t* codes = backing.data() + offset;
+    const int n = 1021;  // odd on purpose
+    std::vector<int32_t> ref(static_cast<size_t>(n), -1);
+    const int ref_k = BitmapProbeSelI32At(SimdLevel::kScalar, codes, n,
+                                          bitmap.data(), ref.data());
+    for (SimdLevel level : AllLevels()) {
+      std::vector<int32_t> got(static_cast<size_t>(n), -1);
+      const int k =
+          BitmapProbeSelI32At(level, codes, n, bitmap.data(), got.data());
+      ASSERT_EQ(k, ref_k) << SimdLevelName(level) << " offset=" << offset;
+      for (int i = 0; i < k; ++i) ASSERT_EQ(got[i], ref[i]);
+    }
+  }
+}
+
+TEST(SimdBitmapProbeTest, LargeDictionaryOver64KDistinctCodes) {
+  // > 64K distinct codes: code values exceed 16 bits, so any kernel that
+  // truncated gather indices would diverge from scalar.
+  const size_t kNumCodes = 100000;
+  const auto bitmap = PaddedBitmap(kNumCodes, 29u, 10);
+  const size_t n = 8192;
+  auto codes32 = RandomCodes<int32_t>(n, kNumCodes, 31u);
+  auto codes64 = RandomCodes<int64_t>(n, kNumCodes, 37u);
+  // Force some probes of the very last code (max padding exposure).
+  codes32[0] = codes32[n - 1] = static_cast<int32_t>(kNumCodes - 1);
+  codes64[0] = codes64[n - 1] = static_cast<int64_t>(kNumCodes - 1);
+  std::vector<int32_t> ref(n, -1), ref64(n, -1);
+  const int ref_k =
+      BitmapProbeSelI32At(SimdLevel::kScalar, codes32.data(),
+                          static_cast<int>(n), bitmap.data(), ref.data());
+  const int ref64_k =
+      BitmapProbeSelI64At(SimdLevel::kScalar, codes64.data(),
+                          static_cast<int>(n), bitmap.data(), ref64.data());
+  for (SimdLevel level : AllLevels()) {
+    std::vector<int32_t> got(n, -1), got64(n, -1);
+    const int k = BitmapProbeSelI32At(level, codes32.data(),
+                                      static_cast<int>(n), bitmap.data(),
+                                      got.data());
+    ASSERT_EQ(k, ref_k) << SimdLevelName(level);
+    for (int i = 0; i < k; ++i) ASSERT_EQ(got[i], ref[i]);
+    const int k64 = BitmapProbeSelI64At(level, codes64.data(),
+                                        static_cast<int>(n), bitmap.data(),
+                                        got64.data());
+    ASSERT_EQ(k64, ref64_k) << SimdLevelName(level);
+    for (int i = 0; i < k64; ++i) ASSERT_EQ(got64[i], ref64[i]);
+  }
+}
+
+TEST(SimdBitmapTestTest, PerLaneResultsMatchScalar) {
+  const size_t kNumCodes = 513;
+  const auto bitmap = PaddedBitmap(kNumCodes, 41u, 35);
+  for (int n : {0, 1, 3, 4, 5, 63, 64, 65, 1024, 1027}) {
+    const auto codes = RandomCodes<int64_t>(static_cast<size_t>(n),
+                                            kNumCodes, 43u);
+    std::vector<int64_t> ref(static_cast<size_t>(n), -1);
+    BitmapTestI64At(SimdLevel::kScalar, codes.data(), n, bitmap.data(),
+                    ref.data());
+    for (SimdLevel level : AllLevels()) {
+      std::vector<int64_t> got(static_cast<size_t>(n), -1);
+      BitmapTestI64At(level, codes.data(), n, bitmap.data(), got.data());
+      for (int i = 0; i < n; ++i) {
+        ASSERT_EQ(got[i], ref[i]) << SimdLevelName(level) << " lane " << i;
+      }
+    }
+  }
+}
+
+TEST(SimdFindSubstrTest, MatchesStdFindExhaustively) {
+  // Random haystacks over a tiny alphabet (lots of near-matches), every
+  // suffix position, needle lengths crossing the 16/32-byte block sizes.
+  std::mt19937 rng(59);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t hay_len = 1 + rng() % 200;
+    std::string hay(hay_len, 'a');
+    for (auto& c : hay) c = static_cast<char>('a' + rng() % 3);
+    for (size_t needle_len : {size_t{1}, size_t{2}, size_t{3}, size_t{7},
+                              size_t{17}, size_t{33}}) {
+      if (needle_len > hay_len) continue;
+      // Take needles from the haystack (guaranteed hits at varied
+      // positions) and mutate some to cover misses.
+      for (int probe = 0; probe < 8; ++probe) {
+        const size_t at = rng() % (hay_len - needle_len + 1);
+        std::string needle = hay.substr(at, needle_len);
+        if (probe % 2 == 1) needle[rng() % needle_len] = 'z';
+        const size_t expect = hay.find(needle);
+        for (SimdLevel level : AllLevels()) {
+          const size_t got = FindSubstrAt(level, hay.data(), hay.size(),
+                                          needle.data(), needle.size());
+          ASSERT_EQ(got == SIZE_MAX ? std::string::npos : got, expect)
+              << SimdLevelName(level) << " hay=" << hay
+              << " needle=" << needle;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdFindSubstrTest, EdgeCases) {
+  const std::string hay = "MEDIUM POLISHED COPPER";
+  for (SimdLevel level : AllLevels()) {
+    // Needle longer than haystack.
+    EXPECT_EQ(FindSubstrAt(level, hay.data(), 4, hay.data(), 10), SIZE_MAX);
+    // Single-byte needles (memchr path).
+    EXPECT_EQ(FindSubstrAt(level, hay.data(), hay.size(), "P", 1), 7u);
+    EXPECT_EQ(FindSubstrAt(level, hay.data(), hay.size(), "z", 1), SIZE_MAX);
+    // Match exactly at the end.
+    EXPECT_EQ(FindSubstrAt(level, hay.data(), hay.size(), "COPPER", 6), 16u);
+    // Match at position 0.
+    EXPECT_EQ(FindSubstrAt(level, hay.data(), hay.size(), "MEDIUM", 6), 0u);
+    // Repeated first/last bytes force the inner memcmp verify.
+    const std::string tricky = "aaaabaaaabaaaac";
+    EXPECT_EQ(
+        FindSubstrAt(level, tricky.data(), tricky.size(), "aaaac", 5), 10u);
+  }
+}
+
+TEST(SimdFindSubstrTest, LongHaystacksCrossBlockBoundaries) {
+  // Needle placed at every position of a long haystack so matches land on
+  // every offset within the 16- and 32-byte blocks, including the scalar
+  // tail region.
+  const size_t hay_len = 300;
+  const std::string needle = "XYZW";
+  for (size_t at = 0; at + needle.size() <= hay_len; ++at) {
+    std::string hay(hay_len, 'x');
+    hay.replace(at, needle.size(), needle);
+    for (SimdLevel level : AllLevels()) {
+      ASSERT_EQ(FindSubstrAt(level, hay.data(), hay.size(), needle.data(),
+                             needle.size()),
+                at)
+          << SimdLevelName(level) << " at=" << at;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aqe

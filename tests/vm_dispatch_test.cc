@@ -56,9 +56,15 @@ void ExpectDispatchEnginesAgree(const IrGenerator& gen, uint64_t a,
   std::vector<TranslatorOptions> option_sets;
   TranslatorOptions defaults;
   option_sets.push_back(defaults);
+  TranslatorOptions no_load_fusion;
+  no_load_fusion.fuse_load_cmp_branches = false;
+  option_sets.push_back(no_load_fusion);
   TranslatorOptions no_imm_fusion;
   no_imm_fusion.fuse_imm_cmp_branches = false;
   option_sets.push_back(no_imm_fusion);
+  TranslatorOptions no_chains;
+  no_chains.fuse_branch_chains = false;
+  option_sets.push_back(no_chains);
   TranslatorOptions no_cmp_fusion;
   no_cmp_fusion.fuse_cmp_branches = false;
   option_sets.push_back(no_cmp_fusion);
@@ -401,6 +407,382 @@ TEST(VmDispatchTest, MultiUseCompareIsNotFused) {
   EXPECT_EQ(program.fused_cmp_branches, 0u);
   ExpectDispatchEnginesAgree(gen, 3, 9);
   ExpectDispatchEnginesAgree(gen, 9, 3);
+}
+
+// --- short-circuit branch chains ---------------------------------------------
+
+/// A scan-filter loop whose filter is one conjunction feeding a single
+/// condbr — the and-tree shape every compiled multi-term predicate has, and
+/// the branch-chain splitting target. Sums buf[i] over rows passing
+/// `buf[i] > a && buf[i] < b && <third term>`. The first compare reads its
+/// own single-use load (so its chain element can fold it, br_load_*); the
+/// second load feeds the remaining terms and the sum. With
+/// `unfusable_leaf` the third term is an fcmp OGE, which has no fused
+/// branch form and must chain through a plain condbr.
+IrGenerator ChainLoopGen(bool unfusable_leaf) {
+  return [unfusable_leaf](IrModule* mod) {
+    llvm::IRBuilder<> b(mod->context());
+    llvm::Function* fn = MakeF(mod, &b);
+    auto& ctx = mod->context();
+    auto* i64 = llvm::Type::getInt64Ty(ctx);
+    auto* head = llvm::BasicBlock::Create(ctx, "head", fn);
+    auto* body = llvm::BasicBlock::Create(ctx, "body", fn);
+    auto* keep = llvm::BasicBlock::Create(ctx, "keep", fn);
+    auto* latch = llvm::BasicBlock::Create(ctx, "latch", fn);
+    auto* exit = llvm::BasicBlock::Create(ctx, "exit", fn);
+    auto* entry = b.GetInsertBlock();
+    b.CreateBr(head);
+    b.SetInsertPoint(head);
+    auto* i = b.CreatePHI(i64, 2, "i");
+    auto* sum = b.CreatePHI(i64, 2, "sum");
+    i->addIncoming(b.getInt64(0), entry);
+    sum->addIncoming(b.getInt64(0), entry);
+    b.CreateCondBr(b.CreateICmpULT(i, b.getInt64(64)), body, exit);
+    b.SetInsertPoint(body);
+    auto* v1 = b.CreateLoad(i64, b.CreateGEP(i64, fn->getArg(2), i));
+    auto* v2 = b.CreateLoad(i64, b.CreateGEP(i64, fn->getArg(2), i));
+    auto* c1 = b.CreateICmpSGT(v1, fn->getArg(0));
+    auto* c2 = b.CreateICmpSLT(v2, fn->getArg(1));
+    llvm::Value* c3;
+    if (unfusable_leaf) {
+      auto* vd = b.CreateSIToFP(v2, b.getDoubleTy());
+      c3 = b.CreateFCmpOGE(vd, llvm::ConstantFP::get(b.getDoubleTy(), -60.0));
+    } else {
+      c3 = b.CreateICmpNE(v2, b.getInt64(40));
+    }
+    b.CreateCondBr(b.CreateAnd(b.CreateAnd(c1, c2), c3), keep, latch);
+    b.SetInsertPoint(keep);
+    auto* sum2 = b.CreateAdd(sum, v2);
+    b.CreateBr(latch);
+    b.SetInsertPoint(latch);
+    auto* sum3 = b.CreatePHI(i64, 2, "sum3");
+    sum3->addIncoming(sum, body);
+    sum3->addIncoming(sum2, keep);
+    auto* next = b.CreateAdd(i, b.getInt64(1));
+    i->addIncoming(next, latch);
+    sum->addIncoming(sum3, latch);
+    b.CreateBr(head);
+    b.SetInsertPoint(exit);
+    b.CreateRet(sum);
+  };
+}
+
+TEST(VmDispatchTest, BranchChainSplitsConjunction) {
+  IrGenerator gen = ChainLoopGen(/*unfusable_leaf=*/false);
+  IrModule mod("m");
+  gen(&mod);
+  BcProgram chained =
+      TranslateToBytecode(*mod.module().getFunction("f"), TestRegistry(), {});
+  // Loop bound + all three conjunction leaves fuse; the first leaf's
+  // single-use load folds into its chain element, and the bound (ult 64)
+  // and ne-40 leaves take the immediate form. No condbr survives.
+  EXPECT_EQ(chained.fused_cmp_branches, 4u);
+  EXPECT_EQ(chained.fused_load_cmp_branches, 1u);
+  EXPECT_EQ(chained.fused_cmp_branch_imms, 2u);
+  EXPECT_EQ(chained.Disassemble().find("condbr"), std::string::npos);
+
+  TranslatorOptions no_chains;
+  no_chains.fuse_branch_chains = false;
+  BcProgram flat = TranslateToBytecode(*mod.module().getFunction("f"),
+                                       TestRegistry(), no_chains);
+  // Without chains the conjunction materializes into one condbr and only
+  // the loop bound fuses.
+  EXPECT_EQ(flat.fused_cmp_branches, 1u);
+  EXPECT_EQ(flat.fused_load_cmp_branches, 0u);
+  EXPECT_NE(flat.Disassemble().find("condbr"), std::string::npos);
+}
+
+TEST(VmDispatchTest, BranchChainKeepsUnfusableLeafAsCondbr) {
+  IrGenerator gen = ChainLoopGen(/*unfusable_leaf=*/true);
+  IrModule mod("m");
+  gen(&mod);
+  BcProgram chained =
+      TranslateToBytecode(*mod.module().getFunction("f"), TestRegistry(), {});
+  // The fcmp-OGE leaf has no fused branch form: it computes in the body
+  // and chains through a plain condbr, while the loop bound and the two
+  // icmp leaves still fuse.
+  EXPECT_EQ(chained.fused_cmp_branches, 3u);
+  EXPECT_EQ(chained.fused_load_cmp_branches, 1u);
+  EXPECT_NE(chained.Disassemble().find("condbr"), std::string::npos);
+}
+
+TEST(VmDispatchTest, BranchChainAllEnginesAndOptionSetsAgree) {
+  // Harness buf holds i*7 - 100 for i in [0, 64): range [-100, 341],
+  // containing the ne-40 leaf's constant (i == 20). Thresholds picked so
+  // each term is the short-circuit decider for some rows: always-pass,
+  // always-fail, and boundary-straddling pairs.
+  const int64_t pairs[][2] = {
+      {-1000, 1000},  // every row passes the range terms
+      {341, 1000},    // first term fails on every row
+      {-1000, -99},   // second term fails on almost every row
+      {0, 200},       // mixed
+      {39, 41},       // isolates the ne-40 leaf
+  };
+  for (bool unfusable_leaf : {false, true}) {
+    IrGenerator gen = ChainLoopGen(unfusable_leaf);
+    for (const auto& p : pairs) {
+      ExpectDispatchEnginesAgree(gen, static_cast<uint64_t>(p[0]),
+                                 static_cast<uint64_t>(p[1]));
+      if (::testing::Test::HasFailure()) {
+        FAIL() << "unfusable_leaf=" << unfusable_leaf << " a=" << p[0]
+               << " b=" << p[1];
+      }
+    }
+  }
+}
+
+// --- load-compare-and-branch superinstructions -------------------------------
+
+/// Stores b into buf[a & 63] (as i32 or i64), loads it back through a
+/// GEP+load pair, and branches on `loaded <pred> a` — the exact shape the
+/// br_load_* peephole fuses. `load_on_lhs`=false puts the load on the
+/// compare's RHS to exercise the mirrored encoding.
+IrGenerator LoadCmpBranchGen(llvm::CmpInst::Predicate pred, bool use_i32,
+                             bool load_on_lhs) {
+  return [pred, use_i32, load_on_lhs](IrModule* mod) {
+    llvm::IRBuilder<> b(mod->context());
+    llvm::Function* fn = MakeF(mod, &b);
+    auto& ctx = mod->context();
+    auto* then_bb = llvm::BasicBlock::Create(ctx, "t", fn);
+    auto* else_bb = llvm::BasicBlock::Create(ctx, "e", fn);
+    llvm::Type* elem_ty = use_i32 ? b.getInt32Ty() : b.getInt64Ty();
+    auto* idx_s = b.CreateAnd(fn->getArg(0), b.getInt64(63));
+    llvm::Value* stored = fn->getArg(1);
+    if (use_i32) stored = b.CreateTrunc(stored, b.getInt32Ty());
+    b.CreateStore(stored, b.CreateGEP(elem_ty, fn->getArg(2), idx_s));
+    auto* idx_l = b.CreateAnd(fn->getArg(0), b.getInt64(63));
+    auto* loaded =
+        b.CreateLoad(elem_ty, b.CreateGEP(elem_ty, fn->getArg(2), idx_l));
+    llvm::Value* other = fn->getArg(0);
+    if (use_i32) other = b.CreateTrunc(other, b.getInt32Ty());
+    llvm::Value* cmp = load_on_lhs ? b.CreateICmp(pred, loaded, other)
+                                   : b.CreateICmp(pred, other, loaded);
+    b.CreateCondBr(cmp, then_bb, else_bb);
+    b.SetInsertPoint(then_bb);
+    b.CreateRet(b.getInt64(111));
+    b.SetInsertPoint(else_bb);
+    b.CreateRet(b.getInt64(222));
+  };
+}
+
+TEST(VmDispatchTest, LoadCmpBranchAllPredicatesBothEnginesAtBoundaries) {
+  const llvm::CmpInst::Predicate predicates[] = {
+      llvm::CmpInst::ICMP_EQ,  llvm::CmpInst::ICMP_NE,
+      llvm::CmpInst::ICMP_SLT, llvm::CmpInst::ICMP_SLE,
+      llvm::CmpInst::ICMP_SGT, llvm::CmpInst::ICMP_SGE,
+      llvm::CmpInst::ICMP_ULT, llvm::CmpInst::ICMP_ULE,
+      llvm::CmpInst::ICMP_UGT, llvm::CmpInst::ICMP_UGE,
+  };
+  const uint64_t boundary[] = {
+      0,
+      1,
+      63,
+      static_cast<uint64_t>(-1),
+      static_cast<uint64_t>(std::numeric_limits<int32_t>::min()),
+      static_cast<uint64_t>(std::numeric_limits<int32_t>::max()),
+      static_cast<uint64_t>(std::numeric_limits<int64_t>::min()),
+      static_cast<uint64_t>(std::numeric_limits<int64_t>::max()),
+      0x80000000ull,  // i32 sign boundary as unsigned
+  };
+  for (llvm::CmpInst::Predicate pred : predicates) {
+    for (bool use_i32 : {false, true}) {
+      for (bool load_on_lhs : {true, false}) {
+        IrGenerator gen = LoadCmpBranchGen(pred, use_i32, load_on_lhs);
+        for (uint64_t x : boundary) {
+          for (uint64_t y : boundary) {
+            ExpectDispatchEnginesAgree(gen, x, y);
+            if (::testing::Test::HasFailure()) {
+              FAIL() << "pred=" << pred << " i32=" << use_i32
+                     << " load_lhs=" << load_on_lhs << " x=" << x << " y=" << y;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(VmDispatchTest, LoadCmpBranchEmitsSuperinstruction) {
+  IrGenerator gen =
+      LoadCmpBranchGen(llvm::CmpInst::ICMP_SGT, false, /*load_on_lhs=*/true);
+  IrModule mod("m");
+  gen(&mod);
+  BcProgram fused =
+      TranslateToBytecode(*mod.module().getFunction("f"), TestRegistry(), {});
+  EXPECT_EQ(fused.fused_cmp_branches, 1u);
+  EXPECT_EQ(fused.fused_load_cmp_branches, 1u);
+  EXPECT_NE(fused.Disassemble().find("br_load_sgt_i64"), std::string::npos);
+  EXPECT_EQ(fused.Disassemble().find("load_idx_i64"), std::string::npos);
+
+  // With the tier disabled the same kernel keeps the PR-4 shape: a fused
+  // indexed load followed by the compare-and-branch superinstruction.
+  TranslatorOptions no_load;
+  no_load.fuse_load_cmp_branches = false;
+  BcProgram two_op = TranslateToBytecode(*mod.module().getFunction("f"),
+                                         TestRegistry(), no_load);
+  EXPECT_EQ(two_op.fused_cmp_branches, 1u);
+  EXPECT_EQ(two_op.fused_load_cmp_branches, 0u);
+  EXPECT_NE(two_op.Disassemble().find("load_idx_i64"), std::string::npos);
+  EXPECT_NE(two_op.Disassemble().find("br_sgt_i64"), std::string::npos);
+  // The tier folds the load away: one fewer instruction.
+  EXPECT_EQ(fused.code.size() + 1, two_op.code.size());
+}
+
+TEST(VmDispatchTest, LoadCmpBranchMirrorsLoadOnRhs) {
+  // a < buf[i]  must become  buf[i] > a (br_load_sgt_i64).
+  IrGenerator gen =
+      LoadCmpBranchGen(llvm::CmpInst::ICMP_SLT, false, /*load_on_lhs=*/false);
+  IrModule mod("m");
+  gen(&mod);
+  BcProgram program =
+      TranslateToBytecode(*mod.module().getFunction("f"), TestRegistry(), {});
+  EXPECT_EQ(program.fused_load_cmp_branches, 1u);
+  EXPECT_NE(program.Disassemble().find("br_load_sgt_i64"), std::string::npos);
+}
+
+/// Loads buf[a & 63] and branches on `loaded <pred> K`: the imm form of the
+/// load-compare-and-branch tier.
+IrGenerator LoadCmpImmBranchGen(llvm::CmpInst::Predicate pred, bool use_i32,
+                                uint64_t constant) {
+  return [pred, use_i32, constant](IrModule* mod) {
+    llvm::IRBuilder<> b(mod->context());
+    llvm::Function* fn = MakeF(mod, &b);
+    auto& ctx = mod->context();
+    auto* then_bb = llvm::BasicBlock::Create(ctx, "t", fn);
+    auto* else_bb = llvm::BasicBlock::Create(ctx, "e", fn);
+    llvm::Type* elem_ty = use_i32 ? b.getInt32Ty() : b.getInt64Ty();
+    auto* idx = b.CreateAnd(fn->getArg(0), b.getInt64(63));
+    auto* loaded =
+        b.CreateLoad(elem_ty, b.CreateGEP(elem_ty, fn->getArg(2), idx));
+    llvm::Value* k = use_i32
+                         ? static_cast<llvm::Value*>(
+                               b.getInt32(static_cast<uint32_t>(constant)))
+                         : b.getInt64(constant);
+    b.CreateCondBr(b.CreateICmp(pred, loaded, k), then_bb, else_bb);
+    b.SetInsertPoint(then_bb);
+    b.CreateRet(b.getInt64(111));
+    b.SetInsertPoint(else_bb);
+    b.CreateRet(b.getInt64(222));
+  };
+}
+
+TEST(VmDispatchTest, LoadCmpImmBranchEmitsImmForm) {
+  IrGenerator gen = LoadCmpImmBranchGen(llvm::CmpInst::ICMP_SLT, false, 42);
+  IrModule mod("m");
+  gen(&mod);
+  BcProgram program =
+      TranslateToBytecode(*mod.module().getFunction("f"), TestRegistry(), {});
+  EXPECT_EQ(program.fused_load_cmp_branches, 1u);
+  EXPECT_EQ(program.fused_cmp_branch_imms, 1u);
+  EXPECT_NE(program.Disassemble().find("br_load_slt_i64_imm"),
+            std::string::npos);
+  ASSERT_EQ(program.literal_pool.size(), 1u);
+  EXPECT_EQ(program.literal_pool[0], 42u);
+  for (uint64_t x : {uint64_t{0}, uint64_t{7}, uint64_t{45}}) {
+    ExpectDispatchEnginesAgree(gen, x, 0);
+  }
+}
+
+TEST(VmDispatchTest, LoadCmpImmBranchSkipsReservedZeroAndOne) {
+  // Constants 0/1 keep the reg form through the reserved register slots.
+  for (uint64_t k : {uint64_t{0}, uint64_t{1}}) {
+    IrGenerator gen = LoadCmpImmBranchGen(llvm::CmpInst::ICMP_SGT, true, k);
+    IrModule mod("m");
+    gen(&mod);
+    BcProgram program =
+        TranslateToBytecode(*mod.module().getFunction("f"), TestRegistry(), {});
+    EXPECT_EQ(program.fused_load_cmp_branches, 1u);
+    EXPECT_EQ(program.fused_cmp_branch_imms, 0u);
+    EXPECT_TRUE(program.literal_pool.empty());
+    EXPECT_NE(program.Disassemble().find("br_load_sgt_i32"),
+              std::string::npos);
+    ExpectDispatchEnginesAgree(gen, 3, 0);
+  }
+}
+
+TEST(VmDispatchTest, LoadCmpBranchNotFusedAcrossStore) {
+  // A store between the load and the terminator blocks the tier (the fused
+  // op would move the read past the write); the compare still fuses.
+  IrGenerator gen = [](IrModule* mod) {
+    llvm::IRBuilder<> b(mod->context());
+    llvm::Function* fn = MakeF(mod, &b);
+    auto& ctx = mod->context();
+    auto* then_bb = llvm::BasicBlock::Create(ctx, "t", fn);
+    auto* else_bb = llvm::BasicBlock::Create(ctx, "e", fn);
+    auto* i64 = b.getInt64Ty();
+    auto* idx = b.CreateAnd(fn->getArg(0), b.getInt64(63));
+    auto* loaded = b.CreateLoad(i64, b.CreateGEP(i64, fn->getArg(2), idx));
+    auto* idx2 = b.CreateAnd(fn->getArg(0), b.getInt64(63));
+    b.CreateStore(fn->getArg(1), b.CreateGEP(i64, fn->getArg(2), idx2));
+    b.CreateCondBr(b.CreateICmpSGT(loaded, fn->getArg(0)), then_bb, else_bb);
+    b.SetInsertPoint(then_bb);
+    b.CreateRet(b.getInt64(111));
+    b.SetInsertPoint(else_bb);
+    b.CreateRet(b.getInt64(222));
+  };
+  IrModule mod("m");
+  gen(&mod);
+  BcProgram program =
+      TranslateToBytecode(*mod.module().getFunction("f"), TestRegistry(), {});
+  EXPECT_EQ(program.fused_load_cmp_branches, 0u);
+  EXPECT_EQ(program.fused_cmp_branches, 1u);
+  ExpectDispatchEnginesAgree(gen, 5, 99);
+  ExpectDispatchEnginesAgree(gen, static_cast<uint64_t>(-3), 12);
+}
+
+TEST(VmDispatchTest, LoadCmpBranchNotFusedForMultiUseLoad) {
+  // The loaded value is also returned, so the load keeps its register.
+  IrGenerator gen = [](IrModule* mod) {
+    llvm::IRBuilder<> b(mod->context());
+    llvm::Function* fn = MakeF(mod, &b);
+    auto& ctx = mod->context();
+    auto* then_bb = llvm::BasicBlock::Create(ctx, "t", fn);
+    auto* else_bb = llvm::BasicBlock::Create(ctx, "e", fn);
+    auto* i64 = b.getInt64Ty();
+    auto* idx = b.CreateAnd(fn->getArg(0), b.getInt64(63));
+    auto* loaded = b.CreateLoad(i64, b.CreateGEP(i64, fn->getArg(2), idx));
+    b.CreateCondBr(b.CreateICmpSGT(loaded, fn->getArg(1)), then_bb, else_bb);
+    b.SetInsertPoint(then_bb);
+    b.CreateRet(loaded);
+    b.SetInsertPoint(else_bb);
+    b.CreateRet(b.getInt64(222));
+  };
+  IrModule mod("m");
+  gen(&mod);
+  BcProgram program =
+      TranslateToBytecode(*mod.module().getFunction("f"), TestRegistry(), {});
+  EXPECT_EQ(program.fused_load_cmp_branches, 0u);
+  EXPECT_EQ(program.fused_cmp_branches, 1u);
+  ExpectDispatchEnginesAgree(gen, 4, 0);
+  ExpectDispatchEnginesAgree(gen, 4, 10000);
+}
+
+TEST(VmDispatchTest, LoadCmpBranchRequiresMatchingScale) {
+  // GEP element type != loaded type (i8-scaled address of an i32 load): the
+  // implied-scale encoding cannot express it, so only the compare fuses.
+  IrGenerator gen = [](IrModule* mod) {
+    llvm::IRBuilder<> b(mod->context());
+    llvm::Function* fn = MakeF(mod, &b);
+    auto& ctx = mod->context();
+    auto* then_bb = llvm::BasicBlock::Create(ctx, "t", fn);
+    auto* else_bb = llvm::BasicBlock::Create(ctx, "e", fn);
+    auto* idx = b.CreateAnd(fn->getArg(0), b.getInt64(63));
+    auto* loaded = b.CreateLoad(
+        b.getInt32Ty(), b.CreateGEP(b.getInt8Ty(), fn->getArg(2), idx));
+    auto* rhs = b.CreateTrunc(fn->getArg(1), b.getInt32Ty());
+    b.CreateCondBr(b.CreateICmpEQ(loaded, rhs), then_bb, else_bb);
+    b.SetInsertPoint(then_bb);
+    b.CreateRet(b.getInt64(111));
+    b.SetInsertPoint(else_bb);
+    b.CreateRet(b.getInt64(222));
+  };
+  IrModule mod("m");
+  gen(&mod);
+  BcProgram program =
+      TranslateToBytecode(*mod.module().getFunction("f"), TestRegistry(), {});
+  EXPECT_EQ(program.fused_load_cmp_branches, 0u);
+  EXPECT_EQ(program.fused_cmp_branches, 1u);
+  ExpectDispatchEnginesAgree(gen, 8, 77);
 }
 
 // --- overflow macro ops under both engines -----------------------------------
