@@ -16,6 +16,7 @@
 // Each config prints one machine-readable JSON line (also written to
 // BENCH_micro_vm_dispatch.json, one snapshot per run) so each PR's perf
 // numbers can be archived and compared.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -28,6 +29,8 @@
 #include "common/timer.h"
 #include "ir/ir_module.h"
 #include "jit/jit_compiler.h"
+#include "obs/metrics.h"
+#include "obs/trace_ring.h"
 #include "runtime/runtime_registry.h"
 #include "vm/interpreter.h"
 #include "vm/translator.h"
@@ -349,6 +352,70 @@ int main(int argc, char** argv) {
       results.push_back(std::move(m));
     }
     Report("expression-loop", results, json_out);
+  }
+
+  // --- kernel 4: per-morsel tracing overhead -------------------------------
+  // The CI floor for src/obs: the scan-filter kernel executed in
+  // morsel-sized chunks, bare vs with the engine's full per-morsel
+  // instrumentation (two MonotonicNanos reads, one TraceRing push, one
+  // counter add — exactly what adaptive/controller.cc's ExecuteMorsel
+  // records). The traced/untraced throughput ratio must stay >= the
+  // obs floor in ci/perf_floors.json (0.97, i.e. <= 3% overhead).
+  {
+    const uint64_t rows = 1 << 18;
+    const uint64_t chunk = 4096;  // mid-schedule morsel (1024..16384)
+    std::vector<int64_t> data(rows);
+    for (uint64_t r = 0; r < rows; ++r) {
+      data[r] = static_cast<int64_t>((r * 2654435761u) % 1000);
+    }
+    IrModule mod("scan");
+    BuildScanFilterKernel(&mod);
+    BcProgram bc = TranslateToBytecode(*mod.module().getFunction("f"),
+                                       RuntimeRegistry::Global(), {});
+    const auto run_chunk = [&](uint64_t begin, uint64_t end) {
+      uint64_t args[3] = {500, end - begin,
+                          reinterpret_cast<uint64_t>(data.data() + begin)};
+      VmExecute(bc, args, 3);
+    };
+    const double untraced = Throughput(rows, budget, [&] {
+      for (uint64_t begin = 0; begin < rows; begin += chunk) {
+        run_chunk(begin, std::min(begin + chunk, rows));
+      }
+    });
+    TraceRing ring(4096);
+    Counter morsels;
+    const double traced = Throughput(rows, budget, [&] {
+      for (uint64_t begin = 0; begin < rows; begin += chunk) {
+        const uint64_t end = std::min(begin + chunk, rows);
+        const int64_t t0 = MonotonicNanos();
+        run_chunk(begin, end);
+        const int64_t t1 = MonotonicNanos();
+        TraceEvent ev;
+        ev.start_nanos = t0;
+        ev.end_nanos = t1;
+        ev.payload = end - begin;
+        ev.query_id = 1;
+        ev.kind = TraceEventKind::kMorsel;
+        ring.Push(ev);
+        morsels.Add();
+      }
+    });
+    const double ratio = untraced > 0 ? traced / untraced : 0.0;
+    std::printf("\n%-18s %14s %10s\n", "trace-overhead", "rows/s", "ratio");
+    std::printf("%-18s %14.3e %9.2fx\n", "untraced", untraced, 1.0);
+    std::printf("%-18s %14.3e %9.3fx\n", "traced", traced, ratio);
+    for (const auto& [name, rps] :
+         {std::pair<const char*, double>{"untraced", untraced},
+          std::pair<const char*, double>{"traced", traced}}) {
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "{\"bench\":\"micro_vm_dispatch\","
+                    "\"kernel\":\"trace-overhead\",\"config\":\"%s\","
+                    "\"rows_per_sec\":%.6e,\"ratio_vs_untraced\":%.4f}",
+                    name, rps, untraced > 0 ? rps / untraced : 0.0);
+      std::printf("%s\n", line);
+      if (json_out != nullptr) std::fprintf(json_out, "%s\n", line);
+    }
   }
 
   if (json_out != nullptr) std::fclose(json_out);

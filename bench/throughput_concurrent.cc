@@ -22,7 +22,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -246,6 +248,39 @@ int RunMixed(QueryEngine* engine, const Catalog* catalog, int workers,
   return 0;
 }
 
+/// End-of-run observability dump: the engine's full metrics snapshot as one
+/// JSON line (stdout + BENCH_observability.json), and — when AQE_TRACE_JSON
+/// names a path — the Chrome-trace export of the per-worker rings, loadable
+/// in chrome://tracing / ui.perfetto.dev (CI validates it with
+/// ci/check_trace.py).
+void ExportObservability(QueryEngine* engine, const char* bench_name) {
+  MetricsSnapshot snap = engine->ObservabilitySnapshot();
+  const std::string stats = snap.ToJson();
+  std::printf("{\"bench\":\"%s\",\"observability\":%s}\n", bench_name,
+              stats.c_str());
+  if (std::FILE* f = std::fopen("BENCH_observability.json", "w")) {
+    std::fprintf(f, "%s\n", stats.c_str());
+    std::fclose(f);
+  }
+  const char* trace_path = std::getenv("AQE_TRACE_JSON");
+  if (trace_path != nullptr && *trace_path != '\0') {
+    const std::string trace = engine->ExportChromeTrace();
+    if (std::FILE* f = std::fopen(trace_path, "w")) {
+      std::fwrite(trace.data(), 1, trace.size(), f);
+      std::fclose(f);
+      std::printf("trace: wrote %zu bytes to %s (recorded %llu, dropped "
+                  "%llu events)\n",
+                  trace.size(), trace_path,
+                  static_cast<unsigned long long>(
+                      engine->tracer().total_recorded()),
+                  static_cast<unsigned long long>(
+                      engine->tracer().total_dropped()));
+    } else {
+      std::fprintf(stderr, "trace: cannot open %s\n", trace_path);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -269,7 +304,11 @@ int main(int argc, char** argv) {
     engine.Run(q6);
   }
 
-  if (mixed) return RunMixed(&engine, catalog, workers, budget, smoke);
+  if (mixed) {
+    const int rc = RunMixed(&engine, catalog, workers, budget, smoke);
+    ExportObservability(&engine, "fairness");
+    return rc;
+  }
 
   std::FILE* json_out = std::fopen("BENCH_throughput_concurrent.json", "w");
   std::printf(
@@ -295,5 +334,6 @@ int main(int argc, char** argv) {
       "saturate; p99 grows with queueing. The 2x-core-count phase is the "
       "acceptance point (>= 2x serial qps on multi-core hosts).\n");
   if (json_out != nullptr) std::fclose(json_out);
+  ExportObservability(&engine, "throughput_concurrent");
   return 0;
 }

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Chrome-trace export validator (CI smoke for src/obs).
+
+Checks that a trace exported by QueryEngine::ExportChromeTrace (e.g. by
+`throughput_concurrent --mixed --smoke` with AQE_TRACE_JSON set) is a
+well-formed trace-event-format file a viewer will actually load:
+
+  - parses as JSON with a non-empty "traceEvents" array
+  - every event carries the required keys for its phase type
+  - complete events ("X") have numeric ts and dur >= 0
+  - per-worker thread_name metadata is present
+  - the engine's span vocabulary shows up (slices at minimum; morsels,
+    admission waits etc. depend on workload timing)
+  - per-query flow events are well-formed: every flow id that starts
+    ("s") also finishes ("f"), with binding points on real events
+
+Usage: check_trace.py trace.json   (exit 0 = valid, 1 = report + fail)
+"""
+
+import json
+import sys
+
+REQUIRED_BY_PHASE = {
+    "X": ("name", "pid", "tid", "ts", "dur"),
+    "i": ("name", "pid", "tid", "ts"),
+    "M": ("name", "pid", "args"),
+    "s": ("name", "id", "pid", "tid", "ts"),
+    "t": ("name", "id", "pid", "tid", "ts"),
+    "f": ("name", "id", "pid", "tid", "ts"),
+}
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} trace.json", file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    errors = []
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            print(f"trace check FAILED: {path} is not valid JSON: {e}")
+            return 1
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        print(f"trace check FAILED: no traceEvents array in {path}")
+        return 1
+
+    names = set()
+    phases = {}
+    thread_names = 0
+    flows = {}  # id -> set of flow phases seen
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph not in REQUIRED_BY_PHASE:
+            errors.append(f"event {i}: unexpected phase {ph!r}")
+            continue
+        phases[ph] = phases.get(ph, 0) + 1
+        for key in REQUIRED_BY_PHASE[ph]:
+            if key not in ev:
+                errors.append(f"event {i} (ph={ph}): missing key {key!r}")
+        if ph == "X":
+            ts, dur = ev.get("ts"), ev.get("dur")
+            if not isinstance(ts, (int, float)):
+                errors.append(f"event {i}: non-numeric ts {ts!r}")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"event {i}: bad dur {dur!r}")
+            names.add(ev.get("name"))
+        elif ph == "i":
+            names.add(ev.get("name"))
+        elif ph == "M":
+            if ev.get("name") == "thread_name":
+                thread_names += 1
+        else:  # flow point
+            flows.setdefault(ev.get("id"), set()).add(ph)
+
+    if phases.get("X", 0) == 0:
+        errors.append("no complete ('X') span events")
+    if thread_names == 0:
+        errors.append("no thread_name metadata (per-worker tracks)")
+    if "slice" not in names:
+        errors.append(f"no task-slice spans (names seen: {sorted(names)})")
+    if not flows:
+        errors.append("no per-query flow events")
+    else:
+        # Every flow opens with 's' (the exporter promotes the first
+        # surviving point); 'f' can be lost to ring wraparound for
+        # long-finished queries, but at least one query must complete.
+        for flow_id, seen in flows.items():
+            if "s" not in seen:
+                errors.append(f"flow {flow_id!r}: no start ('s') point")
+        if not any("f" in seen for seen in flows.values()):
+            errors.append("no flow has a finish ('f') point")
+
+    if errors:
+        print(f"trace check FAILED for {path}:")
+        for e in errors[:20]:
+            print(f"  {e}")
+        if len(errors) > 20:
+            print(f"  ... and {len(errors) - 20} more")
+        return 1
+    print(f"trace check passed: {len(events)} events "
+          f"({phases.get('X', 0)} spans, {phases.get('i', 0)} instants, "
+          f"{len(flows)} query flows, {thread_names} worker tracks), "
+          f"span names: {sorted(n for n in names if n)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

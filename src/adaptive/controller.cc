@@ -46,6 +46,8 @@ struct PipelineExecState {
   void* state = nullptr;
   TraceRecorder* trace = nullptr;
   int pipeline_id = 0;
+  uint64_t function_instructions = 0;
+  PipelineObs obs;
   const std::function<WorkerFn(ExecMode)>* compile = nullptr;
 
   std::atomic<int> compile_state{kCompIdle};
@@ -92,6 +94,18 @@ void ExecuteMorsel(PipelineExecState& st, const MorselRange& morsel, int slot,
                       st.pipeline_id, mode, t0, t1,
                       morsel.end - morsel.begin});
   }
+  if (st.obs.enabled()) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kMorsel;
+    e.start_nanos = t0;
+    e.end_nanos = t1;
+    e.payload = morsel.end - morsel.begin;
+    e.query_id = st.obs.query_id;
+    e.pipeline_id = static_cast<uint16_t>(st.pipeline_id);
+    e.detail = static_cast<uint8_t>(mode);
+    st.obs.tracer->Record(thread, e);
+  }
+  if (st.obs.morsels != nullptr) st.obs.morsels->Add();
 }
 
 /// Claims and performs a pending compile job: compile -> install into the
@@ -114,10 +128,26 @@ bool TryRunCompileJob(PipelineExecState& st,
   WorkerFn fn = (*st.compile)(target);
   double seconds = compile_timer.ElapsedSeconds();
   st.handle->SetCompiled(fn, target);
+  const int64_t t1 = MonotonicNanos();
   if (st.trace != nullptr) {
     st.trace->Record({TraceRecorder::EventKind::kCompile,
                       runtime_internal::GetThreadIndex(), st.pipeline_id,
-                      target, t0, MonotonicNanos(), 0});
+                      target, t0, t1, 0});
+  }
+  if (st.obs.enabled()) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kCompile;
+    e.start_nanos = t0;
+    e.end_nanos = t1;
+    e.payload = st.function_instructions;
+    e.query_id = st.obs.query_id;
+    e.pipeline_id = static_cast<uint16_t>(st.pipeline_id);
+    e.detail = static_cast<uint8_t>(target);
+    st.obs.tracer->Record(runtime_internal::GetThreadIndex(), e);
+  }
+  if (st.obs.compiles != nullptr) st.obs.compiles->Add();
+  if (st.obs.compile_us != nullptr) {
+    st.obs.compile_us->Record(static_cast<uint64_t>(seconds * 1e6));
   }
   st.epoch.fetch_add(1, std::memory_order_relaxed);
   {
@@ -334,7 +364,20 @@ void PipelineRun::Start() {
   st_->state = task_.state;
   st_->trace = trace_;
   st_->pipeline_id = task_.pipeline_id;
+  st_->function_instructions = task_.function_instructions;
+  st_->obs = task_.obs;
   st_->compile = &task_.compile;  // task_ is our member copy: stable address
+
+  if (st_->obs.enabled()) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kPipelineStart;
+    e.start_nanos = start_nanos_;
+    e.end_nanos = start_nanos_;
+    e.payload = task_.total_tuples;
+    e.query_id = st_->obs.query_id;
+    e.pipeline_id = static_cast<uint16_t>(task_.pipeline_id);
+    st_->obs.tracer->Record(CurrentRuntimeThread(), e);
+  }
 
   // Static compile-up-front strategies (single-threaded compilation before
   // any morsel runs — exactly the §III critique). Skipped when the handle
@@ -486,13 +529,35 @@ void PipelineRun::Evaluate() {
   }
   if (rate_count == 0) return;
   double r0 = rate_sum / rate_count;
+  const uint64_t remaining = st_->shards.remaining();
+  ExtrapolationBreakdown breakdown;
   Decision decision = ExtrapolatePipelineDurations(
-      r0, st_->shards.remaining(), participants_, task_.function_instructions,
-      mode, params_, task_.runtime_call_fraction);
+      r0, remaining, participants_, task_.function_instructions, mode,
+      params_, task_.runtime_call_fraction, &breakdown);
   if (decision == Decision::kDoNothing) return;
   st_->compile_target = decision == Decision::kCompileUnoptimized
                             ? ExecMode::kUnoptimized
                             : ExecMode::kOptimized;
+  if (st_->obs.enabled()) {
+    // The §III-C decision with its cost-model inputs: what the controller
+    // observed (r0) and what it extrapolated for staying vs. switching.
+    TraceEvent e;
+    e.kind = TraceEventKind::kModeSwitch;
+    e.start_nanos = MonotonicNanos();
+    e.end_nanos = e.start_nanos;
+    e.payload = remaining;
+    e.payload2 = TraceEventDoubleToBits(task_.runtime_call_fraction);
+    e.d0 = r0;
+    e.d1 = breakdown.t_current;
+    e.d2 = breakdown.chosen_seconds(decision);
+    e.query_id = st_->obs.query_id;
+    e.pipeline_id = static_cast<uint16_t>(task_.pipeline_id);
+    e.detail = static_cast<uint8_t>(st_->compile_target);
+    st_->obs.tracer->Record(CurrentRuntimeThread(), e);
+  }
+  if (st_->obs.mode_switch_decisions != nullptr) {
+    st_->obs.mode_switch_decisions->Add();
+  }
   morsels_since_queued_ = 0;
   st_->compile_state.store(kCompQueued, std::memory_order_release);
   if (single_threaded_ || participants_ == 1) {

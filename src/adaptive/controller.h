@@ -12,6 +12,7 @@
 #include "exec/function_handle.h"
 #include "exec/scheduler.h"
 #include "exec/trace.h"
+#include "obs/observability.h"
 #include "sched/scheduler.h"
 #include "sched/task.h"
 
@@ -46,6 +47,10 @@ struct PipelineTask {
   /// Weighted-fair scheduling class the pipeline's helper and compile tasks
   /// inherit (the submitting query's class; see sched/task.h).
   int scheduling_class = 0;
+  /// Engine observability: ring-buffer trace events (morsels, mode-switch
+  /// decisions with their cost-model inputs, compiles) and metric updates
+  /// flow through these handles; default-empty pipelines record nothing.
+  PipelineObs obs;
 };
 
 struct PipelineRunStats {

@@ -31,7 +31,9 @@ Decision ExtrapolatePipelineDurations(double tuples_per_second_per_thread,
                                       uint64_t function_instructions,
                                       ExecMode current_mode,
                                       const CostModelParams& params,
-                                      double runtime_call_fraction) {
+                                      double runtime_call_fraction,
+                                      ExtrapolationBreakdown* breakdown) {
+  if (breakdown != nullptr) *breakdown = {};
   if (current_mode == ExecMode::kOptimized) return Decision::kDoNothing;
   if (remaining_tuples == 0 || tuples_per_second_per_thread <= 0) {
     return Decision::kDoNothing;
@@ -63,6 +65,8 @@ Decision ExtrapolatePipelineDurations(double tuples_per_second_per_thread,
   const double c2 = params.OptCompileSeconds(function_instructions);
   const double r2 = r0 * (s2 / current_factor);
   const double t2 = c2 + std::max(n - (w - 1) * r0 * c2, 0.0) / r2 / w;
+
+  if (breakdown != nullptr) *breakdown = {t0, t1, t2};
 
   if (t0 <= t1 && t0 <= t2) return Decision::kDoNothing;
   if (t1 <= t2) {

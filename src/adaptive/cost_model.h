@@ -103,15 +103,34 @@ const char* DecisionName(Decision decision);
 double RuntimeCallFraction(uint64_t loop_instructions, uint64_t loop_calls,
                            const CostModelParams& params);
 
+/// The extrapolated durations behind a Decision, for tracing: what the
+/// model predicted for staying put and for each compile option (seconds;
+/// an option that was not evaluated repeats t_current).
+struct ExtrapolationBreakdown {
+  double t_current = 0;
+  double t_unopt = 0;
+  double t_opt = 0;
+
+  double chosen_seconds(Decision decision) const {
+    switch (decision) {
+      case Decision::kCompileUnoptimized: return t_unopt;
+      case Decision::kCompileOptimized: return t_opt;
+      default: return t_current;
+    }
+  }
+};
+
 /// `runtime_call_fraction` discounts both compiled speedups via
 /// CostModelParams::EffectiveSpeedup before the extrapolation.
+/// `breakdown`, when non-null, receives the three candidate durations.
 Decision ExtrapolatePipelineDurations(double tuples_per_second_per_thread,
                                       uint64_t remaining_tuples,
                                       int active_workers,
                                       uint64_t function_instructions,
                                       ExecMode current_mode,
                                       const CostModelParams& params,
-                                      double runtime_call_fraction = 0.0);
+                                      double runtime_call_fraction = 0.0,
+                                      ExtrapolationBreakdown* breakdown = nullptr);
 
 }  // namespace aqe
 

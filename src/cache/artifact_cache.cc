@@ -102,4 +102,16 @@ ArtifactCacheStats ArtifactCache::stats() const {
   return s;
 }
 
+void ArtifactCache::ResetStats() {
+  entry_hits_.store(0);
+  entry_misses_.store(0);
+  bytecode_hits_.store(0);
+  patched_hits_.store(0);
+  bytecode_misses_.store(0);
+  code_hits_.store(0);
+  publishes_.store(0);
+  evictions_.store(0);
+  cost_feedback_updates_.store(0);
+}
+
 }  // namespace aqe

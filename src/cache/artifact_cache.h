@@ -36,6 +36,24 @@ struct ArtifactCacheStats {
   uint64_t entries = 0;
 };
 
+/// Difference of the monotonic counters (phase deltas: snapshot before a
+/// phase, subtract after). `bytes`/`entries` describe the current residency
+/// and keep the left-hand side's values.
+inline ArtifactCacheStats operator-(const ArtifactCacheStats& a,
+                                    const ArtifactCacheStats& b) {
+  ArtifactCacheStats d = a;
+  d.entry_hits -= b.entry_hits;
+  d.entry_misses -= b.entry_misses;
+  d.bytecode_hits -= b.bytecode_hits;
+  d.patched_hits -= b.patched_hits;
+  d.bytecode_misses -= b.bytecode_misses;
+  d.code_hits -= b.code_hits;
+  d.publishes -= b.publishes;
+  d.evictions -= b.evictions;
+  d.cost_feedback_updates -= b.cost_feedback_updates;
+  return d;
+}
+
 /// One JIT compilation kept alive by shared ownership: the cache holds a
 /// reference while the artifact is resident, every query that uses or
 /// produced the code holds another — so LRU eviction can never free machine
@@ -144,6 +162,11 @@ class ArtifactCache {
   uint64_t byte_budget() const { return byte_budget_.load(); }
 
   ArtifactCacheStats stats() const;
+
+  /// Zeroes the monotonic counters (residency is untouched — artifacts stay
+  /// cached). Benches call this between a cold and a warm phase so warm
+  /// hit/miss numbers aren't polluted by cold-phase traffic.
+  void ResetStats();
 
   // Pipeline-granular counters (bumped by the engine integration).
   void CountBytecodeHit(bool patched) {

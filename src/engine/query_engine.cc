@@ -1,6 +1,7 @@
 #include "engine/query_engine.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -13,6 +14,7 @@
 #include "exec/morsel.h"
 #include "jit/jit_compiler.h"
 #include "jit/naive_interpreter.h"
+#include "obs/export.h"
 #include "runtime/runtime_registry.h"
 #include "sched/scheduler.h"
 #include "sched/task.h"
@@ -39,6 +41,48 @@ void NeverCalledWorker(void*, uint64_t, uint64_t, const void*) {
 
 }  // namespace
 
+/// The engine's observability state: the always-on tracer, the metrics
+/// registry, and pre-resolved metric handles so query/morsel hot paths
+/// never touch the registry's mutex. One per engine, alive for its whole
+/// lifetime (declared before the scheduler, so tasks finishing during
+/// shutdown still record safely).
+struct EngineObs {
+  EngineTracer tracer;
+  MetricsRegistry metrics;
+  std::atomic<uint32_t> next_query_id{1};
+
+  // Declaration order matters: handles resolve against `metrics` above.
+  Counter* queries_submitted = metrics.GetCounter("engine.queries_submitted");
+  Counter* queries_completed = metrics.GetCounter("engine.queries_completed");
+  Counter* morsels = metrics.GetCounter("exec.morsels");
+  Counter* mode_switches = metrics.GetCounter("adaptive.mode_switches");
+  Counter* compiles = metrics.GetCounter("jit.compiles");
+  Histogram* compile_us = metrics.GetHistogram("jit.compile_us");
+  Histogram* queue_wait_us[kNumTaskClasses];
+  Histogram* exec_latency_us[kNumTaskClasses];
+
+  EngineObs() {
+    char name[64];
+    for (int c = 0; c < kNumTaskClasses; ++c) {
+      std::snprintf(name, sizeof(name), "admission.queue_wait_us.class%d", c);
+      queue_wait_us[c] = metrics.GetHistogram(name);
+      std::snprintf(name, sizeof(name), "engine.exec_latency_us.class%d", c);
+      exec_latency_us[c] = metrics.GetHistogram(name);
+    }
+  }
+
+  PipelineObs MakePipelineObs(uint32_t query_id) {
+    PipelineObs obs;
+    obs.tracer = &tracer;
+    obs.morsels = morsels;
+    obs.mode_switch_decisions = mode_switches;
+    obs.compiles = compiles;
+    obs.compile_us = compile_us;
+    obs.query_id = query_id;
+    return obs;
+  }
+};
+
 const char* EngineKindName(EngineKind kind) {
   switch (kind) {
     case EngineKind::kCompiled: return "compiled";
@@ -56,6 +100,10 @@ struct QueryEngine::Impl {
   // Declared before the scheduler so publish tasks that run during
   // shutdown still find it alive.
   ArtifactCache cache;
+
+  // Trace rings + metrics registry. Same lifetime rule as the cache: tasks
+  // record events until the scheduler's workers join.
+  EngineObs obs;
 
   // Micro-calibrated cost-model speedups (AQE_CALIBRATE), substituted for
   // QueryRunOptions that leave the cost model at its defaults.
@@ -231,7 +279,8 @@ class CachePublishTask : public Task {
                    std::shared_ptr<CachedCode> code,
                    std::vector<uint64_t> constants,
                    std::vector<DataType> column_types, uint64_t instructions,
-                   double runtime_call_fraction)
+                   double runtime_call_fraction, EngineTracer* tracer,
+                   uint32_t query_id)
       : cache_(cache),
         entry_(std::move(entry)),
         pipeline_(pipeline),
@@ -240,9 +289,11 @@ class CachePublishTask : public Task {
         constants_(std::move(constants)),
         column_types_(std::move(column_types)),
         instructions_(instructions),
-        runtime_call_fraction_(runtime_call_fraction) {}
+        runtime_call_fraction_(runtime_call_fraction),
+        tracer_(tracer),
+        query_id_(query_id) {}
 
-  Status Run(int) override {
+  Status Run(int worker) override {
     int64_t delta = 0;
     {
       std::lock_guard<std::mutex> lock(entry_->mu);
@@ -287,6 +338,15 @@ class CachePublishTask : public Task {
     }
     cache_->OnBytesChanged(*entry_, delta);
     cache_->CountPublish();
+    TraceEvent ev;
+    ev.start_nanos = MonotonicNanos();
+    ev.end_nanos = ev.start_nanos;
+    ev.payload = 1;  // machine code (bytecode publishes happen inline)
+    ev.query_id = query_id_;
+    ev.pipeline_id = static_cast<uint16_t>(pipeline_);
+    ev.kind = TraceEventKind::kCachePublish;
+    ev.detail = static_cast<uint8_t>(mode_);
+    tracer_->Record(worker, ev);
     return Status::kDone;
   }
 
@@ -300,6 +360,8 @@ class CachePublishTask : public Task {
   std::vector<DataType> column_types_;
   uint64_t instructions_;
   double runtime_call_fraction_;
+  EngineTracer* tracer_;
+  uint32_t query_id_;
 };
 
 /// Shares `bc` when its resolved dispatch already matches `want`, clones
@@ -322,10 +384,14 @@ std::shared_ptr<const BcProgram> ProgramForDispatch(
 class QueryJob : public Task {
  public:
   QueryJob(const Catalog* catalog, TaskScheduler* sched, ArtifactCache* cache,
-           const CostModelParams* calibrated, const QueryProgram& program,
+           const CostModelParams* calibrated, EngineObs* obs,
+           uint32_t query_id, const QueryProgram& program,
            const QueryRunOptions& options, std::function<void()> on_finished)
       : sched_(sched),
         cache_(cache),
+        obs_(obs),
+        query_id_(query_id),
+        submit_nanos_(MonotonicNanos()),
         program_(&program),
         options_(options),
         ctx_(program.MakeContext(catalog)),
@@ -360,30 +426,50 @@ class QueryJob : public Task {
   double estimated_cost_ms() const { return estimated_cost_ms_; }
   bool fully_cached() const { return fully_cached_; }
 
-  Status Run(int) override {
+  /// One bounded slice, bracketed by trace events. Client threads never
+  /// touch the single-producer rings, so the admission wait is recorded
+  /// retroactively by whichever worker runs the first slice (the span
+  /// still starts at submit time).
+  Status Run(int worker) override {
+    const int64_t t0 = MonotonicNanos();
     if (!started_) {
       started_ = true;
+      first_slice_nanos_ = t0;
       result_.queue_wait_seconds = total_timer_.ElapsedSeconds();
+      const int cls = scheduling_class();
+      obs_->queue_wait_us[cls]->Record(result_.queue_wait_seconds * 1e6);
+      TraceEvent ev;
+      ev.start_nanos = submit_nanos_;
+      ev.end_nanos = t0;
+      ev.d0 = estimated_cost_ms_;
+      ev.query_id = query_id_;
+      ev.kind = TraceEventKind::kAdmissionWait;
+      ev.detail = static_cast<uint8_t>(cls);
+      obs_->tracer.Record(worker, ev);
     }
-    if (active_ != nullptr) {
-      // Mid-pipeline: one controller checkpoint per slice.
-      if (active_->run->Step() != Task::Status::kDone) return Status::kYield;
-      FinishCompiledPipeline();
-      active_.reset();
-      if (++stage_index_ < program_->stages().size()) return Status::kYield;
-    } else if (stage_index_ < program_->stages().size()) {
-      // The size check comes first: a QueryProgram with no stages at all
-      // must still produce an (empty) result.
-      RunStage(program_->stages()[stage_index_]);
-      if (active_ != nullptr) return Status::kYield;  // pipeline started
-      if (++stage_index_ < program_->stages().size()) return Status::kYield;
+    const Status status = RunSlice(worker);
+    const int64_t t1 = MonotonicNanos();
+    TraceEvent ev;
+    ev.start_nanos = t0;
+    ev.end_nanos = t1;
+    ev.payload = stage_index_;
+    ev.query_id = query_id_;
+    ev.kind = TraceEventKind::kTaskSlice;
+    ev.detail = static_cast<uint8_t>(scheduling_class());
+    obs_->tracer.Record(worker, ev);
+    if (status == Status::kDone) {
+      TraceEvent done;
+      done.start_nanos = first_slice_nanos_;
+      done.end_nanos = t1;
+      done.payload = done_rows_;
+      done.d0 = done_queue_wait_seconds_;
+      done.d1 = done_total_seconds_;
+      done.query_id = query_id_;
+      done.kind = TraceEventKind::kQueryDone;
+      done.detail = static_cast<uint8_t>(scheduling_class());
+      obs_->tracer.Record(worker, done);
     }
-    result_.rows = std::move(ctx_->result);
-    result_.total_seconds = total_timer_.ElapsedSeconds();
-    RecordServiceTime();
-    promise_.set_value(std::move(result_));
-    on_finished_();
-    return Status::kDone;
+    return status;
   }
 
  private:
@@ -407,17 +493,57 @@ class QueryJob : public Task {
     std::unique_ptr<PipelineRun> run;
   };
 
+  /// The pre-instrumentation slice body: one engine step, pipeline setup,
+  /// or controller checkpoint of the embedded PipelineRun.
+  Status RunSlice(int worker) {
+    if (active_ != nullptr) {
+      // Mid-pipeline: one controller checkpoint per slice.
+      if (active_->run->Step() != Task::Status::kDone) return Status::kYield;
+      FinishCompiledPipeline();
+      active_.reset();
+      if (++stage_index_ < program_->stages().size()) return Status::kYield;
+    } else if (stage_index_ < program_->stages().size()) {
+      // The size check comes first: a QueryProgram with no stages at all
+      // must still produce an (empty) result.
+      RunStage(program_->stages()[stage_index_], worker);
+      if (active_ != nullptr) return Status::kYield;  // pipeline started
+      if (++stage_index_ < program_->stages().size()) return Status::kYield;
+    }
+    result_.rows = std::move(ctx_->result);
+    result_.total_seconds = total_timer_.ElapsedSeconds();
+    RecordServiceTime();
+    // The caller's completion events outlive the moved-from result.
+    done_rows_ = result_.rows.size();
+    done_queue_wait_seconds_ = result_.queue_wait_seconds;
+    done_total_seconds_ = result_.total_seconds;
+    // Completion metrics land before the promise resolves, so a client
+    // that saw its future ready observes them in the very next snapshot.
+    obs_->exec_latency_us[scheduling_class()]->Record(
+        std::max(0.0, done_total_seconds_ - done_queue_wait_seconds_) * 1e6);
+    obs_->queries_completed->Add();
+    promise_.set_value(std::move(result_));
+    on_finished_();
+    return Status::kDone;
+  }
+
   void EstimateCost();
   void RecordServiceTime();
-  void RunStage(const QueryProgram::Stage& stage);
+  void RunStage(const QueryProgram::Stage& stage, int worker);
   void StartCompiledPipeline(const QueryProgram::Stage& stage,
                              const PipelineSpec& spec,
                              PipelineBindings bindings,
-                             PipelineReport report);
+                             PipelineReport report, int worker);
   void FinishCompiledPipeline();
 
   TaskScheduler* sched_;
   ArtifactCache* cache_;
+  EngineObs* obs_;
+  uint32_t query_id_;
+  int64_t submit_nanos_;
+  int64_t first_slice_nanos_ = 0;
+  uint64_t done_rows_ = 0;
+  double done_queue_wait_seconds_ = 0;
+  double done_total_seconds_ = 0;
   const QueryProgram* program_;
   QueryRunOptions options_;
   std::unique_ptr<QueryContext> ctx_;
@@ -494,7 +620,7 @@ void QueryJob::RecordServiceTime() {
   cache_->CountCostFeedback();
 }
 
-void QueryJob::RunStage(const QueryProgram::Stage& stage) {
+void QueryJob::RunStage(const QueryProgram::Stage& stage, int worker) {
   const QueryProgram& program = *program_;
   const QueryRunOptions& options = options_;
   const RuntimeRegistry& registry = RuntimeRegistry::Global();
@@ -558,7 +684,8 @@ void QueryJob::RunStage(const QueryProgram::Stage& stage) {
   }
 
   AQE_CHECK(options.engine == EngineKind::kCompiled);
-  StartCompiledPipeline(stage, spec, std::move(bindings), std::move(report));
+  StartCompiledPipeline(stage, spec, std::move(bindings), std::move(report),
+                        worker);
 }
 
 /// Sets up one compiled pipeline and hands it to a resumable PipelineRun:
@@ -569,10 +696,22 @@ void QueryJob::RunStage(const QueryProgram::Stage& stage) {
 void QueryJob::StartCompiledPipeline(const QueryProgram::Stage& stage,
                                      const PipelineSpec& spec,
                                      PipelineBindings bindings,
-                                     PipelineReport report) {
+                                     PipelineReport report, int worker) {
   const QueryRunOptions& options = options_;
   const RuntimeRegistry& registry = RuntimeRegistry::Global();
   const auto p = static_cast<size_t>(stage.pipeline);
+
+  // Cache lookup outcomes below emit instant events on this worker's lane.
+  const auto cache_instant = [&](TraceEventKind kind, uint64_t payload) {
+    TraceEvent ev;
+    ev.start_nanos = MonotonicNanos();
+    ev.end_nanos = ev.start_nanos;
+    ev.payload = payload;
+    ev.query_id = query_id_;
+    ev.pipeline_id = static_cast<uint16_t>(p);
+    ev.kind = kind;
+    obs_->tracer.Record(worker, ev);
+  };
 
   // The worker reads every runtime address out of this packed binding
   // array (its `state` argument); it must outlive the pipeline run.
@@ -621,6 +760,7 @@ void QueryJob::StartCompiledPipeline(const QueryProgram::Stage& stage,
     if (snap.bytecode_constants == my_constants) {
       bytecode = ProgramForDispatch(snap.bytecode, options.vm_dispatch);
       cache_->CountBytecodeHit(/*patched=*/false);
+      cache_instant(TraceEventKind::kCacheHit, /*payload=*/0);
     } else if (snap.patchable) {
       // Pinned constants (0/1, interned duplicates) have no private pool
       // slot; the variant must agree on them to patch-share.
@@ -649,6 +789,7 @@ void QueryJob::StartCompiledPipeline(const QueryProgram::Stage& stage,
         patched->dispatch = options.vm_dispatch;
         bytecode = std::move(patched);
         cache_->CountBytecodeHit(/*patched=*/true);
+        cache_instant(TraceEventKind::kCacheHit, /*payload=*/0);
       }
     }
   }
@@ -707,6 +848,7 @@ void QueryJob::StartCompiledPipeline(const QueryProgram::Stage& stage,
 
     if (entry_ != nullptr) {
       cache_->CountBytecodeMiss();
+      cache_instant(TraceEventKind::kCacheMiss, /*payload=*/0);
       // Skip the (codegen + translation sized) patch-table build when the
       // publish below is bound to be discarded — e.g. a variant whose
       // pinned constants mismatch re-translates every run, and must not
@@ -749,6 +891,7 @@ void QueryJob::StartCompiledPipeline(const QueryProgram::Stage& stage,
       if (delta != 0) {
         cache_->OnBytesChanged(*entry_, delta);
         cache_->CountPublish();
+        cache_instant(TraceEventKind::kCachePublish, /*payload=*/0);
       }
     }
     bytecode = ProgramForDispatch(std::move(fresh), options.vm_dispatch);
@@ -769,6 +912,7 @@ void QueryJob::StartCompiledPipeline(const QueryProgram::Stage& stage,
     ap->handle.SetCompiled(seed_code->fn, seed_mode);
     ap->seed_code = std::move(seed_code);
     cache_->CountCodeHit();
+    cache_instant(TraceEventKind::kCacheHit, /*payload=*/1);
     report.artifact_cache_hit = true;
   }
   report.initial_mode = ap->handle.mode();
@@ -782,6 +926,7 @@ void QueryJob::StartCompiledPipeline(const QueryProgram::Stage& stage,
   task.runtime_call_fraction = call_fraction;
   task.pipeline_id = stage.pipeline;
   task.scheduling_class = options.query_class;
+  task.obs = obs_->MakePipelineObs(query_id_);
   ActivePipeline* raw_ap = ap.get();
   task.compile = [this, raw_ap, &spec](ExecMode mode) -> WorkerFn {
     // Regenerate IR (codegen is ~100x cheaper than machine-code
@@ -813,7 +958,8 @@ void QueryJob::StartCompiledPipeline(const QueryProgram::Stage& stage,
                          fresh.instructions,
                          RuntimeCallFraction(fresh.loop_instructions,
                                              fresh.loop_calls,
-                                             options_.cost_model)),
+                                             options_.cost_model),
+                         &obs_->tracer, query_id_),
                      TaskPriority::kLow);
     }
     return fn;
@@ -874,10 +1020,13 @@ void QueryEngine::set_class_weight(int query_class, int weight) {
 std::future<QueryRunResult> QueryEngine::Submit(
     const QueryProgram& program, const QueryRunOptions& options) {
   Impl* impl = impl_.get();
+  const uint32_t query_id =
+      impl->obs.next_query_id.fetch_add(1, std::memory_order_relaxed);
+  impl->obs.queries_submitted->Add();
   auto job = std::make_unique<QueryJob>(
       impl->catalog, &impl->sched, &impl->cache,
-      impl->use_calibrated ? &impl->calibrated : nullptr, program, options,
-      [impl] { impl->OnQueryFinished(); });
+      impl->use_calibrated ? &impl->calibrated : nullptr, &impl->obs,
+      query_id, program, options, [impl] { impl->OnQueryFinished(); });
   std::future<QueryRunResult> future = job->GetFuture();
   const double cost_ms = job->estimated_cost_ms();
   const bool cached = job->fully_cached();
@@ -900,6 +1049,86 @@ const ArtifactCache& QueryEngine::artifact_cache() const {
 void QueryEngine::set_artifact_cache_byte_budget(uint64_t bytes) {
   impl_->cache.set_byte_budget(bytes);
 }
+
+MetricsSnapshot QueryEngine::ObservabilitySnapshot() const {
+  Impl* impl = impl_.get();
+  MetricsSnapshot snap = impl->obs.metrics.Snapshot();
+  char name[64];
+
+  // Scheduler: lifetime slice counters and per-class weighted-fair shares.
+  snap.counters.emplace_back("sched.executed_slices",
+                             impl->sched.executed_slices());
+  for (int c = 0; c < kNumTaskClasses; ++c) {
+    std::snprintf(name, sizeof(name), "sched.class_slices.class%d", c);
+    snap.counters.emplace_back(name, impl->sched.class_slices(c));
+    std::snprintf(name, sizeof(name), "sched.class_weight.class%d", c);
+    snap.gauges.emplace_back(name, impl->sched.class_weight(c));
+  }
+
+  // Artifact cache: monotonic counters plus residency gauges.
+  const ArtifactCacheStats cs = impl->cache.stats();
+  snap.counters.emplace_back("cache.entry_hits", cs.entry_hits);
+  snap.counters.emplace_back("cache.entry_misses", cs.entry_misses);
+  snap.counters.emplace_back("cache.bytecode_hits", cs.bytecode_hits);
+  snap.counters.emplace_back("cache.patched_hits", cs.patched_hits);
+  snap.counters.emplace_back("cache.bytecode_misses", cs.bytecode_misses);
+  snap.counters.emplace_back("cache.code_hits", cs.code_hits);
+  snap.counters.emplace_back("cache.publishes", cs.publishes);
+  snap.counters.emplace_back("cache.evictions", cs.evictions);
+  snap.counters.emplace_back("cache.cost_feedback_updates",
+                             cs.cost_feedback_updates);
+  snap.gauges.emplace_back("cache.bytes", static_cast<int64_t>(cs.bytes));
+  snap.gauges.emplace_back("cache.entries", static_cast<int64_t>(cs.entries));
+
+  // Translator: cumulative fusion counters (§IV-F effectiveness).
+  const TranslatorCounters tc = TranslatorCountersSnapshot();
+  snap.counters.emplace_back("translator.programs", tc.programs);
+  snap.counters.emplace_back("translator.bytecode_ops", tc.bytecode_ops);
+  snap.counters.emplace_back("translator.fused_instructions",
+                             tc.fused_instructions);
+  snap.counters.emplace_back("translator.fused_cmp_branches",
+                             tc.fused_cmp_branches);
+  snap.counters.emplace_back("translator.fused_cmp_branch_imms",
+                             tc.fused_cmp_branch_imms);
+  snap.counters.emplace_back("translator.fused_load_cmp_branches",
+                             tc.fused_load_cmp_branches);
+
+  // VM: per-opcode dispatch counts (populated while opcode profiling is
+  // on — set_vm_opcode_profiling or AQE_VM_PROFILE).
+  for (const VmOpcodeCount& oc : VmProfileCounts()) {
+    std::string op_name = "vm.op.";
+    op_name += oc.opcode;
+    snap.counters.emplace_back(std::move(op_name), oc.count);
+  }
+
+  // Trace rings: how much the exporters can still see.
+  snap.counters.emplace_back("trace.recorded", impl->obs.tracer.total_recorded());
+  snap.counters.emplace_back("trace.dropped", impl->obs.tracer.total_dropped());
+  return snap;
+}
+
+std::string QueryEngine::ExportChromeTrace() const {
+  return ChromeTraceJson(impl_->obs.tracer.Snapshot());
+}
+
+std::string QueryEngine::RenderTrace(int width) const {
+  return RenderTextTrace(impl_->obs.tracer.Snapshot(),
+                         impl_->sched.num_workers(), width);
+}
+
+void QueryEngine::ResetObservabilityStats() {
+  impl_->obs.metrics.Reset();
+  impl_->obs.tracer.Reset();
+  impl_->cache.ResetStats();
+  VmResetProfileCounts();
+  ResetTranslatorCounters();
+}
+
+void QueryEngine::set_vm_opcode_profiling(bool enabled) {
+  VmSetProfileCounting(enabled);
+}
+
+const EngineTracer& QueryEngine::tracer() const { return impl_->obs.tracer; }
 
 QueryRunResult QueryEngine::Run(const QueryProgram& program,
                                 const QueryRunOptions& options) {

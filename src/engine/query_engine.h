@@ -9,6 +9,8 @@
 #include "adaptive/controller.h"
 #include "cache/artifact_cache.h"
 #include "exec/trace.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "plan/plan.h"
 #include "vm/translator.h"
 
@@ -157,6 +159,43 @@ class QueryEngine {
   /// scheduler serves the class's slices in the same proportion.
   /// Thread-safe; takes effect immediately.
   void set_class_weight(int query_class, int weight);
+
+  /// One consistent snapshot of every engine metric, by name: counters and
+  /// per-class latency histograms from the metrics registry
+  /// (admission.queue_wait_us.classN, engine.exec_latency_us.classN,
+  /// jit.compile_us, exec.morsels, ...), folded together with the
+  /// scheduler's slice counters, the artifact-cache counters, the
+  /// translator's cumulative fusion counters, the VM's per-opcode dispatch
+  /// counts (vm.op.*, populated while opcode profiling is on) and the trace
+  /// rings' recorded/dropped totals. Thread-safe; see src/obs/DESIGN.md.
+  MetricsSnapshot ObservabilitySnapshot() const;
+
+  /// Chrome-trace/Perfetto JSON of the engine's per-worker trace rings:
+  /// one track per worker, spans for admission waits / task slices /
+  /// morsels / compiles, instants for mode-switch decisions and cache
+  /// events, one flow per query. Load in chrome://tracing or
+  /// ui.perfetto.dev. Thread-safe (concurrent queries keep recording).
+  std::string ExportChromeTrace() const;
+
+  /// ASCII swimlane dump of the trace rings (threads × time, Fig 14
+  /// style). Thread-safe.
+  std::string RenderTrace(int width = 100) const;
+
+  /// Zeroes every resettable statistic: metric counters and histograms,
+  /// trace rings, artifact-cache counters (residency untouched), VM
+  /// per-opcode counts and translator counters. Phase-delta hygiene for
+  /// benches; gauges and the scheduler's lifetime slice counters persist.
+  void ResetObservabilityStats();
+
+  /// Routes interpreted execution through the counting dispatch loop so
+  /// ObservabilitySnapshot() reports per-opcode counters (vm.op.*). Off by
+  /// default (AQE_VM_PROFILE also enables it, with an atexit dump).
+  /// Process-wide, like the counters themselves.
+  void set_vm_opcode_profiling(bool enabled);
+
+  /// The engine's always-on tracer (tests and custom exporters; prefer
+  /// ExportChromeTrace / RenderTrace).
+  const EngineTracer& tracer() const;
 
   /// Counters and resident footprint of the plan-keyed artifact cache
   /// (hits/misses/evictions; see src/cache/DESIGN.md). Thread-safe.

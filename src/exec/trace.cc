@@ -2,31 +2,62 @@
 
 #include <algorithm>
 
-#include "common/status.h"
-#include "common/timer.h"
+#include "obs/export.h"
 
 namespace aqe {
 
-void TraceRecorder::Start() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  events_.clear();
-  origin_nanos_ = MonotonicNanos();
+namespace {
+
+TraceEventKind ToObsKind(TraceRecorder::EventKind kind) {
+  switch (kind) {
+    case TraceRecorder::EventKind::kMorsel:
+      return TraceEventKind::kMorsel;
+    case TraceRecorder::EventKind::kCompile:
+      return TraceEventKind::kCompile;
+    case TraceRecorder::EventKind::kPipelineStart:
+      return TraceEventKind::kPipelineStart;
+  }
+  return TraceEventKind::kNone;
 }
 
+}  // namespace
+
 void TraceRecorder::Record(const Event& event) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  events_.push_back(event);
+  TraceEvent e;
+  e.kind = ToObsKind(event.kind);
+  e.start_nanos = event.start_nanos;
+  e.end_nanos = event.end_nanos;
+  e.payload = event.tuples;
+  e.pipeline_id = static_cast<uint16_t>(event.pipeline);
+  e.detail = static_cast<uint8_t>(event.mode);
+  tracer_.Record(event.thread, e);
 }
 
 std::vector<TraceRecorder::Event> TraceRecorder::Events() const {
+  const TraceSnapshot snap = tracer_.Snapshot();
   std::vector<Event> events;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    events = events_;
-  }
-  for (Event& e : events) {
-    e.start_nanos -= origin_nanos_;
-    e.end_nanos -= origin_nanos_;
+  events.reserve(snap.total_recorded() - snap.total_dropped());
+  for (const auto& lane : snap.lanes) {
+    for (const TraceEvent& e : lane.events) {
+      EventKind kind;
+      switch (e.kind) {
+        case TraceEventKind::kMorsel:
+          kind = EventKind::kMorsel;
+          break;
+        case TraceEventKind::kCompile:
+          kind = EventKind::kCompile;
+          break;
+        case TraceEventKind::kPipelineStart:
+          kind = EventKind::kPipelineStart;
+          break;
+        default:
+          continue;
+      }
+      events.push_back({kind, lane.lane, static_cast<int>(e.pipeline_id),
+                        static_cast<ExecMode>(e.detail),
+                        e.start_nanos - snap.origin_nanos,
+                        e.end_nanos - snap.origin_nanos, e.payload});
+    }
   }
   std::sort(events.begin(), events.end(),
             [](const Event& a, const Event& b) {
@@ -36,51 +67,7 @@ std::vector<TraceRecorder::Event> TraceRecorder::Events() const {
 }
 
 std::string TraceRecorder::Render(int num_threads, int width) const {
-  std::vector<Event> events = Events();
-  if (events.empty()) return "(empty trace)\n";
-  int64_t horizon = 0;
-  for (const Event& e : events) horizon = std::max(horizon, e.end_nanos);
-  if (horizon == 0) horizon = 1;
-
-  // One lane per thread. Morsels print the pipeline digit (lowercase if
-  // interpreted, uppercase if compiled); compilations print '#'.
-  std::vector<std::string> lanes(static_cast<size_t>(num_threads),
-                                 std::string(static_cast<size_t>(width), '.'));
-  for (const Event& e : events) {
-    if (e.thread < 0 || e.thread >= num_threads) continue;
-    int from = static_cast<int>(e.start_nanos * width / horizon);
-    int to = static_cast<int>(e.end_nanos * width / horizon);
-    from = std::clamp(from, 0, width - 1);
-    to = std::clamp(to, from, width - 1);
-    char symbol;
-    if (e.kind == EventKind::kCompile) {
-      symbol = '#';
-    } else if (e.kind == EventKind::kPipelineStart) {
-      continue;
-    } else {
-      char digit = static_cast<char>('0' + e.pipeline % 10);
-      symbol = e.mode == ExecMode::kBytecode
-                   ? digit
-                   : static_cast<char>('A' + e.pipeline % 10);
-    }
-    for (int c = from; c <= to; ++c) {
-      lanes[static_cast<size_t>(e.thread)][static_cast<size_t>(c)] = symbol;
-    }
-  }
-  std::string out;
-  out += "time ->  (digits: interpreted morsels by pipeline; letters: "
-         "compiled morsels; '#': compilation)\n";
-  char label[32];
-  for (int t = 0; t < num_threads; ++t) {
-    std::snprintf(label, sizeof(label), "thread %d |", t);
-    out += label;
-    out += lanes[static_cast<size_t>(t)];
-    out += "|\n";
-  }
-  double total_ms = static_cast<double>(horizon) / 1e6;
-  std::snprintf(label, sizeof(label), "total: %.2f ms\n", total_ms);
-  out += label;
-  return out;
+  return RenderTextTrace(tracer_.Snapshot(), num_threads, width);
 }
 
 }  // namespace aqe

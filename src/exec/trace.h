@@ -2,16 +2,25 @@
 #define AQE_EXEC_TRACE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "exec/function_handle.h"
+#include "obs/tracer.h"
 
 namespace aqe {
 
 /// Records per-morsel and per-compilation events so the Fig 14 execution
 /// trace (threads × time, colored by pipeline and mode) can be regenerated.
+///
+/// Compatibility shim over the lock-free obs substrate: the old
+/// mutex-guarded event vector is gone; events land in per-thread TraceRings
+/// (EngineTracer) and Record() is wait-free on the morsel hot path. The
+/// `thread` field selects the lane, so callers must pass their runtime
+/// thread index (workers and external-controller leases are unique per live
+/// thread, satisfying the rings' single-producer contract). Rings are
+/// sized so standalone-recorder runs retain every compile event alongside
+/// full morsel history.
 class TraceRecorder {
  public:
   enum class EventKind : uint8_t { kMorsel, kCompile, kPipelineStart };
@@ -26,22 +35,32 @@ class TraceRecorder {
     uint64_t tuples;      ///< morsel size (0 for other events)
   };
 
-  /// Marks the origin of the trace's relative timeline.
-  void Start();
+  /// Events retained per thread lane (large enough that compile events
+  /// survive long morsel streams).
+  static constexpr size_t kRingEvents = 16384;
+
+  TraceRecorder() : tracer_(kRingEvents) {}
+
+  /// Marks the origin of the trace's relative timeline and clears prior
+  /// events. Producers must be quiescent (between runs).
+  void Start() { tracer_.Reset(); }
 
   void Record(const Event& event);
 
-  /// All events, sorted by start time, with times relative to Start().
+  /// All retained events, sorted by start time, with times relative to
+  /// Start(). Events overwritten by ring wraparound are absent.
   std::vector<Event> Events() const;
 
   /// Renders an ASCII swimlane chart (one row per thread, one column per
   /// time bucket) like Fig 14. `width` = number of columns.
   std::string Render(int num_threads, int width = 100) const;
 
+  /// The tracer underneath, for the obs exporters (Chrome-trace JSON).
+  EngineTracer& tracer() { return tracer_; }
+  const EngineTracer& tracer() const { return tracer_; }
+
  private:
-  mutable std::mutex mutex_;
-  std::vector<Event> events_;
-  int64_t origin_nanos_ = 0;
+  EngineTracer tracer_;
 };
 
 }  // namespace aqe

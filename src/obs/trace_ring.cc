@@ -1,0 +1,73 @@
+#include "obs/trace_ring.h"
+
+#include <cstring>
+
+namespace aqe {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 8;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+TraceRing::TraceRing(size_t capacity) : capacity_(RoundUpPow2(capacity)) {
+  words_ = std::make_unique<std::atomic<uint64_t>[]>(capacity_ *
+                                                     kWordsPerEvent);
+  // Value-initialized by make_unique; nothing reads slots beyond head_
+  // anyway.
+}
+
+void TraceRing::Push(const TraceEvent& event) {
+  uint64_t words[kWordsPerEvent];
+  std::memcpy(words, &event, sizeof(event));
+  const uint64_t seq = head_.load(std::memory_order_relaxed);
+  std::atomic<uint64_t>* slot =
+      &words_[(seq & (capacity_ - 1)) * kWordsPerEvent];
+  for (size_t i = 0; i < kWordsPerEvent; ++i) {
+    slot[i].store(words[i], std::memory_order_relaxed);
+  }
+  head_.store(seq + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> TraceRing::Snapshot() const {
+  const uint64_t end = head_.load(std::memory_order_acquire);
+  const uint64_t begin = end > capacity_ ? end - capacity_ : 0;
+  std::vector<TraceEvent> events;
+  events.reserve(static_cast<size_t>(end - begin));
+  std::vector<uint64_t> seqs;
+  seqs.reserve(static_cast<size_t>(end - begin));
+  uint64_t words[kWordsPerEvent];
+  for (uint64_t seq = begin; seq < end; ++seq) {
+    const std::atomic<uint64_t>* slot =
+        &words_[(seq & (capacity_ - 1)) * kWordsPerEvent];
+    for (size_t i = 0; i < kWordsPerEvent; ++i) {
+      words[i] = slot[i].load(std::memory_order_relaxed);
+    }
+    TraceEvent e;
+    std::memcpy(&e, words, sizeof(e));
+    events.push_back(e);
+    seqs.push_back(seq);
+  }
+  // The producer may have lapped us during the copy: any slot it re-entered
+  // holds (possibly torn) newer words. Re-read head; the push in progress
+  // (at most one, single producer) targets slot `final % capacity`, which
+  // aliases seq `final - capacity` — discard up to and including it.
+  const uint64_t final_head = head_.load(std::memory_order_acquire);
+  const uint64_t safe_begin =
+      final_head + 1 > capacity_ ? final_head + 1 - capacity_ : 0;
+  if (safe_begin > begin) {
+    size_t keep_from = 0;
+    while (keep_from < seqs.size() && seqs[keep_from] < safe_begin) {
+      ++keep_from;
+    }
+    events.erase(events.begin(),
+                 events.begin() + static_cast<ptrdiff_t>(keep_from));
+  }
+  return events;
+}
+
+}  // namespace aqe

@@ -1,0 +1,107 @@
+#include "obs/tracer.h"
+
+#include <cstdlib>
+
+#include "common/timer.h"
+
+namespace aqe {
+
+namespace {
+
+size_t RingCapacityFromEnv(size_t fallback) {
+  const char* v = std::getenv("AQE_TRACE_RING_EVENTS");
+  if (v == nullptr || v[0] == '\0') return fallback;
+  const long n = std::atol(v);
+  return n > 0 ? static_cast<size_t>(n) : fallback;
+}
+
+const char* kKindNames[] = {
+    "none",        "admission-wait", "slice",     "morsel",
+    "pipeline",    "mode-switch",    "compile",   "cache-hit",
+    "cache-miss",  "cache-publish",  "query",
+};
+
+}  // namespace
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  const auto i = static_cast<size_t>(kind);
+  if (i >= sizeof(kKindNames) / sizeof(kKindNames[0])) return "?";
+  return kKindNames[i];
+}
+
+EngineTracer::EngineTracer(size_t ring_capacity)
+    : ring_capacity_(ring_capacity != 0
+                         ? ring_capacity
+                         : RingCapacityFromEnv(kDefaultRingEvents)),
+      origin_nanos_(MonotonicNanos()) {}
+
+EngineTracer::~EngineTracer() {
+  for (auto& slot : lanes_) {
+    delete slot.load(std::memory_order_acquire);
+  }
+}
+
+TraceRing* EngineTracer::Lane(int lane) {
+  auto& slot = lanes_[lane];
+  TraceRing* ring = slot.load(std::memory_order_acquire);
+  if (ring != nullptr) return ring;
+  std::lock_guard<std::mutex> lock(create_mu_);
+  ring = slot.load(std::memory_order_acquire);
+  if (ring == nullptr) {
+    ring = new TraceRing(ring_capacity_);
+    slot.store(ring, std::memory_order_release);
+  }
+  return ring;
+}
+
+void EngineTracer::Record(int lane, const TraceEvent& event) {
+  if (lane < 0 || lane >= kMaxLanes) lane = 0;
+  Lane(lane)->Push(event);
+}
+
+void EngineTracer::Reset() {
+  for (auto& slot : lanes_) {
+    if (TraceRing* ring = slot.load(std::memory_order_acquire)) {
+      ring->Clear();
+    }
+  }
+  origin_nanos_.store(MonotonicNanos(), std::memory_order_relaxed);
+}
+
+TraceSnapshot EngineTracer::Snapshot() const {
+  TraceSnapshot snap;
+  snap.origin_nanos = origin_nanos();
+  for (int lane = 0; lane < kMaxLanes; ++lane) {
+    const TraceRing* ring = lanes_[lane].load(std::memory_order_acquire);
+    if (ring == nullptr || ring->recorded() == 0) continue;
+    TraceSnapshot::Lane l;
+    l.lane = lane;
+    l.events = ring->Snapshot();
+    l.recorded = ring->recorded();
+    l.dropped = ring->dropped();
+    snap.lanes.push_back(std::move(l));
+  }
+  return snap;
+}
+
+uint64_t EngineTracer::total_recorded() const {
+  uint64_t n = 0;
+  for (const auto& slot : lanes_) {
+    if (const TraceRing* ring = slot.load(std::memory_order_acquire)) {
+      n += ring->recorded();
+    }
+  }
+  return n;
+}
+
+uint64_t EngineTracer::total_dropped() const {
+  uint64_t n = 0;
+  for (const auto& slot : lanes_) {
+    if (const TraceRing* ring = slot.load(std::memory_order_acquire)) {
+      n += ring->dropped();
+    }
+  }
+  return n;
+}
+
+}  // namespace aqe

@@ -1,0 +1,89 @@
+#ifndef AQE_OBS_TRACER_H_
+#define AQE_OBS_TRACER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/trace_ring.h"
+
+namespace aqe {
+
+/// A tracer's full event state at one moment: every non-empty lane with its
+/// retained events (oldest first) plus drop accounting, and the timeline
+/// origin the exporters subtract.
+struct TraceSnapshot {
+  struct Lane {
+    int lane = 0;
+    uint64_t recorded = 0;
+    uint64_t dropped = 0;
+    std::vector<TraceEvent> events;
+  };
+  int64_t origin_nanos = 0;
+  std::vector<Lane> lanes;
+
+  uint64_t total_recorded() const {
+    uint64_t n = 0;
+    for (const Lane& l : lanes) n += l.recorded;
+    return n;
+  }
+  uint64_t total_dropped() const {
+    uint64_t n = 0;
+    for (const Lane& l : lanes) n += l.dropped;
+    return n;
+  }
+};
+
+/// Always-on, per-thread trace recorder: one single-producer TraceRing per
+/// runtime thread index (scheduler workers [0, 48), leased external
+/// controllers [48, 64)), allocated lazily on a lane's first event so idle
+/// lanes cost one atomic pointer. Record() is the hot path — callers pass
+/// their own runtime thread index as the lane and must be that lane's only
+/// producer (worker indices and external-controller leases are unique per
+/// live thread, so engine call sites satisfy this by construction).
+class EngineTracer {
+ public:
+  static constexpr int kMaxLanes = 64;
+  static constexpr size_t kDefaultRingEvents = 4096;
+
+  /// `ring_capacity` = events retained per lane; 0 selects the
+  /// AQE_TRACE_RING_EVENTS env override or the default.
+  explicit EngineTracer(size_t ring_capacity = 0);
+
+  EngineTracer(const EngineTracer&) = delete;
+  EngineTracer& operator=(const EngineTracer&) = delete;
+  ~EngineTracer();
+
+  /// Records into `lane`'s ring (caller must be the lane's single
+  /// producer; out-of-range lanes clamp to 0).
+  void Record(int lane, const TraceEvent& event);
+
+  /// Steady-clock origin (construction / last Reset); exporters emit
+  /// timestamps relative to it.
+  int64_t origin_nanos() const {
+    return origin_nanos_.load(std::memory_order_relaxed);
+  }
+
+  /// Clears every lane and restarts the timeline. Quiescent producers
+  /// only (same contract as the old TraceRecorder::Start).
+  void Reset();
+
+  TraceSnapshot Snapshot() const;
+
+  uint64_t total_recorded() const;
+  uint64_t total_dropped() const;
+
+ private:
+  TraceRing* Lane(int lane);
+
+  size_t ring_capacity_;
+  std::atomic<TraceRing*> lanes_[kMaxLanes] = {};
+  std::mutex create_mu_;  ///< serializes lazy lane allocation only
+  std::atomic<int64_t> origin_nanos_;
+};
+
+}  // namespace aqe
+
+#endif  // AQE_OBS_TRACER_H_

@@ -105,10 +105,17 @@ inline double BitsToDouble(uint64_t bits) {
   return d;
 }
 
-/// Per-opcode dispatch counts collected under AQE_VM_PROFILE; feeds the
-/// hot-order list that drives the handler layout in interpreter_ops.inc.
+/// Per-opcode dispatch counts collected under AQE_VM_PROFILE (or the
+/// programmatic VmSetProfileCounting switch); feeds the hot-order list that
+/// drives the handler layout in interpreter_ops.inc, and the engine's
+/// metrics snapshot.
 std::atomic<uint64_t>
     g_dispatch_counts[static_cast<size_t>(Opcode::kNumOpcodes)];
+
+/// Runtime (env-independent) switch: lets the engine's observability API
+/// enable per-opcode counting for a phase and read the counts back without
+/// restarting the process.
+std::atomic<bool> g_profile_counting{false};
 
 void VmProfileDumpAtExit() {
   const char* dest = std::getenv("AQE_VM_PROFILE");
@@ -229,7 +236,10 @@ constexpr uint32_t kStackRegisterBytes = 16384;
 uint64_t Run(const BcProgram& program, uint8_t* regs, VmDispatch dispatch) {
   // Opcode frequencies are engine-independent, so the profile build always
   // runs the (counting) switch engine and the hot loops stay count-free.
-  if (VmProfileEnabled()) return RunSwitch<true>(program, regs);
+  if (VmProfileEnabled() ||
+      g_profile_counting.load(std::memory_order_relaxed)) {
+    return RunSwitch<true>(program, regs);
+  }
 #if AQE_VM_HAS_COMPUTED_GOTO
   if (dispatch == VmDispatch::kThreaded) return RunThreaded(program, regs);
 #endif
@@ -262,6 +272,31 @@ std::string VmProfileHotOrder() {
     out += line;
   }
   return out;
+}
+
+void VmSetProfileCounting(bool enabled) {
+  g_profile_counting.store(enabled, std::memory_order_relaxed);
+}
+
+bool VmProfileCountingEnabled() {
+  return VmProfileEnabled() ||
+         g_profile_counting.load(std::memory_order_relaxed);
+}
+
+std::vector<VmOpcodeCount> VmProfileCounts() {
+  std::vector<VmOpcodeCount> counts;
+  for (uint16_t op = 0; op < static_cast<uint16_t>(Opcode::kNumOpcodes);
+       ++op) {
+    uint64_t n = g_dispatch_counts[op].load(std::memory_order_relaxed);
+    if (n != 0) counts.push_back({OpcodeName(static_cast<Opcode>(op)), n});
+  }
+  return counts;
+}
+
+void VmResetProfileCounts() {
+  for (auto& count : g_dispatch_counts) {
+    count.store(0, std::memory_order_relaxed);
+  }
 }
 
 bool VmThreadedDispatchAvailable() { return AQE_VM_HAS_COMPUTED_GOTO != 0; }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "vm/bytecode.h"
 
@@ -23,6 +24,27 @@ bool VmProfileEnabled();
 /// "<count> <opcode>" line each. This is the list vm/interpreter_ops.inc's
 /// handler layout is ordered by (see the profile-guided layout note there).
 std::string VmProfileHotOrder();
+
+/// Programmatic equivalent of AQE_VM_PROFILE: while enabled, interpreted
+/// execution routes through the counting switch engine and bumps the
+/// per-opcode dispatch counters. No atexit dump; the engine's metrics
+/// snapshot reads VmProfileCounts() instead. Thread-safe; affects morsels
+/// started after the switch.
+void VmSetProfileCounting(bool enabled);
+
+/// True when either AQE_VM_PROFILE or VmSetProfileCounting enables counting.
+bool VmProfileCountingEnabled();
+
+struct VmOpcodeCount {
+  const char* opcode;  ///< static OpcodeName string
+  uint64_t count;
+};
+
+/// Non-zero per-opcode dispatch counts, in opcode order.
+std::vector<VmOpcodeCount> VmProfileCounts();
+
+/// Zeroes the dispatch counters (phase-delta hygiene).
+void VmResetProfileCounts();
 
 /// Resolves kDefault to the engine selected at compile time via the
 /// AQE_VM_DISPATCH CMake switch (THREADED where available, else SWITCH);

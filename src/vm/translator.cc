@@ -1,6 +1,7 @@
 #include "vm/translator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -1561,13 +1562,55 @@ BcProgram Translator::Run() {
   return std::move(program_);
 }
 
+// Cumulative translation counters (TranslatorCountersSnapshot). Relaxed
+// atomics: translation happens on worker threads concurrently.
+std::atomic<uint64_t> g_programs{0};
+std::atomic<uint64_t> g_bytecode_ops{0};
+std::atomic<uint64_t> g_fused_instructions{0};
+std::atomic<uint64_t> g_fused_cmp_branches{0};
+std::atomic<uint64_t> g_fused_cmp_branch_imms{0};
+std::atomic<uint64_t> g_fused_load_cmp_branches{0};
+
 }  // namespace
+
+TranslatorCounters TranslatorCountersSnapshot() {
+  TranslatorCounters c;
+  c.programs = g_programs.load(std::memory_order_relaxed);
+  c.bytecode_ops = g_bytecode_ops.load(std::memory_order_relaxed);
+  c.fused_instructions = g_fused_instructions.load(std::memory_order_relaxed);
+  c.fused_cmp_branches = g_fused_cmp_branches.load(std::memory_order_relaxed);
+  c.fused_cmp_branch_imms =
+      g_fused_cmp_branch_imms.load(std::memory_order_relaxed);
+  c.fused_load_cmp_branches =
+      g_fused_load_cmp_branches.load(std::memory_order_relaxed);
+  return c;
+}
+
+void ResetTranslatorCounters() {
+  g_programs.store(0, std::memory_order_relaxed);
+  g_bytecode_ops.store(0, std::memory_order_relaxed);
+  g_fused_instructions.store(0, std::memory_order_relaxed);
+  g_fused_cmp_branches.store(0, std::memory_order_relaxed);
+  g_fused_cmp_branch_imms.store(0, std::memory_order_relaxed);
+  g_fused_load_cmp_branches.store(0, std::memory_order_relaxed);
+}
 
 BcProgram TranslateToBytecode(const llvm::Function& fn,
                               const RuntimeRegistry& registry,
                               const TranslatorOptions& options) {
   Translator translator(fn, registry, options);
-  return translator.Run();
+  BcProgram program = translator.Run();
+  g_programs.fetch_add(1, std::memory_order_relaxed);
+  g_bytecode_ops.fetch_add(program.code.size(), std::memory_order_relaxed);
+  g_fused_instructions.fetch_add(program.fused_instructions,
+                                 std::memory_order_relaxed);
+  g_fused_cmp_branches.fetch_add(program.fused_cmp_branches,
+                                 std::memory_order_relaxed);
+  g_fused_cmp_branch_imms.fetch_add(program.fused_cmp_branch_imms,
+                                    std::memory_order_relaxed);
+  g_fused_load_cmp_branches.fetch_add(program.fused_load_cmp_branches,
+                                      std::memory_order_relaxed);
+  return program;
 }
 
 }  // namespace aqe

@@ -44,6 +44,22 @@ struct TranslatorOptions {
   bool fuse_branch_chains = true;
 };
 
+/// Process-wide cumulative translation counters, accumulated by every
+/// TranslateToBytecode call (each BcProgram also carries its own per-program
+/// counts). The engine's observability snapshot reports these; benches
+/// reset them between phases so warm-phase numbers stay clean.
+struct TranslatorCounters {
+  uint64_t programs = 0;            ///< translations performed
+  uint64_t bytecode_ops = 0;        ///< VM instructions emitted
+  uint64_t fused_instructions = 0;  ///< LLVM instructions folded by fusion
+  uint64_t fused_cmp_branches = 0;
+  uint64_t fused_cmp_branch_imms = 0;
+  uint64_t fused_load_cmp_branches = 0;
+};
+
+TranslatorCounters TranslatorCountersSnapshot();
+void ResetTranslatorCounters();
+
 /// Translates `fn` into a BcProgram following Fig 9: compute liveness and
 /// block order, then translate block by block, allocating registers as
 /// values become live, folding subsumed instruction sequences, propagating

@@ -1,0 +1,466 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace_ring.h"
+#include "obs/tracer.h"
+#include "queries/tpch_queries.h"
+#include "tpch/tpch_gen.h"
+#include "vm/interpreter.h"
+#include "vm/translator.h"
+
+namespace aqe {
+namespace {
+
+TraceEvent MakeEvent(uint64_t seq) {
+  TraceEvent e;
+  e.start_nanos = static_cast<int64_t>(seq * 100);
+  e.end_nanos = static_cast<int64_t>(seq * 100 + 50);
+  e.payload = seq;
+  e.query_id = static_cast<uint32_t>(seq % 7 + 1);
+  e.kind = TraceEventKind::kMorsel;
+  return e;
+}
+
+// --- TraceRing -------------------------------------------------------------
+
+TEST(TraceRingTest, RetainsEventsInOrder) {
+  TraceRing ring(16);
+  for (uint64_t i = 0; i < 10; ++i) ring.Push(MakeEvent(i));
+  EXPECT_EQ(ring.recorded(), 10u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  std::vector<TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) EXPECT_EQ(events[i].payload, i);
+}
+
+TEST(TraceRingTest, WraparoundKeepsNewestAndCountsDrops) {
+  TraceRing ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (uint64_t i = 0; i < 100; ++i) ring.Push(MakeEvent(i));
+  EXPECT_EQ(ring.recorded(), 100u);
+  EXPECT_EQ(ring.dropped(), 92u);
+  std::vector<TraceEvent> events = ring.Snapshot();
+  // Once wrapped, one slot is always reserved against a push the producer
+  // might have in flight (it would alias the oldest retained seq), so a
+  // snapshot returns the newest capacity-1 events, oldest first.
+  ASSERT_EQ(events.size(), 7u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].payload, 93 + i);
+  }
+}
+
+TEST(TraceRingTest, CapacityRoundsUpToPowerOfTwo) {
+  TraceRing ring(9);
+  EXPECT_EQ(ring.capacity(), 16u);
+  TraceRing tiny(1);
+  EXPECT_EQ(tiny.capacity(), 8u);  // minimum
+}
+
+TEST(TraceRingTest, ClearRestartsTheRing) {
+  TraceRing ring(8);
+  for (uint64_t i = 0; i < 20; ++i) ring.Push(MakeEvent(i));
+  ring.Clear();
+  EXPECT_EQ(ring.recorded(), 0u);
+  EXPECT_TRUE(ring.Snapshot().empty());
+  ring.Push(MakeEvent(7));
+  ASSERT_EQ(ring.Snapshot().size(), 1u);
+  EXPECT_EQ(ring.Snapshot()[0].payload, 7u);
+}
+
+/// One producer hammers the ring while a reader snapshots concurrently —
+/// the TSan matrix in CI runs this test; every snapshot must hold
+/// internally consistent (non-torn) events.
+TEST(TraceRingTest, ConcurrentSnapshotSeesNoTornEvents) {
+  TraceRing ring(64);
+  std::atomic<bool> stop{false};
+  std::thread producer([&] {
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      TraceEvent e;
+      // Self-checking event: fields derive from one counter.
+      e.start_nanos = static_cast<int64_t>(i);
+      e.end_nanos = static_cast<int64_t>(i + 1);
+      e.payload = i;
+      e.payload2 = ~i;
+      e.query_id = static_cast<uint32_t>(i & 0xFFFFFFFF);
+      e.kind = TraceEventKind::kMorsel;
+      ring.Push(e);
+      ++i;
+    }
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+  uint64_t snapshots = 0, seen = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::vector<TraceEvent> events = ring.Snapshot();
+    ++snapshots;
+    seen += events.size();
+    uint64_t prev = 0;
+    bool first = true;
+    for (const TraceEvent& e : events) {
+      const uint64_t i = e.payload;
+      ASSERT_EQ(e.payload2, ~i) << "torn event";
+      ASSERT_EQ(e.start_nanos, static_cast<int64_t>(i));
+      ASSERT_EQ(e.end_nanos, static_cast<int64_t>(i + 1));
+      ASSERT_EQ(e.query_id, static_cast<uint32_t>(i & 0xFFFFFFFF));
+      if (!first) ASSERT_EQ(i, prev + 1) << "events out of order";
+      prev = i;
+      first = false;
+    }
+  }
+  stop.store(true);
+  producer.join();
+  EXPECT_GT(snapshots, 0u);
+  EXPECT_GT(seen, 0u);
+}
+
+// --- EngineTracer ----------------------------------------------------------
+
+TEST(EngineTracerTest, LanesAllocateLazilyAndSnapshotSkipsEmpty) {
+  EngineTracer tracer(/*ring_capacity=*/16);
+  EXPECT_EQ(tracer.Snapshot().lanes.size(), 0u);
+  tracer.Record(3, MakeEvent(1));
+  tracer.Record(5, MakeEvent(2));
+  tracer.Record(3, MakeEvent(3));
+  TraceSnapshot snap = tracer.Snapshot();
+  ASSERT_EQ(snap.lanes.size(), 2u);
+  EXPECT_EQ(snap.lanes[0].lane, 3);
+  EXPECT_EQ(snap.lanes[0].events.size(), 2u);
+  EXPECT_EQ(snap.lanes[1].lane, 5);
+  EXPECT_EQ(snap.lanes[1].events.size(), 1u);
+  EXPECT_EQ(snap.total_recorded(), 3u);
+  EXPECT_EQ(snap.total_dropped(), 0u);
+  tracer.Reset();
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+}
+
+TEST(EngineTracerTest, OutOfRangeLaneClampsInsteadOfCrashing) {
+  EngineTracer tracer(16);
+  tracer.Record(-1, MakeEvent(1));
+  tracer.Record(EngineTracer::kMaxLanes + 10, MakeEvent(2));
+  EXPECT_EQ(tracer.total_recorded(), 2u);
+}
+
+// --- Histogram -------------------------------------------------------------
+
+TEST(HistogramTest, SmallValuesMapToExactBuckets) {
+  // Below 2^kSubBucketBits every value gets its own bucket.
+  for (uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    const int b = Histogram::BucketIndex(v);
+    EXPECT_EQ(Histogram::BucketLowerBound(b), v);
+    EXPECT_EQ(Histogram::BucketUpperBound(b), v + 1);
+  }
+}
+
+TEST(HistogramTest, BucketBoundsBracketTheValue) {
+  // Every probed value must land in [lower, upper) of its own bucket, and
+  // bucket indices must be monotone in the value.
+  int prev = -1;
+  for (uint64_t v : {0ull, 1ull, 7ull, 8ull, 9ull, 15ull, 16ull, 100ull,
+                     1000ull, 4095ull, 4096ull, 1000000ull,
+                     (1ull << 40) + 12345, ~0ull}) {
+    const int b = Histogram::BucketIndex(v);
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, Histogram::kBuckets);
+    EXPECT_LE(Histogram::BucketLowerBound(b), v) << "value " << v;
+    if (v != ~0ull) {
+      EXPECT_GT(Histogram::BucketUpperBound(b), v) << "value " << v;
+    }
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+TEST(HistogramTest, BucketWidthIsBoundedRelativeError) {
+  // Log-linear design point: width(bucket)/lower(bucket) <= 1/kSubBuckets
+  // for all octave buckets, so percentiles interpolate within ~12.5%.
+  for (uint64_t v = Histogram::kSubBuckets; v < (1ull << 30);
+       v = v * 2 + v / 3 + 1) {
+    const int b = Histogram::BucketIndex(v);
+    const double lower = static_cast<double>(Histogram::BucketLowerBound(b));
+    const double width =
+        static_cast<double>(Histogram::BucketUpperBound(b)) - lower;
+    EXPECT_LE(width / lower, 1.0 / Histogram::kSubBuckets + 1e-9)
+        << "value " << v;
+  }
+}
+
+TEST(HistogramTest, SnapshotPercentilesAndReset) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.sum, 500500u);
+  EXPECT_EQ(s.max, 1000u);
+  EXPECT_DOUBLE_EQ(s.mean(), 500.5);
+  // Uniform 1..1000: percentiles land within one bucket width (12.5%).
+  EXPECT_NEAR(s.p50, 500.0, 500.0 * 0.13);
+  EXPECT_NEAR(s.p95, 950.0, 950.0 * 0.13);
+  EXPECT_NEAR(s.p99, 990.0, 990.0 * 0.13);
+  // Percentiles never exceed the observed max.
+  EXPECT_LE(s.p99, static_cast<double>(s.max));
+  h.Reset();
+  s = h.Snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_EQ(s.p50, 0.0);
+}
+
+TEST(HistogramTest, SingleValuePercentilesClampToMax) {
+  Histogram h;
+  h.Record(1000000);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_LE(s.p50, 1000000.0);
+  EXPECT_LE(s.p99, 1000000.0);
+  EXPECT_GE(s.p50, 1000000.0 * (1.0 - 1.0 / Histogram::kSubBuckets));
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+TEST(MetricsRegistryTest, SnapshotAndReset) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("test.counter");
+  Gauge* g = reg.GetGauge("test.gauge");
+  Histogram* h = reg.GetHistogram("test.histo");
+  EXPECT_EQ(reg.GetCounter("test.counter"), c);  // stable pointers
+  c->Add(41);
+  c->Add();
+  g->Set(-5);
+  h->Record(100);
+
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counter("test.counter"), 42u);
+  EXPECT_EQ(snap.counter("test.missing"), 0u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, -5);
+  const HistogramSnapshot* hs = snap.histogram("test.histo");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 1u);
+  EXPECT_EQ(snap.histogram("test.missing"), nullptr);
+
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"test.counter\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"test.gauge\":-5"), std::string::npos);
+  EXPECT_NE(json.find("\"test.histo\""), std::string::npos);
+
+  // Reset zeroes counters and histograms but keeps gauges (current state).
+  reg.Reset();
+  snap = reg.Snapshot();
+  EXPECT_EQ(snap.counter("test.counter"), 0u);
+  EXPECT_EQ(snap.histogram("test.histo")->count, 0u);
+  EXPECT_EQ(snap.gauges[0].second, -5);
+}
+
+// --- Engine integration ----------------------------------------------------
+
+class ObsEngineTest : public ::testing::Test {
+ protected:
+  static Catalog& catalog() {
+    static Catalog* c = [] {
+      auto* catalog = new Catalog();
+      tpch::BuildTpchDatabase(catalog, /*sf=*/0.01);
+      return catalog;
+    }();
+    return *c;
+  }
+};
+
+TEST_F(ObsEngineTest, SnapshotReportsPerClassHistogramsAndCounters) {
+  QueryEngine engine(&catalog(), /*num_threads=*/2);
+  QueryProgram q6 = BuildTpchQuery(6, catalog());
+  QueryProgram q1 = BuildTpchQuery(1, catalog());
+  QueryRunOptions options;
+  options.query_class = 0;
+  ASSERT_FALSE(engine.Run(q6, options).rows.empty());
+  options.query_class = 2;
+  ASSERT_FALSE(engine.Run(q1, options).rows.empty());
+
+  MetricsSnapshot snap = engine.ObservabilitySnapshot();
+  EXPECT_EQ(snap.counter("engine.queries_submitted"), 2u);
+  EXPECT_EQ(snap.counter("engine.queries_completed"), 2u);
+  EXPECT_GT(snap.counter("exec.morsels"), 0u);
+  EXPECT_GT(snap.counter("sched.executed_slices"), 0u);
+  EXPECT_GT(snap.counter("sched.class_slices.class0"), 0u);
+  EXPECT_GT(snap.counter("sched.class_slices.class2"), 0u);
+  EXPECT_GT(snap.counter("translator.programs"), 0u);
+  EXPECT_GT(snap.counter("trace.recorded"), 0u);
+
+  // Queue-wait and exec-latency histograms per scheduling class: exactly
+  // one query each in classes 0 and 2, none elsewhere.
+  for (int cls : {0, 2}) {
+    const auto* wait = snap.histogram("admission.queue_wait_us.class" +
+                                      std::to_string(cls));
+    const auto* lat = snap.histogram("engine.exec_latency_us.class" +
+                                     std::to_string(cls));
+    ASSERT_NE(wait, nullptr);
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(wait->count, 1u) << "class " << cls;
+    EXPECT_EQ(lat->count, 1u) << "class " << cls;
+    EXPECT_GT(lat->max, 0u) << "class " << cls;
+  }
+  for (int cls : {1, 3}) {
+    EXPECT_EQ(snap.histogram("engine.exec_latency_us.class" +
+                             std::to_string(cls))
+                  ->count,
+              0u);
+  }
+
+  // Cache counters fold in (one miss per pipeline on this cold engine).
+  EXPECT_GT(snap.counter("cache.bytecode_misses"), 0u);
+  EXPECT_EQ(snap.counter("cache.bytecode_misses"),
+            engine.artifact_cache_stats().bytecode_misses);
+}
+
+TEST_F(ObsEngineTest, ResetObservabilityStatsZeroesEverything) {
+  QueryEngine engine(&catalog(), 2);
+  QueryProgram q6 = BuildTpchQuery(6, catalog());
+  ASSERT_FALSE(engine.Run(q6).rows.empty());
+  ASSERT_GT(engine.ObservabilitySnapshot().counter("exec.morsels"), 0u);
+
+  engine.ResetObservabilityStats();
+  MetricsSnapshot snap = engine.ObservabilitySnapshot();
+  EXPECT_EQ(snap.counter("exec.morsels"), 0u);
+  EXPECT_EQ(snap.counter("engine.queries_completed"), 0u);
+  EXPECT_EQ(snap.counter("cache.bytecode_misses"), 0u);
+  EXPECT_EQ(snap.counter("translator.programs"), 0u);
+  EXPECT_EQ(snap.counter("trace.recorded"), 0u);
+  EXPECT_EQ(snap.histogram("engine.exec_latency_us.class0")->count, 0u);
+  // Residency gauges survive: the cache still holds the artifacts.
+  int64_t entries = -1;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "cache.entries") entries = value;
+  }
+  EXPECT_GT(entries, 0);
+
+  // The warm rerun now shows hits against clean counters.
+  ASSERT_FALSE(engine.Run(q6).rows.empty());
+  snap = engine.ObservabilitySnapshot();
+  EXPECT_GT(snap.counter("cache.bytecode_hits"), 0u);
+  EXPECT_EQ(snap.counter("cache.bytecode_misses"), 0u);
+}
+
+TEST_F(ObsEngineTest, ArtifactCacheStatsDeltaAndReset) {
+  QueryEngine engine(&catalog(), 2);
+  QueryProgram q6 = BuildTpchQuery(6, catalog());
+  ASSERT_FALSE(engine.Run(q6).rows.empty());
+  const ArtifactCacheStats cold = engine.artifact_cache_stats();
+  EXPECT_GT(cold.bytecode_misses, 0u);
+
+  ASSERT_FALSE(engine.Run(q6).rows.empty());
+  const ArtifactCacheStats warm = engine.artifact_cache_stats() - cold;
+  EXPECT_GT(warm.bytecode_hits, 0u);
+  EXPECT_EQ(warm.bytecode_misses, 0u);
+  EXPECT_EQ(warm.entry_misses, 0u);
+  // bytes/entries keep the current residency, not a delta.
+  EXPECT_GT(warm.entries, 0u);
+}
+
+TEST_F(ObsEngineTest, VmOpcodeCountersAppearWhileProfiling) {
+  QueryEngine engine(&catalog(), 2);
+  QueryProgram q6 = BuildTpchQuery(6, catalog());
+  engine.set_vm_opcode_profiling(true);
+  QueryRunOptions options;
+  options.strategy = ExecutionStrategy::kBytecode;  // stay interpreted
+  ASSERT_FALSE(engine.Run(q6, options).rows.empty());
+  engine.set_vm_opcode_profiling(false);
+
+  MetricsSnapshot snap = engine.ObservabilitySnapshot();
+  uint64_t vm_ops = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind("vm.op.", 0) == 0) vm_ops += value;
+  }
+  EXPECT_GT(vm_ops, 0u) << "no vm.op.* counters in the snapshot";
+
+  VmResetProfileCounts();
+  EXPECT_TRUE(VmProfileCounts().empty());
+}
+
+TEST_F(ObsEngineTest, ChromeTraceExportIsWellFormedForAdaptiveRun) {
+  QueryEngine engine(&catalog(), 2);
+  QueryProgram q6 = BuildTpchQuery(6, catalog());
+  QueryProgram q1 = BuildTpchQuery(1, catalog());
+  QueryRunOptions options;
+  options.strategy = ExecutionStrategy::kAdaptive;
+  options.adaptive_first_eval_seconds = 1e-6;  // force early mode decisions
+  ASSERT_FALSE(engine.Run(q6, options).rows.empty());
+  ASSERT_FALSE(engine.Run(q1, options).rows.empty());
+
+  const std::string json = engine.ExportChromeTrace();
+  // Golden structure: the stable skeleton every viewer needs. Event
+  // counts and timestamps vary run to run; the shape must not.
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\"", 0), 0u);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"slice\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"morsel\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"admission-wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"pipeline\""), std::string::npos);
+  // Per-query flows: both queries start and finish.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness proxy without a JSON
+  // parser; CI's check_trace.py does the full parse).
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char ch = json[i];
+    if (ch == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += ch == '{' ? 1 : ch == '}' ? -1 : 0;
+    brackets += ch == '[' ? 1 : ch == ']' ? -1 : 0;
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+
+  // The text renderer subsumes the old TraceRecorder::Render format.
+  const std::string text = engine.RenderTrace(/*width=*/80);
+  EXPECT_NE(text.find("time ->"), std::string::npos);
+  EXPECT_NE(text.find("thread 0 |"), std::string::npos);
+  EXPECT_NE(text.find("total:"), std::string::npos);
+}
+
+TEST_F(ObsEngineTest, ConcurrentQueriesRecordSafely) {
+  // Concurrent Submit stress under the obs layer: the TSan CI matrix runs
+  // this test to prove slices/morsels/histograms record race-free.
+  QueryEngine engine(&catalog(), 2);
+  QueryProgram q6 = BuildTpchQuery(6, catalog());
+  constexpr int kClients = 4, kPerClient = 5;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        QueryRunOptions options;
+        options.query_class = c % kNumTaskClasses;
+        if (engine.Run(q6, options).rows.empty()) ++failures;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  MetricsSnapshot snap = engine.ObservabilitySnapshot();
+  EXPECT_EQ(snap.counter("engine.queries_completed"),
+            static_cast<uint64_t>(kClients * kPerClient));
+  const std::string json = engine.ExportChromeTrace();
+  EXPECT_NE(json.find("\"name\":\"slice\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aqe
