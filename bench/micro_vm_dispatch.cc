@@ -18,6 +18,7 @@
 // numbers can be archived and compared.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "bench/bench_util.h"
 #include "codegen/query_compiler.h"
 #include "common/timer.h"
+#include "engine/query_engine.h"
 #include "ir/ir_module.h"
 #include "jit/jit_compiler.h"
 #include "obs/metrics.h"
@@ -413,6 +415,69 @@ int main(int argc, char** argv) {
                     "\"kernel\":\"trace-overhead\",\"config\":\"%s\","
                     "\"rows_per_sec\":%.6e,\"ratio_vs_untraced\":%.4f}",
                     name, rps, untraced > 0 ? rps / untraced : 0.0);
+      std::printf("%s\n", line);
+      if (json_out != nullptr) std::fprintf(json_out, "%s\n", line);
+    }
+  }
+
+  // --- kernel 5: EXPLAIN ANALYZE collection overhead -----------------------
+  // The CI floor for the query profiler: the same engine query run with
+  // QueryRunOptions::collect_profile off vs on. The profiled path pays one
+  // trace-ring snapshot plus the QueryProfile fold per query; the
+  // profiled/unprofiled throughput ratio must stay >= the floor in
+  // ci/perf_floors.json (0.97, i.e. <= 3% overhead).
+  {
+    // Bound the snapshot copy: the fold only needs the completing query's
+    // own events, so a small per-lane ring keeps the per-query snapshot
+    // cost proportional to one query, not to the whole history.
+    setenv("AQE_TRACE_RING_EVENTS", "512", 1);
+    Catalog* catalog = bench::TpchAtScale(sf);
+    QueryEngine engine(catalog, 2);
+    QueryProgram q6 = BuildTpchQuery(6, *catalog);
+    const uint64_t rows = catalog->GetTable("lineitem")->num_rows();
+    QueryRunOptions plain;
+    plain.single_threaded = true;  // deterministic: no helper-task jitter
+    // Pin the mode: the adaptive controller warms up across runs (later
+    // runs would reuse cached optimized code), which would skew whichever
+    // config runs second. Profile-collection cost is mode-independent.
+    plain.strategy = ExecutionStrategy::kBytecode;
+    QueryRunOptions profiled_opts = plain;
+    profiled_opts.collect_profile = true;
+    // Interleave the two configs in alternating blocks so slow drift
+    // (frequency scaling, cache state, background load) hits both equally
+    // — the ratio is what the CI floor gates, not the absolute rates.
+    engine.Run(q6, plain);          // warmup: translation, table binding
+    engine.Run(q6, profiled_opts);  // warmup: profile path allocations
+    double un_seconds = 0, pr_seconds = 0;
+    uint64_t reps = 0;
+    Timer total;
+    do {
+      Timer t_un;
+      for (int i = 0; i < 8; ++i) engine.Run(q6, plain);
+      un_seconds += t_un.ElapsedSeconds();
+      Timer t_pr;
+      for (int i = 0; i < 8; ++i) engine.Run(q6, profiled_opts);
+      pr_seconds += t_pr.ElapsedSeconds();
+      reps += 8;
+    } while (total.ElapsedSeconds() < 2 * budget);
+    unsetenv("AQE_TRACE_RING_EVENTS");
+    const double unprofiled =
+        static_cast<double>(rows) * static_cast<double>(reps) / un_seconds;
+    const double profiled =
+        static_cast<double>(rows) * static_cast<double>(reps) / pr_seconds;
+    const double ratio = unprofiled > 0 ? profiled / unprofiled : 0.0;
+    std::printf("\n%-18s %14s %10s\n", "profile-overhead", "rows/s", "ratio");
+    std::printf("%-18s %14.3e %9.2fx\n", "unprofiled", unprofiled, 1.0);
+    std::printf("%-18s %14.3e %9.3fx\n", "profiled", profiled, ratio);
+    for (const auto& [name, rps] :
+         {std::pair<const char*, double>{"unprofiled", unprofiled},
+          std::pair<const char*, double>{"profiled", profiled}}) {
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "{\"bench\":\"micro_vm_dispatch\","
+                    "\"kernel\":\"profile-overhead\",\"config\":\"%s\","
+                    "\"rows_per_sec\":%.6e,\"ratio_vs_unprofiled\":%.4f}",
+                    name, rps, unprofiled > 0 ? rps / unprofiled : 0.0);
       std::printf("%s\n", line);
       if (json_out != nullptr) std::fprintf(json_out, "%s\n", line);
     }

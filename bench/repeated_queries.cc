@@ -135,6 +135,8 @@ int main(int argc, char** argv) {
   // the warm phase reports its own delta, not cold-phase pollution.
   const ArtifactCacheStats cold_stats = engine.artifact_cache_stats();
   const TranslatorCounters cold_tc = TranslatorCountersSnapshot();
+  const uint64_t cold_anomalies =
+      engine.ObservabilitySnapshot().counter("engine.anomalies");
 
   // --- warm phase: Zipf-repeated submissions -------------------------------
   std::vector<double> warm_ms;
@@ -270,6 +272,19 @@ int main(int argc, char** argv) {
     }
     if (stats.entry_misses == 0) {
       std::fprintf(stderr, "SMOKE FAIL: cold phase recorded no misses\n");
+      ++failures;
+    }
+    // The regression sentinel must stay silent across the warm phase:
+    // repeated warm hits of the same fingerprints are its steady state,
+    // and an alert here means the deviation guard is miscalibrated.
+    const uint64_t warm_anomalies =
+        engine.ObservabilitySnapshot().counter("engine.anomalies") -
+        cold_anomalies;
+    if (warm_anomalies != 0) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: regression sentinel flagged %llu warm-phase "
+                   "runs (expected 0)\n",
+                   (unsigned long long)warm_anomalies);
       ++failures;
     }
     if (failures > 0) return 1;

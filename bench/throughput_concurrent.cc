@@ -96,6 +96,9 @@ void ClientLoop(QueryEngine* engine, const Catalog* catalog, int client_id,
     QueryRunOptions options;
     options.strategy = ExecutionStrategy::kAdaptive;
     options.query_class = query_class;
+    // Profile a sample of queries so the stats server's /profiles endpoint
+    // has live material; cheap enough to leave on unconditionally.
+    options.collect_profile = i % 8 == 1;
     Timer query_timer;
     QueryRunResult result = engine->Run(program, options);
     samples->push_back(
@@ -297,7 +300,22 @@ int main(int argc, char** argv) {
                           TaskScheduler::kMaxWorkers);
   const int workers = bench::EnvInt("AQE_THREADS", std::max(1, hw));
   Catalog* catalog = bench::TpchAtScale(sf);
-  QueryEngine engine(catalog, workers);
+  QueryEngineOptions engine_options;
+  engine_options.num_threads = workers;
+  // AQE_STATS_PORT: serve /metrics, /trace.json and /profiles while the
+  // bench runs (0 picks an ephemeral port; ci/check_metrics_endpoint.py
+  // parses the line below and curls the endpoints mid-run).
+  if (const char* port_env = std::getenv("AQE_STATS_PORT");
+      port_env != nullptr && *port_env != '\0') {
+    engine_options.stats_port = std::atoi(port_env);
+  }
+  QueryEngine engine(catalog, engine_options);
+  if (engine.stats_port() >= 0) {
+    std::printf("stats server: http://127.0.0.1:%d "
+                "(/metrics /trace.json /profiles)\n",
+                engine.stats_port());
+    std::fflush(stdout);  // consumers poll the pipe for this line
+  }
 
   {  // warmup: fault in the catalog, LLVM init, first JIT
     QueryProgram q6 = BuildTpchQuery(6, *catalog);

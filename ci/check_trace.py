@@ -6,6 +6,9 @@ Checks that a trace exported by QueryEngine::ExportChromeTrace (e.g. by
 well-formed trace-event-format file a viewer will actually load:
 
   - parses as JSON with a non-empty "traceEvents" array
+  - the rings dropped no events ("otherData.dropped" == 0): CI sizes the
+    rings for the smoke workload (AQE_TRACE_RING_EVENTS), so any drop
+    means either the sizing or the ring accounting regressed
   - every event carries the required keys for its phase type
   - complete events ("X") have numeric ts and dur >= 0
   - per-worker thread_name metadata is present
@@ -47,6 +50,16 @@ def main():
     if not isinstance(events, list) or not events:
         print(f"trace check FAILED: no traceEvents array in {path}")
         return 1
+
+    other = doc.get("otherData", {})
+    dropped = other.get("dropped")
+    if not isinstance(dropped, int):
+        errors.append(f"otherData.dropped missing or non-integer: {dropped!r}")
+    elif dropped > 0:
+        errors.append(
+            f"trace rings dropped {dropped} events (recorded "
+            f"{other.get('recorded')}); the smoke run must be lossless — "
+            f"grow AQE_TRACE_RING_EVENTS or fix the ring accounting")
 
     names = set()
     phases = {}
@@ -101,7 +114,7 @@ def main():
         if len(errors) > 20:
             print(f"  ... and {len(errors) - 20} more")
         return 1
-    print(f"trace check passed: {len(events)} events "
+    print(f"trace check passed: {len(events)} events, 0 dropped "
           f"({phases.get('X', 0)} spans, {phases.get('i', 0)} instants, "
           f"{len(flows)} query flows, {thread_names} worker tracks), "
           f"span names: {sorted(n for n in names if n)}")

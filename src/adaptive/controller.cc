@@ -478,9 +478,13 @@ Task::Status PipelineRun::StepDrain() {
     std::lock_guard<std::mutex> lock(st_->mu);
     stats_.compiles = std::move(st_->compiles);
   }
-  stats_.total_seconds =
-      static_cast<double>(MonotonicNanos() - start_nanos_) / 1e9;
+  const int64_t end_nanos = MonotonicNanos();
+  stats_.total_seconds = static_cast<double>(end_nanos - start_nanos_) / 1e9;
   stats_.final_mode = task_.handle->mode();
+  for (ModeSwitchRecord& rec : stats_.mode_switches) {
+    rec.realized_seconds =
+        static_cast<double>(end_nanos - rec.decision_nanos) / 1e9;
+  }
   phase_ = Phase::kDone;
   return Task::Status::kDone;
 }
@@ -538,12 +542,25 @@ void PipelineRun::Evaluate() {
   st_->compile_target = decision == Decision::kCompileUnoptimized
                             ? ExecMode::kUnoptimized
                             : ExecMode::kOptimized;
+  const int64_t decision_nanos = MonotonicNanos();
+  {
+    // Prediction-vs-realized bookkeeping: keep the decision on the run
+    // itself (stats_ is controller-thread-only), realized filled at drain.
+    ModeSwitchRecord rec;
+    rec.target = st_->compile_target;
+    rec.decision_nanos = decision_nanos;
+    rec.r0 = r0;
+    rec.remaining_tuples = remaining;
+    rec.t_current_seconds = breakdown.t_current;
+    rec.t_chosen_seconds = breakdown.chosen_seconds(decision);
+    stats_.mode_switches.push_back(rec);
+  }
   if (st_->obs.enabled()) {
     // The §III-C decision with its cost-model inputs: what the controller
     // observed (r0) and what it extrapolated for staying vs. switching.
     TraceEvent e;
     e.kind = TraceEventKind::kModeSwitch;
-    e.start_nanos = MonotonicNanos();
+    e.start_nanos = decision_nanos;
     e.end_nanos = e.start_nanos;
     e.payload = remaining;
     e.payload2 = TraceEventDoubleToBits(task_.runtime_call_fraction);

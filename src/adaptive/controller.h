@@ -53,6 +53,21 @@ struct PipelineTask {
   PipelineObs obs;
 };
 
+/// One §III-C decision that chose a compile, with the extrapolation's
+/// inputs and — filled in when the pipeline drains — the realized time from
+/// the decision to pipeline completion. The prediction-vs-realized audit
+/// trail EXPLAIN ANALYZE renders; unlike the kModeSwitch ring event this is
+/// carried on the run itself, so it survives ring overwrites.
+struct ModeSwitchRecord {
+  ExecMode target = ExecMode::kUnoptimized;
+  int64_t decision_nanos = 0;    ///< MonotonicNanos at the decision
+  double r0 = 0;                 ///< observed rate [tuples/s/thread]
+  uint64_t remaining_tuples = 0;
+  double t_current_seconds = 0;  ///< extrapolated: stay in current mode
+  double t_chosen_seconds = 0;   ///< extrapolated: switch (T(chosen))
+  double realized_seconds = 0;   ///< decision -> pipeline end (actual)
+};
+
 struct PipelineRunStats {
   double total_seconds = 0;
   ExecMode final_mode = ExecMode::kBytecode;
@@ -64,6 +79,10 @@ struct PipelineRunStats {
   /// hits (which compile nothing) are visible next to cold runs. Compiles
   /// picked up by other workers overlap execution and are not counted.
   double blocking_compile_seconds = 0;
+  /// Every adaptive compile decision with its predicted durations and the
+  /// realized remainder (TaskScheduler substrate; the legacy gang path
+  /// leaves it empty).
+  std::vector<ModeSwitchRecord> mode_switches;
 };
 
 /// Shared state of one pipeline execution on the task scheduler (defined in

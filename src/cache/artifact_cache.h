@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -161,6 +162,18 @@ class ArtifactCache {
   void set_byte_budget(uint64_t bytes);
   uint64_t byte_budget() const { return byte_budget_.load(); }
 
+  /// Evicts every entry (ops flush / deterministic eviction in tests).
+  /// In-flight queries keep their entries alive via shared ownership.
+  void Clear();
+
+  /// Called with each evicted entry's key, outside any shard lock (the
+  /// engine routes this into the regression sentinel so a post-eviction
+  /// slowdown can name its cause). Set once, before traffic — not
+  /// synchronized against concurrent eviction.
+  void set_eviction_listener(std::function<void(uint64_t)> listener) {
+    eviction_listener_ = std::move(listener);
+  }
+
   ArtifactCacheStats stats() const;
 
   /// Zeroes the monotonic counters (residency is untouched — artifacts stay
@@ -195,10 +208,14 @@ class ArtifactCache {
 
   Shard& ShardFor(uint64_t key) { return shards_[key % kNumShards]; }
   const Shard& ShardFor(uint64_t key) const { return shards_[key % kNumShards]; }
-  void EvictOverBudgetLocked(Shard* shard);
+  /// Evicts into `victims` (keys, for the listener — invoked by the caller
+  /// after the shard lock is released).
+  void EvictOverBudgetLocked(Shard* shard, std::vector<uint64_t>* victims);
+  void NotifyEvicted(const std::vector<uint64_t>& victims) const;
 
   Shard shards_[kNumShards];
   std::atomic<uint64_t> byte_budget_;
+  std::function<void(uint64_t)> eviction_listener_;
 
   mutable std::atomic<uint64_t> entry_hits_{0}, entry_misses_{0};
   std::atomic<uint64_t> bytecode_hits_{0}, patched_hits_{0};

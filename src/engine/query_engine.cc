@@ -15,6 +15,7 @@
 #include "jit/jit_compiler.h"
 #include "jit/naive_interpreter.h"
 #include "obs/export.h"
+#include "obs/stats_server.h"
 #include "runtime/runtime_registry.h"
 #include "sched/scheduler.h"
 #include "sched/task.h"
@@ -57,9 +58,36 @@ struct EngineObs {
   Counter* morsels = metrics.GetCounter("exec.morsels");
   Counter* mode_switches = metrics.GetCounter("adaptive.mode_switches");
   Counter* compiles = metrics.GetCounter("jit.compiles");
+  Counter* anomalies = metrics.GetCounter("engine.anomalies");
+  /// Per-cause anomaly counters, indexed by AnomalyCause.
+  Counter* anomalies_by_cause[4] = {
+      metrics.GetCounter("engine.anomalies.unknown"),
+      metrics.GetCounter("engine.anomalies.cache_evicted"),
+      metrics.GetCounter("engine.anomalies.mode_regressed"),
+      metrics.GetCounter("engine.anomalies.queue_wait"),
+  };
   Histogram* compile_us = metrics.GetHistogram("jit.compile_us");
   Histogram* queue_wait_us[kNumTaskClasses];
   Histogram* exec_latency_us[kNumTaskClasses];
+
+  /// Per-fingerprint latency sentinel (obs/regression.h); fed by every
+  /// completed cached query, read by snapshots and the stats server.
+  RegressionTracker sentinel;
+
+  /// Ring of the last kRecentProfiles collect_profile query profiles, for
+  /// the stats server's /profiles endpoint. shared_ptr: a client holding
+  /// the query's own result shares the same object.
+  static constexpr size_t kRecentProfiles = 64;
+  mutable std::mutex profiles_mu;
+  std::deque<std::shared_ptr<const QueryProfile>> recent_profiles;
+
+  /// Serializes ResetObservabilityStats against snapshot assembly: a
+  /// snapshot taken concurrently with a reset sees either every resettable
+  /// source pre-reset or every one post-reset, never a mix. `stats_epoch`
+  /// counts resets and is exported as the `obs.epoch` gauge so readers can
+  /// detect that a phase boundary moved under them.
+  mutable std::mutex stats_mu;
+  std::atomic<uint64_t> stats_epoch{0};
 
   EngineObs() {
     char name[64];
@@ -69,6 +97,12 @@ struct EngineObs {
       std::snprintf(name, sizeof(name), "engine.exec_latency_us.class%d", c);
       exec_latency_us[c] = metrics.GetHistogram(name);
     }
+  }
+
+  void AddProfile(std::shared_ptr<const QueryProfile> profile) {
+    std::lock_guard<std::mutex> lock(profiles_mu);
+    recent_profiles.push_back(std::move(profile));
+    if (recent_profiles.size() > kRecentProfiles) recent_profiles.pop_front();
   }
 
   PipelineObs MakePipelineObs(uint32_t query_id) {
@@ -144,6 +178,12 @@ struct QueryEngine::Impl {
   // outlive the workers.
   TaskScheduler sched;
 
+  // Declared after `sched` on purpose: the server thread's handlers walk
+  // the tracer and metrics, so it must stop before anything else tears
+  // down — destruction runs in reverse declaration order. Null unless
+  // QueryEngineOptions::stats_port asked for it (and the bind succeeded).
+  std::unique_ptr<StatsServer> stats_server;
+
   // Thread count clamped to the scheduler's worker range: callers pass
   // hardware_concurrency() on big machines, and indices above
   // TaskScheduler::kMaxWorkers are reserved for external controllers.
@@ -155,7 +195,29 @@ struct QueryEngine::Impl {
       calibrated = CalibratedCostModelParams();
       use_calibrated = true;
     }
+    // Evictions feed the regression sentinel so a post-eviction slowdown
+    // of the same fingerprint can name its cause.
+    cache.set_eviction_listener(
+        [this](uint64_t key) { obs.sentinel.MarkEvicted(key); });
   }
+
+  Impl(const Catalog* catalog, const QueryEngineOptions& options)
+      : Impl(catalog, options.num_threads) {
+    if (options.stats_port >= 0) {
+      StatsServer::Handlers handlers;
+      handlers.metrics_text = [this] { return PrometheusText(BuildSnapshot()); };
+      handlers.trace_json = [this] {
+        return ChromeTraceJson(obs.tracer.Snapshot());
+      };
+      handlers.profiles_json = [this] { return ProfilesJson(); };
+      stats_server =
+          std::make_unique<StatsServer>(options.stats_port, std::move(handlers));
+      if (!stats_server->ok()) stats_server.reset();
+    }
+  }
+
+  MetricsSnapshot BuildSnapshot() const;
+  std::string ProfilesJson() const;
 
   void Admit(std::unique_ptr<Task> job, int cls, double cost_ms,
              bool fully_cached) {
@@ -511,7 +573,16 @@ class QueryJob : public Task {
     }
     result_.rows = std::move(ctx_->result);
     result_.total_seconds = total_timer_.ElapsedSeconds();
-    RecordServiceTime();
+    RecordServiceTime(worker);
+    if (options_.collect_profile) {
+      // Fold this query's trace events into a structured profile before the
+      // promise resolves, so the client's future carries it. The engine
+      // keeps the last few for the stats server's /profiles endpoint.
+      auto profile = std::make_shared<QueryProfile>(BuildQueryProfile(
+          obs_->tracer.Snapshot(), result_, query_id_, program_->name()));
+      result_.profile = profile;
+      obs_->AddProfile(std::move(profile));
+    }
     // The caller's completion events outlive the moved-from result.
     done_rows_ = result_.rows.size();
     done_queue_wait_seconds_ = result_.queue_wait_seconds;
@@ -527,7 +598,7 @@ class QueryJob : public Task {
   }
 
   void EstimateCost();
-  void RecordServiceTime();
+  void RecordServiceTime(int worker);
   void RunStage(const QueryProgram::Stage& stage, int worker);
   void StartCompiledPipeline(const QueryProgram::Stage& stage,
                              const PipelineSpec& spec,
@@ -603,8 +674,11 @@ void QueryJob::EstimateCost() {
 
 /// Admission cost feedback: fold this run's observed service time (queue
 /// wait excluded) into the plan's EWMA. alpha = 0.3 tracks drift (cache
-/// warming, data growth) while smoothing scheduler noise.
-void QueryJob::RecordServiceTime() {
+/// warming, data growth) while smoothing scheduler noise. The same sample
+/// feeds the regression sentinel, which flags the run (counter + kAnomaly
+/// trace event on this worker's lane) when it deviates from the
+/// fingerprint's baseline.
+void QueryJob::RecordServiceTime(int worker) {
   if (entry_ == nullptr) return;
   constexpr double kAlpha = 0.3;
   const double service_ms = std::max(
@@ -618,6 +692,32 @@ void QueryJob::RecordServiceTime() {
     ++entry_->observed_queries;
   }
   cache_->CountCostFeedback();
+
+  RegressionTracker::Observation sample;
+  sample.fingerprint = entry_->key;
+  sample.query_id = query_id_;
+  sample.service_ms = service_ms;
+  sample.queue_wait_ms = result_.queue_wait_seconds * 1e3;
+  for (const PipelineReport& report : result_.pipelines) {
+    sample.final_mode = std::max(sample.final_mode, report.final_mode);
+  }
+  sample.plan_name = program_->name();
+  AnomalyRecord anomaly;
+  if (obs_->sentinel.Observe(sample, &anomaly)) {
+    obs_->anomalies->Add();
+    obs_->anomalies_by_cause[static_cast<int>(anomaly.cause)]->Add();
+    TraceEvent ev;
+    ev.start_nanos = anomaly.nanos;
+    ev.end_nanos = anomaly.nanos;
+    ev.payload = anomaly.fingerprint;
+    ev.d0 = anomaly.expected_ms;
+    ev.d1 = anomaly.observed_ms;
+    ev.d2 = anomaly.queue_wait_ms;
+    ev.query_id = query_id_;
+    ev.kind = TraceEventKind::kAnomaly;
+    ev.detail = static_cast<uint8_t>(anomaly.cause);
+    obs_->tracer.Record(worker, ev);
+  }
 }
 
 void QueryJob::RunStage(const QueryProgram::Stage& stage, int worker) {
@@ -635,6 +735,7 @@ void QueryJob::RunStage(const QueryProgram::Stage& stage, int worker) {
       program.pipelines()[static_cast<size_t>(stage.pipeline)];
   PipelineReport report;
   report.name = spec.name;
+  report.pipeline_index = static_cast<uint32_t>(stage.pipeline);
   report.tuples = PipelineCardinality(program, spec, *ctx_);
 
   PipelineBindings bindings = BindPipeline(program, spec, *ctx_);
@@ -982,6 +1083,7 @@ void QueryJob::FinishCompiledPipeline() {
   result_.exec_seconds_total += report.exec_only_seconds;
   report.final_mode = stats.final_mode;
   report.compiles = stats.compiles;
+  report.mode_switches = std::move(stats.mode_switches);
   for (const auto& [mode, seconds] : stats.compiles) {
     result_.compile_millis_total += seconds * 1e3;
   }
@@ -1002,7 +1104,15 @@ void QueryJob::FinishCompiledPipeline() {
 QueryEngine::QueryEngine(const Catalog* catalog, int num_threads)
     : impl_(std::make_unique<Impl>(catalog, num_threads)) {}
 
+QueryEngine::QueryEngine(const Catalog* catalog,
+                         const QueryEngineOptions& options)
+    : impl_(std::make_unique<Impl>(catalog, options)) {}
+
 QueryEngine::~QueryEngine() = default;
+
+int QueryEngine::stats_port() const {
+  return impl_->stats_server != nullptr ? impl_->stats_server->port() : -1;
+}
 
 int QueryEngine::num_threads() const { return impl_->sched.num_workers(); }
 
@@ -1050,23 +1160,39 @@ void QueryEngine::set_artifact_cache_byte_budget(uint64_t bytes) {
   impl_->cache.set_byte_budget(bytes);
 }
 
+void QueryEngine::ClearArtifactCache() { impl_->cache.Clear(); }
+
+void QueryEngine::set_anomaly_deviation_factor(double factor) {
+  impl_->obs.sentinel.set_deviation_factor(factor);
+}
+
+std::vector<AnomalyRecord> QueryEngine::RecentAnomalies() const {
+  return impl_->obs.sentinel.RecentAnomalies();
+}
+
 MetricsSnapshot QueryEngine::ObservabilitySnapshot() const {
-  Impl* impl = impl_.get();
-  MetricsSnapshot snap = impl->obs.metrics.Snapshot();
+  return impl_->BuildSnapshot();
+}
+
+MetricsSnapshot QueryEngine::Impl::BuildSnapshot() const {
+  // Serialized against ResetObservabilityStats: a concurrent reset either
+  // happened entirely before this snapshot or entirely after it.
+  std::lock_guard<std::mutex> epoch_lock(obs.stats_mu);
+  MetricsSnapshot snap = obs.metrics.Snapshot();
   char name[64];
 
   // Scheduler: lifetime slice counters and per-class weighted-fair shares.
   snap.counters.emplace_back("sched.executed_slices",
-                             impl->sched.executed_slices());
+                             sched.executed_slices());
   for (int c = 0; c < kNumTaskClasses; ++c) {
     std::snprintf(name, sizeof(name), "sched.class_slices.class%d", c);
-    snap.counters.emplace_back(name, impl->sched.class_slices(c));
+    snap.counters.emplace_back(name, sched.class_slices(c));
     std::snprintf(name, sizeof(name), "sched.class_weight.class%d", c);
-    snap.gauges.emplace_back(name, impl->sched.class_weight(c));
+    snap.gauges.emplace_back(name, sched.class_weight(c));
   }
 
   // Artifact cache: monotonic counters plus residency gauges.
-  const ArtifactCacheStats cs = impl->cache.stats();
+  const ArtifactCacheStats cs = cache.stats();
   snap.counters.emplace_back("cache.entry_hits", cs.entry_hits);
   snap.counters.emplace_back("cache.entry_misses", cs.entry_misses);
   snap.counters.emplace_back("cache.bytecode_hits", cs.bytecode_hits);
@@ -1101,10 +1227,58 @@ MetricsSnapshot QueryEngine::ObservabilitySnapshot() const {
     snap.counters.emplace_back(std::move(op_name), oc.count);
   }
 
-  // Trace rings: how much the exporters can still see.
-  snap.counters.emplace_back("trace.recorded", impl->obs.tracer.total_recorded());
-  snap.counters.emplace_back("trace.dropped", impl->obs.tracer.total_dropped());
+  // Trace rings: how much the exporters can still see — the totals plus a
+  // per-lane breakdown, so a single overflowing worker is identifiable
+  // (ci/check_trace.py gates the fairness smoke on zero drops).
+  snap.counters.emplace_back("trace.recorded", obs.tracer.total_recorded());
+  snap.counters.emplace_back("trace.dropped", obs.tracer.total_dropped());
+  for (const EngineTracer::LaneStats& ls : obs.tracer.lane_stats()) {
+    std::snprintf(name, sizeof(name), "obs.ring.dropped.lane%d", ls.lane);
+    snap.counters.emplace_back(name, ls.dropped);
+  }
+
+  // Regression sentinel + reset epoch (obs.epoch moves when a concurrent
+  // ResetObservabilityStats landed between two snapshots).
+  snap.counters.emplace_back("engine.anomalies_total",
+                             obs.sentinel.anomaly_count());
+  snap.gauges.emplace_back("obs.epoch",
+                           static_cast<int64_t>(obs.stats_epoch.load()));
   return snap;
+}
+
+std::string QueryEngine::Impl::ProfilesJson() const {
+  std::string out = "{\"profiles\":[";
+  {
+    std::lock_guard<std::mutex> lock(obs.profiles_mu);
+    bool first = true;
+    for (const auto& profile : obs.recent_profiles) {
+      if (!first) out += ',';
+      out += profile->ToJson();
+      first = false;
+    }
+  }
+  out += "],\"anomalies\":[";
+  bool first = true;
+  for (const AnomalyRecord& a : obs.sentinel.RecentAnomalies()) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"fingerprint\":\"%016llx\",\"query\":%u,"
+                  "\"cause\":\"%s\",\"expected_ms\":%.3f,"
+                  "\"observed_ms\":%.3f,\"queue_wait_ms\":%.3f,\"plan\":\"",
+                  first ? "" : ",",
+                  static_cast<unsigned long long>(a.fingerprint), a.query_id,
+                  AnomalyCauseName(a.cause), a.expected_ms, a.observed_ms,
+                  a.queue_wait_ms);
+    out += buf;
+    for (char c : a.plan_name) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (static_cast<unsigned char>(c) >= 0x20) out += c;
+    }
+    out += "\"}";
+    first = false;
+  }
+  out += "]}";
+  return out;
 }
 
 std::string QueryEngine::ExportChromeTrace() const {
@@ -1117,8 +1291,13 @@ std::string QueryEngine::RenderTrace(int width) const {
 }
 
 void QueryEngine::ResetObservabilityStats() {
+  // One epoch: every resettable source zeroes under the same lock
+  // BuildSnapshot holds, so a concurrent snapshot never sees half a reset.
+  std::lock_guard<std::mutex> epoch_lock(impl_->obs.stats_mu);
+  impl_->obs.stats_epoch.fetch_add(1, std::memory_order_relaxed);
   impl_->obs.metrics.Reset();
   impl_->obs.tracer.Reset();
+  impl_->obs.sentinel.ResetAnomalies();
   impl_->cache.ResetStats();
   VmResetProfileCounts();
   ResetTranslatorCounters();

@@ -10,6 +10,8 @@
 #include "cache/artifact_cache.h"
 #include "exec/trace.h"
 #include "obs/metrics.h"
+#include "obs/query_profile.h"
+#include "obs/regression.h"
 #include "obs/tracer.h"
 #include "plan/plan.h"
 #include "vm/translator.h"
@@ -56,11 +58,20 @@ struct QueryRunOptions {
   /// high-weight class for latency-sensitive tenants so their short
   /// queries overtake saturating low-class scans.
   int query_class = 0;
+  /// Build a QueryProfile (EXPLAIN ANALYZE input) from the trace rings when
+  /// the query completes and attach it to the result — Submit() users get
+  /// it on the future. Off by default: profiling snapshots every ring once
+  /// per query, which is measurable on sub-millisecond queries (the
+  /// profile-overhead perf floor gates the on-cost, not the default path).
+  bool collect_profile = false;
 };
 
 /// Per-pipeline execution report.
 struct PipelineReport {
   std::string name;
+  /// The plan's pipeline index — what morsel trace events carry as
+  /// pipeline_id (report order is stage order, which may differ).
+  uint32_t pipeline_index = 0;
   uint64_t tuples = 0;
   uint64_t instructions = 0;       ///< LLVM instructions of the worker
   double codegen_millis = 0;       ///< IR generation
@@ -76,6 +87,9 @@ struct PipelineReport {
   ExecMode final_mode = ExecMode::kBytecode;
   bool artifact_cache_hit = false;  ///< bytecode or machine code reused
   std::vector<std::pair<ExecMode, double>> compiles;  ///< mode switches
+  /// §III-C compile decisions with predicted vs realized durations
+  /// (adaptive runs on the task scheduler; empty otherwise).
+  std::vector<ModeSwitchRecord> mode_switches;
 };
 
 struct QueryRunResult {
@@ -94,6 +108,11 @@ struct QueryRunResult {
   /// plus engine steps. Translation/compilation are reported separately
   /// above — on a warm artifact-cache hit they are ~0 while this stays.
   double exec_seconds_total = 0;
+  /// Set when the query ran with QueryRunOptions::collect_profile: the
+  /// trace-ring fold ExplainAnalyze(result) renders. shared_ptr keeps the
+  /// result copyable and lets the engine retain the last 64 profiles for
+  /// the stats server's /profiles endpoint.
+  std::shared_ptr<const QueryProfile> profile;
 };
 
 /// Per-pipeline compilation-cost measurements (Table I / Fig 6 / Fig 15),
@@ -116,6 +135,18 @@ struct PipelineCompileCosts {
   double runtime_call_fraction = 0;
 };
 
+/// Engine-level construction options (the two-arg constructor covers the
+/// common case; this struct is for the optional subsystems).
+struct QueryEngineOptions {
+  int num_threads = 4;
+  /// >= 0 starts the observability HTTP server (obs/stats_server.h) on
+  /// 127.0.0.1:<stats_port> serving GET /metrics (Prometheus text),
+  /// /trace.json (Chrome trace) and /profiles (last 64 QueryProfiles +
+  /// anomalies). 0 binds an ephemeral port — read it back via
+  /// QueryEngine::stats_port(). -1 (default): no server, no socket.
+  int stats_port = -1;
+};
+
 /// The public facade: executes QueryPrograms against a catalog under any
 /// engine/mode combination. Owns a TaskScheduler of `num_threads` workers;
 /// one engine serves many concurrent queries — every query, morsel and
@@ -124,9 +155,14 @@ struct PipelineCompileCosts {
 class QueryEngine {
  public:
   QueryEngine(const Catalog* catalog, int num_threads = 4);
+  QueryEngine(const Catalog* catalog, const QueryEngineOptions& options);
   ~QueryEngine();
 
   int num_threads() const;
+
+  /// Bound port of the stats server, or -1 when it is disabled / failed to
+  /// bind. The server is stopped in the engine destructor.
+  int stats_port() const;
 
   /// Enqueues a query for execution and returns a future for its result.
   /// Thread-safe: N clients share one engine. An admission layer caps the
@@ -210,6 +246,20 @@ class QueryEngine {
   /// evicts immediately; queries mid-flight keep their artifacts alive via
   /// shared ownership. Thread-safe.
   void set_artifact_cache_byte_budget(uint64_t bytes);
+
+  /// Evicts every artifact-cache entry (ops flush; also how tests force
+  /// the eviction->anomaly path deterministically). In-flight queries keep
+  /// their artifacts alive via shared ownership. Thread-safe.
+  void ClearArtifactCache();
+
+  /// Regression-sentinel sensitivity: a completed query is anomalous when
+  /// its service time exceeds `factor` x the fingerprint's EWMA (and
+  /// deviates beyond the MAD guard). Default 4.0. Thread-safe.
+  void set_anomaly_deviation_factor(double factor);
+
+  /// The regression sentinel's recent anomaly ring (newest last), for
+  /// tests and the /profiles endpoint. Thread-safe.
+  std::vector<AnomalyRecord> RecentAnomalies() const;
 
   /// Measures code generation / bytecode translation / machine-code
   /// compilation costs for every pipeline of `program`. `measure_jit`

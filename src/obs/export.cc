@@ -78,6 +78,14 @@ std::string EventArgs(const TraceEvent& e) {
              static_cast<unsigned long long>(e.payload), e.d0, e.d1,
              e.query_id);
       break;
+    case TraceEventKind::kAnomaly:
+      Append(args,
+             "{\"fingerprint\":\"%016llx\",\"cause\":%d,"
+             "\"expected_ms\":%.3f,\"observed_ms\":%.3f,"
+             "\"queue_wait_ms\":%.3f,\"query\":%u}",
+             static_cast<unsigned long long>(e.payload),
+             static_cast<int>(e.detail), e.d0, e.d1, e.d2, e.query_id);
+      break;
     default:
       args = "{}";
       break;
@@ -184,6 +192,56 @@ std::string ChromeTraceJson(const TraceSnapshot& snapshot) {
   }
 
   out += "\n]}\n";
+  return out;
+}
+
+namespace {
+
+/// Prometheus metric name: [a-zA-Z_:][a-zA-Z0-9_:]*. Registry names use
+/// '.'-separated segments and '-' inside words; both map to '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "aqe_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(snapshot.counters.size() * 64 +
+              snapshot.histograms.size() * 512 + 1024);
+  for (const auto& [name, v] : snapshot.counters) {
+    const std::string n = PrometheusName(name);
+    Append(out, "# TYPE %s counter\n%s %llu\n", n.c_str(), n.c_str(),
+           static_cast<unsigned long long>(v));
+  }
+  for (const auto& [name, v] : snapshot.gauges) {
+    const std::string n = PrometheusName(name);
+    Append(out, "# TYPE %s gauge\n%s %lld\n", n.c_str(), n.c_str(),
+           static_cast<long long>(v));
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string n = PrometheusName(name);
+    Append(out, "# TYPE %s histogram\n", n.c_str());
+    uint64_t cum = 0;
+    for (const auto& [upper, count] : h.buckets) {
+      cum += count;
+      Append(out, "%s_bucket{le=\"%llu\"} %llu\n", n.c_str(),
+             static_cast<unsigned long long>(upper),
+             static_cast<unsigned long long>(cum));
+    }
+    Append(out, "%s_bucket{le=\"+Inf\"} %llu\n", n.c_str(),
+           static_cast<unsigned long long>(h.count));
+    Append(out, "%s_sum %llu\n", n.c_str(),
+           static_cast<unsigned long long>(h.sum));
+    Append(out, "%s_count %llu\n", n.c_str(),
+           static_cast<unsigned long long>(h.count));
+  }
   return out;
 }
 

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "obs/metrics.h"
 #include "obs/tracer.h"
 
 namespace aqe {
@@ -21,6 +22,13 @@ std::string ChromeTraceJson(const TraceSnapshot& snapshot);
 /// retired TraceRecorder::Render so goldens and eyeballs carry over.
 std::string RenderTextTrace(const TraceSnapshot& snapshot, int num_lanes,
                             int width = 100);
+
+/// Renders a MetricsSnapshot in Prometheus text exposition format
+/// (version 0.0.4): counters and gauges as single samples, histograms as
+/// cumulative `_bucket{le="..."}` series plus `_sum`/`_count`. Metric
+/// names are sanitized ('.'/'-' -> '_') and prefixed `aqe_`; the stats
+/// server serves this at GET /metrics.
+std::string PrometheusText(const MetricsSnapshot& snapshot);
 
 }  // namespace aqe
 

@@ -57,6 +57,11 @@ HistogramSnapshot Histogram::Snapshot() const {
   snap.sum = sum_.load(std::memory_order_relaxed);
   snap.max = max_.load(std::memory_order_relaxed);
   if (total == 0) return snap;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (buckets[b] != 0) {
+      snap.buckets.emplace_back(BucketUpperBound(b), buckets[b]);
+    }
+  }
 
   // Percentiles by linear interpolation inside the log-linear bucket that
   // crosses the target rank; the top percentile clamps to the exact max.
@@ -131,13 +136,24 @@ std::string MetricsSnapshot::ToJson() const {
     std::snprintf(
         buf, sizeof(buf),
         "%s\"%s\":{\"count\":%llu,\"sum\":%llu,\"max\":%llu,"
-        "\"mean\":%.3f,\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f}",
+        "\"mean\":%.3f,\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f,"
+        "\"buckets\":[",
         first ? "" : ",", name.c_str(),
         static_cast<unsigned long long>(h.count),
         static_cast<unsigned long long>(h.sum),
         static_cast<unsigned long long>(h.max), h.mean(), h.p50, h.p95,
         h.p99);
     out += buf;
+    bool first_bucket = true;
+    for (const auto& [upper, n] : h.buckets) {
+      std::snprintf(buf, sizeof(buf), "%s[%llu,%llu]",
+                    first_bucket ? "" : ",",
+                    static_cast<unsigned long long>(upper),
+                    static_cast<unsigned long long>(n));
+      out += buf;
+      first_bucket = false;
+    }
+    out += "]}";
     first = false;
   }
   out += "}}";

@@ -37,7 +37,9 @@ class Gauge {
 };
 
 /// What a histogram reports: percentiles interpolated from the log-linear
-/// buckets (no samples stored), plus exact count/sum/max.
+/// buckets (no samples stored), plus exact count/sum/max and the non-empty
+/// buckets themselves (ascending upper bound, per-bucket count — the
+/// Prometheus exposition and ToJson serialize these).
 struct HistogramSnapshot {
   uint64_t count = 0;
   uint64_t sum = 0;
@@ -45,6 +47,9 @@ struct HistogramSnapshot {
   double p50 = 0;
   double p95 = 0;
   double p99 = 0;
+  /// (exclusive upper bound, count) for every bucket with count > 0,
+  /// ascending. Counts sum to `count`.
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;
 
   double mean() const {
     return count == 0 ? 0 : static_cast<double>(sum) / static_cast<double>(count);

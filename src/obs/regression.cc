@@ -1,0 +1,112 @@
+#include "obs/regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/timer.h"
+
+namespace aqe {
+
+namespace {
+constexpr double kEwmaAlpha = 0.3;  ///< matches the cache's service EWMA
+}  // namespace
+
+const char* AnomalyCauseName(AnomalyCause cause) {
+  switch (cause) {
+    case AnomalyCause::kCacheEvicted: return "cache-evicted";
+    case AnomalyCause::kModeRegressed: return "mode-regressed";
+    case AnomalyCause::kQueueWait: return "queue-wait";
+    default: return "unknown";
+  }
+}
+
+RegressionTracker::RegressionTracker(double deviation_factor)
+    : factor_(deviation_factor) {}
+
+bool RegressionTracker::Observe(const Observation& obs,
+                                AnomalyRecord* anomaly) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Tracked& t = tracked_[obs.fingerprint];
+
+  bool flagged = false;
+  AnomalyRecord rec;
+  if (t.runs >= kMinRuns) {
+    // Deviation test against the *pre-update* baseline: a factor over the
+    // EWMA (relative) and a multiple of the MAD estimate (absolute guard
+    // so microsecond-scale noise on fast plans never alerts).
+    const double dev = obs.service_ms - t.ewma_ms;
+    const double guard = 4.0 * std::max(t.mad_ms, kMadFloorMs);
+    if (obs.service_ms > factor_ * t.ewma_ms && dev > guard) {
+      flagged = true;
+      rec.fingerprint = obs.fingerprint;
+      rec.query_id = obs.query_id;
+      rec.nanos = MonotonicNanos();
+      rec.expected_ms = t.ewma_ms;
+      rec.observed_ms = obs.service_ms;
+      rec.queue_wait_ms = obs.queue_wait_ms;
+      rec.plan_name = obs.plan_name;
+      if (t.evicted_since_last) {
+        rec.cause = AnomalyCause::kCacheEvicted;
+      } else if (obs.final_mode < t.best_mode) {
+        rec.cause = AnomalyCause::kModeRegressed;
+      } else if (obs.queue_wait_ms > obs.service_ms) {
+        rec.cause = AnomalyCause::kQueueWait;
+      } else {
+        rec.cause = AnomalyCause::kUnknown;
+      }
+    }
+  }
+
+  // Fold the sample in (anomalous ones too: a persistent shift converges
+  // to the new normal instead of alerting on every run).
+  if (t.runs == 0) {
+    t.ewma_ms = obs.service_ms;
+  } else {
+    const double abs_dev = std::fabs(obs.service_ms - t.ewma_ms);
+    t.mad_ms = t.runs == 1
+                   ? abs_dev
+                   : kEwmaAlpha * abs_dev + (1 - kEwmaAlpha) * t.mad_ms;
+    t.ewma_ms =
+        kEwmaAlpha * obs.service_ms + (1 - kEwmaAlpha) * t.ewma_ms;
+  }
+  ++t.runs;
+  t.best_mode = std::max(t.best_mode, obs.final_mode);
+  t.evicted_since_last = false;  // consumed by this run's cause probe
+
+  if (flagged) {
+    ++anomaly_count_;
+    recent_.push_back(rec);
+    if (recent_.size() > kRecentAnomalies) recent_.pop_front();
+    if (anomaly != nullptr) *anomaly = std::move(rec);
+  }
+  return flagged;
+}
+
+void RegressionTracker::MarkEvicted(uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tracked_.find(fingerprint);
+  if (it != tracked_.end()) it->second.evicted_since_last = true;
+}
+
+std::vector<AnomalyRecord> RegressionTracker::RecentAnomalies() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {recent_.begin(), recent_.end()};
+}
+
+uint64_t RegressionTracker::anomaly_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return anomaly_count_;
+}
+
+void RegressionTracker::set_deviation_factor(double factor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  factor_ = factor;
+}
+
+void RegressionTracker::ResetAnomalies() {
+  std::lock_guard<std::mutex> lock(mu_);
+  recent_.clear();
+  anomaly_count_ = 0;
+}
+
+}  // namespace aqe

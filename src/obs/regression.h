@@ -1,0 +1,109 @@
+#ifndef AQE_OBS_REGRESSION_H_
+#define AQE_OBS_REGRESSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/function_handle.h"
+
+namespace aqe {
+
+/// Machine-readable "why did this query template get slower" probe, in
+/// priority order (the first applicable cause wins).
+enum class AnomalyCause : uint8_t {
+  kUnknown = 0,
+  /// The artifact cache evicted this fingerprint's entry since its last
+  /// run: the slowdown is re-translation / re-compilation.
+  kCacheEvicted = 1,
+  /// The run finished in a slower ExecMode than the best this fingerprint
+  /// has reached (e.g. the adaptive controller never re-upgraded).
+  kModeRegressed = 2,
+  /// Admission/queue wait exceeded the service time itself: load, not the
+  /// plan, dominated the latency.
+  kQueueWait = 3,
+};
+
+const char* AnomalyCauseName(AnomalyCause cause);
+
+struct AnomalyRecord {
+  uint64_t fingerprint = 0;  ///< ArtifactCacheKey of the plan
+  uint32_t query_id = 0;
+  int64_t nanos = 0;  ///< MonotonicNanos at detection
+  AnomalyCause cause = AnomalyCause::kUnknown;
+  double expected_ms = 0;  ///< the fingerprint's EWMA before this run
+  double observed_ms = 0;  ///< this run's service time
+  double queue_wait_ms = 0;
+  std::string plan_name;
+};
+
+/// Per-fingerprint latency sentinel: maintains an EWMA and a MAD-style
+/// deviation estimate of service time per plan fingerprint and flags a
+/// completed run as anomalous when it deviates by a configurable factor.
+/// The cache reports evictions in (MarkEvicted) so the probe can name
+/// "your compiled variant was evicted" as the cause. All methods are
+/// thread-safe; Observe is one mutex acquisition per completed query —
+/// noise next to a query's admission bookkeeping.
+class RegressionTracker {
+ public:
+  /// What the engine reports per completed query.
+  struct Observation {
+    uint64_t fingerprint = 0;
+    uint32_t query_id = 0;
+    double service_ms = 0;
+    double queue_wait_ms = 0;
+    /// Fastest final mode across the query's pipelines this run.
+    ExecMode final_mode = ExecMode::kBytecode;
+    std::string plan_name;
+  };
+
+  static constexpr uint64_t kMinRuns = 3;       ///< runs before flagging
+  static constexpr double kMadFloorMs = 0.25;   ///< deviation guard floor
+  static constexpr size_t kRecentAnomalies = 64;
+
+  explicit RegressionTracker(double deviation_factor = 4.0);
+
+  /// Folds one completed run into the fingerprint's baseline. Returns true
+  /// (and fills `anomaly`, which may be null) when the run deviates:
+  /// service > factor x EWMA *and* beyond 4 x the MAD guard, after at
+  /// least kMinRuns prior runs. The anomalous sample still updates the
+  /// baseline, so a persistent shift becomes the new normal instead of
+  /// alerting forever.
+  bool Observe(const Observation& obs, AnomalyRecord* anomaly);
+
+  /// The artifact cache evicted this fingerprint's entry; the next
+  /// anomalous run of the fingerprint is attributed to the eviction.
+  void MarkEvicted(uint64_t fingerprint);
+
+  std::vector<AnomalyRecord> RecentAnomalies() const;
+  uint64_t anomaly_count() const;
+
+  void set_deviation_factor(double factor);
+
+  /// Clears the anomaly ring and counter. Baselines persist: they describe
+  /// the workload, not a measurement phase (phase-delta hygiene resets
+  /// counters, not state).
+  void ResetAnomalies();
+
+ private:
+  struct Tracked {
+    double ewma_ms = 0;
+    double mad_ms = 0;  ///< EWMA of |deviation| (MAD-style, same alpha)
+    uint64_t runs = 0;
+    ExecMode best_mode = ExecMode::kBytecode;
+    bool evicted_since_last = false;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Tracked> tracked_;
+  std::deque<AnomalyRecord> recent_;
+  uint64_t anomaly_count_ = 0;
+  double factor_;
+};
+
+}  // namespace aqe
+
+#endif  // AQE_OBS_REGRESSION_H_

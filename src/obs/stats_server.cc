@@ -1,0 +1,125 @@
+#include "obs/stats_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace aqe {
+
+namespace {
+
+void SendAll(int fd, const char* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; nothing to clean up
+    sent += static_cast<size_t>(n);
+  }
+}
+
+void SendResponse(int fd, const char* status, const char* content_type,
+                  const std::string& body) {
+  char header[256];
+  const int n = std::snprintf(header, sizeof(header),
+                              "HTTP/1.0 %s\r\n"
+                              "Content-Type: %s\r\n"
+                              "Content-Length: %zu\r\n"
+                              "Connection: close\r\n\r\n",
+                              status, content_type, body.size());
+  SendAll(fd, header, static_cast<size_t>(n));
+  SendAll(fd, body.data(), body.size());
+}
+
+/// Reads until the request-line is complete (first CRLF). HTTP/1.0 GETs
+/// have no body; headers past the first line are irrelevant here.
+std::string ReadRequestLine(int fd) {
+  char buf[1024];
+  std::string req;
+  while (req.find('\n') == std::string::npos && req.size() < 4096) {
+    struct pollfd pfd = {fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 2000) <= 0) break;  // stalled client: give up
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    req.append(buf, static_cast<size_t>(n));
+  }
+  const size_t eol = req.find_first_of("\r\n");
+  return eol == std::string::npos ? req : req.substr(0, eol);
+}
+
+}  // namespace
+
+StatsServer::StatsServer(int port, Handlers handlers)
+    : handlers_(std::move(handlers)) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  listen_fd_ = fd;
+  thread_ = std::thread([this] { Serve(); });
+}
+
+StatsServer::~StatsServer() { Stop(); }
+
+void StatsServer::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void StatsServer::Serve() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    struct pollfd pfd = {listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);  // bounded wait: Stop() is prompt
+    if (ready <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    const std::string request = ReadRequestLine(client);
+    // "GET <path> HTTP/1.x" — anything else is a bad request.
+    std::string path;
+    if (request.rfind("GET ", 0) == 0) {
+      const size_t end = request.find(' ', 4);
+      path = request.substr(4, end == std::string::npos ? std::string::npos
+                                                        : end - 4);
+    }
+    if (path == "/metrics" && handlers_.metrics_text) {
+      SendResponse(client, "200 OK", "text/plain; version=0.0.4",
+                   handlers_.metrics_text());
+    } else if (path == "/trace.json" && handlers_.trace_json) {
+      SendResponse(client, "200 OK", "application/json",
+                   handlers_.trace_json());
+    } else if (path == "/profiles" && handlers_.profiles_json) {
+      SendResponse(client, "200 OK", "application/json",
+                   handlers_.profiles_json());
+    } else if (path.empty()) {
+      SendResponse(client, "400 Bad Request", "text/plain", "bad request\n");
+    } else {
+      SendResponse(client, "404 Not Found", "text/plain",
+                   "not found; routes: /metrics /trace.json /profiles\n");
+    }
+    ::close(client);
+  }
+}
+
+}  // namespace aqe

@@ -43,6 +43,11 @@ enum class TraceEventKind : uint8_t {
   /// excluded). payload = result rows, d0 = queue wait [s],
   /// d1 = total [s].
   kQueryDone,
+  /// Instant: the regression sentinel flagged a completed query as
+  /// anomalously slow for its plan fingerprint. payload = fingerprint
+  /// cache key, detail = AnomalyCause, d0 = expected (EWMA) service
+  /// [ms], d1 = observed service [ms], d2 = queue wait [ms].
+  kAnomaly,
 };
 
 const char* TraceEventKindName(TraceEventKind kind);

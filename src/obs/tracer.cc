@@ -18,7 +18,7 @@ size_t RingCapacityFromEnv(size_t fallback) {
 const char* kKindNames[] = {
     "none",        "admission-wait", "slice",     "morsel",
     "pipeline",    "mode-switch",    "compile",   "cache-hit",
-    "cache-miss",  "cache-publish",  "query",
+    "cache-miss",  "cache-publish",  "query",     "anomaly",
 };
 
 }  // namespace
@@ -92,6 +92,16 @@ uint64_t EngineTracer::total_recorded() const {
     }
   }
   return n;
+}
+
+std::vector<EngineTracer::LaneStats> EngineTracer::lane_stats() const {
+  std::vector<LaneStats> stats;
+  for (int lane = 0; lane < kMaxLanes; ++lane) {
+    const TraceRing* ring = lanes_[lane].load(std::memory_order_acquire);
+    if (ring == nullptr || ring->recorded() == 0) continue;
+    stats.push_back({lane, ring->recorded(), ring->dropped()});
+  }
+  return stats;
 }
 
 uint64_t EngineTracer::total_dropped() const {

@@ -75,6 +75,15 @@ class EngineTracer {
   uint64_t total_recorded() const;
   uint64_t total_dropped() const;
 
+  /// Per-lane record/drop counters without copying events — cheap enough
+  /// for every ObservabilitySnapshot(). Only allocated lanes appear.
+  struct LaneStats {
+    int lane = 0;
+    uint64_t recorded = 0;
+    uint64_t dropped = 0;
+  };
+  std::vector<LaneStats> lane_stats() const;
+
  private:
   TraceRing* Lane(int lane);
 

@@ -1,7 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -10,6 +16,8 @@
 #include "engine/query_engine.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/query_profile.h"
+#include "obs/regression.h"
 #include "obs/trace_ring.h"
 #include "obs/tracer.h"
 #include "queries/tpch_queries.h"
@@ -436,6 +444,175 @@ TEST_F(ObsEngineTest, ChromeTraceExportIsWellFormedForAdaptiveRun) {
   EXPECT_NE(text.find("total:"), std::string::npos);
 }
 
+TEST(EngineTracerTest, LaneStatsReportPerLaneRecordedAndDropped) {
+  EngineTracer tracer(/*ring_capacity=*/8);
+  for (uint64_t i = 0; i < 3; ++i) tracer.Record(0, MakeEvent(i));
+  for (uint64_t i = 0; i < 20; ++i) tracer.Record(2, MakeEvent(i));
+  std::vector<EngineTracer::LaneStats> stats = tracer.lane_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].lane, 0);
+  EXPECT_EQ(stats[0].recorded, 3u);
+  EXPECT_EQ(stats[0].dropped, 0u);
+  EXPECT_EQ(stats[1].lane, 2);
+  EXPECT_EQ(stats[1].recorded, 20u);
+  EXPECT_EQ(stats[1].dropped, 12u);
+}
+
+// --- MetricsSnapshot serialization -----------------------------------------
+
+TEST(MetricsRegistryTest, ToJsonKeepsStableKeyOrderAndBuckets) {
+  MetricsRegistry reg;
+  // Registered out of order on purpose: snapshots iterate the registry's
+  // ordered map, so serialization order is name order, not insert order.
+  reg.GetCounter("zz.last")->Add(1);
+  reg.GetCounter("aa.first")->Add(2);
+  reg.GetCounter("mm.middle")->Add(3);
+  Histogram* h = reg.GetHistogram("t.h");
+  h->Record(1);
+  h->Record(1);
+  h->Record(2);
+  h->Record(100);
+
+  MetricsSnapshot snap = reg.Snapshot();
+  const std::string json = snap.ToJson();
+  const size_t a = json.find("\"aa.first\":2");
+  const size_t m = json.find("\"mm.middle\":3");
+  const size_t z = json.find("\"zz.last\":1");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(m, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a, m);
+  EXPECT_LT(m, z);
+  // Same input, same output: the loader in ci/check_perf_floors.py relies
+  // on deterministic serialization.
+  EXPECT_EQ(json, reg.Snapshot().ToJson());
+
+  // Bucket serialization: (exclusive upper bound, count) pairs, ascending,
+  // only non-empty buckets, counts summing to the histogram count.
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSnapshot& hs = snap.histograms[0].second;
+  ASSERT_EQ(hs.buckets.size(), 3u);
+  EXPECT_EQ(hs.buckets[0], (std::pair<uint64_t, uint64_t>{2, 2}));
+  EXPECT_EQ(hs.buckets[1], (std::pair<uint64_t, uint64_t>{3, 1}));
+  const uint64_t upper100 =
+      Histogram::BucketUpperBound(Histogram::BucketIndex(100));
+  EXPECT_EQ(hs.buckets[2],
+            (std::pair<uint64_t, uint64_t>{upper100, 1}));
+  uint64_t in_buckets = 0;
+  for (const auto& [upper, n] : hs.buckets) in_buckets += n;
+  EXPECT_EQ(in_buckets, hs.count);
+  const std::string expect_buckets =
+      "\"buckets\":[[2,2],[3,1],[" + std::to_string(upper100) + ",1]]";
+  EXPECT_NE(json.find(expect_buckets), std::string::npos) << json;
+}
+
+TEST(PrometheusTextTest, RendersCountersGaugesAndCumulativeHistograms) {
+  MetricsRegistry reg;
+  reg.GetCounter("engine.queries_completed")->Add(7);
+  reg.GetGauge("cache.bytes")->Set(-3);
+  Histogram* h = reg.GetHistogram("exec_latency.us.class0");
+  h->Record(1);
+  h->Record(1);
+  h->Record(5);
+
+  const std::string text = PrometheusText(reg.Snapshot());
+  EXPECT_NE(text.find("# TYPE aqe_engine_queries_completed counter\n"
+                      "aqe_engine_queries_completed 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE aqe_cache_bytes gauge\naqe_cache_bytes -3\n"),
+            std::string::npos);
+  // Dots sanitize to underscores; buckets are cumulative and close with
+  // +Inf == count, then _sum and _count.
+  EXPECT_NE(text.find("# TYPE aqe_exec_latency_us_class0 histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aqe_exec_latency_us_class0_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aqe_exec_latency_us_class0_bucket{le=\"6\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aqe_exec_latency_us_class0_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aqe_exec_latency_us_class0_sum 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aqe_exec_latency_us_class0_count 3\n"),
+            std::string::npos);
+}
+
+// --- RegressionTracker -----------------------------------------------------
+
+RegressionTracker::Observation MakeObs(uint64_t fp, double service_ms,
+                                       double queue_ms = 0,
+                                       ExecMode mode = ExecMode::kBytecode) {
+  RegressionTracker::Observation o;
+  o.fingerprint = fp;
+  o.query_id = 1;
+  o.service_ms = service_ms;
+  o.queue_wait_ms = queue_ms;
+  o.final_mode = mode;
+  o.plan_name = "plan";
+  return o;
+}
+
+TEST(RegressionTrackerTest, StaysSilentBeforeMinRunsAndOnStableLatency) {
+  RegressionTracker tracker;
+  // A huge second run must not alert: the baseline has no support yet.
+  EXPECT_FALSE(tracker.Observe(MakeObs(1, 10.0), nullptr));
+  EXPECT_FALSE(tracker.Observe(MakeObs(1, 1000.0), nullptr));
+  // Stable latency never alerts regardless of run count.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(tracker.Observe(MakeObs(2, 10.0), nullptr)) << "run " << i;
+  }
+  EXPECT_EQ(tracker.anomaly_count(), 0u);
+}
+
+TEST(RegressionTrackerTest, FlagsDeviationAndNamesCauses) {
+  RegressionTracker tracker;  // default factor 4.0
+  // kUnknown: slow run with no probe evidence.
+  for (int i = 0; i < 5; ++i) ASSERT_FALSE(tracker.Observe(MakeObs(1, 10.0), nullptr));
+  AnomalyRecord rec;
+  ASSERT_TRUE(tracker.Observe(MakeObs(1, 100.0), &rec));
+  EXPECT_EQ(rec.cause, AnomalyCause::kUnknown);
+  EXPECT_NEAR(rec.expected_ms, 10.0, 1e-9);
+  EXPECT_NEAR(rec.observed_ms, 100.0, 1e-9);
+
+  // kCacheEvicted wins over every other cause.
+  tracker.MarkEvicted(1);
+  ASSERT_TRUE(tracker.Observe(MakeObs(1, 1000.0, /*queue_ms=*/5000.0), &rec));
+  EXPECT_EQ(rec.cause, AnomalyCause::kCacheEvicted);
+
+  // kModeRegressed: the fingerprint used to reach optimized code.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_FALSE(tracker.Observe(
+        MakeObs(2, 10.0, 0, ExecMode::kOptimized), nullptr));
+  }
+  ASSERT_TRUE(tracker.Observe(
+      MakeObs(2, 100.0, 0, ExecMode::kBytecode), &rec));
+  EXPECT_EQ(rec.cause, AnomalyCause::kModeRegressed);
+
+  // kQueueWait: wait dominated the latency.
+  for (int i = 0; i < 5; ++i) ASSERT_FALSE(tracker.Observe(MakeObs(3, 10.0), nullptr));
+  ASSERT_TRUE(tracker.Observe(MakeObs(3, 100.0, /*queue_ms=*/500.0), &rec));
+  EXPECT_EQ(rec.cause, AnomalyCause::kQueueWait);
+
+  EXPECT_EQ(tracker.anomaly_count(), 4u);
+  EXPECT_EQ(tracker.RecentAnomalies().size(), 4u);
+  tracker.ResetAnomalies();
+  EXPECT_EQ(tracker.anomaly_count(), 0u);
+  EXPECT_TRUE(tracker.RecentAnomalies().empty());
+
+  // Baselines survived the reset: the next slow run still alerts.
+  ASSERT_TRUE(tracker.Observe(MakeObs(3, 10000.0), &rec));
+}
+
+TEST(RegressionTrackerTest, MadFloorSuppressesMicrosecondNoise) {
+  // A plan whose EWMA sits at 50us: 4x the EWMA is only 0.2ms — below the
+  // absolute guard, so scheduler noise on fast plans never alerts.
+  RegressionTracker tracker;
+  for (int i = 0; i < 10; ++i) ASSERT_FALSE(tracker.Observe(MakeObs(1, 0.05), nullptr));
+  EXPECT_FALSE(tracker.Observe(MakeObs(1, 0.4), nullptr));
+  // Beyond the floor's 4 x 0.25ms guard it does alert.
+  EXPECT_TRUE(tracker.Observe(MakeObs(1, 5.0), nullptr));
+}
+
 TEST_F(ObsEngineTest, ConcurrentQueriesRecordSafely) {
   // Concurrent Submit stress under the obs layer: the TSan CI matrix runs
   // this test to prove slices/morsels/histograms record race-free.
@@ -460,6 +637,294 @@ TEST_F(ObsEngineTest, ConcurrentQueriesRecordSafely) {
             static_cast<uint64_t>(kClients * kPerClient));
   const std::string json = engine.ExportChromeTrace();
   EXPECT_NE(json.find("\"name\":\"slice\""), std::string::npos);
+}
+
+// --- Query profiles / EXPLAIN ANALYZE --------------------------------------
+
+TEST_F(ObsEngineTest, ProfileIsAbsentUnlessRequested) {
+  QueryEngine engine(&catalog(), 2);
+  QueryProgram q6 = BuildTpchQuery(6, catalog());
+  QueryRunResult result = engine.Run(q6);
+  EXPECT_EQ(result.profile, nullptr);
+  const std::string text = ExplainAnalyze(result);
+  EXPECT_NE(text.find("unavailable"), std::string::npos);
+}
+
+TEST_F(ObsEngineTest, ExplainAnalyzeAccountsModeTimeAndSwitchVerdicts) {
+  QueryEngine engine(&catalog(), 2);
+  // Multi-pipeline adaptive query (Q3: two builds + probe) forced through
+  // a mode switch: free modeled compilation, huge modeled speedup.
+  QueryProgram q3 = BuildTpchQuery(3, catalog());
+  QueryRunOptions options;
+  options.strategy = ExecutionStrategy::kAdaptive;
+  options.single_threaded = true;  // deterministic interval accounting
+  options.collect_profile = true;
+  options.adaptive_first_eval_seconds = 0;
+  options.cost_model.unopt_base_seconds = 0;
+  options.cost_model.unopt_per_instruction_seconds = 0;
+  options.cost_model.opt_base_seconds = 0;
+  options.cost_model.opt_per_instruction_seconds = 0;
+  options.cost_model.unopt_speedup = 1.01;
+  options.cost_model.opt_speedup = 100.0;
+  QueryRunResult result = engine.Run(q3, options);
+  ASSERT_FALSE(result.rows.empty());
+  ASSERT_NE(result.profile, nullptr);
+  const QueryProfile& prof = *result.profile;
+  EXPECT_EQ(prof.plan_name, "q3");
+  ASSERT_EQ(prof.pipelines.size(), result.pipelines.size());
+  ASSERT_GE(prof.pipelines.size(), 2u);
+  EXPECT_FALSE(prof.lossy);
+
+  // Acceptance: per-pipeline per-mode wall time plus the profile's
+  // engine-step remainder sums to the query's exec_seconds_total within
+  // 5% — the only unattributed time is morsel-loop bookkeeping between
+  // morsel spans.
+  double mode_wall_sum = 0;
+  uint64_t mode_tuples = 0;
+  for (const PipelineProfile& pp : prof.pipelines) {
+    EXPECT_FALSE(pp.modes.empty()) << pp.name;
+    for (const ModeSliceProfile& m : pp.modes) {
+      EXPECT_GT(m.morsels, 0u);
+      EXPECT_GE(m.wall_seconds, 0.0);
+      EXPECT_LE(m.wall_seconds, m.busy_seconds + 1e-9);  // union <= sum
+      mode_wall_sum += m.wall_seconds;
+      mode_tuples += m.tuples;
+    }
+  }
+  EXPECT_GT(mode_wall_sum, 0.0);
+  EXPECT_GE(prof.engine_step_seconds, 0.0);
+  EXPECT_NEAR(mode_wall_sum + prof.engine_step_seconds,
+              result.exec_seconds_total, 0.05 * result.exec_seconds_total)
+      << ExplainAnalyze(result);
+  // Every pipeline tuple went through exactly one mode's morsels.
+  uint64_t pipeline_tuples = 0;
+  for (const PipelineReport& r : result.pipelines) pipeline_tuples += r.tuples;
+  EXPECT_EQ(mode_tuples, pipeline_tuples);
+
+  // At least one mode switch with a predicted-vs-realized verdict.
+  size_t switches = 0;
+  for (const PipelineProfile& pp : prof.pipelines) {
+    for (const ModeSwitchProfile& sw : pp.switches) {
+      ++switches;
+      EXPECT_EQ(sw.target, ExecMode::kOptimized);
+      EXPECT_GT(sw.predicted_seconds, 0.0);
+      EXPECT_GT(sw.t_current_seconds, 0.0);
+      EXPECT_GT(sw.realized_seconds, 0.0);
+      EXPECT_GT(sw.r0, 0.0);
+      EXPECT_TRUE(std::isfinite(sw.error_pct()));
+    }
+  }
+  EXPECT_GE(switches, 1u);
+
+  const std::string text = ExplainAnalyze(result);
+  EXPECT_NE(text.find("EXPLAIN ANALYZE  q3"), std::string::npos);
+  EXPECT_NE(text.find("engine steps "), std::string::npos);
+  EXPECT_NE(text.find("pipeline "), std::string::npos);
+  EXPECT_NE(text.find("switch -> optimized: predicted"), std::string::npos);
+  EXPECT_NE(text.find("realized"), std::string::npos);
+  EXPECT_NE(text.find("error"), std::string::npos);
+
+  const std::string json = prof.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"plan\":\"q3\""), std::string::npos);
+  EXPECT_NE(json.find("\"pipelines\":["), std::string::npos);
+  EXPECT_NE(json.find("\"switches\":["), std::string::npos);
+}
+
+// --- Regression sentinel ---------------------------------------------------
+
+TEST_F(ObsEngineTest, SentinelFlagsCacheEvictionSlowdownAndNamesCause) {
+  QueryEngine engine(&catalog(), 2);
+  QueryProgram q3 = BuildTpchQuery(3, catalog());
+  QueryRunOptions options;
+  // Adaptive with a modeled 100x speedup, single-threaded so compilation
+  // blocks the query: the cold run pays the JIT wall time, warm runs reuse
+  // cached machine code — a forced eviction later costs an order of
+  // magnitude, far beyond any MAD guard.
+  options.strategy = ExecutionStrategy::kAdaptive;
+  options.single_threaded = true;
+  options.adaptive_first_eval_seconds = 0;
+  options.cost_model.unopt_base_seconds = 0;
+  options.cost_model.unopt_per_instruction_seconds = 0;
+  options.cost_model.opt_base_seconds = 0;
+  options.cost_model.opt_per_instruction_seconds = 0;
+  options.cost_model.unopt_speedup = 1.01;
+  options.cost_model.opt_speedup = 100.0;
+  // Enough warm runs for the MAD guard to decay past the cold first run's
+  // compile spike (the sentinel deliberately arms slowly after a cold
+  // start so one-off compiles never alert).
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_FALSE(engine.Run(q3, options).rows.empty());
+  }
+  // Warm phase is quiet at the default deviation factor.
+  EXPECT_EQ(engine.ObservabilitySnapshot().counter("engine.anomalies"), 0u);
+  EXPECT_TRUE(engine.RecentAnomalies().empty());
+
+  // Evict everything: the rerun pays codegen + translation again, which
+  // dwarfs this plan's warm bytecode service time. A loaded CI machine
+  // can jitter a warm run enough to widen the MAD guard past one rerun's
+  // deviation, so probe with retries, re-quieting the baseline with warm
+  // runs between attempts.
+  const auto saw_eviction_anomaly = [&engine] {
+    for (const AnomalyRecord& a : engine.RecentAnomalies()) {
+      if (a.cause == AnomalyCause::kCacheEvicted) return true;
+    }
+    return false;
+  };
+  engine.set_anomaly_deviation_factor(1.3);
+  for (int attempt = 0; attempt < 4 && !saw_eviction_anomaly(); ++attempt) {
+    if (attempt > 0) {
+      for (int i = 0; i < 15; ++i) {
+        ASSERT_FALSE(engine.Run(q3, options).rows.empty());
+      }
+    }
+    engine.ClearArtifactCache();
+    ASSERT_FALSE(engine.Run(q3, options).rows.empty());
+  }
+
+  bool flagged = false;
+  for (const AnomalyRecord& a : engine.RecentAnomalies()) {
+    if (a.cause != AnomalyCause::kCacheEvicted) continue;
+    flagged = true;
+    EXPECT_GT(a.observed_ms, a.expected_ms);
+    EXPECT_EQ(a.plan_name, "q3");
+  }
+  ASSERT_TRUE(flagged);
+
+  MetricsSnapshot snap = engine.ObservabilitySnapshot();
+  EXPECT_GE(snap.counter("engine.anomalies"), 1u);
+  EXPECT_GE(snap.counter("engine.anomalies.cache_evicted"), 1u);
+  EXPECT_EQ(snap.counter("engine.anomalies.mode_regressed"), 0u);
+
+  // The kAnomaly instant landed in the trace for the exporters.
+  bool traced = false;
+  for (const auto& lane : engine.tracer().Snapshot().lanes) {
+    for (const TraceEvent& e : lane.events) {
+      if (e.kind == TraceEventKind::kAnomaly &&
+          static_cast<AnomalyCause>(e.detail) ==
+              AnomalyCause::kCacheEvicted) {
+        traced = true;
+        EXPECT_GT(e.d1, e.d0);  // observed > expected
+      }
+    }
+  }
+  EXPECT_TRUE(traced);
+  EXPECT_NE(engine.ExportChromeTrace().find("\"name\":\"anomaly\""),
+            std::string::npos);
+}
+
+// --- Snapshot / reset coherence --------------------------------------------
+
+TEST_F(ObsEngineTest, SnapshotNeverObservesHalfAReset) {
+  QueryEngine engine(&catalog(), 2);
+  QueryProgram q6 = BuildTpchQuery(6, catalog());
+  constexpr uint64_t kQueries = 3;
+  for (uint64_t i = 0; i < kQueries; ++i) {
+    ASSERT_FALSE(engine.Run(q6).rows.empty());
+  }
+  // With the engine quiesced, queries_completed and cost_feedback_updates
+  // are frozen and equal. A reset zeroes both under the stats epoch lock,
+  // so every concurrent snapshot sees them equal — all-old or all-new,
+  // never a mix. The TSan CI leg runs this test.
+  std::atomic<bool> stop{false};
+  std::thread resetter([&] {
+    for (int i = 0; i < 100; ++i) engine.ResetObservabilityStats();
+    stop.store(true);
+  });
+  uint64_t snapshots = 0;
+  int64_t last_epoch = -1;
+  while (!stop.load()) {
+    MetricsSnapshot snap = engine.ObservabilitySnapshot();
+    ++snapshots;
+    const uint64_t completed = snap.counter("engine.queries_completed");
+    ASSERT_TRUE(completed == 0 || completed == kQueries) << completed;
+    ASSERT_EQ(completed, snap.counter("cache.cost_feedback_updates"));
+    ASSERT_EQ(completed, snap.counter("engine.queries_submitted"));
+    for (const auto& [name, value] : snap.gauges) {
+      if (name == "obs.epoch") {
+        ASSERT_GE(value, last_epoch);  // epochs only move forward
+        last_epoch = value;
+      }
+    }
+  }
+  resetter.join();
+  EXPECT_GT(snapshots, 0u);
+  EXPECT_EQ(engine.ObservabilitySnapshot().gauges.back().second, 100);
+}
+
+// --- Stats server ----------------------------------------------------------
+
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  ::send(fd, req.data(), req.size(), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST_F(ObsEngineTest, StatsServerServesMetricsTraceAndProfiles) {
+  QueryEngineOptions engine_options;
+  engine_options.num_threads = 2;
+  engine_options.stats_port = 0;  // ephemeral
+  QueryEngine engine(&catalog(), engine_options);
+  ASSERT_GT(engine.stats_port(), 0);
+
+  QueryProgram q6 = BuildTpchQuery(6, catalog());
+  QueryRunOptions options;
+  options.collect_profile = true;
+  ASSERT_FALSE(engine.Run(q6, options).rows.empty());
+
+  const std::string metrics = HttpGet(engine.stats_port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE aqe_engine_queries_completed counter\n"
+                         "aqe_engine_queries_completed 1\n"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("aqe_engine_exec_latency_us_class0_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("aqe_cache_bytes "), std::string::npos);
+  // Well over the 30-series bar even on one query.
+  size_t series = 0;
+  for (size_t pos = metrics.find("# TYPE"); pos != std::string::npos;
+       pos = metrics.find("# TYPE", pos + 1)) {
+    ++series;
+  }
+  EXPECT_GE(series, 30u);
+
+  const std::string trace = HttpGet(engine.stats_port(), "/trace.json");
+  EXPECT_NE(trace.find("application/json"), std::string::npos);
+  EXPECT_NE(trace.find("{\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"morsel\""), std::string::npos);
+
+  const std::string profiles = HttpGet(engine.stats_port(), "/profiles");
+  EXPECT_NE(profiles.find("application/json"), std::string::npos);
+  EXPECT_NE(profiles.find("\"profiles\":[{"), std::string::npos);
+  EXPECT_NE(profiles.find("\"plan\":\"q6\""), std::string::npos);
+  EXPECT_NE(profiles.find("\"anomalies\":[]"), std::string::npos);
+
+  const std::string missing = HttpGet(engine.stats_port(), "/nope");
+  EXPECT_NE(missing.find("404 Not Found"), std::string::npos);
+}
+
+TEST_F(ObsEngineTest, StatsServerOffByDefault) {
+  QueryEngine engine(&catalog(), 2);
+  EXPECT_EQ(engine.stats_port(), -1);
 }
 
 }  // namespace
