@@ -5,8 +5,14 @@
 //            code-range compare for prefix patterns), fuses with br_*
 //   call     per-row aqe_like_match runtime call: the call-heavy regime
 //            where compiled speedup shrinks (runtime-call-density signal)
-//   (both measured interpreted and compiled, across both VM dispatch
-//   engines, the JIT and the adaptive controller)
+//   index    the same runtime-call lowering with scan pruning enabled: the
+//            inverted token index intersects postings and only candidate
+//            morsels are ever scheduled (src/index/); the call is the
+//            residual verify. Only orders.o_comment carries a token index,
+//            so the other workloads measure the no-index fallback.
+//   (all measured interpreted and compiled, across both VM dispatch
+//   engines, the JIT and the adaptive controller; bitmap/call run with
+//   pruning disabled so their per-row numbers keep meaning full scans)
 //
 // over three workloads:
 //
@@ -59,10 +65,18 @@ const Workload kWorkloads[] = {
 };
 
 /// SELECT count(*) FROM <table> WHERE [NOT] <column> LIKE <pattern>.
+const char* PathName(LikeStrategy strategy) {
+  switch (strategy) {
+    case LikeStrategy::kBitmap: return "bitmap";
+    case LikeStrategy::kIndex: return "index";
+    default: return "call";
+  }
+}
+
 QueryProgram BuildLikeCount(const Catalog& catalog, const Workload& w,
                             LikeStrategy strategy) {
   QueryProgram q(std::string("strings_") + w.name + "_" +
-                 (strategy == LikeStrategy::kBitmap ? "bitmap" : "call"));
+                 PathName(strategy));
   const Table* table = catalog.GetTable(w.table);
   int t = q.DeclareBaseTable(w.table);
   LikeLoweringOptions options;
@@ -79,6 +93,40 @@ QueryProgram BuildLikeCount(const Catalog& catalog, const Workload& w,
   p.source_table = t;
   p.scan_columns = {table->ColumnIndex(w.column)};
   p.ops.push_back(OpFilter{std::move(predicate)});
+  SinkAgg sink;
+  sink.agg = agg;
+  sink.key = I64(0);
+  sink.items.push_back({AggKind::kCount, nullptr, false});
+  p.sink = std::move(sink);
+  q.AddPipeline(std::move(p));
+  q.AddStep([agg](QueryContext* ctx) {
+    AggHashTable merged(1, {0});
+    ctx->agg_sets[static_cast<size_t>(agg)]->MergeInto(
+        &merged, [](uint32_t, int64_t* acc, int64_t v) { *acc += v; });
+    int64_t count = 0;
+    merged.ForEach([&count](int64_t, void* payload) {
+      count = static_cast<const int64_t*>(payload)[0];
+    });
+    ctx->result.push_back({count});
+  });
+  return q;
+}
+
+/// SELECT count(*) FROM orders WHERE lo <= o_orderkey < hi. o_orderkey is
+/// appended in ascending order, so the predicate is clustered: zone maps
+/// can prune every morsel outside the key window before scheduling. This
+/// is the zone-map probe's plan (pruning off vs on on the same plan).
+QueryProgram BuildRangeCount(const Catalog& catalog, int64_t lo, int64_t hi) {
+  QueryProgram q("strings_zonemap_range");
+  const Table* table = catalog.GetTable("orders");
+  int t = q.DeclareBaseTable("orders");
+  int agg = q.DeclareAggSet(1, {0});
+  PipelineSpec p;
+  p.name = "scan orders";
+  p.source_table = t;
+  p.scan_columns = {table->ColumnIndex("o_orderkey")};
+  p.ops.push_back(
+      OpFilter{And(Ge(Slot(0), I64(lo)), Lt(Slot(0), I64(hi)))});
   SinkAgg sink;
   sink.agg = agg;
   sink.key = I64(0);
@@ -159,6 +207,8 @@ int main(int argc, char** argv) {
   // best exec-seconds per (workload, path-label, engine-label)
   int failures = 0;
   double dict_bitmap_best_ns = 0, dict_call_best_ns = 0;
+  double highcard_call_best_ns = 0, highcard_index_best_ns = 0;
+  double highcard_index_selected_fraction = 1.0;
 
   for (const Workload& w : kWorkloads) {
     const Table* table = catalog->GetTable(w.table);
@@ -166,9 +216,9 @@ int main(int argc, char** argv) {
     int64_t reference_count = -1;
 
     for (LikeStrategy strategy :
-         {LikeStrategy::kBitmap, LikeStrategy::kRuntimeCall}) {
-      const char* path =
-          strategy == LikeStrategy::kBitmap ? "bitmap" : "call";
+         {LikeStrategy::kBitmap, LikeStrategy::kRuntimeCall,
+          LikeStrategy::kIndex}) {
+      const char* path = PathName(strategy);
 
       // Runtime-call density of this plan's scan pipeline (cost-model
       // input; ~0 on the bitmap path).
@@ -182,12 +232,16 @@ int main(int argc, char** argv) {
         double best_exec = 0;
         int64_t matches = -1;
         ExecMode final_mode = ExecMode::kBytecode;
+        double selected_fraction = 1.0;
         for (int r = -1; r < repeats; ++r) {  // r == -1: untimed warmup
           QueryProgram q = BuildLikeCount(*catalog, w, strategy);
           QueryRunOptions options;
           options.engine = config.engine;
           options.strategy = config.strategy;
           options.vm_dispatch = config.vm_dispatch;
+          // Only the index path runs with scan pruning: bitmap/call keep
+          // full scans so their per-row numbers stay comparable across PRs.
+          options.scan_pruning = strategy == LikeStrategy::kIndex;
           // Whole pipeline on one thread (the paper's latency setup):
           // per-row costs aren't blurred by morsel scheduling, which
           // matters for the sub-ms bitmap-path runs the smoke asserts on.
@@ -198,6 +252,9 @@ int main(int argc, char** argv) {
           matches = result.rows.at(0).at(0);
           for (const PipelineReport& p : result.pipelines) {
             final_mode = p.final_mode;
+            if (p.pruning.analyzed) {
+              selected_fraction = p.pruning.selected_fraction();
+            }
           }
         }
         if (reference_count < 0) reference_count = matches;
@@ -222,18 +279,28 @@ int main(int argc, char** argv) {
             "\"workload\":\"%s\","
             "\"path\":\"%s\",\"engine\":\"%s\",\"rows\":%.0f,"
             "\"matches\":%lld,\"ns_per_row\":%.3f,"
-            "\"runtime_call_fraction\":%.4f,\"final_mode\":\"%s\"}",
+            "\"runtime_call_fraction\":%.4f,\"selected_fraction\":%.4f,"
+            "\"final_mode\":\"%s\"}",
             sf, simd, w.name, path, config.label, rows,
             static_cast<long long>(matches), ns_per_row, call_fraction,
-            compiled ? ExecModeName(final_mode) : "-");
+            selected_fraction, compiled ? ExecModeName(final_mode) : "-");
         EmitJson(line, json_out);
 
         if (std::strcmp(w.name, "dict") == 0 &&
             std::strcmp(config.label, "jit-opt") == 0) {
           if (strategy == LikeStrategy::kBitmap) {
             dict_bitmap_best_ns = ns_per_row;
-          } else {
+          } else if (strategy == LikeStrategy::kRuntimeCall) {
             dict_call_best_ns = ns_per_row;
+          }
+        }
+        if (std::strcmp(w.name, "highcard") == 0 &&
+            std::strcmp(config.label, "jit-opt") == 0) {
+          if (strategy == LikeStrategy::kRuntimeCall) {
+            highcard_call_best_ns = ns_per_row;
+          } else if (strategy == LikeStrategy::kIndex) {
+            highcard_index_best_ns = ns_per_row;
+            highcard_index_selected_fraction = selected_fraction;
           }
         }
       }
@@ -298,24 +365,116 @@ int main(int argc, char** argv) {
                 probe_kernel_speedup);
   }
 
+  // --- zone-map probe: clustered range scan, pruning off vs on --------------
+  // o_orderkey is appended in ascending order, so a 10%-of-rows key window
+  // is clustered: zone maps should keep only the morsels overlapping the
+  // window and never schedule the rest. Same plan, pruning toggled, so the
+  // ratio is purely scan work saved (plus the differential count check).
+  double zonemap_selected_fraction = 1.0;
+  double zonemap_full_ns = 0, zonemap_pruned_ns = 0;
+  {
+    const Table* orders = catalog->GetTable("orders");
+    const uint64_t orows = orders->num_rows();
+    const Column& okey = orders->column("o_orderkey");
+    const int64_t lo = okey.GetI64(orows * 45 / 100);
+    const int64_t hi = okey.GetI64(orows * 55 / 100);
+    int64_t reference_count = -1;
+    for (const bool pruning : {false, true}) {
+      double best_exec = 0;
+      int64_t count = -1;
+      double selected_fraction = 1.0;
+      for (int r = -1; r < repeats; ++r) {  // r == -1: untimed warmup
+        QueryProgram q = BuildRangeCount(*catalog, lo, hi);
+        QueryRunOptions options;
+        options.engine = EngineKind::kCompiled;
+        options.strategy = ExecutionStrategy::kBytecode;
+        options.scan_pruning = pruning;
+        options.single_threaded = true;
+        QueryRunResult result = engine.Run(q, options);
+        const double exec = bench::ExecOnlySeconds(result);
+        if (r <= 0 || exec < best_exec) best_exec = exec;
+        count = result.rows.at(0).at(0);
+        for (const PipelineReport& p : result.pipelines) {
+          if (p.pruning.analyzed) {
+            selected_fraction = p.pruning.selected_fraction();
+          }
+        }
+      }
+      if (reference_count < 0) reference_count = count;
+      if (count != reference_count) {
+        std::fprintf(stderr,
+                     "DIFFERENTIAL FAIL: zonemap pruned count %lld != full "
+                     "scan %lld\n",
+                     static_cast<long long>(count),
+                     static_cast<long long>(reference_count));
+        ++failures;
+      }
+      const double ns_per_row = best_exec / static_cast<double>(orows) * 1e9;
+      if (pruning) {
+        zonemap_pruned_ns = ns_per_row;
+        zonemap_selected_fraction = selected_fraction;
+      } else {
+        zonemap_full_ns = ns_per_row;
+      }
+      std::printf("%-9s %-7s %-11s %12llu %10lld %9.2f -\n", "zonemap",
+                  pruning ? "pruned" : "full", "vm-switch",
+                  static_cast<unsigned long long>(orows),
+                  static_cast<long long>(count), ns_per_row);
+      char zline[384];
+      std::snprintf(
+          zline, sizeof(zline),
+          "{\"bench\":\"string_predicates\",\"sf\":%g,\"simd\":\"%s\","
+          "\"workload\":\"zonemap\",\"path\":\"%s\",\"engine\":\"vm-switch\","
+          "\"rows\":%llu,\"matches\":%lld,\"ns_per_row\":%.3f,"
+          "\"selected_fraction\":%.4f}",
+          sf, simd, pruning ? "pruned" : "full",
+          static_cast<unsigned long long>(orows),
+          static_cast<long long>(count), ns_per_row, selected_fraction);
+      EmitJson(zline, json_out);
+    }
+  }
+
   const double bitmap_advantage =
       dict_bitmap_best_ns > 0 ? dict_call_best_ns / dict_bitmap_best_ns : 0;
-  char line[320];
+  const double index_advantage =
+      highcard_index_best_ns > 0 ? highcard_call_best_ns / highcard_index_best_ns
+                                 : 0;
+  const double zonemap_advantage =
+      zonemap_pruned_ns > 0 ? zonemap_full_ns / zonemap_pruned_ns : 0;
+  char line[640];
   std::snprintf(line, sizeof(line),
                 "{\"bench\":\"string_predicates\",\"summary\":{"
                 "\"simd\":\"%s\","
                 "\"dict_bitmap_ns_per_row\":%.3f,"
                 "\"dict_call_ns_per_row\":%.3f,"
                 "\"bitmap_over_call\":%.2f,"
+                "\"highcard_index_ns_per_row\":%.3f,"
+                "\"highcard_call_ns_per_row\":%.3f,"
+                "\"index_over_call\":%.2f,"
+                "\"highcard_selected_fraction\":%.4f,"
+                "\"zonemap_selected_fraction\":%.4f,"
+                "\"zonemap_speedup\":%.2f,"
                 "\"probe_kernel_speedup\":%.2f}}",
                 simd, dict_bitmap_best_ns, dict_call_best_ns,
-                bitmap_advantage, probe_kernel_speedup);
+                bitmap_advantage, highcard_index_best_ns,
+                highcard_call_best_ns, index_advantage,
+                highcard_index_selected_fraction, zonemap_selected_fraction,
+                zonemap_advantage, probe_kernel_speedup);
   EmitJson(line, json_out);
   if (json_out != nullptr) std::fclose(json_out);
 
   std::printf("\ndictionary workload, jit-opt: bitmap %.2f ns/row vs call "
               "%.2f ns/row -> %.1fx\n",
               dict_bitmap_best_ns, dict_call_best_ns, bitmap_advantage);
+  std::printf("highcard workload, jit-opt: index %.2f ns/row (%.1f%% of rows "
+              "scheduled) vs call %.2f ns/row -> %.1fx\n",
+              highcard_index_best_ns,
+              highcard_index_selected_fraction * 100, highcard_call_best_ns,
+              index_advantage);
+  std::printf("zonemap range scan: pruned %.2f ns/row (%.1f%% of rows "
+              "scheduled) vs full %.2f ns/row -> %.1fx\n",
+              zonemap_pruned_ns, zonemap_selected_fraction * 100,
+              zonemap_full_ns, zonemap_advantage);
 
   if (smoke) {
     // Acceptance: the pre-evaluated bitmap probe must beat the per-row
@@ -327,10 +486,30 @@ int main(int argc, char** argv) {
                    bitmap_advantage);
       ++failures;
     }
+    // Acceptance (src/index/): the inverted-index access path must beat
+    // the full-scan runtime-call path >= 10x per input row on the highcard
+    // contains workload, and the clustered zone-map range scan must
+    // schedule < 20% of the table's rows.
+    if (index_advantage < 10.0) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: index path only %.2fx the runtime-call "
+                   "path on highcard (need >= 10x)\n",
+                   index_advantage);
+      ++failures;
+    }
+    if (zonemap_selected_fraction >= 0.2) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: zone-map range scan scheduled %.1f%% of "
+                   "rows (need < 20%%)\n",
+                   zonemap_selected_fraction * 100);
+      ++failures;
+    }
     if (failures == 0) {
       std::printf("smoke assertions passed: engines agree, bitmap %.1fx "
-                  ">= 3x call path\n",
-                  bitmap_advantage);
+                  ">= 3x call path, index %.1fx >= 10x call path, zonemap "
+                  "scheduled %.1f%% < 20%%\n",
+                  bitmap_advantage, index_advantage,
+                  zonemap_selected_fraction * 100);
     }
   }
   // Engine disagreement is a correctness failure in any mode; the perf

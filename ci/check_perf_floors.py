@@ -83,9 +83,8 @@ def check_micro(build, rules, failures):
             failures.append(f"micro_vm_dispatch {key}: {got:.2f} < {want}")
 
 
-def check_strings_simd(build, rules, probe, failures):
+def check_strings_simd(build, simd, rules, probe, failures):
     bench = os.path.join("bench", "string_predicates")
-    simd = run_json_lines([bench, "--smoke"], cwd=build)
     if simd and simd[0].get("simd") == "scalar":
         print("  [skip] string_predicates: no SIMD tier on this CPU")
         return
@@ -113,6 +112,32 @@ def check_strings_simd(build, rules, probe, failures):
               f"(floor {want})")
         if got < want:
             failures.append(f"string_predicates {key}: {got:.2f} < {want}")
+
+
+def check_strings_index(simd, rules, failures):
+    """Index access-path floors (src/index/): within-run ratios from the
+    default string_predicates run's summary record. Unlike the SIMD floors
+    these hold on any CPU — pruning is a scheduling decision, not a kernel
+    tier — so there is no scalar-host skip."""
+    summary = next((r["summary"] for r in simd if "summary" in r), {})
+    checks = [
+        ("index_over_call", summary.get("index_over_call", 0.0),
+         rules["min_index_over_call"], True),
+        ("zonemap_selected_fraction",
+         summary.get("zonemap_selected_fraction", 1.0),
+         rules["max_zonemap_selected_fraction"], False),
+        ("zonemap_speedup", summary.get("zonemap_speedup", 0.0),
+         rules["min_zonemap_speedup"], True),
+    ]
+    for name, got, bound, is_floor in checks:
+        ok = got >= bound if is_floor else got < bound
+        status = "ok" if ok else "FAIL"
+        rel = "floor" if is_floor else "ceiling"
+        print(f"  [{status}] string_predicates index {name}: "
+              f"{got:.2f} ({rel} {bound})")
+        if not ok:
+            failures.append(
+                f"string_predicates index {name}: {got:.2f} vs {rel} {bound}")
 
 
 def load_metrics_snapshot(path):
@@ -182,9 +207,16 @@ def main():
     failures = []
     print("perf gate: micro_vm_dispatch ratios")
     check_micro(build, floors["micro_vm_dispatch"], failures)
+    # One default-mode string_predicates run feeds both the SIMD-vs-scalar
+    # ratios (which rerun it with AQE_SIMD=scalar for the comparison) and
+    # the index access-path floors (pure within-run summary ratios).
+    strings = run_json_lines(
+        [os.path.join("bench", "string_predicates"), "--smoke"], cwd=build)
     print("perf gate: string_predicates SIMD-vs-scalar ratios")
-    check_strings_simd(build, floors["string_predicates_simd"],
+    check_strings_simd(build, strings, floors["string_predicates_simd"],
                        floors["string_predicates_probe_kernel"], failures)
+    print("perf gate: string_predicates index access-path ratios")
+    check_strings_index(strings, floors["string_predicates_index"], failures)
     print("perf gate: observability snapshot round-trip")
     check_observability_json(build, failures)
     if failures:

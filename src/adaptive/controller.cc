@@ -37,6 +37,11 @@ struct PipelineExecState {
   PipelineExecState(uint64_t total_tuples, int participants)
       : shards(total_tuples, participants), rates(participants) {}
 
+  /// Pruned-scan variant: shards the domain's selected rows instead of a
+  /// dense [0, total) — pruned morsels are never scheduled on any shard.
+  PipelineExecState(std::shared_ptr<const ScanDomain> domain, int participants)
+      : shards(std::move(domain), participants), rates(participants) {}
+
   ShardedMorselQueue shards;
   std::vector<SlotRate> rates;
   std::atomic<uint64_t> epoch{0};
@@ -79,27 +84,31 @@ void RecordRate(PipelineExecState& st, int slot, uint64_t tuples,
   rate.nanos.fetch_add(nanos, std::memory_order_relaxed);
 }
 
-/// Runs one claimed morsel through the current variant, with rate and
+/// Runs one claimed batch through the current variant, with rate and
 /// trace bookkeeping. `slot` is the rate slot, `thread` the trace lane.
-void ExecuteMorsel(PipelineExecState& st, const MorselRange& morsel, int slot,
+/// The batch (one range on dense scans, up to kMaxRanges fragments of a
+/// pruned domain) shares a single rate sample and trace event, so the
+/// bookkeeping cost stays per-claim, not per-fragment; the recorded rate
+/// honestly includes the inter-fragment dispatch overhead.
+void ExecuteMorsel(PipelineExecState& st, const MorselBatch& batch, int slot,
                    int thread) {
   ExecMode mode = st.handle->mode();
   int64_t t0 = MonotonicNanos();
-  st.handle->Call(st.state, morsel.begin, morsel.end);
+  for (int i = 0; i < batch.count; ++i) {
+    st.handle->Call(st.state, batch.ranges[i].begin, batch.ranges[i].end);
+  }
   int64_t t1 = MonotonicNanos();
-  RecordRate(st, slot, morsel.end - morsel.begin,
-             static_cast<uint64_t>(t1 - t0));
+  RecordRate(st, slot, batch.rows, static_cast<uint64_t>(t1 - t0));
   if (st.trace != nullptr) {
     st.trace->Record({TraceRecorder::EventKind::kMorsel, thread,
-                      st.pipeline_id, mode, t0, t1,
-                      morsel.end - morsel.begin});
+                      st.pipeline_id, mode, t0, t1, batch.rows});
   }
   if (st.obs.enabled()) {
     TraceEvent e;
     e.kind = TraceEventKind::kMorsel;
     e.start_nanos = t0;
     e.end_nanos = t1;
-    e.payload = morsel.end - morsel.begin;
+    e.payload = batch.rows;
     e.query_id = st.obs.query_id;
     e.pipeline_id = static_cast<uint16_t>(st.pipeline_id);
     e.detail = static_cast<uint8_t>(mode);
@@ -174,7 +183,7 @@ class MorselHelperTask : public Task {
     // "domain drained && active_helpers == 0" as completion, so a helper
     // between claim and call can never be missed.
     st.active_helpers.fetch_add(1, std::memory_order_seq_cst);
-    MorselRange morsel;
+    MorselBatch morsel;
     if (!st.shards.Next(slot_, &morsel)) {
       FinishSlice(st);
       return Status::kDone;
@@ -325,7 +334,7 @@ PipelineRun::~PipelineRun() {
   // and wait out in-flight claims so the owner may free handle/state/
   // bindings right after us (invariant 3). With the workers joined nothing
   // claims anew, so this returns immediately.
-  MorselRange discard;
+  MorselBatch discard;
   while (st_->shards.Next(controller_slot_, &discard)) {
   }
   int expected = kCompQueued;
@@ -358,8 +367,10 @@ void PipelineRun::Start() {
   participants_ = single_threaded_ ? 1 : (self >= 0 ? workers : workers + 1);
   controller_slot_ = single_threaded_ ? 0 : (self >= 0 ? self : workers);
 
-  st_ = std::make_shared<PipelineExecState>(task_.total_tuples,
-                                            participants_);
+  st_ = task_.domain != nullptr
+            ? std::make_shared<PipelineExecState>(task_.domain, participants_)
+            : std::make_shared<PipelineExecState>(task_.total_tuples,
+                                                  participants_);
   st_->handle = task_.handle;
   st_->state = task_.state;
   st_->trace = trace_;
@@ -429,7 +440,7 @@ Task::Status PipelineRun::RunSingleThreaded() {
   // no helpers, no yields, compiles inline.
   Start();
   const int thread = CurrentRuntimeThread();
-  MorselRange morsel;
+  MorselBatch morsel;
   while (st_->shards.Next(controller_slot_, &morsel)) {
     ExecuteMorsel(*st_, morsel, controller_slot_, thread);
     if (adaptive_) Evaluate();
@@ -439,7 +450,7 @@ Task::Status PipelineRun::RunSingleThreaded() {
 }
 
 Task::Status PipelineRun::StepMorsel() {
-  MorselRange morsel;
+  MorselBatch morsel;
   if (!st_->shards.Next(controller_slot_, &morsel)) {
     // Domain drained. Abort a compile job nobody started (it would be
     // wasted work); a running one must finish — the compile hook references
@@ -620,7 +631,12 @@ PipelineRunStats PipelineRunner::RunGang(const PipelineTask& task) {
     }
   }
 
-  MorselQueue queue(task.total_tuples);
+  auto queue_storage =
+      task.domain != nullptr
+          ? std::make_unique<MorselQueue>(task.domain, 0,
+                                          task.domain->selected())
+          : std::make_unique<MorselQueue>(task.total_tuples);
+  MorselQueue& queue = *queue_storage;
   std::vector<std::unique_ptr<PipelineExecState::SlotRate>> rates;
   for (int i = 0; i < pool_->num_threads(); ++i) {
     rates.push_back(std::make_unique<PipelineExecState::SlotRate>());
@@ -668,11 +684,14 @@ PipelineRunStats PipelineRunner::RunGang(const PipelineTask& task) {
 
   pool_->RunParallel([&](int thread) {
     PipelineExecState::SlotRate& rate = *rates[static_cast<size_t>(thread)];
-    MorselRange morsel;
+    MorselBatch morsel;
     while (queue.Next(&morsel)) {
       ExecMode mode = task.handle->mode();
       int64_t t0 = MonotonicNanos();
-      task.handle->Call(task.state, morsel.begin, morsel.end);
+      for (int i = 0; i < morsel.count; ++i) {
+        task.handle->Call(task.state, morsel.ranges[i].begin,
+                          morsel.ranges[i].end);
+      }
       int64_t t1 = MonotonicNanos();
 
       uint64_t current_epoch = epoch.load(std::memory_order_relaxed);
@@ -681,14 +700,12 @@ PipelineRunStats PipelineRunner::RunGang(const PipelineTask& task) {
         rate.nanos.store(0, std::memory_order_relaxed);
         rate.epoch.store(current_epoch, std::memory_order_relaxed);
       }
-      rate.tuples.fetch_add(morsel.end - morsel.begin,
-                            std::memory_order_relaxed);
+      rate.tuples.fetch_add(morsel.rows, std::memory_order_relaxed);
       rate.nanos.fetch_add(static_cast<uint64_t>(t1 - t0),
                            std::memory_order_relaxed);
       if (trace_ != nullptr) {
         trace_->Record({TraceRecorder::EventKind::kMorsel, thread,
-                        task.pipeline_id, mode, t0, t1,
-                        morsel.end - morsel.begin});
+                        task.pipeline_id, mode, t0, t1, morsel.rows});
       }
       // §III-C: the extrapolation is performed by a single worker thread,
       // re-evaluated after every one of its morsels.

@@ -10,6 +10,7 @@
 
 #include "adaptive/cost_model.h"
 #include "exec/function_handle.h"
+#include "exec/morsel.h"
 #include "exec/scheduler.h"
 #include "exec/trace.h"
 #include "obs/observability.h"
@@ -33,6 +34,11 @@ struct PipelineTask {
   FunctionHandle* handle = nullptr;  ///< starts in bytecode mode
   void* state = nullptr;
   uint64_t total_tuples = 0;          ///< known at pipeline start (§III-A)
+  /// Index/zone-map pruned scan domain (src/index/): when set, only the
+  /// domain's ranges are ever scheduled and `total_tuples` must equal
+  /// domain->selected(), so the §III-C extrapolation reasons over the rows
+  /// that will actually run. Null = dense scan over [0, total_tuples).
+  std::shared_ptr<const ScanDomain> domain;
   uint64_t function_instructions = 0; ///< LLVM instruction count (cost model)
   /// Fraction of per-tuple time spent in opaque runtime calls
   /// (RuntimeCallFraction over the worker's loop-body IR): discounts the

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "exec/function_handle.h"
+#include "exec/morsel.h"
+#include "index/access_path.h"
 #include "jit/jit_compiler.h"
 #include "storage/column.h"
 #include "vm/bytecode.h"
@@ -107,6 +109,31 @@ struct PipelineArtifact {
   CodeVariant* FindVariant(const std::vector<uint64_t>& constants) {
     for (CodeVariant& v : code_variants) {
       if (v.constants == constants) return &v;
+    }
+    return nullptr;
+  }
+
+  /// One cached scan-pruning decision (src/index/access_path.h). Keyed by
+  /// the pipeline's constant slice *plus* an auxiliary hash over the run's
+  /// string literals and predicate bitmaps: bytecode patch-shares across
+  /// literal variants and LIKE patterns are not constants at all, so the
+  /// constants alone under-key the pruning outcome (two runs sharing this
+  /// artifact may select very different rows).
+  struct PruningVariant {
+    std::vector<uint64_t> constants;
+    uint64_t aux_hash = 0;
+    std::shared_ptr<const ScanDomain> domain;  ///< null = full scan decided
+    PruningStats stats;
+    uint64_t last_use = 0;  ///< pruning_clock at last touch
+  };
+  static constexpr size_t kMaxPruningVariants = 4;
+  std::vector<PruningVariant> pruning_variants;
+  uint64_t pruning_clock = 0;
+
+  PruningVariant* FindPruning(const std::vector<uint64_t>& constants,
+                              uint64_t aux_hash) {
+    for (PruningVariant& v : pruning_variants) {
+      if (v.aux_hash == aux_hash && v.constants == constants) return &v;
     }
     return nullptr;
   }

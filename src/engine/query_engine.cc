@@ -67,6 +67,17 @@ struct EngineObs {
       metrics.GetCounter("engine.anomalies.queue_wait"),
   };
   Histogram* compile_us = metrics.GetHistogram("jit.compile_us");
+  // Scan pruning (src/index/): registry counters, so metrics.Reset()
+  // covers them (phase-delta hygiene) and BuildSnapshot picks them up with
+  // every other registry metric.
+  Counter* pruned_pipelines = metrics.GetCounter("index.pruned_pipelines");
+  Counter* rows_pruned = metrics.GetCounter("index.rows_pruned");
+  Counter* rows_selected = metrics.GetCounter("index.rows_selected");
+  Counter* zone_blocks_pruned = metrics.GetCounter("index.zone_blocks_pruned");
+  Counter* posting_entries = metrics.GetCounter("index.posting_entries");
+  Counter* prune_cache_hits = metrics.GetCounter("index.prune_cache_hits");
+  Counter* prune_cache_misses =
+      metrics.GetCounter("index.prune_cache_misses");
   Histogram* queue_wait_us[kNumTaskClasses];
   Histogram* exec_latency_us[kNumTaskClasses];
 
@@ -477,6 +488,27 @@ class QueryJob : public Task {
           entry_->plan_name != program.name()) {
         entry_.reset();
       }
+      if (entry_ != nullptr) {
+        // Auxiliary pruning-cache key: the fingerprint's constants alone
+        // under-key a pruning decision — bytecode patch-shares across
+        // literal variants, and LIKE patterns / predicate bitmaps are not
+        // constants at all. Hash the run's string literals and bitmap
+        // *contents* so each distinct predicate gets its own cached domain.
+        uint64_t h = 1469598103934665603ull;
+        const auto mix = [&h](const uint8_t* bytes, size_t n, uint8_t sep) {
+          for (size_t i = 0; i < n; ++i) {
+            h = (h ^ bytes[i]) * 1099511628211ull;
+          }
+          h = (h ^ sep) * 1099511628211ull;
+        };
+        for (const std::string& s : fingerprint_.string_literals) {
+          mix(reinterpret_cast<const uint8_t*>(s.data()), s.size(), 0xff);
+        }
+        for (const auto& bitmap : program.bitmaps()) {
+          mix(bitmap->data(), bitmap->size(), 0xfe);
+        }
+        pruning_aux_hash_ = h;
+      }
     }
     EstimateCost();
   }
@@ -619,6 +651,7 @@ class QueryJob : public Task {
   QueryRunOptions options_;
   std::unique_ptr<QueryContext> ctx_;
   PlanFingerprint fingerprint_;
+  uint64_t pruning_aux_hash_ = 0;  ///< literals + bitmap contents (pruning key)
   std::shared_ptr<CacheEntry> entry_;  ///< null when the cache is bypassed
   /// Keeps compiled code alive until the query finishes; pushed from
   /// compile tasks on any worker. Shared with the cache, so LRU eviction
@@ -1001,6 +1034,92 @@ void QueryJob::StartCompiledPipeline(const QueryProgram::Stage& stage,
     report.register_file_bytes = bytecode->register_file_size;
   }
 
+  // --- scan pruning: the index access-path decision (src/index/) ----------
+  // Runs against the *source table's* immutable indexes; the resulting
+  // domain restricts which morsels the PipelineRun ever schedules. The
+  // decision is cached per (fingerprint, constants, literals/bitmaps hash)
+  // in the pipeline's artifact, so warm runs skip the analysis entirely.
+  std::shared_ptr<const ScanDomain> scan_domain;
+  if (options.scan_pruning) {
+    const Table* source = program_->ResolveTable(spec.source_table, *ctx_);
+    if (source != nullptr && source->indexes() != nullptr) {
+      bool reused = false;
+      if (entry_ != nullptr) {
+        std::lock_guard<std::mutex> lock(entry_->mu);
+        PipelineArtifact& a = entry_->pipelines[p];
+        if (PipelineArtifact::PruningVariant* v =
+                a.FindPruning(my_constants, pruning_aux_hash_);
+            v != nullptr) {
+          v->last_use = ++a.pruning_clock;
+          scan_domain = v->domain;
+          report.pruning = v->stats;
+          report.pruning.analysis_seconds = 0;  // no analysis this run
+          report.pruning_cache_hit = true;
+          reused = true;
+        }
+      }
+      if (!reused) {
+        ScanPruning pruning = AnalyzeScanPruning(spec, *source);
+        report.pruning = pruning.stats;
+        scan_domain = std::move(pruning.domain);
+        if (entry_ != nullptr) {
+          std::lock_guard<std::mutex> lock(entry_->mu);
+          PipelineArtifact& a = entry_->pipelines[p];
+          if (a.FindPruning(my_constants, pruning_aux_hash_) == nullptr) {
+            if (a.pruning_variants.size() >=
+                PipelineArtifact::kMaxPruningVariants) {
+              size_t victim = 0;
+              for (size_t i = 1; i < a.pruning_variants.size(); ++i) {
+                if (a.pruning_variants[i].last_use <
+                    a.pruning_variants[victim].last_use) {
+                  victim = i;
+                }
+              }
+              a.pruning_variants.erase(a.pruning_variants.begin() +
+                                       static_cast<std::ptrdiff_t>(victim));
+            }
+            PipelineArtifact::PruningVariant v;
+            v.constants = my_constants;
+            v.aux_hash = pruning_aux_hash_;
+            v.domain = scan_domain;
+            v.stats = report.pruning;
+            v.last_use = ++a.pruning_clock;
+            a.pruning_variants.push_back(std::move(v));
+          }
+        }
+      }
+      if (report.pruning.analyzed) {
+        if (entry_ != nullptr) {
+          (reused ? obs_->prune_cache_hits : obs_->prune_cache_misses)->Add();
+        }
+        obs_->rows_selected->Add(report.pruning.selected_rows);
+        obs_->posting_entries->Add(report.pruning.posting_entries);
+        if (scan_domain != nullptr) {
+          obs_->pruned_pipelines->Add();
+          obs_->rows_pruned->Add(report.pruning.table_rows -
+                                 report.pruning.selected_rows);
+          obs_->zone_blocks_pruned->Add(report.pruning.zone_blocks_pruned);
+          // The scheduled-row count every downstream consumer reasons over
+          // (§III-C extrapolation, observed morsel stats, EXPLAIN ANALYZE).
+          report.tuples = report.pruning.selected_rows;
+        }
+        TraceEvent ev;
+        ev.start_nanos = MonotonicNanos();
+        ev.end_nanos = ev.start_nanos;
+        ev.payload = report.pruning.selected_rows;
+        ev.payload2 = report.pruning.table_rows;
+        ev.d0 = report.pruning.selected_fraction();
+        ev.d1 = report.pruning.analysis_seconds;
+        ev.d2 = static_cast<double>(report.pruning.posting_entries);
+        ev.query_id = query_id_;
+        ev.pipeline_id = static_cast<uint16_t>(p);
+        ev.kind = TraceEventKind::kScanPrune;
+        ev.detail = static_cast<uint8_t>(report.pruning.primary_path);
+        obs_->tracer.Record(worker, ev);
+      }
+    }
+  }
+
   auto ap = std::make_unique<ActivePipeline>(
       bytecode != nullptr ? &VmWorkerTrampoline : &NeverCalledWorker,
       static_cast<const void*>(bytecode.get()));
@@ -1028,6 +1147,9 @@ void QueryJob::StartCompiledPipeline(const QueryProgram::Stage& stage,
   task.pipeline_id = stage.pipeline;
   task.scheduling_class = options.query_class;
   task.obs = obs_->MakePipelineObs(query_id_);
+  // Pruned scans hand the run a restricted morsel domain; total_tuples
+  // (already report.tuples = selected rows) must match its selected count.
+  task.domain = scan_domain;
   ActivePipeline* raw_ap = ap.get();
   task.compile = [this, raw_ap, &spec](ExecMode mode) -> WorkerFn {
     // Regenerate IR (codegen is ~100x cheaper than machine-code

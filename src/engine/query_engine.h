@@ -9,6 +9,7 @@
 #include "adaptive/controller.h"
 #include "cache/artifact_cache.h"
 #include "exec/trace.h"
+#include "index/access_path.h"
 #include "obs/metrics.h"
 #include "obs/query_profile.h"
 #include "obs/regression.h"
@@ -58,6 +59,12 @@ struct QueryRunOptions {
   /// high-weight class for latency-sensitive tenants so their short
   /// queries overtake saturating low-class scans.
   int query_class = 0;
+  /// Index/zone-map scan pruning (src/index/): evaluate each compiled
+  /// pipeline's filter conjuncts against the scanned table's indexes and
+  /// schedule only the morsel ranges that can match (kCompiled only; the
+  /// baselines always full-scan, which is what the differential tests
+  /// compare against). The decision is cached per plan fingerprint.
+  bool scan_pruning = true;
   /// Build a QueryProfile (EXPLAIN ANALYZE input) from the trace rings when
   /// the query completes and attach it to the result — Submit() users get
   /// it on the future. Off by default: profiling snapshots every ring once
@@ -90,6 +97,14 @@ struct PipelineReport {
   /// §III-C compile decisions with predicted vs realized durations
   /// (adaptive runs on the task scheduler; empty otherwise).
   std::vector<ModeSwitchRecord> mode_switches;
+  /// Scan-pruning outcome (access path chosen, rows/blocks pruned,
+  /// posting-list work). `pruning.analyzed` is false when the source table
+  /// has no indexes or pruning was disabled; `tuples` above is the
+  /// *scheduled* (post-pruning) row count.
+  PruningStats pruning;
+  /// The per-fingerprint pruning decision was reused from the artifact
+  /// cache instead of re-analyzed.
+  bool pruning_cache_hit = false;
 };
 
 struct QueryRunResult {

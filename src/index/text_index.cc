@@ -1,0 +1,120 @@
+#include "index/text_index.h"
+
+#include <algorithm>
+#include <map>
+
+#include "storage/dictionary.h"
+
+namespace aqe {
+
+namespace {
+
+bool IsTokenByte(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9');
+}
+
+/// Appends the maximal alphanumeric runs of `s` to `out`.
+void Tokenize(std::string_view s, std::vector<std::string>* out) {
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && !IsTokenByte(s[i])) ++i;
+    size_t begin = i;
+    while (i < s.size() && IsTokenByte(s[i])) ++i;
+    if (i > begin) out->emplace_back(s.substr(begin, i - begin));
+  }
+}
+
+}  // namespace
+
+TokenIndex TokenIndex::Build(const Dictionary& dict) {
+  // std::map keeps tokens sorted, so the flattened layout is deterministic
+  // regardless of hash seeds. Token vocabularies are small; build time is
+  // dominated by tokenizing the distinct strings, not map overhead.
+  std::map<std::string, std::vector<int32_t>> postings;
+  std::vector<std::string> tokens;
+  for (int32_t code = 0; code < dict.size(); ++code) {
+    tokens.clear();
+    Tokenize(dict.Get(code), &tokens);
+    std::sort(tokens.begin(), tokens.end());
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+    for (const std::string& t : tokens) postings[t].push_back(code);
+  }
+  TokenIndex index;
+  index.tokens_.reserve(postings.size());
+  index.offsets_.reserve(postings.size() + 1);
+  index.offsets_.push_back(0);
+  for (auto& [token, codes] : postings) {
+    index.tokens_.push_back(token);
+    index.codes_.insert(index.codes_.end(), codes.begin(), codes.end());
+    index.offsets_.push_back(index.codes_.size());
+  }
+  return index;
+}
+
+std::vector<std::string> TokenIndex::PatternParts(std::string_view pattern) {
+  std::vector<std::string> parts;
+  std::string current;
+  auto flush = [&]() {
+    if (current.size() >= kMinSubpart) parts.push_back(current);
+    current.clear();
+  };
+  for (char c : pattern) {
+    // '%' and '_' end the literal chunk ('_' can match a separator, so a
+    // sub-part may not continue across it); separator bytes end the
+    // sub-part within a chunk.
+    if (c == '%' || c == '_' || !IsTokenByte(c)) {
+      flush();
+    } else {
+      current.push_back(c);
+    }
+  }
+  flush();
+  return parts;
+}
+
+bool TokenIndex::CandidateCodes(std::string_view pattern,
+                                std::vector<int32_t>* out,
+                                uint64_t* posting_entries_touched) const {
+  const std::vector<std::string> parts = PatternParts(pattern);
+  if (parts.empty()) return false;
+  out->clear();
+  std::vector<int32_t> part_codes;
+  std::vector<int32_t> merged;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    // Union of postings over tokens containing the sub-part: a substring
+    // scan of the (small) token vocabulary.
+    part_codes.clear();
+    for (size_t t = 0; t < tokens_.size(); ++t) {
+      if (tokens_[t].find(parts[p]) == std::string::npos) continue;
+      const size_t begin = offsets_[t], end = offsets_[t + 1];
+      part_codes.insert(part_codes.end(), codes_.begin() + begin,
+                        codes_.begin() + end);
+      if (posting_entries_touched != nullptr) {
+        *posting_entries_touched += end - begin;
+      }
+    }
+    std::sort(part_codes.begin(), part_codes.end());
+    part_codes.erase(std::unique(part_codes.begin(), part_codes.end()),
+                     part_codes.end());
+    if (p == 0) {
+      *out = part_codes;
+    } else {
+      merged.clear();
+      std::set_intersection(out->begin(), out->end(), part_codes.begin(),
+                            part_codes.end(), std::back_inserter(merged));
+      out->swap(merged);
+    }
+    if (out->empty()) break;  // conjunction already empty
+  }
+  return true;
+}
+
+uint64_t TokenIndex::approx_bytes() const {
+  uint64_t bytes = offsets_.size() * sizeof(uint64_t) +
+                   codes_.size() * sizeof(int32_t);
+  for (const std::string& t : tokens_) bytes += t.size() + sizeof(std::string);
+  return bytes;
+}
+
+}  // namespace aqe

@@ -1,0 +1,91 @@
+#include "index/zone_map.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace aqe {
+
+namespace {
+
+/// splitmix64 finalizer: cheap, well-mixed hash for the presence filter.
+uint64_t MixHash(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool ZoneMaps::PresenceMayContain(const uint64_t* words, int64_t value) {
+  const uint64_t h = MixHash(static_cast<uint64_t>(value));
+  const uint32_t bits = kPresenceWords * 64;
+  const uint32_t b0 = static_cast<uint32_t>(h) % bits;
+  const uint32_t b1 = static_cast<uint32_t>(h >> 32) % bits;
+  return (words[b0 / 64] >> (b0 % 64) & 1) && (words[b1 / 64] >> (b1 % 64) & 1);
+}
+
+ZoneMaps ZoneMaps::Build(const Table& table, uint32_t block_rows) {
+  AQE_CHECK(block_rows > 0);
+  ZoneMaps zones;
+  zones.block_rows_ = block_rows;
+  const uint64_t rows = table.num_rows();
+  zones.num_blocks_ = (rows + block_rows - 1) / block_rows;
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    if (col.type() == DataType::kF64 || rows == 0) continue;
+    ColumnZones cz;
+    cz.column = c;
+    cz.min.assign(zones.num_blocks_, std::numeric_limits<int64_t>::max());
+    cz.max.assign(zones.num_blocks_, std::numeric_limits<int64_t>::min());
+    cz.has_presence = table.has_dictionary(c);
+    if (cz.has_presence) {
+      cz.presence.assign(zones.num_blocks_ * kPresenceWords, 0);
+    }
+    const uint32_t bits = kPresenceWords * 64;
+    for (uint64_t b = 0; b < zones.num_blocks_; ++b) {
+      const uint64_t begin = b * block_rows;
+      const uint64_t end = std::min(rows, begin + block_rows);
+      int64_t lo = cz.min[b], hi = cz.max[b];
+      uint64_t* words =
+          cz.has_presence ? cz.presence.data() + b * kPresenceWords : nullptr;
+      for (uint64_t r = begin; r < end; ++r) {
+        const int64_t v = col.GetAsI64(r);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+        if (words != nullptr) {
+          const uint64_t h = MixHash(static_cast<uint64_t>(v));
+          const uint32_t b0 = static_cast<uint32_t>(h) % bits;
+          const uint32_t b1 = static_cast<uint32_t>(h >> 32) % bits;
+          words[b0 / 64] |= 1ull << (b0 % 64);
+          words[b1 / 64] |= 1ull << (b1 % 64);
+        }
+      }
+      cz.min[b] = lo;
+      cz.max[b] = hi;
+    }
+    zones.columns_.push_back(std::move(cz));
+  }
+  return zones;
+}
+
+const ZoneMaps::ColumnZones* ZoneMaps::ForColumn(int column) const {
+  for (const ColumnZones& cz : columns_) {
+    if (cz.column == column) return &cz;
+  }
+  return nullptr;
+}
+
+uint64_t ZoneMaps::approx_bytes() const {
+  uint64_t bytes = 0;
+  for (const ColumnZones& cz : columns_) {
+    bytes += cz.min.size() * sizeof(int64_t) * 2 +
+             cz.presence.size() * sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+}  // namespace aqe

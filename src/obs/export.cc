@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "exec/function_handle.h"
+#include "index/access_path.h"
 
 namespace aqe {
 
@@ -85,6 +86,15 @@ std::string EventArgs(const TraceEvent& e) {
              "\"queue_wait_ms\":%.3f,\"query\":%u}",
              static_cast<unsigned long long>(e.payload),
              static_cast<int>(e.detail), e.d0, e.d1, e.d2, e.query_id);
+      break;
+    case TraceEventKind::kScanPrune:
+      Append(args,
+             "{\"path\":\"%s\",\"selected_rows\":%llu,\"table_rows\":%llu,"
+             "\"selectivity\":%.6f,\"analysis_s\":%.6f,"
+             "\"posting_entries\":%.0f}",
+             AccessPathKindName(static_cast<AccessPathKind>(e.detail)),
+             static_cast<unsigned long long>(e.payload),
+             static_cast<unsigned long long>(e.payload2), e.d0, e.d1, e.d2);
       break;
     default:
       args = "{}";

@@ -165,6 +165,8 @@ QueryProfile BuildQueryProfile(const TraceSnapshot& snapshot,
     pp.initial_mode = report.initial_mode;
     pp.final_mode = report.final_mode;
     pp.artifact_cache_hit = report.artifact_cache_hit;
+    pp.pruning = report.pruning;
+    pp.pruning_cache_hit = report.pruning_cache_hit;
     for (uint8_t mode = 0; mode <= 2; ++mode) {
       auto it = modes.find({static_cast<uint16_t>(pp.pipeline_index), mode});
       if (it == modes.end()) continue;
@@ -217,13 +219,32 @@ std::string QueryProfile::ToJson() const {
     Append(out,
            "%s{\"name\":\"%s\",\"index\":%u,\"tuples\":%llu,"
            "\"wall_s\":%.6f,\"exec_only_s\":%.6f,\"initial_mode\":\"%s\","
-           "\"final_mode\":\"%s\",\"cache_hit\":%s,\"modes\":[",
+           "\"final_mode\":\"%s\",\"cache_hit\":%s,",
            first_p ? "" : ",", JsonEscape(pp.name).c_str(),
            pp.pipeline_index, static_cast<unsigned long long>(pp.tuples),
            pp.wall_seconds, pp.exec_only_seconds,
            ExecModeName(pp.initial_mode), ExecModeName(pp.final_mode),
            pp.artifact_cache_hit ? "true" : "false");
     first_p = false;
+    if (pp.pruning.analyzed) {
+      Append(out,
+             "\"pruning\":{\"path\":\"%s\",\"selected_rows\":%llu,"
+             "\"table_rows\":%llu,\"selected_fraction\":%.6f,"
+             "\"zone_blocks_pruned\":%llu,\"zone_blocks_total\":%llu,"
+             "\"posting_entries\":%llu,\"domain_ranges\":%llu,"
+             "\"analysis_s\":%.6f,\"cached\":%s},",
+             AccessPathKindName(pp.pruning.primary_path),
+             static_cast<unsigned long long>(pp.pruning.selected_rows),
+             static_cast<unsigned long long>(pp.pruning.table_rows),
+             pp.pruning.selected_fraction(),
+             static_cast<unsigned long long>(pp.pruning.zone_blocks_pruned),
+             static_cast<unsigned long long>(pp.pruning.zone_blocks_total),
+             static_cast<unsigned long long>(pp.pruning.posting_entries),
+             static_cast<unsigned long long>(pp.pruning.domain_ranges),
+             pp.pruning.analysis_seconds,
+             pp.pruning_cache_hit ? "true" : "false");
+    }
+    out += "\"modes\":[";
     bool first_m = true;
     for (const ModeSliceProfile& m : pp.modes) {
       Append(out,
@@ -284,6 +305,22 @@ std::string ExplainAnalyze(const QueryRunResult& result) {
            static_cast<unsigned long long>(pp.tuples),
            ExecModeName(pp.initial_mode), ExecModeName(pp.final_mode),
            pp.artifact_cache_hit ? ", cache hit" : "");
+    if (pp.pruning.analyzed) {
+      Append(out,
+             "    access path %-10s: %llu / %llu rows scheduled (%.1f%%), "
+             "%llu / %llu zone blocks pruned, %llu posting entries, "
+             "%llu ranges, analysis %.3f ms%s\n",
+             AccessPathKindName(pp.pruning.primary_path),
+             static_cast<unsigned long long>(pp.pruning.selected_rows),
+             static_cast<unsigned long long>(pp.pruning.table_rows),
+             pp.pruning.selected_fraction() * 100.0,
+             static_cast<unsigned long long>(pp.pruning.zone_blocks_pruned),
+             static_cast<unsigned long long>(pp.pruning.zone_blocks_total),
+             static_cast<unsigned long long>(pp.pruning.posting_entries),
+             static_cast<unsigned long long>(pp.pruning.domain_ranges),
+             pp.pruning.analysis_seconds * 1e3,
+             pp.pruning_cache_hit ? "  [cached decision]" : "");
+    }
     for (const ModeSliceProfile& m : pp.modes) {
       Append(out,
              "    mode %-11s: %6llu morsels, %10llu tuples, "

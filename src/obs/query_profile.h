@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "exec/function_handle.h"
+#include "index/access_path.h"
 #include "obs/tracer.h"
 
 namespace aqe {
@@ -58,6 +59,10 @@ struct PipelineProfile {
   ExecMode initial_mode = ExecMode::kBytecode;
   ExecMode final_mode = ExecMode::kBytecode;
   bool artifact_cache_hit = false;
+  /// Scan-pruning access-path decision (pruning.analyzed == false when the
+  /// source table has no indexes or pruning was disabled for the run).
+  PruningStats pruning;
+  bool pruning_cache_hit = false;  ///< decision reused, analysis skipped
   std::vector<ModeSliceProfile> modes;
   std::vector<ModeSwitchProfile> switches;
 };

@@ -48,6 +48,12 @@ enum class TraceEventKind : uint8_t {
   /// cache key, detail = AnomalyCause, d0 = expected (EWMA) service
   /// [ms], d1 = observed service [ms], d2 = queue wait [ms].
   kAnomaly,
+  /// Instant: the scan-pruning access-path decision for one pipeline
+  /// (src/index/). detail = AccessPathKind, payload = selected (scheduled)
+  /// rows, payload2 = table rows, d0 = estimated selectivity
+  /// (selected/table), d1 = analysis seconds (0 on a pruning-cache hit),
+  /// d2 = posting-list entries read.
+  kScanPrune,
 };
 
 const char* TraceEventKindName(TraceEventKind kind);

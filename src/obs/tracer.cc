@@ -19,6 +19,7 @@ const char* kKindNames[] = {
     "none",        "admission-wait", "slice",     "morsel",
     "pipeline",    "mode-switch",    "compile",   "cache-hit",
     "cache-miss",  "cache-publish",  "query",     "anomaly",
+    "scan-prune",
 };
 
 }  // namespace

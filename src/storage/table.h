@@ -11,6 +11,8 @@
 
 namespace aqe {
 
+struct TableIndexes;  // src/index/table_index.h
+
 /// An in-memory columnar table. Columns are appended at schema-definition
 /// time; rows are appended column-wise by the data generator.
 class Table {
@@ -51,11 +53,21 @@ class Table {
   /// lower to integer range compares on the code column.
   void SortDictionaries();
 
+  /// Secondary index structures (src/index/: zone maps, dictionary-code
+  /// CSR indexes, inverted token indexes), built once after bulk load and
+  /// immutable thereafter. Null until attached; scan pruning is simply
+  /// skipped for tables without indexes.
+  void set_indexes(std::shared_ptr<const TableIndexes> indexes) {
+    indexes_ = std::move(indexes);
+  }
+  const TableIndexes* indexes() const { return indexes_.get(); }
+
  private:
   std::string name_;
   std::vector<std::unique_ptr<Column>> columns_;
   std::vector<std::unique_ptr<Dictionary>> dictionaries_;  // nullptr if none
   std::unordered_map<std::string, int> column_index_;
+  std::shared_ptr<const TableIndexes> indexes_;
 };
 
 /// A named collection of tables (the "database").

@@ -1,8 +1,10 @@
 #include "strings/like_lowering.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/status.h"
+#include "index/table_index.h"
 #include "strings/string_predicate.h"
 
 namespace aqe {
@@ -50,6 +52,36 @@ LoweredLike LowerLikePredicate(QueryProgram* program, const Table& table,
       break;
   }
 
+  // Token-index consultation: estimate how much of the table the pattern's
+  // candidate rows cover. A selective pattern over an indexed column is
+  // served best by the runtime call + scan pruning (posting intersection
+  // schedules only candidate morsels; the call is the residual verify) —
+  // pre-evaluating a bitmap would pay one matcher evaluation per distinct
+  // string for rows that mostly never get scanned.
+  bool index_usable = false;
+  double index_selectivity = 1.0;
+  if ((options.strategy == LikeStrategy::kIndex ||
+       (options.strategy == LikeStrategy::kAuto && options.consult_index)) &&
+      table.indexes() != nullptr && table.num_rows() > 0) {
+    const TableIndexes& idx = *table.indexes();
+    const auto text_it = idx.text_indexes.find(column_index);
+    const auto csr_it = idx.dict_indexes.find(column_index);
+    if (text_it != idx.text_indexes.end() &&
+        csr_it != idx.dict_indexes.end()) {
+      std::vector<int32_t> candidates;
+      if (text_it->second.CandidateCodes(pattern, &candidates)) {
+        uint64_t candidate_rows = 0;
+        for (const int32_t code : candidates) {
+          candidate_rows += static_cast<uint64_t>(
+              csr_it->second.RowsEnd(code) - csr_it->second.RowsBegin(code));
+        }
+        index_usable = true;
+        index_selectivity = static_cast<double>(candidate_rows) /
+                            static_cast<double>(table.num_rows());
+      }
+    }
+  }
+
   bool bitmap = options.strategy == LikeStrategy::kBitmap;
   if (options.strategy == LikeStrategy::kAuto) {
     const auto codes = static_cast<uint64_t>(dict.size());
@@ -58,6 +90,23 @@ LoweredLike LowerLikePredicate(QueryProgram* program, const Table& table,
                  options.max_distinct_fraction);
     bitmap = codes <= options.bitmap_max_codes &&
              static_cast<double>(codes) <= max_codes;
+    if (index_usable && index_selectivity <= options.index_max_selectivity) {
+      bitmap = false;  // the index path wins; see decision rule above
+    }
+  }
+  const bool index_path =
+      options.strategy == LikeStrategy::kIndex ||
+      (options.strategy == LikeStrategy::kAuto && index_usable &&
+       index_selectivity <= options.index_max_selectivity);
+
+  if (index_path) {
+    const LikePredicate* pred =
+        program->AddLikePredicate({std::move(matcher), &dict});
+    result.expr = LikeMatch(pred, Slot(code_slot));
+    result.used_runtime_call = true;
+    result.chose_index_path = index_usable;
+    result.index_selectivity = index_selectivity;
+    return result;
   }
 
   if (bitmap) {

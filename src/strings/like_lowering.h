@@ -23,6 +23,12 @@ enum class LikeStrategy {
   /// regime where compiled speedup shrinks. What high-cardinality
   /// dictionaries get under kAuto; benches force it to measure the gap.
   kRuntimeCall,
+  /// Force the inverted-token-index access path: lower as a runtime call
+  /// (the residual verify) and rely on scan pruning to schedule only the
+  /// morsels holding candidate rows. Falls back to kRuntimeCall semantics
+  /// when the table carries no token index for the column — the expression
+  /// is identical either way; only the scan domain differs.
+  kIndex,
 };
 
 struct LikeLoweringOptions {
@@ -33,6 +39,15 @@ struct LikeLoweringOptions {
   /// table's rows (each distinct string must amortize its one evaluation
   /// over the rows that carry it).
   double max_distinct_fraction = 0.125;
+  /// kAuto consults the table's inverted token index (when one covers the
+  /// column): if the pattern's candidate rows are at most
+  /// `index_max_selectivity` of the table, the bitmap build — which must
+  /// evaluate the matcher over *every* distinct string — cannot beat
+  /// posting intersection + residual verify over the few candidate
+  /// morsels, so the lowering emits the runtime call and leaves row
+  /// selection to scan pruning (src/index/DESIGN.md has the full rule).
+  bool consult_index = true;
+  double index_max_selectivity = 0.05;
 };
 
 /// The lowered predicate plus what the lowering chose (benches and tests
@@ -41,6 +56,12 @@ struct LoweredLike {
   ExprPtr expr;  ///< Bool predicate over the code in `code_slot`
   bool used_bitmap = false;          ///< pre-evaluation path taken
   bool used_runtime_call = false;    ///< kLike runtime-call expression
+  /// The decision expects scan pruning to serve this predicate from the
+  /// token index (runtime call emitted as the residual verify only).
+  bool chose_index_path = false;
+  /// Candidate-row fraction estimated from the token index; 1.0 when the
+  /// index was not consulted or could not help.
+  double index_selectivity = 1.0;
   LikePatternClass pattern_class = LikePatternClass::kGeneral;
 };
 

@@ -6,6 +6,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "index/table_index.h"
 #include "tpch/tpch_schema.h"
 
 namespace aqe::tpch {
@@ -317,6 +318,16 @@ void GenerateTpchData(Catalog* catalog, double sf, uint64_t seed) {
   for (const char* name : {"region", "nation", "supplier", "customer", "part",
                            "partsupp", "orders", "lineitem"}) {
     catalog->GetTable(name)->SortDictionaries();
+  }
+  // Secondary indexes (zone maps, dictionary-code CSR, inverted token
+  // index) are built after the dictionaries are sorted so code order
+  // matches string order inside the index structures too. o_comment is the
+  // one free-text column queries probe with %word% patterns.
+  for (const char* name : {"region", "nation", "supplier", "customer", "part",
+                           "partsupp", "orders", "lineitem"}) {
+    TableIndexOptions options;
+    if (std::string(name) == "orders") options.text_columns = {"o_comment"};
+    AttachTableIndexes(catalog->GetTable(name), std::move(options));
   }
 }
 

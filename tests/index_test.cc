@@ -1,0 +1,610 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "exec/morsel.h"
+#include "index/access_path.h"
+#include "index/dict_index.h"
+#include "index/table_index.h"
+#include "index/text_index.h"
+#include "index/zone_map.h"
+#include "plan/expr.h"
+#include "plan/plan.h"
+#include "storage/table.h"
+#include "strings/like_lowering.h"
+#include "strings/like_pattern.h"
+
+namespace aqe {
+namespace {
+
+// ============================================================================
+// ScanDomain + morsel queues over a pruned domain
+// ============================================================================
+
+TEST(ScanDomainTest, MakeNormalizesRanges) {
+  auto d = ScanDomain::Make(
+      {{500, 700}, {100, 200}, {150, 300}, {300, 310}, {900, 900}, {950, 2000}},
+      /*table_rows=*/1000);
+  // {100,200}+{150,300}+{300,310} merge (overlap + adjacency), {900,900} is
+  // empty, {950,2000} clamps to table_rows.
+  ASSERT_EQ(d->ranges.size(), 3u);
+  EXPECT_EQ(d->ranges[0].begin, 100u);
+  EXPECT_EQ(d->ranges[0].end, 310u);
+  EXPECT_EQ(d->ranges[1].begin, 500u);
+  EXPECT_EQ(d->ranges[1].end, 700u);
+  EXPECT_EQ(d->ranges[2].begin, 950u);
+  EXPECT_EQ(d->ranges[2].end, 1000u);
+  EXPECT_EQ(d->selected(), 210u + 200u + 50u);
+  // Virtual -> range mapping at the boundaries.
+  EXPECT_EQ(d->RangeIndexFor(0), 0u);
+  EXPECT_EQ(d->RangeIndexFor(209), 0u);
+  EXPECT_EQ(d->RangeIndexFor(210), 1u);
+  EXPECT_EQ(d->RangeIndexFor(409), 1u);
+  EXPECT_EQ(d->RangeIndexFor(410), 2u);
+}
+
+TEST(ScanDomainTest, EmptyDomainSelectsNothing) {
+  auto d = ScanDomain::Make({}, 1000);
+  EXPECT_EQ(d->selected(), 0u);
+  MorselQueue queue(d, 0, 0);
+  MorselRange m;
+  EXPECT_FALSE(queue.Next(&m));
+}
+
+/// Claims every morsel and checks the union is exactly the domain: sorted,
+/// gapless within ranges, never crossing a range boundary.
+void DrainAndCheck(MorselQueue* queue, const ScanDomain& domain) {
+  std::vector<MorselRange> claimed;
+  MorselRange m;
+  while (queue->Next(&m)) claimed.push_back(m);
+  std::sort(claimed.begin(), claimed.end(),
+            [](const MorselRange& a, const MorselRange& b) {
+              return a.begin < b.begin;
+            });
+  size_t range = 0;
+  uint64_t pos = domain.ranges.empty() ? 0 : domain.ranges[0].begin;
+  uint64_t covered = 0;
+  for (const MorselRange& c : claimed) {
+    ASSERT_LT(range, domain.ranges.size());
+    ASSERT_EQ(c.begin, pos);  // gapless, no overlap
+    ASSERT_GT(c.end, c.begin);
+    // Never spans past the containing range.
+    ASSERT_LE(c.end, domain.ranges[range].end);
+    covered += c.end - c.begin;
+    pos = c.end;
+    if (pos == domain.ranges[range].end && range + 1 < domain.ranges.size()) {
+      ++range;
+      pos = domain.ranges[range].begin;
+    }
+  }
+  EXPECT_EQ(covered, domain.selected());
+}
+
+TEST(MorselQueueDomainTest, ClaimedMorselsCoverDomainExactly) {
+  auto d = ScanDomain::Make({{100, 1500}, {3000, 3010}, {10000, 20000}},
+                            /*table_rows=*/30000);
+  MorselQueue queue(d, 0, d->selected(), /*initial_size=*/128,
+                    /*max_size=*/1024, /*grow_every=*/4);
+  DrainAndCheck(&queue, *d);
+}
+
+// Batch claims must cover a fragmented domain exactly once: every batch's
+// ranges lie inside domain ranges, batches never overlap, rows sums match,
+// and one claim packs several tiny fragments (the per-claim amortization
+// the batch API exists for).
+TEST(MorselQueueDomainTest, BatchClaimsCoverFragmentedDomainExactly) {
+  // 200 islands of 3 rows every 50 rows: far smaller than the schedule.
+  std::vector<MorselRange> islands;
+  for (uint64_t i = 0; i < 200; ++i) {
+    islands.push_back({i * 50, i * 50 + 3});
+  }
+  auto d = ScanDomain::Make(std::move(islands), /*table_rows=*/10000);
+  ASSERT_EQ(d->selected(), 600u);
+  MorselQueue queue(d, 0, d->selected(), /*initial_size=*/128);
+  std::vector<char> seen(10000, 0);
+  MorselBatch batch;
+  int batches = 0;
+  while (queue.Next(&batch)) {
+    ++batches;
+    ASSERT_GT(batch.count, 0);
+    ASSERT_LE(batch.count, MorselBatch::kMaxRanges);
+    uint64_t rows = 0;
+    for (int i = 0; i < batch.count; ++i) {
+      const MorselRange& r = batch.ranges[i];
+      ASSERT_LT(r.begin, r.end);
+      rows += r.end - r.begin;
+      for (uint64_t row = r.begin; row < r.end; ++row) {
+        ASSERT_EQ(seen[row], 0) << "row " << row << " claimed twice";
+        seen[row] = 1;
+        EXPECT_EQ(row % 50 < 3, true) << "row " << row << " outside domain";
+      }
+    }
+    EXPECT_EQ(rows, batch.rows);
+  }
+  uint64_t covered = 0;
+  for (char c : seen) covered += static_cast<uint64_t>(c);
+  EXPECT_EQ(covered, d->selected());
+  // 128-row schedule windows over 3-row islands clamped at kMaxRanges=32
+  // ranges/batch: ~600/96 ≈ 7 batches, not 200 single-island claims.
+  EXPECT_LE(batches, 20);
+}
+
+TEST(MorselQueueDomainTest, ShardedDomainCoversEverythingOnce) {
+  auto d = ScanDomain::Make({{0, 100}, {5000, 5555}, {7000, 12000}},
+                            /*table_rows=*/20000);
+  ShardedMorselQueue queue(d, /*num_shards=*/4, /*initial_size=*/64);
+  EXPECT_EQ(queue.total(), d->selected());
+  std::vector<char> seen(20000, 0);
+  MorselRange m;
+  // Round-robin across shards (exercises stealing once shards drain).
+  int shard = 0;
+  while (queue.Next(shard, &m)) {
+    for (uint64_t r = m.begin; r < m.end; ++r) {
+      ASSERT_EQ(seen[r], 0) << "row " << r << " claimed twice";
+      seen[r] = 1;
+    }
+    shard = (shard + 1) % 4;
+  }
+  uint64_t covered = 0;
+  for (uint64_t r = 0; r < seen.size(); ++r) {
+    if (!seen[r]) continue;
+    ++covered;
+    bool in_domain = false;
+    for (const MorselRange& range : d->ranges) {
+      in_domain |= r >= range.begin && r < range.end;
+    }
+    ASSERT_TRUE(in_domain) << "row " << r << " outside the domain";
+  }
+  EXPECT_EQ(covered, d->selected());
+  EXPECT_EQ(queue.remaining(), 0u);
+}
+
+// ============================================================================
+// Index structures
+// ============================================================================
+
+/// Synthetic table: `id` ascending (clustered), `val` = id % 1000
+/// (uniform, unprunable), `s` a dictionary comment column where every
+/// kSpecialStride-th row says "special requests pending" and the rest cycle
+/// filler phrases. The stride exceeds AccessPathOptions::merge_gap_rows, so
+/// candidate rows stay separate ranges instead of merging into one dense
+/// scan (hits closer than the merge gap are *deliberately* not prunable).
+struct IndexedTable {
+  Catalog catalog;
+  Table* table = nullptr;
+  int id_col, val_col, s_col;
+  static constexpr uint64_t kRows = 20000;
+  static constexpr uint64_t kSpecialStride = 128;
+
+  IndexedTable() {
+    table = catalog.CreateTable("t");
+    id_col = table->AddColumn("id", DataType::kI64);
+    val_col = table->AddColumn("val", DataType::kI64);
+    s_col = table->AddColumn("s", DataType::kI32, /*dictionary=*/true);
+    Dictionary& d = table->dictionary(s_col);
+    for (uint64_t i = 0; i < kRows; ++i) {
+      table->column(id_col).AppendI64(static_cast<int64_t>(i));
+      table->column(val_col).AppendI64(static_cast<int64_t>(i % 1000));
+      table->column(s_col).AppendI32(d.GetOrAdd(MakeComment(i)));
+    }
+    table->SortDictionaries();
+    TableIndexOptions options;
+    options.text_columns = {"s"};
+    AttachTableIndexes(table, std::move(options));
+  }
+
+  static std::string MakeComment(uint64_t i) {
+    if (i % kSpecialStride == 0) {
+      return "special requests pending #" + std::to_string(i);
+    }
+    static const char* kWords[] = {"carefully", "ironic", "deposits", "boost",
+                                   "express", "accounts", "furiously"};
+    std::string s = kWords[i % 7];
+    s += ' ';
+    s += kWords[(i / 7) % 7];
+    s += " #";
+    s += std::to_string(i % 400);
+    return s;
+  }
+};
+
+TEST(ZoneMapsTest, MinMaxTracksBlocksAndPresenceFindsCodes) {
+  IndexedTable t;
+  const TableIndexes& idx = *t.table->indexes();
+  const ZoneMaps& zones = idx.zones;
+  ASSERT_GT(zones.num_blocks(), 0u);
+  const ZoneMaps::ColumnZones* id_zones = zones.ForColumn(t.id_col);
+  ASSERT_NE(id_zones, nullptr);
+  // id is ascending: block b covers [b * block_rows, ...).
+  for (uint64_t b = 0; b < zones.num_blocks(); ++b) {
+    EXPECT_EQ(id_zones->min[b],
+              static_cast<int64_t>(b * zones.block_rows()));
+    EXPECT_EQ(id_zones->max[b],
+              static_cast<int64_t>(
+                  std::min<uint64_t>(IndexedTable::kRows,
+                                     (b + 1) * zones.block_rows()) - 1));
+  }
+  // Presence filter: every code stored in block 0 must test positive there.
+  const ZoneMaps::ColumnZones* s_zones = zones.ForColumn(t.s_col);
+  ASSERT_NE(s_zones, nullptr);
+  ASSERT_TRUE(s_zones->has_presence);
+  for (uint64_t r = 0; r < zones.block_rows(); ++r) {
+    EXPECT_TRUE(ZoneMaps::PresenceMayContain(
+        s_zones->presence.data(), t.table->column(t.s_col).GetI32(r)));
+  }
+}
+
+TEST(DictCodeIndexTest, RowsGroupedByCodeAndCountsMatch) {
+  IndexedTable t;
+  const DictCodeIndex& csr = t.table->indexes()->dict_indexes.at(t.s_col);
+  EXPECT_EQ(csr.rows(), IndexedTable::kRows);
+  EXPECT_EQ(csr.num_codes(), t.table->dictionary(t.s_col).size());
+  EXPECT_EQ(csr.CountForCodeRange(0, csr.num_codes()), IndexedTable::kRows);
+  // Every row listed under a code actually stores that code, ascending.
+  for (int32_t c = 0; c < csr.num_codes(); ++c) {
+    const uint32_t* begin = csr.RowsBegin(c);
+    const uint32_t* end = csr.RowsEnd(c);
+    ASSERT_EQ(static_cast<uint64_t>(end - begin),
+              csr.CountForCodeRange(c, c + 1));
+    for (const uint32_t* p = begin; p != end; ++p) {
+      ASSERT_EQ(t.table->column(t.s_col).GetI32(*p), c);
+      if (p != begin) ASSERT_LT(*(p - 1), *p);
+    }
+  }
+  // Out-of-range code ranges clamp instead of crashing.
+  EXPECT_EQ(csr.CountForCodeRange(-5, 0), 0u);
+  EXPECT_EQ(csr.CountForCodeRange(csr.num_codes(), csr.num_codes() + 9), 0u);
+}
+
+TEST(TokenIndexTest, PatternPartsSplitsAtWildcardsAndShortParts) {
+  const auto parts = TokenIndex::PatternParts("%special requests%");
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "special");
+  EXPECT_EQ(parts[1], "requests");
+  // '_' splits chunks; 1-byte sub-parts are dropped.
+  EXPECT_EQ(TokenIndex::PatternParts("a_b%").size(), 0u);
+  EXPECT_EQ(TokenIndex::PatternParts("%%").size(), 0u);
+  EXPECT_EQ(TokenIndex::PatternParts("ab_cd").size(), 2u);
+}
+
+TEST(TokenIndexTest, CandidateCodesAreASupersetOfMatches) {
+  IndexedTable t;
+  const Dictionary& dict = t.table->dictionary(t.s_col);
+  const TokenIndex& tokens = t.table->indexes()->text_indexes.at(t.s_col);
+  for (const char* pattern :
+       {"%special requests%", "%ironic%express%", "%deposits%", "%#39%"}) {
+    std::vector<int32_t> candidates;
+    ASSERT_TRUE(tokens.CandidateCodes(pattern, &candidates)) << pattern;
+    LikeMatcher matcher = LikeMatcher::Compile(pattern);
+    for (int32_t c = 0; c < dict.size(); ++c) {
+      if (matcher.Matches(dict.Get(c))) {
+        EXPECT_TRUE(std::binary_search(candidates.begin(), candidates.end(), c))
+            << "pattern '" << pattern << "' lost match '" << dict.Get(c)
+            << "'";
+      }
+    }
+  }
+  // A pattern whose tokens exist nowhere: usable, empty candidates.
+  std::vector<int32_t> none;
+  ASSERT_TRUE(tokens.CandidateCodes("%zzyzzx qwqwq%", &none));
+  EXPECT_TRUE(none.empty());
+  // No usable sub-part: the index reports it cannot help.
+  EXPECT_FALSE(tokens.CandidateCodes("%", &none));
+  EXPECT_FALSE(tokens.CandidateCodes("_%_", &none));
+}
+
+// ============================================================================
+// Access-path analysis
+// ============================================================================
+
+PipelineSpec RangeScanSpec(const IndexedTable& t, int64_t lo, int64_t hi) {
+  PipelineSpec spec;
+  spec.name = "scan t";
+  spec.source_table = 0;
+  spec.scan_columns = {t.id_col, t.val_col};
+  spec.ops.push_back(
+      OpFilter{And(Ge(Slot(0), I64(lo)), Lt(Slot(0), I64(hi)))});
+  return spec;
+}
+
+TEST(AccessPathTest, ClusteredRangePrunesToMatchingBlocks) {
+  IndexedTable t;
+  PipelineSpec spec = RangeScanSpec(t, 5000, 6000);
+  ScanPruning pruning = AnalyzeScanPruning(spec, *t.table);
+  ASSERT_TRUE(pruning.stats.analyzed);
+  ASSERT_NE(pruning.domain, nullptr);
+  EXPECT_EQ(pruning.stats.primary_path, AccessPathKind::kZoneMap);
+  EXPECT_GT(pruning.stats.zone_blocks_pruned, 0u);
+  // Every matching row survives; the domain is block-aligned so it may
+  // include a partial block on each side.
+  for (const MorselRange& r : pruning.domain->ranges) {
+    EXPECT_LT(r.begin, 6000u + 1024);
+    EXPECT_GT(r.end, 5000u - 1024);
+  }
+  EXPECT_LE(pruning.domain->selected(), 1000u + 2 * 1024);
+  uint64_t covered = 0;
+  for (uint64_t row = 5000; row < 6000; ++row) {
+    for (const MorselRange& r : pruning.domain->ranges) {
+      if (row >= r.begin && row < r.end) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(covered, 1000u);
+}
+
+TEST(AccessPathTest, UnprunableColumnKeepsFullScan) {
+  IndexedTable t;
+  PipelineSpec spec;
+  spec.scan_columns = {t.val_col};
+  spec.ops.push_back(OpFilter{Lt(Slot(0), I64(500))});
+  ScanPruning pruning = AnalyzeScanPruning(spec, *t.table);
+  ASSERT_TRUE(pruning.stats.analyzed);
+  // val = id % 1000: every block holds [0, 999], nothing prunes.
+  EXPECT_EQ(pruning.domain, nullptr);
+  EXPECT_EQ(pruning.stats.primary_path, AccessPathKind::kFullScan);
+  EXPECT_EQ(pruning.stats.selected_rows, IndexedTable::kRows);
+}
+
+TEST(AccessPathTest, ImpossiblePredicatePrunesEverything) {
+  IndexedTable t;
+  PipelineSpec spec = RangeScanSpec(t, 10 * IndexedTable::kRows,
+                                    20 * IndexedTable::kRows);
+  ScanPruning pruning = AnalyzeScanPruning(spec, *t.table);
+  ASSERT_NE(pruning.domain, nullptr);
+  EXPECT_EQ(pruning.domain->selected(), 0u);
+  EXPECT_EQ(pruning.stats.selected_rows, 0u);
+  EXPECT_EQ(pruning.stats.zone_blocks_pruned,
+            pruning.stats.zone_blocks_total);
+}
+
+TEST(AccessPathTest, AbsentDictCodeEqualityIsEmpty) {
+  IndexedTable t;
+  // Equality with an absent string lowers to `code == -1`; clamped against
+  // the non-negative code space this is a contradiction.
+  QueryProgram q("t");
+  LoweredLike lowered = LowerLikePredicate(&q, *t.table, t.s_col,
+                                           /*code_slot=*/0, "no such string");
+  PipelineSpec spec;
+  spec.scan_columns = {t.s_col};
+  spec.ops.push_back(OpFilter{std::move(lowered.expr)});
+  ScanPruning pruning = AnalyzeScanPruning(spec, *t.table);
+  ASSERT_NE(pruning.domain, nullptr);
+  EXPECT_EQ(pruning.domain->selected(), 0u);
+}
+
+TEST(AccessPathTest, TokenIndexServesSelectiveLike) {
+  IndexedTable t;
+  QueryProgram q("t");
+  LikeLoweringOptions options;
+  options.strategy = LikeStrategy::kIndex;
+  LoweredLike lowered =
+      LowerLikePredicate(&q, *t.table, t.s_col, /*code_slot=*/0,
+                         "%special requests%", options);
+  ASSERT_TRUE(lowered.used_runtime_call);
+  EXPECT_TRUE(lowered.chose_index_path);
+  EXPECT_NEAR(lowered.index_selectivity,
+              1.0 / IndexedTable::kSpecialStride, 1e-3);
+  PipelineSpec spec;
+  spec.scan_columns = {t.s_col};
+  spec.ops.push_back(OpFilter{std::move(lowered.expr)});
+  ScanPruning pruning = AnalyzeScanPruning(spec, *t.table);
+  ASSERT_TRUE(pruning.stats.analyzed);
+  ASSERT_NE(pruning.domain, nullptr);
+  EXPECT_EQ(pruning.stats.primary_path, AccessPathKind::kTextIndex);
+  EXPECT_GT(pruning.stats.posting_entries, 0u);
+  // 1-in-kSpecialStride rows match; the scheduled domain stays well under
+  // a tenth of the table.
+  EXPECT_GE(pruning.stats.candidate_rows,
+            IndexedTable::kRows / IndexedTable::kSpecialStride);
+  EXPECT_LT(pruning.domain->selected(), IndexedTable::kRows / 10);
+}
+
+TEST(AccessPathTest, EmptyPostingListPrunesEverything) {
+  IndexedTable t;
+  QueryProgram q("t");
+  LikeLoweringOptions options;
+  options.strategy = LikeStrategy::kIndex;
+  LoweredLike lowered = LowerLikePredicate(&q, *t.table, t.s_col, 0,
+                                           "%zzyzzx qwqwq%", options);
+  PipelineSpec spec;
+  spec.scan_columns = {t.s_col};
+  spec.ops.push_back(OpFilter{std::move(lowered.expr)});
+  ScanPruning pruning = AnalyzeScanPruning(spec, *t.table);
+  ASSERT_NE(pruning.domain, nullptr);
+  EXPECT_EQ(pruning.domain->selected(), 0u);
+  EXPECT_EQ(pruning.stats.primary_path, AccessPathKind::kTextIndex);
+}
+
+TEST(AccessPathTest, BitmapPredicateUsesDictBitmapPath) {
+  IndexedTable t;
+  QueryProgram q("t");
+  LikeLoweringOptions options;
+  options.strategy = LikeStrategy::kBitmap;
+  LoweredLike lowered =
+      LowerLikePredicate(&q, *t.table, t.s_col, 0, "%special requests%",
+                         options);
+  ASSERT_TRUE(lowered.used_bitmap);
+  PipelineSpec spec;
+  spec.scan_columns = {t.s_col};
+  spec.ops.push_back(OpFilter{std::move(lowered.expr)});
+  ScanPruning pruning = AnalyzeScanPruning(spec, *t.table);
+  ASSERT_NE(pruning.domain, nullptr);
+  EXPECT_EQ(pruning.stats.primary_path, AccessPathKind::kDictBitmap);
+  EXPECT_LT(pruning.domain->selected(), IndexedTable::kRows / 10);
+}
+
+// ============================================================================
+// End-to-end differential: pruned plans equal full scans on every engine
+// ============================================================================
+
+class IndexEndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    table_ = new IndexedTable();
+    engine_ = new QueryEngine(&table_->catalog, /*num_threads=*/2);
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete table_;
+  }
+
+  /// SELECT id, val, s FROM t WHERE id in [lo, hi) AND s LIKE pattern
+  /// (either predicate optional), rows sorted.
+  static QueryProgram BuildQuery(int64_t lo, int64_t hi,
+                                 const std::string& pattern,
+                                 LikeStrategy strategy) {
+    QueryProgram q("index_query");
+    int t = q.DeclareBaseTable("t");
+    ExprPtr pred;
+    if (lo < hi) {
+      pred = And(Ge(Slot(0), I64(lo)), Lt(Slot(0), I64(hi)));
+    }
+    if (!pattern.empty()) {
+      LikeLoweringOptions options;
+      options.strategy = strategy;
+      LoweredLike lowered = LowerLikePredicate(
+          &q, *table_->table, table_->s_col, /*code_slot=*/2, pattern,
+          options);
+      pred = pred ? And(std::move(pred), std::move(lowered.expr))
+                  : std::move(lowered.expr);
+    }
+    int output = q.DeclareOutput(3);
+    PipelineSpec p;
+    p.name = "scan t";
+    p.source_table = t;
+    p.scan_columns = {table_->id_col, table_->val_col, table_->s_col};
+    if (pred) p.ops.push_back(OpFilter{std::move(pred)});
+    SinkOutput sink;
+    sink.output = output;
+    sink.values.push_back(Slot(0));
+    sink.values.push_back(Slot(1));
+    sink.values.push_back(Slot(2));
+    p.sink = std::move(sink);
+    q.AddPipeline(std::move(p));
+    q.AddStep([output](QueryContext* ctx) {
+      ctx->result = ctx->outputs[static_cast<size_t>(output)]->Rows();
+      std::sort(ctx->result.begin(), ctx->result.end());
+    });
+    return q;
+  }
+
+  static IndexedTable* table_;
+  static QueryEngine* engine_;
+};
+
+IndexedTable* IndexEndToEndTest::table_ = nullptr;
+QueryEngine* IndexEndToEndTest::engine_ = nullptr;
+
+TEST_F(IndexEndToEndTest, PrunedPlansMatchFullScansOnEveryEngine) {
+  struct Shape {
+    int64_t lo, hi;
+    const char* pattern;
+    LikeStrategy strategy;
+    const char* label;
+  };
+  const Shape shapes[] = {
+      {5000, 6000, "", LikeStrategy::kAuto, "zone range"},
+      {0, 0, "%special requests%", LikeStrategy::kIndex, "text index"},
+      {0, 0, "%special requests%", LikeStrategy::kBitmap, "dict bitmap"},
+      {0, 0, "%zzyzzx qwqwq%", LikeStrategy::kIndex, "empty postings"},
+      {0, 0, "no such string", LikeStrategy::kAuto, "absent code"},
+      {static_cast<int64_t>(10 * IndexedTable::kRows),
+       static_cast<int64_t>(20 * IndexedTable::kRows), "", LikeStrategy::kAuto,
+       "all pruned"},
+      {0, static_cast<int64_t>(IndexedTable::kRows), "", LikeStrategy::kAuto,
+       "none pruned"},
+      {3000, 9000, "%special requests%", LikeStrategy::kIndex,
+       "range + text"},
+  };
+  struct Config {
+    EngineKind engine;
+    ExecutionStrategy strategy;
+    VmDispatch vm_dispatch;
+    const char* label;
+  };
+  const Config configs[] = {
+      {EngineKind::kVolcano, ExecutionStrategy::kBytecode,
+       VmDispatch::kDefault, "volcano"},
+      {EngineKind::kVectorized, ExecutionStrategy::kBytecode,
+       VmDispatch::kDefault, "vectorized"},
+      {EngineKind::kCompiled, ExecutionStrategy::kBytecode,
+       VmDispatch::kSwitch, "vm-switch"},
+      {EngineKind::kCompiled, ExecutionStrategy::kBytecode,
+       VmDispatch::kThreaded, "vm-threaded"},
+      {EngineKind::kCompiled, ExecutionStrategy::kOptimized,
+       VmDispatch::kDefault, "jit-opt"},
+      {EngineKind::kCompiled, ExecutionStrategy::kAdaptive,
+       VmDispatch::kDefault, "adaptive"},
+  };
+  for (const Shape& shape : shapes) {
+    // Reference: compiled full scan with pruning disabled.
+    QueryProgram ref_program =
+        BuildQuery(shape.lo, shape.hi, shape.pattern, shape.strategy);
+    QueryRunOptions ref_options;
+    ref_options.strategy = ExecutionStrategy::kBytecode;
+    ref_options.scan_pruning = false;
+    auto reference = engine_->Run(ref_program, ref_options).rows;
+    for (const Config& config : configs) {
+      QueryProgram program =
+          BuildQuery(shape.lo, shape.hi, shape.pattern, shape.strategy);
+      QueryRunOptions options;
+      options.engine = config.engine;
+      options.strategy = config.strategy;
+      options.vm_dispatch = config.vm_dispatch;
+      auto rows = engine_->Run(program, options).rows;
+      EXPECT_EQ(rows, reference)
+          << shape.label << " on " << config.label;
+    }
+  }
+}
+
+TEST_F(IndexEndToEndTest, ReportsPruningAndCachesTheDecision) {
+  engine_->ClearArtifactCache();
+  QueryRunOptions options;
+  options.strategy = ExecutionStrategy::kBytecode;
+  const auto before = engine_->ObservabilitySnapshot();
+
+  QueryProgram first = BuildQuery(5000, 6000, "", LikeStrategy::kAuto);
+  QueryRunResult r1 = engine_->Run(first, options);
+  ASSERT_EQ(r1.pipelines.size(), 1u);
+  ASSERT_TRUE(r1.pipelines[0].pruning.analyzed);
+  EXPECT_FALSE(r1.pipelines[0].pruning_cache_hit);
+  EXPECT_LT(r1.pipelines[0].pruning.selected_rows, IndexedTable::kRows);
+  EXPECT_EQ(r1.pipelines[0].tuples,
+            r1.pipelines[0].pruning.selected_rows);
+
+  QueryProgram second = BuildQuery(5000, 6000, "", LikeStrategy::kAuto);
+  QueryRunResult r2 = engine_->Run(second, options);
+  ASSERT_TRUE(r2.pipelines[0].pruning.analyzed);
+  EXPECT_TRUE(r2.pipelines[0].pruning_cache_hit);
+  EXPECT_EQ(r2.pipelines[0].pruning.selected_rows,
+            r1.pipelines[0].pruning.selected_rows);
+  EXPECT_EQ(r1.rows, r2.rows);
+
+  // A different literal variant of the same fingerprint must not alias the
+  // cached decision (the constants key the pruning variant).
+  QueryProgram third = BuildQuery(15000, 16000, "", LikeStrategy::kAuto);
+  QueryRunResult r3 = engine_->Run(third, options);
+  ASSERT_TRUE(r3.pipelines[0].pruning.analyzed);
+  EXPECT_FALSE(r3.pipelines[0].pruning_cache_hit);
+
+  const auto after = engine_->ObservabilitySnapshot();
+  EXPECT_GE(after.counter("index.prune_cache_hits") -
+                before.counter("index.prune_cache_hits"),
+            1u);
+  EXPECT_GE(after.counter("index.pruned_pipelines") -
+                before.counter("index.pruned_pipelines"),
+            3u);
+  EXPECT_GT(after.counter("index.rows_pruned") -
+                before.counter("index.rows_pruned"),
+            0u);
+}
+
+}  // namespace
+}  // namespace aqe
