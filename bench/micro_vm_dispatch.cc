@@ -31,7 +31,9 @@
 #include "engine/query_engine.h"
 #include "ir/ir_module.h"
 #include "jit/jit_compiler.h"
+#include "obs/memory_tracker.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace_ring.h"
 #include "runtime/runtime_registry.h"
 #include "vm/interpreter.h"
@@ -478,6 +480,96 @@ int main(int argc, char** argv) {
                     "\"kernel\":\"profile-overhead\",\"config\":\"%s\","
                     "\"rows_per_sec\":%.6e,\"ratio_vs_unprofiled\":%.4f}",
                     name, rps, unprofiled > 0 ? rps / unprofiled : 0.0);
+      std::printf("%s\n", line);
+      if (json_out != nullptr) std::fprintf(json_out, "%s\n", line);
+    }
+  }
+
+  // --- kernel 6: memory-tracker + beacon + live-sampler overhead -----------
+  // The CI floor for PR 10's resource-accounting layer: the same
+  // morsel-chunked scan-filter kernel bare vs with everything a production
+  // morsel now pays — one tracker Charge/Release pair (the chunk-granular
+  // allocation sites), one beacon publish/restore (two relaxed stores each
+  // way) — while a live ContinuousProfiler samples the beacon board at its
+  // default rate from another thread. The instrumented/bare throughput
+  // ratio must stay >= the resource floor in ci/perf_floors.json (0.97,
+  // i.e. <= 3% overhead).
+  {
+    const uint64_t rows = 1 << 18;
+    const uint64_t chunk = 4096;
+    std::vector<int64_t> data(rows);
+    for (uint64_t r = 0; r < rows; ++r) {
+      data[r] = static_cast<int64_t>((r * 2654435761u) % 1000);
+    }
+    IrModule mod("scan");
+    BuildScanFilterKernel(&mod);
+    BcProgram bc = TranslateToBytecode(*mod.module().getFunction("f"),
+                                       RuntimeRegistry::Global(), {});
+    const auto run_chunk = [&](uint64_t begin, uint64_t end) {
+      uint64_t args[3] = {500, end - begin,
+                          reinterpret_cast<uint64_t>(data.data() + begin)};
+      VmExecute(bc, args, 3);
+    };
+    MetricsRegistry metrics;
+    BeaconBoard board;
+    ContinuousProfiler profiler(&board, 97,
+                                metrics.GetCounter("profiler.samples"));
+    QueryMemoryTracker tracker;
+    WorkerBeacon* beacon = board.lane(0);
+    const auto bare_pass = [&] {
+      for (uint64_t begin = 0; begin < rows; begin += chunk) {
+        run_chunk(begin, std::min(begin + chunk, rows));
+      }
+    };
+    const auto instrumented_pass = [&] {
+      for (uint64_t begin = 0; begin < rows; begin += chunk) {
+        const uint64_t end = std::min(begin + chunk, rows);
+        const uint64_t prior =
+            beacon->word0.load(std::memory_order_relaxed);
+        PublishBeacon(beacon, 1, 0, 0, BeaconActivity::kMorsel, end - begin);
+        tracker.Charge((end - begin) * sizeof(int64_t));
+        run_chunk(begin, end);
+        tracker.Release((end - begin) * sizeof(int64_t));
+        beacon->word0.store(prior, std::memory_order_relaxed);
+      }
+    };
+    // Interleave the two configs in short alternating blocks (same scheme
+    // as the profile-overhead kernel): the sampler thread, frequency drift
+    // and background load then tax both sides equally, and the ratio — the
+    // only thing the CI floor gates — stays stable even on a one-core host.
+    bare_pass();          // warmup
+    instrumented_pass();  // warmup: tracker slots, beacon lane
+    double bare_seconds = 0, inst_seconds = 0;
+    uint64_t reps = 0;
+    Timer total;
+    do {
+      Timer t_bare;
+      for (int i = 0; i < 8; ++i) bare_pass();
+      bare_seconds += t_bare.ElapsedSeconds();
+      Timer t_inst;
+      for (int i = 0; i < 8; ++i) instrumented_pass();
+      inst_seconds += t_inst.ElapsedSeconds();
+      reps += 8;
+    } while (total.ElapsedSeconds() < 2 * budget);
+    const double bare =
+        static_cast<double>(rows) * static_cast<double>(reps) / bare_seconds;
+    const double instrumented =
+        static_cast<double>(rows) * static_cast<double>(reps) / inst_seconds;
+    const double ratio = bare > 0 ? instrumented / bare : 0.0;
+    std::printf("\n%-18s %14s %10s\n", "resource-overhead", "rows/s", "ratio");
+    std::printf("%-18s %14.3e %9.2fx\n", "bare", bare, 1.0);
+    std::printf("%-18s %14.3e %9.3fx\n", "instrumented", instrumented, ratio);
+    std::printf("(sampler took %llu samples during the instrumented runs)\n",
+                static_cast<unsigned long long>(profiler.total_samples()));
+    for (const auto& [name, rps] :
+         {std::pair<const char*, double>{"bare", bare},
+          std::pair<const char*, double>{"instrumented", instrumented}}) {
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "{\"bench\":\"micro_vm_dispatch\","
+                    "\"kernel\":\"resource-overhead\",\"config\":\"%s\","
+                    "\"rows_per_sec\":%.6e,\"ratio_vs_bare\":%.4f}",
+                    name, rps, bare > 0 ? rps / bare : 0.0);
       std::printf("%s\n", line);
       if (json_out != nullptr) std::fprintf(json_out, "%s\n", line);
     }

@@ -174,6 +174,12 @@ int main(int argc, char** argv) {
   std::vector<double> warm_ms;
   std::vector<double> warm_wait_ms;
   std::vector<std::vector<double>> warm_by_plan(plans.size());
+  // Per-plan warm peak-memory extremes: a warm re-run of the same plan at
+  // the same scale factor should allocate the same hash tables and output
+  // chunks, so max/min per plan stays near 1 (smoke asserts a 4x ceiling —
+  // a blowout means a leaked charge or double-count in the tracker).
+  std::vector<uint64_t> warm_peak_min(plans.size(), 0);
+  std::vector<uint64_t> warm_peak_max(plans.size(), 0);
   uint64_t warm_runs = 0, warm_no_translate = 0, warm_seeded = 0;
   ZipfSampler zipf(plans.size(), 1.2, 42);
   Timer phase_timer;
@@ -186,6 +192,10 @@ int main(int argc, char** argv) {
     warm_ms.push_back(timer.ElapsedMillis());
     warm_by_plan[rank].push_back(warm_ms.back());
     warm_wait_ms.push_back(r.queue_wait_seconds * 1e3);
+    if (warm_peak_min[rank] == 0 || r.peak_memory_bytes < warm_peak_min[rank]) {
+      warm_peak_min[rank] = r.peak_memory_bytes;
+    }
+    warm_peak_max[rank] = std::max(warm_peak_max[rank], r.peak_memory_bytes);
     ++warm_runs;
     if (r.translate_millis_total == 0 && r.codegen_millis_total == 0) {
       ++warm_no_translate;
@@ -229,6 +239,20 @@ int main(int argc, char** argv) {
   }
   const double warm_speedup_p50 = Percentile(per_plan_speedup, 0.5);
 
+  // Warm peak-memory stability across plans drawn at least twice: the worst
+  // per-plan max/min ratio, and the overall warm peak range for the JSON.
+  double worst_peak_ratio = 0;
+  uint64_t warm_peak_overall_max = 0;
+  size_t peak_stable_plans = 0;
+  for (size_t i = 0; i < plans.size(); ++i) {
+    warm_peak_overall_max = std::max(warm_peak_overall_max, warm_peak_max[i]);
+    if (warm_by_plan[i].size() < 2 || warm_peak_min[i] == 0) continue;
+    ++peak_stable_plans;
+    worst_peak_ratio =
+        std::max(worst_peak_ratio, static_cast<double>(warm_peak_max[i]) /
+                                       static_cast<double>(warm_peak_min[i]));
+  }
+
   std::printf("\n%-22s %10s %10s\n", "", "cold", "warm");
   std::printf("%-22s %9.2fms %9.2fms\n", "p50 latency", cold_p50, warm_p50);
   std::printf("%-22s %10zu %10llu\n", "runs", cold_ms.size(),
@@ -238,6 +262,10 @@ int main(int argc, char** argv) {
   std::printf("%-22s %10s %10.1f\n", "queries/sec", "-", warm_qps);
   std::printf("%-22s %10s %9.2fx\n", "per-plan speedup p50", "-",
               warm_speedup_p50);
+  std::printf("%-22s %10s %9.1fKB\n", "peak memory (max)", "-",
+              static_cast<double>(warm_peak_overall_max) / 1024.0);
+  std::printf("%-22s %10s %9.2fx\n", "peak max/min (worst)", "-",
+              worst_peak_ratio);
   std::printf("cache: %llu bytecode hits (%llu patched), %llu code hits, "
               "%llu misses, %llu evictions, %llu entries, %.1f KiB\n",
               (unsigned long long)stats.bytecode_hits,
@@ -254,7 +282,7 @@ int main(int argc, char** argv) {
               (unsigned long long)warm_stats.bytecode_misses,
               (unsigned long long)warm_translations);
 
-  char line[512];
+  char line[640];
   std::snprintf(line, sizeof(line),
                 "{\"bench\":\"repeated_queries\",\"sf\":%g,\"workers\":%d,"
                 "\"plans\":%zu,\"cold_p50_ms\":%.3f,\"warm_p50_ms\":%.3f,"
@@ -263,12 +291,15 @@ int main(int argc, char** argv) {
                 "\"warm_seeded\":%llu,\"warm_speedup_p50\":%.3f,"
                 "\"warm_speedup_plans\":%zu,"
                 "\"warm_queue_wait_p50_ms\":%.3f,"
-                "\"warm_queue_wait_p99_ms\":%.3f}",
+                "\"warm_queue_wait_p99_ms\":%.3f,"
+                "\"warm_peak_bytes_max\":%llu,"
+                "\"warm_peak_ratio_worst\":%.3f}",
                 sf, threads, plans.size(), cold_p50, warm_p50, warm_p99,
                 warm_qps, (unsigned long long)warm_runs, no_translate_frac,
                 (unsigned long long)warm_seeded, warm_speedup_p50,
                 per_plan_speedup.size(),
-                Percentile(warm_wait_ms, 0.5), Percentile(warm_wait_ms, 0.99));
+                Percentile(warm_wait_ms, 0.5), Percentile(warm_wait_ms, 0.99),
+                (unsigned long long)warm_peak_overall_max, worst_peak_ratio);
   EmitJson(line, json_out);
   std::snprintf(line, sizeof(line),
                 "{\"bench\":\"repeated_queries\",\"counters\":{"
@@ -343,6 +374,22 @@ int main(int argc, char** argv) {
     }
     if (warm_runs > 0 && warm_no_translate == 0) {
       std::fprintf(stderr, "SMOKE FAIL: no warm run skipped translation\n");
+      ++failures;
+    }
+    // Every warm run must report a non-zero tracked peak (output chunks and
+    // binding arenas are always charged), and repeated runs of a plan must
+    // land near the same peak — warm re-execution allocates the same state,
+    // so a >4x spread means charges leak or double-count.
+    if (warm_runs > 0 && warm_peak_overall_max == 0) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: warm runs reported zero peak memory\n");
+      ++failures;
+    }
+    if (peak_stable_plans > 0 && worst_peak_ratio > 4.0) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: warm peak memory unstable: worst per-plan "
+                   "max/min ratio %.2fx > 4x over %zu plans\n",
+                   worst_peak_ratio, peak_stable_plans);
       ++failures;
     }
     if (stats.entry_misses == 0) {

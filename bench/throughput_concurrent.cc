@@ -38,6 +38,7 @@ namespace {
 struct Sample {
   double latency_ms;
   double queue_wait_ms;
+  uint64_t peak_bytes;  ///< QueryRunResult::peak_memory_bytes
 };
 
 struct PhaseResult {
@@ -48,6 +49,8 @@ struct PhaseResult {
   double p99_ms = 0;
   double wait_p50_ms = 0;
   double wait_p99_ms = 0;
+  uint64_t peak_bytes_p50 = 0;
+  uint64_t peak_bytes_max = 0;
 
   double qps() const { return static_cast<double>(queries) / seconds; }
 };
@@ -65,18 +68,21 @@ PhaseResult Summarize(const std::vector<std::vector<Sample>>& per_client,
   PhaseResult result;
   result.clients = static_cast<int>(per_client.size());
   result.seconds = seconds;
-  std::vector<double> latencies, waits;
+  std::vector<double> latencies, waits, peaks;
   for (const auto& samples : per_client) {
     result.queries += samples.size();
     for (const Sample& s : samples) {
       latencies.push_back(s.latency_ms);
       waits.push_back(s.queue_wait_ms);
+      peaks.push_back(static_cast<double>(s.peak_bytes));
+      result.peak_bytes_max = std::max(result.peak_bytes_max, s.peak_bytes);
     }
   }
   result.p50_ms = Percentile(latencies, 0.50);
   result.p99_ms = Percentile(latencies, 0.99);
   result.wait_p50_ms = Percentile(waits, 0.50);
   result.wait_p99_ms = Percentile(waits, 0.99);
+  result.peak_bytes_p50 = static_cast<uint64_t>(Percentile(peaks, 0.50));
   return result;
 }
 
@@ -101,8 +107,9 @@ void ClientLoop(QueryEngine* engine, const Catalog* catalog, int client_id,
     options.collect_profile = i % 8 == 1;
     Timer query_timer;
     QueryRunResult result = engine->Run(program, options);
-    samples->push_back(
-        {query_timer.ElapsedMillis(), result.queue_wait_seconds * 1e3});
+    samples->push_back({query_timer.ElapsedMillis(),
+                        result.queue_wait_seconds * 1e3,
+                        result.peak_memory_bytes});
     if (result.rows.empty()) std::abort();  // paranoia: results must exist
   }
 }
@@ -200,18 +207,21 @@ int RunMixed(QueryEngine* engine, const Catalog* catalog, int workers,
     std::printf("%-10s %8d %10llu %12.1f %10.2f %10.2f %10.2f %10.2f\n",
                 label, r.clients, static_cast<unsigned long long>(r.queries),
                 r.qps(), r.p50_ms, r.p99_ms, r.wait_p50_ms, r.wait_p99_ms);
-    char line[420];
+    char line[512];
     std::snprintf(
         line, sizeof(line),
         "{\"bench\":\"fairness\",\"class\":\"%s\",\"clients\":%d,"
         "\"workers\":%d,\"weight\":%d,\"queries\":%llu,"
         "\"queries_per_sec\":%.3f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,"
         "\"queue_wait_p50_ms\":%.3f,\"queue_wait_p99_ms\":%.3f,"
+        "\"peak_bytes_p50\":%llu,\"peak_bytes_max\":%llu,"
         "\"isolated_short_p50_ms\":%.3f}",
         label, r.clients, workers,
         std::strcmp(label, "short") == 0 ? kShortWeight : 1,
         static_cast<unsigned long long>(r.queries), r.qps(), r.p50_ms,
-        r.p99_ms, r.wait_p50_ms, r.wait_p99_ms, isolated_p50);
+        r.p99_ms, r.wait_p50_ms, r.wait_p99_ms,
+        static_cast<unsigned long long>(r.peak_bytes_p50),
+        static_cast<unsigned long long>(r.peak_bytes_max), isolated_p50);
     std::printf("%s\n", line);
     if (json_out != nullptr) std::fprintf(json_out, "%s\n", line);
   }
@@ -222,6 +232,54 @@ int RunMixed(QueryEngine* engine, const Catalog* catalog, int workers,
               "saturates the workers (resumable pipelines + weighted-fair "
               "admission); without them it would queue behind whole "
               "long pipelines.\n");
+
+  // Continuous-profiler output over the whole mixed phase, in collapsed-stack
+  // form (pipe through flamegraph.pl or load in speedscope).
+  const std::string stacks = engine->CollapsedStacks();
+  if (std::FILE* f = std::fopen("BENCH_flamegraph.txt", "w")) {
+    std::fwrite(stacks.data(), 1, stacks.size(), f);
+    std::fclose(f);
+  }
+  const size_t stack_lines =
+      static_cast<size_t>(std::count(stacks.begin(), stacks.end(), '\n'));
+  std::printf("flamegraph: %zu collapsed stacks -> BENCH_flamegraph.txt\n",
+              stack_lines);
+
+  // Memory-budget enforcement, end to end: the short class's Q6 fingerprint
+  // now carries a learned peak-memory EWMA, so capping class 3 far below it
+  // makes the next class-3 Q6 fail admission with the typed error while the
+  // same query in uncapped class 0 still completes.
+  engine->set_class_memory_budget(kShortClass, 1024);
+  bool budget_rejected = false;
+  bool rejected_at_admission = false;
+  unsigned long long attempted_bytes = 0;
+  {
+    QueryProgram q6 = BuildTpchQuery(6, *catalog);
+    QueryRunOptions options;
+    options.query_class = kShortClass;
+    try {
+      engine->Run(q6, options);
+    } catch (const MemoryBudgetExceeded& e) {
+      budget_rejected = true;
+      rejected_at_admission = e.at_admission();
+      attempted_bytes = static_cast<unsigned long long>(e.attempted_bytes());
+    }
+  }
+  bool other_class_ok = false;
+  {
+    QueryProgram q6 = BuildTpchQuery(6, *catalog);
+    QueryRunOptions options;
+    options.query_class = 0;
+    other_class_ok = !engine->Run(q6, options).rows.empty();
+  }
+  engine->set_class_memory_budget(kShortClass, 0);
+  std::printf("budget demo: class-%d Q6 vs 1 KiB cap -> %s (%s, estimated "
+              "%llu bytes); uncapped class-0 Q6 %s\n",
+              kShortClass,
+              budget_rejected ? "rejected" : "NOT rejected",
+              rejected_at_admission ? "at admission" : "at runtime",
+              attempted_bytes,
+              other_class_ok ? "completed" : "FAILED");
 
   if (smoke) {
     // Acceptance: the short class was served, and its p99 is bounded by a
@@ -241,12 +299,40 @@ int RunMixed(QueryEngine* engine, const Catalog* catalog, int workers,
                    shorts.p99_ms, bound, isolated_p50);
       ++failures;
     }
+    if (shorts.peak_bytes_max == 0 || longs.peak_bytes_max == 0) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: per-query peak memory not tracked (short "
+                   "max %llu, long max %llu)\n",
+                   static_cast<unsigned long long>(shorts.peak_bytes_max),
+                   static_cast<unsigned long long>(longs.peak_bytes_max));
+      ++failures;
+    }
+    if (stack_lines == 0) {
+      std::fprintf(stderr, "SMOKE FAIL: profiler produced no collapsed "
+                           "stacks during the mixed phase\n");
+      ++failures;
+    }
+    if (!budget_rejected || !rejected_at_admission) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: over-budget class-%d query was %s\n",
+                   kShortClass,
+                   budget_rejected ? "rejected at runtime, not admission"
+                                   : "not rejected");
+      ++failures;
+    }
+    if (!other_class_ok) {
+      std::fprintf(stderr, "SMOKE FAIL: uncapped class-0 query failed "
+                           "while class-%d was capped\n",
+                   kShortClass);
+      ++failures;
+    }
     if (failures > 0) return 1;
     std::printf("smoke assertions passed: short p99 %.2f ms < %.2f ms "
-                "(isolated p50 %.2f ms, %llu shorts, %llu longs)\n",
+                "(isolated p50 %.2f ms, %llu shorts, %llu longs, "
+                "%zu stacks, budget rejection typed)\n",
                 shorts.p99_ms, bound, isolated_p50,
                 static_cast<unsigned long long>(shorts.queries),
-                static_cast<unsigned long long>(longs.queries));
+                static_cast<unsigned long long>(longs.queries), stack_lines);
   }
   return 0;
 }
@@ -312,7 +398,7 @@ int main(int argc, char** argv) {
   QueryEngine engine(catalog, engine_options);
   if (engine.stats_port() >= 0) {
     std::printf("stats server: http://127.0.0.1:%d "
-                "(/metrics /trace.json /profiles)\n",
+                "(/metrics /trace.json /profiles /profile)\n",
                 engine.stats_port());
     std::fflush(stdout);  // consumers poll the pipe for this line
   }

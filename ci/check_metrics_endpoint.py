@@ -7,12 +7,16 @@ bench is running, exercises every route of the in-process stats server:
 
   - GET /metrics returns Prometheus text-format 0.0.4: at least 30
     well-formed `# TYPE` series of known types, every sample line
-    syntactically valid, and histogram series carrying cumulative
-    `_bucket{le=...}` samples ending in `le="+Inf"`
+    syntactically valid, histogram series carrying cumulative
+    `_bucket{le=...}` samples ending in `le="+Inf"`, and the PR-10
+    resource-accounting gauges (aqe_mem_current_bytes,
+    aqe_mem_peak_bytes) present
   - GET /trace.json parses as a Chrome trace with a traceEvents array
   - GET /profiles parses as JSON with a "profiles" array (the bench
     requests collect_profile on a fraction of queries) and an
     "anomalies" array
+  - GET /profile returns the continuous profiler's collapsed stacks as
+    text/plain, every non-empty line `frame[;frame...] <count>`
   - an unknown path returns 404
 
 After the bench exits it validates the BENCH_observability.json metrics
@@ -40,6 +44,8 @@ TYPE_LINE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) "
 SAMPLE_LINE = re.compile(
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? "
     r"(-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|-Inf|NaN)$")
+COLLAPSED_LINE = re.compile(r"^\S[^ ]* \d+$")  # "frame;frame;... count"
+REQUIRED_GAUGES = ("aqe_mem_current_bytes", "aqe_mem_peak_bytes")
 
 
 def http_get(port, path):
@@ -76,6 +82,10 @@ def check_metrics_text(body, errors):
         if f'{name}_bucket{{le="+Inf"}}' not in body:
             errors.append(f"/metrics: histogram {name} lacks a "
                           f'+Inf bucket sample')
+    for name in REQUIRED_GAUGES:
+        if series.get(name) != "gauge":
+            errors.append(f"/metrics: missing resource-accounting gauge "
+                          f"{name}")
     return len(series)
 
 
@@ -148,6 +158,18 @@ def main():
             if isinstance(doc.get("profiles"), list):
                 print(f"/profiles: {len(doc['profiles'])} query profiles, "
                       f"{len(doc.get('anomalies', []))} anomalies")
+
+        status, ctype, body = http_get(port, "/profile")
+        if status != 200:
+            errors.append(f"/profile: HTTP {status}")
+        if not ctype.startswith("text/plain"):
+            errors.append(f"/profile: content-type {ctype!r}")
+        stack_lines = [l for l in body.splitlines() if l]
+        bad = [l for l in stack_lines if not COLLAPSED_LINE.match(l)]
+        if bad:
+            errors.append(f"/profile: {len(bad)} malformed collapsed-stack "
+                          f"lines, e.g. {bad[0]!r}")
+        print(f"/profile: {len(stack_lines)} collapsed stacks")
 
         try:
             http_get(port, "/nope")

@@ -56,13 +56,15 @@ def check_micro(build, rules, failures):
     recs = run_json_lines([bench, "--smoke"], cwd=build)
     retried = None
     for rule in rules:
-        # Three rule shapes: fused-tier speedups over the switch baseline,
-        # and the two observability overhead floors (traced/untraced and
-        # profiled/unprofiled ratios).
+        # Four rule shapes: fused-tier speedups over the switch baseline,
+        # and the three observability overhead floors (traced/untraced,
+        # profiled/unprofiled, and instrumented/bare resource accounting).
         if "min_speedup_vs_switch" in rule:
             field, want = "speedup_vs_switch", rule["min_speedup_vs_switch"]
         elif "min_ratio_vs_untraced" in rule:
             field, want = "ratio_vs_untraced", rule["min_ratio_vs_untraced"]
+        elif "min_ratio_vs_bare" in rule:
+            field, want = "ratio_vs_bare", rule["min_ratio_vs_bare"]
         else:
             field, want = ("ratio_vs_unprofiled",
                            rule["min_ratio_vs_unprofiled"])

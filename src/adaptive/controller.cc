@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "common/timer.h"
 #include "exec/morsel.h"
+#include "obs/profiler.h"
 #include "runtime/agg_hash_table.h"
 #include "sched/task.h"
 
@@ -93,11 +94,27 @@ void RecordRate(PipelineExecState& st, int slot, uint64_t tuples,
 void ExecuteMorsel(PipelineExecState& st, const MorselBatch& batch, int slot,
                    int thread) {
   ExecMode mode = st.handle->mode();
+  // Beacon for the sampling profiler: publish the morsel (query, pipeline,
+  // mode), restore whatever the enclosing slice published afterwards — a
+  // helper task's slice beacon must survive its morsels.
+  WorkerBeacon* beacon =
+      st.obs.beacons != nullptr ? st.obs.beacons->lane(thread) : nullptr;
+  uint64_t prior_word0 = 0;
+  if (beacon != nullptr) {
+    prior_word0 = beacon->word0.load(std::memory_order_relaxed);
+    PublishBeacon(beacon, st.obs.query_id,
+                  static_cast<uint16_t>(st.pipeline_id),
+                  static_cast<uint8_t>(mode), BeaconActivity::kMorsel,
+                  batch.rows);
+  }
   int64_t t0 = MonotonicNanos();
   for (int i = 0; i < batch.count; ++i) {
     st.handle->Call(st.state, batch.ranges[i].begin, batch.ranges[i].end);
   }
   int64_t t1 = MonotonicNanos();
+  if (beacon != nullptr) {
+    beacon->word0.store(prior_word0, std::memory_order_relaxed);
+  }
   RecordRate(st, slot, batch.rows, static_cast<uint64_t>(t1 - t0));
   if (st.trace != nullptr) {
     st.trace->Record({TraceRecorder::EventKind::kMorsel, thread,
@@ -132,12 +149,29 @@ bool TryRunCompileJob(PipelineExecState& st,
   }
   AQE_CHECK_MSG(*st.compile != nullptr, "pipeline has no compile hook");
   const ExecMode target = st.compile_target;
+  // Compiles are ms-scale, the one activity long enough for the sampler to
+  // attribute reliably; publish it on this thread's beacon lane.
+  WorkerBeacon* beacon =
+      st.obs.beacons != nullptr
+          ? st.obs.beacons->lane(runtime_internal::GetThreadIndex())
+          : nullptr;
+  uint64_t prior_word0 = 0;
+  if (beacon != nullptr) {
+    prior_word0 = beacon->word0.load(std::memory_order_relaxed);
+    PublishBeacon(beacon, st.obs.query_id,
+                  static_cast<uint16_t>(st.pipeline_id),
+                  static_cast<uint8_t>(target), BeaconActivity::kCompile,
+                  st.function_instructions);
+  }
   Timer compile_timer;
   int64_t t0 = MonotonicNanos();
   WorkerFn fn = (*st.compile)(target);
   double seconds = compile_timer.ElapsedSeconds();
   st.handle->SetCompiled(fn, target);
   const int64_t t1 = MonotonicNanos();
+  if (beacon != nullptr) {
+    beacon->word0.store(prior_word0, std::memory_order_relaxed);
+  }
   if (st.trace != nullptr) {
     st.trace->Record({TraceRecorder::EventKind::kCompile,
                       runtime_internal::GetThreadIndex(), st.pipeline_id,

@@ -158,6 +158,10 @@ struct CacheEntry {
   /// the engine's weighted-fair admission once `observed_queries > 0`, so
   /// cold estimates converge per plan fingerprint.
   double ewma_service_ms = 0;
+  /// Admission memory feedback: EWMA of completed runs' tracked peak bytes.
+  /// The engine checks it against the query class's byte budget at Submit,
+  /// so a known-oversized fingerprint is rejected before it queues.
+  double ewma_peak_bytes = 0;
   uint64_t observed_queries = 0;
 };
 

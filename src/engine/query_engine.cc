@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -15,6 +16,7 @@
 #include "jit/jit_compiler.h"
 #include "jit/naive_interpreter.h"
 #include "obs/export.h"
+#include "obs/profiler.h"
 #include "obs/stats_server.h"
 #include "runtime/runtime_registry.h"
 #include "sched/scheduler.h"
@@ -40,6 +42,18 @@ void NeverCalledWorker(void*, uint64_t, uint64_t, const void*) {
   AQE_UNREACHABLE("placeholder worker variant must never run");
 }
 
+/// QueryEngineOptions::profile_hz resolution: -1 defers to the
+/// AQE_PROFILE_HZ env override, falling back to 97 Hz (prime, so the
+/// sampler never phase-locks with msec-periodic engine activity).
+int ResolveProfileHz(int requested) {
+  if (requested >= 0) return requested;
+  if (const char* env = std::getenv("AQE_PROFILE_HZ")) {
+    const int hz = std::atoi(env);
+    return hz > 0 ? hz : 0;
+  }
+  return 97;
+}
+
 }  // namespace
 
 /// The engine's observability state: the always-on tracer, the metrics
@@ -52,6 +66,11 @@ struct EngineObs {
   MetricsRegistry metrics;
   std::atomic<uint32_t> next_query_id{1};
 
+  /// Per-lane beacons the continuous profiler samples. Lives here (before
+  /// the scheduler in Impl) so a worker publishing during shutdown still
+  /// touches live memory.
+  BeaconBoard beacons;
+
   // Declaration order matters: handles resolve against `metrics` above.
   Counter* queries_submitted = metrics.GetCounter("engine.queries_submitted");
   Counter* queries_completed = metrics.GetCounter("engine.queries_completed");
@@ -60,12 +79,20 @@ struct EngineObs {
   Counter* compiles = metrics.GetCounter("jit.compiles");
   Counter* anomalies = metrics.GetCounter("engine.anomalies");
   /// Per-cause anomaly counters, indexed by AnomalyCause.
-  Counter* anomalies_by_cause[4] = {
+  Counter* anomalies_by_cause[5] = {
       metrics.GetCounter("engine.anomalies.unknown"),
       metrics.GetCounter("engine.anomalies.cache_evicted"),
       metrics.GetCounter("engine.anomalies.mode_regressed"),
       metrics.GetCounter("engine.anomalies.queue_wait"),
+      metrics.GetCounter("engine.anomalies.memory_blowup"),
   };
+  /// Memory-budget enforcement outcomes, split by where the query failed.
+  Counter* budget_rej_admission =
+      metrics.GetCounter("mem.budget_rejections.admission");
+  Counter* budget_rej_runtime =
+      metrics.GetCounter("mem.budget_rejections.runtime");
+  /// Accepted (coherent) profiler samples — liveness signal for /metrics.
+  Counter* profiler_samples = metrics.GetCounter("profiler.samples");
   Histogram* compile_us = metrics.GetHistogram("jit.compile_us");
   // Scan pruning (src/index/): registry counters, so metrics.Reset()
   // covers them (phase-delta hygiene) and BuildSnapshot picks them up with
@@ -80,6 +107,9 @@ struct EngineObs {
       metrics.GetCounter("index.prune_cache_misses");
   Histogram* queue_wait_us[kNumTaskClasses];
   Histogram* exec_latency_us[kNumTaskClasses];
+  /// Completed queries' tracked peak bytes, per admission class — the
+  /// distribution class budgets are set against.
+  Histogram* mem_peak_by_class[kNumTaskClasses];
 
   /// Per-fingerprint latency sentinel (obs/regression.h); fed by every
   /// completed cached query, read by snapshots and the stats server.
@@ -100,6 +130,14 @@ struct EngineObs {
   mutable std::mutex stats_mu;
   std::atomic<uint64_t> stats_epoch{0};
 
+  /// Live per-query memory trackers, for the mem.current_bytes gauge.
+  /// weak_ptr: a finished query's tracker drops out on its own; Submit
+  /// prunes expired slots opportunistically.
+  mutable std::mutex trackers_mu;
+  std::vector<std::weak_ptr<QueryMemoryTracker>> live_trackers;
+  /// Engine-lifetime high-water across all queries' tracked peaks.
+  std::atomic<uint64_t> engine_peak_bytes{0};
+
   EngineObs() {
     char name[64];
     for (int c = 0; c < kNumTaskClasses; ++c) {
@@ -107,6 +145,28 @@ struct EngineObs {
       queue_wait_us[c] = metrics.GetHistogram(name);
       std::snprintf(name, sizeof(name), "engine.exec_latency_us.class%d", c);
       exec_latency_us[c] = metrics.GetHistogram(name);
+      std::snprintf(name, sizeof(name), "mem.query_peak_bytes.class%d", c);
+      mem_peak_by_class[c] = metrics.GetHistogram(name);
+    }
+  }
+
+  /// (Re)starts the sampler at `hz`; 0 leaves the profiler off. Called
+  /// before any query traffic, so tearing down a default-rate sampler from
+  /// the delegating constructor races nothing.
+  void StartProfiler(int hz) {
+    profiler.reset();
+    if (hz > 0) {
+      profiler =
+          std::make_unique<ContinuousProfiler>(&beacons, hz, profiler_samples);
+    }
+  }
+
+  void RecordQueryPeak(uint64_t peak_bytes, int query_class) {
+    mem_peak_by_class[query_class]->Record(static_cast<double>(peak_bytes));
+    uint64_t prev = engine_peak_bytes.load(std::memory_order_relaxed);
+    while (prev < peak_bytes &&
+           !engine_peak_bytes.compare_exchange_weak(
+               prev, peak_bytes, std::memory_order_relaxed)) {
     }
   }
 
@@ -119,6 +179,7 @@ struct EngineObs {
   PipelineObs MakePipelineObs(uint32_t query_id) {
     PipelineObs obs;
     obs.tracer = &tracer;
+    obs.beacons = &beacons;
     obs.morsels = morsels;
     obs.mode_switch_decisions = mode_switches;
     obs.compiles = compiles;
@@ -126,6 +187,11 @@ struct EngineObs {
     obs.query_id = query_id;
     return obs;
   }
+
+  /// Declared last: the sampler thread reads `beacons` and bumps
+  /// `profiler_samples`, so it must stop (reverse destruction order)
+  /// before either goes away. Null when profile_hz resolved to 0.
+  std::unique_ptr<ContinuousProfiler> profiler;
 };
 
 const char* EngineKindName(EngineKind kind) {
@@ -184,6 +250,11 @@ struct QueryEngine::Impl {
   int active = 0;
   int max_active;
 
+  /// Per-class peak-memory budgets (0 = unlimited). Checked at Submit
+  /// against the fingerprint's cached peak estimate and installed as each
+  /// admitted query's tracker soft limit.
+  std::atomic<uint64_t> class_budget[kNumTaskClasses] = {};
+
   // Declared last on purpose: its destructor joins the workers, and a
   // finishing query task touches the admission fields above — they must
   // outlive the workers.
@@ -210,10 +281,14 @@ struct QueryEngine::Impl {
     // of the same fingerprint can name its cause.
     cache.set_eviction_listener(
         [this](uint64_t key) { obs.sentinel.MarkEvicted(key); });
+    // The profiler is always on (AQE_PROFILE_HZ=0 opts out); the options
+    // constructor below restarts it when profile_hz overrides the default.
+    obs.StartProfiler(ResolveProfileHz(-1));
   }
 
   Impl(const Catalog* catalog, const QueryEngineOptions& options)
       : Impl(catalog, options.num_threads) {
+    if (options.profile_hz >= 0) obs.StartProfiler(options.profile_hz);
     if (options.stats_port >= 0) {
       StatsServer::Handlers handlers;
       handlers.metrics_text = [this] { return PrometheusText(BuildSnapshot()); };
@@ -221,6 +296,10 @@ struct QueryEngine::Impl {
         return ChromeTraceJson(obs.tracer.Snapshot());
       };
       handlers.profiles_json = [this] { return ProfilesJson(); };
+      handlers.profile_text = [this] {
+        return obs.profiler != nullptr ? obs.profiler->CollapsedStacks()
+                                       : std::string();
+      };
       stats_server =
           std::make_unique<StatsServer>(options.stats_port, std::move(handlers));
       if (!stats_server->ok()) stats_server.reset();
@@ -474,6 +553,11 @@ class QueryJob : public Task {
     if (calibrated != nullptr && options_.cost_model == CostModelParams{}) {
       options_.cost_model = *calibrated;
     }
+    // Every engine query is memory-accounted: the tracker rides the context
+    // into the agg sets / output buffers now, and into join tables as
+    // engine steps create them (they read ctx->memory themselves).
+    memory_ = std::make_shared<QueryMemoryTracker>();
+    ctx_->AttachMemoryTracker(memory_);
     if (options_.engine == EngineKind::kCompiled &&
         options_.use_artifact_cache && !program.pipelines().empty()) {
       // Fingerprint on the submitting thread: cheap (a hash walk over the
@@ -520,12 +604,37 @@ class QueryJob : public Task {
   double estimated_cost_ms() const { return estimated_cost_ms_; }
   bool fully_cached() const { return fully_cached_; }
 
+  /// Cache-estimated peak footprint (the fingerprint's peak-memory EWMA;
+  /// 0 when the plan has no completed runs). What admission checks against
+  /// the class byte budget.
+  uint64_t estimated_peak_bytes() const { return estimated_peak_bytes_; }
+  std::shared_ptr<QueryMemoryTracker> tracker() const { return memory_; }
+
+  /// Installs the class budget as the tracker's soft limit (0 = none);
+  /// runtime growth past it fails the query at the next slice boundary.
+  void set_memory_budget(uint64_t bytes) { memory_->set_soft_limit(bytes); }
+
+  /// Admission-time rejection: fails the future with the typed error
+  /// without ever admitting the job (the caller drops it; on_finished_
+  /// must not run — no admission slot was taken).
+  void FailAdmission(uint64_t budget_bytes) {
+    promise_.set_exception(std::make_exception_ptr(MemoryBudgetExceeded(
+        scheduling_class(), budget_bytes, estimated_peak_bytes_,
+        /*at_admission=*/true)));
+  }
+
   /// One bounded slice, bracketed by trace events. Client threads never
   /// touch the single-producer rings, so the admission wait is recorded
   /// retroactively by whichever worker runs the first slice (the span
   /// still starts at submit time).
   Status Run(int worker) override {
     const int64_t t0 = MonotonicNanos();
+    // Publish the slice beacon for the continuous profiler; morsel and
+    // compile sites inside the slice overwrite it with richer detail and
+    // restore it on their way out.
+    WorkerBeacon* beacon = obs_->beacons.lane(worker);
+    PublishBeacon(beacon, query_id_, static_cast<uint16_t>(stage_index_),
+                  /*mode=*/0, BeaconActivity::kSlice, 0);
     if (!started_) {
       started_ = true;
       first_slice_nanos_ = t0;
@@ -542,6 +651,7 @@ class QueryJob : public Task {
       obs_->tracer.Record(worker, ev);
     }
     const Status status = RunSlice(worker);
+    ClearBeacon(beacon);
     const int64_t t1 = MonotonicNanos();
     TraceEvent ev;
     ev.start_nanos = t0;
@@ -587,9 +697,38 @@ class QueryJob : public Task {
     std::unique_ptr<PipelineRun> run;
   };
 
+  /// Runtime budget enforcement: when the tracker latched over-budget
+  /// (Charge never throws under VM/JIT frames; the flag is checked here,
+  /// at slice boundaries, where unwinding is safe), fail the future with
+  /// the typed error and release the admission slot. Returns true when the
+  /// query was failed. An active PipelineRun is destroyed through its
+  /// abandoned-run path (drain the domain, wait out in-flight helpers),
+  /// so no task touches freed state.
+  bool FailIfOverBudget() {
+    // Slice boundaries are the tracker's quiesce points: fold the
+    // thread-slot residues so the budget latch and the peak high-water see
+    // every byte charged since the last boundary, however small.
+    memory_->FoldResidues();
+    if (!memory_->over_budget()) return false;
+    obs_->budget_rej_runtime->Add();
+    const uint64_t budget = memory_->soft_limit();
+    const uint64_t current = memory_->current_bytes();
+    active_.reset();
+    memory_->Release(active_charged_bytes_);
+    active_charged_bytes_ = 0;
+    if (obs_->profiler != nullptr) {
+      obs_->profiler->RetireQuery(query_id_, program_->name());
+    }
+    promise_.set_exception(std::make_exception_ptr(MemoryBudgetExceeded(
+        scheduling_class(), budget, current, /*at_admission=*/false)));
+    on_finished_();
+    return true;
+  }
+
   /// The pre-instrumentation slice body: one engine step, pipeline setup,
   /// or controller checkpoint of the embedded PipelineRun.
   Status RunSlice(int worker) {
+    if (FailIfOverBudget()) return Status::kDone;
     if (active_ != nullptr) {
       // Mid-pipeline: one controller checkpoint per slice.
       if (active_->run->Step() != Task::Status::kDone) return Status::kYield;
@@ -603,8 +742,19 @@ class QueryJob : public Task {
       if (active_ != nullptr) return Status::kYield;  // pipeline started
       if (++stage_index_ < program_->stages().size()) return Status::kYield;
     }
+    // The last stage may have grown past the budget inside its own slice.
+    if (FailIfOverBudget()) return Status::kDone;
     result_.rows = std::move(ctx_->result);
     result_.total_seconds = total_timer_.ElapsedSeconds();
+    result_.peak_memory_bytes = memory_->peak_bytes();
+    obs_->RecordQueryPeak(result_.peak_memory_bytes, scheduling_class());
+    // Retire this query's live profiler samples into the per-plan
+    // aggregate — every query, profiled or not, so CollapsedStacks and
+    // /profile cover the whole workload.
+    uint64_t cpu_samples = 0;
+    if (obs_->profiler != nullptr) {
+      cpu_samples = obs_->profiler->RetireQuery(query_id_, program_->name());
+    }
     RecordServiceTime(worker);
     if (options_.collect_profile) {
       // Fold this query's trace events into a structured profile before the
@@ -612,6 +762,8 @@ class QueryJob : public Task {
       // keeps the last few for the stats server's /profiles endpoint.
       auto profile = std::make_shared<QueryProfile>(BuildQueryProfile(
           obs_->tracer.Snapshot(), result_, query_id_, program_->name()));
+      profile->cpu_samples = cpu_samples;
+      profile->peak_memory_bytes = result_.peak_memory_bytes;
       result_.profile = profile;
       obs_->AddProfile(std::move(profile));
     }
@@ -650,6 +802,10 @@ class QueryJob : public Task {
   const QueryProgram* program_;
   QueryRunOptions options_;
   std::unique_ptr<QueryContext> ctx_;
+  /// Per-query memory accounting; shared with ctx_ and every runtime
+  /// structure created on the query's behalf (shared ownership keeps it
+  /// alive until the last charged structure has released).
+  std::shared_ptr<QueryMemoryTracker> memory_;
   PlanFingerprint fingerprint_;
   uint64_t pruning_aux_hash_ = 0;  ///< literals + bitmap contents (pruning key)
   std::shared_ptr<CacheEntry> entry_;  ///< null when the cache is bypassed
@@ -662,6 +818,10 @@ class QueryJob : public Task {
   size_t stage_index_ = 0;
   bool started_ = false;
   double estimated_cost_ms_ = 0;
+  uint64_t estimated_peak_bytes_ = 0;
+  /// Tracker bytes charged for the active pipeline's binding array and
+  /// private bytecode; released when the pipeline finishes or is abandoned.
+  uint64_t active_charged_bytes_ = 0;
   bool fully_cached_ = false;
   Timer total_timer_;  ///< from Submit — total_seconds includes queue wait
   std::promise<QueryRunResult> promise_;
@@ -684,10 +844,12 @@ void QueryJob::EstimateCost() {
   double observed = 0;
   bool all_resident = true;
   double ewma_ms = 0;
+  double ewma_peak = 0;
   uint64_t ewma_runs = 0;
   {
     std::lock_guard<std::mutex> lock(entry_->mu);
     ewma_ms = entry_->ewma_service_ms;
+    ewma_peak = entry_->ewma_peak_bytes;
     ewma_runs = entry_->observed_queries;
     for (const PipelineArtifact& a : entry_->pipelines) {
       if (a.bytecode == nullptr && a.code_variants.empty()) {
@@ -700,6 +862,10 @@ void QueryJob::EstimateCost() {
   fully_cached_ = all_resident;
   if (ewma_runs > 0) {
     estimated_cost_ms_ = std::max(0.05, ewma_ms);
+    // Peak-memory estimate for admission budget checks: only a plan with
+    // completed runs has one — a cold plan is admitted optimistically and
+    // caught by the runtime soft limit instead.
+    estimated_peak_bytes_ = static_cast<uint64_t>(ewma_peak);
   } else if (all_resident) {
     estimated_cost_ms_ = std::max(0.05, observed);
   }
@@ -716,12 +882,19 @@ void QueryJob::RecordServiceTime(int worker) {
   constexpr double kAlpha = 0.3;
   const double service_ms = std::max(
       0.0, (result_.total_seconds - result_.queue_wait_seconds) * 1e3);
+  const double peak_bytes = static_cast<double>(result_.peak_memory_bytes);
   {
     std::lock_guard<std::mutex> lock(entry_->mu);
     entry_->ewma_service_ms =
         entry_->observed_queries == 0
             ? service_ms
             : kAlpha * service_ms + (1 - kAlpha) * entry_->ewma_service_ms;
+    // Same fold for the admission memory estimate: the class-budget check
+    // at Submit reads this EWMA as the fingerprint's expected footprint.
+    entry_->ewma_peak_bytes =
+        entry_->observed_queries == 0
+            ? peak_bytes
+            : kAlpha * peak_bytes + (1 - kAlpha) * entry_->ewma_peak_bytes;
     ++entry_->observed_queries;
   }
   cache_->CountCostFeedback();
@@ -731,6 +904,7 @@ void QueryJob::RecordServiceTime(int worker) {
   sample.query_id = query_id_;
   sample.service_ms = service_ms;
   sample.queue_wait_ms = result_.queue_wait_seconds * 1e3;
+  sample.peak_bytes = result_.peak_memory_bytes;
   for (const PipelineReport& report : result_.pipelines) {
     sample.final_mode = std::max(sample.final_mode, report.final_mode);
   }
@@ -1128,6 +1302,16 @@ void QueryJob::StartCompiledPipeline(const QueryProgram::Stage& stage,
   ap->binding_values = std::move(binding_values);
   ap->my_constants = std::move(my_constants);
   ap->bytecode = std::move(bytecode);
+  // Per-run allocations the context's trackers can't see: the packed
+  // binding array and any private bytecode this run cloned (patched
+  // constants, dispatch clone, fresh translation). A shared cache-resident
+  // program is the cache's footprint, not this query's.
+  uint64_t run_bytes = ap->binding_values.size() * sizeof(uint64_t);
+  if (ap->bytecode != nullptr && ap->bytecode.get() != snap.bytecode.get()) {
+    run_bytes += BcProgramBytes(*ap->bytecode);
+  }
+  memory_->Charge(run_bytes);
+  active_charged_bytes_ = run_bytes;
   if (seed_code != nullptr) {
     ap->handle.SetCompiled(seed_code->fn, seed_mode);
     ap->seed_code = std::move(seed_code);
@@ -1196,6 +1380,8 @@ void QueryJob::StartCompiledPipeline(const QueryProgram::Stage& stage,
 
 /// Post-run accounting, after the embedded PipelineRun reported kDone.
 void QueryJob::FinishCompiledPipeline() {
+  memory_->Release(active_charged_bytes_);
+  active_charged_bytes_ = 0;
   ActivePipeline& ap = *active_;
   PipelineReport report = std::move(ap.report);
   PipelineRunStats stats = ap.run->TakeStats();
@@ -1249,6 +1435,16 @@ void QueryEngine::set_class_weight(int query_class, int weight) {
   impl_->sched.set_class_weight(query_class, weight);
 }
 
+void QueryEngine::set_class_memory_budget(int query_class, uint64_t bytes) {
+  AQE_CHECK(query_class >= 0 && query_class < kNumTaskClasses);
+  impl_->class_budget[query_class].store(bytes, std::memory_order_relaxed);
+}
+
+std::string QueryEngine::CollapsedStacks() const {
+  return impl_->obs.profiler != nullptr ? impl_->obs.profiler->CollapsedStacks()
+                                        : std::string();
+}
+
 std::future<QueryRunResult> QueryEngine::Submit(
     const QueryProgram& program, const QueryRunOptions& options) {
   Impl* impl = impl_.get();
@@ -1266,6 +1462,29 @@ std::future<QueryRunResult> QueryEngine::Submit(
   if (cls < 0) cls = 0;
   if (cls >= kNumTaskClasses) cls = kNumTaskClasses - 1;
   job->set_scheduling_class(cls);
+  // Per-class memory budget, checked before the query ever queues: a
+  // fingerprint whose cached peak estimate exceeds the budget fails with
+  // the typed error here — it never takes an admission slot, so other
+  // classes (and this class's in-budget plans) are unaffected.
+  const uint64_t budget = impl->class_budget[cls].load(std::memory_order_relaxed);
+  if (budget > 0 && job->estimated_peak_bytes() > budget) {
+    impl->obs.budget_rej_admission->Add();
+    job->FailAdmission(budget);
+    return future;
+  }
+  job->set_memory_budget(budget);
+  {
+    // Register the tracker for the mem.current_bytes gauge; prune expired
+    // slots of finished queries while the lock is held anyway.
+    std::lock_guard<std::mutex> lock(impl->obs.trackers_mu);
+    auto& live = impl->obs.live_trackers;
+    live.erase(std::remove_if(live.begin(), live.end(),
+                              [](const std::weak_ptr<QueryMemoryTracker>& w) {
+                                return w.expired();
+                              }),
+               live.end());
+    live.push_back(job->tracker());
+  }
   impl_->Admit(std::move(job), cls, cost_ms, cached);
   return future;
 }
@@ -1350,19 +1569,47 @@ MetricsSnapshot QueryEngine::Impl::BuildSnapshot() const {
   }
 
   // Trace rings: how much the exporters can still see — the totals plus a
-  // per-lane breakdown, so a single overflowing worker is identifiable
-  // (ci/check_trace.py gates the fairness smoke on zero drops).
+  // per-lane breakdown, so a single overflowing worker is identifiable.
+  // `dropped` splits into deliberate bulk-event decimation under ring
+  // pressure (`dropped.sampled`) vs genuine loss of lossless-class events
+  // (`dropped.lost` — what ci/check_trace.py gates at 0).
   snap.counters.emplace_back("trace.recorded", obs.tracer.total_recorded());
   snap.counters.emplace_back("trace.dropped", obs.tracer.total_dropped());
+  snap.counters.emplace_back("trace.dropped.sampled",
+                             obs.tracer.total_dropped_sampled());
+  snap.counters.emplace_back("trace.dropped.lost",
+                             obs.tracer.total_dropped_lost());
   for (const EngineTracer::LaneStats& ls : obs.tracer.lane_stats()) {
     std::snprintf(name, sizeof(name), "obs.ring.dropped.lane%d", ls.lane);
     snap.counters.emplace_back(name, ls.dropped);
   }
 
-  // Regression sentinel + reset epoch (obs.epoch moves when a concurrent
-  // ResetObservabilityStats landed between two snapshots).
+  // Regression sentinel.
   snap.counters.emplace_back("engine.anomalies_total",
                              obs.sentinel.anomaly_count());
+
+  // Memory accounting: live tracked bytes across in-flight queries and the
+  // engine-lifetime peak. The profiler's sampling rate rides along so
+  // scrapers can interpret profiler.samples as a rate.
+  uint64_t mem_current = 0;
+  {
+    std::lock_guard<std::mutex> lock(obs.trackers_mu);
+    for (const std::weak_ptr<QueryMemoryTracker>& w : obs.live_trackers) {
+      if (std::shared_ptr<QueryMemoryTracker> t = w.lock()) {
+        mem_current += t->current_bytes();
+      }
+    }
+  }
+  snap.gauges.emplace_back("mem.current_bytes",
+                           static_cast<int64_t>(mem_current));
+  snap.gauges.emplace_back(
+      "mem.peak_bytes",
+      static_cast<int64_t>(obs.engine_peak_bytes.load()));
+  snap.gauges.emplace_back(
+      "profiler.hz", obs.profiler != nullptr ? obs.profiler->hz() : 0);
+
+  // Reset epoch last (tests key on it closing the gauge list; it moves
+  // when a concurrent ResetObservabilityStats landed between snapshots).
   snap.gauges.emplace_back("obs.epoch",
                            static_cast<int64_t>(obs.stats_epoch.load()));
   return snap;
@@ -1420,6 +1667,7 @@ void QueryEngine::ResetObservabilityStats() {
   impl_->obs.metrics.Reset();
   impl_->obs.tracer.Reset();
   impl_->obs.sentinel.ResetAnomalies();
+  if (impl_->obs.profiler != nullptr) impl_->obs.profiler->Reset();
   impl_->cache.ResetStats();
   VmResetProfileCounts();
   ResetTranslatorCounters();

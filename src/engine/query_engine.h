@@ -10,6 +10,7 @@
 #include "cache/artifact_cache.h"
 #include "exec/trace.h"
 #include "index/access_path.h"
+#include "obs/memory_tracker.h"
 #include "obs/metrics.h"
 #include "obs/query_profile.h"
 #include "obs/regression.h"
@@ -123,6 +124,10 @@ struct QueryRunResult {
   /// plus engine steps. Translation/compilation are reported separately
   /// above — on a warm artifact-cache hit they are ~0 while this stays.
   double exec_seconds_total = 0;
+  /// Peak tracked allocation across the query's lifetime (hash tables,
+  /// output buffers, binding arenas, cloned programs). Always populated —
+  /// memory accounting is on for every engine query.
+  uint64_t peak_memory_bytes = 0;
   /// Set when the query ran with QueryRunOptions::collect_profile: the
   /// trace-ring fold ExplainAnalyze(result) renders. shared_ptr keeps the
   /// result copyable and lets the engine retain the last 64 profiles for
@@ -156,10 +161,15 @@ struct QueryEngineOptions {
   int num_threads = 4;
   /// >= 0 starts the observability HTTP server (obs/stats_server.h) on
   /// 127.0.0.1:<stats_port> serving GET /metrics (Prometheus text),
-  /// /trace.json (Chrome trace) and /profiles (last 64 QueryProfiles +
-  /// anomalies). 0 binds an ephemeral port — read it back via
-  /// QueryEngine::stats_port(). -1 (default): no server, no socket.
+  /// /trace.json (Chrome trace), /profiles (last 64 QueryProfiles +
+  /// anomalies) and /profile (continuous-profiler collapsed stacks). 0
+  /// binds an ephemeral port — read it back via QueryEngine::stats_port().
+  /// -1 (default): no server, no socket.
   int stats_port = -1;
+  /// Continuous-profiler sampling rate. -1 (default): the AQE_PROFILE_HZ
+  /// env override, or 97 Hz (prime, so the sampler never phase-locks with
+  /// msec-periodic engine activity). 0 disables the sampler thread.
+  int profile_hz = -1;
 };
 
 /// The public facade: executes QueryPrograms against a catalog under any
@@ -210,6 +220,21 @@ class QueryEngine {
   /// scheduler serves the class's slices in the same proportion.
   /// Thread-safe; takes effect immediately.
   void set_class_weight(int query_class, int weight);
+
+  /// Per-class peak-memory budget in bytes (0 = unlimited, the default).
+  /// Enforced twice: at Submit, a fingerprint whose cached peak-memory
+  /// estimate exceeds the budget is rejected before it queues; at runtime,
+  /// a query whose tracked allocation crosses the budget fails at the next
+  /// slice boundary. Both paths fail the query's future with a typed
+  /// MemoryBudgetExceeded (obs/memory_tracker.h); other classes are
+  /// unaffected. Thread-safe; takes effect for queries submitted later.
+  void set_class_memory_budget(int query_class, uint64_t bytes);
+
+  /// Collapsed-stack text of the continuous profiler (flamegraph.pl /
+  /// speedscope input): one "frame;frame;... count" line per distinct
+  /// (plan, pipeline, mode, activity) stack, plus engine idle time. Also
+  /// served at GET /profile when the stats server is on. Thread-safe.
+  std::string CollapsedStacks() const;
 
   /// One consistent snapshot of every engine metric, by name: counters and
   /// per-class latency histograms from the metrics registry

@@ -111,9 +111,12 @@ std::string ChromeTraceJson(const TraceSnapshot& snapshot) {
   out.reserve(snapshot.total_recorded() * 160 + 1024);
   Append(out,
          "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"recorded\":%llu,"
-         "\"dropped\":%llu},\"traceEvents\":[",
+         "\"dropped\":%llu,\"dropped_sampled\":%llu,\"dropped_lost\":%llu},"
+         "\"traceEvents\":[",
          static_cast<unsigned long long>(snapshot.total_recorded()),
-         static_cast<unsigned long long>(snapshot.total_dropped()));
+         static_cast<unsigned long long>(snapshot.total_dropped()),
+         static_cast<unsigned long long>(snapshot.total_dropped_sampled()),
+         static_cast<unsigned long long>(snapshot.total_dropped_lost()));
   bool first = true;
   auto comma = [&] {
     if (!first) out += ',';
@@ -236,6 +239,7 @@ std::string PrometheusText(const MetricsSnapshot& snapshot) {
            static_cast<long long>(v));
   }
   for (const auto& [name, h] : snapshot.histograms) {
+    if (h.count == 0) continue;  // never-recorded series stay out of exports
     const std::string n = PrometheusName(name);
     Append(out, "# TYPE %s histogram\n", n.c_str());
     uint64_t cum = 0;

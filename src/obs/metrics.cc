@@ -133,6 +133,9 @@ std::string MetricsSnapshot::ToJson() const {
   out += "},\"histograms\":{";
   first = true;
   for (const auto& [name, h] : histograms) {
+    // Never-recorded series stay out of exports (they still appear in the
+    // in-memory Snapshot so callers can probe them by name).
+    if (h.count == 0) continue;
     std::snprintf(
         buf, sizeof(buf),
         "%s\"%s\":{\"count\":%llu,\"sum\":%llu,\"max\":%llu,"

@@ -1,0 +1,146 @@
+#include "obs/profiler.h"
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "exec/function_handle.h"
+#include "obs/metrics.h"
+
+namespace aqe {
+
+namespace {
+
+const char* ActivityName(uint8_t activity) {
+  switch (static_cast<BeaconActivity>(activity)) {
+    case BeaconActivity::kIdle:
+      return "idle";
+    case BeaconActivity::kSlice:
+      return "engine-step";
+    case BeaconActivity::kMorsel:
+      return "morsel";
+    case BeaconActivity::kCompile:
+      return "compile";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+ContinuousProfiler::ContinuousProfiler(const BeaconBoard* board, int hz,
+                                       Counter* samples_counter)
+    : board_(board),
+      hz_(hz > 0 ? hz : 1),
+      samples_counter_(samples_counter),
+      sampler_([this] { SamplerLoop(); }) {}
+
+ContinuousProfiler::~ContinuousProfiler() {
+  stop_.store(true, std::memory_order_relaxed);
+  sampler_.join();
+}
+
+void ContinuousProfiler::SamplerLoop() {
+  const auto period =
+      std::chrono::nanoseconds(1000000000ll / static_cast<int64_t>(hz_));
+  while (!stop_.load(std::memory_order_relaxed)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (int lane = 0; lane < BeaconBoard::kLanes; ++lane) {
+        uint64_t w0 = 0, w1 = 0;
+        if (!SampleBeacon(board_->lane(lane), &w0, &w1)) continue;
+        FoldSample(w0);
+      }
+    }
+    // Sleep in short hops so destruction is prompt even at low Hz.
+    auto remaining = period;
+    const auto hop = std::chrono::milliseconds(20);
+    while (remaining.count() > 0 && !stop_.load(std::memory_order_relaxed)) {
+      const auto step = remaining < hop ? remaining : hop;
+      std::this_thread::sleep_for(step);
+      remaining -= step;
+    }
+  }
+}
+
+void ContinuousProfiler::FoldSample(uint64_t w0) {
+  total_samples_.fetch_add(1, std::memory_order_relaxed);
+  if (samples_counter_ != nullptr) samples_counter_->Add();
+  const uint32_t query_id = static_cast<uint32_t>(w0 >> 32);
+  if (query_id == 0) {
+    ++idle_samples_;
+    return;
+  }
+  auto it = live_.find(w0);
+  if (it != live_.end()) {
+    ++it->second;
+  } else if (live_.size() < kMaxStacks) {
+    live_.emplace(w0, 1);
+  } else {
+    ++overflow_samples_;
+  }
+}
+
+uint64_t ContinuousProfiler::RetireQuery(uint32_t query_id,
+                                         const std::string& plan_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t samples = 0;
+  for (auto it = live_.begin(); it != live_.end();) {
+    const uint64_t w0 = it->first;
+    if (static_cast<uint32_t>(w0 >> 32) != query_id) {
+      ++it;
+      continue;
+    }
+    const uint16_t pipeline = static_cast<uint16_t>(w0 >> 16);
+    const uint8_t mode = static_cast<uint8_t>(w0 >> 8);
+    const uint8_t activity = static_cast<uint8_t>(w0);
+    char frame[192];
+    if (static_cast<BeaconActivity>(activity) == BeaconActivity::kSlice) {
+      // Slice bookkeeping is pipeline-agnostic engine-step time.
+      std::snprintf(frame, sizeof(frame), "engine;%s;engine-step",
+                    plan_name.c_str());
+    } else {
+      std::snprintf(frame, sizeof(frame), "engine;%s;pipeline%u;%s;%s",
+                    plan_name.c_str(), static_cast<unsigned>(pipeline),
+                    ExecModeName(static_cast<ExecMode>(mode)),
+                    ActivityName(activity));
+    }
+    samples += it->second;
+    if (retired_.size() < kMaxStacks || retired_.count(frame) != 0) {
+      retired_[frame] += it->second;
+    } else {
+      overflow_samples_ += it->second;
+    }
+    it = live_.erase(it);
+  }
+  return samples;
+}
+
+std::string ContinuousProfiler::CollapsedStacks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(retired_.size() * 48 + 64);
+  for (const auto& [stack, count] : retired_) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  if (idle_samples_ > 0) {
+    out += "engine;idle " + std::to_string(idle_samples_) + "\n";
+  }
+  if (overflow_samples_ > 0) {
+    out += "engine;overflow " + std::to_string(overflow_samples_) + "\n";
+  }
+  return out;
+}
+
+void ContinuousProfiler::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_.clear();
+  retired_.clear();
+  idle_samples_ = 0;
+  overflow_samples_ = 0;
+  total_samples_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace aqe

@@ -207,12 +207,15 @@ std::string QueryProfile::ToJson() const {
          "\"queue_wait_s\":%.6f,\"exec_s\":%.6f,\"engine_step_s\":%.6f,"
          "\"on_cpu_s\":%.6f,"
          "\"compile_s\":%.6f,\"compiles\":%llu,\"cache_hits\":%llu,"
+         "\"cpu_samples\":%llu,\"peak_memory_bytes\":%llu,"
          "\"lossy\":%s,\"pipelines\":[",
          query_id, JsonEscape(plan_name).c_str(), total_seconds,
          queue_wait_seconds, exec_seconds, engine_step_seconds,
          on_cpu_seconds, compile_seconds,
          static_cast<unsigned long long>(compiles),
          static_cast<unsigned long long>(cache_hits),
+         static_cast<unsigned long long>(cpu_samples),
+         static_cast<unsigned long long>(peak_memory_bytes),
          lossy ? "true" : "false");
   bool first_p = true;
   for (const PipelineProfile& pp : pipelines) {
@@ -296,6 +299,9 @@ std::string ExplainAnalyze(const QueryRunResult& result) {
          static_cast<unsigned long long>(p.cache_hits));
   Append(out, "  engine steps %.3f ms (finalize / merge / top-k)\n",
          p.engine_step_seconds * 1e3);
+  Append(out, "  cpu-samples %llu; peak memory %llu bytes\n",
+         static_cast<unsigned long long>(p.cpu_samples),
+         static_cast<unsigned long long>(p.peak_memory_bytes));
   for (const PipelineProfile& pp : p.pipelines) {
     Append(out,
            "  pipeline %u \"%s\": %.3f ms wall (%.3f ms exec-only), "

@@ -88,6 +88,12 @@ struct QueryProfile {
   double compile_seconds = 0;
   uint64_t compiles = 0;
   uint64_t cache_hits = 0;  ///< artifacts reused instead of compiled
+  /// Continuous-profiler samples attributed to this query (0 when the
+  /// sampler never caught it — short queries at low Hz).
+  uint64_t cpu_samples = 0;
+  /// Peak tracked allocation across the query's lifetime (memory
+  /// accounting; 0 when the engine ran without a tracker).
+  uint64_t peak_memory_bytes = 0;
   /// True when any trace ring dropped events inside the query's window:
   /// morsel/mode aggregates below may undercount.
   bool lossy = false;

@@ -16,6 +16,7 @@ const char* AnomalyCauseName(AnomalyCause cause) {
     case AnomalyCause::kCacheEvicted: return "cache-evicted";
     case AnomalyCause::kModeRegressed: return "mode-regressed";
     case AnomalyCause::kQueueWait: return "queue-wait";
+    case AnomalyCause::kMemoryBlowup: return "memory-blowup";
     default: return "unknown";
   }
 }
@@ -44,9 +45,19 @@ bool RegressionTracker::Observe(const Observation& obs,
       rec.expected_ms = t.ewma_ms;
       rec.observed_ms = obs.service_ms;
       rec.queue_wait_ms = obs.queue_wait_ms;
+      rec.expected_peak_bytes = static_cast<uint64_t>(t.ewma_peak_bytes);
+      rec.observed_peak_bytes = obs.peak_bytes;
       rec.plan_name = obs.plan_name;
+      // kPeakFloorBytes keeps KiB-scale jitter on small plans from being
+      // named a blowup; the baseline must also have real support.
+      constexpr double kPeakFloorBytes = 1 << 20;
       if (t.evicted_since_last) {
         rec.cause = AnomalyCause::kCacheEvicted;
+      } else if (t.ewma_peak_bytes > 0 &&
+                 static_cast<double>(obs.peak_bytes) >
+                     4.0 * t.ewma_peak_bytes &&
+                 static_cast<double>(obs.peak_bytes) > kPeakFloorBytes) {
+        rec.cause = AnomalyCause::kMemoryBlowup;
       } else if (obs.final_mode < t.best_mode) {
         rec.cause = AnomalyCause::kModeRegressed;
       } else if (obs.queue_wait_ms > obs.service_ms) {
@@ -61,6 +72,7 @@ bool RegressionTracker::Observe(const Observation& obs,
   // to the new normal instead of alerting on every run).
   if (t.runs == 0) {
     t.ewma_ms = obs.service_ms;
+    t.ewma_peak_bytes = static_cast<double>(obs.peak_bytes);
   } else {
     const double abs_dev = std::fabs(obs.service_ms - t.ewma_ms);
     t.mad_ms = t.runs == 1
@@ -68,6 +80,8 @@ bool RegressionTracker::Observe(const Observation& obs,
                    : kEwmaAlpha * abs_dev + (1 - kEwmaAlpha) * t.mad_ms;
     t.ewma_ms =
         kEwmaAlpha * obs.service_ms + (1 - kEwmaAlpha) * t.ewma_ms;
+    t.ewma_peak_bytes = kEwmaAlpha * static_cast<double>(obs.peak_bytes) +
+                        (1 - kEwmaAlpha) * t.ewma_peak_bytes;
   }
   ++t.runs;
   t.best_mode = std::max(t.best_mode, obs.final_mode);

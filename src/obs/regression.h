@@ -25,6 +25,9 @@ enum class AnomalyCause : uint8_t {
   /// Admission/queue wait exceeded the service time itself: load, not the
   /// plan, dominated the latency.
   kQueueWait = 3,
+  /// Peak memory blew past the fingerprint's baseline by 4x: the slowdown
+  /// tracks allocation churn (hash-table growth, spill-scale buffering).
+  kMemoryBlowup = 4,
 };
 
 const char* AnomalyCauseName(AnomalyCause cause);
@@ -37,6 +40,8 @@ struct AnomalyRecord {
   double expected_ms = 0;  ///< the fingerprint's EWMA before this run
   double observed_ms = 0;  ///< this run's service time
   double queue_wait_ms = 0;
+  uint64_t expected_peak_bytes = 0;  ///< peak-memory EWMA before this run
+  uint64_t observed_peak_bytes = 0;  ///< this run's tracked peak
   std::string plan_name;
 };
 
@@ -57,6 +62,8 @@ class RegressionTracker {
     double queue_wait_ms = 0;
     /// Fastest final mode across the query's pipelines this run.
     ExecMode final_mode = ExecMode::kBytecode;
+    /// Tracked peak memory of this run (0 when accounting is off).
+    uint64_t peak_bytes = 0;
     std::string plan_name;
   };
 
@@ -92,6 +99,7 @@ class RegressionTracker {
   struct Tracked {
     double ewma_ms = 0;
     double mad_ms = 0;  ///< EWMA of |deviation| (MAD-style, same alpha)
+    double ewma_peak_bytes = 0;
     uint64_t runs = 0;
     ExecMode best_mode = ExecMode::kBytecode;
     bool evicted_since_last = false;

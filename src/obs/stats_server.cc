@@ -112,11 +112,14 @@ void StatsServer::Serve() {
     } else if (path == "/profiles" && handlers_.profiles_json) {
       SendResponse(client, "200 OK", "application/json",
                    handlers_.profiles_json());
+    } else if (path == "/profile" && handlers_.profile_text) {
+      SendResponse(client, "200 OK", "text/plain", handlers_.profile_text());
     } else if (path.empty()) {
       SendResponse(client, "400 Bad Request", "text/plain", "bad request\n");
     } else {
       SendResponse(client, "404 Not Found", "text/plain",
-                   "not found; routes: /metrics /trace.json /profiles\n");
+                   "not found; routes: /metrics /trace.json /profiles "
+                   "/profile\n");
     }
     ::close(client);
   }

@@ -19,14 +19,16 @@ namespace aqe {
 /// Routes (fixed): GET /metrics -> handlers.metrics_text (Prometheus text
 /// exposition), GET /trace.json -> handlers.trace_json (Chrome trace),
 /// GET /profiles -> handlers.profiles_json (recent QueryProfiles +
-/// anomalies). Anything else is 404. Handlers run on the server thread
-/// and must be thread-safe against the engine.
+/// anomalies), GET /profile -> handlers.profile_text (continuous-profiler
+/// collapsed stacks, flamegraph.pl input). Anything else is 404. Handlers
+/// run on the server thread and must be thread-safe against the engine.
 class StatsServer {
  public:
   struct Handlers {
     std::function<std::string()> metrics_text;
     std::function<std::string()> trace_json;
     std::function<std::string()> profiles_json;
+    std::function<std::string()> profile_text;
   };
 
   /// Binds 127.0.0.1:`port` (0 = ephemeral; read the bound port back via

@@ -1,5 +1,6 @@
 #include "obs/tracer.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/timer.h"
@@ -22,6 +23,12 @@ const char* kKindNames[] = {
     "scan-prune",
 };
 
+/// The high-frequency classes that saturate rings under load; everything
+/// else is admission/decision/anomaly-grade and must stay lossless.
+bool IsBulkKind(TraceEventKind kind) {
+  return kind == TraceEventKind::kMorsel || kind == TraceEventKind::kTaskSlice;
+}
+
 }  // namespace
 
 const char* TraceEventKindName(TraceEventKind kind) {
@@ -42,28 +49,51 @@ EngineTracer::~EngineTracer() {
   }
 }
 
-TraceRing* EngineTracer::Lane(int lane) {
+EngineTracer::LaneRings* EngineTracer::Lane(int lane) {
   auto& slot = lanes_[lane];
-  TraceRing* ring = slot.load(std::memory_order_acquire);
-  if (ring != nullptr) return ring;
+  LaneRings* rings = slot.load(std::memory_order_acquire);
+  if (rings != nullptr) return rings;
   std::lock_guard<std::mutex> lock(create_mu_);
-  ring = slot.load(std::memory_order_acquire);
-  if (ring == nullptr) {
-    ring = new TraceRing(ring_capacity_);
-    slot.store(ring, std::memory_order_release);
+  rings = slot.load(std::memory_order_acquire);
+  if (rings == nullptr) {
+    rings = new LaneRings(ring_capacity_,
+                          std::max(kMinCriticalEvents, ring_capacity_ / 4));
+    slot.store(rings, std::memory_order_release);
   }
-  return ring;
+  return rings;
 }
 
 void EngineTracer::Record(int lane, const TraceEvent& event) {
   if (lane < 0 || lane >= kMaxLanes) lane = 0;
-  Lane(lane)->Push(event);
+  LaneRings* rings = Lane(lane);
+  rings->offered.fetch_add(1, std::memory_order_relaxed);
+  if (!IsBulkKind(event.kind)) {
+    rings->critical.Push(event);
+    return;
+  }
+  // Bulk path: record losslessly until the ring has wrapped once, then
+  // decimate to 1-in-kBulkSampleEvery — under saturation the ring keeps a
+  // *longer* (sparser) history instead of churning through overwrites,
+  // and the skips are accounted as dropped_sampled.
+  if (rings->bulk.recorded() >= rings->bulk.capacity()) {
+    const uint64_t seq =
+        rings->sampled_seq.fetch_add(1, std::memory_order_relaxed);
+    if (seq % kBulkSampleEvery != kBulkSampleEvery - 1) {
+      rings->sampled_skips.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  rings->bulk.Push(event);
 }
 
 void EngineTracer::Reset() {
   for (auto& slot : lanes_) {
-    if (TraceRing* ring = slot.load(std::memory_order_acquire)) {
-      ring->Clear();
+    if (LaneRings* rings = slot.load(std::memory_order_acquire)) {
+      rings->bulk.Clear();
+      rings->critical.Clear();
+      rings->offered.store(0, std::memory_order_relaxed);
+      rings->sampled_seq.store(0, std::memory_order_relaxed);
+      rings->sampled_skips.store(0, std::memory_order_relaxed);
     }
   }
   origin_nanos_.store(MonotonicNanos(), std::memory_order_relaxed);
@@ -73,13 +103,25 @@ TraceSnapshot EngineTracer::Snapshot() const {
   TraceSnapshot snap;
   snap.origin_nanos = origin_nanos();
   for (int lane = 0; lane < kMaxLanes; ++lane) {
-    const TraceRing* ring = lanes_[lane].load(std::memory_order_acquire);
-    if (ring == nullptr || ring->recorded() == 0) continue;
+    const LaneRings* rings = lanes_[lane].load(std::memory_order_acquire);
+    if (rings == nullptr ||
+        rings->offered.load(std::memory_order_relaxed) == 0) {
+      continue;
+    }
     TraceSnapshot::Lane l;
     l.lane = lane;
-    l.events = ring->Snapshot();
-    l.recorded = ring->recorded();
-    l.dropped = ring->dropped();
+    std::vector<TraceEvent> bulk = rings->bulk.Snapshot();
+    std::vector<TraceEvent> critical = rings->critical.Snapshot();
+    l.events.reserve(bulk.size() + critical.size());
+    std::merge(bulk.begin(), bulk.end(), critical.begin(), critical.end(),
+               std::back_inserter(l.events),
+               [](const TraceEvent& a, const TraceEvent& b) {
+                 return a.start_nanos < b.start_nanos;
+               });
+    l.recorded = rings->offered.load(std::memory_order_relaxed);
+    l.dropped_sampled = rings->dropped_sampled();
+    l.dropped_lost = rings->dropped_lost();
+    l.dropped = l.dropped_sampled + l.dropped_lost;
     snap.lanes.push_back(std::move(l));
   }
   return snap;
@@ -88,8 +130,8 @@ TraceSnapshot EngineTracer::Snapshot() const {
 uint64_t EngineTracer::total_recorded() const {
   uint64_t n = 0;
   for (const auto& slot : lanes_) {
-    if (const TraceRing* ring = slot.load(std::memory_order_acquire)) {
-      n += ring->recorded();
+    if (const LaneRings* rings = slot.load(std::memory_order_acquire)) {
+      n += rings->offered.load(std::memory_order_relaxed);
     }
   }
   return n;
@@ -98,18 +140,41 @@ uint64_t EngineTracer::total_recorded() const {
 std::vector<EngineTracer::LaneStats> EngineTracer::lane_stats() const {
   std::vector<LaneStats> stats;
   for (int lane = 0; lane < kMaxLanes; ++lane) {
-    const TraceRing* ring = lanes_[lane].load(std::memory_order_acquire);
-    if (ring == nullptr || ring->recorded() == 0) continue;
-    stats.push_back({lane, ring->recorded(), ring->dropped()});
+    const LaneRings* rings = lanes_[lane].load(std::memory_order_acquire);
+    if (rings == nullptr ||
+        rings->offered.load(std::memory_order_relaxed) == 0) {
+      continue;
+    }
+    LaneStats s;
+    s.lane = lane;
+    s.recorded = rings->offered.load(std::memory_order_relaxed);
+    s.dropped_sampled = rings->dropped_sampled();
+    s.dropped_lost = rings->dropped_lost();
+    s.dropped = s.dropped_sampled + s.dropped_lost;
+    stats.push_back(s);
   }
   return stats;
 }
 
 uint64_t EngineTracer::total_dropped() const {
+  return total_dropped_sampled() + total_dropped_lost();
+}
+
+uint64_t EngineTracer::total_dropped_sampled() const {
   uint64_t n = 0;
   for (const auto& slot : lanes_) {
-    if (const TraceRing* ring = slot.load(std::memory_order_acquire)) {
-      n += ring->dropped();
+    if (const LaneRings* rings = slot.load(std::memory_order_acquire)) {
+      n += rings->dropped_sampled();
+    }
+  }
+  return n;
+}
+
+uint64_t EngineTracer::total_dropped_lost() const {
+  uint64_t n = 0;
+  for (const auto& slot : lanes_) {
+    if (const LaneRings* rings = slot.load(std::memory_order_acquire)) {
+      n += rings->dropped_lost();
     }
   }
   return n;

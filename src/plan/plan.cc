@@ -1,9 +1,17 @@
 #include "plan/plan.h"
 
 #include "common/status.h"
+#include "obs/memory_tracker.h"
 #include "simd/simd.h"
 
 namespace aqe {
+
+void QueryContext::AttachMemoryTracker(
+    std::shared_ptr<QueryMemoryTracker> tracker) {
+  memory = std::move(tracker);
+  for (auto& set : agg_sets) set->set_memory_tracker(memory.get());
+  for (auto& out : outputs) out->set_memory_tracker(memory.get());
+}
 
 int QueryProgram::DeclareJoinTable(uint32_t payload_slots) {
   join_payload_slots_.push_back(payload_slots);

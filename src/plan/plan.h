@@ -16,6 +16,8 @@
 
 namespace aqe {
 
+class QueryMemoryTracker;
+
 /// Runtime state of one query execution: the hash tables, aggregation
 /// tables, output buffers and temporary tables declared by its
 /// QueryProgram, plus the final result rows. Created fresh per run.
@@ -25,8 +27,17 @@ struct QueryContext {
   std::vector<std::unique_ptr<AggHashTableSet>> agg_sets;
   std::vector<std::unique_ptr<OutputBuffer>> outputs;
   std::vector<std::unique_ptr<Table>> temp_tables;
+  /// Per-query memory accounting (null when the run is untracked, e.g.
+  /// standalone runner/test pipelines). Engine steps that create runtime
+  /// structures pass memory.get() so their allocations are charged.
+  std::shared_ptr<QueryMemoryTracker> memory;
   /// The query result (after the final engine step).
   std::vector<std::vector<int64_t>> result;
+
+  /// Attaches the tracker and forwards it to the already-created agg sets
+  /// and output buffers (join tables are created later by engine steps,
+  /// which read `memory` themselves).
+  void AttachMemoryTracker(std::shared_ptr<QueryMemoryTracker> tracker);
 };
 
 /// A complete executable query: declarations of runtime objects, the

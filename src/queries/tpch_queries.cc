@@ -91,7 +91,8 @@ void AddMakeJoinTable(QueryProgram* q, int ht, std::string table,
                       uint32_t payload_slots) {
   q->AddStep([ht, table = std::move(table), payload_slots](QueryContext* ctx) {
     ctx->join_tables[static_cast<size_t>(ht)] = std::make_unique<JoinHashTable>(
-        ctx->catalog->GetTable(table)->num_rows(), payload_slots);
+        ctx->catalog->GetTable(table)->num_rows(), payload_slots,
+        ctx->memory.get());
   });
 }
 
@@ -815,7 +816,8 @@ QueryProgram BuildQ18(const Catalog& cat) {
   // join hash table (the paper's queryStart-style C++ glue).
   q.AddStep([agg, qualify_ht, items = std::make_shared<const std::vector<AggItem>>(CloneItems(items))](QueryContext* ctx) {
     AggHashTable merged = MergeAgg(ctx, agg, *items, InitsFor(*items));
-    auto ht = std::make_unique<JoinHashTable>(merged.size() + 1, 1);
+    auto ht = std::make_unique<JoinHashTable>(merged.size() + 1, 1,
+                                              ctx->memory.get());
     merged.ForEach([&ht](int64_t key, void* payload) {
       int64_t sum = *static_cast<const int64_t*>(payload);
       if (sum > 300 * kDecimalScale) {

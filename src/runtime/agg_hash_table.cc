@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/status.h"
+#include "obs/memory_tracker.h"
 
 namespace aqe {
 
@@ -15,13 +16,60 @@ uint64_t HashKey(int64_t key) {
 }  // namespace
 
 AggHashTable::AggHashTable(uint32_t payload_slots,
-                           std::vector<int64_t> init_values)
-    : payload_slots_(payload_slots), init_values_(std::move(init_values)) {
+                           std::vector<int64_t> init_values,
+                           QueryMemoryTracker* tracker)
+    : payload_slots_(payload_slots),
+      init_values_(std::move(init_values)),
+      tracker_(tracker) {
   AQE_CHECK(init_values_.size() == payload_slots_);
   capacity_ = 64;
   mask_ = capacity_ - 1;
   data_.resize(capacity_ * entry_bytes());
   occupied_.assign(capacity_, 0);
+  if (tracker_ != nullptr) {
+    charged_bytes_ = data_.size() + occupied_.size();
+    tracker_->Charge(charged_bytes_);
+  }
+}
+
+AggHashTable::~AggHashTable() {
+  if (tracker_ != nullptr && charged_bytes_ > 0) {
+    tracker_->Release(charged_bytes_);
+  }
+}
+
+AggHashTable::AggHashTable(AggHashTable&& other) noexcept
+    : payload_slots_(other.payload_slots_),
+      init_values_(std::move(other.init_values_)),
+      capacity_(other.capacity_),
+      mask_(other.mask_),
+      size_(other.size_),
+      data_(std::move(other.data_)),
+      occupied_(std::move(other.occupied_)),
+      tracker_(other.tracker_),
+      charged_bytes_(other.charged_bytes_) {
+  // The charge moves with the storage; the source must not double-release.
+  other.tracker_ = nullptr;
+  other.charged_bytes_ = 0;
+}
+
+AggHashTable& AggHashTable::operator=(AggHashTable&& other) noexcept {
+  if (this == &other) return *this;
+  if (tracker_ != nullptr && charged_bytes_ > 0) {
+    tracker_->Release(charged_bytes_);
+  }
+  payload_slots_ = other.payload_slots_;
+  init_values_ = std::move(other.init_values_);
+  capacity_ = other.capacity_;
+  mask_ = other.mask_;
+  size_ = other.size_;
+  data_ = std::move(other.data_);
+  occupied_ = std::move(other.occupied_);
+  tracker_ = other.tracker_;
+  charged_bytes_ = other.charged_bytes_;
+  other.tracker_ = nullptr;
+  other.charged_bytes_ = 0;
+  return *this;
 }
 
 void* AggHashTable::FindOrInsert(int64_t key) {
@@ -62,6 +110,11 @@ void AggHashTable::Grow() {
   mask_ = capacity_ - 1;
   data_.resize(capacity_ * entry_bytes());
   occupied_.assign(capacity_, 0);
+  if (tracker_ != nullptr) {
+    const uint64_t footprint = data_.size() + occupied_.size();
+    tracker_->Charge(footprint - charged_bytes_);
+    charged_bytes_ = footprint;
+  }
   const uint8_t* old_base = old_data.data();
   for (uint64_t i = 0; i < old_capacity; ++i) {
     if (!old_occupied[i]) continue;
@@ -95,7 +148,8 @@ AggHashTable* AggHashTableSet::Local() {
   AQE_CHECK(static_cast<size_t>(index) < tables_.size());
   auto& table = tables_[static_cast<size_t>(index)];
   if (table == nullptr) {
-    table = std::make_unique<AggHashTable>(payload_slots_, init_values_);
+    table = std::make_unique<AggHashTable>(payload_slots_, init_values_,
+                                           tracker_);
   }
   return table.get();
 }

@@ -8,6 +8,8 @@
 
 namespace aqe {
 
+class QueryMemoryTracker;
+
 namespace runtime_internal {
 /// Worker-thread index plumbing shared by the runtime (set by the morsel
 /// scheduler, read by thread-local runtime structures).
@@ -25,13 +27,16 @@ int GetThreadIndex();
 class AggHashTable {
  public:
   /// `payload_slots` aggregate values per group, initialized to
-  /// `init_values` (size payload_slots) on first touch.
-  AggHashTable(uint32_t payload_slots, std::vector<int64_t> init_values);
+  /// `init_values` (size payload_slots) on first touch. `tracker` (may be
+  /// null) is charged for the backing arrays, including growth.
+  AggHashTable(uint32_t payload_slots, std::vector<int64_t> init_values,
+               QueryMemoryTracker* tracker = nullptr);
+  ~AggHashTable();
 
   AggHashTable(const AggHashTable&) = delete;
   AggHashTable& operator=(const AggHashTable&) = delete;
-  AggHashTable(AggHashTable&&) = default;
-  AggHashTable& operator=(AggHashTable&&) = default;
+  AggHashTable(AggHashTable&& other) noexcept;
+  AggHashTable& operator=(AggHashTable&& other) noexcept;
 
   /// Payload pointer for `key`, inserting an initialized entry if new.
   void* FindOrInsert(int64_t key);
@@ -59,6 +64,8 @@ class AggHashTable {
   uint64_t size_ = 0;
   std::vector<uint8_t> data_;      // capacity_ * entry_bytes()
   std::vector<uint8_t> occupied_;  // capacity_ bytes
+  QueryMemoryTracker* tracker_ = nullptr;
+  uint64_t charged_bytes_ = 0;  ///< what tracker_ was charged so far
 };
 
 /// The per-thread set of aggregation tables for one aggregation operator.
@@ -67,6 +74,10 @@ class AggHashTableSet {
  public:
   AggHashTableSet(uint32_t payload_slots, std::vector<int64_t> init_values,
                   int max_threads = 64);
+
+  /// Memory accounting for tables created from now on (existing tables are
+  /// not retro-charged; the engine attaches the tracker before execution).
+  void set_memory_tracker(QueryMemoryTracker* tracker) { tracker_ = tracker; }
 
   /// Table of the calling worker thread (created lazily).
   AggHashTable* Local();
@@ -84,6 +95,7 @@ class AggHashTableSet {
   uint32_t payload_slots_;
   std::vector<int64_t> init_values_;
   std::vector<std::unique_ptr<AggHashTable>> tables_;
+  QueryMemoryTracker* tracker_ = nullptr;
 };
 
 }  // namespace aqe

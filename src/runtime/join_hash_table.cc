@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/status.h"
+#include "obs/memory_tracker.h"
 
 namespace aqe {
 
@@ -25,12 +26,14 @@ struct JoinHashTable::Arena {
   static constexpr size_t kChunkBytes = 1 << 20;
   std::vector<std::unique_ptr<uint8_t[]>> chunks;
   size_t used_in_chunk = kChunkBytes;  // force first allocation
+  QueryMemoryTracker* tracker = nullptr;
 
   uint8_t* Alloc(size_t bytes) {
     AQE_CHECK(bytes <= kChunkBytes);
     if (used_in_chunk + bytes > kChunkBytes) {
       chunks.push_back(std::make_unique<uint8_t[]>(kChunkBytes));
       used_in_chunk = 0;
+      if (tracker != nullptr) tracker->Charge(kChunkBytes);
     }
     uint8_t* p = chunks.back().get() + used_in_chunk;
     used_in_chunk += bytes;
@@ -39,17 +42,28 @@ struct JoinHashTable::Arena {
 };
 
 JoinHashTable::JoinHashTable(uint64_t expected_entries,
-                             uint32_t payload_slots)
-    : payload_slots_(payload_slots) {
+                             uint32_t payload_slots,
+                             QueryMemoryTracker* tracker)
+    : payload_slots_(payload_slots), tracker_(tracker) {
   uint64_t buckets = 16;
   while (buckets < expected_entries) buckets <<= 1;
   directory_ = std::vector<std::atomic<uint8_t*>>(buckets);
   for (auto& slot : directory_) slot.store(nullptr, std::memory_order_relaxed);
   mask_ = buckets - 1;
   arenas_.resize(kMaxThreads);
+  if (tracker_ != nullptr) {
+    tracker_->Charge(directory_.size() * sizeof(std::atomic<uint8_t*>));
+  }
 }
 
-JoinHashTable::~JoinHashTable() = default;
+JoinHashTable::~JoinHashTable() {
+  if (tracker_ == nullptr) return;
+  uint64_t bytes = directory_.size() * sizeof(std::atomic<uint8_t*>);
+  for (const auto& arena : arenas_) {
+    if (arena != nullptr) bytes += arena->chunks.size() * Arena::kChunkBytes;
+  }
+  tracker_->Release(bytes);
+}
 
 uint64_t JoinHashTable::HashKey(int64_t key) {
   // Multiplicative hashing with a finalizer (good spread for dense keys).
@@ -64,7 +78,9 @@ uint8_t* JoinHashTable::AllocNode() {
   if (arena == nullptr) {
     std::lock_guard<std::mutex> lock(arena_mutex_);
     if (arenas_[static_cast<size_t>(index)] == nullptr) {
-      arenas_[static_cast<size_t>(index)] = std::make_unique<Arena>();
+      auto fresh = std::make_unique<Arena>();
+      fresh->tracker = tracker_;
+      arenas_[static_cast<size_t>(index)] = std::move(fresh);
     }
     arena = arenas_[static_cast<size_t>(index)].get();
   }

@@ -9,6 +9,8 @@
 
 namespace aqe {
 
+class QueryMemoryTracker;
+
 /// Chaining hash table for hash joins, usable concurrently from generated
 /// code (JIT or VM alike). The directory is sized up front from the build
 /// pipeline's known input cardinality (morsel framework always knows the
@@ -23,7 +25,10 @@ class JoinHashTable {
  public:
   /// `expected_entries` sizes the directory (an upper bound is fine);
   /// `payload_slots` is the number of 8-byte payload values per entry.
-  JoinHashTable(uint64_t expected_entries, uint32_t payload_slots);
+  /// `tracker` (may be null) is charged for the directory up front and for
+  /// each per-thread arena chunk as build inserts allocate them.
+  JoinHashTable(uint64_t expected_entries, uint32_t payload_slots,
+                QueryMemoryTracker* tracker = nullptr);
   ~JoinHashTable();
 
   JoinHashTable(const JoinHashTable&) = delete;
@@ -69,6 +74,7 @@ class JoinHashTable {
   uint64_t mask_;
   uint32_t payload_slots_;
   std::atomic<uint64_t> size_{0};
+  QueryMemoryTracker* tracker_ = nullptr;
 
   mutable std::mutex arena_mutex_;
   std::vector<std::unique_ptr<Arena>> arenas_;

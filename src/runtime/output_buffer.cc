@@ -1,6 +1,7 @@
 #include "runtime/output_buffer.h"
 
 #include "common/status.h"
+#include "obs/memory_tracker.h"
 #include "runtime/agg_hash_table.h"
 
 namespace aqe {
@@ -9,6 +10,18 @@ OutputBuffer::OutputBuffer(uint32_t row_slots, int max_threads)
     : row_slots_(row_slots) {
   AQE_CHECK(row_slots_ > 0);
   buffers_.resize(static_cast<size_t>(max_threads));
+}
+
+OutputBuffer::~OutputBuffer() {
+  if (tracker_ == nullptr) return;
+  uint64_t bytes = 0;
+  for (const auto& buffer : buffers_) {
+    if (buffer != nullptr) {
+      bytes += buffer->chunks.size() * ThreadBuffer::kRowsPerChunk *
+               row_slots_ * sizeof(int64_t);
+    }
+  }
+  if (bytes > 0) tracker_->Release(bytes);
 }
 
 int64_t* OutputBuffer::AllocRow() {
@@ -26,6 +39,10 @@ int64_t* OutputBuffer::AllocRow() {
   if (row_in_chunk == 0) {
     buffer->chunks.push_back(std::make_unique<int64_t[]>(
         ThreadBuffer::kRowsPerChunk * row_slots_));
+    if (tracker_ != nullptr) {
+      tracker_->Charge(ThreadBuffer::kRowsPerChunk * row_slots_ *
+                       sizeof(int64_t));
+    }
   }
   ++buffer->rows;
   return buffer->chunks.back().get() + row_in_chunk * row_slots_;

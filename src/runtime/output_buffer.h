@@ -8,6 +8,8 @@
 
 namespace aqe {
 
+class QueryMemoryTracker;
+
 /// Collects result rows produced by generated code. Each row is a fixed
 /// number of 8-byte slots (integers/decimals raw, doubles bit-cast). Worker
 /// threads append into thread-local sub-buffers; Rows() concatenates them
@@ -15,6 +17,11 @@ namespace aqe {
 class OutputBuffer {
  public:
   explicit OutputBuffer(uint32_t row_slots, int max_threads = 64);
+  ~OutputBuffer();
+
+  /// Memory accounting for chunks allocated from now on; the tracker must
+  /// outlive the buffer (both are owned by the same query).
+  void set_memory_tracker(QueryMemoryTracker* tracker) { tracker_ = tracker; }
 
   /// Reserves one row in the calling thread's sub-buffer and returns the
   /// pointer to its first slot (valid until the next AllocRow on the same
@@ -36,6 +43,7 @@ class OutputBuffer {
 
   uint32_t row_slots_;
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  QueryMemoryTracker* tracker_ = nullptr;
   mutable std::mutex create_mutex_;
 };
 

@@ -15,7 +15,9 @@
 
 #include "engine/query_engine.h"
 #include "obs/export.h"
+#include "obs/memory_tracker.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/query_profile.h"
 #include "obs/regression.h"
 #include "obs/trace_ring.h"
@@ -851,6 +853,372 @@ TEST_F(ObsEngineTest, SnapshotNeverObservesHalfAReset) {
   resetter.join();
   EXPECT_GT(snapshots, 0u);
   EXPECT_EQ(engine.ObservabilitySnapshot().gauges.back().second, 100);
+}
+
+// --- QueryMemoryTracker ----------------------------------------------------
+
+TEST(MemoryTrackerTest, LargeChargesAreExactAndPeakIsHighWater) {
+  QueryMemoryTracker t;
+  // Charges >= kFlushBytes bypass the thread slots and fold immediately,
+  // so both current and peak are exact.
+  t.Charge(1u << 20);
+  t.Charge(2u << 20);
+  EXPECT_EQ(t.current_bytes(), 3u << 20);
+  EXPECT_EQ(t.peak_bytes(), 3u << 20);
+  t.Release(2u << 20);
+  EXPECT_EQ(t.current_bytes(), 1u << 20);
+  EXPECT_EQ(t.peak_bytes(), 3u << 20);  // high-water never recedes
+  t.Release(1u << 20);
+  EXPECT_EQ(t.current_bytes(), 0u);
+}
+
+TEST(MemoryTrackerTest, SmallChargesStayExactInCurrent) {
+  QueryMemoryTracker t;
+  // Below-threshold charges park in a thread slot; current_bytes folds the
+  // residues in, so it is exact at any quiesce point regardless.
+  for (int i = 0; i < 1000; ++i) t.Charge(100);
+  EXPECT_EQ(t.current_bytes(), 100000u);
+  // 100 KB crossed kFlushBytes at least once, so the shared counter (and
+  // with it the peak) saw a fold.
+  EXPECT_GT(t.peak_bytes(), 0u);
+  for (int i = 0; i < 1000; ++i) t.Release(100);
+  EXPECT_EQ(t.current_bytes(), 0u);
+}
+
+TEST(MemoryTrackerTest, SoftLimitLatchesAndNeverUnlatches) {
+  QueryMemoryTracker t;
+  t.set_soft_limit(1u << 20);
+  EXPECT_FALSE(t.over_budget());
+  t.Charge(512u << 10);
+  EXPECT_FALSE(t.over_budget());
+  t.Charge(1u << 20);  // crosses the limit
+  EXPECT_TRUE(t.over_budget());
+  // Releasing below the limit does not unlatch: a query that ever exceeded
+  // its budget is failed, not forgiven.
+  t.Release(1u << 20);
+  t.Release(512u << 10);
+  EXPECT_EQ(t.current_bytes(), 0u);
+  EXPECT_TRUE(t.over_budget());
+}
+
+TEST(MemoryTrackerTest, ConcurrentChargeReleaseBalancesToZero) {
+  // TSan matrix target: threads hammer matched charge/release pairs through
+  // the thread-cached slots; the books must balance exactly afterwards.
+  QueryMemoryTracker t;
+  constexpr int kThreads = 4, kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kThreads; ++c) {
+    threads.emplace_back([&t] {
+      for (int i = 0; i < kIters; ++i) {
+        t.Charge(4096);
+        t.Charge(96 << 10);  // above kFlushBytes: folds directly
+        t.Release(96 << 10);
+        t.Release(4096);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.current_bytes(), 0u);
+  // Each thread held at most ~100 KB plus one unflushed slot residue.
+  EXPECT_GT(t.peak_bytes(), 0u);
+  EXPECT_LE(t.peak_bytes(),
+            static_cast<uint64_t>(kThreads) *
+                ((100u << 10) +
+                 static_cast<uint64_t>(QueryMemoryTracker::kFlushBytes)));
+}
+
+// --- Worker beacons / continuous profiler ----------------------------------
+
+TEST(BeaconTest, PackedWordRoundTripsAllFields) {
+  const uint64_t w = PackBeaconWord(/*query_id=*/0xDEADBEEF,
+                                    /*pipeline=*/0x1234, /*mode=*/2,
+                                    BeaconActivity::kMorsel);
+  EXPECT_EQ(static_cast<uint32_t>(w >> 32), 0xDEADBEEFu);
+  EXPECT_EQ(static_cast<uint16_t>(w >> 16), 0x1234u);
+  EXPECT_EQ(static_cast<uint8_t>(w >> 8), 2u);
+  EXPECT_EQ(static_cast<uint8_t>(w),
+            static_cast<uint8_t>(BeaconActivity::kMorsel));
+}
+
+TEST(BeaconTest, SamplerNeverObservesTornAttribution) {
+  // The profiler folds attribution from word0 alone — a single atomic word,
+  // so a sample can never mix one publication's query id with another's
+  // pipeline/mode/activity. Publish packed words whose fields all derive
+  // from one counter and assert every accepted sample is self-consistent;
+  // SampleBeacon's re-read additionally discards samples taken while word0
+  // moved. The TSan CI leg runs this test.
+  WorkerBeacon beacon;
+  std::atomic<bool> stop{false};
+  std::thread publisher([&] {
+    uint32_t i = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      PublishBeacon(&beacon, /*query_id=*/i,
+                    /*pipeline=*/static_cast<uint16_t>(i),
+                    /*mode=*/static_cast<uint8_t>(i % 3),
+                    BeaconActivity::kMorsel, /*detail=*/i * 31ull);
+      ++i;
+    }
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+  uint64_t accepted = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    uint64_t w0 = 0, w1 = 0;
+    if (!SampleBeacon(beacon, &w0, &w1) || w0 == 0) continue;
+    const uint32_t qid = static_cast<uint32_t>(w0 >> 32);
+    ASSERT_EQ(static_cast<uint16_t>(w0 >> 16),
+              static_cast<uint16_t>(qid));
+    ASSERT_EQ(static_cast<uint8_t>(w0 >> 8),
+              static_cast<uint8_t>(qid % 3));
+    ASSERT_EQ(static_cast<uint8_t>(w0),
+              static_cast<uint8_t>(BeaconActivity::kMorsel));
+    ++accepted;
+  }
+  stop.store(true);
+  publisher.join();
+  EXPECT_GT(accepted, 0u);
+  ClearBeacon(&beacon);
+  uint64_t w0 = 1, w1 = 1;
+  ASSERT_TRUE(SampleBeacon(beacon, &w0, &w1));
+  EXPECT_EQ(w0, 0u);  // cleared lane samples as idle
+}
+
+TEST(ContinuousProfilerTest, SamplesBeaconsAndRendersCollapsedStacks) {
+  MetricsRegistry reg;
+  BeaconBoard board;
+  // Publish a steady state on two lanes, then sample fast enough that a
+  // short sleep collects plenty.
+  PublishBeacon(board.lane(0), /*query_id=*/7, /*pipeline=*/1, /*mode=*/0,
+                BeaconActivity::kMorsel, 1024);
+  PublishBeacon(board.lane(1), /*query_id=*/7, /*pipeline=*/2, /*mode=*/2,
+                BeaconActivity::kCompile, 99);
+  Counter* samples = reg.GetCounter("profiler.samples");
+  ContinuousProfiler profiler(&board, /*hz=*/2000, samples);
+  EXPECT_EQ(profiler.hz(), 2000);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (profiler.total_samples() < 20 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(profiler.total_samples(), 20u);
+
+  const uint64_t retired = profiler.RetireQuery(7, "q_test");
+  EXPECT_GT(retired, 0u);
+  const std::string stacks = profiler.CollapsedStacks();
+  EXPECT_NE(stacks.find("engine;q_test;pipeline1;bytecode;morsel"),
+            std::string::npos)
+      << stacks;
+  EXPECT_NE(stacks.find("engine;q_test;pipeline2;optimized;compile"),
+            std::string::npos)
+      << stacks;
+  // Well-formed collapsed-stack text: "frame;frame;... count" per line.
+  size_t lines = 0;
+  size_t pos = 0;
+  while (pos < stacks.size()) {
+    size_t eol = stacks.find('\n', pos);
+    if (eol == std::string::npos) eol = stacks.size();
+    const std::string line = stacks.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    ++lines;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    ASSERT_GT(space, 0u) << line;
+    EXPECT_EQ(line.find(' '), space) << "one space, before the count: "
+                                     << line;
+    for (size_t i = space + 1; i < line.size(); ++i) {
+      ASSERT_TRUE(line[i] >= '0' && line[i] <= '9') << line;
+    }
+  }
+  EXPECT_GT(lines, 0u);
+  EXPECT_GT(reg.Snapshot().counter("profiler.samples"), 0u);
+
+  profiler.Reset();
+  EXPECT_EQ(profiler.RetireQuery(7, "q_test"), 0u);
+}
+
+// --- Trace-ring saturation: bulk sampling vs lossless criticals ------------
+
+TEST(EngineTracerTest, BulkSamplingUnderPressureKeepsCriticalsLossless) {
+  EngineTracer tracer(/*ring_capacity=*/8);
+  // 40 bulk morsel events into a capacity-8 ring: once wrapped, further
+  // bulk events are decimated 1-in-kBulkSampleEvery and the skips are
+  // accounted as dropped_sampled — deliberate sampling, not loss.
+  for (uint64_t i = 0; i < 40; ++i) tracer.Record(1, MakeEvent(i));
+  // Critical events land in their own ring and must all survive.
+  for (uint64_t i = 0; i < 5; ++i) {
+    TraceEvent e = MakeEvent(100 + i);
+    e.kind = TraceEventKind::kModeSwitch;
+    tracer.Record(1, e);
+  }
+  EXPECT_EQ(tracer.total_recorded(), 45u);
+  EXPECT_GT(tracer.total_dropped_sampled(), 0u);
+  EXPECT_EQ(tracer.total_dropped_lost(), 0u);
+  EXPECT_EQ(tracer.total_dropped(),
+            tracer.total_dropped_sampled() + tracer.total_dropped_lost());
+
+  TraceSnapshot snap = tracer.Snapshot();
+  size_t switches = 0, morsels = 0;
+  for (const auto& lane : snap.lanes) {
+    EXPECT_EQ(lane.dropped, lane.dropped_sampled + lane.dropped_lost);
+    for (const TraceEvent& e : lane.events) {
+      switches += e.kind == TraceEventKind::kModeSwitch;
+      morsels += e.kind == TraceEventKind::kMorsel;
+    }
+  }
+  EXPECT_EQ(switches, 5u);  // every critical event retained
+  EXPECT_GT(morsels, 0u);   // a sampled residue of the bulk stream remains
+}
+
+// --- Zero-count histogram suppression in exports ---------------------------
+
+TEST(MetricsRegistryTest, ZeroCountHistogramsOmittedFromExportsOnly) {
+  MetricsRegistry reg;
+  reg.GetHistogram("empty.h");  // registered, never recorded
+  reg.GetHistogram("used.h")->Record(5);
+  MetricsSnapshot snap = reg.Snapshot();
+  // The in-memory snapshot keeps both (programmatic consumers see the
+  // registry as-is) ...
+  ASSERT_EQ(snap.histograms.size(), 2u);
+  ASSERT_NE(snap.histogram("empty.h"), nullptr);
+  // ... but the serialized exports skip count == 0 series so per-class
+  // histogram families don't bloat /metrics with empty classes.
+  const std::string json = snap.ToJson();
+  EXPECT_EQ(json.find("empty.h"), std::string::npos);
+  EXPECT_NE(json.find("used.h"), std::string::npos);
+  const std::string prom = PrometheusText(snap);
+  EXPECT_EQ(prom.find("aqe_empty_h"), std::string::npos);
+  EXPECT_NE(prom.find("aqe_used_h"), std::string::npos);
+}
+
+// --- Per-class memory budgets (engine) -------------------------------------
+
+TEST_F(ObsEngineTest, QueryResultsReportPeakMemory) {
+  QueryEngine engine(&catalog(), 2);
+  QueryProgram q1 = BuildTpchQuery(1, catalog());
+  QueryRunOptions options;
+  options.collect_profile = true;
+  QueryRunResult r = engine.Run(q1, options);
+  ASSERT_FALSE(r.rows.empty());
+  // Q1 builds an aggregation table and output chunks — all tracked.
+  EXPECT_GT(r.peak_memory_bytes, 0u);
+  ASSERT_NE(r.profile, nullptr);
+  EXPECT_EQ(r.profile->peak_memory_bytes, r.peak_memory_bytes);
+  const std::string text = ExplainAnalyze(r);
+  EXPECT_NE(text.find("peak memory"), std::string::npos);
+  EXPECT_NE(text.find("cpu-samples"), std::string::npos);
+
+  MetricsSnapshot snap = engine.ObservabilitySnapshot();
+  const auto* h = snap.histogram("mem.query_peak_bytes.class0");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1u);
+  EXPECT_EQ(h->max, r.peak_memory_bytes);
+  int64_t peak_gauge = -1, current_gauge = -1;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "mem.peak_bytes") peak_gauge = value;
+    if (name == "mem.current_bytes") current_gauge = value;
+  }
+  EXPECT_EQ(peak_gauge, static_cast<int64_t>(r.peak_memory_bytes));
+  EXPECT_GE(current_gauge, 0);
+}
+
+TEST_F(ObsEngineTest, AdmissionRejectsOverBudgetClassAndSparesOthers) {
+  QueryEngine engine(&catalog(), 2);
+  QueryProgram q6 = BuildTpchQuery(6, catalog());
+  QueryRunOptions options;
+  options.query_class = 3;
+  // Learn the footprint: warm runs seed the fingerprint's peak EWMA that
+  // admission consults.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_FALSE(engine.Run(q6, options).rows.empty());
+  }
+
+  engine.set_class_memory_budget(3, 1024);  // far below any real footprint
+  bool threw = false;
+  try {
+    engine.Run(q6, options);
+  } catch (const MemoryBudgetExceeded& e) {
+    threw = true;
+    EXPECT_TRUE(e.at_admission());
+    EXPECT_EQ(e.query_class(), 3);
+    EXPECT_EQ(e.budget_bytes(), 1024u);
+    EXPECT_GT(e.attempted_bytes(), 1024u);
+    EXPECT_NE(std::string(e.what()).find("admission"), std::string::npos);
+  }
+  ASSERT_TRUE(threw);
+  // The uncapped class is untouched by class 3's budget.
+  QueryRunOptions class0;
+  class0.query_class = 0;
+  EXPECT_FALSE(engine.Run(q6, class0).rows.empty());
+
+  MetricsSnapshot snap = engine.ObservabilitySnapshot();
+  EXPECT_EQ(snap.counter("mem.budget_rejections.admission"), 1u);
+  EXPECT_EQ(snap.counter("mem.budget_rejections.runtime"), 0u);
+  // A rejected query never ran: submitted 5, completed 4.
+  EXPECT_EQ(snap.counter("engine.queries_submitted"), 5u);
+  EXPECT_EQ(snap.counter("engine.queries_completed"), 4u);
+
+  // Lifting the budget readmits the class.
+  engine.set_class_memory_budget(3, 0);
+  EXPECT_FALSE(engine.Run(q6, options).rows.empty());
+}
+
+TEST_F(ObsEngineTest, RuntimeBudgetCrossingFailsTypedMidQuery) {
+  // Fresh engine: no learned footprint, so a tiny budget passes admission
+  // (estimate 0) and the tracker crosses it at the first allocation; the
+  // engine fails the query at a slice boundary with at_admission()==false.
+  QueryEngine engine(&catalog(), 2);
+  engine.set_class_memory_budget(2, 1);
+  QueryProgram q1 = BuildTpchQuery(1, catalog());
+  QueryRunOptions options;
+  options.query_class = 2;
+  bool threw = false;
+  try {
+    engine.Run(q1, options);
+  } catch (const MemoryBudgetExceeded& e) {
+    threw = true;
+    EXPECT_FALSE(e.at_admission());
+    EXPECT_EQ(e.query_class(), 2);
+    EXPECT_EQ(e.budget_bytes(), 1u);
+    EXPECT_GT(e.attempted_bytes(), 1u);
+  }
+  ASSERT_TRUE(threw);
+  EXPECT_GE(engine.ObservabilitySnapshot().counter(
+                "mem.budget_rejections.runtime"),
+            1u);
+  // The engine stays healthy: the same query completes once uncapped.
+  engine.set_class_memory_budget(2, 0);
+  EXPECT_FALSE(engine.Run(q1, options).rows.empty());
+}
+
+TEST_F(ObsEngineTest, EngineFlamegraphCoversCompletedQueries) {
+  QueryEngineOptions engine_options;
+  engine_options.num_threads = 2;
+  engine_options.profile_hz = 4000;  // aggressive cadence: fast test
+  QueryEngine engine(&catalog(), engine_options);
+  QueryProgram q1 = BuildTpchQuery(1, catalog());
+  // Run until the sampler has demonstrably caught query work (the beacons
+  // are only interesting while morsels run, so keep feeding it).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  std::string stacks;
+  while (std::chrono::steady_clock::now() < deadline) {
+    ASSERT_FALSE(engine.Run(q1).rows.empty());
+    stacks = engine.CollapsedStacks();
+    if (stacks.find(";q1;") != std::string::npos) break;
+  }
+  EXPECT_NE(stacks.find(";q1;"), std::string::npos) << stacks;
+  EXPECT_GT(engine.ObservabilitySnapshot().counter("profiler.samples"), 0u);
+  int64_t hz = -1;
+  for (const auto& [name, value] :
+       engine.ObservabilitySnapshot().gauges) {
+    if (name == "profiler.hz") hz = value;
+  }
+  EXPECT_EQ(hz, 4000);
+  // ResetObservabilityStats drops the folded samples too.
+  engine.ResetObservabilityStats();
+  EXPECT_EQ(engine.CollapsedStacks().find(";q1;"), std::string::npos);
 }
 
 // --- Stats server ----------------------------------------------------------
