@@ -713,6 +713,33 @@ class QueryJob : public Task {
     obs_->budget_rej_runtime->Add();
     const uint64_t budget = memory_->soft_limit();
     const uint64_t current = memory_->current_bytes();
+    // Admission-estimate feedback even though the run never completes
+    // (RecordServiceTime is skipped on this path): fold the observed
+    // footprint into the fingerprint's peak EWMA so the next submission of
+    // this plan is rejected at admission instead of executing to the
+    // failure point again. The peak at the kill point is a lower bound on
+    // the full-run footprint — and already over budget — so the blend must
+    // not dilute it below the observed value. The truncated service time is
+    // likewise a lower bound; folding it avoids seeding the cost EWMA at
+    // zero if the budget is later raised.
+    if (entry_ != nullptr) {
+      constexpr double kAlpha = 0.3;
+      const double peak = static_cast<double>(memory_->peak_bytes());
+      const double service_ms = std::max(
+          0.0,
+          (total_timer_.ElapsedSeconds() - result_.queue_wait_seconds) * 1e3);
+      std::lock_guard<std::mutex> lock(entry_->mu);
+      const bool first = entry_->observed_queries == 0;
+      entry_->ewma_peak_bytes =
+          first ? peak
+                : std::max(peak, kAlpha * peak +
+                                     (1 - kAlpha) * entry_->ewma_peak_bytes);
+      entry_->ewma_service_ms =
+          first ? service_ms
+                : kAlpha * service_ms +
+                      (1 - kAlpha) * entry_->ewma_service_ms;
+      ++entry_->observed_queries;
+    }
     active_.reset();
     memory_->Release(active_charged_bytes_);
     active_charged_bytes_ = 0;
@@ -801,11 +828,12 @@ class QueryJob : public Task {
   double done_total_seconds_ = 0;
   const QueryProgram* program_;
   QueryRunOptions options_;
-  std::unique_ptr<QueryContext> ctx_;
   /// Per-query memory accounting; shared with ctx_ and every runtime
-  /// structure created on the query's behalf (shared ownership keeps it
-  /// alive until the last charged structure has released).
+  /// structure created on the query's behalf. Declared before ctx_ so it
+  /// is destroyed after the context: charged structures hold raw
+  /// tracker pointers and call Release() from their destructors.
   std::shared_ptr<QueryMemoryTracker> memory_;
+  std::unique_ptr<QueryContext> ctx_;
   PlanFingerprint fingerprint_;
   uint64_t pruning_aux_hash_ = 0;  ///< literals + bitmap contents (pruning key)
   std::shared_ptr<CacheEntry> entry_;  ///< null when the cache is bypassed

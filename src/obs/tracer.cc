@@ -113,11 +113,16 @@ TraceSnapshot EngineTracer::Snapshot() const {
     std::vector<TraceEvent> bulk = rings->bulk.Snapshot();
     std::vector<TraceEvent> critical = rings->critical.Snapshot();
     l.events.reserve(bulk.size() + critical.size());
-    std::merge(bulk.begin(), bulk.end(), critical.begin(), critical.end(),
-               std::back_inserter(l.events),
-               [](const TraceEvent& a, const TraceEvent& b) {
-                 return a.start_nanos < b.start_nanos;
-               });
+    l.events.insert(l.events.end(), bulk.begin(), bulk.end());
+    l.events.insert(l.events.end(), critical.begin(), critical.end());
+    // Lanes record events in completion order with retroactive start times
+    // (kAdmissionWait starts at submit time but is recorded after earlier
+    // slices), so neither ring is sorted by start — a full sort is needed,
+    // not a merge. stable_sort keeps recording order among equal starts.
+    std::stable_sort(l.events.begin(), l.events.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       return a.start_nanos < b.start_nanos;
+                     });
     l.recorded = rings->offered.load(std::memory_order_relaxed);
     l.dropped_sampled = rings->dropped_sampled();
     l.dropped_lost = rings->dropped_lost();

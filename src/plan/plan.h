@@ -22,15 +22,17 @@ class QueryMemoryTracker;
 /// tables, output buffers and temporary tables declared by its
 /// QueryProgram, plus the final result rows. Created fresh per run.
 struct QueryContext {
+  /// Per-query memory accounting (null when the run is untracked, e.g.
+  /// standalone runner/test pipelines). Engine steps that create runtime
+  /// structures pass memory.get() so their allocations are charged.
+  /// Declared first: destroyed last, after every charged structure below
+  /// has run its destructor (which calls tracker->Release()).
+  std::shared_ptr<QueryMemoryTracker> memory;
   const Catalog* catalog = nullptr;
   std::vector<std::unique_ptr<JoinHashTable>> join_tables;
   std::vector<std::unique_ptr<AggHashTableSet>> agg_sets;
   std::vector<std::unique_ptr<OutputBuffer>> outputs;
   std::vector<std::unique_ptr<Table>> temp_tables;
-  /// Per-query memory accounting (null when the run is untracked, e.g.
-  /// standalone runner/test pipelines). Engine steps that create runtime
-  /// structures pass memory.get() so their allocations are charged.
-  std::shared_ptr<QueryMemoryTracker> memory;
   /// The query result (after the final engine step).
   std::vector<std::vector<int64_t>> result;
 

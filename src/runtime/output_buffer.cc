@@ -13,15 +13,8 @@ OutputBuffer::OutputBuffer(uint32_t row_slots, int max_threads)
 }
 
 OutputBuffer::~OutputBuffer() {
-  if (tracker_ == nullptr) return;
-  uint64_t bytes = 0;
-  for (const auto& buffer : buffers_) {
-    if (buffer != nullptr) {
-      bytes += buffer->chunks.size() * ThreadBuffer::kRowsPerChunk *
-               row_slots_ * sizeof(int64_t);
-    }
-  }
-  if (bytes > 0) tracker_->Release(bytes);
+  const uint64_t bytes = charged_bytes_.load(std::memory_order_relaxed);
+  if (tracker_ != nullptr && bytes > 0) tracker_->Release(bytes);
 }
 
 int64_t* OutputBuffer::AllocRow() {
@@ -40,8 +33,10 @@ int64_t* OutputBuffer::AllocRow() {
     buffer->chunks.push_back(std::make_unique<int64_t[]>(
         ThreadBuffer::kRowsPerChunk * row_slots_));
     if (tracker_ != nullptr) {
-      tracker_->Charge(ThreadBuffer::kRowsPerChunk * row_slots_ *
-                       sizeof(int64_t));
+      const uint64_t chunk_bytes =
+          ThreadBuffer::kRowsPerChunk * row_slots_ * sizeof(int64_t);
+      tracker_->Charge(chunk_bytes);
+      charged_bytes_.fetch_add(chunk_bytes, std::memory_order_relaxed);
     }
   }
   ++buffer->rows;

@@ -1,6 +1,7 @@
 #ifndef AQE_RUNTIME_OUTPUT_BUFFER_H_
 #define AQE_RUNTIME_OUTPUT_BUFFER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -44,6 +45,10 @@ class OutputBuffer {
   uint32_t row_slots_;
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
   QueryMemoryTracker* tracker_ = nullptr;
+  /// What tracker_ was charged so far; the destructor releases exactly
+  /// this, so chunks allocated before set_memory_tracker (never charged)
+  /// are never over-released. Atomic: AllocRow charges from many threads.
+  std::atomic<uint64_t> charged_bytes_{0};
   mutable std::mutex create_mutex_;
 };
 

@@ -1187,6 +1187,21 @@ TEST_F(ObsEngineTest, RuntimeBudgetCrossingFailsTypedMidQuery) {
   EXPECT_GE(engine.ObservabilitySnapshot().counter(
                 "mem.budget_rejections.runtime"),
             1u);
+  // The runtime failure fed the observed peak back into the fingerprint's
+  // admission estimate: resubmitting the same plan under the same budget
+  // is rejected at admission, without executing to the failure point.
+  threw = false;
+  try {
+    engine.Run(q1, options);
+  } catch (const MemoryBudgetExceeded& e) {
+    threw = true;
+    EXPECT_TRUE(e.at_admission());
+    EXPECT_EQ(e.query_class(), 2);
+  }
+  ASSERT_TRUE(threw);
+  EXPECT_GE(engine.ObservabilitySnapshot().counter(
+                "mem.budget_rejections.admission"),
+            1u);
   // The engine stays healthy: the same query completes once uncapped.
   engine.set_class_memory_budget(2, 0);
   EXPECT_FALSE(engine.Run(q1, options).rows.empty());
